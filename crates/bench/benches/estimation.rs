@@ -1,0 +1,67 @@
+//! Criterion benches: selectivity-estimation latency per twig — the
+//! figure of merit for optimizer integration (estimates must be far
+//! cheaper than evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::estimate;
+use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+use xcluster_datagen::imdb::{generate, ImdbConfig};
+use xcluster_query::parse_twig;
+
+fn bench_estimation(c: &mut Criterion) {
+    let d = generate(&ImdbConfig {
+        num_movies: 200,
+        seed: 13,
+    });
+    let reference = reference_synopsis(
+        &d.tree,
+        &ReferenceConfig {
+            value_paths: Some(d.value_paths.clone()),
+            ..ReferenceConfig::default()
+        },
+    );
+    let synopsis = build_synopsis(
+        reference.clone(),
+        &BuildConfig {
+            b_str: 8 * 1024,
+            b_val: 24 * 1024,
+            ..BuildConfig::default()
+        },
+    );
+
+    let linear = parse_twig("//movie/cast/actor/name", d.tree.terms()).unwrap();
+    let filtered = parse_twig("//movie[year>1990]/title", d.tree.terms()).unwrap();
+    let twig = parse_twig(
+        "//movie[year>1990][genre contains(war)]{/title}{/cast/actor/name}",
+        d.tree.terms(),
+    )
+    .unwrap();
+    let descendant = parse_twig("//*//name", d.tree.terms()).unwrap();
+
+    c.bench_function("estimate/linear_path", |b| {
+        b.iter(|| black_box(estimate(&synopsis, &linear)))
+    });
+    c.bench_function("estimate/filtered_path", |b| {
+        b.iter(|| black_box(estimate(&synopsis, &filtered)))
+    });
+    c.bench_function("estimate/full_twig", |b| {
+        b.iter(|| black_box(estimate(&synopsis, &twig)))
+    });
+    c.bench_function("estimate/wildcard_descendants", |b| {
+        b.iter(|| black_box(estimate(&synopsis, &descendant)))
+    });
+    // Same twig against the (much larger) reference synopsis.
+    c.bench_function("estimate/full_twig_on_reference", |b| {
+        b.iter(|| black_box(estimate(&reference, &twig)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    targets = bench_estimation
+}
+criterion_main!(benches);

@@ -1,0 +1,584 @@
+//! Regenerates every table and figure of the paper's evaluation
+//! (Section 6), plus the ablations listed in `DESIGN.md`.
+//!
+//! ```sh
+//! cargo run --release -p xcluster-bench --bin experiments -- all
+//! cargo run --release -p xcluster-bench --bin experiments -- figure8a --scale 0.2
+//! ```
+//!
+//! Commands: `table1`, `table2`, `figure8a`, `figure8b`, `figure9`,
+//! `negative`, `ablation-metric`, `ablation-ebth`, `ablation-pst`, `all`.
+//!
+//! Options: `--scale f` (data size relative to the paper, default 0.25),
+//! `--queries n` (workload size, default 1000), `--seed s`, `--out dir`
+//! (CSV output directory, default `results/`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use xcluster_bench::{negative_workload, pct, positive_workload, prepare_imdb, prepare_xmark, sweep};
+use xcluster_core::baseline;
+use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::metrics::evaluate_workload;
+use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+use xcluster_query::QueryClass;
+
+struct Opts {
+    scale: f64,
+    queries: usize,
+    seed: u64,
+    out: String,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts {
+        scale: 0.25,
+        queries: 1000,
+        seed: 0xC0FFEE,
+        out: "results".into(),
+    };
+    let mut commands: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                opts.scale = args[i + 1].parse().expect("--scale takes a float");
+                i += 2;
+            }
+            "--queries" => {
+                opts.queries = args[i + 1].parse().expect("--queries takes an integer");
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = args[i + 1].parse().expect("--seed takes an integer");
+                i += 2;
+            }
+            "--out" => {
+                opts.out = args[i + 1].clone();
+                i += 2;
+            }
+            cmd => {
+                commands.push(cmd.to_string());
+                i += 1;
+            }
+        }
+    }
+    if commands.is_empty() {
+        eprintln!(
+            "usage: experiments [--scale f] [--queries n] [--seed s] [--out dir] <command>...\n\
+             commands: table1 table2 figure8a figure8b figure9 negative \
+             ablation-metric ablation-ebth ablation-pst ablation-numeric all"
+        );
+        std::process::exit(2);
+    }
+    std::fs::create_dir_all(&opts.out).expect("create output directory");
+    if commands.iter().any(|c| c == "all") {
+        commands = [
+            "table1",
+            "table2",
+            "figure8a",
+            "figure8b",
+            "figure9",
+            "negative",
+            "ablation-metric",
+            "ablation-ebth",
+            "ablation-pst",
+            "ablation-numeric",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    for cmd in commands {
+        let t0 = Instant::now();
+        match cmd.as_str() {
+            "table1" => table1(&opts),
+            "table2" => table2(&opts),
+            "figure8a" => figure8(&opts, "imdb"),
+            "figure8b" => figure8(&opts, "xmark"),
+            "figure9" => figure9(&opts),
+            "negative" => negative(&opts),
+            "ablation-metric" => ablation_metric(&opts),
+            "ablation-ebth" => ablation_ebth(&opts),
+            "ablation-pst" => ablation_pst(&opts),
+            "ablation-numeric" => ablation_numeric(&opts),
+            other => {
+                eprintln!("unknown command: {other}");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("[{cmd} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}
+
+fn save(opts: &Opts, name: &str, content: &str) {
+    let path = format!("{}/{}.csv", opts.out, name);
+    std::fs::write(&path, content).expect("write CSV");
+    eprintln!("[wrote {path}]");
+}
+
+/// The structural-budget sweep points, scaled from the paper's 0–50 KB.
+fn b_str_points(scale: f64) -> Vec<usize> {
+    [0usize, 10, 20, 30, 40, 50]
+        .iter()
+        .map(|&kb| ((kb * 1024) as f64 * scale) as usize)
+        .collect()
+}
+
+/// The paper's fixed 150 KB value budget, scaled.
+fn b_val(scale: f64) -> usize {
+    ((150 * 1024) as f64 * scale) as usize
+}
+
+// ---------------------------------------------------------------------
+// Table 1: data-set characteristics.
+// ---------------------------------------------------------------------
+
+fn table1(opts: &Opts) {
+    println!("== Table 1: Data Set Characteristics (scale {:.2}) ==", opts.scale);
+    println!(
+        "{:8} {:>12} {:>12} {:>14} {:>20}",
+        "", "Size(MB)", "#Elements", "Ref.Size(KB)", "#Nodes Value/Total"
+    );
+    let mut csv = String::from("dataset,size_mb,elements,ref_kb,value_nodes,total_nodes\n");
+    for p in [prepare_imdb(opts.scale, opts.seed), prepare_xmark(opts.scale, opts.seed)] {
+        let mb = p.dataset.file_size_bytes() as f64 / (1024.0 * 1024.0);
+        let ref_kb = p.reference.total_bytes() as f64 / 1024.0;
+        println!(
+            "{:8} {:12.1} {:>12} {:14.0} {:>11} / {:<6}",
+            p.dataset.name,
+            mb,
+            p.dataset.num_elements(),
+            ref_kb,
+            p.reference.num_value_nodes(),
+            p.reference.num_nodes()
+        );
+        let _ = writeln!(
+            csv,
+            "{},{:.2},{},{:.0},{},{}",
+            p.dataset.name,
+            mb,
+            p.dataset.num_elements(),
+            ref_kb,
+            p.reference.num_value_nodes(),
+            p.reference.num_nodes()
+        );
+    }
+    save(opts, "table1", &csv);
+}
+
+// ---------------------------------------------------------------------
+// Table 2: workload characteristics.
+// ---------------------------------------------------------------------
+
+fn table2(opts: &Opts) {
+    println!("== Table 2: Workload Characteristics ==");
+    println!("{:8} {:>16} {:>16}", "", "AvgResult Struct", "AvgResult Pred");
+    let mut csv = String::from("dataset,avg_result_struct,avg_result_pred\n");
+    for p in [prepare_imdb(opts.scale, opts.seed), prepare_xmark(opts.scale, opts.seed)] {
+        let w = positive_workload(&p, opts.queries, opts.seed);
+        let s = w.avg_result_size(QueryClass::Struct);
+        let pr = w.avg_predicate_result_size();
+        println!("{:8} {:16.0} {:16.0}", p.dataset.name, s, pr);
+        let _ = writeln!(csv, "{},{:.1},{:.1}", p.dataset.name, s, pr);
+    }
+    save(opts, "table2", &csv);
+}
+
+// ---------------------------------------------------------------------
+// Figure 8: average relative error vs structural budget.
+// ---------------------------------------------------------------------
+
+fn figure8(opts: &Opts, which: &str) {
+    let p = if which == "imdb" {
+        prepare_imdb(opts.scale, opts.seed)
+    } else {
+        prepare_xmark(opts.scale, opts.seed)
+    };
+    let w = positive_workload(&p, opts.queries, opts.seed);
+    println!(
+        "== Figure 8{}: {} — avg relative error (%) vs synopsis size; value budget {} KB ==",
+        if which == "imdb" { "a" } else { "b" },
+        which,
+        b_val(opts.scale) / 1024
+    );
+    println!(
+        "{:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Bstr(KB)", "Size(KB)", "Overall", "Struct", "Numeric", "String", "Text"
+    );
+    let mut csv =
+        String::from("b_str_kb,total_kb,overall,struct,numeric,string,text\n");
+    for pt in sweep(&p, &w, &b_str_points(opts.scale), b_val(opts.scale)) {
+        let r = &pt.report;
+        println!(
+            "{:>10.1} {:>10.1} {:>8.1} {} {} {} {}",
+            pt.b_str as f64 / 1024.0,
+            pt.total_bytes as f64 / 1024.0,
+            r.overall_rel * 100.0,
+            pct(r.class_rel(QueryClass::Struct)),
+            pct(r.class_rel(QueryClass::Numeric)),
+            pct(r.class_rel(QueryClass::String)),
+            pct(r.class_rel(QueryClass::Text)),
+        );
+        let cell = |v: Option<f64>| v.map_or(String::from(""), |x| format!("{:.4}", x));
+        let _ = writeln!(
+            csv,
+            "{:.1},{:.1},{:.4},{},{},{},{}",
+            pt.b_str as f64 / 1024.0,
+            pt.total_bytes as f64 / 1024.0,
+            r.overall_rel,
+            cell(r.class_rel(QueryClass::Struct)),
+            cell(r.class_rel(QueryClass::Numeric)),
+            cell(r.class_rel(QueryClass::String)),
+            cell(r.class_rel(QueryClass::Text)),
+        );
+    }
+    save(opts, &format!("figure8_{which}"), &csv);
+}
+
+// ---------------------------------------------------------------------
+// Figure 9: absolute error for low-count queries at the largest budget.
+// ---------------------------------------------------------------------
+
+fn figure9(opts: &Opts) {
+    println!("== Figure 9: avg absolute error for low-count queries (largest synopsis) ==");
+    println!("{:10} {:>10} {:>10}", "", "IMDB", "XMark");
+    let mut rows = [[None::<f64>; 2]; 3];
+    for (col, p) in [prepare_imdb(opts.scale, opts.seed), prepare_xmark(opts.scale, opts.seed)]
+        .into_iter()
+        .enumerate()
+    {
+        let w = positive_workload(&p, opts.queries, opts.seed);
+        let points = sweep(
+            &p,
+            &w,
+            &[*b_str_points(opts.scale).last().unwrap()],
+            b_val(opts.scale),
+        );
+        let r = &points[0].report;
+        rows[0][col] = r.low_count_abs(QueryClass::Numeric);
+        rows[1][col] = r.low_count_abs(QueryClass::String);
+        rows[2][col] = r.low_count_abs(QueryClass::Text);
+    }
+    let mut csv = String::from("class,imdb,xmark\n");
+    for (name, row) in ["Numeric", "String", "Text"].iter().zip(rows.iter()) {
+        let cell = |v: Option<f64>| v.map_or("     -".to_string(), |x| format!("{x:6.2}"));
+        println!("{:10} {:>10} {:>10}", name, cell(row[0]), cell(row[1]));
+        let c = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.3}"));
+        let _ = writeln!(csv, "{},{},{}", name, c(row[0]), c(row[1]));
+    }
+    save(opts, "figure9", &csv);
+}
+
+// ---------------------------------------------------------------------
+// Negative workloads (Section 6.1 text).
+// ---------------------------------------------------------------------
+
+fn negative(opts: &Opts) {
+    println!("== Negative workloads: estimates should be close to zero at every budget ==");
+    println!("{:8} {:>10} {:>14}", "", "Bstr(KB)", "avg estimate");
+    let mut csv = String::from("dataset,b_str_kb,avg_estimate\n");
+    for p in [prepare_imdb(opts.scale, opts.seed), prepare_xmark(opts.scale, opts.seed)] {
+        let w = negative_workload(&p, opts.queries / 2, opts.seed);
+        // Three budget points suffice to demonstrate "near zero at every
+        // budget" without doubling the suite's build count.
+        let all_points = b_str_points(opts.scale);
+        let points = [all_points[0], all_points[2], all_points[5]];
+        for pt in sweep(&p, &w, &points, b_val(opts.scale)) {
+            println!(
+                "{:8} {:>10.1} {:>14.3}",
+                p.dataset.name,
+                pt.b_str as f64 / 1024.0,
+                pt.report.avg_estimate
+            );
+            let _ = writeln!(
+                csv,
+                "{},{:.1},{:.4}",
+                p.dataset.name,
+                pt.b_str as f64 / 1024.0,
+                pt.report.avg_estimate
+            );
+        }
+    }
+    save(opts, "negative", &csv);
+}
+
+// ---------------------------------------------------------------------
+// Ablation: localized Δ vs the global TreeSketch metric (Section 6.2).
+// ---------------------------------------------------------------------
+
+fn ablation_metric(opts: &Opts) {
+    // The global builder keeps the whole reference partition in memory
+    // and re-scores all pairs per round — run at a reduced scale so the
+    // quadratic candidate scans stay sane.
+    let scale = (opts.scale * 0.25).clamp(0.005, 0.02);
+    println!("== Ablation: localized Δ vs global (TreeSketch-style) metric, structural only ==");
+    println!(
+        "{:8} {:>10} {:>12} {:>12} {:>16}",
+        "", "Bstr(KB)", "local err%", "global err%", "tracked entries"
+    );
+    let mut csv = String::from("dataset,b_str_kb,local_err,global_err,global_tracked\n");
+    for name in ["imdb", "xmark"] {
+        let p = if name == "imdb" {
+            prepare_imdb(scale, opts.seed)
+        } else {
+            prepare_xmark(scale, opts.seed)
+        };
+        // Structural-only reference (no value summaries).
+        let reference = reference_synopsis(
+            &p.dataset.tree,
+            &ReferenceConfig {
+                value_paths: Some(vec![]),
+                ..ReferenceConfig::default()
+            },
+        );
+        let w = xcluster_query::workload::generate_positive(
+            &p.dataset.tree,
+            &p.index,
+            &xcluster_query::WorkloadConfig {
+                num_queries: opts.queries / 2,
+                seed: opts.seed,
+                class_weights: [1.0, 0.0, 0.0, 0.0],
+                ..xcluster_query::WorkloadConfig::default()
+            },
+        );
+        for frac in [8usize, 16] {
+            let budget = reference.structural_bytes() / frac;
+            let local = build_synopsis(
+                reference.clone(),
+                &BuildConfig {
+                    b_str: budget,
+                    b_val: 0,
+                    ..BuildConfig::default()
+                },
+            );
+            let (global, tracked) = baseline::global_metric_build(reference.clone(), budget);
+            let le = evaluate_workload(&local, &w).overall_rel;
+            let ge = evaluate_workload(&global, &w).overall_rel;
+            println!(
+                "{:8} {:>10.1} {:>12.2} {:>12.2} {:>16}",
+                name,
+                budget as f64 / 1024.0,
+                le * 100.0,
+                ge * 100.0,
+                tracked
+            );
+            let _ = writeln!(
+                csv,
+                "{},{:.1},{:.4},{:.4},{}",
+                name,
+                budget as f64 / 1024.0,
+                le,
+                ge,
+                tracked
+            );
+        }
+    }
+    save(opts, "ablation_metric", &csv);
+}
+
+// ---------------------------------------------------------------------
+// Ablation: end-biased term histograms vs conventional range buckets.
+// ---------------------------------------------------------------------
+
+fn ablation_ebth(opts: &Opts) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use xcluster_summaries::Ebth;
+    println!("== Ablation: end-biased term histogram vs conventional range-bucket histogram ==");
+    let p = prepare_imdb(opts.scale, opts.seed);
+    // One big TEXT collection: all plot term vectors.
+    let vectors: Vec<_> = p
+        .dataset
+        .tree
+        .all_nodes()
+        .filter(|&n| p.dataset.tree.label_str(n) == "plot")
+        .filter_map(|n| p.dataset.tree.value(n).as_text().cloned())
+        .collect();
+    let exact = Ebth::from_vectors(vectors.iter());
+    let full = exact.size_bytes();
+    println!(
+        "{} texts, {} distinct terms, exact centroid {} bytes",
+        vectors.len(),
+        exact.num_indexed(),
+        full
+    );
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    // Probe terms: positive (random occurring) and negative (random ids).
+    let occurring: Vec<u32> = exact.indexed_terms().iter().map(|(t, _)| t.0).collect();
+    let max_id = occurring.iter().copied().max().unwrap_or(1);
+    let mut probes: Vec<(u32, f64)> = Vec::new();
+    for _ in 0..400 {
+        let t = occurring[rng.gen_range(0..occurring.len())];
+        probes.push((t, exact.term_frequency(xcluster_xml::Symbol(t))));
+    }
+    for _ in 0..400 {
+        let t = rng.gen_range(0..max_id * 2);
+        let truth = if occurring.binary_search(&t).is_ok() {
+            exact.term_frequency(xcluster_xml::Symbol(t))
+        } else {
+            0.0
+        };
+        probes.push((t, truth));
+    }
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "budget", "EBTH avg err", "RangeBkt avg err"
+    );
+    let mut csv = String::from("budget_bytes,ebth_err,range_bucket_err\n");
+    for frac in [2usize, 4, 8, 16] {
+        let budget = full / frac;
+        let mut ebth = exact.clone();
+        ebth.compress_to_bytes(budget);
+        // Match byte budgets: the baseline gets budget/8 bucket averages.
+        let buckets = (budget / 8).max(1);
+        let range = exact.to_range_bucket_baseline(buckets);
+        let (mut e1, mut e2) = (0.0, 0.0);
+        for &(t, truth) in &probes {
+            e1 += (ebth.term_frequency(xcluster_xml::Symbol(t)) - truth).abs();
+            e2 += (range.term_frequency(xcluster_xml::Symbol(t)) - truth).abs();
+        }
+        e1 /= probes.len() as f64;
+        e2 /= probes.len() as f64;
+        println!("{budget:>11}B {e1:>14.5} {e2:>14.5}");
+        let _ = writeln!(csv, "{budget},{e1:.6},{e2:.6}");
+    }
+    save(opts, "ablation_ebth", &csv);
+}
+
+// ---------------------------------------------------------------------
+// Ablation: error-driven vs count-based PST pruning.
+// ---------------------------------------------------------------------
+
+fn ablation_pst(opts: &Opts) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use xcluster_summaries::Pst;
+    println!("== Ablation: error-driven vs count-threshold PST pruning ==");
+    let p = prepare_imdb(opts.scale, opts.seed);
+    let strings: Vec<String> = p
+        .dataset
+        .tree
+        .all_nodes()
+        .filter(|&n| p.dataset.tree.label_str(n) == "name")
+        .filter_map(|n| p.dataset.tree.value(n).as_string().map(|s| s.to_string()))
+        .collect();
+    let full = Pst::build(&strings, 8);
+    println!("{} strings, full trie {} nodes", strings.len(), full.node_count());
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x515);
+    // Probe needles: tokens, prefixes, random fragments.
+    let mut needles: Vec<String> = Vec::new();
+    for _ in 0..300 {
+        let s = &strings[rng.gen_range(0..strings.len())];
+        let toks: Vec<&str> = s.split_whitespace().collect();
+        let t = toks[rng.gen_range(0..toks.len())];
+        match rng.gen_range(0..3) {
+            0 => needles.push(t.to_string()),
+            1 => needles.push(t[..rng.gen_range(2..=t.len().min(5))].to_string()),
+            _ => {
+                let b = s.as_bytes();
+                let len = rng.gen_range(2..=4.min(b.len()));
+                let st = rng.gen_range(0..=b.len() - len);
+                needles.push(String::from_utf8_lossy(&b[st..st + len]).into_owned());
+            }
+        }
+    }
+    let truth: Vec<f64> = needles
+        .iter()
+        .map(|n| strings.iter().filter(|s| s.contains(n.as_str())).count() as f64 / strings.len() as f64)
+        .collect();
+    println!(
+        "{:>12} {:>18} {:>18}",
+        "nodes kept", "error-driven err", "count-based err"
+    );
+    let mut csv = String::from("nodes,error_driven,count_based\n");
+    for frac in [2usize, 4, 8, 16] {
+        let keep = full.node_count() / frac;
+        let mut by_err = full.clone();
+        by_err.prune_to_size(keep);
+        let mut by_cnt = full.clone();
+        by_cnt.prune_to_size_by_count(keep);
+        let avg = |pst: &Pst| {
+            needles
+                .iter()
+                .zip(truth.iter())
+                .map(|(n, &t)| (pst.selectivity(n) - t).abs())
+                .sum::<f64>()
+                / needles.len() as f64
+        };
+        let (e1, e2) = (avg(&by_err), avg(&by_cnt));
+        println!("{keep:>12} {e1:>18.5} {e2:>18.5}");
+        let _ = writeln!(csv, "{keep},{e1:.6},{e2:.6}");
+    }
+    save(opts, "ablation_pst", &csv);
+}
+
+// ---------------------------------------------------------------------
+// Ablation: NUMERIC summary backends (histogram vs wavelet vs sample).
+// ---------------------------------------------------------------------
+
+fn ablation_numeric(opts: &Opts) {
+    use xcluster_core::reference::reference_synopsis;
+    use xcluster_summaries::NumericKind;
+    println!("== Ablation: NUMERIC backend — histogram vs Haar wavelet vs reservoir sample ==");
+    // Wavelet fusion re-grids on every misaligned merge; keep this
+    // ablation at a bounded scale.
+    let scale = opts.scale.min(0.1);
+    let p = prepare_imdb(scale, opts.seed);
+    // Numeric-only workload over summarized paths.
+    let w = xcluster_query::workload::generate_positive(
+        &p.dataset.tree,
+        &p.index,
+        &xcluster_query::WorkloadConfig {
+            num_queries: opts.queries / 2,
+            seed: opts.seed,
+            class_weights: [0.0, 1.0, 0.0, 0.0],
+            allowed_targets: Some(p.targets.clone()),
+            ..xcluster_query::WorkloadConfig::default()
+        },
+    );
+    println!("{:>12} {:>12} {:>14} {:>12}", "backend", "Bval(KB)", "numeric err%", "size(KB)");
+    let mut csv = String::from("backend,b_val_kb,numeric_err,total_kb\n");
+    for (name, kind) in [
+        ("histogram", NumericKind::Histogram),
+        ("wavelet", NumericKind::Wavelet),
+        ("sample", NumericKind::Sample),
+    ] {
+        let reference = reference_synopsis(
+            &p.dataset.tree,
+            &xcluster_core::reference::ReferenceConfig {
+                value_paths: Some(p.dataset.value_paths.clone()),
+                numeric_kind: kind,
+                ..xcluster_core::reference::ReferenceConfig::default()
+            },
+        );
+        for b_val in [b_val(scale) / 4, b_val(scale)] {
+            let built = build_synopsis(
+                reference.clone(),
+                &BuildConfig {
+                    b_str: b_str_points(scale)[3],
+                    b_val,
+                    ..BuildConfig::default()
+                },
+            );
+            let r = evaluate_workload(&built, &w);
+            let err = r.class_rel(QueryClass::Numeric).unwrap_or(0.0);
+            println!(
+                "{:>12} {:>12.1} {:>13.2}% {:>12.1}",
+                name,
+                b_val as f64 / 1024.0,
+                err * 100.0,
+                built.total_bytes() as f64 / 1024.0
+            );
+            let _ = writeln!(
+                csv,
+                "{},{:.1},{:.4},{:.1}",
+                name,
+                b_val as f64 / 1024.0,
+                err,
+                built.total_bytes() as f64 / 1024.0
+            );
+        }
+    }
+    save(opts, "ablation_numeric", &csv);
+}

@@ -1,0 +1,168 @@
+//! Shared harness for the XCluster experiment reproduction.
+//!
+//! The `experiments` binary (`src/bin/experiments.rs`) regenerates every
+//! table and figure of the paper's Section 6; this library holds the
+//! pieces shared between experiments and the Criterion benches: data-set
+//! preparation, workload construction restricted to summarized value
+//! paths, and the budget-sweep runner behind Figures 8 and 9.
+
+use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::metrics::{evaluate_workload, ErrorReport};
+use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+use xcluster_core::Synopsis;
+use xcluster_datagen::{imdb, xmark, Dataset};
+use xcluster_query::{workload, EvalIndex, Workload, WorkloadConfig};
+use xcluster_xml::NodeId;
+
+/// A data set prepared for experiments: document, reference synopsis,
+/// evaluation index, and the summarized-path predicate targets.
+pub struct Prepared {
+    /// The generated data set.
+    pub dataset: Dataset,
+    /// Its detailed reference synopsis.
+    pub reference: Synopsis,
+    /// Preorder/label index for exact evaluation.
+    pub index: EvalIndex,
+    /// Elements on summarized value paths (predicate targets).
+    pub targets: Vec<NodeId>,
+}
+
+/// Scale factor 1.0 ≈ the paper's data sizes (≈ 200 k+ elements each).
+pub fn prepare_imdb(scale: f64, seed: u64) -> Prepared {
+    let cfg = imdb::ImdbConfig {
+        num_movies: ((11_500.0 * scale).round() as usize).max(20),
+        seed,
+    };
+    prepare(imdb::generate(&cfg))
+}
+
+/// Scale factor 1.0 ≈ the paper's XMark document.
+pub fn prepare_xmark(scale: f64, seed: u64) -> Prepared {
+    let mut cfg = xmark::XmarkConfig::scaled(scale);
+    cfg.seed = seed;
+    prepare(xmark::generate(&cfg))
+}
+
+fn prepare(dataset: Dataset) -> Prepared {
+    let reference = reference_synopsis(
+        &dataset.tree,
+        &ReferenceConfig {
+            value_paths: Some(dataset.value_paths.clone()),
+            ..ReferenceConfig::default()
+        },
+    );
+    let index = EvalIndex::build(&dataset.tree);
+    let targets = summarized_targets(&dataset);
+    Prepared {
+        dataset,
+        reference,
+        index,
+        targets,
+    }
+}
+
+/// Elements whose label path matches a summarized value-path spec.
+pub fn summarized_targets(d: &Dataset) -> Vec<NodeId> {
+    d.summarized_targets()
+}
+
+/// The paper's workload: positive twigs with predicates restricted to
+/// summarized paths.
+pub fn positive_workload(p: &Prepared, num_queries: usize, seed: u64) -> Workload {
+    workload::generate_positive(
+        &p.dataset.tree,
+        &p.index,
+        &WorkloadConfig {
+            num_queries,
+            seed,
+            allowed_targets: Some(p.targets.clone()),
+            ..WorkloadConfig::default()
+        },
+    )
+}
+
+/// The negative workload of the Section 6.1 discussion.
+pub fn negative_workload(p: &Prepared, num_queries: usize, seed: u64) -> Workload {
+    workload::generate_negative(
+        &p.dataset.tree,
+        &p.index,
+        &WorkloadConfig {
+            num_queries,
+            seed,
+            allowed_targets: Some(p.targets.clone()),
+            ..WorkloadConfig::default()
+        },
+    )
+}
+
+/// One point of the Figure 8 sweep.
+pub struct SweepPoint {
+    /// Structural budget in bytes.
+    pub b_str: usize,
+    /// Realized total synopsis size in bytes.
+    pub total_bytes: usize,
+    /// Error report over the workload.
+    pub report: ErrorReport,
+}
+
+/// Runs the Figure 8 budget sweep: structural budgets from `b_str_points`
+/// with the value budget fixed (the paper: 0–50 KB structural, 150 KB
+/// value).
+pub fn sweep(
+    p: &Prepared,
+    w: &Workload,
+    b_str_points: &[usize],
+    b_val: usize,
+) -> Vec<SweepPoint> {
+    b_str_points
+        .iter()
+        .map(|&b_str| {
+            let built = build_synopsis(
+                p.reference.clone(),
+                &BuildConfig {
+                    b_str,
+                    b_val,
+                    ..BuildConfig::default()
+                },
+            );
+            SweepPoint {
+                b_str,
+                total_bytes: built.total_bytes(),
+                report: evaluate_workload(&built, w),
+            }
+        })
+        .collect()
+}
+
+/// Formats an optional fraction as a percentage cell.
+pub fn pct(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{:6.1}", x * 100.0),
+        None => "     -".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_small_imdb() {
+        let p = prepare_imdb(0.01, 5);
+        assert!(p.dataset.num_elements() > 1000);
+        assert!(p.reference.num_value_nodes() > 0);
+        assert!(!p.targets.is_empty());
+    }
+
+    #[test]
+    fn sweep_produces_monotone_sizes() {
+        let p = prepare_imdb(0.01, 5);
+        let w = positive_workload(&p, 40, 1);
+        let points = sweep(&p, &w, &[512, 4096], 8192);
+        assert_eq!(points.len(), 2);
+        assert!(points[0].total_bytes <= points[1].total_bytes + 512);
+        for pt in &points {
+            assert!(pt.report.overall_rel.is_finite());
+        }
+    }
+}

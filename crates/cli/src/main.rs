@@ -1,0 +1,242 @@
+//! `xcluster` — build, inspect, and query XCluster synopses from the
+//! command line.
+//!
+//! ```text
+//! xcluster build <doc.xml> -o <synopsis.xcs> [--b-str BYTES] [--b-val BYTES]
+//!                [--type label=numeric|string|text]...
+//! xcluster info <synopsis.xcs>
+//! xcluster estimate <synopsis.xcs> "<twig>"...
+//! xcluster evaluate <doc.xml> "<twig>"...       (exact counts)
+//! xcluster compare <doc.xml> <synopsis.xcs> "<twig>"...
+//! ```
+//!
+//! The twig syntax is documented in `xcluster_query::parser` — e.g.
+//! `//movie[year>2000]{/title}{/cast/actor/name}`.
+
+use std::process::ExitCode;
+use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::codec::{decode_synopsis, encode_synopsis};
+use xcluster_core::estimate;
+use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+use xcluster_core::Synopsis;
+use xcluster_query::{evaluate, parse_twig, EvalIndex};
+use xcluster_xml::{parse_with, ParseOptions, ValueType, XmlTree};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(|s| s.as_str()) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("estimate") => cmd_estimate(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: xcluster <build|info|estimate|evaluate|compare> ...\n\
+                 \n\
+                 build <doc.xml> -o <out.xcs> [--b-str N] [--b-val N] [--type label=kind]...\n\
+                 info <synopsis.xcs>\n\
+                 estimate <synopsis.xcs> \"<twig>\"...\n\
+                 explain <synopsis.xcs> \"<twig>\"...\n\
+                 evaluate <doc.xml> \"<twig>\"...\n\
+                 compare <doc.xml> <synopsis.xcs> \"<twig>\"..."
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn load_document(path: &str, type_opts: &[(String, ValueType)]) -> Result<XmlTree, AnyError> {
+    let xml = std::fs::read_to_string(path)?;
+    let mut opts = ParseOptions::default();
+    for (label, ty) in type_opts {
+        opts = opts.with_type(label, *ty);
+    }
+    Ok(parse_with(&xml, &opts)?)
+}
+
+fn parse_type_opt(spec: &str) -> Result<(String, ValueType), AnyError> {
+    let (label, kind) = spec
+        .split_once('=')
+        .ok_or("expected --type label=numeric|string|text|none")?;
+    let ty = match kind {
+        "numeric" => ValueType::Numeric,
+        "string" => ValueType::String,
+        "text" => ValueType::Text,
+        "none" => ValueType::None,
+        other => return Err(format!("unknown value type {other:?}").into()),
+    };
+    Ok((label.to_string(), ty))
+}
+
+fn cmd_build(args: &[String]) -> Result<(), AnyError> {
+    let mut input: Option<&str> = None;
+    let mut output: Option<&str> = None;
+    let mut b_str = 10 * 1024;
+    let mut b_val = 150 * 1024;
+    let mut types: Vec<(String, ValueType)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--output" => {
+                output = Some(&args[i + 1]);
+                i += 2;
+            }
+            "--b-str" => {
+                b_str = args[i + 1].parse()?;
+                i += 2;
+            }
+            "--b-val" => {
+                b_val = args[i + 1].parse()?;
+                i += 2;
+            }
+            "--type" => {
+                types.push(parse_type_opt(&args[i + 1])?);
+                i += 2;
+            }
+            other if input.is_none() => {
+                input = Some(other);
+                i += 1;
+            }
+            other => return Err(format!("unexpected argument {other:?}").into()),
+        }
+    }
+    let input = input.ok_or("missing input document")?;
+    let output = output.ok_or("missing -o <output.xcs>")?;
+    let doc = load_document(input, &types)?;
+    eprintln!("parsed {} elements from {input}", doc.len());
+    let reference = reference_synopsis(&doc, &ReferenceConfig::default());
+    eprintln!(
+        "reference synopsis: {} nodes ({} summarized), {} bytes",
+        reference.num_nodes(),
+        reference.num_value_nodes(),
+        reference.total_bytes()
+    );
+    let synopsis = build_synopsis(
+        reference,
+        &BuildConfig {
+            b_str,
+            b_val,
+            ..BuildConfig::default()
+        },
+    );
+    let bytes = encode_synopsis(&synopsis);
+    std::fs::write(output, &bytes)?;
+    eprintln!(
+        "wrote {output}: {} nodes, {} struct + {} value bytes ({} on disk)",
+        synopsis.num_nodes(),
+        synopsis.structural_bytes(),
+        synopsis.value_bytes(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn load_synopsis(path: &str) -> Result<Synopsis, AnyError> {
+    let bytes = std::fs::read(path)?;
+    Ok(decode_synopsis(&bytes)?)
+}
+
+fn cmd_info(args: &[String]) -> Result<(), AnyError> {
+    let path = args.first().ok_or("missing synopsis file")?;
+    let s = load_synopsis(path)?;
+    println!("nodes:            {}", s.num_nodes());
+    println!("edges:            {}", s.num_edges());
+    println!("value summaries:  {}", s.num_value_nodes());
+    println!("structural bytes: {}", s.structural_bytes());
+    println!("value bytes:      {}", s.value_bytes());
+    println!("labels:           {}", s.labels().len());
+    println!("terms:            {}", s.terms().len());
+    println!("max depth:        {}", s.max_depth());
+    // Top clusters by extent.
+    let mut by_count: Vec<_> = s.live_nodes().collect();
+    by_count.sort_by(|&a, &b| s.node(b).count.total_cmp(&s.node(a).count));
+    println!("largest clusters:");
+    for id in by_count.into_iter().take(8) {
+        let n = s.node(id);
+        println!(
+            "  {:24} {:>10.0} elements  ({}{})",
+            s.label_str(id),
+            n.count,
+            n.vtype,
+            if n.vsumm.is_some() { ", summarized" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_estimate(args: &[String]) -> Result<(), AnyError> {
+    let path = args.first().ok_or("missing synopsis file")?;
+    let queries = &args[1..];
+    if queries.is_empty() {
+        return Err("no queries given".into());
+    }
+    let s = load_synopsis(path)?;
+    for q in queries {
+        let twig = parse_twig(q, s.terms())?;
+        println!("{:12.2}  {q}", estimate(&s, &twig));
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), AnyError> {
+    let path = args.first().ok_or("missing synopsis file")?;
+    let queries = &args[1..];
+    if queries.is_empty() {
+        return Err("no queries given".into());
+    }
+    let s = load_synopsis(path)?;
+    for q in queries {
+        let twig = parse_twig(q, s.terms())?;
+        let ex = xcluster_core::explain::explain(&s, &twig);
+        print!("{}", ex.render(&s, &twig));
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(args: &[String]) -> Result<(), AnyError> {
+    let path = args.first().ok_or("missing document file")?;
+    let queries = &args[1..];
+    if queries.is_empty() {
+        return Err("no queries given".into());
+    }
+    let doc = load_document(path, &[])?;
+    let index = EvalIndex::build(&doc);
+    for q in queries {
+        let twig = parse_twig(q, doc.terms())?;
+        println!("{:12.0}  {q}", evaluate(&twig, &doc, &index));
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), AnyError> {
+    let doc_path = args.first().ok_or("missing document file")?;
+    let syn_path = args.get(1).ok_or("missing synopsis file")?;
+    let queries = &args[2..];
+    if queries.is_empty() {
+        return Err("no queries given".into());
+    }
+    let doc = load_document(doc_path, &[])?;
+    let index = EvalIndex::build(&doc);
+    let s = load_synopsis(syn_path)?;
+    println!("{:>12} {:>12} {:>9}  query", "estimate", "true", "rel.err");
+    for q in queries {
+        let twig_s = parse_twig(q, s.terms())?;
+        let twig_d = parse_twig(q, doc.terms())?;
+        let est = estimate(&s, &twig_s);
+        let truth = evaluate(&twig_d, &doc, &index);
+        let rel = (est - truth).abs() / truth.max(1.0);
+        println!("{est:12.2} {truth:12.0} {:8.1}%  {q}", rel * 100.0);
+    }
+    Ok(())
+}

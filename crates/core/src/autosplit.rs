@@ -1,0 +1,187 @@
+//! Automated structural/value budget allocation (paper Section 4.3,
+//! closing remark): *"it is possible to invoke XCLUSTERBUILD with a
+//! unified total space budget B and let the construction process
+//! determine automatically the ratio of structural- to value-storage
+//! budget. One plausible approach … would be to perform a binary search
+//! in the range of possible Bstr/Bval ratios, based on the observed
+//! estimation error on a sample workload."*
+//!
+//! The paper leaves this to future work; this module implements exactly
+//! that proposal: a golden-section-style search over the structural
+//! fraction `ρ = Bstr / B`, scoring each candidate synopsis on a sample
+//! workload with the Section 6.1 error metric.
+
+use crate::build::{build_synopsis, BuildConfig};
+use crate::metrics::evaluate_workload;
+use crate::synopsis::Synopsis;
+use xcluster_query::Workload;
+
+/// Configuration of the unified-budget search.
+#[derive(Debug, Clone)]
+pub struct AutoSplitConfig {
+    /// Total budget `B` in bytes.
+    pub total_budget: usize,
+    /// Search iterations (each costs two builds in the first round and
+    /// one afterwards).
+    pub iterations: usize,
+    /// Inclusive search range for the structural fraction ρ.
+    pub rho_range: (f64, f64),
+    /// Forwarded build parameters (`Hm`, `Hl`, chunking).
+    pub build: BuildConfig,
+}
+
+impl Default for AutoSplitConfig {
+    fn default() -> Self {
+        AutoSplitConfig {
+            total_budget: 200 * 1024,
+            iterations: 6,
+            rho_range: (0.02, 0.6),
+            build: BuildConfig::default(),
+        }
+    }
+}
+
+/// Outcome of the automated split.
+#[derive(Debug)]
+pub struct AutoSplitResult {
+    /// The winning synopsis.
+    pub synopsis: Synopsis,
+    /// The chosen structural fraction ρ.
+    pub rho: f64,
+    /// Sample-workload average relative error of the winner.
+    pub sample_error: f64,
+    /// Every `(ρ, error)` probe evaluated, in probe order.
+    pub probes: Vec<(f64, f64)>,
+}
+
+/// Builds a synopsis under a unified budget, choosing `Bstr = ρ·B`,
+/// `Bval = (1-ρ)·B` by golden-section search on the sample workload
+/// error. The sample should be disjoint from (but distributed like) the
+/// evaluation workload.
+pub fn build_with_unified_budget(
+    reference: &Synopsis,
+    sample: &Workload,
+    cfg: &AutoSplitConfig,
+) -> AutoSplitResult {
+    let mut probes: Vec<(f64, f64)> = Vec::new();
+    let mut best: Option<(f64, f64, Synopsis)> = None;
+    let eval = |rho: f64, probes: &mut Vec<(f64, f64)>, best: &mut Option<(f64, f64, Synopsis)>| -> f64 {
+        // Reuse earlier probes at (almost) the same ρ.
+        if let Some(&(_, e)) = probes.iter().find(|(r, _)| (r - rho).abs() < 1e-3) {
+            return e;
+        }
+        let built = build_synopsis(
+            reference.clone(),
+            &BuildConfig {
+                b_str: (cfg.total_budget as f64 * rho) as usize,
+                b_val: (cfg.total_budget as f64 * (1.0 - rho)) as usize,
+                ..cfg.build.clone()
+            },
+        );
+        let err = evaluate_workload(&built, sample).overall_rel;
+        probes.push((rho, err));
+        if best.as_ref().is_none_or(|(_, e, _)| err < *e) {
+            *best = Some((rho, err, built));
+        }
+        err
+    };
+
+    // Golden-section search over ρ (the error landscape is noisy but
+    // roughly unimodal: too little structure loses correlations, too
+    // little value budget loses the distributions).
+    const PHI: f64 = 0.618_033_988_749_894_9;
+    let (mut lo, mut hi) = cfg.rho_range;
+    let mut a = hi - PHI * (hi - lo);
+    let mut b = lo + PHI * (hi - lo);
+    let mut fa = eval(a, &mut probes, &mut best);
+    let mut fb = eval(b, &mut probes, &mut best);
+    for _ in 0..cfg.iterations.saturating_sub(2) {
+        if fa <= fb {
+            hi = b;
+            b = a;
+            fb = fa;
+            a = hi - PHI * (hi - lo);
+            fa = eval(a, &mut probes, &mut best);
+        } else {
+            lo = a;
+            a = b;
+            fa = fb;
+            b = lo + PHI * (hi - lo);
+            fb = eval(b, &mut probes, &mut best);
+        }
+    }
+    let (rho, sample_error, synopsis) = best.expect("at least one probe");
+    AutoSplitResult {
+        synopsis,
+        rho,
+        sample_error,
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{reference_synopsis, ReferenceConfig};
+    use xcluster_query::{workload, EvalIndex, WorkloadConfig};
+
+    fn setup() -> (Synopsis, Workload, Workload) {
+        let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: 80,
+            seed: 303,
+        });
+        let reference = reference_synopsis(
+            &d.tree,
+            &ReferenceConfig {
+                value_paths: Some(d.value_paths.clone()),
+                ..ReferenceConfig::default()
+            },
+        );
+        let idx = EvalIndex::build(&d.tree);
+        let mk = |seed| {
+            workload::generate_positive(
+                &d.tree,
+                &idx,
+                &WorkloadConfig {
+                    num_queries: 40,
+                    seed,
+                    ..WorkloadConfig::default()
+                },
+            )
+        };
+        (reference, mk(1), mk(2))
+    }
+
+    #[test]
+    fn unified_budget_respects_total() {
+        let (reference, sample, _) = setup();
+        let cfg = AutoSplitConfig {
+            total_budget: 20 * 1024,
+            iterations: 4,
+            ..AutoSplitConfig::default()
+        };
+        let result = build_with_unified_budget(&reference, &sample, &cfg);
+        // Structural side always fits; the value side may rest on its
+        // incompressible floor.
+        assert!(result.synopsis.structural_bytes() <= cfg.total_budget);
+        assert!((0.02..=0.6).contains(&result.rho));
+        assert!(result.probes.len() >= 3);
+    }
+
+    #[test]
+    fn chosen_rho_is_no_worse_than_probes() {
+        let (reference, sample, holdout) = setup();
+        let cfg = AutoSplitConfig {
+            total_budget: 24 * 1024,
+            iterations: 5,
+            ..AutoSplitConfig::default()
+        };
+        let result = build_with_unified_budget(&reference, &sample, &cfg);
+        for &(_, err) in &result.probes {
+            assert!(result.sample_error <= err + 1e-9);
+        }
+        // And it generalizes sanely to a holdout workload.
+        let holdout_err = evaluate_workload(&result.synopsis, &holdout).overall_rel;
+        assert!(holdout_err.is_finite());
+    }
+}

@@ -1,0 +1,405 @@
+//! Baselines for the experimental comparison (paper Section 6.2).
+//!
+//! * [`tag_synopsis`] — the smallest possible structural summary, which
+//!   clusters elements solely by tag (the paper's 0 KB structural-budget
+//!   point).
+//! * [`GlobalMetricBuilder`] — a TreeSketch-style construction that ranks
+//!   merges by a **global** structural clustering error measured against
+//!   the detailed count-stable reference partition (each cluster tracks
+//!   its constituent reference groups, and a merge is charged the exact
+//!   increase in total squared centroid distance). This is the metric the
+//!   paper contrasts with its localized Δ: equally effective for
+//!   structural queries but requiring the full reference summary in
+//!   memory throughout construction.
+
+use crate::merge::{apply_merge, merge_struct_bytes_saved};
+use crate::synopsis::{Synopsis, SynopsisNode, SynopsisNodeId};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use xcluster_xml::{ValueType, XmlTree};
+
+/// Builds the tag-only synopsis directly from a document: one cluster per
+/// `(label, value type)` class.
+pub fn tag_synopsis(tree: &XmlTree) -> Synopsis {
+    let mut class_of: HashMap<(xcluster_xml::Symbol, ValueType), usize> = HashMap::new();
+    let mut counts: Vec<f64> = Vec::new();
+    let mut classes: Vec<(xcluster_xml::Symbol, ValueType)> = Vec::new();
+    let mut elem_class: Vec<usize> = Vec::with_capacity(tree.len());
+    for n in tree.all_nodes() {
+        let key = (tree.label(n), tree.value_type(n));
+        let c = *class_of.entry(key).or_insert_with(|| {
+            counts.push(0.0);
+            classes.push(key);
+            counts.len() - 1
+        });
+        counts[c] += 1.0;
+        elem_class.push(c);
+    }
+    let root_class = elem_class[tree.root().index()];
+    let mut s = Synopsis::new(
+        tree.labels().clone(),
+        tree.label(tree.root()),
+        tree.max_depth(),
+    );
+    s.set_terms(tree.terms().clone());
+    let mut node_of = vec![usize::MAX; classes.len()];
+    node_of[root_class] = s.root();
+    s.node_mut(s.root()).count = counts[root_class];
+    for (c, &(label, vtype)) in classes.iter().enumerate() {
+        if c == root_class {
+            continue;
+        }
+        node_of[c] = s.push_node(SynopsisNode {
+            label,
+            vtype,
+            count: counts[c],
+            children: Vec::new(),
+            parents: Vec::new(),
+            vsumm: None,
+            alive: true,
+            version: 0,
+        });
+    }
+    let mut edge_totals: HashMap<(usize, usize), f64> = HashMap::new();
+    for n in tree.all_nodes() {
+        let cp = elem_class[n.index()];
+        for child in tree.children(n) {
+            *edge_totals
+                .entry((cp, elem_class[child.index()]))
+                .or_insert(0.0) += 1.0;
+        }
+    }
+    for ((cp, cc), total) in edge_totals {
+        s.add_edge(node_of[cp], node_of[cc], total / counts[cp]);
+    }
+    debug_assert_eq!(s.check_consistency(), Ok(()));
+    s
+}
+
+/// One reference cluster tracked inside a current cluster: its element
+/// weight and its exact per-target child counts (keyed by *current*
+/// synopsis node ids, remapped as merges proceed).
+#[derive(Debug, Clone)]
+struct Group {
+    weight: f64,
+    counts: HashMap<SynopsisNodeId, f64>,
+}
+
+/// TreeSketch-style builder ranking merges by the global clustering
+/// error against the reference partition.
+pub struct GlobalMetricBuilder {
+    /// Per live node: the reference groups it absorbed.
+    groups: HashMap<SynopsisNodeId, Vec<Group>>,
+}
+
+impl GlobalMetricBuilder {
+    /// Wraps a *reference* synopsis: every node starts as one group.
+    pub fn new(s: &Synopsis) -> Self {
+        let mut groups = HashMap::new();
+        for id in s.live_nodes() {
+            let n = s.node(id);
+            groups.insert(
+                id,
+                vec![Group {
+                    weight: n.count,
+                    counts: n.children.iter().copied().collect(),
+                }],
+            );
+        }
+        GlobalMetricBuilder { groups }
+    }
+
+    /// Memory footprint of the tracked reference information (the cost
+    /// the paper's localized metric avoids) — number of tracked
+    /// (group, target) count entries.
+    pub fn tracked_entries(&self) -> usize {
+        self.groups
+            .values()
+            .flat_map(|gs| gs.iter())
+            .map(|g| g.counts.len() + 1)
+            .sum()
+    }
+
+    /// Squared centroid distance of one cluster's groups.
+    fn cluster_error(groups: &[Group]) -> f64 {
+        let total_w: f64 = groups.iter().map(|g| g.weight).sum();
+        if total_w == 0.0 {
+            return 0.0;
+        }
+        // Centroid over the union of targets.
+        let mut centroid: HashMap<SynopsisNodeId, f64> = HashMap::new();
+        for g in groups {
+            for (&t, &c) in &g.counts {
+                *centroid.entry(t).or_insert(0.0) += g.weight * c;
+            }
+        }
+        for c in centroid.values_mut() {
+            *c /= total_w;
+        }
+        let mut err = 0.0;
+        for g in groups {
+            for (&t, &cen) in &centroid {
+                let gc = g.counts.get(&t).copied().unwrap_or(0.0);
+                err += g.weight * (gc - cen) * (gc - cen);
+            }
+        }
+        err
+    }
+
+    fn remapped(groups: &[Group], u: SynopsisNodeId, v: SynopsisNodeId, w: SynopsisNodeId) -> Vec<Group> {
+        groups
+            .iter()
+            .map(|g| {
+                let mut counts: HashMap<SynopsisNodeId, f64> = HashMap::new();
+                for (&t, &c) in &g.counts {
+                    let t = if t == u || t == v { w } else { t };
+                    *counts.entry(t).or_insert(0.0) += c;
+                }
+                Group {
+                    weight: g.weight,
+                    counts,
+                }
+            })
+            .collect()
+    }
+
+    /// The exact global-error increase of `merge(S, u, v)`: the merged
+    /// cluster's error minus the inputs' errors, plus the error shifts in
+    /// every parent whose child targets collapse.
+    pub fn merge_cost(&self, s: &Synopsis, u: SynopsisNodeId, v: SynopsisNodeId) -> f64 {
+        let w = usize::MAX; // placeholder id for remapping
+        let mut merged = Self::remapped(&self.groups[&u], u, v, w);
+        merged.extend(Self::remapped(&self.groups[&v], u, v, w));
+        let after_w = Self::cluster_error(&merged);
+        let before_w = Self::cluster_error(&self.groups[&u]) + Self::cluster_error(&self.groups[&v]);
+        let mut cost = after_w - before_w;
+        // Parents of u/v whose groups see the target collapse.
+        let mut parents: Vec<SynopsisNodeId> = s
+            .node(u)
+            .parents
+            .iter()
+            .chain(s.node(v).parents.iter())
+            .copied()
+            .filter(|&p| p != u && p != v)
+            .collect();
+        parents.sort_unstable();
+        parents.dedup();
+        for p in parents {
+            let gs = &self.groups[&p];
+            let before = Self::cluster_error(gs);
+            let after = Self::cluster_error(&Self::remapped(gs, u, v, w));
+            cost += after - before;
+        }
+        cost.max(0.0)
+    }
+
+    /// Applies the merge to the synopsis and updates the tracked groups.
+    pub fn apply(&mut self, s: &mut Synopsis, u: SynopsisNodeId, v: SynopsisNodeId) -> SynopsisNodeId {
+        let parents: Vec<SynopsisNodeId> = s
+            .node(u)
+            .parents
+            .iter()
+            .chain(s.node(v).parents.iter())
+            .copied()
+            .filter(|&p| p != u && p != v)
+            .collect();
+        let w = apply_merge(s, u, v);
+        let mut merged = Self::remapped(&self.groups[&u], u, v, w);
+        merged.extend(Self::remapped(&self.groups[&v], u, v, w));
+        self.groups.remove(&u);
+        self.groups.remove(&v);
+        self.groups.insert(w, merged);
+        for p in parents {
+            if let Some(gs) = self.groups.remove(&p) {
+                self.groups.insert(p, Self::remapped(&gs, u, v, w));
+            }
+        }
+        w
+    }
+}
+
+struct GlobalEntry {
+    marginal: f64,
+    u: SynopsisNodeId,
+    v: SynopsisNodeId,
+    versions: (u32, u32),
+}
+
+impl PartialEq for GlobalEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.marginal == other.marginal
+    }
+}
+impl Eq for GlobalEntry {}
+impl PartialOrd for GlobalEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for GlobalEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.marginal.total_cmp(&self.marginal)
+    }
+}
+
+/// Greedy structural construction under the global metric: merges until
+/// the structural footprint fits `b_str` bytes. Returns the synopsis and
+/// the peak number of tracked reference entries (the memory-overhead
+/// statistic of the Section 6.2 discussion).
+pub fn global_metric_build(mut s: Synopsis, b_str: usize) -> (Synopsis, usize) {
+    let mut builder = GlobalMetricBuilder::new(&s);
+    let mut peak = builder.tracked_entries();
+    loop {
+        if s.structural_bytes() <= b_str {
+            break;
+        }
+        // Rebuild the candidate heap over all compatible pairs.
+        let mut heap: BinaryHeap<GlobalEntry> = BinaryHeap::new();
+        for (_, ids) in s.nodes_by_label_type() {
+            for (i, &u) in ids.iter().enumerate() {
+                for &v in &ids[i + 1..] {
+                    let cost = builder.merge_cost(&s, u, v);
+                    let saved = merge_struct_bytes_saved(&s, u, v).max(1);
+                    heap.push(GlobalEntry {
+                        marginal: cost / saved as f64,
+                        u,
+                        v,
+                        versions: (s.node(u).version, s.node(v).version),
+                    });
+                }
+            }
+        }
+        if heap.is_empty() {
+            break;
+        }
+        let mut merged_any = false;
+        while s.structural_bytes() > b_str {
+            let Some(e) = heap.pop() else { break };
+            if !s.node(e.u).alive || !s.node(e.v).alive {
+                continue;
+            }
+            if s.node(e.u).version != e.versions.0 || s.node(e.v).version != e.versions.1 {
+                let cost = builder.merge_cost(&s, e.u, e.v);
+                let saved = merge_struct_bytes_saved(&s, e.u, e.v).max(1);
+                heap.push(GlobalEntry {
+                    marginal: cost / saved as f64,
+                    u: e.u,
+                    v: e.v,
+                    versions: (s.node(e.u).version, s.node(e.v).version),
+                });
+                continue;
+            }
+            builder.apply(&mut s, e.u, e.v);
+            merged_any = true;
+            peak = peak.max(builder.tracked_entries());
+        }
+        if !merged_any {
+            break;
+        }
+    }
+    (s, peak)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{reference_synopsis, ReferenceConfig};
+    use xcluster_xml::parse;
+
+    #[test]
+    fn tag_synopsis_one_node_per_label() {
+        let t = parse("<r><a><x>1</x></a><a><x>2</x><x>3</x></a><b><x>abc</x></b></r>").unwrap();
+        let s = tag_synopsis(&t);
+        // r, a, b, x(numeric), x(string)
+        assert_eq!(s.num_nodes(), 5);
+        let a = s.live_nodes().find(|&i| s.label_str(i) == "a").unwrap();
+        assert_eq!(s.node(a).count, 2.0);
+        // a has 3 numeric x children over 2 a's = 1.5 avg.
+        let x = s
+            .live_nodes()
+            .find(|&i| s.label_str(i) == "x" && s.node(i).vtype == ValueType::Numeric)
+            .unwrap();
+        assert_eq!(s.node(a).edge_count(x), 1.5);
+    }
+
+    #[test]
+    fn tag_synopsis_matches_zero_budget_build() {
+        let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: 40,
+            seed: 17,
+        });
+        let tag = tag_synopsis(&d.tree);
+        let reference = reference_synopsis(&d.tree, &ReferenceConfig { value_paths: Some(vec![]), ..ReferenceConfig::default() });
+        let built = crate::build::build_synopsis(
+            reference,
+            &crate::build::BuildConfig {
+                b_str: 0,
+                b_val: 0,
+                ..crate::build::BuildConfig::default()
+            },
+        );
+        assert_eq!(tag.num_nodes(), built.num_nodes());
+        // Structural estimates agree: centroids are averages either way.
+        let q = xcluster_query::parse_twig("//movie/cast/actor", d.tree.terms()).unwrap();
+        let a = crate::estimate::estimate(&tag, &q);
+        let b = crate::estimate::estimate(&built, &q);
+        assert!((a - b).abs() / a.max(1.0) < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn global_cost_zero_for_identical_clusters() {
+        let t = parse("<r><a><x>1</x></a><a><x>2</x></a></r>").unwrap();
+        // Force distinct clusters by path: same structure → reference
+        // merges them already; craft via b: two a-clusters need different
+        // ancestors, so use sibling wrappers.
+        let t2 = parse("<r><w1><a><x>1</x></a></w1><w2><a><x>2</x></a></w2></r>").unwrap();
+        let _ = t;
+        let s = reference_synopsis(&t2, &ReferenceConfig::default());
+        let builder = GlobalMetricBuilder::new(&s);
+        let a_nodes: Vec<_> = s.live_nodes().filter(|&i| s.label_str(i) == "a").collect();
+        assert_eq!(a_nodes.len(), 2);
+        // Both a-clusters have one x-child each — but different x
+        // *clusters* (different paths), so the merge has a real cost.
+        let cost = builder.merge_cost(&s, a_nodes[0], a_nodes[1]);
+        assert!(cost >= 0.0);
+    }
+
+    #[test]
+    fn global_build_reaches_budget() {
+        let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: 50,
+            seed: 19,
+        });
+        let s = reference_synopsis(
+            &d.tree,
+            &ReferenceConfig {
+                value_paths: Some(vec![]),
+                ..ReferenceConfig::default()
+            },
+        );
+        let target = s.structural_bytes() / 3;
+        let (built, peak) = global_metric_build(s, target);
+        assert!(built.structural_bytes() <= target);
+        assert!(peak > 0);
+        built.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn global_build_preserves_counts() {
+        let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: 30,
+            seed: 23,
+        });
+        let s = reference_synopsis(
+            &d.tree,
+            &ReferenceConfig {
+                value_paths: Some(vec![]),
+                ..ReferenceConfig::default()
+            },
+        );
+        let before: f64 = s.live_nodes().map(|i| s.node(i).count).sum();
+        let (built, _) = global_metric_build(s, 512);
+        let after: f64 = built.live_nodes().map(|i| built.node(i).count).sum();
+        assert!((before - after).abs() < 1e-6);
+    }
+}

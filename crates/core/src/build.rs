@@ -1,0 +1,489 @@
+//! The `XClusterBuild` construction algorithm (paper Section 4.3,
+//! Figures 5 and 6).
+//!
+//! Starting from the detailed reference synopsis, the build proceeds in
+//! two phases:
+//!
+//! 1. **Structure-value merge** — node merges reduce the structural
+//!    footprint to `Bstr` bytes. Candidates are kept in a bounded pool of
+//!    at most `Hm` merges ordered by *marginal loss* Δ(S,S′)/Δbytes; the
+//!    pool is drained to `Hl` and then replenished by `build_pool`, which
+//!    enumerates merge pairs bottom-up by node *level* (shortest distance
+//!    to a leaf): levels `≤ l` first, with `l` advancing to one above the
+//!    highest level merged in the previous round (the intuition: parents
+//!    merge well once their children have merged).
+//! 2. **Value-summary compression** — `hist_cmprs` / `st_cmprs` /
+//!    `tv_cmprs` steps reduce the value footprint to `Bval` bytes, again
+//!    greedily by marginal loss over a per-summary candidate heap.
+//!
+//! Engineering notes (see `DESIGN.md`): pool entries are invalidated
+//! lazily via node version stamps; candidates for nodes carrying value
+//! summaries enter the pool with a cheap structure-only Δ and are refined
+//! to the full structure-value Δ when they reach the top of the heap;
+//! phase 2 compresses in byte *chunks* rather than `b = 1` micro-steps.
+
+use crate::delta::{
+    evaluate_compression_chunk, evaluate_merge, evaluate_merge_with, ChunkCandidate,
+    MergeCandidate,
+};
+use crate::merge::apply_merge;
+use crate::synopsis::{Synopsis, SynopsisNodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// `XClusterBuild` parameters (paper defaults: `Hm = 10000`,
+/// `Hl = 5000`; budgets in bytes — the experiments use KB values).
+#[derive(Debug, Clone)]
+pub struct BuildConfig {
+    /// Structural storage budget `Bstr` in bytes.
+    pub b_str: usize,
+    /// Value-summary storage budget `Bval` in bytes.
+    pub b_val: usize,
+    /// Maximum candidate-pool size `Hm`.
+    pub h_m: usize,
+    /// Pool replenishment threshold `Hl`.
+    pub h_l: usize,
+    /// Minimum bytes per value-compression chunk (phase 2 granularity).
+    pub min_value_chunk: usize,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        BuildConfig {
+            b_str: 10 * 1024,
+            b_val: 150 * 1024,
+            h_m: 10_000,
+            h_l: 5_000,
+            min_value_chunk: 128,
+        }
+    }
+}
+
+/// Runs both phases of `XClusterBuild` on a (reference) synopsis.
+pub fn build_synopsis(mut s: Synopsis, cfg: &BuildConfig) -> Synopsis {
+    structure_value_merge(&mut s, cfg);
+    value_compression(&mut s, cfg);
+    debug_assert_eq!(s.check_consistency(), Ok(()));
+    s
+}
+
+// ---------------------------------------------------------------------
+// Phase 1: structure-value merge.
+// ---------------------------------------------------------------------
+
+/// A pool entry: a candidate ordered by marginal loss (min-heap). `exact`
+/// is false while the entry carries the cheap structure-only Δ.
+struct PoolEntry {
+    cand: MergeCandidate,
+    exact: bool,
+}
+
+impl PartialEq for PoolEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cand.marginal_loss() == other.cand.marginal_loss()
+    }
+}
+impl Eq for PoolEntry {}
+impl PartialOrd for PoolEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PoolEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want minimum marginal loss.
+        other
+            .cand
+            .marginal_loss()
+            .total_cmp(&self.cand.marginal_loss())
+    }
+}
+
+/// Phase 1 (Figure 5, lines 2–10).
+pub fn structure_value_merge(s: &mut Synopsis, cfg: &BuildConfig) {
+    let mut l = 1u32;
+    loop {
+        if s.structural_bytes() <= cfg.b_str {
+            return;
+        }
+        let levels = clamped_levels(s);
+        let max_level = s
+            .live_nodes()
+            .map(|i| levels[i])
+            .max()
+            .unwrap_or(0);
+        let mut pool = build_pool(s, cfg.h_m, l, &levels);
+        if pool.is_empty() {
+            if l > max_level {
+                return; // nothing left to merge at any level
+            }
+            l = max_level.min(l.saturating_mul(2)).max(l + 1);
+            continue;
+        }
+        // Drain the pool to Hl (or fully, if it started below Hl).
+        let floor = if pool.len() > cfg.h_l { cfg.h_l } else { 0 };
+        let mut max_new_level = 0u32;
+        let mut merged_any = false;
+        while s.structural_bytes() > cfg.b_str && pool.len() > floor {
+            let Some(entry) = pool.pop() else { break };
+            let MergeCandidate { u, v, versions, .. } = entry.cand;
+            if !s.node(u).alive || !s.node(v).alive {
+                continue; // stale: endpoint already merged away
+            }
+            let fresh = s.node(u).version == versions.0 && s.node(v).version == versions.1;
+            if !fresh || !entry.exact {
+                // Re-evaluate (and upgrade to the exact structure-value Δ)
+                // and give it another chance in the heap.
+                pool.push(PoolEntry {
+                    cand: evaluate_merge(s, u, v),
+                    exact: true,
+                });
+                continue;
+            }
+            let lu = levels.get(u).copied().unwrap_or(0);
+            let lv = levels.get(v).copied().unwrap_or(0);
+            apply_merge(s, u, v);
+            merged_any = true;
+            max_new_level = max_new_level.max(lu.max(lv));
+        }
+        if s.structural_bytes() <= cfg.b_str {
+            return;
+        }
+        // Replenish (Figure 5, lines 8–9): raise the level to one above
+        // the highest level touched this round.
+        if merged_any {
+            l = (max_new_level + 1).max(l);
+        } else {
+            if l > max_level {
+                return;
+            }
+            l += 1;
+        }
+    }
+}
+
+/// Levels with cycle nodes clamped to (max finite level + 1) so they
+/// become mergeable in the last rounds instead of never.
+fn clamped_levels(s: &Synopsis) -> Vec<u32> {
+    let mut levels = s.levels();
+    let max_finite = levels
+        .iter()
+        .copied()
+        .filter(|&l| l != u32::MAX)
+        .max()
+        .unwrap_or(0);
+    for l in &mut levels {
+        if *l == u32::MAX {
+            *l = max_finite + 1;
+        }
+    }
+    levels
+}
+
+/// `build_pool` (Figure 6): all label/type-compatible pairs with both
+/// levels `≤ l`, scored and capped at the `h_m` best by marginal loss.
+///
+/// Pairs where either side carries a value summary enter with the cheap
+/// structure-only Δ (refined lazily on pop); purely structural pairs are
+/// exact immediately.
+fn build_pool(s: &Synopsis, h_m: usize, l: u32, levels: &[u32]) -> BinaryHeap<PoolEntry> {
+    // Exhaustive pairing is quadratic per label group; reference synopses
+    // can hold thousands of same-label context clusters. Large groups are
+    // sorted by a merge-affinity key (primary parent, then extent size:
+    // nodes sharing a parent save an edge and tend to have similar
+    // centroids) and paired within a sliding window — a documented bound
+    // on Figure 6, in the same spirit as the paper's own Hm/level caps.
+    const WINDOW: usize = 16;
+    let mut entries: Vec<PoolEntry> = Vec::new();
+    for ((_, _), ids) in s.nodes_by_label_type() {
+        let mut eligible: Vec<SynopsisNodeId> = ids
+            .into_iter()
+            .filter(|&i| levels[i] <= l)
+            .collect();
+        eligible.sort_by(|&a, &b| {
+            let ka = (s.node(a).parents.first().copied(), s.node(a).count as u64);
+            let kb = (s.node(b).parents.first().copied(), s.node(b).count as u64);
+            ka.cmp(&kb)
+        });
+        for (i, &u) in eligible.iter().enumerate() {
+            let window_end = if eligible.len() * (eligible.len() - 1) / 2 <= h_m {
+                eligible.len()
+            } else {
+                (i + 1 + WINDOW).min(eligible.len())
+            };
+            for &v in &eligible[i + 1..window_end] {
+                let has_values = s.node(u).vsumm.is_some() || s.node(v).vsumm.is_some();
+                entries.push(PoolEntry {
+                    cand: evaluate_merge_with(s, u, v, !has_values),
+                    exact: !has_values,
+                });
+            }
+        }
+    }
+    // Keep the h_m best (Figure 6, lines 6–8: evict maximal marginal loss).
+    if entries.len() > h_m {
+        entries.sort_by(|a, b| a.cand.marginal_loss().total_cmp(&b.cand.marginal_loss()));
+        entries.truncate(h_m);
+    }
+    entries.into_iter().collect()
+}
+
+// ---------------------------------------------------------------------
+// Phase 2: value-summary compression.
+// ---------------------------------------------------------------------
+
+struct ValueEntry(ChunkCandidate);
+
+impl PartialEq for ValueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.marginal_loss() == other.0.marginal_loss()
+    }
+}
+impl Eq for ValueEntry {}
+impl PartialOrd for ValueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ValueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.marginal_loss().total_cmp(&self.0.marginal_loss())
+    }
+}
+
+/// Phase 2 (Figure 5, lines 11–18).
+pub fn value_compression(s: &mut Synopsis, cfg: &BuildConfig) {
+    let mut heap: BinaryHeap<ValueEntry> = s
+        .live_nodes()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .filter_map(|id| evaluate_compression_chunk(s, id, cfg.min_value_chunk))
+        .map(ValueEntry)
+        .collect();
+    while s.value_bytes() > cfg.b_val {
+        let Some(ValueEntry(cand)) = heap.pop() else {
+            break; // every summary is already minimal
+        };
+        let node = cand.node;
+        if !s.node(node).alive {
+            continue;
+        }
+        if s.node(node).version != cand.version {
+            if let Some(fresh) = evaluate_compression_chunk(s, node, cfg.min_value_chunk) {
+                heap.push(ValueEntry(fresh));
+            }
+            continue;
+        }
+        s.node_mut(node).vsumm = Some(cand.compressed);
+        if let Some(next) = evaluate_compression_chunk(s, node, cfg.min_value_chunk) {
+            heap.push(ValueEntry(next));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{reference_synopsis, ReferenceConfig};
+    use xcluster_xml::parse;
+
+    fn imdb_small() -> Synopsis {
+        let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: 70,
+            seed: 7,
+        });
+        reference_synopsis(&d.tree, &ReferenceConfig::default())
+    }
+
+    #[test]
+    fn phase1_reaches_structural_budget() {
+        let mut s = imdb_small();
+        let before = s.structural_bytes();
+        let cfg = BuildConfig {
+            b_str: before / 4,
+            ..BuildConfig::default()
+        };
+        structure_value_merge(&mut s, &cfg);
+        assert!(
+            s.structural_bytes() <= cfg.b_str,
+            "{} > {}",
+            s.structural_bytes(),
+            cfg.b_str
+        );
+        s.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn zero_budget_collapses_to_tag_partition() {
+        let mut s = imdb_small();
+        let cfg = BuildConfig {
+            b_str: 0,
+            ..BuildConfig::default()
+        };
+        structure_value_merge(&mut s, &cfg);
+        // Every (label, type) class collapses into one node — the
+        // smallest possible structural summary (paper Section 6.2).
+        let groups = s.nodes_by_label_type();
+        for ((label, _), ids) in groups {
+            assert_eq!(
+                ids.len(),
+                1,
+                "label {} not fully merged",
+                s.labels().resolve(label)
+            );
+        }
+        s.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn counts_preserved_by_merging() {
+        let mut s = imdb_small();
+        let total_before: f64 = s.live_nodes().map(|i| s.node(i).count).sum();
+        let cfg = BuildConfig {
+            b_str: 0,
+            ..BuildConfig::default()
+        };
+        structure_value_merge(&mut s, &cfg);
+        let total_after: f64 = s.live_nodes().map(|i| s.node(i).count).sum();
+        assert!((total_before - total_after).abs() < 1e-6);
+    }
+
+    /// Incompressible floor of the value summaries: one-bucket
+    /// histograms, symbol-only PSTs, all-uniform term histograms.
+    fn value_floor(s: &Synopsis) -> usize {
+        s.live_nodes()
+            .filter_map(|id| s.node(id).vsumm.clone())
+            .map(|mut vs| {
+                vs.compress_to_bytes(0);
+                vs.size_bytes()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn phase2_reaches_value_budget() {
+        let mut s = imdb_small();
+        let before = s.value_bytes();
+        assert!(before > 0);
+        let floor = value_floor(&s);
+        let b_val = floor + (before - floor) / 3;
+        let cfg = BuildConfig {
+            b_val,
+            ..BuildConfig::default()
+        };
+        value_compression(&mut s, &cfg);
+        assert!(
+            s.value_bytes() <= cfg.b_val,
+            "{} > {}",
+            s.value_bytes(),
+            cfg.b_val
+        );
+        assert_eq!(s.num_value_nodes(), imdb_small().num_value_nodes());
+    }
+
+    #[test]
+    fn phase2_stops_at_the_floor_for_impossible_budgets() {
+        let mut s = imdb_small();
+        let floor = value_floor(&s);
+        let cfg = BuildConfig {
+            b_val: 0,
+            ..BuildConfig::default()
+        };
+        value_compression(&mut s, &cfg);
+        assert_eq!(s.value_bytes(), floor);
+    }
+
+    #[test]
+    fn full_build_respects_both_budgets() {
+        let s = imdb_small();
+        let floor = value_floor(&s);
+        let cfg = BuildConfig {
+            b_str: s.structural_bytes() / 3,
+            b_val: floor + (s.value_bytes() - floor) / 2,
+            ..BuildConfig::default()
+        };
+        let built = build_synopsis(s, &cfg);
+        assert!(built.structural_bytes() <= cfg.b_str);
+        // Merging fuses summaries (value bytes can shrink or grow before
+        // phase 2); phase 2 then compresses within the budget unless the
+        // post-merge floor exceeds it.
+        let post_floor = value_floor(&built);
+        assert!(
+            built.value_bytes() <= cfg.b_val.max(post_floor),
+            "{} > max({}, {})",
+            built.value_bytes(),
+            cfg.b_val,
+            post_floor
+        );
+    }
+
+    #[test]
+    fn generous_budget_is_a_noop() {
+        let s = imdb_small();
+        let nodes = s.num_nodes();
+        let cfg = BuildConfig {
+            b_str: usize::MAX / 2,
+            b_val: usize::MAX / 2,
+            ..BuildConfig::default()
+        };
+        let built = build_synopsis(s, &cfg);
+        assert_eq!(built.num_nodes(), nodes);
+    }
+
+    #[test]
+    fn tiny_document_build() {
+        let t = parse("<r><a><x>1</x></a><a><x>2</x><x>3</x></a></r>").unwrap();
+        let s = reference_synopsis(&t, &ReferenceConfig::default());
+        let cfg = BuildConfig {
+            b_str: 0,
+            b_val: 0,
+            ..BuildConfig::default()
+        };
+        let built = build_synopsis(s, &cfg);
+        built.check_consistency().unwrap();
+        assert!(built.num_nodes() >= 3); // r, a, x at minimum
+    }
+
+    #[test]
+    fn recursive_structure_build_terminates() {
+        let d = xcluster_datagen::xmark::generate(&xcluster_datagen::xmark::XmarkConfig {
+            items: 80,
+            persons: 40,
+            open_auctions: 30,
+            closed_auctions: 20,
+            categories: 8,
+            seed: 3,
+        });
+        let s = reference_synopsis(&d.tree, &ReferenceConfig::default());
+        let cfg = BuildConfig {
+            b_str: 2 * 1024,
+            b_val: 20 * 1024,
+            ..BuildConfig::default()
+        };
+        let built = build_synopsis(s, &cfg);
+        built.check_consistency().unwrap();
+        assert!(built.structural_bytes() <= cfg.b_str);
+    }
+
+    #[test]
+    fn smaller_budget_gives_smaller_synopsis() {
+        let s = imdb_small();
+        let big = build_synopsis(
+            s.clone(),
+            &BuildConfig {
+                b_str: s.structural_bytes() / 2,
+                b_val: usize::MAX / 2,
+                ..BuildConfig::default()
+            },
+        );
+        let small = build_synopsis(
+            s,
+            &BuildConfig {
+                b_str: 1024,
+                b_val: usize::MAX / 2,
+                ..BuildConfig::default()
+            },
+        );
+        assert!(small.num_nodes() < big.num_nodes());
+    }
+}

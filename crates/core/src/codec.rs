@@ -1,0 +1,544 @@
+//! Binary serialization for [`Synopsis`] values.
+//!
+//! A saved synopsis is self-contained: it carries the label interner and
+//! term dictionary, every live cluster (compacted — tombstones are not
+//! written), its edges, and its value summary. The format is a simple
+//! little-endian layout with a magic/version header; it exists so a
+//! synopsis can be built once (expensive) and handed to an optimizer
+//! process (cheap), which is the paper's deployment story — and it doubles
+//! as a reality check on the byte-level size model in
+//! `xcluster_summaries::footprint`.
+
+use crate::synopsis::{Synopsis, SynopsisNode};
+use std::fmt;
+use xcluster_summaries::{
+    Bucket, Ebth, Histogram, Pst, SampleSummary, ValueSummary, WaveletSummary,
+};
+use xcluster_xml::{Interner, Symbol, ValueType};
+
+const MAGIC: &[u8; 4] = b"XCLU";
+const VERSION: u8 = 1;
+
+/// A malformed or incompatible synopsis image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Byte offset where decoding failed.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "synopsis decode error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------------
+// Encoding.
+// ---------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn interner(&mut self, i: &Interner) {
+        self.u32(i.len() as u32);
+        for (_, s) in i.iter() {
+            self.str(s);
+        }
+    }
+}
+
+/// Serializes a synopsis (live nodes only) to bytes.
+pub fn encode_synopsis(s: &Synopsis) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    w.buf.extend_from_slice(MAGIC);
+    w.u8(VERSION);
+    w.interner(s.labels());
+    w.interner(s.terms());
+    w.u32(s.max_depth() as u32);
+
+    // Compact live-node remapping (root first for a stable entry point).
+    let live: Vec<usize> = std::iter::once(s.root())
+        .chain(s.live_nodes().filter(|&i| i != s.root()))
+        .collect();
+    let mut remap = vec![u32::MAX; s.arena_len()];
+    for (new, &old) in live.iter().enumerate() {
+        remap[old] = new as u32;
+    }
+    w.u32(live.len() as u32);
+    for &old in &live {
+        let n = s.node(old);
+        w.u32(n.label.0);
+        w.u8(match n.vtype {
+            ValueType::None => 0,
+            ValueType::Numeric => 1,
+            ValueType::String => 2,
+            ValueType::Text => 3,
+        });
+        w.f64(n.count);
+        w.u32(n.children.len() as u32);
+        for &(t, c) in &n.children {
+            w.u32(remap[t]);
+            w.f64(c);
+        }
+        encode_summary(&mut w, n.vsumm.as_ref());
+    }
+    w.buf
+}
+
+fn encode_summary(w: &mut Writer, vs: Option<&ValueSummary>) {
+    match vs {
+        None => w.u8(0),
+        Some(ValueSummary::Numeric(h)) => {
+            w.u8(1);
+            w.f64(h.total());
+            w.u32(h.num_buckets() as u32);
+            for b in h.buckets() {
+                w.u64(b.lo);
+                w.u64(b.hi);
+                w.f64(b.count);
+            }
+        }
+        Some(ValueSummary::NumericWavelet(wav)) => {
+            w.u8(2);
+            let (lo, width, cells, coefs, total) = wav.to_parts();
+            w.u64(lo);
+            w.u64(width);
+            w.u32(cells as u32);
+            w.f64(total);
+            w.u32(coefs.len() as u32);
+            for (i, v) in coefs {
+                w.u32(i);
+                w.f64(v);
+            }
+        }
+        Some(ValueSummary::NumericSample(sm)) => {
+            w.u8(3);
+            let (sample, total, state) = sm.to_parts();
+            w.f64(total);
+            w.u64(state);
+            w.u32(sample.len() as u32);
+            for &v in sample {
+                w.u64(v);
+            }
+        }
+        Some(ValueSummary::String(p)) => {
+            w.u8(4);
+            let (n, depth, root_occ, preorder) = p.to_parts();
+            w.f64(n);
+            w.u32(depth as u32);
+            w.f64(root_occ);
+            w.u32(preorder.len() as u32);
+            for (d, ch, count, occ) in preorder {
+                w.u32(d as u32);
+                w.u8(ch);
+                w.f64(count);
+                w.f64(occ);
+            }
+        }
+        Some(ValueSummary::Text(e)) => {
+            w.u8(5);
+            let (top, runs, uniform_sum, uniform_count, elements) = e.to_parts();
+            w.f64(elements);
+            w.f64(uniform_sum);
+            w.u64(uniform_count);
+            w.u32(top.len() as u32);
+            for (t, f) in top {
+                w.u32(t);
+                w.f64(f);
+            }
+            w.u32(runs.len() as u32);
+            for (a, b) in runs {
+                w.u32(a);
+                w.u32(b);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding.
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn fail<T>(&self, message: impl Into<String>) -> Result<T, CodecError> {
+        Err(CodecError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.buf.len() {
+            return self.fail("unexpected end of input");
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<&'a str, CodecError> {
+        let len = self.u32()? as usize;
+        if len > 1 << 20 {
+            return self.fail("string too long");
+        }
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).or_else(|_| self.fail("invalid UTF-8"))
+    }
+    fn interner(&mut self) -> Result<Interner, CodecError> {
+        let n = self.u32()? as usize;
+        if n > 1 << 24 {
+            return self.fail("interner too large");
+        }
+        let mut i = Interner::new();
+        for _ in 0..n {
+            let s = self.str()?;
+            i.intern(s);
+        }
+        Ok(i)
+    }
+}
+
+/// Deserializes a synopsis produced by [`encode_synopsis`].
+pub fn decode_synopsis(bytes: &[u8]) -> Result<Synopsis, CodecError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return r.fail("bad magic (not a synopsis file)");
+    }
+    if r.u8()? != VERSION {
+        return r.fail("unsupported version");
+    }
+    let labels = r.interner()?;
+    let terms = r.interner()?;
+    let max_depth = r.u32()? as usize;
+    let num_nodes = r.u32()? as usize;
+    if num_nodes == 0 {
+        return r.fail("synopsis has no nodes");
+    }
+    if num_nodes > 1 << 26 {
+        return r.fail("node count too large");
+    }
+    let mut nodes: Vec<SynopsisNode> = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        let label = Symbol(r.u32()?);
+        if label.index() >= labels.len() {
+            return r.fail("label symbol out of range");
+        }
+        let vtype = match r.u8()? {
+            0 => ValueType::None,
+            1 => ValueType::Numeric,
+            2 => ValueType::String,
+            3 => ValueType::Text,
+            t => return r.fail(format!("bad value-type tag {t}")),
+        };
+        let count = r.f64()?;
+        let num_children = r.u32()? as usize;
+        if num_children > num_nodes {
+            return r.fail("child count exceeds node count");
+        }
+        let mut children = Vec::with_capacity(num_children);
+        for _ in 0..num_children {
+            let t = r.u32()? as usize;
+            if t >= num_nodes {
+                return r.fail("edge target out of range");
+            }
+            let c = r.f64()?;
+            children.push((t, c));
+        }
+        children.sort_unstable_by_key(|&(t, _)| t);
+        let vsumm = decode_summary(&mut r)?;
+        nodes.push(SynopsisNode {
+            label,
+            vtype,
+            count,
+            children,
+            parents: Vec::new(),
+            vsumm,
+            alive: true,
+            version: 0,
+        });
+    }
+    if r.pos != bytes.len() {
+        return r.fail("trailing bytes after synopsis");
+    }
+    // Rebuild parent lists.
+    let edges: Vec<(usize, usize)> = nodes
+        .iter()
+        .enumerate()
+        .flat_map(|(i, n)| n.children.iter().map(move |&(t, _)| (i, t)))
+        .collect();
+    for (p, t) in edges {
+        let parents = &mut nodes[t].parents;
+        if let Err(i) = parents.binary_search(&p) {
+            parents.insert(i, p);
+        }
+    }
+    // Assemble via the public construction API: node 0 is the root.
+    let root_label = nodes[0].label;
+    let mut s = Synopsis::new(labels, root_label, max_depth);
+    s.set_terms(terms);
+    *s.node_mut(0) = nodes[0].clone();
+    for n in nodes.into_iter().skip(1) {
+        s.push_node(n);
+    }
+    s.check_consistency().map_err(|e| CodecError {
+        offset: bytes.len(),
+        message: format!("inconsistent synopsis: {e}"),
+    })?;
+    Ok(s)
+}
+
+fn decode_summary(r: &mut Reader) -> Result<Option<ValueSummary>, CodecError> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => {
+            let total = r.f64()?;
+            let n = r.u32()? as usize;
+            let mut buckets = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                buckets.push(Bucket {
+                    lo: r.u64()?,
+                    hi: r.u64()?,
+                    count: r.f64()?,
+                });
+            }
+            Some(ValueSummary::Numeric(Histogram::from_parts(buckets, total)))
+        }
+        2 => {
+            let lo = r.u64()?;
+            let width = r.u64()?;
+            let cells = r.u32()? as usize;
+            if !cells.is_power_of_two() {
+                return r.fail("wavelet cell count not a power of two");
+            }
+            let total = r.f64()?;
+            let n = r.u32()? as usize;
+            let mut coefs = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                coefs.push((r.u32()?, r.f64()?));
+            }
+            Some(ValueSummary::NumericWavelet(WaveletSummary::from_parts(
+                lo, width, cells, coefs, total,
+            )))
+        }
+        3 => {
+            let total = r.f64()?;
+            let state = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut sample = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                sample.push(r.u64()?);
+            }
+            Some(ValueSummary::NumericSample(SampleSummary::from_parts(
+                sample, total, state,
+            )))
+        }
+        4 => {
+            let num_strings = r.f64()?;
+            let depth = r.u32()? as usize;
+            let root_occ = r.f64()?;
+            let n = r.u32()? as usize;
+            let mut preorder = Vec::with_capacity(n.min(1 << 22));
+            let mut expected_max_depth = 1u32;
+            for _ in 0..n {
+                let d = r.u32()?;
+                if d == 0 || d > expected_max_depth {
+                    return r.fail("malformed PST preorder (depth jump)");
+                }
+                expected_max_depth = d + 1;
+                preorder.push((d as u16, r.u8()?, r.f64()?, r.f64()?));
+            }
+            Some(ValueSummary::String(Pst::from_parts(
+                num_strings,
+                depth,
+                root_occ,
+                preorder,
+            )))
+        }
+        5 => {
+            let elements = r.f64()?;
+            let uniform_sum = r.f64()?;
+            let uniform_count = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut top = Vec::with_capacity(n.min(1 << 22));
+            for _ in 0..n {
+                top.push((r.u32()?, r.f64()?));
+            }
+            let m = r.u32()? as usize;
+            let mut runs = Vec::with_capacity(m.min(1 << 22));
+            for _ in 0..m {
+                let a = r.u32()?;
+                let b = r.u32()?;
+                if b <= a {
+                    return r.fail("empty RLE run");
+                }
+                runs.push((a, b));
+            }
+            Some(ValueSummary::Text(Ebth::from_parts(
+                top,
+                runs,
+                uniform_sum,
+                uniform_count,
+                elements,
+            )))
+        }
+        t => return r.fail(format!("bad summary tag {t}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_synopsis, BuildConfig};
+    use crate::estimate::estimate;
+    use crate::reference::{reference_synopsis, ReferenceConfig};
+    use xcluster_query::parse_twig;
+
+    fn sample_synopsis() -> Synopsis {
+        let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: 40,
+            seed: 77,
+        });
+        let reference = reference_synopsis(
+            &d.tree,
+            &ReferenceConfig {
+                value_paths: Some(d.value_paths.clone()),
+                ..ReferenceConfig::default()
+            },
+        );
+        build_synopsis(
+            reference,
+            &BuildConfig {
+                b_str: 3 * 1024,
+                b_val: 10 * 1024,
+                ..BuildConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let s = sample_synopsis();
+        let bytes = encode_synopsis(&s);
+        let d = decode_synopsis(&bytes).unwrap();
+        assert_eq!(d.num_nodes(), s.num_nodes());
+        assert_eq!(d.num_edges(), s.num_edges());
+        assert_eq!(d.num_value_nodes(), s.num_value_nodes());
+        assert_eq!(d.max_depth(), s.max_depth());
+        assert_eq!(d.structural_bytes(), s.structural_bytes());
+        assert_eq!(d.value_bytes(), s.value_bytes());
+    }
+
+    #[test]
+    fn round_trip_preserves_estimates() {
+        let s = sample_synopsis();
+        let bytes = encode_synopsis(&s);
+        let d = decode_synopsis(&bytes).unwrap();
+        for q in [
+            "//movie/title",
+            "//movie[year>1990]{/title}{/cast/actor/name}",
+            "//actor/name[contains(an)]",
+            "//series/episode",
+        ] {
+            let tw_s = parse_twig(q, s.terms()).unwrap();
+            let tw_d = parse_twig(q, d.terms()).unwrap();
+            let es = estimate(&s, &tw_s);
+            let ed = estimate(&d, &tw_d);
+            assert!((es - ed).abs() < 1e-9, "{q}: {es} vs {ed}");
+        }
+    }
+
+    #[test]
+    fn encoded_size_tracks_size_model() {
+        // The on-disk image should be within a small factor of the
+        // footprint model (it stores f64s where the model assumes f32s,
+        // plus the interners).
+        let s = sample_synopsis();
+        let bytes = encode_synopsis(&s);
+        let model = s.total_bytes();
+        assert!(
+            bytes.len() < model * 4 + 64 * 1024,
+            "encoded {} vs model {}",
+            bytes.len(),
+            model
+        );
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(decode_synopsis(b"").is_err());
+        assert!(decode_synopsis(b"NOPE").is_err());
+        assert!(decode_synopsis(b"XCLU\x07").is_err());
+        let mut bytes = encode_synopsis(&sample_synopsis());
+        bytes.truncate(bytes.len() / 2);
+        assert!(decode_synopsis(&bytes).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_synopsis(&sample_synopsis());
+        bytes.push(0);
+        assert!(decode_synopsis(&bytes).is_err());
+    }
+
+    #[test]
+    fn all_numeric_backends_round_trip() {
+        use xcluster_summaries::NumericKind;
+        let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: 30,
+            seed: 5,
+        });
+        for kind in [NumericKind::Histogram, NumericKind::Wavelet, NumericKind::Sample] {
+            let s = reference_synopsis(
+                &d.tree,
+                &ReferenceConfig {
+                    value_paths: Some(d.value_paths.clone()),
+                    numeric_kind: kind,
+                    ..ReferenceConfig::default()
+                },
+            );
+            let rt = decode_synopsis(&encode_synopsis(&s)).unwrap();
+            let q = parse_twig("//movie[year in 1950..1990]", d.tree.terms()).unwrap();
+            assert!(
+                (estimate(&s, &q) - estimate(&rt, &q)).abs() < 1e-9,
+                "{kind:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! The localized clustering-error metric Δ(S, S′) (paper Section 4.1,
+//! "Quantifying Node-Merging Approximation Error", and Section 4.2 for
+//! value-compression steps).
+//!
+//! Δ measures the sum of squared estimation-error increases over a set of
+//! *atomic queries* `u[p]/c`, where `p` ranges over the atomic value
+//! predicates of the affected value summaries (prefix ranges at histogram
+//! boundaries / retained PST substrings / indexed terms) and `c` over the
+//! children of the affected nodes. With the Path–Value Independence
+//! estimate `e_S(u, p, c) = σ_p(u) · count(u, c)`, the double sum
+//! factorizes into value *atomic moments* times structural edge-count
+//! moments:
+//!
+//! ```text
+//! Σ_p Σ_c (σ_p(u)·cᵤ(c) − σ_p(w)·c_w(c))²
+//!   = (Σ_p σ_p(u)²)(Σ_c cᵤ²) − 2(Σ_p σ_p(u)σ_p(w))(Σ_c cᵤc_w)
+//!     + (Σ_p σ_p(w)²)(Σ_c c_w²)
+//! ```
+//!
+//! **Deviation from the paper** (documented in `DESIGN.md`): the paper's
+//! `c ∈ Cu ∪ Cv` makes Δ vanish for childless value leaves (`year`,
+//! `title`, …), so we extend every node's target set with a virtual
+//! *self* child of count 1 — value-distribution divergence is then always
+//! measured, and the metric is unchanged for the purely structural parts.
+
+use crate::merge::merge_struct_bytes_saved;
+use crate::synopsis::{Synopsis, SynopsisNodeId};
+use std::collections::BTreeMap;
+use xcluster_summaries::{AtomicMoments, ValueSummary};
+
+/// A scored candidate `merge(S, u, v)` operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeCandidate {
+    /// First node to merge.
+    pub u: SynopsisNodeId,
+    /// Second node to merge.
+    pub v: SynopsisNodeId,
+    /// Δ(S, S′) — the increase in clustering error.
+    pub delta: f64,
+    /// Structural bytes the merge frees (`|S|_str − |S′|_str`).
+    pub bytes_saved: usize,
+    /// Node versions at evaluation time, for lazy-heap invalidation.
+    pub versions: (u32, u32),
+}
+
+impl MergeCandidate {
+    /// Marginal loss: error increase per structural byte saved (the
+    /// paper's ranking criterion, line 5 of Figure 5).
+    pub fn marginal_loss(&self) -> f64 {
+        self.delta / self.bytes_saved.max(1) as f64
+    }
+}
+
+/// A scored candidate value-compression step on one node's summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressCandidate {
+    /// The node whose summary the step compresses.
+    pub node: SynopsisNodeId,
+    /// Δ(S, S′) for the step.
+    pub delta: f64,
+    /// Summary bytes freed.
+    pub bytes_saved: usize,
+    /// Node version at evaluation time.
+    pub version: u32,
+}
+
+impl CompressCandidate {
+    /// Marginal loss: error increase per byte saved (Figure 5, line 15).
+    pub fn marginal_loss(&self) -> f64 {
+        self.delta / self.bytes_saved.max(1) as f64
+    }
+}
+
+/// Evaluates Δ and the space savings of `merge(S, u, v)` without
+/// mutating the synopsis.
+pub fn evaluate_merge(s: &Synopsis, u: SynopsisNodeId, v: SynopsisNodeId) -> MergeCandidate {
+    evaluate_merge_with(s, u, v, true)
+}
+
+/// [`evaluate_merge`] with the value moments optionally replaced by the
+/// trivial predicate set — the cheap lower-effort score `build_pool`
+/// seeds value-bearing candidates with (no summary fusion).
+pub fn evaluate_merge_with(
+    s: &Synopsis,
+    u: SynopsisNodeId,
+    v: SynopsisNodeId,
+    use_values: bool,
+) -> MergeCandidate {
+    let nu = s.node(u);
+    let nv = s.node(v);
+    debug_assert!(nu.alive && nv.alive && nu.label == nv.label && nu.vtype == nv.vtype);
+    let cu = nu.count;
+    let cv = nv.count;
+    let cw = cu + cv;
+
+    // Edge-count tuples over the union of (remapped) child targets, plus
+    // the virtual self child. `u`/`v` as targets collapse into `w`.
+    const SELF_KEY: usize = usize::MAX - 1;
+    const MERGED_KEY: usize = usize::MAX;
+    let mut targets: BTreeMap<usize, (f64, f64)> = BTreeMap::new();
+    targets.insert(SELF_KEY, (1.0, 1.0));
+    for &(t, c) in &nu.children {
+        let k = if t == u || t == v { MERGED_KEY } else { t };
+        targets.entry(k).or_insert((0.0, 0.0)).0 += c;
+    }
+    for &(t, c) in &nv.children {
+        let k = if t == u || t == v { MERGED_KEY } else { t };
+        targets.entry(k).or_insert((0.0, 0.0)).1 += c;
+    }
+    let (mut u_uu, mut u_uw, mut u_ww) = (0.0, 0.0, 0.0);
+    let (mut v_vv, mut v_vw, mut v_ww) = (0.0, 0.0, 0.0);
+    for (&k, &(ecu, ecv)) in &targets {
+        let ecw = if k == SELF_KEY {
+            1.0
+        } else {
+            (cu * ecu + cv * ecv) / cw
+        };
+        u_uu += ecu * ecu;
+        u_uw += ecu * ecw;
+        u_ww += ecw * ecw;
+        v_vv += ecv * ecv;
+        v_vw += ecv * ecw;
+        v_ww += ecw * ecw;
+    }
+
+    // Value moments against the fused summary.
+    let (m_u, m_v) = if use_values {
+        let fused = fuse_options(&nu.vsumm, &nv.vsumm);
+        (
+            pair_moments(&nu.vsumm, &fused),
+            pair_moments(&nv.vsumm, &fused),
+        )
+    } else {
+        (AtomicMoments::TRIVIAL, AtomicMoments::TRIVIAL)
+    };
+
+    let delta_u = cu * (m_u.sum_aa * u_uu - 2.0 * m_u.sum_ab * u_uw + m_u.sum_bb * u_ww);
+    let delta_v = cv * (m_v.sum_aa * v_vv - 2.0 * m_v.sum_ab * v_vw + m_v.sum_bb * v_ww);
+    MergeCandidate {
+        u,
+        v,
+        delta: (delta_u + delta_v).max(0.0),
+        bytes_saved: merge_struct_bytes_saved(s, u, v),
+        versions: (nu.version, nv.version),
+    }
+}
+
+/// Fuses two optional summaries the way [`crate::merge::apply_merge`]
+/// will.
+fn fuse_options(a: &Option<ValueSummary>, b: &Option<ValueSummary>) -> Option<ValueSummary> {
+    match (a, b) {
+        (Some(x), Some(y)) => {
+            let mut fused = x.fuse(y);
+            if fused.size_bytes() > crate::merge::FUSED_SUMMARY_CAP {
+                fused.compress_to_bytes(crate::merge::FUSED_SUMMARY_CAP);
+            }
+            Some(fused)
+        }
+        (Some(x), None) => Some(x.clone()),
+        (None, Some(y)) => Some(y.clone()),
+        (None, None) => None,
+    }
+}
+
+/// Atomic moments of a node's summary against the (fused) replacement;
+/// nodes without summaries contribute only the trivial predicate.
+fn pair_moments(own: &Option<ValueSummary>, fused: &Option<ValueSummary>) -> AtomicMoments {
+    match (own, fused) {
+        (Some(a), Some(w)) => a.atomic_moments(w),
+        _ => AtomicMoments::TRIVIAL,
+    }
+}
+
+/// Evaluates the best single value-compression step on `node`'s summary
+/// (paper Section 4.2: only the first Δ summand applies, with `w = u` —
+/// the structure is unchanged, so the edge-count moment is a common
+/// factor `Σ_c count(u, c)²`).
+pub fn evaluate_compression(s: &Synopsis, node: SynopsisNodeId) -> Option<CompressCandidate> {
+    let n = s.node(node);
+    let step = n.vsumm.as_ref()?.peek_compression()?;
+    Some(CompressCandidate {
+        node,
+        delta: n.count * step.sq_error * edge_sq_moment(s, node),
+        bytes_saved: step.bytes_saved,
+        version: n.version,
+    })
+}
+
+/// `Σ_c count(u, c)²` over `u`'s children plus the virtual self child.
+pub fn edge_sq_moment(s: &Synopsis, node: SynopsisNodeId) -> f64 {
+    1.0 + s
+        .node(node)
+        .children
+        .iter()
+        .map(|&(_, c)| c * c)
+        .sum::<f64>()
+}
+
+/// A chunked value-compression candidate: the candidate carries the
+/// already-compressed summary, ready to swap in when selected.
+///
+/// The paper applies `b = 1` micro-steps; our footprint granularity
+/// (9-byte PST nodes) makes that quadratic on megabyte-sized reference
+/// summaries, so the build algorithm compresses in *chunks* of
+/// `max(min_chunk, size/4)` bytes per heap selection. The ranking
+/// criterion (accumulated Δ per byte saved) is unchanged; see `DESIGN.md`.
+#[derive(Debug, Clone)]
+pub struct ChunkCandidate {
+    /// The node whose summary this chunk compresses.
+    pub node: SynopsisNodeId,
+    /// Accumulated Δ of the chunk.
+    pub delta: f64,
+    /// Bytes the chunk frees.
+    pub bytes_saved: usize,
+    /// Node version at evaluation time.
+    pub version: u32,
+    /// The summary after applying the chunk.
+    pub compressed: ValueSummary,
+}
+
+impl ChunkCandidate {
+    /// Marginal loss of the whole chunk.
+    pub fn marginal_loss(&self) -> f64 {
+        self.delta / self.bytes_saved.max(1) as f64
+    }
+}
+
+/// Evaluates a compression chunk of roughly `max(min_chunk, size/8)`
+/// bytes on `node`'s summary. Returns `None` if the summary is absent or
+/// already minimal.
+pub fn evaluate_compression_chunk(
+    s: &Synopsis,
+    node: SynopsisNodeId,
+    min_chunk: usize,
+) -> Option<ChunkCandidate> {
+    let n = s.node(node);
+    let summary = n.vsumm.as_ref()?;
+    let start_bytes = summary.size_bytes();
+    let target = start_bytes.saturating_sub((start_bytes / 4).max(min_chunk));
+    let mut compressed = summary.clone();
+    let sq_error = compressed.compress_to_bytes(target);
+    let bytes_saved = start_bytes - compressed.size_bytes();
+    if bytes_saved == 0 {
+        return None;
+    }
+    Some(ChunkCandidate {
+        node,
+        delta: n.count * sq_error * edge_sq_moment(s, node),
+        bytes_saved,
+        version: n.version,
+        compressed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synopsis::SynopsisNode;
+    use xcluster_xml::{Interner, Value, ValueType};
+
+    fn node(label: xcluster_xml::Symbol, count: f64) -> SynopsisNode {
+        SynopsisNode {
+            label,
+            vtype: ValueType::None,
+            count,
+            children: Vec::new(),
+            parents: Vec::new(),
+            vsumm: None,
+            alive: true,
+            version: 0,
+        }
+    }
+
+    /// root with two a-nodes feeding a shared leaf b.
+    fn structural(c1: f64, c2: f64, n1: f64, n2: f64) -> (Synopsis, usize, usize) {
+        let mut labels = Interner::new();
+        let rl = labels.intern("root");
+        let al = labels.intern("a");
+        let bl = labels.intern("b");
+        let mut s = Synopsis::new(labels, rl, 4);
+        let a1 = s.push_node(node(al, n1));
+        let a2 = s.push_node(node(al, n2));
+        let b = s.push_node(node(bl, 5.0));
+        s.add_edge(0, a1, n1);
+        s.add_edge(0, a2, n2);
+        s.add_edge(a1, b, c1);
+        s.add_edge(a2, b, c2);
+        (s, a1, a2)
+    }
+
+    #[test]
+    fn identical_centroids_merge_for_free() {
+        let (s, a1, a2) = structural(2.0, 2.0, 3.0, 3.0);
+        let c = evaluate_merge(&s, a1, a2);
+        assert!(c.delta.abs() < 1e-9, "delta {}", c.delta);
+        assert!(c.bytes_saved > 0);
+    }
+
+    #[test]
+    fn divergent_centroids_cost_more() {
+        let (s_close, a1, a2) = structural(2.0, 2.5, 3.0, 3.0);
+        let (s_far, b1, b2) = structural(2.0, 9.0, 3.0, 3.0);
+        let close = evaluate_merge(&s_close, a1, a2).delta;
+        let far = evaluate_merge(&s_far, b1, b2).delta;
+        assert!(far > close, "{far} vs {close}");
+        assert!(close > 0.0);
+    }
+
+    #[test]
+    fn delta_matches_bruteforce_structural() {
+        // Hand-compute the paper formula for a small case.
+        let (s, a1, a2) = structural(2.0, 4.0, 3.0, 1.0);
+        let c = evaluate_merge(&s, a1, a2);
+        // cw(b) = (3*2 + 1*4)/4 = 2.5; trivial predicate σ = 1.
+        // targets: self (1,1,1) and b (2,4,2.5).
+        // Δ = 3[(1-1)² + (2-2.5)²] + 1[(1-1)² + (4-2.5)²]
+        let expected = 3.0 * 0.25 + 1.0 * 2.25;
+        assert!((c.delta - expected).abs() < 1e-9, "{} vs {expected}", c.delta);
+    }
+
+    #[test]
+    fn extent_weights_matter() {
+        // Same centroid divergence, bigger extents → bigger delta.
+        let (s_small, a1, a2) = structural(2.0, 4.0, 1.0, 1.0);
+        let (s_big, b1, b2) = structural(2.0, 4.0, 10.0, 10.0);
+        assert!(
+            evaluate_merge(&s_big, b1, b2).delta > evaluate_merge(&s_small, a1, a2).delta
+        );
+    }
+
+    #[test]
+    fn value_divergence_detected_on_leaves() {
+        // Two childless value clusters with disjoint numeric ranges: the
+        // paper's raw formula would give Δ = 0; the virtual self child
+        // must make it positive.
+        let mut labels = Interner::new();
+        let rl = labels.intern("root");
+        let yl = labels.intern("y");
+        let mut s = Synopsis::new(labels, rl, 2);
+        let mk_vals =
+            |vals: &[u64]| -> Vec<Value> { vals.iter().map(|&v| Value::Numeric(v)).collect() };
+        let v1 = mk_vals(&[1, 2, 3]);
+        let v2 = mk_vals(&[1000, 2000]);
+        let y1 = s.push_node(SynopsisNode {
+            label: yl,
+            vtype: ValueType::Numeric,
+            count: 3.0,
+            children: Vec::new(),
+            parents: Vec::new(),
+            vsumm: ValueSummary::build(&v1.iter().collect::<Vec<_>>(), ValueType::Numeric),
+            alive: true,
+            version: 0,
+        });
+        let y2 = s.push_node(SynopsisNode {
+            label: yl,
+            vtype: ValueType::Numeric,
+            count: 2.0,
+            children: Vec::new(),
+            parents: Vec::new(),
+            vsumm: ValueSummary::build(&v2.iter().collect::<Vec<_>>(), ValueType::Numeric),
+            alive: true,
+            version: 0,
+        });
+        s.add_edge(0, y1, 3.0);
+        s.add_edge(0, y2, 2.0);
+        let c = evaluate_merge(&s, y1, y2);
+        assert!(c.delta > 0.0, "leaf value divergence must cost: {}", c.delta);
+    }
+
+    #[test]
+    fn similar_value_leaves_are_cheap() {
+        let mut labels = Interner::new();
+        let rl = labels.intern("root");
+        let yl = labels.intern("y");
+        let mut s = Synopsis::new(labels, rl, 2);
+        let vals: Vec<Value> = (0..20).map(|i| Value::Numeric(1990 + i % 10)).collect();
+        let refs: Vec<&Value> = vals.iter().collect();
+        for _ in 0..2 {
+            let y = s.push_node(SynopsisNode {
+                label: yl,
+                vtype: ValueType::Numeric,
+                count: 20.0,
+                children: Vec::new(),
+                parents: Vec::new(),
+                vsumm: ValueSummary::build(&refs, ValueType::Numeric),
+                alive: true,
+                version: 0,
+            });
+            s.add_edge(0, y, 20.0);
+        }
+        let ids: Vec<_> = s.live_nodes().filter(|&i| i != 0).collect();
+        let c = evaluate_merge(&s, ids[0], ids[1]);
+        assert!(c.delta < 1e-6, "identical distributions merge freely: {}", c.delta);
+    }
+
+    #[test]
+    fn marginal_loss_normalizes_by_bytes() {
+        let (s, a1, a2) = structural(2.0, 4.0, 3.0, 1.0);
+        let c = evaluate_merge(&s, a1, a2);
+        assert!((c.marginal_loss() - c.delta / c.bytes_saved as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compression_candidate_scales_with_extent_and_fanout() {
+        let mut labels = Interner::new();
+        let rl = labels.intern("root");
+        let yl = labels.intern("y");
+        let mut s = Synopsis::new(labels, rl, 2);
+        let vals: Vec<Value> = (0..64).map(|i| Value::Numeric(i * i)).collect();
+        let refs: Vec<&Value> = vals.iter().collect();
+        let y = s.push_node(SynopsisNode {
+            label: yl,
+            vtype: ValueType::Numeric,
+            count: 64.0,
+            children: Vec::new(),
+            parents: Vec::new(),
+            vsumm: ValueSummary::build(&refs, ValueType::Numeric),
+            alive: true,
+            version: 0,
+        });
+        s.add_edge(0, y, 64.0);
+        let c = evaluate_compression(&s, y).unwrap();
+        assert!(c.bytes_saved > 0);
+        assert!(c.delta >= 0.0);
+        // No summary → no candidate.
+        assert!(evaluate_compression(&s, s.root()).is_none());
+    }
+}

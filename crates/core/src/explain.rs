@@ -1,0 +1,315 @@
+//! Estimation tracing — the optimizer-facing "explain" companion to
+//! [`crate::estimate`].
+//!
+//! [`explain`] reports, per *variable* query node, which synopsis
+//! clusters the node embeds into and the expected number of elements
+//! bound there (ignoring sibling-branch multiplicities — the step
+//! cardinalities a cost model consumes), alongside the overall
+//! binding-tuple estimate. This is the information a query optimizer
+//! reads off the synopsis to choose join orders / anchor plans on the
+//! most selective fragment.
+
+use crate::estimate::estimate;
+use crate::synopsis::{Synopsis, SynopsisNodeId};
+use std::collections::HashMap;
+use xcluster_query::{Axis, LabelTest, NodeKind, TwigQuery};
+use xcluster_summaries::ValuePredicate;
+use xcluster_xml::ValueType;
+
+/// Expected bindings of one query node inside one synopsis cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetTrace {
+    /// The synopsis cluster.
+    pub node: SynopsisNodeId,
+    /// Expected number of elements bound here (path flow × predicate
+    /// selectivity, ignoring sibling branches).
+    pub expected: f64,
+    /// The predicate selectivity applied at this cluster (1 when the
+    /// query node has no predicate).
+    pub selectivity: f64,
+}
+
+/// Per-query-node embedding summary.
+#[derive(Debug, Clone)]
+pub struct NodeTrace {
+    /// Query node id (in [`TwigQuery`] numbering).
+    pub qnode: usize,
+    /// Matching clusters with their expected cardinalities, sorted by
+    /// descending expectation.
+    pub targets: Vec<TargetTrace>,
+}
+
+impl NodeTrace {
+    /// Total expected elements bound to this query node.
+    pub fn expected_total(&self) -> f64 {
+        self.targets.iter().map(|t| t.expected).sum()
+    }
+}
+
+/// The result of [`explain`].
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The overall binding-tuple estimate (identical to
+    /// [`crate::estimate`] on the same inputs).
+    pub total: f64,
+    /// One trace per *variable* query node, in query-node order.
+    pub nodes: Vec<NodeTrace>,
+}
+
+impl Explanation {
+    /// Renders a compact human-readable report.
+    pub fn render(&self, s: &Synopsis, q: &TwigQuery) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "estimate: {:.2} binding tuples for {}", self.total, q);
+        for t in &self.nodes {
+            let label = match &q.node(t.qnode).label {
+                LabelTest::Tag(l) => l.clone(),
+                LabelTest::Wildcard => "*".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  q{} ({label}): {:.2} expected over {} cluster(s)",
+                t.qnode,
+                t.expected_total(),
+                t.targets.len()
+            );
+            for tt in t.targets.iter().take(4) {
+                let _ = writeln!(
+                    out,
+                    "      {}#{}  expected {:.2}  σ={:.4}",
+                    s.label_str(tt.node),
+                    tt.node,
+                    tt.expected,
+                    tt.selectivity
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Estimates `query` and reports the per-node embedding cardinalities.
+pub fn explain(s: &Synopsis, query: &TwigQuery) -> Explanation {
+    let mut populations: HashMap<usize, HashMap<SynopsisNodeId, f64>> = HashMap::new();
+    let mut root_pop = HashMap::new();
+    root_pop.insert(s.root(), 1.0);
+    populations.insert(query.root(), root_pop);
+    // Top-down flow in query-node order (parents precede children).
+    let order: Vec<usize> = query.node_ids().collect();
+    for q in order {
+        let node = query.node(q);
+        if node.kind != NodeKind::Variable {
+            continue;
+        }
+        let parent = node.parent.expect("non-root query node");
+        let Some(parent_pop) = populations.get(&parent).cloned() else {
+            continue;
+        };
+        let mut pop: HashMap<SynopsisNodeId, f64> = HashMap::new();
+        for (&sn, &flow) in &parent_pop {
+            for (target, expected_per_elem) in reach(s, sn, node.axis, &node.label) {
+                let sigma = predicate_selectivity(s, node.predicate.as_ref(), target);
+                if sigma > 0.0 {
+                    *pop.entry(target).or_insert(0.0) += flow * expected_per_elem * sigma;
+                }
+            }
+        }
+        populations.insert(q, pop);
+    }
+    let mut nodes = Vec::new();
+    for q in query.node_ids() {
+        if query.node(q).kind != NodeKind::Variable {
+            continue;
+        }
+        let mut targets: Vec<TargetTrace> = populations
+            .get(&q)
+            .map(|pop| {
+                pop.iter()
+                    .map(|(&node, &expected)| TargetTrace {
+                        node,
+                        expected,
+                        selectivity: predicate_selectivity(
+                            s,
+                            query.node(q).predicate.as_ref(),
+                            node,
+                        ),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        targets.sort_by(|a, b| b.expected.total_cmp(&a.expected));
+        nodes.push(NodeTrace { qnode: q, targets });
+    }
+    Explanation {
+        total: estimate(s, query),
+        nodes,
+    }
+}
+
+/// Expected elements of each label-matching cluster reached per element
+/// of `from` along `axis` (duplicated from the estimator, which keeps its
+/// internals private).
+fn reach(
+    s: &Synopsis,
+    from: SynopsisNodeId,
+    axis: Axis,
+    label: &LabelTest,
+) -> Vec<(SynopsisNodeId, f64)> {
+    let matches = |t: SynopsisNodeId| match label {
+        LabelTest::Wildcard => true,
+        LabelTest::Tag(l) => s.label_str(t) == l,
+    };
+    match axis {
+        Axis::Child => s
+            .node(from)
+            .children
+            .iter()
+            .filter(|&&(t, _)| matches(t))
+            .map(|&(t, c)| (t, c))
+            .collect(),
+        Axis::Descendant => {
+            let mut reach: HashMap<SynopsisNodeId, f64> = HashMap::new();
+            let mut frontier: HashMap<SynopsisNodeId, f64> = HashMap::new();
+            frontier.insert(from, 1.0);
+            for _ in 0..s.max_depth() {
+                let mut next: HashMap<SynopsisNodeId, f64> = HashMap::new();
+                for (&n, &w) in &frontier {
+                    for &(t, c) in &s.node(n).children {
+                        *next.entry(t).or_insert(0.0) += w * c;
+                    }
+                }
+                if next.is_empty() {
+                    break;
+                }
+                for (&t, &w) in &next {
+                    if matches(t) {
+                        *reach.entry(t).or_insert(0.0) += w;
+                    }
+                }
+                frontier = next;
+            }
+            reach.into_iter().collect()
+        }
+    }
+}
+
+fn predicate_selectivity(
+    s: &Synopsis,
+    pred: Option<&ValuePredicate>,
+    target: SynopsisNodeId,
+) -> f64 {
+    let Some(pred) = pred else {
+        return 1.0;
+    };
+    let node = s.node(target);
+    let type_ok = matches!(
+        (pred, node.vtype),
+        (ValuePredicate::Range { .. }, ValueType::Numeric)
+            | (ValuePredicate::Contains { .. }, ValueType::String)
+            | (ValuePredicate::FtContains { .. }, ValueType::Text)
+            | (ValuePredicate::SimilarTo { .. }, ValueType::Text)
+    );
+    if !type_ok {
+        return 0.0;
+    }
+    match &node.vsumm {
+        Some(vs) => vs.selectivity(pred),
+        None => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{reference_synopsis, ReferenceConfig};
+    use xcluster_query::{evaluate, parse_twig, EvalIndex};
+    use xcluster_xml::parse;
+
+    #[test]
+    fn linear_path_flow_matches_exact_counts() {
+        let t = parse("<r><a><x>1</x></a><a><x>2</x><x>3</x></a></r>").unwrap();
+        let s = reference_synopsis(&t, &ReferenceConfig::default());
+        let q = parse_twig("//a/x", t.terms()).unwrap();
+        let ex = explain(&s, &q);
+        // q1 = a (2 elements), q2 = x (3 elements).
+        assert_eq!(ex.nodes.len(), 2);
+        assert!((ex.nodes[0].expected_total() - 2.0).abs() < 1e-9);
+        assert!((ex.nodes[1].expected_total() - 3.0).abs() < 1e-9);
+        let idx = EvalIndex::build(&t);
+        assert!((ex.total - evaluate(&q, &t, &idx)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicate_shrinks_flow() {
+        let t = parse("<r><y>10</y><y>20</y><y>30</y><y>40</y></r>").unwrap();
+        let s = reference_synopsis(&t, &ReferenceConfig::default());
+        let q = parse_twig("//y[in 0..25]", t.terms()).unwrap();
+        let ex = explain(&s, &q);
+        let flow = ex.nodes[0].expected_total();
+        assert!(flow > 1.0 && flow < 3.0, "{flow}");
+        assert!(ex.nodes[0].targets[0].selectivity < 1.0);
+    }
+
+    #[test]
+    fn explain_total_equals_estimate() {
+        let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: 60,
+            seed: 9,
+        });
+        let s = reference_synopsis(
+            &d.tree,
+            &ReferenceConfig {
+                value_paths: Some(d.value_paths.clone()),
+                ..ReferenceConfig::default()
+            },
+        );
+        for qs in [
+            "//movie[year>1990]/title",
+            "//movie{/cast/actor/name}{/director}",
+            "//series/episode/rating",
+        ] {
+            let q = parse_twig(qs, d.tree.terms()).unwrap();
+            let ex = explain(&s, &q);
+            assert!(
+                (ex.total - crate::estimate::estimate(&s, &q)).abs() < 1e-9,
+                "{qs}"
+            );
+        }
+    }
+
+    #[test]
+    fn branches_do_not_inflate_sibling_flow() {
+        // q's expected cardinality per node ignores sibling multipliers:
+        // adding a {title} leg must not change the actor-name flow.
+        let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: 40,
+            seed: 3,
+        });
+        let s = reference_synopsis(&d.tree, &ReferenceConfig::default());
+        let plain = parse_twig("//movie/cast/actor/name", d.tree.terms()).unwrap();
+        let twig = parse_twig("//movie{/title}/cast/actor/name", d.tree.terms()).unwrap();
+        let flow_plain = explain(&s, &plain).nodes.last().unwrap().expected_total();
+        let ex = explain(&s, &twig);
+        let name_node = ex
+            .nodes
+            .iter()
+            .find(|n| {
+                matches!(twig.node(n.qnode).label, LabelTest::Tag(ref l) if l == "name")
+            })
+            .unwrap();
+        assert!((flow_plain - name_node.expected_total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_mentions_labels_and_total() {
+        let t = parse("<r><a><x>1</x></a></r>").unwrap();
+        let s = reference_synopsis(&t, &ReferenceConfig::default());
+        let q = parse_twig("//a/x", t.terms()).unwrap();
+        let ex = explain(&s, &q);
+        let text = ex.render(&s, &q);
+        assert!(text.contains("estimate:"));
+        assert!(text.contains("(a)"));
+        assert!(text.contains("(x)"));
+    }
+}

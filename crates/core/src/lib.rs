@@ -1,0 +1,69 @@
+//! **XCluster synopses** — a reproduction of Polyzotis & Garofalakis,
+//! *XCluster Synopses for Structured XML Content*, ICDE 2006.
+//!
+//! An XCluster synopsis is a node- and edge-labeled *type-respecting graph
+//! synopsis* of an XML document (Definition 3.1): a partitioning of the
+//! document's elements into structure-value clusters where every cluster
+//! node `u` stores
+//!
+//! 1. the element count `count(u) = |extent(u)|`,
+//! 2. per-edge average child counters `count(u, v)`, and
+//! 3. a value summary `vsumm(u)` of the cluster's typed content (numeric
+//!    histogram / pruned suffix tree / end-biased term histogram).
+//!
+//! The crate implements the paper end to end:
+//!
+//! * [`synopsis`] — the graph-synopsis model with size accounting;
+//! * [`reference`] — the detailed reference synopsis (count-stable,
+//!   single-incoming-path refinement with per-path value summaries);
+//! * [`delta`] — the localized Δ(S, S′) clustering-error metric driving
+//!   compression choices (Section 4.1);
+//! * [`merge`] — the node-merge operation (Section 4.1);
+//! * [`build`] — the two-phase `XClusterBuild` algorithm with the
+//!   marginal-loss candidate pool (Section 4.3, Figures 5–6);
+//! * [`estimate`] — selectivity estimation for twig queries via query
+//!   embeddings under Path–Value Independence (Section 5);
+//! * [`baseline`] — the TreeSketch-style *global* merge metric used in
+//!   the Section 6.2 comparison, plus the tag-only smallest synopsis;
+//! * [`metrics`] — the evaluation metrics of Section 6.1 (average
+//!   absolute relative error with a sanity bound, absolute error for
+//!   low-count queries).
+//!
+//! # Quick start
+//!
+//! ```
+//! use xcluster_core::{build::{BuildConfig, build_synopsis}, estimate::estimate};
+//! use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+//! use xcluster_query::{parse_twig, EvalIndex, evaluate};
+//! use xcluster_xml::parse;
+//!
+//! let doc = parse(
+//!     "<bib><paper><year>1998</year><title>Histograms</title></paper>\
+//!      <paper><year>2004</year><title>Sketches</title></paper></bib>",
+//! ).unwrap();
+//! let reference = reference_synopsis(&doc, &ReferenceConfig::default());
+//! let synopsis = build_synopsis(reference, &BuildConfig { b_str: 512, b_val: 1024, ..BuildConfig::default() });
+//!
+//! let q = parse_twig("//paper[year>2000]/title", doc.terms()).unwrap();
+//! let est = estimate(&synopsis, &q);
+//! let truth = evaluate(&q, &doc, &EvalIndex::build(&doc));
+//! assert!((est - truth).abs() < 1.0);
+//! ```
+
+pub mod autosplit;
+pub mod baseline;
+pub mod build;
+pub mod codec;
+pub mod delta;
+pub mod estimate;
+pub mod explain;
+pub mod merge;
+pub mod metrics;
+pub mod reference;
+pub mod synopsis;
+
+pub use build::{build_synopsis, BuildConfig};
+pub use estimate::estimate;
+pub use metrics::{relative_error, ErrorReport};
+pub use reference::{reference_synopsis, ReferenceConfig};
+pub use synopsis::{Synopsis, SynopsisNodeId};

@@ -1,0 +1,327 @@
+//! The node-merge operation `merge(S, u, v)` (paper Section 4.1,
+//! Figure 4).
+//!
+//! Merging replaces two label/type-compatible clusters `u`, `v` with a
+//! single cluster `w` whose extent is the union:
+//!
+//! * `count(w) = |u| + |v|`;
+//! * child edges keep average-count semantics:
+//!   `count(w, c) = (|u|·count(u, c) + |v|·count(v, c)) / |w|`;
+//! * parent edges sum: `count(p, w) = count(p, u) + count(p, v)`;
+//! * `vsumm(w) = f(vsumm(u), vsumm(v))` — histogram bucket-align-and-sum,
+//!   PST substring union, or weighted term-centroid combination.
+//!
+//! Edges between `u` and `v` (or self-edges) become self-edges of `w`,
+//! which is how synopses of recursive data acquire cycles.
+
+use crate::synopsis::{Synopsis, SynopsisNode, SynopsisNodeId};
+use std::collections::BTreeMap;
+
+/// Upper bound on a fused value summary. Without it, long merge chains
+/// (e.g. collapsing hundreds of same-label clusters toward the tag
+/// partition) grow PST/term summaries toward the union of all inputs,
+/// making each subsequent fusion and Δ evaluation linear in the chain so
+/// far. Fused summaries above the cap are immediately re-compressed with
+/// the error-driven operators; phase 2 re-budgets them anyway.
+pub const FUSED_SUMMARY_CAP: usize = 2 * 1024;
+
+/// Applies `merge(S, u, v)` in place; returns the id of the merged node.
+///
+/// # Panics
+/// Panics if `u == v`, either node is dead, or labels/types differ.
+pub fn apply_merge(s: &mut Synopsis, u: SynopsisNodeId, v: SynopsisNodeId) -> SynopsisNodeId {
+    assert_ne!(u, v, "cannot merge a node with itself");
+    let (nu, nv) = (s.node(u), s.node(v));
+    assert!(nu.alive && nv.alive, "merge of dead node");
+    assert_eq!(nu.label, nv.label, "merge requires equal labels");
+    assert_eq!(nu.vtype, nv.vtype, "merge requires equal value types");
+
+    let cu = nu.count;
+    let cv = nv.count;
+    let cw = cu + cv;
+    let w = s.arena_len(); // id the merged node will get
+
+    // Child edges: weighted average over the union, remapping u/v → w.
+    let mut child_counts: BTreeMap<SynopsisNodeId, f64> = BTreeMap::new();
+    for &(t, c) in &s.node(u).children {
+        let t = if t == u || t == v { w } else { t };
+        *child_counts.entry(t).or_insert(0.0) += cu * c;
+    }
+    for &(t, c) in &s.node(v).children {
+        let t = if t == u || t == v { w } else { t };
+        *child_counts.entry(t).or_insert(0.0) += cv * c;
+    }
+    let children: Vec<(SynopsisNodeId, f64)> = child_counts
+        .into_iter()
+        .map(|(t, total)| (t, total / cw))
+        .collect();
+
+    // Parent edges: summed counts, remapping u/v → w.
+    let mut parent_ids: Vec<SynopsisNodeId> = s
+        .node(u)
+        .parents
+        .iter()
+        .chain(s.node(v).parents.iter())
+        .copied()
+        .map(|p| if p == u || p == v { w } else { p })
+        .collect();
+    parent_ids.sort_unstable();
+    parent_ids.dedup();
+
+    let vsumm = match (&s.node(u).vsumm, &s.node(v).vsumm) {
+        (Some(a), Some(b)) => {
+            let mut fused = a.fuse(b);
+            if fused.size_bytes() > FUSED_SUMMARY_CAP {
+                fused.compress_to_bytes(FUSED_SUMMARY_CAP);
+            }
+            Some(fused)
+        }
+        (Some(a), None) => Some(a.clone()),
+        (None, Some(b)) => Some(b.clone()),
+        (None, None) => None,
+    };
+    let label = s.node(u).label;
+    let vtype = s.node(u).vtype;
+
+    // Retire u and v.
+    s.node_mut(u).alive = false;
+    s.node_mut(v).alive = false;
+
+    let w_id = s.push_node(SynopsisNode {
+        label,
+        vtype,
+        count: cw,
+        children,
+        parents: parent_ids.clone(),
+        vsumm,
+        alive: true,
+        version: 0,
+    });
+    debug_assert_eq!(w_id, w);
+
+    // Rewire external parents: drop edges to u/v, add the summed edge to w.
+    for &p in &parent_ids {
+        if p == w {
+            continue; // self-edge already in w's child list
+        }
+        let mut to_w = 0.0;
+        {
+            let pn = s.node_mut(p);
+            pn.children.retain(|&(t, c)| {
+                if t == u || t == v {
+                    to_w += c;
+                    false
+                } else {
+                    true
+                }
+            });
+            match pn.children.binary_search_by_key(&w, |&(t, _)| t) {
+                Ok(i) => pn.children[i].1 += to_w,
+                Err(i) => pn.children.insert(i, (w, to_w)),
+            }
+        }
+    }
+    // Rewire children's parent lists.
+    let targets: Vec<SynopsisNodeId> = s.node(w).children.iter().map(|&(t, _)| t).collect();
+    for t in targets {
+        let tp = &mut s.node_mut(t).parents;
+        tp.retain(|&p| p != u && p != v);
+        if let Err(i) = tp.binary_search(&w) {
+            tp.insert(i, w);
+        }
+    }
+    // External parents were rewired above; u/v's own adjacency dies with
+    // them. (Full-graph consistency is debug-checked once per build, not
+    // per merge — the check is linear in the synopsis.)
+    w
+}
+
+/// Exact structural bytes a `merge(S, u, v)` would save: one node header
+/// plus every deduplicated edge (shared child targets after u/v→w
+/// remapping, and shared parents whose two edges collapse into one).
+pub fn merge_struct_bytes_saved(s: &Synopsis, u: SynopsisNodeId, v: SynopsisNodeId) -> usize {
+    use xcluster_summaries::footprint::{SYNOPSIS_EDGE_BYTES, SYNOPSIS_NODE_BYTES};
+    let remap = |t: SynopsisNodeId| if t == u || t == v { usize::MAX } else { t };
+    let mut targets: Vec<SynopsisNodeId> = s
+        .node(u)
+        .children
+        .iter()
+        .chain(s.node(v).children.iter())
+        .map(|&(t, _)| remap(t))
+        .collect();
+    let before_children = targets.len();
+    targets.sort_unstable();
+    targets.dedup();
+    let saved_child_edges = before_children - targets.len();
+    // Parents pointing at both u and v merge their two edges into one.
+    let saved_parent_edges = s
+        .node(u)
+        .parents
+        .iter()
+        .filter(|&&p| p != u && p != v && s.node(v).parents.binary_search(&p).is_ok())
+        .count();
+    SYNOPSIS_NODE_BYTES + (saved_child_edges + saved_parent_edges) * SYNOPSIS_EDGE_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synopsis::SynopsisNode;
+    use xcluster_summaries::{ValuePredicate, ValueSummary};
+    use xcluster_xml::{Interner, Value, ValueType};
+
+    /// root → a1 (3 elements, 2 b-children each), a2 (1 element, 4
+    /// b-children); b is shared.
+    fn setup() -> (Synopsis, SynopsisNodeId, SynopsisNodeId, SynopsisNodeId) {
+        let mut labels = Interner::new();
+        let rl = labels.intern("root");
+        let al = labels.intern("a");
+        let bl = labels.intern("b");
+        let mut s = Synopsis::new(labels, rl, 4);
+        let mk = |s: &mut Synopsis, label, vtype, count| {
+            s.push_node(SynopsisNode {
+                label,
+                vtype,
+                count,
+                children: Vec::new(),
+                parents: Vec::new(),
+                vsumm: None,
+                alive: true,
+                version: 0,
+            })
+        };
+        let a1 = mk(&mut s, al, ValueType::None, 3.0);
+        let a2 = mk(&mut s, al, ValueType::None, 1.0);
+        let b = mk(&mut s, bl, ValueType::None, 10.0);
+        s.add_edge(0, a1, 3.0);
+        s.add_edge(0, a2, 1.0);
+        s.add_edge(a1, b, 2.0);
+        s.add_edge(a2, b, 4.0);
+        (s, a1, a2, b)
+    }
+
+    #[test]
+    fn merge_weighted_child_counts() {
+        let (mut s, a1, a2, b) = setup();
+        let w = apply_merge(&mut s, a1, a2);
+        assert!(!s.node(a1).alive);
+        assert!(!s.node(a2).alive);
+        assert_eq!(s.node(w).count, 4.0);
+        // (3*2 + 1*4)/4 = 2.5 b-children per merged element.
+        assert_eq!(s.node(w).edge_count(b), 2.5);
+        // Parent edge sums: root had 3 + 1.
+        assert_eq!(s.node(s.root()).edge_count(w), 4.0);
+        assert_eq!(s.node(s.root()).children.len(), 1);
+        s.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn merge_updates_parent_links() {
+        let (mut s, a1, a2, b) = setup();
+        let w = apply_merge(&mut s, a1, a2);
+        assert_eq!(s.node(b).parents, vec![w]);
+        assert_eq!(s.node(w).parents, vec![s.root()]);
+    }
+
+    #[test]
+    fn merge_preserves_expected_totals() {
+        // Total expected b-elements from root must be invariant:
+        // 3*2 + 1*4 = 10 before; 4 * 2.5 = 10 after.
+        let (mut s, a1, a2, b) = setup();
+        let before = s.node(s.root()).edge_count(a1) * s.node(a1).edge_count(b)
+            + s.node(s.root()).edge_count(a2) * s.node(a2).edge_count(b);
+        let w = apply_merge(&mut s, a1, a2);
+        let after = s.node(s.root()).edge_count(w) * s.node(w).edge_count(b);
+        assert!((before - after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_between_linked_nodes_creates_self_edge() {
+        // a1 → a2 (same label) merging into w gives a self-loop.
+        let mut labels = Interner::new();
+        let rl = labels.intern("root");
+        let al = labels.intern("a");
+        let mut s = Synopsis::new(labels, rl, 4);
+        let a1 = s.push_node(SynopsisNode {
+            label: al,
+            vtype: ValueType::None,
+            count: 2.0,
+            children: Vec::new(),
+            parents: Vec::new(),
+            vsumm: None,
+            alive: true,
+            version: 0,
+        });
+        let a2 = s.push_node(SynopsisNode {
+            label: al,
+            vtype: ValueType::None,
+            count: 4.0,
+            children: Vec::new(),
+            parents: Vec::new(),
+            vsumm: None,
+            alive: true,
+            version: 0,
+        });
+        s.add_edge(0, a1, 2.0);
+        s.add_edge(a1, a2, 2.0);
+        let w = apply_merge(&mut s, a1, a2);
+        // w has a self edge with weighted count 2*2/6.
+        let self_count = s.node(w).edge_count(w);
+        assert!((self_count - 4.0 / 6.0).abs() < 1e-9, "{self_count}");
+        s.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn merge_fuses_value_summaries() {
+        let (mut s, a1, a2, _b) = setup();
+        let vals1 = [Value::Numeric(10), Value::Numeric(20)];
+        let vals2 = [Value::Numeric(1000)];
+        let r1: Vec<&Value> = vals1.iter().collect();
+        let r2: Vec<&Value> = vals2.iter().collect();
+        s.node_mut(a1).vtype = ValueType::Numeric;
+        s.node_mut(a2).vtype = ValueType::Numeric;
+        s.node_mut(a1).vsumm = ValueSummary::build(&r1, ValueType::Numeric);
+        s.node_mut(a2).vsumm = ValueSummary::build(&r2, ValueType::Numeric);
+        let w = apply_merge(&mut s, a1, a2);
+        let vs = s.node(w).vsumm.as_ref().unwrap();
+        let sel = vs.selectivity(&ValuePredicate::Range { lo: 0, hi: 100 });
+        assert!((sel - 2.0 / 3.0).abs() < 1e-9, "{sel}");
+    }
+
+    #[test]
+    fn merge_with_one_sided_summary_keeps_it() {
+        let (mut s, a1, a2, _b) = setup();
+        let vals1 = [Value::Numeric(10)];
+        let r1: Vec<&Value> = vals1.iter().collect();
+        s.node_mut(a1).vtype = ValueType::Numeric;
+        s.node_mut(a2).vtype = ValueType::Numeric;
+        s.node_mut(a1).vsumm = ValueSummary::build(&r1, ValueType::Numeric);
+        let w = apply_merge(&mut s, a1, a2);
+        assert!(s.node(w).vsumm.is_some());
+    }
+
+    #[test]
+    fn struct_bytes_saved_counts_shared_structure() {
+        use xcluster_summaries::footprint::{SYNOPSIS_EDGE_BYTES, SYNOPSIS_NODE_BYTES};
+        let (s, a1, a2, _b) = setup();
+        // Shared child b (1 edge saved) + shared parent root (1 edge).
+        assert_eq!(
+            merge_struct_bytes_saved(&s, a1, a2),
+            SYNOPSIS_NODE_BYTES + 2 * SYNOPSIS_EDGE_BYTES
+        );
+        let mut s2 = s.clone();
+        let w = apply_merge(&mut s2, a1, a2);
+        let _ = w;
+        assert_eq!(
+            s.structural_bytes() - s2.structural_bytes(),
+            SYNOPSIS_NODE_BYTES + 2 * SYNOPSIS_EDGE_BYTES
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal labels")]
+    fn merge_rejects_label_mismatch() {
+        let (mut s, a1, _a2, b) = setup();
+        apply_merge(&mut s, a1, b);
+    }
+}

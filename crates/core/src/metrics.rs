@@ -1,0 +1,171 @@
+//! Evaluation metrics (paper Section 6.1, "Evaluation Metric").
+//!
+//! Accuracy is the average *absolute relative error* over a workload:
+//! `|c − e| / max(c, s)` for true count `c`, estimate `e`, and sanity
+//! bound `s` (the 10-percentile of true workload counts), which stops
+//! low-count path expressions from contributing inordinately high
+//! relative errors. Figure 9 complements this with the average *absolute*
+//! error over exactly those low-count queries (`c < s`).
+
+use crate::estimate::estimate;
+use crate::synopsis::Synopsis;
+use xcluster_query::{QueryClass, Workload};
+
+/// `|c − e| / max(c, s)` — the paper's absolute relative error.
+pub fn relative_error(true_count: f64, estimated: f64, sanity_bound: f64) -> f64 {
+    (true_count - estimated).abs() / true_count.max(sanity_bound).max(f64::MIN_POSITIVE)
+}
+
+/// Per-class and overall error aggregates for one synopsis × workload.
+#[derive(Debug, Clone)]
+pub struct ErrorReport {
+    /// Average relative error over the whole workload (× 100 = the "%"
+    /// axis of Figure 8).
+    pub overall_rel: f64,
+    /// Average relative error per query class (order of
+    /// [`QueryClass::ALL`]; `None` when the class is absent).
+    pub class_rel: [Option<f64>; 4],
+    /// Figure 9: average absolute error per class over low-count queries
+    /// (true count below the sanity bound).
+    pub low_count_abs: [Option<f64>; 4],
+    /// Average absolute estimate over the workload — negative workloads
+    /// report this directly ("close to zero estimates").
+    pub avg_estimate: f64,
+}
+
+impl ErrorReport {
+    /// Relative error of one class, if present.
+    pub fn class_rel(&self, class: QueryClass) -> Option<f64> {
+        self.class_rel[class_index(class)]
+    }
+
+    /// Low-count absolute error of one class, if present.
+    pub fn low_count_abs(&self, class: QueryClass) -> Option<f64> {
+        self.low_count_abs[class_index(class)]
+    }
+}
+
+fn class_index(class: QueryClass) -> usize {
+    QueryClass::ALL.iter().position(|&c| c == class).unwrap()
+}
+
+/// Runs every workload query against the synopsis and aggregates errors.
+pub fn evaluate_workload(s: &Synopsis, w: &Workload) -> ErrorReport {
+    let mut rel_sum = 0.0;
+    let mut rel_n = 0usize;
+    let mut class_sum = [0.0f64; 4];
+    let mut class_n = [0usize; 4];
+    let mut low_sum = [0.0f64; 4];
+    let mut low_n = [0usize; 4];
+    let mut est_sum = 0.0;
+    for q in &w.queries {
+        let est = estimate(s, &q.query);
+        est_sum += est;
+        let rel = relative_error(q.true_count, est, w.sanity_bound);
+        rel_sum += rel;
+        rel_n += 1;
+        let ci = class_index(q.class);
+        class_sum[ci] += rel;
+        class_n[ci] += 1;
+        // "below the sanity bound" (paper Fig. 9) — inclusive, because
+        // integer true counts tie at the bound in small workloads.
+        if q.true_count <= w.sanity_bound {
+            low_sum[ci] += (q.true_count - est).abs();
+            low_n[ci] += 1;
+        }
+    }
+    let avg = |sum: f64, n: usize| if n == 0 { None } else { Some(sum / n as f64) };
+    ErrorReport {
+        overall_rel: if rel_n == 0 { 0.0 } else { rel_sum / rel_n as f64 },
+        class_rel: [
+            avg(class_sum[0], class_n[0]),
+            avg(class_sum[1], class_n[1]),
+            avg(class_sum[2], class_n[2]),
+            avg(class_sum[3], class_n[3]),
+        ],
+        low_count_abs: [
+            avg(low_sum[0], low_n[0]),
+            avg(low_sum[1], low_n[1]),
+            avg(low_sum[2], low_n[2]),
+            avg(low_sum[3], low_n[3]),
+        ],
+        avg_estimate: if rel_n == 0 {
+            0.0
+        } else {
+            est_sum / rel_n as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{reference_synopsis, ReferenceConfig};
+    use xcluster_query::{workload, EvalIndex, WorkloadConfig};
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_error(100.0, 100.0, 10.0), 0.0);
+        assert_eq!(relative_error(100.0, 50.0, 10.0), 0.5);
+        // Sanity bound caps the denominator inflation for low counts.
+        assert_eq!(relative_error(1.0, 11.0, 10.0), 1.0);
+        assert_eq!(relative_error(0.0, 5.0, 10.0), 0.5);
+    }
+
+    #[test]
+    fn reference_synopsis_scores_near_zero_on_structural_queries() {
+        let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: 60,
+            seed: 31,
+        });
+        let s = reference_synopsis(&d.tree, &ReferenceConfig::default());
+        let idx = EvalIndex::build(&d.tree);
+        let cfg = WorkloadConfig {
+            num_queries: 50,
+            class_weights: [1.0, 0.0, 0.0, 0.0],
+            ..WorkloadConfig::default()
+        };
+        let w = workload::generate_positive(&d.tree, &idx, &cfg);
+        let report = evaluate_workload(&s, &w);
+        assert!(
+            report.overall_rel < 1e-6,
+            "reference must be lossless for structure: {}",
+            report.overall_rel
+        );
+    }
+
+    #[test]
+    fn negative_workload_estimates_near_zero() {
+        let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: 60,
+            seed: 32,
+        });
+        let s = reference_synopsis(&d.tree, &ReferenceConfig::default());
+        let idx = EvalIndex::build(&d.tree);
+        let cfg = WorkloadConfig {
+            num_queries: 40,
+            ..WorkloadConfig::default()
+        };
+        let w = workload::generate_negative(&d.tree, &idx, &cfg);
+        let report = evaluate_workload(&s, &w);
+        assert!(
+            report.avg_estimate < 0.5,
+            "negative estimates should be near zero: {}",
+            report.avg_estimate
+        );
+    }
+
+    #[test]
+    fn report_class_accessors() {
+        let report = ErrorReport {
+            overall_rel: 0.1,
+            class_rel: [Some(0.2), None, None, Some(0.4)],
+            low_count_abs: [None, Some(1.5), None, None],
+            avg_estimate: 3.0,
+        };
+        assert_eq!(report.class_rel(QueryClass::Struct), Some(0.2));
+        assert_eq!(report.class_rel(QueryClass::Numeric), None);
+        assert_eq!(report.class_rel(QueryClass::Text), Some(0.4));
+        assert_eq!(report.low_count_abs(QueryClass::Numeric), Some(1.5));
+    }
+}

@@ -1,0 +1,397 @@
+//! Reference-synopsis construction (paper Section 4.3, "Reference
+//! Synopsis Construction").
+//!
+//! The reference synopsis is a refinement of the lossless *count-stable*
+//! summary: each cluster groups elements that (a) lie on the same label
+//! path from the root (so every cluster has **exactly one incoming path**,
+//! capturing path-to-value correlations), (b) share label *and* value type
+//! (type-respecting), and (c) have the same number of children in every
+//! other cluster (count stability, reached by iterated signature
+//! refinement). Clusters on the configured value paths get detailed value
+//! summaries; count stability makes every stored edge count exact, so the
+//! reference synopsis is a lossless structural representation.
+
+use crate::synopsis::{Synopsis, SynopsisNode};
+use std::collections::HashMap;
+use xcluster_summaries::summary::{DEFAULT_HISTOGRAM_BUCKETS, DEFAULT_PST_DEPTH};
+use xcluster_summaries::{NumericKind, ValueSummary};
+use xcluster_xml::{NodeId, Value, ValuePathSpec, ValueType, XmlTree};
+
+/// Reference-synopsis parameters.
+#[derive(Debug, Clone)]
+pub struct ReferenceConfig {
+    /// Value paths to summarize. `None` summarizes every typed cluster.
+    pub value_paths: Option<Vec<ValuePathSpec>>,
+    /// Bucket count of the detailed numeric histograms.
+    pub histogram_buckets: usize,
+    /// Substring-length bound of the detailed PSTs.
+    pub pst_depth: usize,
+    /// Per-cluster cap on detailed-summary bytes (strings and text get
+    /// 4× this: substring and term distributions need more state than a
+    /// bucketized histogram). The cap keeps reference construction and
+    /// Δ evaluation tractable; the *accuracy* budget is `Bval`, which
+    /// phase 2 allocates across clusters by marginal loss.
+    pub max_summary_bytes: usize,
+    /// Backend for `NUMERIC` summaries (histogram / wavelet / sample).
+    pub numeric_kind: NumericKind,
+}
+
+impl Default for ReferenceConfig {
+    fn default() -> Self {
+        ReferenceConfig {
+            value_paths: None,
+            histogram_buckets: DEFAULT_HISTOGRAM_BUCKETS,
+            pst_depth: DEFAULT_PST_DEPTH,
+            max_summary_bytes: 1024,
+            numeric_kind: NumericKind::default(),
+        }
+    }
+}
+
+/// Builds the reference synopsis of `tree`.
+pub fn reference_synopsis(tree: &XmlTree, cfg: &ReferenceConfig) -> Synopsis {
+    let partition = count_stable_partition(tree);
+    materialize(tree, &partition, cfg)
+}
+
+/// The element partition underlying a reference synopsis.
+#[derive(Debug)]
+pub struct Partition {
+    /// Cluster index of each element (indexed by `NodeId`).
+    pub cluster_of: Vec<u32>,
+    /// Number of clusters.
+    pub num_clusters: usize,
+}
+
+/// Computes the type-respecting, single-incoming-path, count-stable
+/// element partition.
+pub fn count_stable_partition(tree: &XmlTree) -> Partition {
+    let n = tree.len();
+    let mut cluster_of = vec![0u32; n];
+    // Phase 1: label-path + value-type partition. Node ids are created
+    // parents-first, so a single forward pass resolves parent clusters.
+    let mut keys: HashMap<(u32, u32, ValueType), u32> = HashMap::new();
+    let mut num = 1u32; // cluster 0 = root
+    for id in 1..n {
+        let node = NodeId(id as u32);
+        let parent = tree.parent(node).expect("non-root");
+        let key = (
+            cluster_of[parent.index()],
+            tree.label(node).0,
+            tree.value_type(node),
+        );
+        let c = *keys.entry(key).or_insert_with(|| {
+            let c = num;
+            num += 1;
+            c
+        });
+        cluster_of[id] = c;
+    }
+    // Phase 2: refine until both count-stable (same number of children in
+    // every other cluster — forward) and single-incoming-path (same parent
+    // cluster — backward; splits of a parent propagate into its subtree,
+    // so the final cluster graph of a tree document is itself a tree —
+    // cf. the paper's Table 1, where IMDB has 2037 value clusters over
+    // only 7 value paths).
+    // (old cluster, parent cluster, child-count signature) → new cluster.
+    type SigKey = (u32, u32, Vec<(u32, u32)>);
+    loop {
+        let mut sigs: HashMap<SigKey, u32> = HashMap::new();
+        let mut next = vec![0u32; n];
+        let mut new_num = 0u32;
+        for id in 0..n {
+            let node = NodeId(id as u32);
+            let mut sig: Vec<(u32, u32)> = Vec::new();
+            for c in tree.children(node) {
+                let cc = cluster_of[c.index()];
+                match sig.iter_mut().find(|(k, _)| *k == cc) {
+                    Some((_, cnt)) => *cnt += 1,
+                    None => sig.push((cc, 1)),
+                }
+            }
+            sig.sort_unstable();
+            let parent_cluster = tree
+                .parent(node)
+                .map_or(u32::MAX, |p| cluster_of[p.index()]);
+            let key = (cluster_of[id], parent_cluster, sig);
+            let c = *sigs.entry(key).or_insert_with(|| {
+                let c = new_num;
+                new_num += 1;
+                c
+            });
+            next[id] = c;
+        }
+        // Refinement is monotone: an unchanged cluster count ⇒ stable.
+        let stable = new_num == num;
+        cluster_of = next;
+        num = new_num;
+        if stable {
+            break;
+        }
+    }
+    Partition {
+        cluster_of,
+        num_clusters: num as usize,
+    }
+}
+
+fn materialize(tree: &XmlTree, partition: &Partition, cfg: &ReferenceConfig) -> Synopsis {
+    let k = partition.num_clusters;
+    let root_cluster = partition.cluster_of[tree.root().index()] as usize;
+    // Per-cluster aggregates.
+    let mut counts = vec![0f64; k];
+    let mut label = vec![None::<xcluster_xml::Symbol>; k];
+    let mut vtype = vec![ValueType::None; k];
+    let mut representative = vec![None::<NodeId>; k];
+    let mut edge_totals: Vec<HashMap<usize, f64>> = vec![HashMap::new(); k];
+    let mut values: Vec<Vec<&Value>> = vec![Vec::new(); k];
+    for id in tree.all_nodes() {
+        let c = partition.cluster_of[id.index()] as usize;
+        counts[c] += 1.0;
+        label[c] = Some(tree.label(id));
+        vtype[c] = tree.value_type(id);
+        representative[c].get_or_insert(id);
+        for child in tree.children(id) {
+            let cc = partition.cluster_of[child.index()] as usize;
+            *edge_totals[c].entry(cc).or_insert(0.0) += 1.0;
+        }
+        if tree.value_type(id) != ValueType::None {
+            values[c].push(tree.value(id));
+        }
+    }
+    // Which clusters get value summaries.
+    let summarize: Vec<bool> = (0..k)
+        .map(|c| {
+            if vtype[c] == ValueType::None {
+                return false;
+            }
+            match &cfg.value_paths {
+                None => true,
+                Some(specs) => {
+                    let rep = representative[c].expect("non-empty cluster");
+                    let path = tree.label_path(rep);
+                    let labels: Vec<&str> =
+                        path.iter().map(|&s| tree.labels().resolve(s)).collect();
+                    specs
+                        .iter()
+                        .any(|s| s.value_type == vtype[c] && s.matches(&labels))
+                }
+            }
+        })
+        .collect();
+
+    let mut syn = Synopsis::new(
+        tree.labels().clone(),
+        label[root_cluster].expect("root cluster"),
+        tree.max_depth(),
+    );
+    syn.set_terms(tree.terms().clone());
+    // Cluster index → synopsis node id (root pre-created as node 0).
+    let mut node_of = vec![usize::MAX; k];
+    node_of[root_cluster] = syn.root();
+    for c in 0..k {
+        if c == root_cluster {
+            continue;
+        }
+        node_of[c] = syn.push_node(SynopsisNode {
+            label: label[c].expect("non-empty cluster"),
+            vtype: vtype[c],
+            count: counts[c],
+            children: Vec::new(),
+            parents: Vec::new(),
+            vsumm: None,
+            alive: true,
+            version: 0,
+        });
+    }
+    for c in 0..k {
+        for (&cc, &total) in &edge_totals[c] {
+            syn.add_edge(node_of[c], node_of[cc], total / counts[c]);
+        }
+        if summarize[c] {
+            let vs = ValueSummary::build_full(
+                &values[c],
+                vtype[c],
+                cfg.histogram_buckets,
+                cfg.pst_depth,
+                cfg.numeric_kind,
+            )
+            .map(|mut vs| {
+                // Substring tries and term centroids carry far more state
+                // than a bucketized histogram; give them a larger detailed
+                // cap (PSTs in particular need 2–3-gram context to keep
+                // the Markovian fallback honest).
+                let cap = match vtype[c] {
+                    ValueType::String | ValueType::Text => cfg.max_summary_bytes * 4,
+                    _ => cfg.max_summary_bytes,
+                };
+                if vs.size_bytes() > cap {
+                    vs.compress_to_bytes(cap);
+                }
+                vs
+            });
+            syn.node_mut(node_of[c]).vsumm = vs;
+        }
+    }
+    debug_assert_eq!(syn.check_consistency(), Ok(()));
+    syn
+}
+
+/// Associates each synopsis node of a *reference* synopsis with the
+/// elements in its extent — used by tests and the global-metric baseline.
+pub fn extents(tree: &XmlTree, partition: &Partition) -> Vec<Vec<NodeId>> {
+    let mut ext = vec![Vec::new(); partition.num_clusters];
+    for id in tree.all_nodes() {
+        ext[partition.cluster_of[id.index()] as usize].push(id);
+    }
+    ext
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcluster_xml::parse;
+
+    fn doc(xml: &str) -> XmlTree {
+        parse(xml).unwrap()
+    }
+
+    #[test]
+    fn distinct_paths_get_distinct_clusters() {
+        let t = doc("<r><a><x>1</x></a><b><x>2</x></b></r>");
+        let p = count_stable_partition(&t);
+        let nodes: Vec<NodeId> = t.all_nodes().collect();
+        // r, a, b, x-under-a, x-under-b all distinct: 5 clusters.
+        assert_eq!(p.num_clusters, 5);
+        let xa = nodes
+            .iter()
+            .find(|&&n| t.label_str(n) == "x" && t.label_str(t.parent(n).unwrap()) == "a")
+            .unwrap();
+        let xb = nodes
+            .iter()
+            .find(|&&n| t.label_str(n) == "x" && t.label_str(t.parent(n).unwrap()) == "b")
+            .unwrap();
+        assert_ne!(p.cluster_of[xa.index()], p.cluster_of[xb.index()]);
+    }
+
+    #[test]
+    fn identical_structures_share_clusters() {
+        let t = doc("<r><a><x>1</x></a><a><x>2</x></a></r>");
+        let p = count_stable_partition(&t);
+        assert_eq!(p.num_clusters, 3); // r, a, x
+    }
+
+    #[test]
+    fn count_stability_splits_differing_fanout() {
+        // Both <a>s on the same path, but one has 1 x-child, other has 2.
+        let t = doc("<r><a><x>1</x></a><a><x>2</x><x>3</x></a></r>");
+        let p = count_stable_partition(&t);
+        let a_nodes: Vec<NodeId> = t
+            .all_nodes()
+            .filter(|&n| t.label_str(n) == "a")
+            .collect();
+        assert_ne!(
+            p.cluster_of[a_nodes[0].index()],
+            p.cluster_of[a_nodes[1].index()],
+            "count-stability must separate a-nodes with different fan-out"
+        );
+    }
+
+    #[test]
+    fn type_respecting_split() {
+        // Same path "r/v", but one numeric and one string value.
+        let t = doc("<r><v>123</v><v>abc</v></r>");
+        let p = count_stable_partition(&t);
+        let v: Vec<NodeId> = t.all_nodes().filter(|&n| t.label_str(n) == "v").collect();
+        assert_ne!(p.cluster_of[v[0].index()], p.cluster_of[v[1].index()]);
+    }
+
+    #[test]
+    fn refinement_propagates_upward() {
+        // The a-parents differ only through their grandchildren.
+        let t = doc("<r><a><x><y>1</y></x></a><a><x><y>1</y><y>2</y></x></a></r>");
+        let p = count_stable_partition(&t);
+        let a: Vec<NodeId> = t.all_nodes().filter(|&n| t.label_str(n) == "a").collect();
+        assert_ne!(
+            p.cluster_of[a[0].index()],
+            p.cluster_of[a[1].index()],
+            "stability must propagate through x to a"
+        );
+    }
+
+    #[test]
+    fn reference_edge_counts_are_exact() {
+        let t = doc("<r><a><x>1</x></a><a><x>2</x></a><a><x>3</x></a></r>");
+        let s = reference_synopsis(&t, &ReferenceConfig::default());
+        s.check_consistency().unwrap();
+        // root -> a with count 3, a -> x with count 1.
+        let root = s.root();
+        let (a, c) = s.node(root).children[0];
+        assert_eq!(c, 3.0);
+        assert_eq!(s.node(a).count, 3.0);
+        let (x, cx) = s.node(a).children[0];
+        assert_eq!(cx, 1.0);
+        assert_eq!(s.node(x).count, 3.0);
+        assert_eq!(s.node(x).vtype, ValueType::Numeric);
+    }
+
+    #[test]
+    fn value_summaries_attached_by_default() {
+        let t = doc("<r><y>1990</y><y>2000</y></r>");
+        let s = reference_synopsis(&t, &ReferenceConfig::default());
+        assert_eq!(s.num_value_nodes(), 1);
+        let y = s.live_nodes().find(|&i| s.label_str(i) == "y").unwrap();
+        let vs = s.node(y).vsumm.as_ref().unwrap();
+        let sel = vs.selectivity(&xcluster_summaries::ValuePredicate::Range {
+            lo: 1990,
+            hi: 1990,
+        });
+        assert!(sel > 0.0);
+    }
+
+    #[test]
+    fn value_paths_restrict_summaries() {
+        let t = doc("<r><a><y>1</y></a><b><y>2</y></b></r>");
+        let cfg = ReferenceConfig {
+            value_paths: Some(vec![ValuePathSpec::new(&["a", "y"], ValueType::Numeric)]),
+            ..ReferenceConfig::default()
+        };
+        let s = reference_synopsis(&t, &cfg);
+        assert_eq!(s.num_value_nodes(), 1);
+        let with = s
+            .live_nodes()
+            .find(|&i| s.node(i).vsumm.is_some())
+            .unwrap();
+        assert_eq!(s.label_str(with), "y");
+    }
+
+    #[test]
+    fn reference_counts_total_elements() {
+        let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: 100,
+            seed: 4,
+        });
+        let s = reference_synopsis(&d.tree, &ReferenceConfig::default());
+        s.check_consistency().unwrap();
+        let total: f64 = s.live_nodes().map(|i| s.node(i).count).sum();
+        assert_eq!(total, d.tree.len() as f64);
+    }
+
+    #[test]
+    fn recursive_document_terminates() {
+        let t = doc("<r><p><l><p><l><t>deep</t></l></p></l></p></r>");
+        let s = reference_synopsis(&t, &ReferenceConfig::default());
+        s.check_consistency().unwrap();
+        assert!(s.num_nodes() >= 6);
+        assert_eq!(s.max_depth(), t.max_depth());
+    }
+
+    #[test]
+    fn extents_cover_all_elements() {
+        let t = doc("<r><a><x>1</x></a><a><x>2</x></a></r>");
+        let p = count_stable_partition(&t);
+        let e = extents(&t, &p);
+        let covered: usize = e.iter().map(|v| v.len()).sum();
+        assert_eq!(covered, t.len());
+    }
+}

@@ -1,0 +1,39 @@
+//! Writes a generated data set to an XML file — handy for feeding the
+//! `xcluster` CLI.
+//!
+//! ```sh
+//! cargo run -p xcluster-datagen --example gen_doc -- imdb 0.02 /tmp/imdb.xml
+//! cargo run -p xcluster-datagen --example gen_doc -- xmark 0.05 /tmp/xmark.xml
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(|s| s.as_str()).unwrap_or("imdb");
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let default_out = format!("/tmp/{which}.xml");
+    let out = args.get(2).map(|s| s.as_str()).unwrap_or(&default_out);
+    let dataset = match which {
+        "imdb" => xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: ((11_500.0 * scale) as usize).max(10),
+            seed: 42,
+        }),
+        "xmark" => {
+            xcluster_datagen::xmark::generate(&xcluster_datagen::xmark::XmarkConfig::scaled(scale))
+        }
+        other => {
+            eprintln!("unknown dataset {other:?} (expected imdb|xmark)");
+            std::process::exit(2);
+        }
+    };
+    let xml = xcluster_xml::write_document(&dataset.tree);
+    std::fs::write(out, &xml).expect("write output");
+    eprintln!(
+        "wrote {out}: {} elements, {} bytes",
+        dataset.num_elements(),
+        xml.len()
+    );
+    eprintln!("summarized value paths:");
+    for spec in &dataset.value_paths {
+        eprintln!("  …/{} ({})", spec.suffix.join("/"), spec.value_type);
+    }
+}

@@ -1,0 +1,201 @@
+//! A TreeBank-like generator: deep, heavily recursive parse-tree
+//! structure in the style of the Penn TreeBank XML conversion that the
+//! XML-summarization literature (XSketch, TreeSketch) evaluates on.
+//!
+//! Unlike the IMDB/XMark stand-ins, this data set stresses *structural*
+//! summarization: constituent tags (`s`, `np`, `vp`, `pp`, `sbar`, …)
+//! nest recursively to significant depth, so reference synopses are large
+//! and merged synopses contain cycles. Leaf part-of-speech elements carry
+//! `STRING` words (summarized) and cardinal numbers (`cd`, summarized).
+//!
+//! ```text
+//! treebank
+//!   file*
+//!     s*                  (sentence)
+//!       np | vp | pp | sbar | adjp   (recursive constituents)
+//!         …
+//!         nn | vb | jj | dt | in     (POS leaves, STRING values)
+//!         cd                         (NUMERIC leaves)
+//! ```
+
+use crate::words::Vocabulary;
+use crate::{Dataset, ValuePathSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xcluster_xml::{NodeId, Value, ValueType, XmlTree};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TreebankConfig {
+    /// Number of `file` elements.
+    pub files: usize,
+    /// Sentences per file (upper bound; drawn uniformly from 1..=this).
+    pub max_sentences: usize,
+    /// Maximum recursion depth of constituents below a sentence.
+    pub max_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TreebankConfig {
+    fn default() -> Self {
+        TreebankConfig {
+            files: 400,
+            max_sentences: 12,
+            max_depth: 9,
+            seed: 0x7B,
+        }
+    }
+}
+
+const CONSTITUENTS: &[&str] = &["np", "vp", "pp", "sbar", "adjp"];
+const POS: &[&str] = &["nn", "vb", "jj", "dt", "in"];
+
+/// Generates a TreeBank-like data set.
+pub fn generate(cfg: &TreebankConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let lexicon = Vocabulary::new(700_000, 4_000, 1.2);
+    let mut tree = XmlTree::new("treebank");
+    let root = tree.root();
+    for _ in 0..cfg.files {
+        let file = tree.add_child(root, "file");
+        for _ in 0..rng.gen_range(1..=cfg.max_sentences) {
+            let s = tree.add_child(file, "s");
+            // A sentence is NP VP with optional trailing PP.
+            gen_constituent(&mut tree, s, "np", cfg.max_depth, &mut rng, &lexicon);
+            gen_constituent(&mut tree, s, "vp", cfg.max_depth, &mut rng, &lexicon);
+            if rng.gen_bool(0.3) {
+                gen_constituent(&mut tree, s, "pp", cfg.max_depth, &mut rng, &lexicon);
+            }
+        }
+    }
+    Dataset {
+        name: "treebank",
+        tree,
+        value_paths: value_paths(),
+    }
+}
+
+/// The summarized value paths (leaf words and cardinal numbers).
+pub fn value_paths() -> Vec<ValuePathSpec> {
+    vec![
+        ValuePathSpec::new(&["nn"], ValueType::String),
+        ValuePathSpec::new(&["vb"], ValueType::String),
+        ValuePathSpec::new(&["cd"], ValueType::Numeric),
+    ]
+}
+
+fn gen_constituent(
+    tree: &mut XmlTree,
+    parent: NodeId,
+    tag: &str,
+    depth_left: usize,
+    rng: &mut StdRng,
+    lexicon: &Vocabulary,
+) {
+    let node = tree.add_child(parent, tag);
+    // Deeper nesting becomes increasingly unlikely; leaves take over.
+    let recurse_p = if depth_left == 0 {
+        0.0
+    } else {
+        0.35 + 0.05 * depth_left.min(6) as f64
+    };
+    let n_parts = rng.gen_range(1..=3);
+    for _ in 0..n_parts {
+        if rng.gen_bool(recurse_p) {
+            let next = CONSTITUENTS[rng.gen_range(0..CONSTITUENTS.len())];
+            gen_constituent(tree, node, next, depth_left - 1, rng, lexicon);
+        } else if rng.gen_bool(0.06) {
+            let cd = tree.add_child(node, "cd");
+            // Zipf-flavoured magnitudes: years, small counts, big figures.
+            let v = match rng.gen_range(0..3) {
+                0 => rng.gen_range(1..100),
+                1 => rng.gen_range(1900..2010),
+                _ => rng.gen_range(1000..1_000_000),
+            };
+            tree.set_value(cd, Value::Numeric(v));
+        } else {
+            let pos = POS[rng.gen_range(0..POS.len())];
+            let leaf = tree.add_child(node, pos);
+            tree.set_value(leaf, Value::String(lexicon.word(rng).to_string()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        generate(&TreebankConfig {
+            files: 60,
+            max_sentences: 6,
+            max_depth: 8,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = xcluster_xml::write_document(&small().tree);
+        let b = xcluster_xml::write_document(&small().tree);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn is_deep_and_recursive() {
+        let d = small();
+        assert!(d.tree.max_depth() >= 8, "depth {}", d.tree.max_depth());
+        // Some constituent must nest inside a same-labelled ancestor.
+        let mut recursive = false;
+        for n in d.tree.all_nodes() {
+            let lbl = d.tree.label(n);
+            let mut cur = n;
+            while let Some(p) = d.tree.parent(cur) {
+                if d.tree.label(p) == lbl && CONSTITUENTS.contains(&d.tree.label_str(n)) {
+                    recursive = true;
+                    break;
+                }
+                cur = p;
+            }
+            if recursive {
+                break;
+            }
+        }
+        assert!(recursive, "no recursive constituent nesting");
+    }
+
+    #[test]
+    fn leaves_carry_typed_values() {
+        let d = small();
+        let mut strings = 0;
+        let mut numbers = 0;
+        for n in d.tree.all_nodes() {
+            match d.tree.value_type(n) {
+                ValueType::String => strings += 1,
+                ValueType::Numeric => numbers += 1,
+                _ => {}
+            }
+        }
+        assert!(strings > 100, "{strings}");
+        assert!(numbers > 5, "{numbers}");
+    }
+
+    #[test]
+    fn value_paths_match_leaves() {
+        let d = small();
+        let targets = d.summarized_targets();
+        assert!(!targets.is_empty());
+        for &t in &targets {
+            assert_ne!(d.tree.value_type(t), ValueType::None);
+        }
+    }
+
+    #[test]
+    fn parses_back() {
+        let d = small();
+        let xml = xcluster_xml::write_document(&d.tree);
+        let t2 = xcluster_xml::parse(&xml).unwrap();
+        assert_eq!(t2.len(), d.tree.len());
+    }
+}

@@ -1,0 +1,256 @@
+//! Vocabulary and sampling utilities shared by the generators: syllabic
+//! pseudo-word construction, Zipfian samplers, and person-name pools.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const ONSETS: &[&str] = &[
+    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p",
+    "pl", "qu", "r", "s", "sh", "st", "t", "th", "tr", "v", "w", "z",
+];
+const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
+const CODAS: &[&str] = &["", "n", "r", "s", "t", "l", "m", "nd", "st", "ck", "x"];
+
+/// Deterministically builds the `i`-th pseudo-word of a vocabulary: a
+/// pronounceable lowercase token of 2–3 syllables. Distinct indices give
+/// distinct words (the index is mixed into every syllable choice).
+pub fn pseudo_word(i: usize) -> String {
+    let mut h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x1234_5678;
+    let mut next = |m: usize| {
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        (h % m as u64) as usize
+    };
+    let syllables = 2 + next(2);
+    let mut w = String::new();
+    for _ in 0..syllables {
+        w.push_str(ONSETS[next(ONSETS.len())]);
+        w.push_str(NUCLEI[next(NUCLEI.len())]);
+        w.push_str(CODAS[next(CODAS.len())]);
+    }
+    // Guarantee global uniqueness across any vocabulary size by suffixing
+    // a base-26 discriminator derived from the index.
+    let mut n = i;
+    loop {
+        w.push((b'a' + (n % 26) as u8) as char);
+        n /= 26;
+        if n == 0 {
+            break;
+        }
+    }
+    w
+}
+
+/// A Zipf-distributed sampler over ranks `0..n` with exponent `s`:
+/// `P(rank k) ∝ 1 / (k+1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. `n ≥ 1`; `s` is typically in `[0.8, 1.4]`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler is over an empty domain (never true).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let x = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c < x)
+    }
+}
+
+/// A themed vocabulary: a shared base lexicon plus a topic-specific
+/// section, sampled with Zipfian skew. Topic sections give the generators
+/// their structure–value correlations (e.g. genre ↔ plot vocabulary).
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    zipf: Zipf,
+}
+
+impl Vocabulary {
+    /// Builds a vocabulary of `size` words whose indices start at
+    /// `offset` in the global pseudo-word space (disjoint offsets give
+    /// disjoint vocabularies).
+    pub fn new(offset: usize, size: usize, zipf_s: f64) -> Self {
+        Vocabulary {
+            words: (offset..offset + size).map(pseudo_word).collect(),
+            zipf: Zipf::new(size, zipf_s),
+        }
+    }
+
+    /// Draws one word.
+    pub fn word(&self, rng: &mut StdRng) -> &str {
+        &self.words[self.zipf.sample(rng)]
+    }
+
+    /// Draws a text of `len` words, space-joined.
+    pub fn text(&self, rng: &mut StdRng, len: usize) -> String {
+        let mut out = String::new();
+        for i in 0..len {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.word(rng));
+        }
+        out
+    }
+
+    /// The `k` most frequent words (lowest ranks) — handy for building
+    /// positive keyword workloads.
+    pub fn top_words(&self, k: usize) -> Vec<&str> {
+        self.words.iter().take(k).map(|s| s.as_str()).collect()
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty (never true — `size ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+/// A pool of person names sampled with Zipfian skew (a few prolific
+/// actors/directors/bidders recur, the long tail appears once or twice).
+#[derive(Debug, Clone)]
+pub struct NamePool {
+    names: Vec<String>,
+    zipf: Zipf,
+}
+
+impl NamePool {
+    /// Builds `size` two-part names from disjoint pseudo-word ranges.
+    pub fn new(offset: usize, size: usize) -> Self {
+        let names = (0..size)
+            .map(|i| {
+                let first = capitalize(&pseudo_word(offset + 2 * i));
+                let last = capitalize(&pseudo_word(offset + 2 * i + 1));
+                format!("{first} {last}")
+            })
+            .collect();
+        NamePool {
+            names,
+            zipf: Zipf::new(size, 0.9),
+        }
+    }
+
+    /// Draws one name.
+    pub fn name(&self, rng: &mut StdRng) -> &str {
+        &self.names[self.zipf.sample(rng)]
+    }
+
+    /// All names (for workload substring sampling).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+fn capitalize(w: &str) -> String {
+    let mut c = w.chars();
+    match c.next() {
+        Some(f) => f.to_ascii_uppercase().to_string() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pseudo_words_are_distinct_and_deterministic() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            let w = pseudo_word(i);
+            assert_eq!(w, pseudo_word(i));
+            assert!(seen.insert(w.clone()), "duplicate word {w} at {i}");
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let z = Zipf::new(1000, 1.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Top-10 of 1000 ranks should absorb far more than the uniform 1%.
+        assert!(head as f64 / n as f64 > 0.2, "head mass {head}/{n}");
+    }
+
+    #[test]
+    fn zipf_covers_all_ranks() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..2000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn vocabulary_text_has_requested_length() {
+        let v = Vocabulary::new(0, 200, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = v.text(&mut rng, 12);
+        assert_eq!(t.split_whitespace().count(), 12);
+    }
+
+    #[test]
+    fn disjoint_offsets_give_disjoint_vocabularies() {
+        let a = Vocabulary::new(0, 100, 1.0);
+        let b = Vocabulary::new(100, 100, 1.0);
+        let sa: std::collections::HashSet<_> = a.top_words(100).into_iter().collect();
+        for w in b.top_words(100) {
+            assert!(!sa.contains(w));
+        }
+    }
+
+    #[test]
+    fn name_pool_shapes() {
+        let p = NamePool::new(50_000, 50);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = p.name(&mut rng);
+        assert_eq!(n.split(' ').count(), 2);
+        assert!(n.chars().next().unwrap().is_ascii_uppercase());
+        assert_eq!(p.names().len(), 50);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_seed() {
+        let v = Vocabulary::new(0, 500, 1.1);
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        assert_eq!(v.text(&mut r1, 30), v.text(&mut r2, 30));
+    }
+}

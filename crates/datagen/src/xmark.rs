@@ -1,0 +1,427 @@
+//! The XMark-like auction-site generator (stand-in for the XMark
+//! benchmark data — see `DESIGN.md` §4).
+//!
+//! Schema (9 summarized value paths, matching the paper's XMark setting):
+//!
+//! ```text
+//! site
+//!   regions
+//!     africa | asia | australia | europe | namerica | samerica
+//!       item*
+//!         name        STRING   ← summarized [item, name]
+//!         quantity    NUMERIC  ← summarized [item, quantity]
+//!         payment     STRING   (not summarized)
+//!         description
+//!           parlist
+//!             listitem*
+//!               text  TEXT     ← summarized [listitem, text]
+//!               parlist…       (recursive, bounded depth)
+//!   people
+//!     person*
+//!       name          STRING   ← summarized [person, name]
+//!       emailaddress  STRING   (not summarized)
+//!       age           NUMERIC  ← summarized [person, age] (optional)
+//!       interest*     STRING   (not summarized)
+//!   open_auctions
+//!     open_auction*
+//!       initial       NUMERIC  ← summarized [open_auction, initial]
+//!       quantity      NUMERIC  (not summarized)
+//!       bidder*
+//!         increase    NUMERIC  ← summarized [bidder, increase]
+//!       annotation
+//!         description TEXT     ← summarized [annotation, description]
+//!   closed_auctions
+//!     closed_auction*
+//!       price         NUMERIC  ← summarized [closed_auction, price]
+//!       annotation
+//!         description TEXT
+//!   categories
+//!     category*
+//!       name          STRING   (not summarized)
+//!       description   TEXT     (not summarized)
+//! ```
+//!
+//! The recursive `parlist`/`listitem` markup reproduces XMark's signature
+//! structural irregularity. Annotation/description texts draw from a
+//! large, flat vocabulary, so individual terms have very low selectivity —
+//! the property behind the paper's high relative (but low absolute) TEXT
+//! errors on XMark (Figures 8(b) and 9).
+
+use crate::words::{NamePool, Vocabulary};
+use crate::{Dataset, ValuePathSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xcluster_xml::{NodeId, Value, ValueType, XmlTree};
+
+/// Generator configuration. `scaled(f)` mirrors XMark's scale factor.
+#[derive(Debug, Clone)]
+pub struct XmarkConfig {
+    /// Total `item` elements across all regions.
+    pub items: usize,
+    /// `person` elements.
+    pub persons: usize,
+    /// `open_auction` elements.
+    pub open_auctions: usize,
+    /// `closed_auction` elements.
+    pub closed_auctions: usize,
+    /// `category` elements.
+    pub categories: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        Self::scaled(1.0)
+    }
+}
+
+impl XmarkConfig {
+    /// A configuration proportional to the paper's ~206 k-element XMark
+    /// document at `factor = 1.0`.
+    pub fn scaled(factor: f64) -> Self {
+        let s = |base: usize| ((base as f64 * factor).round() as usize).max(1);
+        XmarkConfig {
+            items: s(7_000),
+            persons: s(8_500),
+            open_auctions: s(5_500),
+            closed_auctions: s(4_000),
+            categories: s(1_000),
+            seed: 0x0A0C,
+        }
+    }
+}
+
+const REGIONS: &[(&str, f64)] = &[
+    ("africa", 0.06),
+    ("asia", 0.18),
+    ("australia", 0.06),
+    ("europe", 0.30),
+    ("namerica", 0.32),
+    ("samerica", 0.08),
+];
+
+/// Generates an XMark-like data set.
+pub fn generate(cfg: &XmarkConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Flat (s = 0.6) large vocabulary → low per-term selectivity.
+    let prose = Vocabulary::new(400_000, 9_000, 0.6);
+    let item_words = Vocabulary::new(450_000, 1_200, 1.1);
+    let persons_pool = NamePool::new(500_000, 6_000);
+
+    let mut tree = XmlTree::new("site");
+    let root = tree.root();
+
+    // regions -----------------------------------------------------------
+    let regions = tree.add_child(root, "regions");
+    for &(region, share) in REGIONS {
+        let rnode = tree.add_child(regions, region);
+        let n_items = ((cfg.items as f64) * share).round() as usize;
+        for _ in 0..n_items {
+            gen_item(&mut tree, rnode, &mut rng, &item_words, &prose, region);
+        }
+    }
+
+    // people --------------------------------------------------------------
+    let people = tree.add_child(root, "people");
+    for i in 0..cfg.persons {
+        let person = tree.add_child(people, "person");
+        let name = tree.add_child(person, "name");
+        tree.set_value(name, Value::String(persons_pool.name(&mut rng).to_string()));
+        let email = tree.add_child(person, "emailaddress");
+        tree.set_value(
+            email,
+            Value::String(format!("mailto:user{i}@{}.example", crate::words::pseudo_word(i % 97))),
+        );
+        if rng.gen_bool(0.7) {
+            let age = tree.add_child(person, "age");
+            // Ages skew young, long tail to 90.
+            let a = 18 + (rng.gen_range(0.0f64..1.0).powf(2.0) * 72.0) as u64;
+            tree.set_value(age, Value::Numeric(a));
+        }
+        for _ in 0..rng.gen_range(0..3) {
+            let interest = tree.add_child(person, "interest");
+            tree.set_value(
+                interest,
+                Value::String(item_words.word(&mut rng).to_string()),
+            );
+        }
+    }
+
+    // open auctions -------------------------------------------------------
+    let opens = tree.add_child(root, "open_auctions");
+    for _ in 0..cfg.open_auctions {
+        let auction = tree.add_child(opens, "open_auction");
+        let initial = tree.add_child(auction, "initial");
+        let base_price = lognormal_price(&mut rng);
+        tree.set_value(initial, Value::Numeric(base_price));
+        let qty = tree.add_child(auction, "quantity");
+        tree.set_value(qty, Value::Numeric(rng.gen_range(1..10)));
+        // Bid count is heavily skewed: most auctions quiet, a few hot.
+        let n_bids = (rng.gen_range(0.0f64..1.0).powf(3.0) * 12.0) as usize;
+        let mut current = base_price;
+        for _ in 0..n_bids {
+            let bidder = tree.add_child(auction, "bidder");
+            let increase = tree.add_child(bidder, "increase");
+            let inc = 1 + current / rng.gen_range(10..40);
+            current += inc;
+            tree.set_value(increase, Value::Numeric(inc));
+        }
+        gen_annotation(&mut tree, auction, &mut rng, &prose);
+    }
+
+    // closed auctions -------------------------------------------------------
+    let closeds = tree.add_child(root, "closed_auctions");
+    for _ in 0..cfg.closed_auctions {
+        let auction = tree.add_child(closeds, "closed_auction");
+        let price = tree.add_child(auction, "price");
+        tree.set_value(price, Value::Numeric(lognormal_price(&mut rng)));
+        gen_annotation(&mut tree, auction, &mut rng, &prose);
+    }
+
+    // categories ----------------------------------------------------------
+    let cats = tree.add_child(root, "categories");
+    for _ in 0..cfg.categories {
+        let cat = tree.add_child(cats, "category");
+        let name = tree.add_child(cat, "name");
+        tree.set_value(name, Value::String(item_words.word(&mut rng).to_string()));
+        let desc = tree.add_child(cat, "description");
+        let len = rng.gen_range(6..16);
+        let text = prose.text(&mut rng, len);
+        tree.set_text_value(desc, &text);
+    }
+
+    Dataset {
+        name: "xmark",
+        tree,
+        value_paths: value_paths(),
+    }
+}
+
+/// The 9 summarized value paths of the XMark setting.
+pub fn value_paths() -> Vec<ValuePathSpec> {
+    vec![
+        ValuePathSpec::new(&["item", "name"], ValueType::String),
+        ValuePathSpec::new(&["item", "quantity"], ValueType::Numeric),
+        ValuePathSpec::new(&["listitem", "text"], ValueType::Text),
+        ValuePathSpec::new(&["person", "name"], ValueType::String),
+        ValuePathSpec::new(&["person", "age"], ValueType::Numeric),
+        ValuePathSpec::new(&["open_auction", "initial"], ValueType::Numeric),
+        ValuePathSpec::new(&["bidder", "increase"], ValueType::Numeric),
+        ValuePathSpec::new(&["annotation", "description"], ValueType::Text),
+        ValuePathSpec::new(&["closed_auction", "price"], ValueType::Numeric),
+    ]
+}
+
+fn gen_item(
+    tree: &mut XmlTree,
+    region: NodeId,
+    rng: &mut StdRng,
+    item_words: &Vocabulary,
+    prose: &Vocabulary,
+    region_name: &str,
+) {
+    let item = tree.add_child(region, "item");
+    let name = tree.add_child(item, "name");
+    // Region-flavoured names: prefixing keeps substring predicates
+    // correlated with structure.
+    let n = format!("{} {}", item_words.word(rng), region_name);
+    tree.set_value(name, Value::String(n));
+    let qty = tree.add_child(item, "quantity");
+    tree.set_value(qty, Value::Numeric(rng.gen_range(1..25)));
+    if rng.gen_bool(0.6) {
+        let pay = tree.add_child(item, "payment");
+        let p = ["Cash", "Creditcard", "Money order", "Personal Check"][rng.gen_range(0..4)];
+        tree.set_value(pay, Value::String(p.to_string()));
+    }
+    let desc = tree.add_child(item, "description");
+    gen_parlist(tree, desc, rng, prose, 0);
+}
+
+/// XMark's recursive description markup: `parlist → listitem → (text |
+/// parlist)`, nesting bounded at depth 3.
+fn gen_parlist(
+    tree: &mut XmlTree,
+    parent: NodeId,
+    rng: &mut StdRng,
+    prose: &Vocabulary,
+    depth: usize,
+) {
+    let parlist = tree.add_child(parent, "parlist");
+    let n_items = rng.gen_range(1..=3);
+    for _ in 0..n_items {
+        let li = tree.add_child(parlist, "listitem");
+        if depth < 2 && rng.gen_bool(0.18) {
+            gen_parlist(tree, li, rng, prose, depth + 1);
+        } else {
+            let text = tree.add_child(li, "text");
+            let len = rng.gen_range(8..20);
+            let t = prose.text(rng, len);
+            tree.set_text_value(text, &t);
+        }
+    }
+}
+
+fn gen_annotation(tree: &mut XmlTree, parent: NodeId, rng: &mut StdRng, prose: &Vocabulary) {
+    let ann = tree.add_child(parent, "annotation");
+    let desc = tree.add_child(ann, "description");
+    let len = rng.gen_range(10..22);
+    let t = prose.text(rng, len);
+    tree.set_text_value(desc, &t);
+}
+
+fn lognormal_price(rng: &mut StdRng) -> u64 {
+    // Approximate log-normal via exponentiated uniform mixture.
+    let x: f64 = rng.gen_range(0.0..1.0);
+    (8.0 * (1.0 / (1.0 - x * 0.999)).powf(0.8)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        generate(&XmarkConfig {
+            items: 120,
+            persons: 100,
+            open_auctions: 80,
+            closed_auctions: 60,
+            categories: 20,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = xcluster_xml::write_document(&small().tree);
+        let b = xcluster_xml::write_document(&small().tree);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn has_nine_value_paths() {
+        assert_eq!(value_paths().len(), 9);
+    }
+
+    #[test]
+    fn all_regions_present() {
+        let d = small();
+        let regions = d
+            .tree
+            .children(d.tree.root())
+            .find(|&n| d.tree.label_str(n) == "regions")
+            .unwrap();
+        let names: Vec<&str> = d.tree.children(regions).map(|c| d.tree.label_str(c)).collect();
+        assert_eq!(
+            names,
+            vec!["africa", "asia", "australia", "europe", "namerica", "samerica"]
+        );
+    }
+
+    #[test]
+    fn value_types_match_specs() {
+        let d = small();
+        let specs = value_paths();
+        let mut matched = vec![0usize; specs.len()];
+        for n in d.tree.all_nodes() {
+            let path = d.tree.label_path(n);
+            let labels: Vec<&str> = path.iter().map(|&s| d.tree.labels().resolve(s)).collect();
+            for (i, spec) in specs.iter().enumerate() {
+                if spec.matches(&labels) {
+                    matched[i] += 1;
+                    assert_eq!(d.tree.value_type(n), spec.value_type, "at {labels:?}");
+                }
+            }
+        }
+        for (i, m) in matched.iter().enumerate() {
+            assert!(*m > 0, "value path {i} matched no elements");
+        }
+    }
+
+    #[test]
+    fn descriptions_nest_recursively() {
+        let d = generate(&XmarkConfig {
+            items: 600,
+            persons: 10,
+            open_auctions: 10,
+            closed_auctions: 10,
+            categories: 5,
+            seed: 2,
+        });
+        // Some parlist must contain a listitem that contains a parlist.
+        let mut found_nested = false;
+        for n in d.tree.all_nodes() {
+            if d.tree.label_str(n) == "parlist" {
+                let depth = d
+                    .tree
+                    .label_path(n)
+                    .iter()
+                    .filter(|&&s| d.tree.labels().resolve(s) == "parlist")
+                    .count();
+                if depth >= 2 {
+                    found_nested = true;
+                    break;
+                }
+            }
+        }
+        assert!(found_nested, "no recursive parlist nesting generated");
+    }
+
+    #[test]
+    fn bid_counts_are_skewed() {
+        let d = small();
+        let mut zero = 0;
+        let mut many = 0;
+        let mut total = 0;
+        for n in d.tree.all_nodes() {
+            if d.tree.label_str(n) == "open_auction" {
+                total += 1;
+                let bids = d
+                    .tree
+                    .children(n)
+                    .filter(|&c| d.tree.label_str(c) == "bidder")
+                    .count();
+                if bids == 0 {
+                    zero += 1;
+                }
+                if bids >= 6 {
+                    many += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(zero > total / 4, "expected many quiet auctions: {zero}/{total}");
+        assert!(many > 0, "expected a few hot auctions");
+    }
+
+    #[test]
+    fn prices_have_long_tail() {
+        let d = small();
+        let prices: Vec<u64> = d
+            .tree
+            .all_nodes()
+            .filter(|&n| d.tree.label_str(n) == "price")
+            .map(|n| d.tree.value(n).as_numeric().unwrap())
+            .collect();
+        assert!(!prices.is_empty());
+        let max = *prices.iter().max().unwrap();
+        let min = *prices.iter().min().unwrap();
+        assert!(max > min * 5, "price spread too flat: {min}..{max}");
+    }
+
+    #[test]
+    fn serializes_to_parseable_xml() {
+        let d = small();
+        let xml = xcluster_xml::write_document(&d.tree);
+        let reparsed = xcluster_xml::parse(&xml).unwrap();
+        assert_eq!(reparsed.len(), d.tree.len());
+    }
+
+    #[test]
+    fn paper_scale_config_is_large() {
+        let c = XmarkConfig::default();
+        assert!(c.items >= 5_000);
+        let c01 = XmarkConfig::scaled(0.1);
+        assert_eq!(c01.items, 700);
+    }
+}

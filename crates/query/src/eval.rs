@@ -1,0 +1,448 @@
+//! Exact twig evaluation over an [`XmlTree`] — the ground truth against
+//! which synopsis estimates are scored (paper Section 6.1: "true result
+//! size").
+//!
+//! The selectivity `s(Q)` is the number of *binding tuples*: assignments
+//! of document elements to every variable node of the twig satisfying all
+//! structural (axis + label) and value constraints. Filter branches are
+//! existentially quantified.
+//!
+//! [`EvalIndex`] precomputes preorder intervals and per-label element
+//! lists so that descendant-axis matching is a binary search instead of a
+//! subtree scan.
+
+use crate::twig::{Axis, LabelTest, NodeKind, TwigQuery};
+use std::collections::HashMap;
+use xcluster_xml::{NodeId, Symbol, XmlTree};
+
+/// Preorder/label index over a document, reusable across queries.
+#[derive(Debug)]
+pub struct EvalIndex {
+    /// Preorder rank of each node (indexed by `NodeId`).
+    pre: Vec<u32>,
+    /// Largest preorder rank within each node's subtree (inclusive).
+    max_pre: Vec<u32>,
+    /// Per-label element lists, sorted by preorder rank.
+    by_label: HashMap<Symbol, Vec<NodeId>>,
+    /// All elements sorted by preorder rank (wildcard matching).
+    all: Vec<NodeId>,
+}
+
+impl EvalIndex {
+    /// Builds the index with one DFS over the document.
+    pub fn build(tree: &XmlTree) -> Self {
+        let n = tree.len();
+        let mut pre = vec![0u32; n];
+        let mut max_pre = vec![0u32; n];
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        // Iterative DFS assigning preorder ranks.
+        let mut stack = vec![(tree.root(), false)];
+        let mut counter = 0u32;
+        while let Some((node, processed)) = stack.pop() {
+            if processed {
+                // Post-visit: subtree max is the running counter - 1.
+                max_pre[node.index()] = counter - 1;
+                continue;
+            }
+            pre[node.index()] = counter;
+            counter += 1;
+            order.push(node);
+            stack.push((node, true));
+            let children: Vec<NodeId> = tree.children(node).collect();
+            for c in children.into_iter().rev() {
+                stack.push((c, false));
+            }
+        }
+        let mut by_label: HashMap<Symbol, Vec<NodeId>> = HashMap::new();
+        for &node in &order {
+            by_label.entry(tree.label(node)).or_default().push(node);
+        }
+        EvalIndex {
+            pre,
+            max_pre,
+            by_label,
+            all: order,
+        }
+    }
+
+    /// Preorder rank of `node`.
+    pub fn pre(&self, node: NodeId) -> u32 {
+        self.pre[node.index()]
+    }
+
+    /// Whether `desc` is a proper descendant of `anc`.
+    pub fn is_descendant(&self, desc: NodeId, anc: NodeId) -> bool {
+        let p = self.pre[desc.index()];
+        p > self.pre[anc.index()] && p <= self.max_pre[anc.index()]
+    }
+
+    /// Elements with label `label` that are proper descendants of `of`.
+    fn descendants_with_label<'a>(
+        &'a self,
+        tree: &XmlTree,
+        of: NodeId,
+        label: &LabelTest,
+    ) -> &'a [NodeId] {
+        let list: &[NodeId] = match label {
+            LabelTest::Wildcard => &self.all,
+            LabelTest::Tag(t) => match tree.labels().get(t) {
+                Some(sym) => self.by_label.get(&sym).map(|v| v.as_slice()).unwrap_or(&[]),
+                None => &[],
+            },
+        };
+        let lo = self.pre[of.index()] + 1;
+        let hi = self.max_pre[of.index()];
+        if lo > hi {
+            return &[];
+        }
+        let start = list.partition_point(|&n| self.pre[n.index()] < lo);
+        let end = list.partition_point(|&n| self.pre[n.index()] <= hi);
+        &list[start..end]
+    }
+
+    /// Total number of elements with a given tag.
+    pub fn label_count(&self, tree: &XmlTree, tag: &str) -> usize {
+        tree.labels()
+            .get(tag)
+            .and_then(|s| self.by_label.get(&s))
+            .map_or(0, |v| v.len())
+    }
+}
+
+/// Evaluates the exact selectivity (binding-tuple count) of `query`.
+pub fn evaluate(query: &TwigQuery, tree: &XmlTree, index: &EvalIndex) -> f64 {
+    debug_assert!(query.filters_are_existential());
+    let mut ev = Evaluator {
+        query,
+        tree,
+        index,
+        var_memo: HashMap::new(),
+        filter_memo: HashMap::new(),
+    };
+    let root = query.root();
+    let mut product = 1.0;
+    for &c in &query.node(root).children {
+        product *= ev.child_factor(c, tree.root());
+        if product == 0.0 {
+            return 0.0;
+        }
+    }
+    product
+}
+
+struct Evaluator<'a> {
+    query: &'a TwigQuery,
+    tree: &'a XmlTree,
+    index: &'a EvalIndex,
+    /// Binding count of the variable subtree rooted at (qnode, element).
+    var_memo: HashMap<(usize, NodeId), f64>,
+    /// Existential satisfaction of the filter subtree at (qnode, element).
+    filter_memo: HashMap<(usize, NodeId), bool>,
+}
+
+impl Evaluator<'_> {
+    /// The multiplicative contribution of query child `q` when its parent
+    /// is bound to `e`: the number of valid bindings of the `q`-subtree
+    /// (variables) or the 0/1 existence indicator (filters).
+    fn child_factor(&mut self, q: usize, e: NodeId) -> f64 {
+        let node = self.query.node(q);
+        match node.kind {
+            NodeKind::Variable => {
+                let mut sum = 0.0;
+                for cand in self.candidates(q, e) {
+                    sum += self.subtree_bindings(q, cand);
+                }
+                sum
+            }
+            NodeKind::Filter => {
+                let cands = self.candidates(q, e);
+                if cands.iter().any(|&cand| self.filter_satisfied(q, cand)) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Elements matching `q`'s axis + label from parent binding `e`.
+    fn candidates(&self, q: usize, e: NodeId) -> Vec<NodeId> {
+        let node = self.query.node(q);
+        match node.axis {
+            Axis::Child => self
+                .tree
+                .children(e)
+                .filter(|&c| node.label.matches(self.tree.label_str(c)))
+                .collect(),
+            Axis::Descendant => self
+                .index
+                .descendants_with_label(self.tree, e, &node.label)
+                .to_vec(),
+        }
+    }
+
+    /// Number of bindings of the variable subtree rooted at `q` when `q`
+    /// is bound to `e` (0 if `e` fails `q`'s own predicate).
+    fn subtree_bindings(&mut self, q: usize, e: NodeId) -> f64 {
+        if let Some(&m) = self.var_memo.get(&(q, e)) {
+            return m;
+        }
+        let node = self.query.node(q);
+        let ok = node
+            .predicate
+            .as_ref()
+            .is_none_or(|p| p.matches(self.tree.value(e)));
+        let result = if !ok {
+            0.0
+        } else {
+            let mut product = 1.0;
+            for &c in &node.children {
+                product *= self.child_factor(c, e);
+                if product == 0.0 {
+                    break;
+                }
+            }
+            product
+        };
+        self.var_memo.insert((q, e), result);
+        result
+    }
+
+    /// Whether the filter subtree at `q` is satisfied by binding `e`.
+    fn filter_satisfied(&mut self, q: usize, e: NodeId) -> bool {
+        if let Some(&m) = self.filter_memo.get(&(q, e)) {
+            return m;
+        }
+        let node = self.query.node(q);
+        let mut ok = node
+            .predicate
+            .as_ref()
+            .is_none_or(|p| p.matches(self.tree.value(e)));
+        if ok {
+            for &c in &node.children {
+                let cands = self.candidates(c, e);
+                if !cands.iter().any(|&cand| self.filter_satisfied(c, cand)) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        self.filter_memo.insert((q, e), ok);
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_twig;
+    use crate::twig::TwigQuery;
+    use xcluster_summaries::ValuePredicate;
+    use xcluster_xml::{parse, Value};
+
+    fn bib() -> (XmlTree, EvalIndex) {
+        // The paper's Figure 1 document.
+        let mut t = XmlTree::new("dblp");
+        let a1 = t.add_child(t.root(), "author");
+        let p2 = t.add_child(a1, "paper");
+        let y3 = t.add_child(p2, "year");
+        t.set_value(y3, Value::Numeric(2000));
+        let t4 = t.add_child(p2, "title");
+        t.set_value(t4, Value::String("Counting Twig Matches".into()));
+        let k5 = t.add_child(p2, "keywords");
+        t.set_text_value(k5, "xml summary");
+        let n6 = t.add_child(a1, "name");
+        t.set_value(n6, Value::String("First Author".into()));
+        let p7 = t.add_child(a1, "paper");
+        let y8 = t.add_child(p7, "year");
+        t.set_value(y8, Value::Numeric(2002));
+        let t9 = t.add_child(p7, "title");
+        t.set_value(t9, Value::String("Holistic Twigs".into()));
+        let ab10 = t.add_child(p7, "abstract");
+        t.set_text_value(ab10, "xml employs a tree synopsis");
+        let a11 = t.add_child(t.root(), "author");
+        let n12 = t.add_child(a11, "name");
+        t.set_value(n12, Value::String("Second Author".into()));
+        let b13 = t.add_child(a11, "book");
+        let y14 = t.add_child(b13, "year");
+        t.set_value(y14, Value::Numeric(2002));
+        let t15 = t.add_child(b13, "title");
+        t.set_value(t15, Value::String("Database Systems".into()));
+        let f16 = t.add_child(b13, "foreword");
+        t.set_text_value(f16, "database systems have evolved");
+        let idx = EvalIndex::build(&t);
+        (t, idx)
+    }
+
+    #[test]
+    fn index_descendant_relation() {
+        let (t, idx) = bib();
+        let a1 = t.children(t.root()).next().unwrap();
+        let p2 = t.children(a1).next().unwrap();
+        let y3 = t.children(p2).next().unwrap();
+        assert!(idx.is_descendant(y3, a1));
+        assert!(idx.is_descendant(y3, t.root()));
+        assert!(!idx.is_descendant(a1, y3));
+        assert!(!idx.is_descendant(a1, a1));
+    }
+
+    #[test]
+    fn simple_descendant_count() {
+        let (t, idx) = bib();
+        let q = parse_twig("//paper", t.terms()).unwrap();
+        assert_eq!(evaluate(&q, &t, &idx), 2.0);
+        let q = parse_twig("//year", t.terms()).unwrap();
+        assert_eq!(evaluate(&q, &t, &idx), 3.0);
+    }
+
+    #[test]
+    fn child_vs_descendant_axis() {
+        let (t, idx) = bib();
+        assert_eq!(evaluate(&parse_twig("/author", t.terms()).unwrap(), &t, &idx), 2.0);
+        assert_eq!(evaluate(&parse_twig("/year", t.terms()).unwrap(), &t, &idx), 0.0);
+        assert_eq!(
+            evaluate(&parse_twig("/author/paper/year", t.terms()).unwrap(), &t, &idx),
+            2.0
+        );
+    }
+
+    #[test]
+    fn wildcard_counts_everything() {
+        let (t, idx) = bib();
+        assert_eq!(evaluate(&parse_twig("//*", t.terms()).unwrap(), &t, &idx), 16.0);
+        assert_eq!(evaluate(&parse_twig("/*", t.terms()).unwrap(), &t, &idx), 2.0);
+    }
+
+    #[test]
+    fn binding_tuples_multiply_across_branches() {
+        let (t, idx) = bib();
+        // For each author: papers × name bindings. First author: 2 papers ×
+        // 1 name = 2; second: 0 papers (book) → 0 total for that author.
+        let q = parse_twig("//author{/paper}{/name}", t.terms()).unwrap();
+        assert_eq!(evaluate(&q, &t, &idx), 2.0);
+        // paper/title × paper/year per paper = 1 each → 2 papers = 2.
+        let q = parse_twig("//paper{/title}{/year}", t.terms()).unwrap();
+        assert_eq!(evaluate(&q, &t, &idx), 2.0);
+    }
+
+    #[test]
+    fn numeric_filter() {
+        let (t, idx) = bib();
+        let q = parse_twig("//paper[year>2000]", t.terms()).unwrap();
+        assert_eq!(evaluate(&q, &t, &idx), 1.0);
+        let q = parse_twig("//paper[year>=2000]", t.terms()).unwrap();
+        assert_eq!(evaluate(&q, &t, &idx), 2.0);
+        let q = parse_twig("//*[year=2002]", t.terms()).unwrap();
+        assert_eq!(evaluate(&q, &t, &idx), 2.0); // paper + book
+    }
+
+    #[test]
+    fn predicate_on_variable_node() {
+        let (t, idx) = bib();
+        let q = parse_twig("//title[contains(Twig)]", t.terms()).unwrap();
+        assert_eq!(evaluate(&q, &t, &idx), 2.0);
+        let q = parse_twig("//title[contains(Database)]", t.terms()).unwrap();
+        assert_eq!(evaluate(&q, &t, &idx), 1.0);
+    }
+
+    #[test]
+    fn ftcontains_filter() {
+        let (t, idx) = bib();
+        let q = parse_twig("//paper[abstract ftcontains(xml, synopsis)]", t.terms()).unwrap();
+        assert_eq!(evaluate(&q, &t, &idx), 1.0);
+        let q = parse_twig("//paper[abstract ftcontains(nosuch)]", t.terms()).unwrap();
+        assert_eq!(evaluate(&q, &t, &idx), 0.0);
+    }
+
+    #[test]
+    fn figure2_query() {
+        let (t, idx) = bib();
+        // //paper[year>2000] {title} {abstract ftcontains synopsis}:
+        // only p7 qualifies (year 2002, has abstract with "synopsis").
+        let q = parse_twig(
+            "//paper[year>2000]{/title}{/abstract[ftcontains(synopsis)]}",
+            t.terms(),
+        )
+        .unwrap();
+        assert_eq!(evaluate(&q, &t, &idx), 1.0);
+    }
+
+    #[test]
+    fn nested_filter_paths() {
+        let (t, idx) = bib();
+        let q = parse_twig("//author[paper/title contains(Holistic)]/name", t.terms()).unwrap();
+        assert_eq!(evaluate(&q, &t, &idx), 1.0);
+        let q = parse_twig("//author[book]/name", t.terms()).unwrap();
+        assert_eq!(evaluate(&q, &t, &idx), 1.0);
+    }
+
+    #[test]
+    fn descendant_axis_inside_query() {
+        let (t, idx) = bib();
+        let q = parse_twig("/author//title", t.terms()).unwrap();
+        assert_eq!(evaluate(&q, &t, &idx), 3.0);
+    }
+
+    #[test]
+    fn empty_result_on_absent_labels() {
+        let (t, idx) = bib();
+        let q = parse_twig("//nonexistent", t.terms()).unwrap();
+        assert_eq!(evaluate(&q, &t, &idx), 0.0);
+    }
+
+    #[test]
+    fn recursion_safe_on_nested_same_labels() {
+        // a > a > a chain: //a//a counts (ancestor, descendant) pairs... as
+        // separate variables it counts each binding of the deeper variable
+        // per outer binding: outer a at depth1 has 2 descendants a, a at
+        // depth2 has 1 → //a//a = 3.
+        let t = parse("<r><a><a><a></a></a></a></r>").unwrap();
+        let idx = EvalIndex::build(&t);
+        let q = parse_twig("//a//a", t.terms()).unwrap();
+        assert_eq!(evaluate(&q, &t, &idx), 3.0);
+    }
+
+    #[test]
+    fn programmatic_builder_query() {
+        let (t, idx) = bib();
+        let mut q = TwigQuery::new();
+        let paper = q.step(q.root(), crate::twig::Axis::Descendant, "paper");
+        let year = q.filter(paper, crate::twig::Axis::Child, "year");
+        q.set_predicate(year, ValuePredicate::Range { lo: 0, hi: 2001 });
+        assert_eq!(evaluate(&q, &t, &idx), 1.0);
+    }
+
+    #[test]
+    fn label_count_helper() {
+        let (t, idx) = bib();
+        assert_eq!(idx.label_count(&t, "paper"), 2);
+        assert_eq!(idx.label_count(&t, "year"), 3);
+        assert_eq!(idx.label_count(&t, "zzz"), 0);
+    }
+
+    #[test]
+    fn large_dataset_smoke() {
+        let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: 300,
+            seed: 5,
+        });
+        let idx = EvalIndex::build(&d.tree);
+        // Every sixth entry is a series, the rest are movies.
+        let movies = evaluate(&parse_twig("//movie", d.tree.terms()).unwrap(), &d.tree, &idx);
+        assert_eq!(movies, 250.0);
+        let series = evaluate(&parse_twig("//series", d.tree.terms()).unwrap(), &d.tree, &idx);
+        assert_eq!(series, 50.0);
+        let filtered = evaluate(
+            &parse_twig("//movie[year>=1990]/title", d.tree.terms()).unwrap(),
+            &d.tree,
+            &idx,
+        );
+        assert!(filtered > 0.0 && filtered < 300.0, "{filtered}");
+        let twig = evaluate(
+            &parse_twig("//movie{/cast/actor/name}{/director/name}", d.tree.terms()).unwrap(),
+            &d.tree,
+            &idx,
+        );
+        assert!(twig >= 300.0, "{twig}");
+    }
+}

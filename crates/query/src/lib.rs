@@ -1,0 +1,28 @@
+//! Twig queries with value predicates (paper Section 2, "Query Model"),
+//! their exact evaluation over XML trees, and the workload generators of
+//! the experimental study (Section 6.1).
+//!
+//! A twig query is a node- and edge-labeled tree of *steps*. Each step
+//! binds a query variable (or acts as an existential *filter* branch),
+//! constrains the element label (tag test or wildcard) and the axis from
+//! its parent (child `/` or descendant `//`), and may carry a value
+//! predicate — numeric range, substring `contains`, or IR-style
+//! `ftcontains`. The *selectivity* `s(Q)` of a twig is the number of
+//! binding tuples: assignments of document elements to all *variable*
+//! query nodes that satisfy every structural and value constraint.
+//!
+//! * [`twig`] — the query tree model and builder;
+//! * [`parser`] — a compact text syntax (`//movie[year>2000]{title}`);
+//! * [`eval`] — the exact evaluator (ground truth for the experiments);
+//! * [`workload`] — positive/negative workload generators biased toward
+//!   high-count paths, as in the paper's methodology.
+
+pub mod eval;
+pub mod parser;
+pub mod twig;
+pub mod workload;
+
+pub use eval::{evaluate, EvalIndex};
+pub use parser::{parse_twig, TwigParseError};
+pub use twig::{Axis, LabelTest, NodeKind, TwigNode, TwigQuery};
+pub use workload::{QueryClass, Workload, WorkloadConfig, WorkloadQuery};

@@ -1,0 +1,571 @@
+//! A compact text syntax for twig queries.
+//!
+//! Grammar (XPath child/descendant subset plus an explicit twig-branch
+//! form):
+//!
+//! ```text
+//! twig    := segment+
+//! segment := ("//" | "/") name branch*
+//! name    := tag | "*"
+//! branch  := "[" inner "]"          existential filter branch
+//!          | "{" relative-twig "}"  variable branch (extra twig leg)
+//! inner   := vpred                  value predicate on the current step
+//!          | relpath [vpred]        filter path, vpred on its last step
+//! vpred   := (">" | ">=" | "<" | "<=" | "=") integer
+//!          | "in" integer ".." integer
+//!          | "contains(" chars ")"
+//!          | "ftcontains(" term ("," term)* ")"
+//!          | "similar(" integer ";" term ("," term)* ")"
+//! ```
+//!
+//! Examples:
+//!
+//! * `//movie[year>2000]/title` — movies after 2000, binding their titles;
+//! * `//movie{/cast/actor/name}{/title[contains(Tree)]}` — a twig with
+//!   two variable legs (the paper's Figure 2 shape);
+//! * `//open_auction[annotation/description ftcontains(gold)]` — keyword
+//!   filter on a nested path.
+//!
+//! `ftcontains` terms are resolved against the document's term dictionary;
+//! unknown terms map to a sentinel that matches nothing (their true
+//! selectivity is zero).
+
+use crate::twig::{Axis, LabelTest, NodeKind, TwigQuery};
+use std::fmt;
+use xcluster_summaries::ValuePredicate;
+use xcluster_xml::{Interner, Symbol};
+
+/// Sentinel term id for dictionary misses (never matches any text).
+pub const UNKNOWN_TERM: Symbol = Symbol(u32::MAX);
+
+/// A twig-syntax parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwigParseError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for TwigParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "twig parse error at {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for TwigParseError {}
+
+/// Parses a twig query, resolving `ftcontains` terms against `terms`.
+pub fn parse_twig(input: &str, terms: &Interner) -> Result<TwigQuery, TwigParseError> {
+    let mut p = P {
+        s: input.as_bytes(),
+        pos: 0,
+        terms,
+    };
+    let mut q = TwigQuery::new();
+    let root = q.root();
+    // Branches of the implicit root: extra twig legs `{…}` and filter
+    // branches `[…]` may precede the main path (this is the parser's own
+    // `Display` normal form for multi-leg twigs rooted at the document).
+    loop {
+        p.skip_ws();
+        if p.eat(b'{') {
+            p.parse_path(&mut q, root, NodeKind::Variable, false)?;
+            p.skip_ws();
+            if !p.eat(b'}') {
+                return p.fail("expected '}'");
+            }
+        } else if p.eat(b'[') {
+            let last = p.parse_path(&mut q, root, NodeKind::Filter, false)?;
+            p.skip_ws();
+            if p.at_vpred() {
+                let pred = p.parse_vpred()?;
+                q.set_predicate(last, pred);
+            }
+            p.skip_ws();
+            if !p.eat(b']') {
+                return p.fail("expected ']'");
+            }
+        } else {
+            break;
+        }
+    }
+    if p.pos < p.s.len() {
+        p.parse_path(&mut q, root, NodeKind::Variable, true)?;
+    }
+    p.skip_ws();
+    if p.pos < p.s.len() {
+        return p.fail("unexpected trailing input");
+    }
+    if q.len() == 1 {
+        return p.fail("empty query");
+    }
+    Ok(q)
+}
+
+struct P<'a> {
+    s: &'a [u8],
+    pos: usize,
+    terms: &'a Interner,
+}
+
+impl<'a> P<'a> {
+    fn fail<T>(&self, msg: impl Into<String>) -> Result<T, TwigParseError> {
+        Err(TwigParseError {
+            offset: self.pos,
+            message: msg.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Parses `axis name branch*` repeatedly until a closing delimiter.
+    /// `require_axis`: whether the first segment must start with `/`
+    /// (inside `{}`/`[]` a leading name implies the child axis).
+    fn parse_path(
+        &mut self,
+        q: &mut TwigQuery,
+        start: usize,
+        kind: NodeKind,
+        require_axis: bool,
+    ) -> Result<usize, TwigParseError> {
+        let mut cur = start;
+        let mut first = true;
+        loop {
+            self.skip_ws();
+            let axis = if self.eat(b'/') {
+                if self.eat(b'/') {
+                    Axis::Descendant
+                } else {
+                    Axis::Child
+                }
+            } else if first && !require_axis && matches!(self.peek(), Some(c) if is_name(c) || c == b'*')
+            {
+                Axis::Child
+            } else if first {
+                return self.fail("expected '/' or '//'");
+            } else {
+                break;
+            };
+            first = false;
+            let label = self.parse_name()?;
+            cur = q.add_step(cur, axis, label, kind);
+            // Branches and predicates.
+            loop {
+                self.skip_ws();
+                if self.eat(b'[') {
+                    self.parse_bracket(q, cur)?;
+                } else if self.eat(b'{') {
+                    if kind == NodeKind::Filter {
+                        return self.fail("variable branch inside a filter");
+                    }
+                    self.parse_path(q, cur, NodeKind::Variable, false)?;
+                    self.skip_ws();
+                    if !self.eat(b'}') {
+                        return self.fail("expected '}'");
+                    }
+                } else {
+                    break;
+                }
+            }
+            if self.peek() != Some(b'/') {
+                break;
+            }
+        }
+        Ok(cur)
+    }
+
+    fn parse_name(&mut self) -> Result<LabelTest, TwigParseError> {
+        self.skip_ws();
+        if self.eat(b'*') {
+            return Ok(LabelTest::Wildcard);
+        }
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if is_name(c)) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.fail("expected element name or '*'");
+        }
+        Ok(LabelTest::Tag(
+            std::str::from_utf8(&self.s[start..self.pos])
+                .map_err(|_| TwigParseError {
+                    offset: start,
+                    message: "name is not UTF-8".into(),
+                })?
+                .to_string(),
+        ))
+    }
+
+    /// Contents of a `[...]` filter branch: either a value predicate on
+    /// the current step, or a filter path whose last step may carry one.
+    fn parse_bracket(&mut self, q: &mut TwigQuery, cur: usize) -> Result<(), TwigParseError> {
+        self.skip_ws();
+        if self.at_vpred() {
+            let pred = self.parse_vpred()?;
+            q.set_predicate(cur, pred);
+        } else {
+            let last = self.parse_path(q, cur, NodeKind::Filter, false)?;
+            self.skip_ws();
+            if self.at_vpred() {
+                let pred = self.parse_vpred()?;
+                q.set_predicate(last, pred);
+            }
+        }
+        self.skip_ws();
+        if !self.eat(b']') {
+            return self.fail("expected ']'");
+        }
+        Ok(())
+    }
+
+    fn at_vpred(&self) -> bool {
+        match self.peek() {
+            Some(b'>') | Some(b'<') | Some(b'=') => true,
+            _ => {
+                let rest = &self.s[self.pos..];
+                rest.starts_with(b"in ")
+                    || rest.starts_with(b"contains(")
+                    || rest.starts_with(b"ftcontains(")
+                    || rest.starts_with(b"similar(")
+            }
+        }
+    }
+
+    fn parse_vpred(&mut self) -> Result<ValuePredicate, TwigParseError> {
+        let rest = &self.s[self.pos..];
+        if rest.starts_with(b"ftcontains(") {
+            self.pos += b"ftcontains(".len();
+            let mut terms = Vec::new();
+            loop {
+                self.skip_ws();
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c != b',' && c != b')') {
+                    self.pos += 1;
+                }
+                let word = std::str::from_utf8(&self.s[start..self.pos])
+                    .unwrap_or("")
+                    .trim()
+                    .to_ascii_lowercase();
+                if word.is_empty() {
+                    return self.fail("empty ftcontains term");
+                }
+                terms.push(self.terms.get(&word).unwrap_or(UNKNOWN_TERM));
+                if self.eat(b')') {
+                    break;
+                }
+                if !self.eat(b',') {
+                    return self.fail("expected ',' or ')' in ftcontains");
+                }
+            }
+            return Ok(ValuePredicate::FtContains { terms });
+        }
+        if rest.starts_with(b"similar(") {
+            self.pos += b"similar(".len();
+            let min_overlap = self.parse_int()? as usize;
+            self.skip_ws();
+            if !self.eat(b';') {
+                return self.fail("expected ';' after similar() overlap");
+            }
+            let mut terms = Vec::new();
+            loop {
+                self.skip_ws();
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c != b',' && c != b')') {
+                    self.pos += 1;
+                }
+                let word = std::str::from_utf8(&self.s[start..self.pos])
+                    .unwrap_or("")
+                    .trim()
+                    .to_ascii_lowercase();
+                if word.is_empty() {
+                    return self.fail("empty similar() term");
+                }
+                terms.push(self.terms.get(&word).unwrap_or(UNKNOWN_TERM));
+                if self.eat(b')') {
+                    break;
+                }
+                if !self.eat(b',') {
+                    return self.fail("expected ',' or ')' in similar()");
+                }
+            }
+            return Ok(ValuePredicate::SimilarTo { terms, min_overlap });
+        }
+        if rest.starts_with(b"contains(") {
+            self.pos += b"contains(".len();
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c != b')') {
+                self.pos += 1;
+            }
+            let needle = std::str::from_utf8(&self.s[start..self.pos])
+                .map_err(|_| TwigParseError {
+                    offset: start,
+                    message: "needle is not UTF-8".into(),
+                })?
+                .to_string();
+            if !self.eat(b')') {
+                return self.fail("expected ')' after contains needle");
+            }
+            return Ok(ValuePredicate::Contains { needle });
+        }
+        if rest.starts_with(b"in ") {
+            self.pos += 3;
+            let lo = self.parse_int()?;
+            if !(self.eat(b'.') && self.eat(b'.')) {
+                return self.fail("expected '..' in range predicate");
+            }
+            let hi = self.parse_int()?;
+            if lo > hi {
+                return self.fail("range lower bound exceeds upper bound");
+            }
+            return Ok(ValuePredicate::Range { lo, hi });
+        }
+        // Comparison operators.
+        if self.eat(b'>') {
+            let eq = self.eat(b'=');
+            let n = self.parse_int()?;
+            let lo = if eq { n } else { n.saturating_add(1) };
+            return Ok(ValuePredicate::Range { lo, hi: u64::MAX });
+        }
+        if self.eat(b'<') {
+            let eq = self.eat(b'=');
+            let n = self.parse_int()?;
+            let hi = if eq { n } else { n.saturating_sub(1) };
+            return Ok(ValuePredicate::Range { lo: 0, hi });
+        }
+        if self.eat(b'=') {
+            let n = self.parse_int()?;
+            return Ok(ValuePredicate::Range { lo: n, hi: n });
+        }
+        self.fail("expected value predicate")
+    }
+
+    fn parse_int(&mut self) -> Result<u64, TwigParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.fail("expected integer");
+        }
+        std::str::from_utf8(&self.s[start..self.pos])
+            .unwrap()
+            .parse::<u64>()
+            .map_err(|e| TwigParseError {
+                offset: start,
+                message: format!("bad integer: {e}"),
+            })
+    }
+}
+
+fn is_name(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b':'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twig::NodeKind;
+
+    fn terms() -> Interner {
+        let mut i = Interner::new();
+        i.intern("xml");
+        i.intern("synopsis");
+        i
+    }
+
+    #[test]
+    fn linear_path() {
+        let q = parse_twig("//movie/title", &terms()).unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.node(1).axis, Axis::Descendant);
+        assert_eq!(q.node(1).label, LabelTest::Tag("movie".into()));
+        assert_eq!(q.node(2).axis, Axis::Child);
+        assert_eq!(q.num_variables(), 2);
+    }
+
+    #[test]
+    fn filter_branch_with_comparison() {
+        let q = parse_twig("//movie[year>2000]/title", &terms()).unwrap();
+        assert_eq!(q.len(), 4);
+        let year = q
+            .node_ids()
+            .find(|&i| q.node(i).label == LabelTest::Tag("year".into()))
+            .unwrap();
+        assert_eq!(q.node(year).kind, NodeKind::Filter);
+        assert_eq!(
+            q.node(year).predicate,
+            Some(ValuePredicate::Range {
+                lo: 2001,
+                hi: u64::MAX
+            })
+        );
+        assert_eq!(q.num_variables(), 2);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let t = terms();
+        let cases = [
+            ("//a[x>=5]", 5, u64::MAX),
+            ("//a[x>5]", 6, u64::MAX),
+            ("//a[x<5]", 0, 4),
+            ("//a[x<=5]", 0, 5),
+            ("//a[x=5]", 5, 5),
+            ("//a[x in 3..9]", 3, 9),
+        ];
+        for (src, lo, hi) in cases {
+            let q = parse_twig(src, &t).unwrap();
+            let x = q.node_ids().last().unwrap();
+            assert_eq!(
+                q.node(x).predicate,
+                Some(ValuePredicate::Range { lo, hi }),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_predicate() {
+        let q = parse_twig("//year[>2000]", &terms()).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(
+            q.node(1).predicate,
+            Some(ValuePredicate::Range {
+                lo: 2001,
+                hi: u64::MAX
+            })
+        );
+    }
+
+    #[test]
+    fn contains_predicate() {
+        let q = parse_twig("//title[contains(Data Base)]", &terms()).unwrap();
+        assert_eq!(
+            q.node(1).predicate,
+            Some(ValuePredicate::Contains {
+                needle: "Data Base".into()
+            })
+        );
+    }
+
+    #[test]
+    fn ftcontains_resolves_terms() {
+        let t = terms();
+        let xml = t.get("xml").unwrap();
+        let syn = t.get("synopsis").unwrap();
+        let q = parse_twig("//abstract[ftcontains(XML, synopsis)]", &t).unwrap();
+        assert_eq!(
+            q.node(1).predicate,
+            Some(ValuePredicate::FtContains {
+                terms: vec![xml, syn]
+            })
+        );
+    }
+
+    #[test]
+    fn ftcontains_unknown_term_sentinel() {
+        let q = parse_twig("//a[ftcontains(nosuchterm)]", &terms()).unwrap();
+        assert_eq!(
+            q.node(1).predicate,
+            Some(ValuePredicate::FtContains {
+                terms: vec![UNKNOWN_TERM]
+            })
+        );
+    }
+
+    #[test]
+    fn variable_branches() {
+        let q = parse_twig("//movie{/cast/actor}{/title}", &terms()).unwrap();
+        // movie + cast + actor + title
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.num_variables(), 4);
+        let movie = 1;
+        assert_eq!(q.node(movie).children.len(), 2);
+    }
+
+    #[test]
+    fn nested_filter_path_with_predicate() {
+        let q = parse_twig(
+            "//open_auction[annotation/description ftcontains(xml)]",
+            &terms(),
+        )
+        .unwrap();
+        assert_eq!(q.len(), 4);
+        let desc = q.node_ids().last().unwrap();
+        assert_eq!(q.node(desc).kind, NodeKind::Filter);
+        assert!(q.node(desc).predicate.is_some());
+        assert!(q.filters_are_existential());
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let q = parse_twig("//*/name", &terms()).unwrap();
+        assert_eq!(q.node(1).label, LabelTest::Wildcard);
+    }
+
+    #[test]
+    fn figure2_query_full_shape() {
+        let q = parse_twig(
+            "//paper[year>2000]{/title[contains(Tree)]}{/abstract[ftcontains(synopsis, xml)]}",
+            &terms(),
+        )
+        .unwrap();
+        assert_eq!(q.num_variables(), 3); // paper, title, abstract
+        assert_eq!(q.len(), 5);
+        assert!(q.filters_are_existential());
+    }
+
+    #[test]
+    fn errors() {
+        let t = terms();
+        assert!(parse_twig("", &t).is_err());
+        assert!(parse_twig("movie", &t).is_err()); // missing axis at top level
+        assert!(parse_twig("//movie[", &t).is_err());
+        assert!(parse_twig("//movie[year>]", &t).is_err());
+        assert!(parse_twig("//movie{title", &t).is_err());
+        assert!(parse_twig("//movie]extra", &t).is_err());
+        assert!(parse_twig("//a[x in 9..3]", &t).is_err());
+        assert!(parse_twig("//a[ftcontains()]", &t).is_err());
+    }
+
+    #[test]
+    fn similar_predicate() {
+        let t = terms();
+        let xml = t.get("xml").unwrap();
+        let syn = t.get("synopsis").unwrap();
+        let q = parse_twig("//abs[similar(1; xml, synopsis)]", &t).unwrap();
+        assert_eq!(
+            q.node(1).predicate,
+            Some(ValuePredicate::SimilarTo {
+                terms: vec![xml, syn],
+                min_overlap: 1
+            })
+        );
+        assert!(parse_twig("//abs[similar(;xml)]", &t).is_err());
+        assert!(parse_twig("//abs[similar(2 xml)]", &t).is_err());
+    }
+
+    #[test]
+    fn variable_branch_inside_filter_rejected() {
+        assert!(parse_twig("//a[b{c}]", &terms()).is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! The twig-query tree model (paper Section 2).
+//!
+//! Query node 0 is the implicit query root `q0`, always mapped to the
+//! document root. Every other node is reached from its parent through an
+//! axis (child/descendant) and a label test, optionally carries a value
+//! predicate, and is either a **variable** (contributing a component to
+//! every binding tuple) or a **filter** (an existential branch predicate
+//! such as `[year > 2000]` that restricts matches without expanding the
+//! binding-tuple space).
+
+use std::fmt;
+use xcluster_summaries::ValuePredicate;
+
+/// The axis of the edge leading into a query node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// XPath `/`: the element must be a child of the parent binding.
+    Child,
+    /// XPath `//`: the element must be a proper descendant.
+    Descendant,
+}
+
+/// A tag test on a query node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelTest {
+    /// Match a specific element tag.
+    Tag(String),
+    /// XPath `*`: match any tag.
+    Wildcard,
+}
+
+impl LabelTest {
+    /// Whether `label` satisfies this test.
+    pub fn matches(&self, label: &str) -> bool {
+        match self {
+            LabelTest::Tag(t) => t == label,
+            LabelTest::Wildcard => true,
+        }
+    }
+}
+
+/// Whether a query node binds a variable or filters existentially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Binds a query variable; each match multiplies the binding tuples.
+    Variable,
+    /// Existential branch predicate; at least one match must exist.
+    Filter,
+}
+
+/// One step of a twig query.
+#[derive(Debug, Clone)]
+pub struct TwigNode {
+    /// Parent query node (`None` only for the implicit root).
+    pub parent: Option<usize>,
+    /// Axis from the parent binding.
+    pub axis: Axis,
+    /// Tag test.
+    pub label: LabelTest,
+    /// Optional value predicate on the bound element's content.
+    pub predicate: Option<ValuePredicate>,
+    /// Variable or filter semantics.
+    pub kind: NodeKind,
+    /// Child query nodes.
+    pub children: Vec<usize>,
+}
+
+/// A twig query: a rooted tree of [`TwigNode`]s.
+///
+/// Build programmatically with [`TwigQuery::new`] + [`TwigQuery::add_step`]
+/// or from text with [`crate::parser::parse_twig`].
+#[derive(Debug, Clone)]
+pub struct TwigQuery {
+    nodes: Vec<TwigNode>,
+}
+
+impl Default for TwigQuery {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TwigQuery {
+    /// Creates a query containing only the implicit root `q0`.
+    pub fn new() -> Self {
+        TwigQuery {
+            nodes: vec![TwigNode {
+                parent: None,
+                axis: Axis::Child,
+                label: LabelTest::Wildcard,
+                predicate: None,
+                kind: NodeKind::Variable,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// The implicit root's node id (always 0).
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Adds a step under `parent`, returning the new node id.
+    pub fn add_step(
+        &mut self,
+        parent: usize,
+        axis: Axis,
+        label: LabelTest,
+        kind: NodeKind,
+    ) -> usize {
+        assert!(parent < self.nodes.len(), "parent out of range");
+        let id = self.nodes.len();
+        self.nodes.push(TwigNode {
+            parent: Some(parent),
+            axis,
+            label,
+            predicate: None,
+            kind,
+            children: Vec::new(),
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// Convenience: adds a variable step with a tag test.
+    pub fn step(&mut self, parent: usize, axis: Axis, tag: &str) -> usize {
+        self.add_step(parent, axis, LabelTest::Tag(tag.to_string()), NodeKind::Variable)
+    }
+
+    /// Convenience: adds a filter step with a tag test.
+    pub fn filter(&mut self, parent: usize, axis: Axis, tag: &str) -> usize {
+        self.add_step(parent, axis, LabelTest::Tag(tag.to_string()), NodeKind::Filter)
+    }
+
+    /// Attaches a value predicate to `node`.
+    pub fn set_predicate(&mut self, node: usize, pred: ValuePredicate) {
+        self.nodes[node].predicate = Some(pred);
+    }
+
+    /// The node table.
+    pub fn node(&self, id: usize) -> &TwigNode {
+        &self.nodes[id]
+    }
+
+    /// Number of query nodes, including the implicit root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A twig always has at least its implicit root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates node ids in insertion (topological) order.
+    pub fn node_ids(&self) -> impl Iterator<Item = usize> {
+        1..self.nodes.len()
+    }
+
+    /// Number of variable nodes (excluding the implicit root).
+    pub fn num_variables(&self) -> usize {
+        self.node_ids()
+            .filter(|&i| self.nodes[i].kind == NodeKind::Variable)
+            .count()
+    }
+
+    /// Whether any node carries a value predicate.
+    pub fn has_predicates(&self) -> bool {
+        self.nodes.iter().any(|n| n.predicate.is_some())
+    }
+
+    /// All value predicates with their owning nodes.
+    pub fn predicates(&self) -> impl Iterator<Item = (usize, &ValuePredicate)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.predicate.as_ref().map(|p| (i, p)))
+    }
+
+    /// Filters must form existential subtrees: no variable may hang below
+    /// a filter. Returns `true` when that invariant holds.
+    pub fn filters_are_existential(&self) -> bool {
+        self.node_ids().all(|i| {
+            let n = &self.nodes[i];
+            match n.parent {
+                Some(p) if self.nodes[p].kind == NodeKind::Filter => n.kind == NodeKind::Filter,
+                _ => true,
+            }
+        })
+    }
+}
+
+impl fmt::Display for TwigQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn fmt_node(q: &TwigQuery, id: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let n = q.node(id);
+            write!(
+                f,
+                "{}{}",
+                match n.axis {
+                    Axis::Child => "/",
+                    Axis::Descendant => "//",
+                },
+                match &n.label {
+                    LabelTest::Tag(t) => t.as_str(),
+                    LabelTest::Wildcard => "*",
+                }
+            )?;
+            if let Some(p) = &n.predicate {
+                write!(f, "[{p}]")?;
+            }
+            // Normal form (re-parseable and print-stable): the *last*
+            // variable child continues the path; every earlier variable
+            // child prints as a `{…}` twig leg, filters as `[…]`, all in
+            // child order.
+            let main_child = n
+                .children
+                .iter()
+                .copied()
+                .filter(|&c| q.node(c).kind == NodeKind::Variable)
+                .next_back();
+            for &c in &n.children {
+                if q.node(c).kind == NodeKind::Filter {
+                    write!(f, "[")?;
+                    fmt_node(q, c, f)?;
+                    write!(f, "]")?;
+                } else if Some(c) != main_child {
+                    write!(f, "{{")?;
+                    fmt_node(q, c, f)?;
+                    write!(f, "}}")?;
+                }
+            }
+            if let Some(c) = main_child {
+                fmt_node(q, c, f)?;
+            }
+            Ok(())
+        }
+        // Same normal form at the implicit root.
+        let main_child = self.nodes[0]
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| self.node(c).kind == NodeKind::Variable)
+            .next_back();
+        for &c in &self.nodes[0].children {
+            if self.node(c).kind == NodeKind::Filter {
+                write!(f, "[")?;
+                fmt_node(self, c, f)?;
+                write!(f, "]")?;
+            } else if Some(c) != main_child {
+                write!(f, "{{")?;
+                fmt_node(self, c, f)?;
+                write!(f, "}}")?;
+            }
+        }
+        if let Some(c) = main_child {
+            fmt_node(self, c, f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_figure2_query() {
+        // //paper[year > 2000] with title and abstract variable branches.
+        let mut q = TwigQuery::new();
+        let p = q.step(q.root(), Axis::Descendant, "paper");
+        let y = q.filter(p, Axis::Child, "year");
+        q.set_predicate(y, ValuePredicate::Range { lo: 2001, hi: u64::MAX });
+        let t = q.step(p, Axis::Child, "title");
+        q.set_predicate(
+            t,
+            ValuePredicate::Contains {
+                needle: "Tree".into(),
+            },
+        );
+        let _a = q.step(p, Axis::Child, "abstract");
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.num_variables(), 3);
+        assert!(q.has_predicates());
+        assert!(q.filters_are_existential());
+    }
+
+    #[test]
+    fn label_test_matching() {
+        assert!(LabelTest::Tag("a".into()).matches("a"));
+        assert!(!LabelTest::Tag("a".into()).matches("b"));
+        assert!(LabelTest::Wildcard.matches("anything"));
+    }
+
+    #[test]
+    fn display_round_trippable_shape() {
+        let mut q = TwigQuery::new();
+        let m = q.step(q.root(), Axis::Descendant, "movie");
+        let y = q.filter(m, Axis::Child, "year");
+        q.set_predicate(y, ValuePredicate::Range { lo: 1990, hi: 2000 });
+        let c = q.step(m, Axis::Child, "cast");
+        let _t = q.step(m, Axis::Child, "title");
+        let _a = q.step(c, Axis::Descendant, "name");
+        let s = q.to_string();
+        assert_eq!(s, "//movie[/year[in 1990..2000]]{/cast//name}/title");
+    }
+
+    #[test]
+    fn variable_under_filter_detected() {
+        let mut q = TwigQuery::new();
+        let fnode = q.filter(q.root(), Axis::Child, "a");
+        let _v = q.step(fnode, Axis::Child, "b");
+        assert!(!q.filters_are_existential());
+    }
+
+    #[test]
+    fn empty_query_has_root_only() {
+        let q = TwigQuery::new();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.num_variables(), 0);
+        assert!(!q.has_predicates());
+    }
+}

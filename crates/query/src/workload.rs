@@ -1,0 +1,582 @@
+//! Workload generation (paper Section 6.1, "Workloads").
+//!
+//! The paper evaluates on workloads of random *positive* twig queries
+//! (non-zero selectivity), sampled with a bias toward high counts, with
+//! random predicates attached at nodes with values; plus *negative*
+//! workloads (zero selectivity) used to confirm near-zero estimates.
+//!
+//! This generator reproduces that methodology directly against the data
+//! tree: it picks a uniformly random target element (high-count paths are
+//! hit proportionally often — the high-count bias), turns its root path
+//! into a twig with randomized child/descendant axes, optionally grows
+//! extra structural branches along the path (guaranteed positive because
+//! they are sampled from the element's actual neighbourhood), and
+//! instantiates predicates from the element's actual value (a range
+//! around its number, a substring of its string, terms from its text).
+
+use crate::eval::{evaluate, EvalIndex};
+use crate::twig::{Axis, LabelTest, NodeKind, TwigQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xcluster_summaries::ValuePredicate;
+use xcluster_xml::{NodeId, Value, ValueType, XmlTree};
+
+/// The predicate class of a workload query (the series of Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// No value predicates (pure path/branching structure).
+    Struct,
+    /// Carries a numeric range predicate.
+    Numeric,
+    /// Carries a substring predicate.
+    String,
+    /// Carries a keyword (`ftcontains`) predicate.
+    Text,
+}
+
+impl QueryClass {
+    /// All classes in report order.
+    pub const ALL: [QueryClass; 4] = [
+        QueryClass::Struct,
+        QueryClass::Numeric,
+        QueryClass::String,
+        QueryClass::Text,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryClass::Struct => "Struct",
+            QueryClass::Numeric => "Numeric",
+            QueryClass::String => "String",
+            QueryClass::Text => "Text",
+        }
+    }
+}
+
+/// One generated query with its ground-truth selectivity.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// The twig.
+    pub query: TwigQuery,
+    /// Its predicate class.
+    pub class: QueryClass,
+    /// Exact binding-tuple count on the source document.
+    pub true_count: f64,
+}
+
+/// A scored workload plus the sanity bound of the error metric.
+#[derive(Debug)]
+pub struct Workload {
+    /// The queries.
+    pub queries: Vec<WorkloadQuery>,
+    /// `s`: the 10-percentile of true counts (paper Section 6.1) —
+    /// queries below it are "low-count" for the Figure 9 metric.
+    pub sanity_bound: f64,
+}
+
+impl Workload {
+    /// Average true result size of queries in `class`.
+    pub fn avg_result_size(&self, class: QueryClass) -> f64 {
+        let (mut sum, mut n) = (0.0, 0usize);
+        for q in &self.queries {
+            if q.class == class {
+                sum += q.true_count;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Average true result size over all queries with predicates.
+    pub fn avg_predicate_result_size(&self) -> f64 {
+        let (mut sum, mut n) = (0.0, 0usize);
+        for q in &self.queries {
+            if q.class != QueryClass::Struct {
+                sum += q.true_count;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+/// Workload-generation parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of queries to generate.
+    pub num_queries: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Relative class weights `[Struct, Numeric, String, Text]`. Classes
+    /// with no eligible target elements are dropped automatically.
+    pub class_weights: [f64; 4],
+    /// Element nodes eligible as predicate targets (e.g. only elements on
+    /// summarized value paths). `None` ⇒ every valued element.
+    pub allowed_targets: Option<Vec<NodeId>>,
+    /// Probability of compressing a path step into a descendant axis.
+    pub descendant_prob: f64,
+    /// Maximum extra structural branches per query.
+    pub max_branches: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            num_queries: 1000,
+            seed: 0xF00D,
+            class_weights: [0.25, 0.25, 0.25, 0.25],
+            allowed_targets: None,
+            descendant_prob: 0.35,
+            max_branches: 2,
+        }
+    }
+}
+
+/// Generates a positive workload over `tree`.
+pub fn generate_positive(tree: &XmlTree, index: &EvalIndex, cfg: &WorkloadConfig) -> Workload {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let targets = collect_targets(tree, cfg);
+    let all_elements: Vec<NodeId> = tree.all_nodes().skip(1).collect();
+    let mut weights = cfg.class_weights;
+    for (i, class) in QueryClass::ALL.iter().enumerate() {
+        let available = match class {
+            QueryClass::Struct => !all_elements.is_empty(),
+            QueryClass::Numeric => !targets.numeric.is_empty(),
+            QueryClass::String => !targets.string.is_empty(),
+            QueryClass::Text => !targets.text.is_empty(),
+        };
+        if !available {
+            weights[i] = 0.0;
+        }
+    }
+    let mut queries = Vec::with_capacity(cfg.num_queries);
+    let mut guard = 0;
+    while queries.len() < cfg.num_queries && guard < cfg.num_queries * 20 {
+        guard += 1;
+        let class = pick_class(&mut rng, &weights);
+        let target = match class {
+            QueryClass::Struct => all_elements[rng.gen_range(0..all_elements.len())],
+            QueryClass::Numeric => targets.numeric[rng.gen_range(0..targets.numeric.len())],
+            QueryClass::String => targets.string[rng.gen_range(0..targets.string.len())],
+            QueryClass::Text => targets.text[rng.gen_range(0..targets.text.len())],
+        };
+        let Some((query, _)) = build_query(tree, target, class, cfg, &mut rng) else {
+            continue;
+        };
+        let true_count = evaluate(&query, tree, index);
+        if true_count <= 0.0 {
+            // Positive workloads only; branch+predicate combinations can
+            // very occasionally zero out (e.g. substring spanning escaped
+            // chars) — resample.
+            continue;
+        }
+        queries.push(WorkloadQuery {
+            query,
+            class,
+            true_count,
+        });
+    }
+    let sanity_bound = percentile_10(&queries);
+    Workload {
+        queries,
+        sanity_bound,
+    }
+}
+
+/// Generates a negative workload: structurally valid twigs whose value
+/// predicate is unsatisfiable (out-of-domain range / alien substring /
+/// unknown term), so the true selectivity is exactly zero.
+pub fn generate_negative(tree: &XmlTree, index: &EvalIndex, cfg: &WorkloadConfig) -> Workload {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xDEAD_BEEF);
+    let targets = collect_targets(tree, cfg);
+    let mut queries = Vec::with_capacity(cfg.num_queries);
+    let classes: Vec<(QueryClass, &[NodeId])> = vec![
+        (QueryClass::Numeric, &targets.numeric),
+        (QueryClass::String, &targets.string),
+        (QueryClass::Text, &targets.text),
+    ];
+    let classes: Vec<_> = classes.into_iter().filter(|(_, t)| !t.is_empty()).collect();
+    if classes.is_empty() {
+        return Workload {
+            queries,
+            sanity_bound: 1.0,
+        };
+    }
+    let mut guard = 0;
+    while queries.len() < cfg.num_queries && guard < cfg.num_queries * 20 {
+        guard += 1;
+        let (class, pool) = &classes[rng.gen_range(0..classes.len())];
+        let target = pool[rng.gen_range(0..pool.len())];
+        let Some((mut query, last)) = build_query(tree, target, QueryClass::Struct, cfg, &mut rng)
+        else {
+            continue;
+        };
+        // Attach an unsatisfiable predicate to the sampled (summarized)
+        // target node.
+        let pred = match class {
+            QueryClass::Numeric => ValuePredicate::Range {
+                lo: 1_000_000_007,
+                hi: 1_000_000_107,
+            },
+            QueryClass::String => ValuePredicate::Contains {
+                needle: "#@!impossible!@#".into(),
+            },
+            QueryClass::Text => ValuePredicate::FtContains {
+                terms: vec![crate::parser::UNKNOWN_TERM],
+            },
+            QueryClass::Struct => unreachable!(),
+        };
+        query.set_predicate(last, pred);
+        let true_count = evaluate(&query, tree, index);
+        debug_assert_eq!(true_count, 0.0);
+        queries.push(WorkloadQuery {
+            query,
+            class: *class,
+            true_count,
+        });
+    }
+    Workload {
+        queries,
+        sanity_bound: 1.0,
+    }
+}
+
+struct Targets {
+    numeric: Vec<NodeId>,
+    string: Vec<NodeId>,
+    text: Vec<NodeId>,
+}
+
+fn collect_targets(tree: &XmlTree, cfg: &WorkloadConfig) -> Targets {
+    let mut t = Targets {
+        numeric: Vec::new(),
+        string: Vec::new(),
+        text: Vec::new(),
+    };
+    let push = |t: &mut Targets, n: NodeId| match tree.value_type(n) {
+        ValueType::Numeric => t.numeric.push(n),
+        ValueType::String => t.string.push(n),
+        ValueType::Text => t.text.push(n),
+        ValueType::None => {}
+    };
+    match &cfg.allowed_targets {
+        Some(allowed) => {
+            for &n in allowed {
+                push(&mut t, n);
+            }
+        }
+        None => {
+            for n in tree.all_nodes() {
+                push(&mut t, n);
+            }
+        }
+    }
+    t
+}
+
+fn pick_class(rng: &mut StdRng, weights: &[f64; 4]) -> QueryClass {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return QueryClass::ALL[i];
+        }
+        x -= w;
+    }
+    QueryClass::Struct
+}
+
+/// Builds a positive twig whose main path leads to `target`, with
+/// randomized axes, optional structural branches, and (for predicate
+/// classes) a predicate instantiated from `target`'s actual value.
+fn build_query(
+    tree: &XmlTree,
+    target: NodeId,
+    class: QueryClass,
+    cfg: &WorkloadConfig,
+    rng: &mut StdRng,
+) -> Option<(TwigQuery, usize)> {
+    // The chain of elements root → target (excluding the root).
+    let mut chain = Vec::new();
+    let mut cur = target;
+    while let Some(p) = tree.parent(cur) {
+        chain.push(cur);
+        cur = p;
+    }
+    chain.reverse();
+    if chain.is_empty() {
+        return None;
+    }
+    let mut q = TwigQuery::new();
+    let mut qcur = q.root();
+    // Map chain positions → query nodes for branch anchoring.
+    let mut anchors: Vec<(usize, usize)> = Vec::new(); // (chain idx, qnode)
+    let mut i = 0;
+    while i < chain.len() {
+        let is_last = i == chain.len() - 1;
+        let (axis, next_i) = if !is_last && rng.gen_bool(cfg.descendant_prob) {
+            // Skip ahead: descendant axis to a later chain element.
+            let j = rng.gen_range(i + 1..chain.len());
+            (Axis::Descendant, j)
+        } else {
+            (Axis::Child, i)
+        };
+        let elem = chain[next_i];
+        qcur = q.add_step(
+            qcur,
+            axis,
+            LabelTest::Tag(tree.label_str(elem).to_string()),
+            NodeKind::Variable,
+        );
+        anchors.push((next_i, qcur));
+        i = next_i + 1;
+    }
+    // Extra structural branches from random anchors: a sibling subtree of
+    // the chain guarantees positivity.
+    let n_branches = rng.gen_range(0..=cfg.max_branches);
+    for _ in 0..n_branches {
+        let &(ci, qa) = &anchors[rng.gen_range(0..anchors.len())];
+        let elem = chain[ci];
+        let kids: Vec<NodeId> = tree.children(elem).collect();
+        if kids.is_empty() {
+            continue;
+        }
+        let kid = kids[rng.gen_range(0..kids.len())];
+        let kind = if rng.gen_bool(0.5) {
+            NodeKind::Variable
+        } else {
+            NodeKind::Filter
+        };
+        q.add_step(
+            qa,
+            Axis::Child,
+            LabelTest::Tag(tree.label_str(kid).to_string()),
+            kind,
+        );
+    }
+    let target_qnode = anchors.last().unwrap().1;
+    // Predicate on the target node, instantiated from its value.
+    if class != QueryClass::Struct {
+        let pred = predicate_from_value(tree.value(target), rng)?;
+        q.set_predicate(target_qnode, pred);
+    }
+    Some((q, target_qnode))
+}
+
+fn predicate_from_value(value: &Value, rng: &mut StdRng) -> Option<ValuePredicate> {
+    match value {
+        Value::Numeric(v) => {
+            let spread = (*v / 4).max(5);
+            let lo = v.saturating_sub(rng.gen_range(0..=spread));
+            let hi = v + rng.gen_range(0..=spread);
+            Some(ValuePredicate::Range { lo, hi })
+        }
+        Value::String(s) => {
+            if s.is_empty() || !s.is_ascii() {
+                return None;
+            }
+            // Paper Sec. 6.1: predicate sampling is biased toward high
+            // counts. Whole tokens (and their prefixes) recur across
+            // elements far more often than arbitrary character windows,
+            // so prefer them; keep a tail of raw substrings for variety.
+            let tokens: Vec<&str> = s.split_whitespace().collect();
+            if tokens.is_empty() {
+                return None;
+            }
+            let t = tokens[rng.gen_range(0..tokens.len())];
+            let needle: String = if rng.gen_bool(0.6) {
+                t.to_string()
+            } else {
+                let max = t.len().min(5);
+                let len = rng.gen_range(3.min(max)..=max);
+                t[..len].to_string()
+            };
+            if needle.is_empty() {
+                return None;
+            }
+            Some(ValuePredicate::Contains { needle })
+        }
+        Value::Text(tv) => {
+            if tv.is_empty() {
+                return None;
+            }
+            let k = if rng.gen_bool(0.3) && tv.len() >= 2 { 2 } else { 1 };
+            let mut terms = Vec::with_capacity(k);
+            for _ in 0..k {
+                terms.push(tv.terms()[rng.gen_range(0..tv.len())]);
+            }
+            terms.dedup();
+            Some(ValuePredicate::FtContains { terms })
+        }
+        Value::None => None,
+    }
+}
+
+fn percentile_10(queries: &[WorkloadQuery]) -> f64 {
+    if queries.is_empty() {
+        return 1.0;
+    }
+    let mut counts: Vec<f64> = queries.iter().map(|q| q.true_count).collect();
+    counts.sort_by(|a, b| a.total_cmp(b));
+    let idx = (counts.len() as f64 * 0.10).floor() as usize;
+    counts[idx.min(counts.len() - 1)].max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcluster_datagen::imdb::{generate, ImdbConfig};
+
+    fn setup() -> (XmlTree, EvalIndex) {
+        let d = generate(&ImdbConfig {
+            num_movies: 150,
+            seed: 21,
+        });
+        let idx = EvalIndex::build(&d.tree);
+        (d.tree, idx)
+    }
+
+    #[test]
+    fn positive_workload_is_positive() {
+        let (tree, idx) = setup();
+        let cfg = WorkloadConfig {
+            num_queries: 60,
+            ..WorkloadConfig::default()
+        };
+        let w = generate_positive(&tree, &idx, &cfg);
+        assert_eq!(w.queries.len(), 60);
+        for q in &w.queries {
+            assert!(q.true_count > 0.0, "query {} has zero count", q.query);
+        }
+        assert!(w.sanity_bound >= 1.0);
+    }
+
+    #[test]
+    fn workload_covers_all_classes() {
+        let (tree, idx) = setup();
+        let cfg = WorkloadConfig {
+            num_queries: 120,
+            ..WorkloadConfig::default()
+        };
+        let w = generate_positive(&tree, &idx, &cfg);
+        for class in QueryClass::ALL {
+            let n = w.queries.iter().filter(|q| q.class == class).count();
+            assert!(n > 0, "class {} missing", class.name());
+        }
+    }
+
+    #[test]
+    fn predicate_classes_carry_right_predicates() {
+        let (tree, idx) = setup();
+        let cfg = WorkloadConfig {
+            num_queries: 80,
+            ..WorkloadConfig::default()
+        };
+        let w = generate_positive(&tree, &idx, &cfg);
+        for q in &w.queries {
+            let preds: Vec<_> = q.query.predicates().map(|(_, p)| p.clone()).collect();
+            match q.class {
+                QueryClass::Struct => assert!(preds.is_empty()),
+                QueryClass::Numeric => {
+                    assert!(preds
+                        .iter()
+                        .any(|p| matches!(p, ValuePredicate::Range { .. })));
+                }
+                QueryClass::String => {
+                    assert!(preds
+                        .iter()
+                        .any(|p| matches!(p, ValuePredicate::Contains { .. })));
+                }
+                QueryClass::Text => {
+                    assert!(preds
+                        .iter()
+                        .any(|p| matches!(p, ValuePredicate::FtContains { .. })));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn struct_queries_have_larger_results_than_predicate_queries() {
+        // The Table 2 phenomenon: predicates shrink result sizes.
+        let (tree, idx) = setup();
+        let cfg = WorkloadConfig {
+            num_queries: 200,
+            ..WorkloadConfig::default()
+        };
+        let w = generate_positive(&tree, &idx, &cfg);
+        let s = w.avg_result_size(QueryClass::Struct);
+        let p = w.avg_predicate_result_size();
+        assert!(s > p, "struct {s} vs predicate {p}");
+    }
+
+    #[test]
+    fn negative_workload_is_zero() {
+        let (tree, idx) = setup();
+        let cfg = WorkloadConfig {
+            num_queries: 40,
+            ..WorkloadConfig::default()
+        };
+        let w = generate_negative(&tree, &idx, &cfg);
+        assert!(!w.queries.is_empty());
+        for q in &w.queries {
+            assert_eq!(q.true_count, 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (tree, idx) = setup();
+        let cfg = WorkloadConfig {
+            num_queries: 30,
+            ..WorkloadConfig::default()
+        };
+        let a = generate_positive(&tree, &idx, &cfg);
+        let b = generate_positive(&tree, &idx, &cfg);
+        let fa: Vec<String> = a.queries.iter().map(|q| q.query.to_string()).collect();
+        let fb: Vec<String> = b.queries.iter().map(|q| q.query.to_string()).collect();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn allowed_targets_restrict_predicates() {
+        let (tree, idx) = setup();
+        // Restrict predicate targets to year elements only.
+        let years: Vec<NodeId> = tree
+            .all_nodes()
+            .filter(|&n| tree.label_str(n) == "year")
+            .collect();
+        let cfg = WorkloadConfig {
+            num_queries: 40,
+            class_weights: [0.0, 1.0, 1.0, 1.0],
+            allowed_targets: Some(years),
+            ..WorkloadConfig::default()
+        };
+        let w = generate_positive(&tree, &idx, &cfg);
+        for q in &w.queries {
+            assert_eq!(q.class, QueryClass::Numeric);
+        }
+    }
+
+    #[test]
+    fn sanity_bound_is_10th_percentile() {
+        let queries: Vec<WorkloadQuery> = (1..=100)
+            .map(|i| WorkloadQuery {
+                query: TwigQuery::new(),
+                class: QueryClass::Struct,
+                true_count: i as f64,
+            })
+            .collect();
+        let b = percentile_10(&queries);
+        assert!((10.0..=12.0).contains(&b), "{b}");
+    }
+}

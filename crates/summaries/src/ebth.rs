@@ -1,0 +1,691 @@
+//! `TEXT` value summaries: term-vector centroids compressed into
+//! **end-biased term histograms** (paper Section 3, `TEXT` value
+//! summaries; Section 4.2 `tv_cmprs`).
+//!
+//! The base summary of a `TEXT` cluster is the *centroid* of the Boolean
+//! term vectors of its extent: `w[t] = Σᵢ wᵢ[t] / k`, the fractional
+//! frequency of term `t` among the `k` texts. Since the dictionary can be
+//! large, the centroid is compressed with an end-biased term histogram:
+//!
+//! * the **top** frequencies are kept exactly as `(term, freq)` pairs;
+//! * all remaining non-zero terms fall into a single **uniform bucket**
+//!   holding their average frequency plus a *lossless* run-length encoded
+//!   0/1 bitmap of the binary centroid (which terms occur at all).
+//!
+//! Estimation of `w[t]`: exact if `t` is indexed; otherwise the bucket
+//! average if the bitmap has a 1 for `t`, and exactly 0 otherwise — this
+//! is what distinguishes the structure from conventional range-bucket
+//! histograms, which lose track of zero entries (non-existent terms) and
+//! therefore fail on point (term-match) queries. A conventional-histogram
+//! compressor is provided for the ablation experiment
+//! ([`Ebth::to_range_bucket_baseline`]).
+
+use crate::footprint::{
+    EBTH_RUN_BYTES, EBTH_TOP_TERM_BYTES, EBTH_UNIFORM_BUCKET_BYTES, SUMMARY_HEADER_BYTES,
+};
+use xcluster_xml::{Symbol, TermId, TermVector};
+
+/// A run-length encoded set of `u32` term ids (the 0/1 uniform bucket).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RleBitmap {
+    /// Sorted, non-overlapping, non-adjacent `[start, end)` runs of ones.
+    runs: Vec<(u32, u32)>,
+}
+
+impl RleBitmap {
+    /// Builds a bitmap from a sorted, deduplicated id slice.
+    pub fn from_sorted_ids(ids: &[u32]) -> Self {
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        for &id in ids {
+            match runs.last_mut() {
+                Some((_, end)) if *end == id => *end += 1,
+                _ => runs.push((id, id + 1)),
+            }
+        }
+        RleBitmap { runs }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: u32) -> bool {
+        self.runs
+            .binary_search_by(|&(s, e)| {
+                if id < s {
+                    std::cmp::Ordering::Greater
+                } else if id >= e {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Number of runs (each costs [`EBTH_RUN_BYTES`]).
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of set bits.
+    pub fn cardinality(&self) -> u64 {
+        self.runs.iter().map(|&(s, e)| (e - s) as u64).sum()
+    }
+
+    /// Set union of two bitmaps.
+    pub fn union(&self, other: &RleBitmap) -> RleBitmap {
+        let mut all: Vec<(u32, u32)> = self
+            .runs
+            .iter()
+            .chain(other.runs.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        let mut runs: Vec<(u32, u32)> = Vec::with_capacity(all.len());
+        for (s, e) in all {
+            match runs.last_mut() {
+                Some((_, pe)) if s <= *pe => *pe = (*pe).max(e),
+                _ => runs.push((s, e)),
+            }
+        }
+        RleBitmap { runs }
+    }
+
+    /// Iterates the set ids (testing helper; linear in cardinality).
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.runs.iter().flat_map(|&(s, e)| s..e)
+    }
+}
+
+/// An end-biased term histogram summarizing a term-vector centroid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ebth {
+    /// Exactly-indexed `(term, fractional frequency)` pairs, sorted by
+    /// term id for lookup.
+    top: Vec<(TermId, f64)>,
+    /// 0/1 bitmap over the *whole* non-zero support of the centroid
+    /// (indexed terms included; lookups hit `top` first).
+    support: RleBitmap,
+    /// Sum of the frequencies folded into the uniform bucket.
+    uniform_sum: f64,
+    /// Number of terms in the uniform bucket.
+    uniform_count: u64,
+    /// `k`: number of texts the centroid averages over.
+    elements: f64,
+}
+
+impl Ebth {
+    /// Builds the exact centroid of a collection of Boolean term vectors
+    /// (every non-zero term indexed exactly; uniform bucket empty).
+    pub fn from_vectors<'a, I>(vectors: I) -> Self
+    where
+        I: IntoIterator<Item = &'a TermVector>,
+    {
+        let mut counts: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        let mut k = 0usize;
+        for tv in vectors {
+            k += 1;
+            for t in tv.terms() {
+                *counts.entry(t.0).or_insert(0.0) += 1.0;
+            }
+        }
+        let kf = k as f64;
+        let mut top: Vec<(TermId, f64)> = counts
+            .into_iter()
+            .map(|(t, c)| (Symbol(t), c / kf.max(1.0)))
+            .collect();
+        top.sort_unstable_by_key(|(t, _)| t.0);
+        let ids: Vec<u32> = top.iter().map(|(t, _)| t.0).collect();
+        Ebth {
+            support: RleBitmap::from_sorted_ids(&ids),
+            top,
+            uniform_sum: 0.0,
+            uniform_count: 0,
+            elements: kf,
+        }
+    }
+
+    /// Serialized parts: `(top pairs, support runs, uniform_sum,
+    /// uniform_count, elements)`.
+    pub fn to_parts(&self) -> (Vec<(u32, f64)>, Vec<(u32, u32)>, f64, u64, f64) {
+        (
+            self.top.iter().map(|&(t, f)| (t.0, f)).collect(),
+            self.support.runs.clone(),
+            self.uniform_sum,
+            self.uniform_count,
+            self.elements,
+        )
+    }
+
+    /// Reassembles a summary from [`Ebth::to_parts`] output.
+    pub fn from_parts(
+        top: Vec<(u32, f64)>,
+        runs: Vec<(u32, u32)>,
+        uniform_sum: f64,
+        uniform_count: u64,
+        elements: f64,
+    ) -> Self {
+        let mut top: Vec<(TermId, f64)> = top.into_iter().map(|(t, f)| (Symbol(t), f)).collect();
+        top.sort_unstable_by_key(|(t, _)| t.0);
+        Ebth {
+            top,
+            support: RleBitmap { runs },
+            uniform_sum,
+            uniform_count,
+            elements,
+        }
+    }
+
+    /// Number of texts summarized (`k = count(u)` for the cluster).
+    pub fn elements(&self) -> f64 {
+        self.elements
+    }
+
+    /// Number of exactly-indexed terms.
+    pub fn num_indexed(&self) -> usize {
+        self.top.len()
+    }
+
+    /// `(count, average frequency)` of the uniform bucket.
+    pub fn uniform_bucket(&self) -> (u64, f64) {
+        let avg = if self.uniform_count == 0 {
+            0.0
+        } else {
+            self.uniform_sum / self.uniform_count as f64
+        };
+        (self.uniform_count, avg)
+    }
+
+    /// The exactly-indexed `(term, frequency)` pairs.
+    pub fn indexed_terms(&self) -> &[(TermId, f64)] {
+        &self.top
+    }
+
+    /// Storage footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        SUMMARY_HEADER_BYTES
+            + self.top.len() * EBTH_TOP_TERM_BYTES
+            + self.support.num_runs() * EBTH_RUN_BYTES
+            + EBTH_UNIFORM_BUCKET_BYTES
+    }
+
+    /// Estimated fractional frequency `w[t]` of a single term: exact for
+    /// indexed terms, the bucket average for bitmap hits, 0 otherwise.
+    pub fn term_frequency(&self, t: TermId) -> f64 {
+        if let Ok(i) = self.top.binary_search_by_key(&t.0, |(s, _)| s.0) {
+            return self.top[i].1;
+        }
+        if self.support.contains(t.0) {
+            self.uniform_bucket().1
+        } else {
+            0.0
+        }
+    }
+
+    /// Selectivity of `ftcontains(terms…)`: fraction of texts containing
+    /// every listed term, under cross-term independence.
+    pub fn selectivity(&self, terms: &[TermId]) -> f64 {
+        terms.iter().map(|&t| self.term_frequency(t)).product()
+    }
+
+    /// Selectivity of the set-similarity predicate: the probability that
+    /// a text contains at least `min_overlap` of the probe terms, under
+    /// cross-term independence (a Poisson-binomial tail computed by the
+    /// standard `O(k²)` dynamic program over the per-term frequencies).
+    pub fn similarity_selectivity(&self, terms: &[TermId], min_overlap: usize) -> f64 {
+        if min_overlap == 0 {
+            return 1.0;
+        }
+        if min_overlap > terms.len() {
+            return 0.0;
+        }
+        // dp[j] = P(exactly j of the terms seen so far are present).
+        let mut dp = vec![0.0f64; terms.len() + 1];
+        dp[0] = 1.0;
+        for (i, &t) in terms.iter().enumerate() {
+            let p = self.term_frequency(t).clamp(0.0, 1.0);
+            for j in (0..=i).rev() {
+                dp[j + 1] += dp[j] * p;
+                dp[j] *= 1.0 - p;
+            }
+        }
+        dp[min_overlap..].iter().sum::<f64>().clamp(0.0, 1.0)
+    }
+
+    /// One `tv_cmprs` step: moves the lowest-frequency indexed term into
+    /// the uniform bucket, adjusting the bucket average. Returns the
+    /// squared selectivity error on that term's atomic predicate, or
+    /// `None` if no indexed terms remain.
+    pub fn demote_one(&mut self) -> Option<f64> {
+        let (pos, _) = self
+            .top
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1))?;
+        let (_, freq) = self.top.remove(pos);
+        self.uniform_sum += freq;
+        self.uniform_count += 1;
+        let err = freq - self.uniform_bucket().1;
+        Some(err * err)
+    }
+
+    /// Applies `tv_cmprs(u, b)`: demotes the `b` lowest-frequency indexed
+    /// terms, returning the accumulated squared error.
+    pub fn demote(&mut self, b: usize) -> f64 {
+        let mut total = 0.0;
+        for _ in 0..b {
+            match self.demote_one() {
+                Some(e) => total += e,
+                None => break,
+            }
+        }
+        total
+    }
+
+    /// Demotes terms until the footprint is at most `budget` bytes (or no
+    /// indexed terms remain). Returns the accumulated squared error.
+    /// Equivalent to repeated [`Ebth::demote_one`] but sorts once instead
+    /// of rescanning the top list per step.
+    pub fn compress_to_bytes(&mut self, budget: usize) -> f64 {
+        if self.size_bytes() <= budget {
+            return 0.0;
+        }
+        let needed = (self.size_bytes() - budget).div_ceil(EBTH_TOP_TERM_BYTES);
+        self.demote_cheapest(needed)
+    }
+
+    /// Demotes the `m` lowest-frequency indexed terms in one pass.
+    /// Returns the accumulated squared error (same accounting as `m`
+    /// successive [`Ebth::demote_one`] calls).
+    pub fn demote_cheapest(&mut self, m: usize) -> f64 {
+        let m = m.min(self.top.len());
+        if m == 0 {
+            return 0.0;
+        }
+        let mut idx: Vec<usize> = (0..self.top.len()).collect();
+        idx.sort_by(|&a, &b| self.top[a].1.total_cmp(&self.top[b].1));
+        let mut remove = vec![false; self.top.len()];
+        let mut sq = 0.0;
+        for &i in idx.iter().take(m) {
+            let f = self.top[i].1;
+            self.uniform_sum += f;
+            self.uniform_count += 1;
+            let avg = self.uniform_sum / self.uniform_count as f64;
+            let e = f - avg;
+            sq += e * e;
+            remove[i] = true;
+        }
+        let kept: Vec<(TermId, f64)> = self
+            .top
+            .drain(..)
+            .enumerate()
+            .filter_map(|(i, t)| (!remove[i]).then_some(t))
+            .collect();
+        self.top = kept;
+        sq
+    }
+
+    /// Fuses two summaries for a node merge (paper Section 4.1):
+    /// the merged centroid is the element-count weighted combination
+    /// `w = (|u|·wᵤ + |v|·wᵥ) / (|u|+|v|)`. Terms indexed in either input
+    /// stay indexed (using each side's estimate for the other's
+    /// unindexed terms); the uniform buckets combine; supports union.
+    pub fn fuse(&self, other: &Ebth) -> Ebth {
+        let ku = self.elements;
+        let kv = other.elements;
+        let kw = ku + kv;
+        if kw == 0.0 {
+            return Ebth::from_vectors(std::iter::empty());
+        }
+        let mut top: Vec<(TermId, f64)> = Vec::with_capacity(self.top.len() + other.top.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.top.len() || j < other.top.len() {
+            let ta = self.top.get(i).map(|(t, _)| t.0);
+            let tb = other.top.get(j).map(|(t, _)| t.0);
+            let (t, fa, fb) = match (ta, tb) {
+                (Some(a), Some(b)) if a == b => {
+                    let r = (a, self.top[i].1, other.top[j].1);
+                    i += 1;
+                    j += 1;
+                    r
+                }
+                (Some(a), Some(b)) if a < b => {
+                    let r = (a, self.top[i].1, other.term_frequency(Symbol(a)));
+                    i += 1;
+                    r
+                }
+                (Some(a), None) => {
+                    let r = (a, self.top[i].1, other.term_frequency(Symbol(a)));
+                    i += 1;
+                    r
+                }
+                (_, Some(b)) => {
+                    let r = (b, self.term_frequency(Symbol(b)), other.top[j].1);
+                    j += 1;
+                    r
+                }
+                (None, None) => unreachable!(),
+            };
+            top.push((Symbol(t), (ku * fa + kv * fb) / kw));
+        }
+        // Uniform buckets: terms unindexed on both sides. Terms that were
+        // uniform on one side but indexed on the other were just absorbed
+        // into `top` (their uniform share is approximated by the bucket
+        // average, which is what `term_frequency` returned); the residual
+        // bucket keeps the weighted leftover mass.
+        let sum_w = (ku * self.uniform_sum + kv * other.uniform_sum) / kw;
+        let support = self.support.union(&other.support);
+        let indexed: std::collections::HashSet<u32> = top.iter().map(|(t, _)| t.0).collect();
+        let mut uniform_count = 0u64;
+        let mut absorbed = 0.0;
+        for id in support.iter() {
+            if !indexed.contains(&id) {
+                uniform_count += 1;
+            }
+        }
+        // Mass absorbed into top from each side's uniform bucket.
+        for (t, _) in &top {
+            let mut m = 0.0;
+            if self.top.binary_search_by_key(&t.0, |(s, _)| s.0).is_err()
+                && self.support.contains(t.0)
+            {
+                m += ku * self.uniform_bucket().1;
+            }
+            if other.top.binary_search_by_key(&t.0, |(s, _)| s.0).is_err()
+                && other.support.contains(t.0)
+            {
+                m += kv * other.uniform_bucket().1;
+            }
+            absorbed += m / kw;
+        }
+        Ebth {
+            top,
+            support,
+            uniform_sum: (sum_w - absorbed).max(0.0),
+            uniform_count,
+            elements: kw,
+        }
+    }
+
+    /// Ablation baseline: compresses the centroid with a *conventional*
+    /// equal-width bucket histogram over term-id ranges, losing the 0/1
+    /// support information. Every term in a covered range (occurring or
+    /// not) estimates to the bucket's average frequency.
+    pub fn to_range_bucket_baseline(&self, num_buckets: usize) -> RangeBucketTermSummary {
+        let max_id = self
+            .support
+            .runs
+            .last()
+            .map(|&(_, e)| e)
+            .unwrap_or(0)
+            .max(1);
+        let nb = num_buckets.max(1);
+        let width = max_id.div_ceil(nb as u32).max(1);
+        let mut sums = vec![0.0f64; nb];
+        for (t, f) in &self.top {
+            sums[(t.0 / width) as usize] += f;
+        }
+        for id in self.support.iter() {
+            if self.top.binary_search_by_key(&id, |(s, _)| s.0).is_err() {
+                sums[(id / width) as usize] += self.uniform_bucket().1;
+            }
+        }
+        RangeBucketTermSummary {
+            width,
+            // Conventional histograms average over the whole id range of
+            // the bucket — zero entries included — which is exactly the
+            // failure mode the paper calls out.
+            avgs: sums.iter().map(|s| s / width as f64).collect(),
+        }
+    }
+}
+
+/// The conventional-histogram ablation baseline for term frequencies.
+#[derive(Debug, Clone)]
+pub struct RangeBucketTermSummary {
+    width: u32,
+    avgs: Vec<f64>,
+}
+
+impl RangeBucketTermSummary {
+    /// Estimated `w[t]` — bucket average regardless of term existence.
+    pub fn term_frequency(&self, t: TermId) -> f64 {
+        let b = (t.0 / self.width) as usize;
+        self.avgs.get(b).copied().unwrap_or(0.0)
+    }
+
+    /// Conjunctive keyword selectivity under independence.
+    pub fn selectivity(&self, terms: &[TermId]) -> f64 {
+        terms.iter().map(|&t| self.term_frequency(t)).product()
+    }
+}
+
+/// Atomic-predicate moments between two EBTHs (paper Sec. 4.1: atomic
+/// `TEXT` predicates are individual terms). Indexed terms of either side
+/// are enumerated exactly; the uniform buckets contribute in aggregate
+/// (each unindexed supported term adds its bucket-average selectivity).
+pub fn atomic_moments(a: &Ebth, b: &Ebth) -> (f64, f64, f64) {
+    let (mut aa, mut ab, mut bb) = (0.0, 0.0, 0.0);
+    let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    for (t, _) in a.top.iter().chain(b.top.iter()) {
+        if seen.insert(t.0) {
+            let sa = a.term_frequency(*t);
+            let sb = b.term_frequency(*t);
+            aa += sa * sa;
+            ab += sa * sb;
+            bb += sb * sb;
+        }
+    }
+    // Uniform-only terms: support ids outside both top sets. Avoid
+    // enumerating them one by one when the supports coincide heavily —
+    // their per-term selectivity is piecewise constant (avg_a and/or
+    // avg_b), so aggregate by intersection cardinalities.
+    let avg_a = a.uniform_bucket().1;
+    let avg_b = b.uniform_bucket().1;
+    let mut n_a_only = 0u64;
+    let mut n_b_only = 0u64;
+    let mut n_both = 0u64;
+    for id in a.support.union(&b.support).iter() {
+        if seen.contains(&id) {
+            continue;
+        }
+        match (a.support.contains(id), b.support.contains(id)) {
+            (true, true) => n_both += 1,
+            (true, false) => n_a_only += 1,
+            (false, true) => n_b_only += 1,
+            (false, false) => {}
+        }
+    }
+    aa += (n_both + n_a_only) as f64 * avg_a * avg_a;
+    bb += (n_both + n_b_only) as f64 * avg_b * avg_b;
+    ab += n_both as f64 * avg_a * avg_b;
+    (aa, ab, bb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcluster_xml::Symbol;
+
+    fn tv(ids: &[u32]) -> TermVector {
+        ids.iter().map(|&i| Symbol(i)).collect()
+    }
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn rle_round_trip() {
+        let ids = [1u32, 2, 3, 7, 9, 10];
+        let bm = RleBitmap::from_sorted_ids(&ids);
+        assert_eq!(bm.num_runs(), 3);
+        assert_eq!(bm.cardinality(), 6);
+        for id in ids {
+            assert!(bm.contains(id));
+        }
+        for id in [0u32, 4, 8, 11] {
+            assert!(!bm.contains(id));
+        }
+        let collected: Vec<u32> = bm.iter().collect();
+        assert_eq!(collected, ids);
+    }
+
+    #[test]
+    fn rle_union() {
+        let a = RleBitmap::from_sorted_ids(&[1, 2, 5]);
+        let b = RleBitmap::from_sorted_ids(&[3, 5, 6]);
+        let u = a.union(&b);
+        let ids: Vec<u32> = u.iter().collect();
+        assert_eq!(ids, vec![1, 2, 3, 5, 6]);
+        assert_eq!(u.num_runs(), 2); // [1,4) and [5,7)
+    }
+
+    #[test]
+    fn centroid_frequencies_are_exact() {
+        let texts = [tv(&[1, 2]), tv(&[1, 3]), tv(&[1, 2, 4]), tv(&[5])];
+        let e = Ebth::from_vectors(texts.iter());
+        close(e.term_frequency(Symbol(1)), 0.75);
+        close(e.term_frequency(Symbol(2)), 0.5);
+        close(e.term_frequency(Symbol(5)), 0.25);
+        close(e.term_frequency(Symbol(99)), 0.0);
+        close(e.elements(), 4.0);
+    }
+
+    #[test]
+    fn conjunctive_selectivity_multiplies() {
+        let texts = [tv(&[1, 2]), tv(&[1, 2]), tv(&[1]), tv(&[3])];
+        let e = Ebth::from_vectors(texts.iter());
+        close(e.selectivity(&[Symbol(1), Symbol(2)]), 0.75 * 0.5);
+        close(e.selectivity(&[]), 1.0);
+        close(e.selectivity(&[Symbol(9)]), 0.0);
+    }
+
+    #[test]
+    fn demote_moves_lowest_frequency_terms() {
+        let texts = [tv(&[1, 2, 3]), tv(&[1, 2]), tv(&[1])];
+        let mut e = Ebth::from_vectors(texts.iter());
+        assert_eq!(e.num_indexed(), 3);
+        e.demote_one().unwrap(); // term 3 (freq 1/3) demoted first
+        assert_eq!(e.num_indexed(), 2);
+        let (cnt, avg) = e.uniform_bucket();
+        assert_eq!(cnt, 1);
+        close(avg, 1.0 / 3.0);
+        // Term 3 still estimates via bitmap + avg, not zero.
+        close(e.term_frequency(Symbol(3)), 1.0 / 3.0);
+        // Term 1 stays exact.
+        close(e.term_frequency(Symbol(1)), 1.0);
+    }
+
+    #[test]
+    fn nonexistent_terms_estimate_zero_after_demotion() {
+        let texts = [tv(&[1, 5, 9])];
+        let mut e = Ebth::from_vectors(texts.iter());
+        e.demote(3);
+        assert_eq!(e.num_indexed(), 0);
+        // Supported terms → bucket average; unsupported → exact 0.
+        close(e.term_frequency(Symbol(5)), 1.0);
+        close(e.term_frequency(Symbol(4)), 0.0);
+        close(e.term_frequency(Symbol(10)), 0.0);
+    }
+
+    #[test]
+    fn compress_to_bytes_respects_budget() {
+        let texts: Vec<TermVector> = (0..40).map(|i| tv(&[i, i + 1, i + 2])).collect();
+        let mut e = Ebth::from_vectors(texts.iter());
+        let before = e.size_bytes();
+        let budget = before / 2;
+        e.compress_to_bytes(budget);
+        assert!(e.size_bytes() <= budget || e.num_indexed() == 0);
+    }
+
+    #[test]
+    fn fuse_weights_by_element_count() {
+        // u: 3 texts all containing term 1; v: 1 text containing term 2.
+        let u = Ebth::from_vectors([tv(&[1]), tv(&[1]), tv(&[1])].iter());
+        let v = Ebth::from_vectors([tv(&[2])].iter());
+        let w = u.fuse(&v);
+        close(w.elements(), 4.0);
+        close(w.term_frequency(Symbol(1)), 0.75);
+        close(w.term_frequency(Symbol(2)), 0.25);
+    }
+
+    #[test]
+    fn fuse_exact_centroids_matches_recomputation() {
+        let t1 = [tv(&[1, 2]), tv(&[2, 3])];
+        let t2 = [tv(&[2]), tv(&[4]), tv(&[1, 4])];
+        let u = Ebth::from_vectors(t1.iter());
+        let v = Ebth::from_vectors(t2.iter());
+        let w = u.fuse(&v);
+        let direct = Ebth::from_vectors(t1.iter().chain(t2.iter()));
+        for id in [1u32, 2, 3, 4] {
+            close(w.term_frequency(Symbol(id)), direct.term_frequency(Symbol(id)));
+        }
+    }
+
+    #[test]
+    fn fuse_with_demoted_terms_keeps_support() {
+        let mut u = Ebth::from_vectors([tv(&[1, 2, 3])].iter());
+        u.demote(2);
+        let v = Ebth::from_vectors([tv(&[4])].iter());
+        let w = u.fuse(&v);
+        // All supported terms remain nonzero; others zero.
+        for id in [1u32, 2, 3, 4] {
+            assert!(w.term_frequency(Symbol(id)) > 0.0, "term {id}");
+        }
+        close(w.term_frequency(Symbol(7)), 0.0);
+    }
+
+    #[test]
+    fn range_bucket_baseline_loses_zero_entries() {
+        // Terms 0 and 2 occur; term 1 does not.
+        let e = Ebth::from_vectors([tv(&[0, 2])].iter());
+        let base = e.to_range_bucket_baseline(1);
+        // EBTH knows term 1 is absent.
+        close(e.term_frequency(Symbol(1)), 0.0);
+        // The conventional histogram smears mass over the hole.
+        assert!(base.term_frequency(Symbol(1)) > 0.0);
+    }
+
+    #[test]
+    fn atomic_moments_identity() {
+        let e = Ebth::from_vectors([tv(&[1, 2]), tv(&[2, 3])].iter());
+        let (aa, ab, bb) = atomic_moments(&e, &e);
+        close(aa, ab);
+        close(ab, bb);
+    }
+
+    #[test]
+    fn atomic_moments_disjoint_vocabularies() {
+        let a = Ebth::from_vectors([tv(&[1, 2])].iter());
+        let b = Ebth::from_vectors([tv(&[10, 11])].iter());
+        let (aa, ab, bb) = atomic_moments(&a, &b);
+        close(ab, 0.0);
+        close(aa, 2.0); // two terms with freq 1
+        close(bb, 2.0);
+    }
+
+    #[test]
+    fn atomic_moments_cover_uniform_bucket() {
+        let mut a = Ebth::from_vectors([tv(&[1, 2, 3, 4])].iter());
+        a.demote(4);
+        let (aa, _, _) = atomic_moments(&a, &a);
+        // Four uniform terms at freq 1 each → aa = 4.
+        close(aa, 4.0);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let mut e = Ebth::from_vectors(std::iter::empty());
+        close(e.elements(), 0.0);
+        close(e.term_frequency(Symbol(0)), 0.0);
+        assert!(e.demote_one().is_none());
+    }
+
+    #[test]
+    fn size_accounting() {
+        let e = Ebth::from_vectors([tv(&[1, 2, 3])].iter());
+        let full = e.size_bytes();
+        let mut c = e.clone();
+        c.demote(2);
+        assert!(c.size_bytes() < full);
+    }
+}

@@ -1,0 +1,34 @@
+//! Storage-footprint model for value summaries and synopsis structure.
+//!
+//! The paper expresses budgets (`Bstr`, `Bval`) in kilobytes, so every
+//! summary and the synopsis graph itself report a size in bytes. The
+//! constants below model a compact on-disk encoding rather than the
+//! in-memory Rust layout: what matters for reproducing the experiments is
+//! that the *relative* cost of buckets, PST nodes, indexed terms, and RLE
+//! runs matches the paper's setting.
+
+/// Fixed per-summary header (type tag + counts).
+pub const SUMMARY_HEADER_BYTES: usize = 8;
+
+/// One histogram bucket: domain boundary (u32) + frequency count (f32).
+pub const HISTOGRAM_BUCKET_BYTES: usize = 8;
+
+/// One pruned-suffix-tree node: symbol (1 byte) + count (4 bytes) +
+/// amortized child-structure overhead (4 bytes).
+pub const PST_NODE_BYTES: usize = 9;
+
+/// One exactly-indexed term of an end-biased term histogram:
+/// term id (u32) + frequency (f32).
+pub const EBTH_TOP_TERM_BYTES: usize = 8;
+
+/// One run of the RLE-compressed 0/1 uniform bucket (run length, u16 ×2).
+pub const EBTH_RUN_BYTES: usize = 4;
+
+/// Average frequency + non-zero count of the uniform bucket.
+pub const EBTH_UNIFORM_BUCKET_BYTES: usize = 8;
+
+/// One synopsis node header: label/type (u32) + element count (u32).
+pub const SYNOPSIS_NODE_BYTES: usize = 8;
+
+/// One synopsis edge: target node id (u32) + average child count (f32).
+pub const SYNOPSIS_EDGE_BYTES: usize = 8;

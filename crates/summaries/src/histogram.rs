@@ -1,0 +1,496 @@
+//! Numeric value summaries: bucketized frequency histograms (paper
+//! Section 3, `NUMERIC` value summaries; Section 4.1 bucket alignment and
+//! merging; Section 4.2 `hist_cmprs`).
+//!
+//! A [`Histogram`] covers a contiguous slice of the integer domain with
+//! non-overlapping buckets `[lo, hi]`, each holding a frequency count.
+//! Range selectivities use the conventional continuous-uniformity
+//! assumption within buckets. Merging two histograms first *aligns* their
+//! buckets on the union of boundaries (splitting counts uniformly), then
+//! sums frequencies — exactly the fusion step the paper describes for node
+//! merges. `hist_cmprs` collapses adjacent bucket pairs, choosing the pair
+//! whose collapse least perturbs the atomic prefix-range selectivities.
+
+use crate::footprint::{HISTOGRAM_BUCKET_BYTES, SUMMARY_HEADER_BYTES};
+
+/// One histogram bucket over the inclusive integer range `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// Lowest domain value covered.
+    pub lo: u64,
+    /// Highest domain value covered (inclusive).
+    pub hi: u64,
+    /// Number of values falling in `[lo, hi]` (fractional after splits).
+    pub count: f64,
+}
+
+impl Bucket {
+    fn width(&self) -> f64 {
+        (self.hi - self.lo + 1) as f64
+    }
+}
+
+/// Bucket-boundary strategy used when building a histogram from raw data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramKind {
+    /// Equal-width buckets over the value range.
+    EquiWidth,
+    /// Approximately equal-frequency buckets (used by the reference
+    /// synopsis; better for skewed distributions).
+    EquiDepth,
+}
+
+/// A frequency histogram over an integer value domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: Vec<Bucket>,
+    total: f64,
+}
+
+impl Histogram {
+    /// Builds a histogram with at most `max_buckets` buckets from raw
+    /// values. Returns an empty histogram if `values` is empty.
+    pub fn build(values: &[u64], max_buckets: usize, kind: HistogramKind) -> Self {
+        assert!(max_buckets > 0, "need at least one bucket");
+        if values.is_empty() {
+            return Histogram {
+                buckets: Vec::new(),
+                total: 0.0,
+            };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        match kind {
+            HistogramKind::EquiWidth => Self::build_equi_width(&sorted, max_buckets),
+            HistogramKind::EquiDepth => Self::build_equi_depth(&sorted, max_buckets),
+        }
+    }
+
+    fn build_equi_width(sorted: &[u64], max_buckets: usize) -> Self {
+        let lo = sorted[0];
+        let hi = *sorted.last().unwrap();
+        let span = hi - lo + 1;
+        let nb = (max_buckets as u64).min(span) as usize;
+        let width = span.div_ceil(nb as u64);
+        let mut buckets: Vec<Bucket> = (0..nb)
+            .map(|i| {
+                let blo = lo + i as u64 * width;
+                Bucket {
+                    lo: blo,
+                    hi: (blo + width - 1).min(hi),
+                    count: 0.0,
+                }
+            })
+            .filter(|b| b.lo <= hi)
+            .collect();
+        for &v in sorted {
+            let idx = ((v - lo) / width) as usize;
+            buckets[idx].count += 1.0;
+        }
+        Histogram {
+            total: sorted.len() as f64,
+            buckets,
+        }
+    }
+
+    fn build_equi_depth(sorted: &[u64], max_buckets: usize) -> Self {
+        let n = sorted.len();
+        let per = n.div_ceil(max_buckets).max(1);
+        let mut buckets = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let lo = sorted[i];
+            let mut j = (i + per).min(n) - 1;
+            // Extend so a single domain value never straddles buckets.
+            while j + 1 < n && sorted[j + 1] == sorted[j] {
+                j += 1;
+            }
+            buckets.push(Bucket {
+                lo,
+                hi: sorted[j],
+                count: (j - i + 1) as f64,
+            });
+            i = j + 1;
+        }
+        // Stitch boundaries so buckets tile the covered range contiguously.
+        for k in 1..buckets.len() {
+            debug_assert!(buckets[k].lo > buckets[k - 1].hi);
+        }
+        Histogram {
+            total: n as f64,
+            buckets,
+        }
+    }
+
+    /// Reassembles a histogram from serialized parts. Buckets must be
+    /// sorted and non-overlapping (checked in debug builds).
+    pub fn from_parts(buckets: Vec<Bucket>, total: f64) -> Self {
+        debug_assert!(buckets.windows(2).all(|w| w[0].hi < w[1].lo));
+        Histogram { buckets, total }
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total frequency (number of summarized values).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// The buckets, in increasing domain order.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Storage footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        SUMMARY_HEADER_BYTES + self.buckets.len() * HISTOGRAM_BUCKET_BYTES
+    }
+
+    /// Estimated number of values in the inclusive range `[lo, hi]`
+    /// (continuous uniformity within buckets).
+    pub fn estimate_range(&self, lo: u64, hi: u64) -> f64 {
+        if lo > hi {
+            return 0.0;
+        }
+        let mut est = 0.0;
+        for b in &self.buckets {
+            if b.hi < lo || b.lo > hi {
+                continue;
+            }
+            let olo = lo.max(b.lo);
+            let ohi = hi.min(b.hi);
+            let overlap = (ohi - olo + 1) as f64;
+            est += b.count * overlap / b.width();
+        }
+        est
+    }
+
+    /// Selectivity of `[lo, hi]`: estimated fraction of values in range.
+    pub fn selectivity(&self, lo: u64, hi: u64) -> f64 {
+        if self.total == 0.0 {
+            return 0.0;
+        }
+        self.estimate_range(lo, hi) / self.total
+    }
+
+    /// Selectivity of the atomic prefix range `[0, hi]` (paper Sec. 4.1:
+    /// atomic predicates for `NUMERIC` histograms are prefix ranges, which
+    /// avoids introducing zero-count "holes" in merged histograms).
+    pub fn prefix_selectivity(&self, hi: u64) -> f64 {
+        self.selectivity(0, hi)
+    }
+
+    /// Upper boundaries of all buckets — the atomic-predicate points.
+    pub fn boundaries(&self) -> impl Iterator<Item = u64> + '_ {
+        self.buckets.iter().map(|b| b.hi)
+    }
+
+    /// Paper Section 4.1: fuses two histograms for a node merge. Buckets
+    /// are first aligned on the union of both boundary sets (splitting
+    /// counts under the uniformity assumption), then frequency counts are
+    /// summed across aligned buckets.
+    pub fn fuse(&self, other: &Histogram) -> Histogram {
+        if self.buckets.is_empty() {
+            return other.clone();
+        }
+        if other.buckets.is_empty() {
+            return self.clone();
+        }
+        // Union of all boundary points defines the aligned bucket grid.
+        let mut cuts: Vec<u64> = Vec::new();
+        for b in self.buckets.iter().chain(other.buckets.iter()) {
+            cuts.push(b.lo);
+            cuts.push(b.hi + 1); // exclusive end
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut buckets = Vec::with_capacity(cuts.len());
+        for w in cuts.windows(2) {
+            let (lo, hi) = (w[0], w[1] - 1);
+            let count = self.estimate_range(lo, hi) + other.estimate_range(lo, hi);
+            if count > 0.0 {
+                buckets.push(Bucket { lo, hi, count });
+            }
+        }
+        // Coalesce zero-gap neighbours that came from identical grids to
+        // keep fused summaries from growing without bound in long merge
+        // chains: adjacent buckets whose merged density matches within the
+        // uniformity assumption are indistinguishable to any query.
+        Histogram {
+            total: self.total + other.total,
+            buckets,
+        }
+    }
+
+    /// Merges adjacent buckets `i` and `i + 1` in place (`hist_cmprs` with
+    /// `b = 1`).
+    ///
+    /// # Panics
+    /// Panics if `i + 1` is out of bounds.
+    pub fn merge_adjacent(&mut self, i: usize) {
+        let b2 = self.buckets.remove(i + 1);
+        let b1 = &mut self.buckets[i];
+        b1.hi = b2.hi;
+        b1.count += b2.count;
+    }
+
+    /// Squared-error cost of collapsing adjacent buckets `i, i+1`,
+    /// measured over the atomic prefix-range predicates (the selectivity
+    /// at every bucket boundary). Only the boundary between the two
+    /// buckets changes, so the sum has a single term.
+    pub fn collapse_cost(&self, i: usize) -> f64 {
+        let b1 = self.buckets[i];
+        let b2 = self.buckets[i + 1];
+        if self.total == 0.0 {
+            return 0.0;
+        }
+        // Prefix selectivity at b1.hi before vs after the collapse. Before:
+        // everything through b1. After: combined bucket spans [b1.lo, b2.hi]
+        // and the prefix cuts it at b1.hi.
+        let before = b1.count;
+        let merged = b1.count + b2.count;
+        let width = (b2.hi - b1.lo + 1) as f64;
+        let after = merged * ((b1.hi - b1.lo + 1) as f64) / width;
+        let d = (before - after) / self.total;
+        d * d
+    }
+
+    /// The best single compression step: returns
+    /// `(bucket index, squared error)` for the cheapest adjacent collapse,
+    /// or `None` if fewer than two buckets remain.
+    pub fn best_collapse(&self) -> Option<(usize, f64)> {
+        (0..self.buckets.len().saturating_sub(1))
+            .map(|i| (i, self.collapse_cost(i)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+/// Atomic-predicate moments between two histograms: sums over the union of
+/// both boundary sets of squared/cross prefix selectivities. Feeds the
+/// Δ(S,S′) factorization in `xcluster-core`.
+pub fn atomic_moments(a: &Histogram, b: &Histogram) -> (f64, f64, f64) {
+    let mut cuts: Vec<u64> = a.boundaries().chain(b.boundaries()).collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let (mut aa, mut ab, mut bb) = (0.0, 0.0, 0.0);
+    for h in cuts {
+        let sa = a.prefix_selectivity(h);
+        let sb = b.prefix_selectivity(h);
+        aa += sa * sa;
+        ab += sa * sb;
+        bb += sb * sb;
+    }
+    (aa, ab, bb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn equi_width_counts_all_values() {
+        let values = vec![1, 2, 3, 10, 11, 50];
+        let h = Histogram::build(&values, 4, HistogramKind::EquiWidth);
+        close(h.total(), 6.0);
+        close(h.estimate_range(0, 100), 6.0);
+        assert!(h.num_buckets() <= 4);
+    }
+
+    #[test]
+    fn equi_depth_counts_all_values() {
+        let values: Vec<u64> = (0..100).map(|i| i * i % 97).collect();
+        let h = Histogram::build(&values, 8, HistogramKind::EquiDepth);
+        close(h.total(), 100.0);
+        close(h.estimate_range(0, 10_000), 100.0);
+    }
+
+    #[test]
+    fn equi_depth_exact_on_bucket_boundaries() {
+        // One value per bucket → exact estimates for point ranges.
+        let values = vec![10, 20, 30, 40];
+        let h = Histogram::build(&values, 4, HistogramKind::EquiDepth);
+        assert_eq!(h.num_buckets(), 4);
+        close(h.estimate_range(10, 10), 1.0);
+        close(h.estimate_range(15, 25), 1.0);
+        close(h.selectivity(0, 9), 0.0);
+    }
+
+    #[test]
+    fn duplicate_heavy_values_stay_in_one_bucket() {
+        let mut values = vec![5; 50];
+        values.extend([9, 10, 11]);
+        let h = Histogram::build(&values, 4, HistogramKind::EquiDepth);
+        // The run of 5s must not straddle buckets.
+        close(h.estimate_range(5, 5), 50.0);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::build(&[], 4, HistogramKind::EquiDepth);
+        assert_eq!(h.num_buckets(), 0);
+        close(h.selectivity(0, 10), 0.0);
+        close(h.total(), 0.0);
+    }
+
+    #[test]
+    fn selectivity_is_a_fraction() {
+        let values: Vec<u64> = (0..1000).collect();
+        let h = Histogram::build(&values, 10, HistogramKind::EquiDepth);
+        let s = h.selectivity(0, 499);
+        assert!((s - 0.5).abs() < 0.01, "{s}");
+        close(h.selectivity(0, 2000), 1.0);
+    }
+
+    #[test]
+    fn fuse_preserves_total_and_range_sums() {
+        let a = Histogram::build(&[1, 2, 3, 4, 5], 2, HistogramKind::EquiDepth);
+        let b = Histogram::build(&[100, 200, 300], 2, HistogramKind::EquiDepth);
+        let f = a.fuse(&b);
+        close(f.total(), 8.0);
+        close(f.estimate_range(0, 1000), 8.0);
+        // Disjoint supports remain separated.
+        close(f.estimate_range(0, 50), 5.0);
+        close(f.estimate_range(50, 1000), 3.0);
+    }
+
+    #[test]
+    fn fuse_aligns_overlapping_buckets() {
+        let a = Histogram::build(&[0, 1, 2, 3], 1, HistogramKind::EquiWidth);
+        let b = Histogram::build(&[2, 3, 4, 5], 1, HistogramKind::EquiWidth);
+        let f = a.fuse(&b);
+        close(f.total(), 8.0);
+        // Range [2,3] got 2 from each side under uniformity.
+        close(f.estimate_range(2, 3), 4.0);
+    }
+
+    #[test]
+    fn fuse_with_empty_is_identity() {
+        let a = Histogram::build(&[1, 2, 3], 2, HistogramKind::EquiDepth);
+        let e = Histogram::build(&[], 2, HistogramKind::EquiDepth);
+        assert_eq!(a.fuse(&e), a);
+        assert_eq!(e.fuse(&a), a);
+    }
+
+    #[test]
+    fn merge_adjacent_reduces_buckets_keeps_total() {
+        let mut h = Histogram::build(&[1, 2, 3, 4, 5, 6], 3, HistogramKind::EquiDepth);
+        let nb = h.num_buckets();
+        let total = h.total();
+        h.merge_adjacent(0);
+        assert_eq!(h.num_buckets(), nb - 1);
+        close(h.total(), total);
+        close(h.estimate_range(0, 100), total);
+    }
+
+    #[test]
+    fn collapse_cost_zero_for_uniform_neighbours() {
+        // Two buckets with identical density: collapsing is free.
+        let h = Histogram {
+            buckets: vec![
+                Bucket {
+                    lo: 0,
+                    hi: 9,
+                    count: 10.0,
+                },
+                Bucket {
+                    lo: 10,
+                    hi: 19,
+                    count: 10.0,
+                },
+            ],
+            total: 20.0,
+        };
+        close(h.collapse_cost(0), 0.0);
+    }
+
+    #[test]
+    fn collapse_cost_positive_for_skewed_neighbours() {
+        let h = Histogram {
+            buckets: vec![
+                Bucket {
+                    lo: 0,
+                    hi: 9,
+                    count: 100.0,
+                },
+                Bucket {
+                    lo: 10,
+                    hi: 19,
+                    count: 1.0,
+                },
+            ],
+            total: 101.0,
+        };
+        assert!(h.collapse_cost(0) > 0.0);
+    }
+
+    #[test]
+    fn best_collapse_picks_minimum() {
+        let h = Histogram {
+            buckets: vec![
+                Bucket {
+                    lo: 0,
+                    hi: 9,
+                    count: 10.0,
+                },
+                Bucket {
+                    lo: 10,
+                    hi: 19,
+                    count: 10.0,
+                },
+                Bucket {
+                    lo: 20,
+                    hi: 29,
+                    count: 500.0,
+                },
+            ],
+            total: 520.0,
+        };
+        let (i, cost) = h.best_collapse().unwrap();
+        assert_eq!(i, 0);
+        close(cost, 0.0);
+    }
+
+    #[test]
+    fn best_collapse_none_for_single_bucket() {
+        let h = Histogram::build(&[5, 5, 5], 1, HistogramKind::EquiDepth);
+        assert!(h.best_collapse().is_none());
+    }
+
+    #[test]
+    fn atomic_moments_identical_histograms() {
+        let h = Histogram::build(&[1, 5, 9, 13], 4, HistogramKind::EquiDepth);
+        let (aa, ab, bb) = atomic_moments(&h, &h);
+        close(aa, ab);
+        close(ab, bb);
+        assert!(aa > 0.0);
+    }
+
+    #[test]
+    fn atomic_moments_detect_divergence() {
+        let a = Histogram::build(&[1, 2, 3], 2, HistogramKind::EquiDepth);
+        let b = Histogram::build(&[100, 200, 300], 2, HistogramKind::EquiDepth);
+        let (aa, ab, bb) = atomic_moments(&a, &b);
+        // Squared distance Σ(sa-sb)^2 = aa - 2ab + bb must be positive.
+        assert!(aa - 2.0 * ab + bb > 0.1);
+    }
+
+    #[test]
+    fn size_grows_with_buckets() {
+        let small = Histogram::build(&[1, 2], 1, HistogramKind::EquiDepth);
+        let big = Histogram::build(&(0..100).collect::<Vec<_>>(), 20, HistogramKind::EquiDepth);
+        assert!(big.size_bytes() > small.size_bytes());
+    }
+
+    #[test]
+    fn inverted_range_is_empty() {
+        let h = Histogram::build(&[1, 2, 3], 2, HistogramKind::EquiDepth);
+        close(h.estimate_range(10, 5), 0.0);
+    }
+}

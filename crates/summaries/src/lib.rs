@@ -1,0 +1,42 @@
+//! Value-distribution summaries for XCluster synopses (paper Section 3,
+//! "XCLUSTER Value Summaries", and Section 4.2, "Compressing Value
+//! Summaries").
+//!
+//! An XCluster node `u` with typed content stores a value summary
+//! `vsumm(u)` approximating the distribution of the `type(u)` values in its
+//! extent. One summary class exists per value type:
+//!
+//! * [`Histogram`] — bucketized frequency distribution for `NUMERIC`
+//!   values, supporting range predicates `[l, h]`;
+//! * [`Pst`] — pruned suffix trees for `STRING` values, supporting
+//!   substring (`contains`) predicates with Markovian estimation;
+//! * [`Ebth`] — **end-biased term histograms** (a contribution of the
+//!   paper) for `TEXT` values, supporting `ftcontains` term predicates:
+//!   the top-k term frequencies kept exactly plus a lossless run-length
+//!   compressed 0/1 uniform bucket with one average frequency.
+//!
+//! [`ValueSummary`] unifies the three behind the operations the synopsis
+//! construction and estimation algorithms need: predicate selectivity
+//! ([`ValueSummary::selectivity`]), summary fusion for node merges
+//! ([`ValueSummary::fuse`]), single-step compression
+//! ([`ValueSummary::best_compression`]), storage footprints
+//! ([`ValueSummary::size_bytes`]), and the *atomic-predicate moments* that
+//! drive the paper's Δ(S, S′) clustering-error metric
+//! ([`ValueSummary::atomic_moments`]).
+
+pub mod ebth;
+pub mod footprint;
+pub mod histogram;
+pub mod predicate;
+pub mod pst;
+pub mod sample;
+pub mod summary;
+pub mod wavelet;
+
+pub use ebth::{Ebth, RleBitmap};
+pub use histogram::{Bucket, Histogram, HistogramKind};
+pub use predicate::ValuePredicate;
+pub use pst::Pst;
+pub use sample::SampleSummary;
+pub use summary::{AtomicMoments, CompressionStep, NumericKind, ValueSummary};
+pub use wavelet::WaveletSummary;

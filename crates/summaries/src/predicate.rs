@@ -1,0 +1,171 @@
+//! Value predicates over typed XML content (paper Section 2, "Query
+//! Model").
+//!
+//! The three predicate classes match the three value types:
+//! numeric *range* predicates `[l, h]`, *substring* predicates
+//! `contains(qs)` (SQL `LIKE '%qs%'` semantics), and IR-style *keyword*
+//! predicates `ftcontains(t1, …, tk)` requiring every listed term.
+
+use std::fmt;
+use xcluster_xml::{TermId, Value};
+
+/// A value predicate attached to a twig-query node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValuePredicate {
+    /// `NUMERIC` range `[lo, hi]`, both ends inclusive.
+    Range { lo: u64, hi: u64 },
+    /// `STRING` substring containment: `contains(needle)`.
+    Contains { needle: String },
+    /// `TEXT` conjunctive keyword match: `ftcontains(terms…)`.
+    FtContains { terms: Vec<TermId> },
+    /// `TEXT` set-theoretic document similarity (paper Section 2: "other
+    /// Boolean-model predicates, such as set-theoretic notions of
+    /// document-similarity"): matches texts containing at least
+    /// `min_overlap` of the probe terms.
+    SimilarTo {
+        /// The probe document's terms (deduplicated).
+        terms: Vec<TermId>,
+        /// Minimum number of probe terms the text must contain.
+        min_overlap: usize,
+    },
+}
+
+impl ValuePredicate {
+    /// Exact Boolean evaluation against a concrete element value.
+    ///
+    /// This is the ground truth used by the exact twig evaluator; the
+    /// approximate counterpart is `ValueSummary::selectivity`. A predicate
+    /// never matches a value of the wrong type.
+    pub fn matches(&self, value: &Value) -> bool {
+        match (self, value) {
+            (ValuePredicate::Range { lo, hi }, Value::Numeric(n)) => lo <= n && n <= hi,
+            (ValuePredicate::Contains { needle }, Value::String(s)) => s.contains(needle.as_str()),
+            (ValuePredicate::FtContains { terms }, Value::Text(tv)) => {
+                terms.iter().all(|t| tv.contains(*t))
+            }
+            (
+                ValuePredicate::SimilarTo { terms, min_overlap },
+                Value::Text(tv),
+            ) => terms.iter().filter(|t| tv.contains(**t)).count() >= *min_overlap,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for ValuePredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Printed in the twig-parser's own syntax so that
+            // `TwigQuery: Display` output can be re-parsed.
+            ValuePredicate::Range { lo, hi } => write!(f, "in {lo}..{hi}"),
+            ValuePredicate::Contains { needle } => write!(f, "contains({needle})"),
+            ValuePredicate::FtContains { terms } => {
+                write!(f, "ftcontains(")?;
+                for (i, t) in terms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "t{}", t.0)?;
+                }
+                write!(f, ")")
+            }
+            ValuePredicate::SimilarTo { terms, min_overlap } => {
+                write!(f, "similar({min_overlap};")?;
+                for (i, t) in terms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "t{}", t.0)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcluster_xml::{Symbol, TermVector};
+
+    #[test]
+    fn range_matches_inclusively() {
+        let p = ValuePredicate::Range { lo: 10, hi: 20 };
+        assert!(p.matches(&Value::Numeric(10)));
+        assert!(p.matches(&Value::Numeric(20)));
+        assert!(!p.matches(&Value::Numeric(9)));
+        assert!(!p.matches(&Value::Numeric(21)));
+    }
+
+    #[test]
+    fn contains_is_substring() {
+        let p = ValuePredicate::Contains {
+            needle: "ACM".into(),
+        };
+        assert!(p.matches(&Value::String("the ACM press".into())));
+        assert!(!p.matches(&Value::String("acm lowercase".into())));
+    }
+
+    #[test]
+    fn ftcontains_requires_all_terms() {
+        let tv: TermVector = [Symbol(1), Symbol(2), Symbol(3)].into_iter().collect();
+        let both = ValuePredicate::FtContains {
+            terms: vec![Symbol(1), Symbol(3)],
+        };
+        let missing = ValuePredicate::FtContains {
+            terms: vec![Symbol(1), Symbol(9)],
+        };
+        assert!(both.matches(&Value::Text(tv.clone())));
+        assert!(!missing.matches(&Value::Text(tv)));
+    }
+
+    #[test]
+    fn type_mismatch_never_matches() {
+        let p = ValuePredicate::Range { lo: 0, hi: 100 };
+        assert!(!p.matches(&Value::String("50".into())));
+        assert!(!p.matches(&Value::None));
+        let q = ValuePredicate::Contains { needle: "x".into() };
+        assert!(!q.matches(&Value::Numeric(1)));
+    }
+
+    #[test]
+    fn empty_ftcontains_matches_any_text() {
+        let p = ValuePredicate::FtContains { terms: vec![] };
+        assert!(p.matches(&Value::Text(TermVector::default())));
+        assert!(!p.matches(&Value::Numeric(3)));
+    }
+
+    #[test]
+    fn similar_to_counts_overlap() {
+        let tv: TermVector = [Symbol(1), Symbol(2), Symbol(3)].into_iter().collect();
+        let yes = ValuePredicate::SimilarTo {
+            terms: vec![Symbol(1), Symbol(3), Symbol(9)],
+            min_overlap: 2,
+        };
+        let no = ValuePredicate::SimilarTo {
+            terms: vec![Symbol(1), Symbol(9), Symbol(10)],
+            min_overlap: 2,
+        };
+        assert!(yes.matches(&Value::Text(tv.clone())));
+        assert!(!no.matches(&Value::Text(tv.clone())));
+        // Zero overlap requirement matches any text.
+        let trivial = ValuePredicate::SimilarTo {
+            terms: vec![Symbol(99)],
+            min_overlap: 0,
+        };
+        assert!(trivial.matches(&Value::Text(tv)));
+        assert!(!trivial.matches(&Value::Numeric(1)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            ValuePredicate::Range { lo: 1, hi: 9 }.to_string(),
+            "in 1..9"
+        );
+        assert_eq!(
+            ValuePredicate::Contains { needle: "ab".into() }.to_string(),
+            "contains(ab)"
+        );
+    }
+}

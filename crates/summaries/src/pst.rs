@@ -1,0 +1,862 @@
+//! `STRING` value summaries: Pruned Suffix Trees (paper Section 3,
+//! `STRING` value summaries; Section 4.2 `st_cmprs`).
+//!
+//! Following the substring-selectivity literature ([Jagadish, Ng,
+//! Srivastava, PODS'99] and [Chaudhuri, Ganti, Gravano, ICDE'04], both
+//! cited by the paper), a PST is a trie over the substrings (up to a
+//! length bound) of the summarized string collection, where each node
+//! carries a *presence count*: the number of strings containing that
+//! substring. Substring selectivities for retained substrings are exact;
+//! longer query strings use the greedy Markovian estimate that stitches
+//! maximal-overlap matches together.
+//!
+//! The paper modifies the original PST proposal in two ways, both
+//! reproduced here:
+//!
+//! 1. the PST always records at least one node for every symbol occurring
+//!    in the distribution (depth-1 nodes are never pruned), which avoids
+//!    large errors on negative substring queries and makes the original
+//!    count-based pruning threshold redundant;
+//! 2. `st_cmprs` prunes leaves in increasing order of *pruning error* —
+//!    the difference between a leaf's exact estimate and the Markovian
+//!    estimate produced once it is gone — while preserving the PST
+//!    *monotonicity* (substring-closure) constraint: a node may only be
+//!    removed while no longer retained string contains it, which we track
+//!    with inverse suffix-link counts.
+//!
+//! The original count-threshold pruning rule is also provided
+//! ([`Pst::prune_one_by_count`]) as the ablation baseline.
+
+use crate::footprint::{PST_NODE_BYTES, SUMMARY_HEADER_BYTES};
+use std::collections::BinaryHeap;
+
+const ROOT: u32 = 0;
+const NO_STAMP: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    ch: u8,
+    depth: u16,
+    /// Presence count: number of strings containing this substring.
+    count: f64,
+    /// Occurrence count: total occurrences across the collection. The
+    /// Markovian fallback for unretained needles conditions in occurrence
+    /// space (as in the original substring-selectivity estimators) —
+    /// presence probabilities of single symbols are near 1 and would make
+    /// the independence product wildly overestimate rare fragments.
+    occ: f64,
+    parent: u32,
+    /// Child node ids, sorted by their `ch` for binary search.
+    children: Vec<u32>,
+    /// Node of this node's string minus its first character.
+    slink: u32,
+    /// Number of alive nodes whose `slink` points here.
+    inv_slink: u32,
+    alive: bool,
+    /// Id of the last string that contributed to `count` (dedup stamp).
+    last_seen: u32,
+}
+
+/// A pruned suffix tree with presence and occurrence counts.
+#[derive(Debug, Clone)]
+pub struct Pst {
+    nodes: Vec<Node>,
+    num_strings: f64,
+    max_depth: usize,
+    alive_count: usize,
+}
+
+impl Pst {
+    /// Builds the *unpruned* suffix trie over all substrings of length
+    /// `≤ max_depth` of `strings`, with presence counts.
+    pub fn build<S: AsRef<str>>(strings: &[S], max_depth: usize) -> Self {
+        assert!(max_depth >= 1 && max_depth <= u16::MAX as usize);
+        let mut pst = Pst {
+            nodes: vec![Node {
+                ch: 0,
+                depth: 0,
+                count: strings.len() as f64,
+                occ: 0.0, // accumulated below: total character positions
+                parent: ROOT,
+                children: Vec::new(),
+                slink: ROOT,
+                inv_slink: 0,
+                alive: true,
+                last_seen: NO_STAMP,
+            }],
+            num_strings: strings.len() as f64,
+            max_depth,
+            alive_count: 1,
+        };
+        for (sid, s) in strings.iter().enumerate() {
+            pst.insert_string(s.as_ref().as_bytes(), sid as u32);
+        }
+        pst.compute_suffix_links();
+        pst
+    }
+
+    fn insert_string(&mut self, s: &[u8], sid: u32) {
+        self.nodes[ROOT as usize].occ += s.len() as f64;
+        for start in 0..s.len() {
+            let mut cur = ROOT;
+            for &ch in &s[start..(start + self.max_depth).min(s.len())] {
+                cur = self.child_or_insert(cur, ch);
+                self.nodes[cur as usize].occ += 1.0;
+                if self.nodes[cur as usize].last_seen != sid {
+                    self.nodes[cur as usize].last_seen = sid;
+                    self.nodes[cur as usize].count += 1.0;
+                }
+            }
+        }
+    }
+
+    fn child_or_insert(&mut self, parent: u32, ch: u8) -> u32 {
+        match self.find_child_slot(parent, ch) {
+            Ok(c) => c,
+            Err(slot) => {
+                let id = self.nodes.len() as u32;
+                let depth = self.nodes[parent as usize].depth + 1;
+                self.nodes.push(Node {
+                    ch,
+                    depth,
+                    count: 0.0,
+                    occ: 0.0,
+                    parent,
+                    children: Vec::new(),
+                    slink: ROOT,
+                    inv_slink: 0,
+                    alive: true,
+                    last_seen: NO_STAMP,
+                });
+                self.alive_count += 1;
+                self.nodes[parent as usize].children.insert(slot, id);
+                id
+            }
+        }
+    }
+
+    fn find_child_slot(&self, parent: u32, ch: u8) -> Result<u32, usize> {
+        let children = &self.nodes[parent as usize].children;
+        children
+            .binary_search_by_key(&ch, |&c| self.nodes[c as usize].ch)
+            .map(|i| children[i])
+    }
+
+    fn child(&self, parent: u32, ch: u8) -> Option<u32> {
+        self.find_child_slot(parent, ch)
+            .ok()
+            .filter(|&c| self.nodes[c as usize].alive)
+    }
+
+    /// Computes `slink` for every node (BFS order guarantees the parent's
+    /// slink is resolved first) and the inverse-slink reference counts.
+    fn compute_suffix_links(&mut self) {
+        let mut queue: Vec<u32> = self.nodes[ROOT as usize].children.clone();
+        for &c in &queue {
+            self.nodes[c as usize].slink = ROOT;
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let x = queue[head];
+            head += 1;
+            let children = self.nodes[x as usize].children.clone();
+            let x_slink = self.nodes[x as usize].slink;
+            for c in children {
+                let ch = self.nodes[c as usize].ch;
+                // Substring closure: the suffix of every retained string is
+                // retained, so the slink target always exists in the
+                // unpruned trie.
+                let target = self
+                    .find_child_slot(x_slink, ch)
+                    .expect("substring closure violated during construction");
+                self.nodes[c as usize].slink = target;
+                queue.push(c);
+            }
+        }
+        for i in 1..self.nodes.len() {
+            if self.nodes[i].depth >= 2 {
+                let t = self.nodes[i].slink;
+                self.nodes[t as usize].inv_slink += 1;
+            }
+        }
+    }
+
+    /// Number of summarized strings.
+    pub fn num_strings(&self) -> f64 {
+        self.num_strings
+    }
+
+    /// Number of retained (alive) trie nodes, excluding the root.
+    pub fn node_count(&self) -> usize {
+        self.alive_count - 1
+    }
+
+    /// Maximum substring length recorded at build time.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Storage footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        SUMMARY_HEADER_BYTES + self.node_count() * PST_NODE_BYTES
+    }
+
+    /// The exact presence count of `needle` if it is retained.
+    pub fn count_of(&self, needle: &str) -> Option<f64> {
+        let mut cur = ROOT;
+        for &ch in needle.as_bytes() {
+            cur = self.child(cur, ch)?;
+        }
+        Some(self.nodes[cur as usize].count)
+    }
+
+    /// Longest retained prefix of `needle` starting at its first byte;
+    /// returns `(matched_len, node)`. A zero length means the first byte
+    /// is absent from the summary.
+    fn longest_match(&self, needle: &[u8]) -> (usize, u32) {
+        let mut cur = ROOT;
+        let mut len = 0;
+        for &ch in needle {
+            match self.child(cur, ch) {
+                Some(c) => {
+                    cur = c;
+                    len += 1;
+                }
+                None => break,
+            }
+        }
+        (len, cur)
+    }
+
+    /// Estimated selectivity of `contains(needle)`: the fraction of
+    /// summarized strings containing `needle` as a substring.
+    ///
+    /// Retained substrings are answered exactly; longer needles use the
+    /// greedy maximal-overlap Markovian estimate. Needles whose very first
+    /// unmatched character does not occur anywhere in the distribution
+    /// yield an exact 0 — the guarantee provided by the paper's "at least
+    /// one node per symbol" modification.
+    // `end` is re-read when the labeled `continue` restarts the loop.
+    #[allow(clippy::mut_range_bound)]
+    pub fn selectivity(&self, needle: &str) -> f64 {
+        let s = needle.as_bytes();
+        if s.is_empty() {
+            return 1.0;
+        }
+        if self.num_strings == 0.0 {
+            return 0.0;
+        }
+        // Retained needle: exact presence fraction.
+        if let Some(node) = self.node_of(s) {
+            return self.nodes[node as usize].count / self.num_strings;
+        }
+        let (len1, node1) = self.longest_match(s);
+        if len1 == 0 {
+            return 0.0;
+        }
+        // Markovian fallback in occurrence space: stitch maximal-overlap
+        // matches, multiplying occurrence-conditional continuation
+        // probabilities. The result approximates the expected number of
+        // needle occurrences in the collection; presence is bounded by it
+        // and by the presence count of every retained piece.
+        let mut est_occ = self.nodes[node1 as usize].occ;
+        let mut presence_bound = self.nodes[node1 as usize].count;
+        let mut end = len1;
+        'outer: while end < s.len() {
+            // Extend with the largest usable overlap: condition the next
+            // maximal match on the longest retained suffix ending at `end`.
+            let min_start = end.saturating_sub(self.max_depth - 1);
+            for start in min_start..=end {
+                let Some(overlap) = self.node_of(&s[start..end]) else {
+                    continue;
+                };
+                let overlap_occ = self.nodes[overlap as usize].occ;
+                if overlap_occ <= 0.0 {
+                    continue;
+                }
+                let (mlen, node) = self.longest_match(&s[start..]);
+                if start + mlen > end {
+                    est_occ *= self.nodes[node as usize].occ / overlap_occ;
+                    presence_bound = presence_bound.min(self.nodes[node as usize].count);
+                    end = start + mlen;
+                    continue 'outer;
+                }
+            }
+            // No extension possible: s[end] never occurs in the data.
+            return 0.0;
+        }
+        (est_occ.min(presence_bound) / self.num_strings).clamp(0.0, 1.0)
+    }
+
+    fn node_of(&self, needle: &[u8]) -> Option<u32> {
+        let mut cur = ROOT;
+        for &ch in needle {
+            cur = self.child(cur, ch)?;
+        }
+        Some(cur)
+    }
+
+    /// Whether pruning `node` is allowed: alive leaf, depth ≥ 2 (the
+    /// paper's modification pins all depth-1 symbol nodes), and no longer
+    /// retained string ends with this node's string (inverse suffix-link
+    /// count of zero ⇒ substring-closure / monotonicity is preserved).
+    fn is_prunable(&self, node: u32) -> bool {
+        let n = &self.nodes[node as usize];
+        n.alive
+            && n.depth >= 2
+            && n.inv_slink == 0
+            && n.children.iter().all(|&c| !self.nodes[c as usize].alive)
+    }
+
+    /// Pruning error of a leaf (paper Section 4.2): the absolute
+    /// difference between the exact selectivity of the leaf's substring
+    /// and the Markovian estimate that the PST would produce after the
+    /// leaf is removed. A small value means the Markovian assumption holds
+    /// well at this node.
+    pub fn pruning_error(&self, node: u32) -> f64 {
+        let n = &self.nodes[node as usize];
+        let exact = n.count / self.num_strings;
+        // After pruning, the greedy parse matches the parent (string minus
+        // last char) and extends via the suffix-link node (string minus
+        // first char) conditioned on its parent (string minus both ends),
+        // in occurrence space with the presence bound applied — mirroring
+        // `selectivity`.
+        let parent = &self.nodes[n.parent as usize];
+        let slink = &self.nodes[n.slink as usize];
+        let slink_parent = &self.nodes[slink.parent as usize];
+        let est = if slink_parent.occ > 0.0 {
+            (parent.occ * (slink.occ / slink_parent.occ))
+                .min(parent.count.min(slink.count))
+                / self.num_strings
+        } else {
+            0.0
+        };
+        (exact - est).abs()
+    }
+
+    /// Squared selectivity error of removing `node` (feeds Δ(S,S′)).
+    fn pruning_sq_error(&self, node: u32) -> f64 {
+        let e = self.pruning_error(node);
+        e * e
+    }
+
+    fn kill(&mut self, node: u32) {
+        debug_assert!(self.is_prunable(node));
+        self.nodes[node as usize].alive = false;
+        self.alive_count -= 1;
+        let slink = self.nodes[node as usize].slink;
+        if self.nodes[node as usize].depth >= 2 {
+            self.nodes[slink as usize].inv_slink -= 1;
+        }
+    }
+
+    /// Applies one `st_cmprs` step with the paper's error-driven scheme:
+    /// prunes the currently prunable leaf with the smallest pruning error.
+    /// Returns the squared selectivity error, or `None` if nothing can be
+    /// pruned.
+    pub fn prune_one(&mut self) -> Option<f64> {
+        let best = self
+            .prunable_nodes()
+            .map(|x| (x, self.pruning_error(x)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))?;
+        let sq = self.pruning_sq_error(best.0);
+        self.kill(best.0);
+        Some(sq)
+    }
+
+    /// Ablation baseline: the *original* PST pruning rule, removing the
+    /// prunable leaf with the smallest presence count.
+    pub fn prune_one_by_count(&mut self) -> Option<f64> {
+        let best = self
+            .prunable_nodes()
+            .map(|x| (x, self.nodes[x as usize].count))
+            .min_by(|a, b| a.1.total_cmp(&b.1))?;
+        let sq = self.pruning_sq_error(best.0);
+        self.kill(best.0);
+        Some(sq)
+    }
+
+    /// Prunes until at most `max_nodes` nodes remain, using a heap over
+    /// pruning errors (errors depend only on counts, which pruning never
+    /// changes, so heap entries stay valid and only *prunability* must be
+    /// rechecked at pop time). Returns the accumulated squared error.
+    pub fn prune_to_size(&mut self, max_nodes: usize) -> f64 {
+        #[derive(PartialEq)]
+        struct Cand(f64, u32);
+        impl Eq for Cand {}
+        impl PartialOrd for Cand {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Cand {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Min-heap via reversed comparison on the error.
+                other.0.total_cmp(&self.0)
+            }
+        }
+        let mut heap: BinaryHeap<Cand> = self
+            .prunable_nodes()
+            .map(|x| Cand(self.pruning_error(x), x))
+            .collect();
+        let mut total_sq = 0.0;
+        while self.node_count() > max_nodes {
+            let Some(Cand(err, x)) = heap.pop() else {
+                break;
+            };
+            if !self.is_prunable(x) {
+                continue;
+            }
+            total_sq += err * err;
+            let parent = self.nodes[x as usize].parent;
+            let slink = self.nodes[x as usize].slink;
+            self.kill(x);
+            for cand in [parent, slink] {
+                if cand != ROOT && self.is_prunable(cand) {
+                    heap.push(Cand(self.pruning_error(cand), cand));
+                }
+            }
+        }
+        total_sq
+    }
+
+    /// Bulk variant of [`Pst::prune_one_by_count`]: the ablation baseline
+    /// pruning to `max_nodes` with the original count-threshold rule
+    /// (smallest presence count first), heap-driven like
+    /// [`Pst::prune_to_size`].
+    pub fn prune_to_size_by_count(&mut self, max_nodes: usize) -> f64 {
+        #[derive(PartialEq)]
+        struct Cand(f64, u32);
+        impl Eq for Cand {}
+        impl PartialOrd for Cand {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Cand {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other.0.total_cmp(&self.0)
+            }
+        }
+        let mut heap: BinaryHeap<Cand> = self
+            .prunable_nodes()
+            .map(|x| Cand(self.nodes[x as usize].count, x))
+            .collect();
+        let mut total_sq = 0.0;
+        while self.node_count() > max_nodes {
+            let Some(Cand(_, x)) = heap.pop() else {
+                break;
+            };
+            if !self.is_prunable(x) {
+                continue;
+            }
+            total_sq += self.pruning_sq_error(x);
+            let parent = self.nodes[x as usize].parent;
+            let slink = self.nodes[x as usize].slink;
+            self.kill(x);
+            for cand in [parent, slink] {
+                if cand != ROOT && self.is_prunable(cand) {
+                    heap.push(Cand(self.nodes[cand as usize].count, cand));
+                }
+            }
+        }
+        total_sq
+    }
+
+    fn prunable_nodes(&self) -> impl Iterator<Item = u32> + '_ {
+        (1..self.nodes.len() as u32).filter(|&x| self.is_prunable(x))
+    }
+
+    /// Fuses two PSTs for a node merge (paper Section 4.1): the result
+    /// contains every substring retained in either input, with summed
+    /// presence counts.
+    pub fn fuse(&self, other: &Pst) -> Pst {
+        let max_depth = self.max_depth.max(other.max_depth);
+        let mut out = Pst {
+            nodes: vec![Node {
+                ch: 0,
+                depth: 0,
+                count: self.num_strings + other.num_strings,
+                occ: self.nodes[ROOT as usize].occ + other.nodes[ROOT as usize].occ,
+                parent: ROOT,
+                children: Vec::new(),
+                slink: ROOT,
+                inv_slink: 0,
+                alive: true,
+                last_seen: NO_STAMP,
+            }],
+            num_strings: self.num_strings + other.num_strings,
+            max_depth,
+            alive_count: 1,
+        };
+        // Simultaneous DFS over alive nodes of both inputs.
+        let mut stack: Vec<(Option<u32>, Option<u32>, u32)> = vec![(Some(ROOT), Some(ROOT), ROOT)];
+        while let Some((a, b, dst)) = stack.pop() {
+            let mut chars: Vec<u8> = Vec::new();
+            if let Some(a) = a {
+                chars.extend(self.alive_children(a).map(|c| self.nodes[c as usize].ch));
+            }
+            if let Some(b) = b {
+                chars.extend(other.alive_children(b).map(|c| other.nodes[c as usize].ch));
+            }
+            chars.sort_unstable();
+            chars.dedup();
+            for ch in chars {
+                let ca = a.and_then(|a| self.child(a, ch));
+                let cb = b.and_then(|b| other.child(b, ch));
+                let count = ca.map_or(0.0, |c| self.nodes[c as usize].count)
+                    + cb.map_or(0.0, |c| other.nodes[c as usize].count);
+                let occ = ca.map_or(0.0, |c| self.nodes[c as usize].occ)
+                    + cb.map_or(0.0, |c| other.nodes[c as usize].occ);
+                let id = out.child_or_insert(dst, ch);
+                out.nodes[id as usize].count = count;
+                out.nodes[id as usize].occ = occ;
+                stack.push((ca, cb, id));
+            }
+        }
+        out.compute_suffix_links();
+        out
+    }
+
+    fn alive_children(&self, node: u32) -> impl Iterator<Item = u32> + '_ {
+        self.nodes[node as usize]
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| self.nodes[c as usize].alive)
+    }
+
+    /// Serialized parts: `(num_strings, max_depth, root_occ, preorder
+    /// node list as (depth, byte, presence, occurrence))`. Only alive
+    /// nodes are emitted.
+    pub fn to_parts(&self) -> (f64, usize, f64, Vec<(u16, u8, f64, f64)>) {
+        let mut out = Vec::with_capacity(self.node_count());
+        let mut stack: Vec<u32> = self
+            .alive_children(ROOT)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        while let Some(x) = stack.pop() {
+            let n = &self.nodes[x as usize];
+            out.push((n.depth, n.ch, n.count, n.occ));
+            let before = stack.len();
+            stack.extend(self.alive_children(x));
+            stack[before..].reverse();
+        }
+        (
+            self.num_strings,
+            self.max_depth,
+            self.nodes[ROOT as usize].occ,
+            out,
+        )
+    }
+
+    /// Reassembles a PST from [`Pst::to_parts`] output.
+    ///
+    /// # Panics
+    /// Panics if the preorder list is malformed (depth jumps).
+    pub fn from_parts(
+        num_strings: f64,
+        max_depth: usize,
+        root_occ: f64,
+        preorder: Vec<(u16, u8, f64, f64)>,
+    ) -> Self {
+        let mut pst = Pst {
+            nodes: vec![Node {
+                ch: 0,
+                depth: 0,
+                count: num_strings,
+                occ: root_occ,
+                parent: ROOT,
+                children: Vec::new(),
+                slink: ROOT,
+                inv_slink: 0,
+                alive: true,
+                last_seen: NO_STAMP,
+            }],
+            num_strings,
+            max_depth: max_depth.max(1),
+            alive_count: 1,
+        };
+        // Preorder with explicit depths: a stack of the current path.
+        let mut path: Vec<u32> = vec![ROOT];
+        for (depth, ch, count, occ) in preorder {
+            assert!(depth >= 1 && (depth as usize) < path.len() + 1, "bad preorder");
+            path.truncate(depth as usize);
+            let parent = *path.last().expect("path never empty");
+            let id = pst.child_or_insert(parent, ch);
+            pst.nodes[id as usize].count = count;
+            pst.nodes[id as usize].occ = occ;
+            path.push(id);
+        }
+        pst.compute_suffix_links();
+        pst
+    }
+
+    /// Iterates all retained substrings with their counts (testing and
+    /// atomic-predicate enumeration helper). Strings come out in DFS
+    /// order.
+    pub fn retained_substrings(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(u32, Vec<u8>)> = vec![(ROOT, Vec::new())];
+        while let Some((x, prefix)) = stack.pop() {
+            for c in self.alive_children(x) {
+                let mut p = prefix.clone();
+                p.push(self.nodes[c as usize].ch);
+                out.push((
+                    String::from_utf8_lossy(&p).into_owned(),
+                    self.nodes[c as usize].count,
+                ));
+                stack.push((c, p));
+            }
+        }
+        out
+    }
+}
+
+/// Atomic-predicate moments between two PSTs (paper Sec. 4.1: atomic
+/// `STRING` predicates are all substrings retained in the summaries).
+/// Walks the union of both tries; a substring absent from one summary
+/// contributes selectivity 0 on that side.
+pub fn atomic_moments(a: &Pst, b: &Pst) -> (f64, f64, f64) {
+    let (mut aa, mut ab, mut bb) = (0.0, 0.0, 0.0);
+    let na = a.num_strings.max(1.0);
+    let nb = b.num_strings.max(1.0);
+    let mut stack: Vec<(Option<u32>, Option<u32>)> = vec![(Some(ROOT), Some(ROOT))];
+    while let Some((xa, xb)) = stack.pop() {
+        let mut chars: Vec<u8> = Vec::new();
+        if let Some(x) = xa {
+            chars.extend(a.alive_children(x).map(|c| a.nodes[c as usize].ch));
+        }
+        if let Some(x) = xb {
+            chars.extend(b.alive_children(x).map(|c| b.nodes[c as usize].ch));
+        }
+        chars.sort_unstable();
+        chars.dedup();
+        for ch in chars {
+            let ca = xa.and_then(|x| a.child(x, ch));
+            let cb = xb.and_then(|x| b.child(x, ch));
+            let sa = ca.map_or(0.0, |c| a.nodes[c as usize].count / na);
+            let sb = cb.map_or(0.0, |c| b.nodes[c as usize].count / nb);
+            aa += sa * sa;
+            ab += sa * sb;
+            bb += sb * sb;
+            stack.push((ca, cb));
+        }
+    }
+    (aa, ab, bb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn exact_counts_for_retained_substrings() {
+        let pst = Pst::build(&["abc", "abd", "xbc"], 8);
+        close(pst.count_of("ab").unwrap(), 2.0);
+        close(pst.count_of("b").unwrap(), 3.0);
+        close(pst.count_of("bc").unwrap(), 2.0);
+        close(pst.count_of("abc").unwrap(), 1.0);
+        assert!(pst.count_of("zz").is_none());
+    }
+
+    #[test]
+    fn presence_counts_dedup_repeats_within_string() {
+        // "aaa" contains "a" three times but is one string.
+        let pst = Pst::build(&["aaa", "ba"], 8);
+        close(pst.count_of("a").unwrap(), 2.0);
+        close(pst.count_of("aa").unwrap(), 1.0);
+    }
+
+    #[test]
+    fn exact_selectivity_for_retained() {
+        let pst = Pst::build(&["abc", "abd", "xbc", "qqq"], 8);
+        close(pst.selectivity("ab"), 0.5);
+        close(pst.selectivity("q"), 0.25);
+        close(pst.selectivity(""), 1.0);
+    }
+
+    #[test]
+    fn absent_symbol_estimates_zero() {
+        let pst = Pst::build(&["abc", "abd"], 8);
+        close(pst.selectivity("z"), 0.0);
+        close(pst.selectivity("abz"), 0.0);
+        close(pst.selectivity("zab"), 0.0);
+    }
+
+    #[test]
+    fn markov_estimate_for_long_needles() {
+        // Depth cap 2 forces Markovian stitching for length-3 needles.
+        let strings: Vec<String> = (0..20)
+            .map(|i| format!("{}{}{}", (b'x' + i % 3) as char, "bc", (b'd' + i % 2) as char))
+            .collect();
+        let pst = Pst::build(&strings, 2);
+        let s = pst.selectivity("bcd");
+        // occ(bc)=20, occ(cd)/occ(c)=10/20 → estimate 0.5; true 0.5.
+        close(s, 0.5);
+    }
+
+    #[test]
+    fn markov_estimate_in_unit_range() {
+        let pst = Pst::build(&["abcdefgh", "bcdefghi", "cdefghij"], 3);
+        let s = pst.selectivity("abcdefghij");
+        assert!((0.0..=1.0).contains(&s), "{s}");
+    }
+
+    #[test]
+    fn node_count_and_size() {
+        let pst = Pst::build(&["ab"], 8);
+        // Substrings: a, ab, b → 3 nodes.
+        assert_eq!(pst.node_count(), 3);
+        assert!(pst.size_bytes() > 3 * PST_NODE_BYTES);
+    }
+
+    #[test]
+    fn depth_one_nodes_are_never_pruned() {
+        let mut pst = Pst::build(&["abc"], 8);
+        while pst.prune_one().is_some() {}
+        // a, b, c survive; everything deeper is gone.
+        assert_eq!(pst.node_count(), 3);
+        assert!(pst.count_of("a").is_some());
+        assert!(pst.count_of("b").is_some());
+        assert!(pst.count_of("c").is_some());
+        assert!(pst.count_of("ab").is_none());
+    }
+
+    #[test]
+    fn pruning_preserves_substring_closure() {
+        let mut pst = Pst::build(&["abcd", "bcde", "xyab"], 6);
+        for _ in 0..10 {
+            if pst.prune_one().is_none() {
+                break;
+            }
+        }
+        // Closure: every retained substring's substrings are retained.
+        for (s, _) in pst.retained_substrings() {
+            for start in 0..s.len() {
+                for end in (start + 1)..=s.len() {
+                    assert!(
+                        pst.count_of(&s[start..end]).is_some(),
+                        "closure violated: {} retained but {} missing",
+                        s,
+                        &s[start..end]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prune_to_size_hits_target() {
+        let strings: Vec<String> = (0..50).map(|i| format!("str{i:03}xyz")).collect();
+        let mut pst = Pst::build(&strings, 6);
+        assert!(pst.node_count() > 40);
+        let err = pst.prune_to_size(40);
+        assert!(pst.node_count() <= 40 || err >= 0.0);
+        // Depth-1 floor: cannot go below the symbol count.
+        let symbols = pst
+            .retained_substrings()
+            .iter()
+            .filter(|(s, _)| s.len() == 1)
+            .count();
+        pst.prune_to_size(0);
+        assert_eq!(pst.node_count(), symbols);
+    }
+
+    #[test]
+    fn prune_to_size_accumulates_error() {
+        let strings = vec!["hello", "help", "helm", "world"];
+        let mut pst = Pst::build(&strings, 8);
+        let err = pst.prune_to_size(6);
+        assert!(err >= 0.0);
+        assert!(pst.node_count() >= 6usize.min(pst.node_count()));
+    }
+
+    #[test]
+    fn pruned_estimates_stay_reasonable() {
+        let strings: Vec<String> = (0..100)
+            .map(|i| format!("{}name{}", ["dr", "mr", "ms"][i % 3], i % 10))
+            .collect();
+        let mut pst = Pst::build(&strings, 8);
+        let exact = pst.selectivity("name");
+        pst.prune_to_size(pst.node_count() / 2);
+        let approx = pst.selectivity("name");
+        assert!((exact - approx).abs() < 0.5, "{exact} vs {approx}");
+    }
+
+    #[test]
+    fn count_based_pruning_differs_from_error_based() {
+        let strings = vec!["aab", "aac", "aad", "xy"];
+        let mut by_err = Pst::build(&strings, 4);
+        let mut by_cnt = Pst::build(&strings, 4);
+        by_err.prune_one().unwrap();
+        by_cnt.prune_one_by_count().unwrap();
+        // Both prune exactly one node and stay consistent.
+        assert_eq!(by_err.node_count(), by_cnt.node_count());
+    }
+
+    #[test]
+    fn fuse_sums_counts() {
+        let a = Pst::build(&["abc"], 8);
+        let b = Pst::build(&["abd", "abc"], 8);
+        let f = a.fuse(&b);
+        close(f.num_strings(), 3.0);
+        close(f.count_of("ab").unwrap(), 3.0);
+        close(f.count_of("abc").unwrap(), 2.0);
+        close(f.count_of("abd").unwrap(), 1.0);
+        close(f.count_of("d").unwrap(), 1.0);
+    }
+
+    #[test]
+    fn fuse_then_prune_is_consistent() {
+        let a = Pst::build(&["summary", "synopsis"], 6);
+        let b = Pst::build(&["histogram", "synopsis"], 6);
+        let mut f = a.fuse(&b);
+        let before = f.selectivity("syn");
+        close(before, 0.5);
+        f.prune_to_size(20);
+        let after = f.selectivity("syn");
+        assert!((0.0..=1.0).contains(&after));
+    }
+
+    #[test]
+    fn atomic_moments_symmetry_and_identity() {
+        let a = Pst::build(&["abc", "abd"], 4);
+        let (aa, ab, bb) = atomic_moments(&a, &a);
+        close(aa, ab);
+        close(ab, bb);
+        let b = Pst::build(&["xyz"], 4);
+        let (aa2, ab2, bb2) = atomic_moments(&a, &b);
+        let (bb3, ba3, aa3) = atomic_moments(&b, &a);
+        close(aa2, aa3);
+        close(ab2, ba3);
+        close(bb2, bb3);
+        // Disjoint alphabets → zero cross moment.
+        close(ab2, 0.0);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let pst = Pst::build::<&str>(&[], 8);
+        close(pst.selectivity("a"), 0.0);
+        assert_eq!(pst.node_count(), 0);
+    }
+
+    #[test]
+    fn retained_substrings_lists_everything() {
+        let pst = Pst::build(&["ab"], 8);
+        let mut subs: Vec<String> = pst
+            .retained_substrings()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        subs.sort();
+        assert_eq!(subs, vec!["a", "ab", "b"]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Random-sample numeric summaries (paper Section 3 cites random
+//! sampling [Lipton, Naughton, Schneider, Seshadri] as the third
+//! conventional option for summarizing numeric frequency distributions).
+//!
+//! The summary is a fixed-capacity uniform reservoir over the value
+//! collection plus the exact total count; a range selectivity is the
+//! sample fraction falling inside the range. Compression shrinks the
+//! reservoir; fusion re-samples the weighted union. Exercised by the
+//! `ablation-numeric` experiment as a baseline against histograms and
+//! wavelets.
+
+use crate::footprint::SUMMARY_HEADER_BYTES;
+
+/// Bytes per reservoir entry (u64 value).
+pub const SAMPLE_ENTRY_BYTES: usize = 8;
+
+/// A uniform-sample summary of a numeric value collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleSummary {
+    /// Sorted reservoir of sampled values.
+    sample: Vec<u64>,
+    /// Exact number of summarized values.
+    total: f64,
+    /// Deterministic PRNG state for reservoir decisions.
+    state: u64,
+}
+
+fn next_u64(state: &mut u64) -> u64 {
+    // SplitMix64 — deterministic, seedless summaries must not depend on
+    // global RNG state.
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SampleSummary {
+    /// Builds a reservoir of at most `capacity` values.
+    pub fn build(values: &[u64], capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let mut state = 0x5EED ^ (values.len() as u64).rotate_left(17);
+        let mut sample: Vec<u64> = Vec::with_capacity(capacity.min(values.len()));
+        for (i, &v) in values.iter().enumerate() {
+            if sample.len() < capacity {
+                sample.push(v);
+            } else {
+                // Vitter's algorithm R.
+                let j = (next_u64(&mut state) % (i as u64 + 1)) as usize;
+                if j < capacity {
+                    sample[j] = v;
+                }
+            }
+        }
+        sample.sort_unstable();
+        SampleSummary {
+            sample,
+            total: values.len() as f64,
+            state,
+        }
+    }
+
+    /// Serialized parts: `(sorted sample, total, prng state)`.
+    pub fn to_parts(&self) -> (&[u64], f64, u64) {
+        (&self.sample, self.total, self.state)
+    }
+
+    /// Reassembles a summary from [`SampleSummary::to_parts`] output.
+    pub fn from_parts(mut sample: Vec<u64>, total: f64, state: u64) -> Self {
+        sample.sort_unstable();
+        SampleSummary {
+            sample,
+            total,
+            state,
+        }
+    }
+
+    /// Exact total count of summarized values.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Current reservoir size.
+    pub fn len(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Whether the reservoir is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sample.is_empty()
+    }
+
+    /// Storage footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        SUMMARY_HEADER_BYTES + self.sample.len() * SAMPLE_ENTRY_BYTES
+    }
+
+    /// Estimated fraction of values in `[a, b]` (sample proportion).
+    pub fn selectivity(&self, a: u64, b: u64) -> f64 {
+        if self.sample.is_empty() || b < a {
+            return 0.0;
+        }
+        let lo = self.sample.partition_point(|&v| v < a);
+        let hi = self.sample.partition_point(|&v| v <= b);
+        (hi - lo) as f64 / self.sample.len() as f64
+    }
+
+    /// Estimated number of values in `[a, b]`.
+    pub fn estimate_range(&self, a: u64, b: u64) -> f64 {
+        self.selectivity(a, b) * self.total
+    }
+
+    /// Drops one reservoir entry (uniformly chosen), shrinking the
+    /// summary by [`SAMPLE_ENTRY_BYTES`]. Returns the squared selectivity
+    /// error proxy `1/n²` (the resolution lost), or `None` when empty.
+    pub fn drop_one(&mut self) -> Option<f64> {
+        if self.sample.is_empty() {
+            return None;
+        }
+        let i = (next_u64(&mut self.state) % self.sample.len() as u64) as usize;
+        self.sample.remove(i);
+        let n = (self.sample.len() + 1) as f64;
+        Some(1.0 / (n * n))
+    }
+
+    /// Fuses two summaries: a weighted re-sample of the union, sized at
+    /// the larger of the two reservoirs.
+    pub fn fuse(&self, other: &SampleSummary) -> SampleSummary {
+        if self.total == 0.0 {
+            return other.clone();
+        }
+        if other.total == 0.0 {
+            return self.clone();
+        }
+        let capacity = self.sample.len().max(other.sample.len()).max(1);
+        let total = self.total + other.total;
+        let mut state = self.state ^ other.state.rotate_left(11);
+        // Draw each slot from one side with probability ∝ its total.
+        let mut sample = Vec::with_capacity(capacity);
+        let threshold = ((self.total / total) * u64::MAX as f64) as u64;
+        for _ in 0..capacity {
+            let side = if next_u64(&mut state) <= threshold {
+                &self.sample
+            } else {
+                &other.sample
+            };
+            if side.is_empty() {
+                continue;
+            }
+            let i = (next_u64(&mut state) % side.len() as u64) as usize;
+            sample.push(side[i]);
+        }
+        sample.sort_unstable();
+        SampleSummary {
+            sample,
+            total,
+            state,
+        }
+    }
+
+    /// Boundary points (sampled values) for atomic-moment computation.
+    pub fn boundaries(&self) -> Vec<u64> {
+        let step = (self.sample.len() / 16).max(1);
+        self.sample.iter().copied().step_by(step).collect()
+    }
+}
+
+/// Atomic-predicate moments between two sample summaries.
+pub fn atomic_moments(a: &SampleSummary, b: &SampleSummary) -> (f64, f64, f64) {
+    let mut cuts = a.boundaries();
+    cuts.extend(b.boundaries());
+    cuts.sort_unstable();
+    cuts.dedup();
+    let (mut aa, mut ab, mut bb) = (0.0, 0.0, 0.0);
+    for h in cuts {
+        let sa = a.selectivity(0, h);
+        let sb = b.selectivity(0, h);
+        aa += sa * sa;
+        ab += sa * sb;
+        bb += sb * sb;
+    }
+    (aa, ab, bb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_input_is_exact() {
+        let values = [5u64, 10, 15, 20];
+        let s = SampleSummary::build(&values, 16);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.selectivity(0, 12), 0.5);
+        assert_eq!(s.estimate_range(0, 100), 4.0);
+    }
+
+    #[test]
+    fn reservoir_respects_capacity() {
+        let values: Vec<u64> = (0..10_000).collect();
+        let s = SampleSummary::build(&values, 64);
+        assert_eq!(s.len(), 64);
+        assert_eq!(s.total(), 10_000.0);
+        // Uniform data: half the range ≈ half the sample.
+        let sel = s.selectivity(0, 4_999);
+        assert!((sel - 0.5).abs() < 0.2, "{sel}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let values: Vec<u64> = (0..5_000).map(|i| i * 7 % 997).collect();
+        let a = SampleSummary::build(&values, 32);
+        let b = SampleSummary::build(&values, 32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = SampleSummary::build(&[], 8);
+        assert!(s.is_empty());
+        assert_eq!(s.selectivity(0, 10), 0.0);
+    }
+
+    #[test]
+    fn drop_one_shrinks() {
+        let values: Vec<u64> = (0..100).collect();
+        let mut s = SampleSummary::build(&values, 16);
+        let before = s.size_bytes();
+        assert!(s.drop_one().unwrap() > 0.0);
+        assert_eq!(s.size_bytes(), before - SAMPLE_ENTRY_BYTES);
+        while s.drop_one().is_some() {}
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn fuse_preserves_total_and_blend() {
+        let a = SampleSummary::build(&vec![10u64; 300], 32);
+        let b = SampleSummary::build(&vec![1000u64; 100], 32);
+        let f = a.fuse(&b);
+        assert_eq!(f.total(), 400.0);
+        // Mixture weights ≈ 3:1.
+        let low = f.selectivity(0, 100);
+        assert!((low - 0.75).abs() < 0.25, "{low}");
+    }
+
+    #[test]
+    fn moments_identity() {
+        let values: Vec<u64> = (0..500).map(|i| i % 83).collect();
+        let s = SampleSummary::build(&values, 32);
+        let (aa, ab, bb) = atomic_moments(&s, &s);
+        assert!((aa - ab).abs() < 1e-9);
+        assert!((ab - bb).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,563 @@
+//! The unified value-summary interface used by synopsis construction and
+//! estimation (`vsumm(u)` of Definition 3.1).
+
+use crate::ebth::{self, Ebth};
+use crate::histogram::{self, Histogram, HistogramKind};
+use crate::predicate::ValuePredicate;
+use crate::pst::{self, Pst};
+use crate::sample::{self, SampleSummary};
+use crate::wavelet::{self, WaveletSummary};
+use xcluster_xml::{Value, ValueType};
+
+/// Default substring length bound for PST construction.
+pub const DEFAULT_PST_DEPTH: usize = 8;
+
+/// Default bucket count for reference-synopsis histograms.
+pub const DEFAULT_HISTOGRAM_BUCKETS: usize = 32;
+
+/// Atomic-predicate moments of a summary pair `(A, B)` over the union of
+/// their atomic predicates `p` (paper Section 4.1):
+/// `sum_aa = Σ σ_p(A)²`, `sum_ab = Σ σ_p(A)·σ_p(B)`, `sum_bb = Σ σ_p(B)²`.
+///
+/// These feed the factored form of Δ(S,S′): for edge-count tuples `cᵤ`
+/// and `c_w`,
+/// `Σ_p Σ_c (σ_p(u)·cᵤ(c) − σ_p(w)·c_w(c))²
+///   = sum_aa·Σc cᵤ² − 2·sum_ab·Σc cᵤc_w + sum_bb·Σc c_w²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtomicMoments {
+    /// `Σ_p σ_p(A)²`.
+    pub sum_aa: f64,
+    /// `Σ_p σ_p(A)·σ_p(B)`.
+    pub sum_ab: f64,
+    /// `Σ_p σ_p(B)²`.
+    pub sum_bb: f64,
+}
+
+impl AtomicMoments {
+    /// Moments of the trivial predicate set `{true}` (σ ≡ 1), used for
+    /// synopsis nodes without value summaries.
+    pub const TRIVIAL: AtomicMoments = AtomicMoments {
+        sum_aa: 1.0,
+        sum_ab: 1.0,
+        sum_bb: 1.0,
+    };
+
+    /// The squared atomic-selectivity distance `Σ_p (σ_p(A) − σ_p(B))²`.
+    pub fn sq_distance(&self) -> f64 {
+        (self.sum_aa - 2.0 * self.sum_ab + self.sum_bb).max(0.0)
+    }
+}
+
+/// The outcome of one candidate value-compression step (Section 4.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionStep {
+    /// `Σ_p (σ_before − σ_after)²` over the affected atomic predicates.
+    pub sq_error: f64,
+    /// Bytes the step frees.
+    pub bytes_saved: usize,
+}
+
+/// Which backend summarizes `NUMERIC` distributions. The paper's
+/// prototype uses histograms but names wavelets and random sampling as
+/// interchangeable options (Section 3); all three are implemented and
+/// compared by the `ablation-numeric` experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NumericKind {
+    /// Equi-depth bucket histograms (the paper's default).
+    #[default]
+    Histogram,
+    /// Haar-wavelet coefficient synopses.
+    Wavelet,
+    /// Uniform reservoir samples.
+    Sample,
+}
+
+/// A value-distribution summary for one XCluster node.
+#[derive(Debug, Clone)]
+pub enum ValueSummary {
+    /// `NUMERIC` values → frequency histogram.
+    Numeric(Histogram),
+    /// `NUMERIC` values → Haar-wavelet synopsis (alternative backend).
+    NumericWavelet(WaveletSummary),
+    /// `NUMERIC` values → reservoir sample (alternative backend).
+    NumericSample(SampleSummary),
+    /// `STRING` values → pruned suffix tree.
+    String(Pst),
+    /// `TEXT` values → end-biased term histogram.
+    Text(Ebth),
+}
+
+impl ValueSummary {
+    /// Builds the detailed (reference) summary for a collection of values
+    /// of one type. Returns `None` for an empty or type-less collection.
+    ///
+    /// All values must share one type; values of other types are ignored
+    /// (type-respecting partitions guarantee homogeneity upstream).
+    pub fn build(values: &[&Value], ty: ValueType) -> Option<ValueSummary> {
+        Self::build_with(values, ty, DEFAULT_HISTOGRAM_BUCKETS, DEFAULT_PST_DEPTH)
+    }
+
+    /// [`ValueSummary::build`] with explicit histogram bucket count and
+    /// PST substring-length bound.
+    pub fn build_with(
+        values: &[&Value],
+        ty: ValueType,
+        hist_buckets: usize,
+        pst_depth: usize,
+    ) -> Option<ValueSummary> {
+        Self::build_full(values, ty, hist_buckets, pst_depth, NumericKind::Histogram)
+    }
+
+    /// [`ValueSummary::build_with`] plus an explicit `NUMERIC` backend.
+    pub fn build_full(
+        values: &[&Value],
+        ty: ValueType,
+        hist_buckets: usize,
+        pst_depth: usize,
+        numeric: NumericKind,
+    ) -> Option<ValueSummary> {
+        match ty {
+            ValueType::None => None,
+            ValueType::Numeric => {
+                let nums: Vec<u64> = values.iter().filter_map(|v| v.as_numeric()).collect();
+                if nums.is_empty() {
+                    return None;
+                }
+                Some(match numeric {
+                    NumericKind::Histogram => ValueSummary::Numeric(Histogram::build(
+                        &nums,
+                        hist_buckets,
+                        HistogramKind::EquiDepth,
+                    )),
+                    NumericKind::Wavelet => ValueSummary::NumericWavelet(WaveletSummary::build(
+                        &nums,
+                        hist_buckets * 2, // coefficients ≈ bucket budget in bytes
+                        crate::wavelet::DEFAULT_LEVELS,
+                    )),
+                    NumericKind::Sample => ValueSummary::NumericSample(SampleSummary::build(
+                        &nums,
+                        hist_buckets * 2,
+                    )),
+                })
+            }
+            ValueType::String => {
+                let strs: Vec<&str> = values.iter().filter_map(|v| v.as_string()).collect();
+                if strs.is_empty() {
+                    return None;
+                }
+                Some(ValueSummary::String(Pst::build(&strs, pst_depth)))
+            }
+            ValueType::Text => {
+                let texts: Vec<_> = values.iter().filter_map(|v| v.as_text()).collect();
+                if texts.is_empty() {
+                    return None;
+                }
+                Some(ValueSummary::Text(Ebth::from_vectors(
+                    texts.iter().copied(),
+                )))
+            }
+        }
+    }
+
+    /// The value type this summary covers.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            ValueSummary::Numeric(_)
+            | ValueSummary::NumericWavelet(_)
+            | ValueSummary::NumericSample(_) => ValueType::Numeric,
+            ValueSummary::String(_) => ValueType::String,
+            ValueSummary::Text(_) => ValueType::Text,
+        }
+    }
+
+    /// Estimated selectivity `σ_p(u)` of a value predicate against this
+    /// summary. Predicates of a mismatched type have selectivity 0 (they
+    /// can never match values of this type).
+    pub fn selectivity(&self, pred: &ValuePredicate) -> f64 {
+        match (self, pred) {
+            (ValueSummary::Numeric(h), ValuePredicate::Range { lo, hi }) => {
+                h.selectivity(*lo, *hi)
+            }
+            (ValueSummary::NumericWavelet(w), ValuePredicate::Range { lo, hi }) => {
+                w.selectivity(*lo, *hi)
+            }
+            (ValueSummary::NumericSample(s), ValuePredicate::Range { lo, hi }) => {
+                s.selectivity(*lo, *hi)
+            }
+            (ValueSummary::String(p), ValuePredicate::Contains { needle }) => {
+                p.selectivity(needle)
+            }
+            (ValueSummary::Text(e), ValuePredicate::FtContains { terms }) => e.selectivity(terms),
+            (ValueSummary::Text(e), ValuePredicate::SimilarTo { terms, min_overlap }) => {
+                e.similarity_selectivity(terms, *min_overlap)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Storage footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            ValueSummary::Numeric(h) => h.size_bytes(),
+            ValueSummary::NumericWavelet(w) => w.size_bytes(),
+            ValueSummary::NumericSample(s) => s.size_bytes(),
+            ValueSummary::String(p) => p.size_bytes(),
+            ValueSummary::Text(e) => e.size_bytes(),
+        }
+    }
+
+    /// Fuses two summaries of the same type for a node merge (paper
+    /// Section 4.1). `self_weight`/`other_weight` are the extent sizes
+    /// `|u|`, `|v|`; they matter only for `TEXT` centroids (histograms and
+    /// PSTs carry absolute counts and fuse by summation).
+    ///
+    /// # Panics
+    /// Panics if the summary types differ — the synopsis is
+    /// type-respecting, so merges never mix types.
+    pub fn fuse(&self, other: &ValueSummary) -> ValueSummary {
+        match (self, other) {
+            (ValueSummary::Numeric(a), ValueSummary::Numeric(b)) => {
+                ValueSummary::Numeric(a.fuse(b))
+            }
+            (ValueSummary::NumericWavelet(a), ValueSummary::NumericWavelet(b)) => {
+                ValueSummary::NumericWavelet(a.fuse(b))
+            }
+            (ValueSummary::NumericSample(a), ValueSummary::NumericSample(b)) => {
+                ValueSummary::NumericSample(a.fuse(b))
+            }
+            (ValueSummary::String(a), ValueSummary::String(b)) => ValueSummary::String(a.fuse(b)),
+            (ValueSummary::Text(a), ValueSummary::Text(b)) => ValueSummary::Text(a.fuse(b)),
+            _ => panic!("cannot fuse value summaries of different types"),
+        }
+    }
+
+    /// Atomic-predicate moments of the pair `(self, other)`. Both
+    /// summaries must have the same type.
+    pub fn atomic_moments(&self, other: &ValueSummary) -> AtomicMoments {
+        let (sum_aa, sum_ab, sum_bb) = match (self, other) {
+            (ValueSummary::Numeric(a), ValueSummary::Numeric(b)) => histogram::atomic_moments(a, b),
+            (ValueSummary::NumericWavelet(a), ValueSummary::NumericWavelet(b)) => {
+                wavelet::atomic_moments(a, b)
+            }
+            (ValueSummary::NumericSample(a), ValueSummary::NumericSample(b)) => {
+                sample::atomic_moments(a, b)
+            }
+            (ValueSummary::String(a), ValueSummary::String(b)) => pst::atomic_moments(a, b),
+            (ValueSummary::Text(a), ValueSummary::Text(b)) => ebth::atomic_moments(a, b),
+            _ => panic!("cannot compare value summaries of different types"),
+        };
+        AtomicMoments {
+            sum_aa,
+            sum_ab,
+            sum_bb,
+        }
+    }
+
+    /// Evaluates the best single compression step *without applying it*:
+    /// the cheapest adjacent-bucket collapse (`hist_cmprs`), lowest-error
+    /// leaf prune (`st_cmprs`), or lowest-frequency term demotion
+    /// (`tv_cmprs`), each with `b = 1`. Returns `None` when the summary is
+    /// already minimal.
+    pub fn peek_compression(&self) -> Option<CompressionStep> {
+        match self {
+            ValueSummary::Numeric(h) => h.best_collapse().map(|(_, sq)| CompressionStep {
+                sq_error: sq,
+                bytes_saved: crate::footprint::HISTOGRAM_BUCKET_BYTES,
+            }),
+            ValueSummary::NumericWavelet(w) => {
+                let mut probe = w.clone();
+                probe.drop_one().map(|sq| CompressionStep {
+                    sq_error: sq,
+                    bytes_saved: crate::wavelet::WAVELET_COEF_BYTES,
+                })
+            }
+            ValueSummary::NumericSample(s) => {
+                let mut probe = s.clone();
+                probe.drop_one().map(|sq| CompressionStep {
+                    sq_error: sq,
+                    bytes_saved: crate::sample::SAMPLE_ENTRY_BYTES,
+                })
+            }
+            ValueSummary::String(p) => {
+                let mut probe = p.clone();
+                probe.prune_one().map(|sq| CompressionStep {
+                    sq_error: sq,
+                    bytes_saved: crate::footprint::PST_NODE_BYTES,
+                })
+            }
+            ValueSummary::Text(e) => {
+                let mut probe = e.clone();
+                let before = probe.size_bytes();
+                probe.demote_one().map(|sq| CompressionStep {
+                    sq_error: sq,
+                    bytes_saved: before.saturating_sub(probe.size_bytes()),
+                })
+            }
+        }
+    }
+
+    /// Bulk compression: shrinks the summary to at most `target` bytes
+    /// (or as small as the summary type allows), returning the
+    /// accumulated squared atomic-selectivity error. Each summary type
+    /// uses its efficient bulk path (heap-driven PST pruning, single-sort
+    /// term demotion, repeated bucket collapse).
+    pub fn compress_to_bytes(&mut self, target: usize) -> f64 {
+        use crate::footprint::{PST_NODE_BYTES, SUMMARY_HEADER_BYTES};
+        match self {
+            ValueSummary::Numeric(h) => {
+                let mut sq = 0.0;
+                while h.size_bytes() > target {
+                    match h.best_collapse() {
+                        Some((i, e)) => {
+                            h.merge_adjacent(i);
+                            sq += e;
+                        }
+                        None => break,
+                    }
+                }
+                sq
+            }
+            ValueSummary::NumericWavelet(w) => {
+                let mut sq = 0.0;
+                while w.size_bytes() > target {
+                    match w.drop_one() {
+                        Some(e) => sq += e,
+                        None => break,
+                    }
+                }
+                sq
+            }
+            ValueSummary::NumericSample(s) => {
+                let mut sq = 0.0;
+                while s.size_bytes() > target {
+                    match s.drop_one() {
+                        Some(e) => sq += e,
+                        None => break,
+                    }
+                }
+                sq
+            }
+            ValueSummary::String(p) => {
+                if p.size_bytes() <= target {
+                    return 0.0;
+                }
+                let max_nodes = target.saturating_sub(SUMMARY_HEADER_BYTES) / PST_NODE_BYTES;
+                p.prune_to_size(max_nodes)
+            }
+            ValueSummary::Text(e) => e.compress_to_bytes(target),
+        }
+    }
+
+    /// Applies the best single compression step, returning what happened.
+    pub fn apply_compression(&mut self) -> Option<CompressionStep> {
+        match self {
+            ValueSummary::Numeric(h) => {
+                let (i, sq) = h.best_collapse()?;
+                h.merge_adjacent(i);
+                Some(CompressionStep {
+                    sq_error: sq,
+                    bytes_saved: crate::footprint::HISTOGRAM_BUCKET_BYTES,
+                })
+            }
+            ValueSummary::NumericWavelet(w) => w.drop_one().map(|sq| CompressionStep {
+                sq_error: sq,
+                bytes_saved: crate::wavelet::WAVELET_COEF_BYTES,
+            }),
+            ValueSummary::NumericSample(s) => s.drop_one().map(|sq| CompressionStep {
+                sq_error: sq,
+                bytes_saved: crate::sample::SAMPLE_ENTRY_BYTES,
+            }),
+            ValueSummary::String(p) => {
+                let sq = p.prune_one()?;
+                Some(CompressionStep {
+                    sq_error: sq,
+                    bytes_saved: crate::footprint::PST_NODE_BYTES,
+                })
+            }
+            ValueSummary::Text(e) => {
+                let before = e.size_bytes();
+                let sq = e.demote_one()?;
+                Some(CompressionStep {
+                    sq_error: sq,
+                    bytes_saved: before.saturating_sub(e.size_bytes()),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcluster_xml::{Symbol, TermVector};
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    fn numeric_values(vals: &[u64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Numeric(v)).collect()
+    }
+
+    #[test]
+    fn build_numeric() {
+        let vals = numeric_values(&[1990, 1995, 2000, 2005]);
+        let refs: Vec<&Value> = vals.iter().collect();
+        let s = ValueSummary::build(&refs, ValueType::Numeric).unwrap();
+        assert_eq!(s.value_type(), ValueType::Numeric);
+        close(
+            s.selectivity(&ValuePredicate::Range { lo: 0, hi: 3000 }),
+            1.0,
+        );
+    }
+
+    #[test]
+    fn build_string() {
+        let vals = vec![
+            Value::String("database".into()),
+            Value::String("datalog".into()),
+        ];
+        let refs: Vec<&Value> = vals.iter().collect();
+        let s = ValueSummary::build(&refs, ValueType::String).unwrap();
+        close(
+            s.selectivity(&ValuePredicate::Contains {
+                needle: "data".into(),
+            }),
+            1.0,
+        );
+        close(
+            s.selectivity(&ValuePredicate::Contains {
+                needle: "log".into(),
+            }),
+            0.5,
+        );
+    }
+
+    #[test]
+    fn build_text() {
+        let tv1: TermVector = [Symbol(1), Symbol(2)].into_iter().collect();
+        let tv2: TermVector = [Symbol(1)].into_iter().collect();
+        let vals = vec![Value::Text(tv1), Value::Text(tv2)];
+        let refs: Vec<&Value> = vals.iter().collect();
+        let s = ValueSummary::build(&refs, ValueType::Text).unwrap();
+        close(
+            s.selectivity(&ValuePredicate::FtContains {
+                terms: vec![Symbol(2)],
+            }),
+            0.5,
+        );
+    }
+
+    #[test]
+    fn build_none_and_empty() {
+        assert!(ValueSummary::build(&[], ValueType::Numeric).is_none());
+        assert!(ValueSummary::build(&[], ValueType::None).is_none());
+        let v = Value::String("x".into());
+        assert!(ValueSummary::build(&[&v], ValueType::Numeric).is_none());
+    }
+
+    #[test]
+    fn mismatched_predicate_selectivity_is_zero() {
+        let vals = numeric_values(&[1, 2, 3]);
+        let refs: Vec<&Value> = vals.iter().collect();
+        let s = ValueSummary::build(&refs, ValueType::Numeric).unwrap();
+        close(
+            s.selectivity(&ValuePredicate::Contains { needle: "1".into() }),
+            0.0,
+        );
+    }
+
+    #[test]
+    fn fuse_same_type() {
+        let a_vals = numeric_values(&[1, 2]);
+        let b_vals = numeric_values(&[100, 200]);
+        let ar: Vec<&Value> = a_vals.iter().collect();
+        let br: Vec<&Value> = b_vals.iter().collect();
+        let a = ValueSummary::build(&ar, ValueType::Numeric).unwrap();
+        let b = ValueSummary::build(&br, ValueType::Numeric).unwrap();
+        let f = a.fuse(&b);
+        close(f.selectivity(&ValuePredicate::Range { lo: 0, hi: 500 }), 1.0);
+        close(f.selectivity(&ValuePredicate::Range { lo: 0, hi: 50 }), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different types")]
+    fn fuse_mixed_types_panics() {
+        let n = numeric_values(&[1]);
+        let nr: Vec<&Value> = n.iter().collect();
+        let s = vec![Value::String("a".into())];
+        let sr: Vec<&Value> = s.iter().collect();
+        let a = ValueSummary::build(&nr, ValueType::Numeric).unwrap();
+        let b = ValueSummary::build(&sr, ValueType::String).unwrap();
+        let _ = a.fuse(&b);
+    }
+
+    #[test]
+    fn trivial_moments_have_zero_distance() {
+        close(AtomicMoments::TRIVIAL.sq_distance(), 0.0);
+    }
+
+    #[test]
+    fn moments_zero_distance_for_identical() {
+        let vals = numeric_values(&[1, 5, 9]);
+        let refs: Vec<&Value> = vals.iter().collect();
+        let s = ValueSummary::build(&refs, ValueType::Numeric).unwrap();
+        close(s.atomic_moments(&s).sq_distance(), 0.0);
+    }
+
+    #[test]
+    fn moments_positive_for_divergent() {
+        let a_vals = numeric_values(&[1, 2, 3]);
+        let b_vals = numeric_values(&[1000, 2000]);
+        let ar: Vec<&Value> = a_vals.iter().collect();
+        let br: Vec<&Value> = b_vals.iter().collect();
+        let a = ValueSummary::build(&ar, ValueType::Numeric).unwrap();
+        let b = ValueSummary::build(&br, ValueType::Numeric).unwrap();
+        assert!(a.atomic_moments(&b).sq_distance() > 0.0);
+    }
+
+    #[test]
+    fn peek_matches_apply() {
+        let vals = numeric_values(&(0..64).collect::<Vec<u64>>());
+        let refs: Vec<&Value> = vals.iter().collect();
+        let mut s = ValueSummary::build(&refs, ValueType::Numeric).unwrap();
+        let peek = s.peek_compression().unwrap();
+        let size_before = s.size_bytes();
+        let applied = s.apply_compression().unwrap();
+        assert_eq!(peek, applied);
+        assert_eq!(size_before - applied.bytes_saved, s.size_bytes());
+    }
+
+    #[test]
+    fn compression_terminates() {
+        let vals = numeric_values(&[1, 2, 3, 4, 5]);
+        let refs: Vec<&Value> = vals.iter().collect();
+        let mut s = ValueSummary::build(&refs, ValueType::Numeric).unwrap();
+        let mut steps = 0;
+        while s.apply_compression().is_some() {
+            steps += 1;
+            assert!(steps < 100);
+        }
+        // A single bucket cannot be compressed further.
+        assert!(s.peek_compression().is_none());
+    }
+
+    #[test]
+    fn string_summary_compression_keeps_estimates_sane() {
+        let vals: Vec<Value> = (0..30)
+            .map(|i| Value::String(format!("author{i:02}")))
+            .collect();
+        let refs: Vec<&Value> = vals.iter().collect();
+        let mut s = ValueSummary::build(&refs, ValueType::String).unwrap();
+        for _ in 0..20 {
+            if s.apply_compression().is_none() {
+                break;
+            }
+        }
+        let sel = s.selectivity(&ValuePredicate::Contains {
+            needle: "author".into(),
+        });
+        assert!((0.0..=1.0).contains(&sel));
+        assert!(sel > 0.5, "author prefix is everywhere: {sel}");
+    }
+}

@@ -1,0 +1,474 @@
+//! Haar-wavelet numeric summaries (paper Section 3: "Summarizing numeric
+//! frequency distributions is a well-studied problem … several known
+//! tools can be employed, including histograms, **wavelets** [16], and
+//! random sampling [15]").
+//!
+//! Following the wavelet-histogram construction of Matias, Vitter &
+//! Wang (SIGMOD'98), the value domain is mapped onto a power-of-two grid
+//! of cells; the cell-frequency vector is Haar-decomposed; and the `m`
+//! coefficients that are largest under the standard per-level
+//! normalization (which minimizes the L2 reconstruction error) are
+//! retained. Range frequencies are reconstructed from two prefix sums,
+//! each computed with the `O(log n)` root-to-leaf coefficient walk.
+//!
+//! The summary supports the same operation set as the bucket histogram
+//! (selectivity / fuse / compress / atomic moments), so it can serve as a
+//! drop-in `NUMERIC` backend for XCluster synopses — exercised by the
+//! `ablation-numeric` experiment.
+
+use crate::footprint::SUMMARY_HEADER_BYTES;
+use std::collections::HashMap;
+
+/// Bytes per retained coefficient: index (u32) + value (f32).
+pub const WAVELET_COEF_BYTES: usize = 8;
+
+/// Log2 of the default grid resolution.
+pub const DEFAULT_LEVELS: u32 = 10;
+
+/// A Haar-wavelet summary of a numeric frequency distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveletSummary {
+    /// Inclusive lower bound of the gridded domain.
+    lo: u64,
+    /// Width of one grid cell (≥ 1).
+    cell_width: u64,
+    /// Number of grid cells (power of two).
+    cells: usize,
+    /// Retained Haar coefficients, keyed by position in the transform
+    /// (0 = overall average, then the standard Haar layout).
+    coefficients: HashMap<u32, f64>,
+    /// Total frequency.
+    total: f64,
+}
+
+impl WaveletSummary {
+    /// Builds the summary from raw values, retaining at most
+    /// `max_coefficients`. Returns an all-zero summary for empty input.
+    pub fn build(values: &[u64], max_coefficients: usize, levels: u32) -> Self {
+        assert!(levels <= 20, "grid would be enormous");
+        let cells = 1usize << levels;
+        if values.is_empty() {
+            return WaveletSummary {
+                lo: 0,
+                cell_width: 1,
+                cells,
+                coefficients: HashMap::new(),
+                total: 0.0,
+            };
+        }
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        let cell_width = ((hi - lo) / cells as u64 + 1).max(1);
+        let mut grid = vec![0.0f64; cells];
+        for &v in values {
+            grid[((v - lo) / cell_width) as usize] += 1.0;
+        }
+        let mut coefficients = haar_decompose(&grid);
+        retain_top(&mut coefficients, cells, max_coefficients);
+        WaveletSummary {
+            lo,
+            cell_width,
+            cells,
+            coefficients,
+            total: values.len() as f64,
+        }
+    }
+
+    /// Serialized parts: `(lo, cell_width, cells, coefficients, total)`.
+    pub fn to_parts(&self) -> (u64, u64, usize, Vec<(u32, f64)>, f64) {
+        let mut coefs: Vec<(u32, f64)> = self.coefficients.iter().map(|(&i, &v)| (i, v)).collect();
+        coefs.sort_unstable_by_key(|&(i, _)| i);
+        (self.lo, self.cell_width, self.cells, coefs, self.total)
+    }
+
+    /// Reassembles a summary from [`WaveletSummary::to_parts`] output.
+    pub fn from_parts(
+        lo: u64,
+        cell_width: u64,
+        cells: usize,
+        coefficients: Vec<(u32, f64)>,
+        total: f64,
+    ) -> Self {
+        assert!(cells.is_power_of_two(), "cells must be a power of two");
+        WaveletSummary {
+            lo,
+            cell_width: cell_width.max(1),
+            cells,
+            coefficients: coefficients.into_iter().collect(),
+            total,
+        }
+    }
+
+    /// Total summarized frequency.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of retained coefficients.
+    pub fn num_coefficients(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// Storage footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        SUMMARY_HEADER_BYTES + 16 /* domain */ + self.coefficients.len() * WAVELET_COEF_BYTES
+    }
+
+    /// Reconstructed frequency of grid cell `i` (`O(log n)` walk).
+    fn cell_value(&self, i: usize) -> f64 {
+        debug_assert!(i < self.cells);
+        // Standard Haar reconstruction: overall average plus signed detail
+        // coefficients along the root-to-leaf path. Level `ℓ` holds 2^ℓ
+        // coefficients at indices 2^ℓ .. 2^(ℓ+1); the one covering cell
+        // `i` spans a dyadic block of `cells / 2^ℓ` cells and adds with
+        // `+` in the block's left half and `−` in its right half.
+        let mut value = self.coefficients.get(&0).copied().unwrap_or(0.0);
+        let mut num_blocks = 1usize;
+        while num_blocks < self.cells {
+            let block_size = self.cells / num_blocks;
+            let block = i / block_size;
+            if let Some(&coef) = self.coefficients.get(&((num_blocks + block) as u32)) {
+                if i % block_size < block_size / 2 {
+                    value += coef;
+                } else {
+                    value -= coef;
+                }
+            }
+            num_blocks *= 2;
+        }
+        value
+    }
+
+    /// Estimated number of values in the inclusive range `[a, b]`.
+    pub fn estimate_range(&self, a: u64, b: u64) -> f64 {
+        if b < a || self.total == 0.0 {
+            return 0.0;
+        }
+        let domain_hi = self.lo + self.cell_width * self.cells as u64 - 1;
+        if b < self.lo || a > domain_hi {
+            return 0.0;
+        }
+        let a = a.max(self.lo);
+        let b = b.min(domain_hi);
+        let first = ((a - self.lo) / self.cell_width) as usize;
+        let last = ((b - self.lo) / self.cell_width) as usize;
+        let mut sum = 0.0;
+        for cell in first..=last {
+            let mut f = self.cell_value(cell);
+            // Partial cell coverage under intra-cell uniformity.
+            let cell_lo = self.lo + cell as u64 * self.cell_width;
+            let cell_hi = cell_lo + self.cell_width - 1;
+            let overlap = (b.min(cell_hi) - a.max(cell_lo) + 1) as f64;
+            f *= overlap / self.cell_width as f64;
+            sum += f;
+        }
+        sum.max(0.0)
+    }
+
+    /// Range selectivity as a fraction of the total.
+    pub fn selectivity(&self, a: u64, b: u64) -> f64 {
+        if self.total == 0.0 {
+            return 0.0;
+        }
+        (self.estimate_range(a, b) / self.total).clamp(0.0, 1.0)
+    }
+
+    /// Drops the smallest-impact retained coefficient; returns the
+    /// squared selectivity error it contributed, or `None` if only the
+    /// average remains.
+    pub fn drop_one(&mut self) -> Option<f64> {
+        let (&idx, &val) = self
+            .coefficients
+            .iter()
+            .filter(|(&i, _)| i != 0)
+            .min_by(|a, b| {
+                normalized_weight(*a.0, a.1, self.cells)
+                    .total_cmp(&normalized_weight(*b.0, b.1, self.cells))
+            })?;
+        self.coefficients.remove(&idx);
+        // The coefficient's L2 contribution to the cell vector, expressed
+        // as a selectivity (fraction-of-total) error.
+        let err = normalized_weight(idx, &val, self.cells) / self.total.max(1.0);
+        Some(err * err)
+    }
+
+    /// Fuses two summaries (Haar is linear, so aligned grids add
+    /// coefficient-wise; misaligned grids rebuild over reconstructed
+    /// cells).
+    pub fn fuse(&self, other: &WaveletSummary) -> WaveletSummary {
+        if self.total == 0.0 {
+            return other.clone();
+        }
+        if other.total == 0.0 {
+            return self.clone();
+        }
+        if self.lo == other.lo && self.cell_width == other.cell_width && self.cells == other.cells
+        {
+            let mut coefficients = self.coefficients.clone();
+            for (&i, &v) in &other.coefficients {
+                *coefficients.entry(i).or_insert(0.0) += v;
+            }
+            return WaveletSummary {
+                lo: self.lo,
+                cell_width: self.cell_width,
+                cells: self.cells,
+                coefficients,
+                total: self.total + other.total,
+            };
+        }
+        // Misaligned: reconstruct both onto a common grid and re-encode.
+        let lo = self.lo.min(other.lo);
+        let hi = (self.lo + self.cell_width * self.cells as u64)
+            .max(other.lo + other.cell_width * other.cells as u64);
+        let cells = self.cells.max(other.cells);
+        let cell_width = ((hi - lo) / cells as u64 + 1).max(1);
+        let mut grid = vec![0.0f64; cells];
+        for src in [self, other] {
+            for i in 0..src.cells {
+                let f = src.cell_value(i);
+                if f <= 0.0 {
+                    continue;
+                }
+                let v = src.lo + i as u64 * src.cell_width + src.cell_width / 2;
+                grid[((v - lo) / cell_width) as usize % cells] += f;
+            }
+        }
+        let mut coefficients = haar_decompose(&grid);
+        let keep = self.coefficients.len() + other.coefficients.len();
+        retain_top(&mut coefficients, cells, keep);
+        WaveletSummary {
+            lo,
+            cell_width,
+            cells,
+            coefficients,
+            total: self.total + other.total,
+        }
+    }
+
+    /// Prefix selectivity at the retained grid boundaries — the atomic
+    /// predicates of the Δ metric for wavelet summaries.
+    pub fn prefix_selectivity(&self, hi: u64) -> f64 {
+        self.selectivity(0, hi)
+    }
+
+    /// Upper domain boundary of each grid cell with retained detail in
+    /// its dyadic block — a compact boundary set for moments.
+    pub fn boundaries(&self) -> Vec<u64> {
+        // Use 16 evenly spaced cell boundaries (full enumeration of 2^k
+        // cells would make Δ needlessly expensive).
+        let step = (self.cells / 16).max(1);
+        (0..self.cells)
+            .step_by(step)
+            .map(|c| self.lo + (c as u64 + 1) * self.cell_width - 1)
+            .collect()
+    }
+}
+
+/// Standard (unnormalized) Haar decomposition, sparse output.
+fn haar_decompose(grid: &[f64]) -> HashMap<u32, f64> {
+    let n = grid.len();
+    let mut current = grid.to_vec();
+    let mut details: Vec<Vec<f64>> = Vec::new();
+    while current.len() > 1 {
+        let half = current.len() / 2;
+        let mut avg = Vec::with_capacity(half);
+        let mut det = Vec::with_capacity(half);
+        for i in 0..half {
+            avg.push((current[2 * i] + current[2 * i + 1]) / 2.0);
+            det.push((current[2 * i] - current[2 * i + 1]) / 2.0);
+        }
+        details.push(det);
+        current = avg;
+    }
+    let mut out = HashMap::new();
+    if current[0] != 0.0 {
+        out.insert(0u32, current[0]);
+    }
+    // Coefficient layout: index 1 is the coarsest detail; each level
+    // occupies the next power-of-two block (standard Haar ordering).
+    let mut idx = 1u32;
+    for det in details.iter().rev() {
+        for &d in det {
+            if d != 0.0 {
+                out.insert(idx, d);
+            }
+            idx += 1;
+        }
+    }
+    let _ = n;
+    out
+}
+
+/// L2-normalized retention weight of a coefficient (MVW'98): detail at a
+/// level covering `span` cells contributes `|c|·sqrt(span)`.
+fn normalized_weight(idx: u32, value: &f64, cells: usize) -> f64 {
+    if idx == 0 {
+        return f64::INFINITY; // the average is never dropped
+    }
+    // Level of the coefficient: index 1 is level 0 (span = cells), the
+    // next two are level 1 (span = cells/2), etc.
+    let level = 32 - (idx.leading_zeros() + 1); // floor(log2(idx))
+    let span = (cells as f64) / (1u64 << level) as f64;
+    value.abs() * span.sqrt()
+}
+
+fn retain_top(coefficients: &mut HashMap<u32, f64>, cells: usize, keep: usize) {
+    if coefficients.len() <= keep {
+        return;
+    }
+    let mut entries: Vec<(u32, f64)> = coefficients.drain().collect();
+    entries.sort_by(|a, b| {
+        normalized_weight(b.0, &b.1, cells).total_cmp(&normalized_weight(a.0, &a.1, cells))
+    });
+    entries.truncate(keep.max(1));
+    coefficients.extend(entries);
+}
+
+/// Atomic-predicate moments between two wavelet summaries over the union
+/// of their boundary sets.
+pub fn atomic_moments(a: &WaveletSummary, b: &WaveletSummary) -> (f64, f64, f64) {
+    let mut cuts: Vec<u64> = a.boundaries();
+    cuts.extend(b.boundaries());
+    cuts.sort_unstable();
+    cuts.dedup();
+    let (mut aa, mut ab, mut bb) = (0.0, 0.0, 0.0);
+    for h in cuts {
+        let sa = a.prefix_selectivity(h);
+        let sb = b.prefix_selectivity(h);
+        aa += sa * sa;
+        ab += sa * sb;
+        bb += sb * sb;
+    }
+    (aa, ab, bb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() < eps, "{a} vs {b}");
+    }
+
+    #[test]
+    fn lossless_with_full_coefficients() {
+        let values: Vec<u64> = (0..256).map(|i| i * 3 % 101).collect();
+        let w = WaveletSummary::build(&values, usize::MAX, 7);
+        close(w.estimate_range(0, 200), 256.0, 1e-6);
+        // Exact on individual points when nothing was dropped and the
+        // cell width is 1.
+        let hits = values.iter().filter(|&&v| v == 7).count() as f64;
+        close(w.estimate_range(7, 7), hits, 1e-6);
+    }
+
+    #[test]
+    fn empty_input() {
+        let w = WaveletSummary::build(&[], 16, 8);
+        assert_eq!(w.total(), 0.0);
+        assert_eq!(w.selectivity(0, 100), 0.0);
+        assert_eq!(w.num_coefficients(), 0);
+    }
+
+    #[test]
+    fn truncation_keeps_total_roughly() {
+        let values: Vec<u64> = (0..1000).map(|i| (i * i) % 997).collect();
+        let w = WaveletSummary::build(&values, 24, DEFAULT_LEVELS);
+        assert!(w.num_coefficients() <= 24);
+        // The overall average is always retained, so the full-range sum
+        // is exact.
+        close(w.estimate_range(0, 2000), 1000.0, 1e-6);
+    }
+
+    #[test]
+    fn range_estimates_reasonable_after_truncation() {
+        let values: Vec<u64> = (0..2000).map(|i| i % 500).collect();
+        let w = WaveletSummary::build(&values, 32, DEFAULT_LEVELS);
+        // Uniform distribution: half the range ≈ half the mass. Wide
+        // tolerance: 32 coefficients on a 1024-cell grid is coarse.
+        let s = w.selectivity(0, 249);
+        close(s, 0.5, 0.15);
+    }
+
+    #[test]
+    fn skewed_distribution_detected() {
+        let mut values = vec![10u64; 900];
+        values.extend((0..100).map(|i| 500 + i));
+        let w = WaveletSummary::build(&values, 48, DEFAULT_LEVELS);
+        assert!(w.selectivity(0, 100) > 0.7, "{}", w.selectivity(0, 100));
+        assert!(w.selectivity(400, 700) < 0.3);
+    }
+
+    #[test]
+    fn drop_one_reduces_size() {
+        let values: Vec<u64> = (0..500).map(|i| i % 97).collect();
+        let mut w = WaveletSummary::build(&values, 32, 8);
+        let n = w.num_coefficients();
+        let before = w.size_bytes();
+        let err = w.drop_one().unwrap();
+        assert!(err >= 0.0);
+        assert_eq!(w.num_coefficients(), n - 1);
+        assert!(w.size_bytes() < before);
+    }
+
+    #[test]
+    fn drop_everything_leaves_average() {
+        let values = vec![5u64, 5, 5, 100];
+        let mut w = WaveletSummary::build(&values, 8, 4);
+        while w.drop_one().is_some() {}
+        assert_eq!(w.num_coefficients(), 1);
+        close(w.estimate_range(0, 200), 4.0, 1e-6);
+    }
+
+    #[test]
+    fn aligned_fusion_is_exact_sum() {
+        let a: Vec<u64> = (0..100).collect();
+        let b: Vec<u64> = (0..100).collect();
+        let wa = WaveletSummary::build(&a, usize::MAX, 7);
+        let wb = WaveletSummary::build(&b, usize::MAX, 7);
+        let f = wa.fuse(&wb);
+        close(f.total(), 200.0, 1e-9);
+        close(f.estimate_range(0, 49), 100.0, 1e-6);
+    }
+
+    #[test]
+    fn misaligned_fusion_preserves_mass() {
+        let a: Vec<u64> = (0..100).collect();
+        let b: Vec<u64> = (5000..5100).collect();
+        let wa = WaveletSummary::build(&a, 32, 7);
+        let wb = WaveletSummary::build(&b, 32, 7);
+        let f = wa.fuse(&wb);
+        close(f.total(), 200.0, 1e-9);
+        close(f.estimate_range(0, 10_000), 200.0, 2.0);
+    }
+
+    #[test]
+    fn fusion_with_empty() {
+        let a: Vec<u64> = (0..10).collect();
+        let wa = WaveletSummary::build(&a, 8, 6);
+        let we = WaveletSummary::build(&[], 8, 6);
+        assert_eq!(wa.fuse(&we), wa);
+        assert_eq!(we.fuse(&wa), wa);
+    }
+
+    #[test]
+    fn moments_identity() {
+        let values: Vec<u64> = (0..200).map(|i| i % 71).collect();
+        let w = WaveletSummary::build(&values, 24, 8);
+        let (aa, ab, bb) = atomic_moments(&w, &w);
+        close(aa, ab, 1e-9);
+        close(ab, bb, 1e-9);
+    }
+
+    #[test]
+    fn selectivity_in_unit_range_even_with_negative_cells() {
+        // Truncation can make individual reconstructed cells negative;
+        // selectivity must stay clamped.
+        let mut values = vec![0u64; 500];
+        values.extend([1000u64; 3]);
+        let w = WaveletSummary::build(&values, 4, DEFAULT_LEVELS);
+        for (a, b) in [(0, 10), (990, 1010), (0, 5000), (400, 600)] {
+            let s = w.selectivity(a, b);
+            assert!((0.0..=1.0).contains(&s), "[{a},{b}] → {s}");
+        }
+    }
+}

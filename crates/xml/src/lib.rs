@@ -1,0 +1,35 @@
+//! XML data model substrate for the XCluster reproduction.
+//!
+//! The paper (Polyzotis & Garofalakis, *XCluster Synopses for Structured XML
+//! Content*, ICDE 2006, Section 2) models an XML document as a large
+//! node-labeled tree `T(V, E)`. Each element node carries a label (tag) from
+//! an alphabet of string literals and, optionally, a typed value:
+//!
+//! * [`ValueType::Numeric`] — integer values in a domain `0..M`,
+//! * [`ValueType::String`] — short strings queried with substring predicates,
+//! * [`ValueType::Text`] — free text modeled as a Boolean term vector over an
+//!   interned term dictionary (set-theoretic IR model),
+//! * elements without values map to a special null type.
+//!
+//! This crate provides:
+//!
+//! * [`intern`] — cheap `u32` symbol interning for labels and terms,
+//! * [`value`] — the typed value model,
+//! * [`tree`] — a flat arena tree ([`XmlTree`]) with preorder traversal,
+//! * [`parser`] — a parser for the XML element subset used by the paper,
+//! * [`writer`] — the matching serializer (used to measure "file size" for
+//!   the Table 1 reproduction).
+
+pub mod intern;
+pub mod parser;
+pub mod paths;
+pub mod tree;
+pub mod value;
+pub mod writer;
+
+pub use intern::{Interner, Symbol};
+pub use parser::{parse, parse_with, ParseError, ParseOptions, TypeHint};
+pub use paths::ValuePathSpec;
+pub use tree::{NodeId, XmlTree};
+pub use value::{TermId, TermVector, Value, ValueType};
+pub use writer::write_document;

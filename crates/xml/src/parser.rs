@@ -1,0 +1,447 @@
+//! Parser for the element-only XML subset the paper's data model uses.
+//!
+//! Supported syntax: nested elements `<tag>…</tag>`, character data,
+//! entities `&amp; &lt; &gt;`, and skipped prolog/comments/PIs
+//! (`<?…?>`, `<!--…-->`, `<!…>`). Attributes on start tags are accepted
+//! and ignored (the paper's model is element-only). Mixed content is
+//! handled by concatenating the text chunks of an element.
+//!
+//! Element *values* are typed at parse time. The paper assumes a `type`
+//! mapping from elements to data types; [`ParseOptions`] reproduces that
+//! with per-label [`TypeHint`]s, plus an inference fallback so that
+//! documents written by [`crate::writer::write_document`] round-trip.
+
+use crate::tree::{NodeId, XmlTree};
+use crate::value::{Value, ValueType};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How to type the textual content of elements with a given label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeHint {
+    /// Force a specific value type. Content that does not parse as the
+    /// requested type is a [`ParseError`].
+    Force(ValueType),
+    /// Infer: all-digit content → `NUMERIC`; content with at least
+    /// [`ParseOptions::text_word_threshold`] words → `TEXT`; otherwise
+    /// `STRING`. Elements with child elements never get values.
+    Infer,
+}
+
+/// Parser configuration.
+#[derive(Debug, Clone)]
+pub struct ParseOptions {
+    /// Per-label typing rules; labels not present use [`TypeHint::Infer`].
+    pub type_map: HashMap<String, TypeHint>,
+    /// Minimum word count for inferred content to be typed `TEXT`.
+    pub text_word_threshold: usize,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            type_map: HashMap::new(),
+            text_word_threshold: 4,
+        }
+    }
+}
+
+impl ParseOptions {
+    /// Adds a forced type for elements labeled `label`.
+    pub fn with_type(mut self, label: &str, ty: ValueType) -> Self {
+        self.type_map.insert(label.to_string(), TypeHint::Force(ty));
+        self
+    }
+}
+
+/// A parse failure with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses `input` into an [`XmlTree`] using default options.
+pub fn parse(input: &str) -> Result<XmlTree, ParseError> {
+    parse_with(input, &ParseOptions::default())
+}
+
+/// Parses `input` into an [`XmlTree`] with explicit [`ParseOptions`].
+pub fn parse_with(input: &str, opts: &ParseOptions) -> Result<XmlTree, ParseError> {
+    Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        opts,
+    }
+    .parse_document()
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    opts: &'a ParseOptions,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_misc(&mut self) {
+        loop {
+            while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.rest().starts_with(b"<?") {
+                self.skip_until(b"?>");
+            } else if self.rest().starts_with(b"<!--") {
+                self.skip_until(b"-->");
+            } else if self.rest().starts_with(b"<!") {
+                self.skip_until(b">");
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn rest(&self) -> &[u8] {
+        &self.input[self.pos..]
+    }
+
+    fn skip_until(&mut self, marker: &[u8]) {
+        while self.pos < self.input.len() && !self.rest().starts_with(marker) {
+            self.pos += 1;
+        }
+        self.pos = (self.pos + marker.len()).min(self.input.len());
+    }
+
+    fn parse_document(mut self) -> Result<XmlTree, ParseError> {
+        self.skip_misc();
+        if self.pos >= self.input.len() || self.input[self.pos] != b'<' {
+            return self.err("expected root element");
+        }
+        let root_tag = self.parse_start_tag()?;
+        let mut tree = XmlTree::new(&root_tag.0);
+        let root = tree.root();
+        if !root_tag.1 {
+            self.parse_content(&mut tree, root, &root_tag.0)?;
+        }
+        self.skip_misc();
+        if self.pos < self.input.len() {
+            return self.err("trailing content after root element");
+        }
+        Ok(tree)
+    }
+
+    /// Parses `<name ...>` or `<name .../>`; returns (name, self_closing).
+    /// Assumes `input[pos] == b'<'`.
+    fn parse_start_tag(&mut self) -> Result<(String, bool), ParseError> {
+        self.pos += 1; // '<'
+        let start = self.pos;
+        while self.pos < self.input.len() && is_name_byte(self.input[self.pos]) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected element name");
+        }
+        let name = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| ParseError {
+                offset: start,
+                message: "element name is not UTF-8".into(),
+            })?
+            .to_string();
+        // Skip (and ignore) attributes up to '>' or '/>'.
+        loop {
+            match self.rest().first() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok((name, false));
+                }
+                Some(b'/') if self.rest().get(1) == Some(&b'>') => {
+                    self.pos += 2;
+                    return Ok((name, true));
+                }
+                Some(b'"') => {
+                    self.pos += 1;
+                    while self.pos < self.input.len() && self.input[self.pos] != b'"' {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.input.len() {
+                        return self.err("unterminated attribute value");
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => self.pos += 1,
+                None => return self.err("unterminated start tag"),
+            }
+        }
+    }
+
+    /// Parses the content and end tag of an already-opened element.
+    fn parse_content(
+        &mut self,
+        tree: &mut XmlTree,
+        node: NodeId,
+        tag: &str,
+    ) -> Result<(), ParseError> {
+        let mut text = String::new();
+        let mut has_children = false;
+        loop {
+            if self.pos >= self.input.len() {
+                return self.err(format!("missing </{tag}>"));
+            }
+            if self.input[self.pos] == b'<' {
+                if self.rest().starts_with(b"</") {
+                    self.pos += 2;
+                    let start = self.pos;
+                    while self.pos < self.input.len() && is_name_byte(self.input[self.pos]) {
+                        self.pos += 1;
+                    }
+                    let name = &self.input[start..self.pos];
+                    if name != tag.as_bytes() {
+                        return self.err(format!(
+                            "mismatched end tag: expected </{tag}>, found </{}>",
+                            String::from_utf8_lossy(name)
+                        ));
+                    }
+                    while self.pos < self.input.len() && self.input[self.pos] != b'>' {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.input.len() {
+                        return self.err("unterminated end tag");
+                    }
+                    self.pos += 1;
+                    break;
+                } else if self.rest().starts_with(b"<!--") {
+                    self.skip_until(b"-->");
+                } else if self.rest().starts_with(b"<?") {
+                    self.skip_until(b"?>");
+                } else {
+                    let (child_tag, self_closing) = self.parse_start_tag()?;
+                    let child = tree.add_child(node, &child_tag);
+                    has_children = true;
+                    if !self_closing {
+                        self.parse_content(tree, child, &child_tag)?;
+                    }
+                }
+            } else {
+                self.parse_text(&mut text)?;
+            }
+        }
+        let trimmed = text.trim();
+        if !has_children && !trimmed.is_empty() {
+            let value = self.type_content(tag, trimmed, tree)?;
+            tree.set_value(node, value);
+        }
+        Ok(())
+    }
+
+    fn parse_text(&mut self, out: &mut String) -> Result<(), ParseError> {
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        let chunk = std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| ParseError {
+            offset: start,
+            message: "character data is not UTF-8".into(),
+        })?;
+        unescape_into(chunk, out);
+        Ok(())
+    }
+
+    fn type_content(
+        &self,
+        tag: &str,
+        content: &str,
+        tree: &mut XmlTree,
+    ) -> Result<Value, ParseError> {
+        let hint = self
+            .opts
+            .type_map
+            .get(tag)
+            .copied()
+            .unwrap_or(TypeHint::Infer);
+        let ty = match hint {
+            TypeHint::Force(ty) => ty,
+            TypeHint::Infer => {
+                if content.bytes().all(|b| b.is_ascii_digit()) {
+                    ValueType::Numeric
+                } else if content.split_whitespace().count() >= self.opts.text_word_threshold {
+                    ValueType::Text
+                } else {
+                    ValueType::String
+                }
+            }
+        };
+        Ok(match ty {
+            ValueType::None => Value::None,
+            ValueType::Numeric => Value::Numeric(content.parse::<u64>().map_err(|_| ParseError {
+                offset: self.pos,
+                message: format!("<{tag}> content {content:?} is not numeric"),
+            })?),
+            ValueType::String => Value::String(content.to_string()),
+            ValueType::Text => {
+                let terms: Vec<_> = content
+                    .split_whitespace()
+                    .map(|w| tree.intern_term(&w.to_ascii_lowercase()))
+                    .collect();
+                Value::Text(terms.into_iter().collect())
+            }
+        })
+    }
+}
+
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b == b':'
+}
+
+fn unescape_into(s: &str, out: &mut String) {
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let tail = &rest[amp..];
+        if let Some(semi) = tail.find(';') {
+            match &tail[..=semi] {
+                "&amp;" => out.push('&'),
+                "&lt;" => out.push('<'),
+                "&gt;" => out.push('>'),
+                "&quot;" => out.push('"'),
+                "&apos;" => out.push('\''),
+                other => out.push_str(other), // unknown entity: keep verbatim
+            }
+            rest = &tail[semi + 1..];
+        } else {
+            out.push_str(tail);
+            return;
+        }
+    }
+    out.push_str(rest);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_document;
+
+    #[test]
+    fn parses_nested_elements() {
+        let t = parse("<a><b><c>42</c></b><b></b></a>").unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.label_str(t.root()), "a");
+        let b = t.children(t.root()).next().unwrap();
+        let c = t.children(b).next().unwrap();
+        assert_eq!(t.value(c).as_numeric(), Some(42));
+    }
+
+    #[test]
+    fn infers_value_types() {
+        let t = parse("<r><y>1999</y><s>short name</s><x>one two three four five</x></r>")
+            .unwrap();
+        let kids: Vec<_> = t.children(t.root()).collect();
+        assert_eq!(t.value_type(kids[0]), ValueType::Numeric);
+        assert_eq!(t.value_type(kids[1]), ValueType::String);
+        assert_eq!(t.value_type(kids[2]), ValueType::Text);
+    }
+
+    #[test]
+    fn forced_types_override_inference() {
+        let opts = ParseOptions::default().with_type("zip", ValueType::String);
+        let t = parse_with("<r><zip>90210</zip></r>", &opts).unwrap();
+        let z = t.children(t.root()).next().unwrap();
+        assert_eq!(t.value(z).as_string(), Some("90210"));
+    }
+
+    #[test]
+    fn forced_numeric_rejects_garbage() {
+        let opts = ParseOptions::default().with_type("y", ValueType::Numeric);
+        let err = parse_with("<r><y>abc</y></r>", &opts).unwrap_err();
+        assert!(err.message.contains("not numeric"), "{err}");
+    }
+
+    #[test]
+    fn self_closing_and_attributes() {
+        let t = parse("<r><e id=\"1\" x=\"a>b\"/><f attr=\"v\">7</f></r>").unwrap();
+        let kids: Vec<_> = t.children(t.root()).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(t.label_str(kids[0]), "e");
+        assert_eq!(t.value(kids[1]).as_numeric(), Some(7));
+    }
+
+    #[test]
+    fn skips_prolog_comments_pis() {
+        let t = parse(
+            "<?xml version=\"1.0\"?><!DOCTYPE r><!-- hi --><r><!-- c --><a>1</a><?pi?></r>",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn unescapes_entities() {
+        let t = parse("<r><s>a&lt;b&amp;c&gt;d</s></r>").unwrap();
+        let s = t.children(t.root()).next().unwrap();
+        assert_eq!(t.value(s).as_string(), Some("a<b&c>d"));
+    }
+
+    #[test]
+    fn mismatched_end_tag_is_error() {
+        let err = parse("<a><b></c></a>").unwrap_err();
+        assert!(err.message.contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn missing_end_tag_is_error() {
+        assert!(parse("<a><b>").is_err());
+        assert!(parse("<a>").is_err());
+    }
+
+    #[test]
+    fn trailing_content_is_error() {
+        assert!(parse("<a></a><b></b>").is_err());
+        assert!(parse("<a></a>junk").is_err());
+    }
+
+    #[test]
+    fn round_trip_via_writer() {
+        let src = "<bib><paper><year>2000</year><title>Counting Twigs</title>\
+                   <abs>xml employs a tree structured model</abs></paper></bib>";
+        let t = parse(src).unwrap();
+        let written = write_document(&t);
+        let t2 = parse(&written).unwrap();
+        assert_eq!(t.len(), t2.len());
+        let labels1: Vec<_> = t.all_nodes().map(|n| t.label_str(n).to_string()).collect();
+        let labels2: Vec<_> = t2.all_nodes().map(|n| t2.label_str(n).to_string()).collect();
+        assert_eq!(labels1, labels2);
+        for (n1, n2) in t.all_nodes().zip(t2.all_nodes()) {
+            assert_eq!(t.value_type(n1), t2.value_type(n2));
+        }
+    }
+
+    #[test]
+    fn mixed_content_concatenates_text() {
+        // Mixed content: element children win, but pure-leaf text is typed.
+        let t = parse("<r>hello <b>1</b> world</r>").unwrap();
+        // r has a child element, so it gets no value.
+        assert_eq!(t.value_type(t.root()), ValueType::None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn whitespace_only_content_is_no_value() {
+        let t = parse("<r>  \n\t </r>").unwrap();
+        assert_eq!(t.value_type(t.root()), ValueType::None);
+    }
+}

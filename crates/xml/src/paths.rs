@@ -1,0 +1,61 @@
+//! Label-path specifications designating value-summarized elements.
+//!
+//! The paper's reference synopsis "considers the construction of
+//! value-summaries under specific paths of the underlying XML" (Section
+//! 6.1; 7 paths for IMDB, 9 for XMark). A [`ValuePathSpec`] names such a
+//! path by a *suffix* of labels, so one spec covers structurally parallel
+//! paths (e.g. `["item", "name"]` matches items under every region).
+
+use crate::value::ValueType;
+
+/// A label-path suffix plus the value type found at matching elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValuePathSpec {
+    /// Trailing labels, outermost first.
+    pub suffix: Vec<String>,
+    /// The value type at matching elements.
+    pub value_type: ValueType,
+}
+
+impl ValuePathSpec {
+    /// Builds a spec from string literals.
+    pub fn new(suffix: &[&str], value_type: ValueType) -> Self {
+        ValuePathSpec {
+            suffix: suffix.iter().map(|s| s.to_string()).collect(),
+            value_type,
+        }
+    }
+
+    /// Whether a full label path (root first) ends with this suffix.
+    pub fn matches(&self, labels: &[&str]) -> bool {
+        if labels.len() < self.suffix.len() {
+            return false;
+        }
+        labels[labels.len() - self.suffix.len()..]
+            .iter()
+            .zip(self.suffix.iter())
+            .all(|(a, b)| a == b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffix_matching() {
+        let spec = ValuePathSpec::new(&["item", "name"], ValueType::String);
+        assert!(spec.matches(&["site", "regions", "africa", "item", "name"]));
+        assert!(spec.matches(&["item", "name"]));
+        assert!(!spec.matches(&["name"]));
+        assert!(!spec.matches(&["site", "item", "title"]));
+        assert!(!spec.matches(&["site", "name", "item"]));
+    }
+
+    #[test]
+    fn empty_suffix_matches_everything() {
+        let spec = ValuePathSpec::new(&[], ValueType::None);
+        assert!(spec.matches(&["anything"]));
+        assert!(spec.matches(&[]));
+    }
+}

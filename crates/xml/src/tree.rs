@@ -1,0 +1,426 @@
+//! The node-labeled XML document tree `T(V, E)` (paper Section 2).
+//!
+//! Stored as a flat arena: each node records its label symbol, parent,
+//! first/last child and next sibling, plus an optional typed [`Value`].
+//! Node ids are dense `u32`s in document (preorder) creation order, which
+//! the rest of the system exploits: the generators and parser always append
+//! children in document order, so iterating `0..len` is a preorder sweep.
+
+use crate::intern::{Interner, Symbol};
+use crate::value::{TermId, Value, ValueType};
+use std::fmt;
+
+/// Identifier of an element node in an [`XmlTree`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    label: Symbol,
+    parent: Option<NodeId>,
+    first_child: Option<NodeId>,
+    last_child: Option<NodeId>,
+    next_sibling: Option<NodeId>,
+    value: Value,
+}
+
+/// An XML document tree with interned labels and terms.
+///
+/// The tree owns two interners: one for element labels, one for the `TEXT`
+/// term dictionary. All structural queries (`children`, `descendants`,
+/// `depth`) are allocation-free iterators over the arena.
+#[derive(Debug, Clone)]
+pub struct XmlTree {
+    nodes: Vec<NodeData>,
+    labels: Interner,
+    terms: Interner,
+}
+
+impl XmlTree {
+    /// Creates a tree containing only a root element labeled `root_label`.
+    pub fn new(root_label: &str) -> Self {
+        let mut labels = Interner::new();
+        let root = NodeData {
+            label: labels.intern(root_label),
+            parent: None,
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+            value: Value::None,
+        };
+        XmlTree {
+            nodes: vec![root],
+            labels,
+            terms: Interner::new(),
+        }
+    }
+
+    /// The root element (always node 0).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Total number of element nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has only a root — a tree is never fully empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Appends a new child with label `label` as the last child of `parent`.
+    pub fn add_child(&mut self, parent: NodeId, label: &str) -> NodeId {
+        let sym = self.labels.intern(label);
+        self.add_child_sym(parent, sym)
+    }
+
+    /// Appends a new child with an already-interned label symbol.
+    pub fn add_child_sym(&mut self, parent: NodeId, label: Symbol) -> NodeId {
+        debug_assert!(label.index() < self.labels.len(), "foreign label symbol");
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            label,
+            parent: Some(parent),
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+            value: Value::None,
+        });
+        let p = &mut self.nodes[parent.index()];
+        match p.last_child {
+            None => {
+                p.first_child = Some(id);
+                p.last_child = Some(id);
+            }
+            Some(prev) => {
+                p.last_child = Some(id);
+                self.nodes[prev.index()].next_sibling = Some(id);
+            }
+        }
+        id
+    }
+
+    /// Sets (or replaces) the value of `node`.
+    pub fn set_value(&mut self, node: NodeId, value: Value) {
+        self.nodes[node.index()].value = value;
+    }
+
+    /// Convenience: interns the whitespace-separated lowercase words of
+    /// `text` into the term dictionary and stores them as a `TEXT` value.
+    pub fn set_text_value(&mut self, node: NodeId, text: &str) {
+        let terms: Vec<TermId> = text
+            .split_whitespace()
+            .map(|w| self.terms.intern(&w.to_ascii_lowercase()))
+            .collect();
+        self.set_value(node, Value::Text(terms.into_iter().collect()));
+    }
+
+    /// Interns a term into the document's term dictionary.
+    pub fn intern_term(&mut self, term: &str) -> TermId {
+        self.terms.intern(term)
+    }
+
+    /// Interns a label without creating a node.
+    pub fn intern_label(&mut self, label: &str) -> Symbol {
+        self.labels.intern(label)
+    }
+
+    /// The label symbol of `node` (`label(e)`).
+    #[inline]
+    pub fn label(&self, node: NodeId) -> Symbol {
+        self.nodes[node.index()].label
+    }
+
+    /// The label string of `node`.
+    pub fn label_str(&self, node: NodeId) -> &str {
+        self.labels.resolve(self.label(node))
+    }
+
+    /// The value stored at `node` (`value(e)`).
+    #[inline]
+    pub fn value(&self, node: NodeId) -> &Value {
+        &self.nodes[node.index()].value
+    }
+
+    /// The value type of `node` (`type(e)`).
+    #[inline]
+    pub fn value_type(&self, node: NodeId) -> ValueType {
+        self.nodes[node.index()].value.value_type()
+    }
+
+    /// The parent of `node`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.index()].parent
+    }
+
+    /// Iterates over the children of `node` in document order.
+    pub fn children(&self, node: NodeId) -> Children<'_> {
+        Children {
+            tree: self,
+            next: self.nodes[node.index()].first_child,
+        }
+    }
+
+    /// Number of children of `node`.
+    pub fn child_count(&self, node: NodeId) -> usize {
+        self.children(node).count()
+    }
+
+    /// Iterates over the descendants of `node` (excluding `node`) in
+    /// document (preorder) order.
+    pub fn descendants(&self, node: NodeId) -> Descendants<'_> {
+        Descendants {
+            tree: self,
+            stack: self
+                .children(node)
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect(),
+        }
+    }
+
+    /// Iterates over every node in the arena in creation (preorder) order.
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Depth of `node` (root has depth 0).
+    pub fn depth(&self, node: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Maximum node depth in the tree.
+    pub fn max_depth(&self) -> usize {
+        // Depth of a node is parent depth + 1; ids are created after parents,
+        // so one forward pass suffices.
+        let mut depths = vec![0usize; self.nodes.len()];
+        let mut max = 0;
+        for id in 1..self.nodes.len() {
+            let p = self.nodes[id].parent.expect("non-root has parent");
+            let d = depths[p.index()] + 1;
+            depths[id] = d;
+            max = max.max(d);
+        }
+        max
+    }
+
+    /// The label path from the root to `node`, e.g. `["site", "people",
+    /// "person"]`.
+    pub fn label_path(&self, node: NodeId) -> Vec<Symbol> {
+        let mut path = vec![self.label(node)];
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            path.push(self.label(p));
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// The label interner.
+    pub fn labels(&self) -> &Interner {
+        &self.labels
+    }
+
+    /// The term dictionary.
+    pub fn terms(&self) -> &Interner {
+        &self.terms
+    }
+
+    /// Resolves a term id to its string.
+    pub fn term_str(&self, t: TermId) -> &str {
+        self.terms.resolve(t)
+    }
+}
+
+/// Iterator over the children of a node. See [`XmlTree::children`].
+pub struct Children<'a> {
+    tree: &'a XmlTree,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.tree.nodes[cur.index()].next_sibling;
+        Some(cur)
+    }
+}
+
+/// Preorder iterator over descendants. See [`XmlTree::descendants`].
+pub struct Descendants<'a> {
+    tree: &'a XmlTree,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.stack.pop()?;
+        let before = self.stack.len();
+        for c in self.tree.children(cur) {
+            self.stack.push(c);
+        }
+        self.stack[before..].reverse();
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the bibliographic example of the paper's Figure 1 (element
+    /// names abbreviated as in the figure).
+    fn figure1() -> XmlTree {
+        let mut t = XmlTree::new("dblp");
+        let a1 = t.add_child(t.root(), "author");
+        let p2 = t.add_child(a1, "paper");
+        let y3 = t.add_child(p2, "year");
+        t.set_value(y3, Value::Numeric(2000));
+        let t4 = t.add_child(p2, "title");
+        t.set_value(t4, Value::String("Counting Twig Matches".into()));
+        let k5 = t.add_child(p2, "keywords");
+        t.set_text_value(k5, "XML Summary");
+        let n6 = t.add_child(a1, "name");
+        t.set_value(n6, Value::String("N. Polyzotis".into()));
+        let p7 = t.add_child(a1, "paper");
+        let y8 = t.add_child(p7, "year");
+        t.set_value(y8, Value::Numeric(2002));
+        let t9 = t.add_child(p7, "title");
+        t.set_value(t9, Value::String("Holistic Twig Joins".into()));
+        let ab10 = t.add_child(p7, "abstract");
+        t.set_text_value(ab10, "XML employs a tree model");
+        let a11 = t.add_child(t.root(), "author");
+        let n12 = t.add_child(a11, "name");
+        t.set_value(n12, Value::String("M. Garofalakis".into()));
+        let b13 = t.add_child(a11, "book");
+        let y14 = t.add_child(b13, "year");
+        t.set_value(y14, Value::Numeric(2002));
+        let t15 = t.add_child(b13, "title");
+        t.set_value(t15, Value::String("Database Systems".into()));
+        let f16 = t.add_child(b13, "foreword");
+        t.set_text_value(f16, "Database systems have evolved");
+        t
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let t = figure1();
+        assert_eq!(t.len(), 17);
+        assert_eq!(t.child_count(t.root()), 2);
+        assert_eq!(t.label_str(t.root()), "dblp");
+        assert_eq!(t.max_depth(), 3);
+    }
+
+    #[test]
+    fn children_in_document_order() {
+        let t = figure1();
+        let a1 = t.children(t.root()).next().unwrap();
+        let labels: Vec<&str> = t.children(a1).map(|c| t.label_str(c)).collect();
+        assert_eq!(labels, vec!["paper", "name", "paper"]);
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let t = figure1();
+        let labels: Vec<&str> = t.descendants(t.root()).map(|n| t.label_str(n)).collect();
+        assert_eq!(labels.len(), 16);
+        assert_eq!(&labels[..4], &["author", "paper", "year", "title"]);
+        // Preorder: the second author subtree comes after the whole first.
+        assert_eq!(labels[10], "author");
+    }
+
+    #[test]
+    fn parent_and_depth() {
+        let t = figure1();
+        let a1 = t.children(t.root()).next().unwrap();
+        let p2 = t.children(a1).next().unwrap();
+        let y3 = t.children(p2).next().unwrap();
+        assert_eq!(t.parent(y3), Some(p2));
+        assert_eq!(t.parent(p2), Some(a1));
+        assert_eq!(t.parent(t.root()), None);
+        assert_eq!(t.depth(y3), 3);
+        assert_eq!(t.depth(t.root()), 0);
+    }
+
+    #[test]
+    fn label_path() {
+        let t = figure1();
+        let a1 = t.children(t.root()).next().unwrap();
+        let p2 = t.children(a1).next().unwrap();
+        let path: Vec<&str> = t
+            .label_path(p2)
+            .into_iter()
+            .map(|s| t.labels().resolve(s))
+            .collect();
+        assert_eq!(path, vec!["dblp", "author", "paper"]);
+    }
+
+    #[test]
+    fn values_and_types() {
+        let t = figure1();
+        let a1 = t.children(t.root()).next().unwrap();
+        let p2 = t.children(a1).next().unwrap();
+        let y3 = t.children(p2).next().unwrap();
+        assert_eq!(t.value(y3).as_numeric(), Some(2000));
+        assert_eq!(t.value_type(y3), ValueType::Numeric);
+        assert_eq!(t.value_type(p2), ValueType::None);
+    }
+
+    #[test]
+    fn text_values_tokenize_and_lowercase() {
+        let mut t = XmlTree::new("r");
+        let c = t.add_child(t.root(), "abs");
+        t.set_text_value(c, "XML employs XML trees");
+        let tv = t.value(c).as_text().unwrap();
+        assert_eq!(tv.len(), 3); // xml, employs, trees
+        let xml = t.terms().get("xml").unwrap();
+        assert!(tv.contains(xml));
+        assert!(t.terms().get("XML").is_none());
+    }
+
+    #[test]
+    fn all_nodes_covers_arena() {
+        let t = figure1();
+        assert_eq!(t.all_nodes().count(), t.len());
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = XmlTree::new("only");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.children(t.root()).count(), 0);
+        assert_eq!(t.descendants(t.root()).count(), 0);
+        assert_eq!(t.max_depth(), 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Typed element values (paper Section 2, "Data Model").
+//!
+//! The paper considers three value types plus a null type for elements
+//! without values. `TEXT` values follow the set-theoretic Boolean IR model:
+//! a text is the *set* of dictionary terms it contains, i.e. a Boolean
+//! vector over the term dictionary. We store it as a sorted, deduplicated
+//! vector of [`TermId`]s.
+
+use crate::intern::Symbol;
+use std::fmt;
+
+/// Interned identifier of a dictionary term appearing in `TEXT` content.
+pub type TermId = Symbol;
+
+/// The value type of an XML element (`type(e)` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValueType {
+    /// No value (the special null data type).
+    None,
+    /// Integer values in a domain `{0 .. M-1}` (prices, years, ...).
+    Numeric,
+    /// Short strings queried with substring (`contains`) predicates.
+    String,
+    /// Free text queried with IR-style `ftcontains` term predicates.
+    Text,
+}
+
+impl ValueType {
+    /// Short lowercase name, used by the writer and experiment reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ValueType::None => "none",
+            ValueType::Numeric => "numeric",
+            ValueType::String => "string",
+            ValueType::Text => "text",
+        }
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A Boolean term vector: the sorted set of distinct terms in a text.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+pub struct TermVector {
+    terms: Vec<TermId>,
+}
+
+impl TermVector {
+    /// Builds a term vector from an arbitrary term sequence; duplicates are
+    /// removed and order normalized (Boolean model: only membership counts).
+    pub fn from_terms(mut terms: Vec<TermId>) -> Self {
+        terms.sort_unstable();
+        terms.dedup();
+        TermVector { terms }
+    }
+
+    /// The sorted, distinct terms.
+    pub fn terms(&self) -> &[TermId] {
+        &self.terms
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the text contains no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Boolean membership test (`w[t]` of the paper's Boolean vector).
+    pub fn contains(&self, t: TermId) -> bool {
+        self.terms.binary_search(&t).is_ok()
+    }
+}
+
+impl FromIterator<TermId> for TermVector {
+    fn from_iter<I: IntoIterator<Item = TermId>>(iter: I) -> Self {
+        TermVector::from_terms(iter.into_iter().collect())
+    }
+}
+
+/// The value stored at an XML element (`value(e)` in the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Value {
+    /// No value.
+    #[default]
+    None,
+    /// A `NUMERIC` value.
+    Numeric(u64),
+    /// A `STRING` value.
+    String(String),
+    /// A `TEXT` value as a Boolean term vector.
+    Text(TermVector),
+}
+
+impl Value {
+    /// The type of this value (`type(e)`).
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::None => ValueType::None,
+            Value::Numeric(_) => ValueType::Numeric,
+            Value::String(_) => ValueType::String,
+            Value::Text(_) => ValueType::Text,
+        }
+    }
+
+    /// The numeric payload, if this is a `NUMERIC` value.
+    pub fn as_numeric(&self) -> Option<u64> {
+        match self {
+            Value::Numeric(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `STRING` value.
+    pub fn as_string(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The term vector, if this is a `TEXT` value.
+    pub fn as_text(&self) -> Option<&TermVector> {
+        match self {
+            Value::Text(tv) => Some(tv),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TermId {
+        Symbol(i)
+    }
+
+    #[test]
+    fn term_vector_dedups_and_sorts() {
+        let tv = TermVector::from_terms(vec![t(3), t(1), t(3), t(2), t(1)]);
+        assert_eq!(tv.terms(), &[t(1), t(2), t(3)]);
+        assert_eq!(tv.len(), 3);
+    }
+
+    #[test]
+    fn term_vector_contains() {
+        let tv: TermVector = [t(5), t(9)].into_iter().collect();
+        assert!(tv.contains(t(5)));
+        assert!(tv.contains(t(9)));
+        assert!(!tv.contains(t(7)));
+    }
+
+    #[test]
+    fn empty_term_vector() {
+        let tv = TermVector::default();
+        assert!(tv.is_empty());
+        assert!(!tv.contains(t(0)));
+    }
+
+    #[test]
+    fn value_types_match_payload() {
+        assert_eq!(Value::None.value_type(), ValueType::None);
+        assert_eq!(Value::Numeric(7).value_type(), ValueType::Numeric);
+        assert_eq!(Value::String("x".into()).value_type(), ValueType::String);
+        assert_eq!(
+            Value::Text(TermVector::default()).value_type(),
+            ValueType::Text
+        );
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Numeric(2000).as_numeric(), Some(2000));
+        assert_eq!(Value::Numeric(2000).as_string(), None);
+        assert_eq!(Value::String("acm".into()).as_string(), Some("acm"));
+        let tv: TermVector = [t(1)].into_iter().collect();
+        assert_eq!(Value::Text(tv.clone()).as_text(), Some(&tv));
+        assert_eq!(Value::None.as_text(), None);
+    }
+
+    #[test]
+    fn value_type_names() {
+        assert_eq!(ValueType::Numeric.name(), "numeric");
+        assert_eq!(ValueType::Text.to_string(), "text");
+    }
+}

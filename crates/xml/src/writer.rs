@@ -1,0 +1,91 @@
+//! Serializer for [`XmlTree`] documents.
+//!
+//! Emits plain element-only XML: numeric values as decimal text, string
+//! values as escaped character data, text values as the space-joined term
+//! list. `write_document` is also how the experiment harness measures the
+//! "File Size" column of the paper's Table 1 for the synthetic data sets.
+
+use crate::tree::{NodeId, XmlTree};
+use crate::value::Value;
+use std::fmt::Write;
+
+/// Serializes the whole document rooted at `tree.root()`.
+pub fn write_document(tree: &XmlTree) -> String {
+    let mut out = String::new();
+    write_node(tree, tree.root(), &mut out);
+    out
+}
+
+fn write_node(tree: &XmlTree, node: NodeId, out: &mut String) {
+    let tag = tree.label_str(node);
+    let _ = write!(out, "<{tag}>");
+    match tree.value(node) {
+        Value::None => {}
+        Value::Numeric(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::String(s) => escape_into(s, out),
+        Value::Text(tv) => {
+            for (i, t) in tv.terms().iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                escape_into(tree.term_str(*t), out);
+            }
+        }
+    }
+    for c in tree.children(node) {
+        write_node(tree, c, out);
+    }
+    let _ = write!(out, "</{tag}>");
+}
+
+/// Escapes the XML character-data metacharacters.
+pub(crate) fn escape_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn writes_nested_elements() {
+        let mut t = XmlTree::new("a");
+        let b = t.add_child(t.root(), "b");
+        let c = t.add_child(b, "c");
+        t.set_value(c, Value::Numeric(42));
+        assert_eq!(write_document(&t), "<a><b><c>42</c></b></a>");
+    }
+
+    #[test]
+    fn escapes_string_values() {
+        let mut t = XmlTree::new("r");
+        let s = t.add_child(t.root(), "s");
+        t.set_value(s, Value::String("a<b&c>d".into()));
+        assert_eq!(write_document(&t), "<r><s>a&lt;b&amp;c&gt;d</s></r>");
+    }
+
+    #[test]
+    fn writes_text_terms_space_joined() {
+        let mut t = XmlTree::new("r");
+        let x = t.add_child(t.root(), "abs");
+        t.set_text_value(x, "beta alpha beta");
+        // TermVector sorts by intern id (interning order: beta, alpha).
+        assert_eq!(write_document(&t), "<r><abs>beta alpha</abs></r>");
+    }
+
+    #[test]
+    fn empty_element() {
+        let t = XmlTree::new("solo");
+        assert_eq!(write_document(&t), "<solo></solo>");
+    }
+}

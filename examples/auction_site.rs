@@ -1,0 +1,93 @@
+//! Auction-site scenario: XMark-like data with recursive description
+//! markup, mixed value types, and hand-written twig queries with
+//! heterogeneous predicates.
+//!
+//! ```sh
+//! cargo run --release --example auction_site
+//! ```
+
+use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::estimate;
+use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+use xcluster_datagen::xmark;
+use xcluster_query::{evaluate, parse_twig, EvalIndex};
+
+fn main() {
+    let d = xmark::generate(&xmark::XmarkConfig {
+        items: 700,
+        persons: 850,
+        open_auctions: 550,
+        closed_auctions: 400,
+        categories: 100,
+        seed: 7,
+    });
+    println!(
+        "auction site: {} elements, max depth {}",
+        d.num_elements(),
+        d.tree.max_depth()
+    );
+
+    let reference = reference_synopsis(
+        &d.tree,
+        &ReferenceConfig {
+            value_paths: Some(d.value_paths.clone()),
+            ..ReferenceConfig::default()
+        },
+    );
+    let synopsis = build_synopsis(
+        reference,
+        &BuildConfig {
+            b_str: 6 * 1024,
+            b_val: 20 * 1024,
+            ..BuildConfig::default()
+        },
+    );
+    println!(
+        "synopsis: {} nodes, {:.1} KB ({} value summaries)\n",
+        synopsis.num_nodes(),
+        synopsis.total_bytes() as f64 / 1024.0,
+        synopsis.num_value_nodes()
+    );
+
+    let index = EvalIndex::build(&d.tree);
+    // A few hand-written twigs exercising every predicate class plus the
+    // recursive description markup.
+    let queries = [
+        "//open_auction",
+        "//open_auction/bidder",
+        "//open_auction[initial>50]",
+        "//open_auction[initial>50]/bidder/increase",
+        "//person[age in 18..30]/name",
+        "//item[quantity>=10]{/name}{/description//text}",
+        "//europe/item/name[contains(europe)]",
+        "//closed_auction[price>100]",
+        "//listitem//listitem/text",
+        "//regions//item/description/parlist/listitem",
+    ];
+    println!("{:66}  {:>10}  {:>10}  {:>7}", "query", "estimate", "true", "relerr");
+    for q in queries {
+        let twig = parse_twig(q, d.tree.terms()).expect("valid twig");
+        let est = estimate(&synopsis, &twig);
+        let truth = evaluate(&twig, &d.tree, &index);
+        let rel = (est - truth).abs() / truth.max(10.0);
+        println!("{q:66}  {est:10.1}  {truth:10.0}  {:6.1}%", rel * 100.0);
+    }
+
+    // Keyword predicates: pick two frequent terms from a description.
+    let sample_terms: Vec<String> = d
+        .tree
+        .all_nodes()
+        .filter(|&n| d.tree.label_str(n) == "description")
+        .filter_map(|n| d.tree.value(n).as_text())
+        .flat_map(|tv| tv.terms().iter().take(1).copied().collect::<Vec<_>>())
+        .take(2)
+        .map(|t| d.tree.term_str(t).to_string())
+        .collect();
+    if let [t1, t2] = sample_terms.as_slice() {
+        let q = format!("//open_auction[annotation/description ftcontains({t1}, {t2})]");
+        let twig = parse_twig(&q, d.tree.terms()).expect("valid twig");
+        let est = estimate(&synopsis, &twig);
+        let truth = evaluate(&twig, &d.tree, &index);
+        println!("{q:66}  {est:10.2}  {truth:10.0}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Bibliography scenario: summarize an IMDB-like movie database and
+//! report per-class estimation accuracy across a generated workload —
+//! a miniature of the paper's Section 6 study.
+//!
+//! ```sh
+//! cargo run --release --example bibliography
+//! ```
+
+use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::metrics::evaluate_workload;
+use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+use xcluster_datagen::imdb;
+use xcluster_query::{workload, EvalIndex, QueryClass, WorkloadConfig};
+
+fn main() {
+    let d = imdb::generate(&imdb::ImdbConfig {
+        num_movies: 800,
+        seed: 42,
+    });
+    println!(
+        "data set: {} elements, {:.1} KB serialized",
+        d.num_elements(),
+        d.file_size_bytes() as f64 / 1024.0
+    );
+
+    let reference = reference_synopsis(
+        &d.tree,
+        &ReferenceConfig {
+            value_paths: Some(d.value_paths.clone()),
+            ..ReferenceConfig::default()
+        },
+    );
+    println!(
+        "reference synopsis: {} nodes / {} value nodes, {:.1} KB",
+        reference.num_nodes(),
+        reference.num_value_nodes(),
+        reference.total_bytes() as f64 / 1024.0
+    );
+
+    let index = EvalIndex::build(&d.tree);
+    let targets = d.summarized_targets();
+    let w = workload::generate_positive(
+        &d.tree,
+        &index,
+        &WorkloadConfig {
+            num_queries: 400,
+            allowed_targets: Some(targets),
+            ..WorkloadConfig::default()
+        },
+    );
+    println!(
+        "workload: {} positive twigs, sanity bound {:.0}\n",
+        w.queries.len(),
+        w.sanity_bound
+    );
+
+    println!("{:>10}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}", "size", "Overall", "Struct", "Numeric", "String", "Text");
+    for b_str in [1usize, 4, 8, 16].map(|k| k * 1024) {
+        let built = build_synopsis(
+            reference.clone(),
+            &BuildConfig {
+                b_str,
+                b_val: 24 * 1024,
+                ..BuildConfig::default()
+            },
+        );
+        let report = evaluate_workload(&built, &w);
+        let fmt = |o: Option<f64>| match o {
+            Some(v) => format!("{:7.1}%", v * 100.0),
+            None => "      -".to_string(),
+        };
+        println!(
+            "{:>9}B  {:7.1}%  {}  {}  {}  {}",
+            built.total_bytes(),
+            report.overall_rel * 100.0,
+            fmt(report.class_rel(QueryClass::Struct)),
+            fmt(report.class_rel(QueryClass::Numeric)),
+            fmt(report.class_rel(QueryClass::String)),
+            fmt(report.class_rel(QueryClass::Text)),
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: parse a small XML document, build an XCluster synopsis,
+//! and estimate twig-query selectivities against exact counts.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::estimate;
+use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+use xcluster_query::{evaluate, parse_twig, EvalIndex};
+use xcluster_xml::{parse_with, ParseOptions, ValueType};
+
+fn main() {
+    // A bibliographic document in the spirit of the paper's Figure 1.
+    let xml = "<dblp>\
+        <author>\
+          <name>First Author</name>\
+          <paper><year>2000</year><title>Counting Twig Matches</title>\
+            <keywords>xml summary selectivity</keywords></paper>\
+          <paper><year>2002</year><title>Holistic Twig Joins</title>\
+            <abstract>xml employs a tree structured synopsis model</abstract></paper>\
+        </author>\
+        <author>\
+          <name>Second Author</name>\
+          <book><year>2002</year><title>Database Systems</title>\
+            <foreword>database systems have evolved rapidly</foreword></book>\
+        </author></dblp>";
+    let opts = ParseOptions::default()
+        .with_type("year", ValueType::Numeric)
+        .with_type("title", ValueType::String)
+        .with_type("name", ValueType::String)
+        .with_type("keywords", ValueType::Text)
+        .with_type("abstract", ValueType::Text)
+        .with_type("foreword", ValueType::Text);
+    let doc = parse_with(xml, &opts).expect("well-formed document");
+    println!("document: {} elements", doc.len());
+
+    // 1. Detailed reference synopsis (lossless structure, detailed values).
+    let reference = reference_synopsis(&doc, &ReferenceConfig::default());
+    println!(
+        "reference synopsis: {} nodes ({} with value summaries), {} bytes",
+        reference.num_nodes(),
+        reference.num_value_nodes(),
+        reference.total_bytes()
+    );
+
+    // 2. Compress to a budget with XClusterBuild.
+    let synopsis = build_synopsis(
+        reference,
+        &BuildConfig {
+            b_str: 256,  // structural budget (bytes)
+            b_val: 512,  // value-summary budget (bytes)
+            ..BuildConfig::default()
+        },
+    );
+    println!(
+        "compressed synopsis: {} nodes, {} bytes total\n",
+        synopsis.num_nodes(),
+        synopsis.total_bytes()
+    );
+
+    // 3. Estimate twig selectivities and compare with exact evaluation.
+    let index = EvalIndex::build(&doc);
+    for q in [
+        "//paper",
+        "//paper/year",
+        "//paper[year>2000]",
+        "//paper[year>2000]/title[contains(Twig)]",
+        "//paper[abstract ftcontains(xml, synopsis)]",
+        "//author{/name}{/paper/title}",
+    ] {
+        let twig = parse_twig(q, doc.terms()).expect("valid twig syntax");
+        let est = estimate(&synopsis, &twig);
+        let truth = evaluate(&twig, &doc, &index);
+        println!("{q:55}  estimate {est:6.2}   true {truth:4.0}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Unified-budget construction: the paper's Section 4.3 closing remark
+//! proposes deriving the structural/value budget split automatically by
+//! searching over Bstr/Bval ratios against a sample workload. This
+//! example runs that search (`xcluster_core::autosplit`) and compares the
+//! chosen split against fixed ratios on a held-out workload.
+//!
+//! ```sh
+//! cargo run --release --example unified_budget
+//! ```
+
+use xcluster_core::autosplit::{build_with_unified_budget, AutoSplitConfig};
+use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::metrics::evaluate_workload;
+use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+use xcluster_datagen::imdb;
+use xcluster_query::{workload, EvalIndex, WorkloadConfig};
+
+fn main() {
+    let d = imdb::generate(&imdb::ImdbConfig {
+        num_movies: 600,
+        seed: 2024,
+    });
+    let reference = reference_synopsis(
+        &d.tree,
+        &ReferenceConfig {
+            value_paths: Some(d.value_paths.clone()),
+            ..ReferenceConfig::default()
+        },
+    );
+    let index = EvalIndex::build(&d.tree);
+    let targets = d.summarized_targets();
+    let mk_workload = |seed| {
+        workload::generate_positive(
+            &d.tree,
+            &index,
+            &WorkloadConfig {
+                num_queries: 150,
+                seed,
+                allowed_targets: Some(targets.clone()),
+                ..WorkloadConfig::default()
+            },
+        )
+    };
+    let sample = mk_workload(1); // drives the search
+    let holdout = mk_workload(2); // scores the outcome
+
+    let total = 40 * 1024;
+    println!("unified budget B = {} KB\n", total / 1024);
+
+    // Fixed splits for comparison.
+    println!("{:>22} {:>12} {:>14}", "split", "Bstr/Bval", "holdout err");
+    for rho in [0.05, 0.15, 0.30, 0.50] {
+        let built = build_synopsis(
+            reference.clone(),
+            &BuildConfig {
+                b_str: (total as f64 * rho) as usize,
+                b_val: (total as f64 * (1.0 - rho)) as usize,
+                ..BuildConfig::default()
+            },
+        );
+        let err = evaluate_workload(&built, &holdout).overall_rel;
+        println!(
+            "{:>20}ρ= {:>4.2} {:>5}/{:<5}KB {:>12.1}%",
+            "fixed ",
+            rho,
+            (total as f64 * rho) as usize / 1024,
+            (total as f64 * (1.0 - rho)) as usize / 1024,
+            err * 100.0
+        );
+    }
+
+    let result = build_with_unified_budget(
+        &reference,
+        &sample,
+        &AutoSplitConfig {
+            total_budget: total,
+            iterations: 6,
+            ..AutoSplitConfig::default()
+        },
+    );
+    let err = evaluate_workload(&result.synopsis, &holdout).overall_rel;
+    println!(
+        "{:>20}ρ= {:>4.2} {:>5}/{:<5}KB {:>12.1}%   (auto, {} probes)",
+        "searched ",
+        result.rho,
+        (total as f64 * result.rho) as usize / 1024,
+        (total as f64 * (1.0 - result.rho)) as usize / 1024,
+        err * 100.0,
+        result.probes.len()
+    );
+}

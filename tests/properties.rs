@@ -1,0 +1,371 @@
+//! Property-based tests (proptest) on the core invariants:
+//! summary estimates stay in range under arbitrary data and compression,
+//! merges preserve mass, and structural estimates on the reference
+//! synopsis equal exact counts for arbitrary generated documents.
+
+use proptest::prelude::*;
+use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+use xcluster_core::{estimate, merge};
+use xcluster_query::{evaluate, EvalIndex, TwigQuery};
+use xcluster_summaries::{Histogram, HistogramKind, Pst, ValuePredicate, ValueSummary};
+use xcluster_xml::{Value, ValueType, XmlTree};
+
+// -------------------------------------------------------------------
+// Summary-level properties.
+// -------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn histogram_selectivity_in_unit_range(
+        values in prop::collection::vec(0u64..10_000, 1..200),
+        lo in 0u64..12_000,
+        width in 0u64..12_000,
+        buckets in 1usize..40,
+    ) {
+        let h = Histogram::build(&values, buckets, HistogramKind::EquiDepth);
+        let s = h.selectivity(lo, lo.saturating_add(width));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "{s}");
+    }
+
+    #[test]
+    fn histogram_total_preserved_by_fusion(
+        a in prop::collection::vec(0u64..1000, 1..100),
+        b in prop::collection::vec(0u64..1000, 1..100),
+    ) {
+        let ha = Histogram::build(&a, 8, HistogramKind::EquiDepth);
+        let hb = Histogram::build(&b, 8, HistogramKind::EquiDepth);
+        let f = ha.fuse(&hb);
+        prop_assert!((f.total() - (a.len() + b.len()) as f64).abs() < 1e-6);
+        // Full-domain estimate equals the total.
+        prop_assert!((f.estimate_range(0, 2000) - f.total()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_full_range_selectivity_is_one(
+        values in prop::collection::vec(0u64..500, 1..100),
+    ) {
+        let h = Histogram::build(&values, 6, HistogramKind::EquiDepth);
+        prop_assert!((h.selectivity(0, 1000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_compression_keeps_total(
+        values in prop::collection::vec(0u64..1000, 2..150),
+        steps in 1usize..10,
+    ) {
+        let mut h = Histogram::build(&values, 16, HistogramKind::EquiDepth);
+        let total = h.total();
+        for _ in 0..steps {
+            match h.best_collapse() {
+                Some((i, _)) => h.merge_adjacent(i),
+                None => break,
+            }
+        }
+        prop_assert!((h.total() - total).abs() < 1e-9);
+        prop_assert!((h.estimate_range(0, 2000) - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pst_retained_substrings_estimate_exactly(
+        strings in prop::collection::vec("[a-d]{1,8}", 1..40),
+    ) {
+        let pst = Pst::build(&strings, 8);
+        for s in &strings {
+            let exact = strings.iter().filter(|t| t.contains(s.as_str())).count() as f64
+                / strings.len() as f64;
+            let est = pst.selectivity(s);
+            prop_assert!((est - exact).abs() < 1e-9, "{s}: {est} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn pst_estimates_in_unit_range_after_pruning(
+        strings in prop::collection::vec("[a-e]{1,10}", 1..30),
+        needle in "[a-f]{1,12}",
+        keep in 0usize..40,
+    ) {
+        let mut pst = Pst::build(&strings, 6);
+        pst.prune_to_size(keep);
+        let s = pst.selectivity(&needle);
+        prop_assert!((0.0..=1.0).contains(&s), "{s}");
+    }
+
+    #[test]
+    fn pst_fusion_commutes(
+        a in prop::collection::vec("[a-c]{1,6}", 1..20),
+        b in prop::collection::vec("[a-c]{1,6}", 1..20),
+    ) {
+        let pa = Pst::build(&a, 6);
+        let pb = Pst::build(&b, 6);
+        let ab = pa.fuse(&pb);
+        let ba = pb.fuse(&pa);
+        for s in a.iter().chain(b.iter()) {
+            prop_assert!((ab.selectivity(s) - ba.selectivity(s)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ebth_term_frequencies_bounded(
+        texts in prop::collection::vec(
+            prop::collection::vec(0u32..200, 0..10), 1..30),
+        demote in 0usize..30,
+    ) {
+        use xcluster_xml::{Symbol, TermVector};
+        let tvs: Vec<TermVector> = texts
+            .iter()
+            .map(|ids| ids.iter().map(|&i| Symbol(i)).collect())
+            .collect();
+        let mut e = xcluster_summaries::Ebth::from_vectors(tvs.iter());
+        e.demote(demote);
+        for t in 0..220u32 {
+            let f = e.term_frequency(Symbol(t));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&f), "term {t}: {f}");
+        }
+    }
+
+    #[test]
+    fn ebth_absent_terms_are_zero_at_any_compression(
+        texts in prop::collection::vec(
+            prop::collection::vec(0u32..50, 1..8), 1..20),
+        demote in 0usize..20,
+    ) {
+        use xcluster_xml::{Symbol, TermVector};
+        let tvs: Vec<TermVector> = texts
+            .iter()
+            .map(|ids| ids.iter().map(|&i| Symbol(i)).collect())
+            .collect();
+        let mut e = xcluster_summaries::Ebth::from_vectors(tvs.iter());
+        e.demote(demote);
+        // Terms 100+ never occur: the 0/1 uniform bucket must say zero.
+        for t in 100..120u32 {
+            prop_assert_eq!(e.term_frequency(Symbol(t)), 0.0);
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// Document-level properties over randomly generated trees.
+// -------------------------------------------------------------------
+
+/// A random small document: labels from a tiny alphabet, values typed by
+/// label, up to 3 levels of nesting.
+fn arb_document() -> impl Strategy<Value = XmlTree> {
+    // Each "record" is (label-variant, numeric value, fanout).
+    let record = (0usize..3, 0u64..100, 1usize..4);
+    prop::collection::vec((record, prop::collection::vec(0u64..50, 0..4)), 1..25).prop_map(
+        |specs| {
+            let mut t = XmlTree::new("root");
+            let root = t.root();
+            for ((variant, val, _fanout), leaves) in specs {
+                let tag = ["a", "b", "c"][variant];
+                let node = t.add_child(root, tag);
+                let y = t.add_child(node, "y");
+                t.set_value(y, Value::Numeric(val));
+                for (i, lv) in leaves.iter().enumerate() {
+                    let leaf = t.add_child(node, if i % 2 == 0 { "m" } else { "n" });
+                    t.set_value(leaf, Value::Numeric(*lv));
+                }
+            }
+            t
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reference_structural_estimates_are_exact(tree in arb_document()) {
+        let s = reference_synopsis(&tree, &ReferenceConfig::default());
+        let idx = EvalIndex::build(&tree);
+        for tag in ["a", "b", "c", "y", "m", "n"] {
+            let mut q = TwigQuery::new();
+            q.step(q.root(), xcluster_query::Axis::Descendant, tag);
+            let est = estimate(&s, &q);
+            let truth = evaluate(&q, &tree, &idx);
+            prop_assert!((est - truth).abs() < 1e-6, "{tag}: {est} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn build_never_underflows_budgets(tree in arb_document()) {
+        let reference = reference_synopsis(&tree, &ReferenceConfig::default());
+        let cfg = BuildConfig {
+            b_str: 256,
+            b_val: 256,
+            ..BuildConfig::default()
+        };
+        let built = build_synopsis(reference, &cfg);
+        built.check_consistency().unwrap();
+        // Total element mass is invariant under merging.
+        let mass: f64 = built.live_nodes().map(|i| built.node(i).count).sum();
+        prop_assert!((mass - tree.len() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn estimates_are_nonnegative_and_finite(tree in arb_document()) {
+        let reference = reference_synopsis(&tree, &ReferenceConfig::default());
+        let built = build_synopsis(
+            reference,
+            &BuildConfig { b_str: 128, b_val: 128, ..BuildConfig::default() },
+        );
+        let mut q = TwigQuery::new();
+        let a = q.step(q.root(), xcluster_query::Axis::Descendant, "a");
+        let y = q.step(a, xcluster_query::Axis::Child, "y");
+        q.set_predicate(y, ValuePredicate::Range { lo: 10, hi: 60 });
+        let est = estimate(&built, &q);
+        prop_assert!(est.is_finite() && est >= 0.0, "{est}");
+    }
+
+    #[test]
+    fn merge_preserves_expected_path_counts(tree in arb_document()) {
+        // Merging two sibling clusters keeps root-level expected counts.
+        let s = reference_synopsis(&tree, &ReferenceConfig::default());
+        let groups = s.nodes_by_label_type();
+        if let Some(ids) = groups.values().find(|v| v.len() >= 2) {
+            let (u, v) = (ids[0], ids[1]);
+            let mut q = TwigQuery::new();
+            let label = s.label_str(u).to_string();
+            q.step(q.root(), xcluster_query::Axis::Descendant, &label);
+            let before = estimate(&s, &q);
+            let mut s2 = s.clone();
+            merge::apply_merge(&mut s2, u, v);
+            let after = estimate(&s2, &q);
+            prop_assert!((before - after).abs() < 1e-6 * before.max(1.0),
+                "{label}: {before} vs {after}");
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// ValueSummary dispatch properties.
+// -------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn value_summary_selectivity_bounded_under_compression(
+        values in prop::collection::vec(0u64..5000, 1..100),
+        lo in 0u64..5000,
+        width in 0u64..5000,
+        compressions in 0usize..20,
+    ) {
+        let vals: Vec<Value> = values.iter().map(|&v| Value::Numeric(v)).collect();
+        let refs: Vec<&Value> = vals.iter().collect();
+        let mut s = ValueSummary::build(&refs, ValueType::Numeric).unwrap();
+        for _ in 0..compressions {
+            if s.apply_compression().is_none() {
+                break;
+            }
+        }
+        let sel = s.selectivity(&ValuePredicate::Range {
+            lo,
+            hi: lo.saturating_add(width),
+        });
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&sel), "{sel}");
+    }
+
+    #[test]
+    fn atomic_moments_are_symmetric_psd(
+        a in prop::collection::vec(0u64..100, 1..50),
+        b in prop::collection::vec(0u64..100, 1..50),
+    ) {
+        let va: Vec<Value> = a.iter().map(|&v| Value::Numeric(v)).collect();
+        let vb: Vec<Value> = b.iter().map(|&v| Value::Numeric(v)).collect();
+        let ra: Vec<&Value> = va.iter().collect();
+        let rb: Vec<&Value> = vb.iter().collect();
+        let sa = ValueSummary::build(&ra, ValueType::Numeric).unwrap();
+        let sb = ValueSummary::build(&rb, ValueType::Numeric).unwrap();
+        let m = sa.atomic_moments(&sb);
+        // Squared distance is non-negative (Cauchy–Schwarz).
+        prop_assert!(m.sq_distance() >= 0.0);
+        // Swapping arguments transposes the moments.
+        let mt = sb.atomic_moments(&sa);
+        prop_assert!((m.sum_ab - mt.sum_ab).abs() < 1e-9);
+        prop_assert!((m.sum_aa - mt.sum_bb).abs() < 1e-9);
+    }
+}
+
+// -------------------------------------------------------------------
+// Twig text-syntax round trips.
+// -------------------------------------------------------------------
+
+/// A random twig over a small tag alphabet with range/contains
+/// predicates (ftcontains is excluded: term ids cannot round-trip
+/// through text without the originating dictionary).
+fn arb_twig() -> impl Strategy<Value = TwigQuery> {
+    use xcluster_query::{Axis, LabelTest, NodeKind};
+    let step = (
+        0usize..4,         // parent selector (mod current size)
+        prop::bool::ANY,   // descendant axis?
+        0usize..5,         // label index (4 = wildcard)
+        0usize..3,         // kind: 0,1 variable; 2 filter
+        prop::option::of((0u64..100, 0u64..100, prop::bool::ANY)),
+    );
+    prop::collection::vec(step, 1..8).prop_map(|steps| {
+        let mut q = TwigQuery::new();
+        for (psel, desc, label, kind, pred) in steps {
+            let parent = psel % q.len();
+            // Keep filters existential: force filter kind under filters.
+            let parent_is_filter = parent != 0 && q.node(parent).kind == NodeKind::Filter;
+            let kind = if kind == 2 || parent_is_filter {
+                NodeKind::Filter
+            } else {
+                NodeKind::Variable
+            };
+            let label = match label {
+                4 => LabelTest::Wildcard,
+                i => LabelTest::Tag(["a", "b", "c", "d"][i].to_string()),
+            };
+            let axis = if desc { Axis::Descendant } else { Axis::Child };
+            let id = q.add_step(parent, axis, label, kind);
+            if let Some((lo, span, string_pred)) = pred {
+                if string_pred {
+                    q.set_predicate(
+                        id,
+                        ValuePredicate::Contains {
+                            needle: format!("n{lo}"),
+                        },
+                    );
+                } else {
+                    q.set_predicate(
+                        id,
+                        ValuePredicate::Range {
+                            lo,
+                            hi: lo + span,
+                        },
+                    );
+                }
+            }
+        }
+        q
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn twig_display_round_trips(q in arb_twig()) {
+        let terms = xcluster_xml::Interner::new();
+        let text = q.to_string();
+        let reparsed = xcluster_query::parse_twig(&text, &terms)
+            .unwrap_or_else(|e| panic!("reparse of {text:?} failed: {e}"));
+        // Display is a normal form: printing again must be identical.
+        prop_assert_eq!(reparsed.to_string(), text);
+        prop_assert_eq!(reparsed.len(), q.len());
+        prop_assert_eq!(reparsed.num_variables(), q.num_variables());
+    }
+
+    #[test]
+    fn twig_round_trip_preserves_semantics(q in arb_twig()) {
+        // Evaluating the original and the reparsed twig on a fixed small
+        // document gives the same count.
+        let doc = xcluster_xml::parse(
+            "<r><a><b>5</b><c>n7</c></a><a><b>50</b></a><d><a><b>5</b></a></d></r>",
+        ).unwrap();
+        let idx = EvalIndex::build(&doc);
+        let reparsed = xcluster_query::parse_twig(&q.to_string(), doc.terms()).unwrap();
+        prop_assert_eq!(evaluate(&q, &doc, &idx), evaluate(&reparsed, &doc, &idx));
+    }
+}
