@@ -1,13 +1,13 @@
-//! Criterion benches: synopsis construction — count-stable partitioning,
+//! Micro-benchmarks: synopsis construction — count-stable partitioning,
 //! reference-synopsis materialization, and the two XClusterBuild phases.
+//! Runs on the in-repo `xcluster_obs::bench` harness.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::time::Duration;
 use xcluster_core::build::{build_synopsis, BuildConfig};
 use xcluster_core::reference::{count_stable_partition, reference_synopsis, ReferenceConfig};
 use xcluster_datagen::imdb::{generate, ImdbConfig};
+use xcluster_obs::bench::Runner;
 
-fn bench_construction(c: &mut Criterion) {
+fn main() {
     let d = generate(&ImdbConfig {
         num_movies: 120,
         seed: 11,
@@ -17,53 +17,46 @@ fn bench_construction(c: &mut Criterion) {
         ..ReferenceConfig::default()
     };
 
-    c.bench_function("count_stable_partition/imdb120", |b| {
-        b.iter(|| count_stable_partition(&d.tree))
+    let mut r = Runner::new();
+
+    r.bench("count_stable_partition/imdb120", || {
+        count_stable_partition(&d.tree)
     });
 
-    c.bench_function("reference_synopsis/imdb120", |b| {
-        b.iter(|| reference_synopsis(&d.tree, &cfg))
+    r.bench("reference_synopsis/imdb120", || {
+        reference_synopsis(&d.tree, &cfg)
     });
 
     let reference = reference_synopsis(&d.tree, &cfg);
-    c.bench_function("xclusterbuild/imdb120_8k_24k", |b| {
-        b.iter_batched(
-            || reference.clone(),
-            |r| {
-                build_synopsis(
-                    r,
-                    &BuildConfig {
-                        b_str: 8 * 1024,
-                        b_val: 24 * 1024,
-                        ..BuildConfig::default()
-                    },
-                )
-            },
-            BatchSize::LargeInput,
-        )
-    });
+    r.bench_batched(
+        "xclusterbuild/imdb120_8k_24k",
+        || reference.clone(),
+        |rf| {
+            build_synopsis(
+                rf,
+                &BuildConfig {
+                    b_str: 8 * 1024,
+                    b_val: 24 * 1024,
+                    ..BuildConfig::default()
+                },
+            )
+        },
+    );
 
-    c.bench_function("xclusterbuild/imdb120_tag_partition", |b| {
-        b.iter_batched(
-            || reference.clone(),
-            |r| {
-                build_synopsis(
-                    r,
-                    &BuildConfig {
-                        b_str: 0,
-                        b_val: 8 * 1024,
-                        ..BuildConfig::default()
-                    },
-                )
-            },
-            BatchSize::LargeInput,
-        )
-    });
-}
+    r.bench_batched(
+        "xclusterbuild/imdb120_tag_partition",
+        || reference.clone(),
+        |rf| {
+            build_synopsis(
+                rf,
+                &BuildConfig {
+                    b_str: 0,
+                    b_val: 8 * 1024,
+                    ..BuildConfig::default()
+                },
+            )
+        },
+    );
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
-    targets = bench_construction
+    r.finish();
 }
-criterion_main!(benches);

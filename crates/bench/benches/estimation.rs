@@ -1,17 +1,15 @@
-//! Criterion benches: selectivity-estimation latency per twig — the
+//! Micro-benchmarks: selectivity-estimation latency per twig — the
 //! figure of merit for optimizer integration (estimates must be far
-//! cheaper than evaluation).
+//! cheaper than evaluation). Runs on the `xcluster_obs::bench` harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-use std::hint::black_box;
 use xcluster_core::build::{build_synopsis, BuildConfig};
 use xcluster_core::estimate;
 use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
 use xcluster_datagen::imdb::{generate, ImdbConfig};
+use xcluster_obs::bench::{black_box, Runner};
 use xcluster_query::parse_twig;
 
-fn bench_estimation(c: &mut Criterion) {
+fn main() {
     let d = generate(&ImdbConfig {
         num_movies: 200,
         seed: 13,
@@ -41,27 +39,22 @@ fn bench_estimation(c: &mut Criterion) {
     .unwrap();
     let descendant = parse_twig("//*//name", d.tree.terms()).unwrap();
 
-    c.bench_function("estimate/linear_path", |b| {
-        b.iter(|| black_box(estimate(&synopsis, &linear)))
+    let mut r = Runner::new();
+    r.bench("estimate/linear_path", || {
+        black_box(estimate(&synopsis, &linear))
     });
-    c.bench_function("estimate/filtered_path", |b| {
-        b.iter(|| black_box(estimate(&synopsis, &filtered)))
+    r.bench("estimate/filtered_path", || {
+        black_box(estimate(&synopsis, &filtered))
     });
-    c.bench_function("estimate/full_twig", |b| {
-        b.iter(|| black_box(estimate(&synopsis, &twig)))
+    r.bench("estimate/full_twig", || {
+        black_box(estimate(&synopsis, &twig))
     });
-    c.bench_function("estimate/wildcard_descendants", |b| {
-        b.iter(|| black_box(estimate(&synopsis, &descendant)))
+    r.bench("estimate/wildcard_descendants", || {
+        black_box(estimate(&synopsis, &descendant))
     });
     // Same twig against the (much larger) reference synopsis.
-    c.bench_function("estimate/full_twig_on_reference", |b| {
-        b.iter(|| black_box(estimate(&reference, &twig)))
+    r.bench("estimate/full_twig_on_reference", || {
+        black_box(estimate(&reference, &twig))
     });
+    r.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
-    targets = bench_estimation
-}
-criterion_main!(benches);

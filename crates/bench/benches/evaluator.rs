@@ -1,20 +1,18 @@
-//! Criterion benches: the exact twig evaluator and its preorder/label
-//! index — the ground-truth side of the experiment harness.
+//! Micro-benchmarks: the exact twig evaluator and its preorder/label
+//! index — the ground-truth side of the experiment harness. Runs on the
+//! `xcluster_obs::bench` harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-use std::hint::black_box;
 use xcluster_datagen::imdb::{generate, ImdbConfig};
+use xcluster_obs::bench::{black_box, Runner};
 use xcluster_query::{evaluate, parse_twig, EvalIndex};
 
-fn bench_evaluator(c: &mut Criterion) {
+fn main() {
     let d = generate(&ImdbConfig {
         num_movies: 200,
         seed: 17,
     });
-    c.bench_function("eval_index/build_imdb400", |b| {
-        b.iter(|| EvalIndex::build(&d.tree))
-    });
+    let mut r = Runner::new();
+    r.bench("eval_index/build_imdb400", || EvalIndex::build(&d.tree));
     let idx = EvalIndex::build(&d.tree);
     let queries = [
         ("linear", "//movie/cast/actor/name"),
@@ -27,15 +25,9 @@ fn bench_evaluator(c: &mut Criterion) {
     ];
     for (name, q) in queries {
         let twig = parse_twig(q, d.tree.terms()).unwrap();
-        c.bench_function(&format!("evaluate/{name}"), |b| {
-            b.iter(|| black_box(evaluate(&twig, &d.tree, &idx)))
+        r.bench(&format!("evaluate/{name}"), || {
+            black_box(evaluate(&twig, &d.tree, &idx))
         });
     }
+    r.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
-    targets = bench_evaluator
-}
-criterion_main!(benches);

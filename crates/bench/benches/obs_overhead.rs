@@ -1,0 +1,90 @@
+//! Overhead of the `xcluster-obs` instrumentation on the hot path.
+//!
+//! Times `build_synopsis` with the registry enabled and with the
+//! runtime kill switch (`set_enabled(false)`) thrown, in *interleaved
+//! pairs* so clock drift, thermal state, and allocator warm-up hit both
+//! sides equally. The acceptance bar is < 2% median overhead: counters
+//! are relaxed atomics and span timers collapse to a pair of
+//! `Instant::now()` calls, so the two sides should be statistically
+//! indistinguishable on a build that traverses thousands of clusters.
+//!
+//! `XCLUSTER_BENCH_SAMPLES` sets the number of pairs (default 15).
+
+use std::time::Instant;
+use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+use xcluster_datagen::imdb::{generate, ImdbConfig};
+use xcluster_obs::bench::black_box;
+
+fn main() {
+    let d = generate(&ImdbConfig {
+        num_movies: 60,
+        seed: 11,
+    });
+    let cfg = ReferenceConfig {
+        value_paths: Some(d.value_paths.clone()),
+        ..ReferenceConfig::default()
+    };
+    let reference = reference_synopsis(&d.tree, &cfg);
+    let build_cfg = BuildConfig {
+        b_str: 8 * 1024,
+        b_val: 24 * 1024,
+        ..BuildConfig::default()
+    };
+    let pairs: usize = std::env::var("XCLUSTER_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15);
+
+    let run = |enabled: bool| {
+        xcluster_obs::set_enabled(enabled);
+        let input = reference.clone();
+        let t = Instant::now();
+        black_box(build_synopsis(input, &build_cfg));
+        t.elapsed().as_nanos() as f64
+    };
+
+    // Warm-up: one build per side.
+    run(true);
+    run(false);
+
+    let mut deltas = Vec::with_capacity(pairs);
+    let mut on_ns = Vec::with_capacity(pairs);
+    let mut off_ns = Vec::with_capacity(pairs);
+    for i in 0..pairs {
+        // Alternate which side goes first within the pair, so a
+        // systematic first/second effect cancels too.
+        let (on, off) = if i % 2 == 0 {
+            let on = run(true);
+            (on, run(false))
+        } else {
+            let off = run(false);
+            (run(true), off)
+        };
+        deltas.push((on - off) / off * 100.0);
+        on_ns.push(on);
+        off_ns.push(off);
+        eprint!(".");
+    }
+    eprintln!();
+    xcluster_obs::set_enabled(true);
+
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        let n = v.len();
+        if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            (v[n / 2 - 1] + v[n / 2]) / 2.0
+        }
+    };
+    // Median of *per-pair* overhead: each pair ran back-to-back, so
+    // clock/thermal/allocator drift cancels within the pair.
+    let overhead = median(&mut deltas);
+    println!(
+        "obs overhead on build: {overhead:+.2}% median of per-pair deltas \
+         (enabled median {:.1}ms, disabled median {:.1}ms, {pairs} interleaved pairs)",
+        median(&mut on_ns) / 1e6,
+        median(&mut off_ns) / 1e6
+    );
+}

@@ -1,63 +1,58 @@
-//! Criterion benches: the three value-summary classes — build, estimate,
-//! fuse, and compress costs (the inner loops of XClusterBuild).
+//! Micro-benchmarks: the three value-summary classes — build, estimate,
+//! fuse, and compress costs (the inner loops of XClusterBuild). Runs on
+//! the `xcluster_obs::bench` harness.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::hint::black_box;
+use xcluster_obs::bench::{black_box, Runner};
 use xcluster_summaries::{Ebth, Histogram, HistogramKind, Pst};
 use xcluster_xml::{Symbol, TermVector};
 
-fn bench_histograms(c: &mut Criterion) {
+fn bench_histograms(r: &mut Runner) {
     let mut rng = StdRng::seed_from_u64(1);
     let values: Vec<u64> = (0..10_000).map(|_| rng.gen_range(0..100_000)).collect();
-    c.bench_function("histogram/build_10k_values_32b", |b| {
-        b.iter(|| Histogram::build(&values, 32, HistogramKind::EquiDepth))
+    r.bench("histogram/build_10k_values_32b", || {
+        Histogram::build(&values, 32, HistogramKind::EquiDepth)
     });
     let h1 = Histogram::build(&values[..5000], 32, HistogramKind::EquiDepth);
     let h2 = Histogram::build(&values[5000..], 32, HistogramKind::EquiDepth);
-    c.bench_function("histogram/fuse_32b", |b| b.iter(|| h1.fuse(&h2)));
-    c.bench_function("histogram/range_estimate", |b| {
-        b.iter(|| black_box(h1.selectivity(10_000, 60_000)))
+    r.bench("histogram/fuse_32b", || h1.fuse(&h2));
+    r.bench("histogram/range_estimate", || {
+        black_box(h1.selectivity(10_000, 60_000))
     });
-    c.bench_function("histogram/moments", |b| {
-        b.iter(|| xcluster_summaries::histogram::atomic_moments(&h1, &h2))
+    r.bench("histogram/moments", || {
+        xcluster_summaries::histogram::atomic_moments(&h1, &h2)
     });
 }
 
-fn bench_psts(c: &mut Criterion) {
+fn bench_psts(r: &mut Runner) {
     let strings: Vec<String> = (0..2000)
         .map(|i| format!("{} {}", name_word(i * 2), name_word(i * 2 + 1)))
         .collect();
-    c.bench_function("pst/build_2k_strings_d8", |b| {
-        b.iter(|| Pst::build(&strings, 8))
-    });
+    r.bench("pst/build_2k_strings_d8", || Pst::build(&strings, 8));
     let pst = Pst::build(&strings, 8);
-    c.bench_function("pst/selectivity_retained", |b| {
-        b.iter(|| black_box(pst.selectivity("an")))
+    r.bench("pst/selectivity_retained", || {
+        black_box(pst.selectivity("an"))
     });
-    c.bench_function("pst/selectivity_markov", |b| {
-        b.iter(|| black_box(pst.selectivity("anxanxanxanx")))
+    r.bench("pst/selectivity_markov", || {
+        black_box(pst.selectivity("anxanxanxanx"))
     });
     let other = Pst::build(&strings[..500], 8);
-    c.bench_function("pst/fuse", |b| b.iter(|| pst.fuse(&other)));
-    c.bench_function("pst/prune_half", |b| {
-        b.iter_batched(
-            || pst.clone(),
-            |mut p| {
-                let target = p.node_count() / 2;
-                p.prune_to_size(target)
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    c.bench_function("pst/moments", |b| {
-        b.iter(|| xcluster_summaries::pst::atomic_moments(&pst, &other))
+    r.bench("pst/fuse", || pst.fuse(&other));
+    r.bench_batched(
+        "pst/prune_half",
+        || pst.clone(),
+        |mut p| {
+            let target = p.node_count() / 2;
+            p.prune_to_size(target)
+        },
+    );
+    r.bench("pst/moments", || {
+        xcluster_summaries::pst::atomic_moments(&pst, &other)
     });
 }
 
-fn bench_ebth(c: &mut Criterion) {
+fn bench_ebth(r: &mut Runner) {
     let mut rng = StdRng::seed_from_u64(2);
     let texts: Vec<TermVector> = (0..2000)
         .map(|_| {
@@ -66,38 +61,29 @@ fn bench_ebth(c: &mut Criterion) {
                 .collect::<TermVector>()
         })
         .collect();
-    c.bench_function("ebth/build_2k_texts", |b| {
-        b.iter(|| Ebth::from_vectors(texts.iter()))
-    });
+    r.bench("ebth/build_2k_texts", || Ebth::from_vectors(texts.iter()));
     let e1 = Ebth::from_vectors(texts[..1000].iter());
     let e2 = Ebth::from_vectors(texts[1000..].iter());
-    c.bench_function("ebth/fuse", |b| b.iter(|| e1.fuse(&e2)));
-    c.bench_function("ebth/term_lookup", |b| {
-        b.iter(|| black_box(e1.term_frequency(Symbol(17))))
+    r.bench("ebth/fuse", || e1.fuse(&e2));
+    r.bench("ebth/term_lookup", || {
+        black_box(e1.term_frequency(Symbol(17)))
     });
-    c.bench_function("ebth/compress_half", |b| {
-        b.iter_batched(
-            || e1.clone(),
-            |mut e| {
-                let target = e.size_bytes() / 2;
-                e.compress_to_bytes(target)
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("ebth/moments", |b| {
-        b.iter(|| xcluster_summaries::ebth::atomic_moments(&e1, &e2))
+    r.bench_batched(
+        "ebth/compress_half",
+        || e1.clone(),
+        |mut e| {
+            let target = e.size_bytes() / 2;
+            e.compress_to_bytes(target)
+        },
+    );
+    r.bench("ebth/moments", || {
+        xcluster_summaries::ebth::atomic_moments(&e1, &e2)
     });
 }
 
 fn name_word(i: usize) -> String {
     let syll = ["an", "bel", "cor", "dan", "el", "fen", "gor", "hal"];
-    format!(
-        "{}{}{}",
-        syll[i % 8],
-        syll[(i / 8) % 8],
-        syll[(i / 64) % 8]
-    )
+    format!("{}{}{}", syll[i % 8], syll[(i / 8) % 8], syll[(i / 64) % 8])
 }
 
 fn zipf_term(rng: &mut StdRng) -> u32 {
@@ -106,9 +92,10 @@ fn zipf_term(rng: &mut StdRng) -> u32 {
     (x.powi(3) * 5000.0) as u32
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
-    targets = bench_histograms, bench_psts, bench_ebth
+fn main() {
+    let mut r = Runner::new();
+    bench_histograms(&mut r);
+    bench_psts(&mut r);
+    bench_ebth(&mut r);
+    r.finish();
 }
-criterion_main!(benches);

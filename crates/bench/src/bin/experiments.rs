@@ -12,10 +12,17 @@
 //! Options: `--scale f` (data size relative to the paper, default 0.25),
 //! `--queries n` (workload size, default 1000), `--seed s`, `--out dir`
 //! (CSV output directory, default `results/`).
+//!
+//! Every run also writes `<out>/BENCH_build.json`: the full
+//! `xcluster-obs` registry (build phase timings, merge/pool counters,
+//! estimation probe counts) plus run metadata — a machine-readable
+//! performance trace of everything the run built and estimated.
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use xcluster_bench::{negative_workload, pct, positive_workload, prepare_imdb, prepare_xmark, sweep};
+use xcluster_bench::{
+    negative_workload, pct, positive_workload, prepare_imdb, prepare_xmark, sweep,
+};
 use xcluster_core::baseline;
 use xcluster_core::build::{build_synopsis, BuildConfig};
 use xcluster_core::metrics::evaluate_workload;
@@ -89,7 +96,8 @@ fn main() {
         .map(|s| s.to_string())
         .collect();
     }
-    for cmd in commands {
+    let run_start = Instant::now();
+    for cmd in &commands {
         let t0 = Instant::now();
         match cmd.as_str() {
             "table1" => table1(&opts),
@@ -109,6 +117,27 @@ fn main() {
         }
         eprintln!("[{cmd} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
     }
+    write_bench_snapshot(&opts, &commands, run_start.elapsed().as_secs_f64());
+}
+
+/// Dumps the metric registry accumulated over the whole run (every
+/// synopsis build and estimate the commands performed) with run
+/// metadata, as `<out>/BENCH_build.json`.
+fn write_bench_snapshot(opts: &Opts, commands: &[String], wall_s: f64) {
+    let snap = xcluster_obs::snapshot();
+    let json = xcluster_obs::export::to_json_with_meta(
+        &snap,
+        &[
+            ("commands", commands.join(" ")),
+            ("scale", format!("{}", opts.scale)),
+            ("queries", format!("{}", opts.queries)),
+            ("seed", format!("{}", opts.seed)),
+            ("wall_seconds", format!("{wall_s:.1}")),
+        ],
+    );
+    let path = format!("{}/BENCH_build.json", opts.out);
+    std::fs::write(&path, json).expect("write BENCH_build.json");
+    eprintln!("[wrote {path}]");
 }
 
 fn save(opts: &Opts, name: &str, content: &str) {
@@ -135,13 +164,19 @@ fn b_val(scale: f64) -> usize {
 // ---------------------------------------------------------------------
 
 fn table1(opts: &Opts) {
-    println!("== Table 1: Data Set Characteristics (scale {:.2}) ==", opts.scale);
+    println!(
+        "== Table 1: Data Set Characteristics (scale {:.2}) ==",
+        opts.scale
+    );
     println!(
         "{:8} {:>12} {:>12} {:>14} {:>20}",
         "", "Size(MB)", "#Elements", "Ref.Size(KB)", "#Nodes Value/Total"
     );
     let mut csv = String::from("dataset,size_mb,elements,ref_kb,value_nodes,total_nodes\n");
-    for p in [prepare_imdb(opts.scale, opts.seed), prepare_xmark(opts.scale, opts.seed)] {
+    for p in [
+        prepare_imdb(opts.scale, opts.seed),
+        prepare_xmark(opts.scale, opts.seed),
+    ] {
         let mb = p.dataset.file_size_bytes() as f64 / (1024.0 * 1024.0);
         let ref_kb = p.reference.total_bytes() as f64 / 1024.0;
         println!(
@@ -173,9 +208,15 @@ fn table1(opts: &Opts) {
 
 fn table2(opts: &Opts) {
     println!("== Table 2: Workload Characteristics ==");
-    println!("{:8} {:>16} {:>16}", "", "AvgResult Struct", "AvgResult Pred");
+    println!(
+        "{:8} {:>16} {:>16}",
+        "", "AvgResult Struct", "AvgResult Pred"
+    );
     let mut csv = String::from("dataset,avg_result_struct,avg_result_pred\n");
-    for p in [prepare_imdb(opts.scale, opts.seed), prepare_xmark(opts.scale, opts.seed)] {
+    for p in [
+        prepare_imdb(opts.scale, opts.seed),
+        prepare_xmark(opts.scale, opts.seed),
+    ] {
         let w = positive_workload(&p, opts.queries, opts.seed);
         let s = w.avg_result_size(QueryClass::Struct);
         let pr = w.avg_predicate_result_size();
@@ -206,8 +247,7 @@ fn figure8(opts: &Opts, which: &str) {
         "{:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "Bstr(KB)", "Size(KB)", "Overall", "Struct", "Numeric", "String", "Text"
     );
-    let mut csv =
-        String::from("b_str_kb,total_kb,overall,struct,numeric,string,text\n");
+    let mut csv = String::from("b_str_kb,total_kb,overall,struct,numeric,string,text\n");
     for pt in sweep(&p, &w, &b_str_points(opts.scale), b_val(opts.scale)) {
         let r = &pt.report;
         println!(
@@ -244,9 +284,12 @@ fn figure9(opts: &Opts) {
     println!("== Figure 9: avg absolute error for low-count queries (largest synopsis) ==");
     println!("{:10} {:>10} {:>10}", "", "IMDB", "XMark");
     let mut rows = [[None::<f64>; 2]; 3];
-    for (col, p) in [prepare_imdb(opts.scale, opts.seed), prepare_xmark(opts.scale, opts.seed)]
-        .into_iter()
-        .enumerate()
+    for (col, p) in [
+        prepare_imdb(opts.scale, opts.seed),
+        prepare_xmark(opts.scale, opts.seed),
+    ]
+    .into_iter()
+    .enumerate()
     {
         let w = positive_workload(&p, opts.queries, opts.seed);
         let points = sweep(
@@ -278,7 +321,10 @@ fn negative(opts: &Opts) {
     println!("== Negative workloads: estimates should be close to zero at every budget ==");
     println!("{:8} {:>10} {:>14}", "", "Bstr(KB)", "avg estimate");
     let mut csv = String::from("dataset,b_str_kb,avg_estimate\n");
-    for p in [prepare_imdb(opts.scale, opts.seed), prepare_xmark(opts.scale, opts.seed)] {
+    for p in [
+        prepare_imdb(opts.scale, opts.seed),
+        prepare_xmark(opts.scale, opts.seed),
+    ] {
         let w = negative_workload(&p, opts.queries / 2, opts.seed);
         // Three budget points suffice to demonstrate "near zero at every
         // budget" without doubling the suite's build count.
@@ -464,7 +510,11 @@ fn ablation_pst(opts: &Opts) {
         .filter_map(|n| p.dataset.tree.value(n).as_string().map(|s| s.to_string()))
         .collect();
     let full = Pst::build(&strings, 8);
-    println!("{} strings, full trie {} nodes", strings.len(), full.node_count());
+    println!(
+        "{} strings, full trie {} nodes",
+        strings.len(),
+        full.node_count()
+    );
     let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x515);
     // Probe needles: tokens, prefixes, random fragments.
     let mut needles: Vec<String> = Vec::new();
@@ -485,7 +535,9 @@ fn ablation_pst(opts: &Opts) {
     }
     let truth: Vec<f64> = needles
         .iter()
-        .map(|n| strings.iter().filter(|s| s.contains(n.as_str())).count() as f64 / strings.len() as f64)
+        .map(|n| {
+            strings.iter().filter(|s| s.contains(n.as_str())).count() as f64 / strings.len() as f64
+        })
         .collect();
     println!(
         "{:>12} {:>18} {:>18}",
@@ -537,7 +589,10 @@ fn ablation_numeric(opts: &Opts) {
             ..xcluster_query::WorkloadConfig::default()
         },
     );
-    println!("{:>12} {:>12} {:>14} {:>12}", "backend", "Bval(KB)", "numeric err%", "size(KB)");
+    println!(
+        "{:>12} {:>12} {:>14} {:>12}",
+        "backend", "Bval(KB)", "numeric err%", "size(KB)"
+    );
     let mut csv = String::from("backend,b_val_kb,numeric_err,total_kb\n");
     for (name, kind) in [
         ("histogram", NumericKind::Histogram),

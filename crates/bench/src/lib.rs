@@ -108,12 +108,7 @@ pub struct SweepPoint {
 /// Runs the Figure 8 budget sweep: structural budgets from `b_str_points`
 /// with the value budget fixed (the paper: 0–50 KB structural, 150 KB
 /// value).
-pub fn sweep(
-    p: &Prepared,
-    w: &Workload,
-    b_str_points: &[usize],
-    b_val: usize,
-) -> Vec<SweepPoint> {
+pub fn sweep(p: &Prepared, w: &Workload, b_str_points: &[usize], b_val: usize) -> Vec<SweepPoint> {
     b_str_points
         .iter()
         .map(|&b_str| {

@@ -3,27 +3,43 @@
 //!
 //! ```text
 //! xcluster build <doc.xml> -o <synopsis.xcs> [--b-str BYTES] [--b-val BYTES]
-//!                [--type label=numeric|string|text]...
+//!                [--type label=numeric|string|text]... [--stats]
 //! xcluster info <synopsis.xcs>
 //! xcluster estimate <synopsis.xcs> "<twig>"...
 //! xcluster evaluate <doc.xml> "<twig>"...       (exact counts)
 //! xcluster compare <doc.xml> <synopsis.xcs> "<twig>"...
+//! xcluster stats <doc.xml> ["<twig>"...] [--json]
 //! ```
 //!
 //! The twig syntax is documented in `xcluster_query::parser` — e.g.
 //! `//movie[year>2000]{/title}{/cast/actor/name}`.
+//!
+//! Global flags: `--verbose`/`-v` raises the log level to debug, `-q` /
+//! `--quiet` silences everything below errors (the `XCLUSTER_LOG` env
+//! var is the default). `build --stats` and the `stats` subcommand dump
+//! the `xcluster-obs` metric registry (phase timings, merge and pool
+//! counters, estimation probes).
 
 use std::process::ExitCode;
-use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::build::{try_build_synopsis, BuildConfig};
 use xcluster_core::codec::{decode_synopsis, encode_synopsis};
 use xcluster_core::estimate;
 use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
 use xcluster_core::Synopsis;
+use xcluster_obs::{info, Level};
 use xcluster_query::{evaluate, parse_twig, EvalIndex};
 use xcluster_xml::{parse_with, ParseOptions, ValueType, XmlTree};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Global flags are position-independent and stripped before dispatch.
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let verbose = take_flag(&mut args, &["--verbose", "-v"]);
+    let quiet = take_flag(&mut args, &["--quiet", "-q"]);
+    if quiet {
+        xcluster_obs::log::set_level(Some(Level::Error));
+    } else if verbose {
+        xcluster_obs::log::set_level(Some(Level::Debug));
+    }
     let result = match args.first().map(|s| s.as_str()) {
         Some("build") => cmd_build(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
@@ -31,16 +47,18 @@ fn main() -> ExitCode {
         Some("explain") => cmd_explain(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         _ => {
             eprintln!(
-                "usage: xcluster <build|info|estimate|evaluate|compare> ...\n\
+                "usage: xcluster [--verbose|-q] <build|info|estimate|evaluate|compare|stats> ...\n\
                  \n\
-                 build <doc.xml> -o <out.xcs> [--b-str N] [--b-val N] [--type label=kind]...\n\
+                 build <doc.xml> -o <out.xcs> [--b-str N] [--b-val N] [--type label=kind]... [--stats]\n\
                  info <synopsis.xcs>\n\
                  estimate <synopsis.xcs> \"<twig>\"...\n\
                  explain <synopsis.xcs> \"<twig>\"...\n\
                  evaluate <doc.xml> \"<twig>\"...\n\
-                 compare <doc.xml> <synopsis.xcs> \"<twig>\"..."
+                 compare <doc.xml> <synopsis.xcs> \"<twig>\"...\n\
+                 stats <doc.xml> [\"<twig>\"...] [--json]"
             );
             return ExitCode::from(2);
         }
@@ -52,6 +70,13 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Removes every occurrence of the given aliases; true if any was seen.
+fn take_flag(args: &mut Vec<String>, aliases: &[&str]) -> bool {
+    let before = args.len();
+    args.retain(|a| !aliases.contains(&a.as_str()));
+    args.len() != before
 }
 
 type AnyError = Box<dyn std::error::Error>;
@@ -84,6 +109,7 @@ fn cmd_build(args: &[String]) -> Result<(), AnyError> {
     let mut output: Option<&str> = None;
     let mut b_str = 10 * 1024;
     let mut b_val = 150 * 1024;
+    let mut stats = false;
     let mut types: Vec<(String, ValueType)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -104,6 +130,10 @@ fn cmd_build(args: &[String]) -> Result<(), AnyError> {
                 types.push(parse_type_opt(&args[i + 1])?);
                 i += 2;
             }
+            "--stats" => {
+                stats = true;
+                i += 1;
+            }
             other if input.is_none() => {
                 input = Some(other);
                 i += 1;
@@ -114,31 +144,39 @@ fn cmd_build(args: &[String]) -> Result<(), AnyError> {
     let input = input.ok_or("missing input document")?;
     let output = output.ok_or("missing -o <output.xcs>")?;
     let doc = load_document(input, &types)?;
-    eprintln!("parsed {} elements from {input}", doc.len());
+    info!("cli", "parsed {} elements from {input}", doc.len());
     let reference = reference_synopsis(&doc, &ReferenceConfig::default());
-    eprintln!(
+    info!(
+        "cli",
         "reference synopsis: {} nodes ({} summarized), {} bytes",
         reference.num_nodes(),
         reference.num_value_nodes(),
         reference.total_bytes()
     );
-    let synopsis = build_synopsis(
+    let synopsis = try_build_synopsis(
         reference,
         &BuildConfig {
             b_str,
             b_val,
             ..BuildConfig::default()
         },
-    );
+    )?;
     let bytes = encode_synopsis(&synopsis);
     std::fs::write(output, &bytes)?;
-    eprintln!(
+    info!(
+        "cli",
         "wrote {output}: {} nodes, {} struct + {} value bytes ({} on disk)",
         synopsis.num_nodes(),
         synopsis.structural_bytes(),
         synopsis.value_bytes(),
         bytes.len()
     );
+    if stats {
+        print!(
+            "{}",
+            xcluster_obs::export::to_table(&xcluster_obs::snapshot())
+        );
+    }
     Ok(())
 }
 
@@ -169,7 +207,11 @@ fn cmd_info(args: &[String]) -> Result<(), AnyError> {
             s.label_str(id),
             n.count,
             n.vtype,
-            if n.vsumm.is_some() { ", summarized" } else { "" }
+            if n.vsumm.is_some() {
+                ", summarized"
+            } else {
+                ""
+            }
         );
     }
     Ok(())
@@ -237,6 +279,44 @@ fn cmd_compare(args: &[String]) -> Result<(), AnyError> {
         let truth = evaluate(&twig_d, &doc, &index);
         let rel = (est - truth).abs() / truth.max(1.0);
         println!("{est:12.2} {truth:12.0} {:8.1}%  {q}", rel * 100.0);
+    }
+    Ok(())
+}
+
+/// Exercises the full pipeline on a document — reference synopsis,
+/// default-budget build, exact evaluation and estimation of any given
+/// twigs — then dumps the metric registry (table, or JSON with
+/// `--json`). One-shot observability: what did the system do and where
+/// did the time go?
+fn cmd_stats(args: &[String]) -> Result<(), AnyError> {
+    let mut json = false;
+    let mut positional: Vec<&String> = Vec::new();
+    for a in args {
+        if a == "--json" {
+            json = true;
+        } else {
+            positional.push(a);
+        }
+    }
+    let doc_path = positional.first().ok_or("missing document file")?;
+    let queries = &positional[1..];
+    let doc = load_document(doc_path, &[])?;
+    info!("cli", "parsed {} elements from {doc_path}", doc.len());
+    let reference = reference_synopsis(&doc, &ReferenceConfig::default());
+    let synopsis = try_build_synopsis(reference, &BuildConfig::default())?;
+    let index = EvalIndex::build(&doc);
+    for q in queries {
+        let twig = parse_twig(q, doc.terms())?;
+        let twig_s = parse_twig(q, synopsis.terms())?;
+        let est = estimate(&synopsis, &twig_s);
+        let truth = evaluate(&twig, &doc, &index);
+        info!("cli", "{q}: estimate {est:.2}, true {truth:.0}");
+    }
+    let snap = xcluster_obs::snapshot();
+    if json {
+        print!("{}", xcluster_obs::export::to_json(&snap));
+    } else {
+        print!("{}", xcluster_obs::export::to_table(&snap));
     }
     Ok(())
 }

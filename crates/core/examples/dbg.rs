@@ -5,34 +5,83 @@ use xcluster_datagen::imdb;
 use xcluster_query::{workload, EvalIndex, QueryClass, WorkloadConfig};
 
 fn main() {
-    let d = imdb::generate(&imdb::ImdbConfig { num_movies: 1150, seed: 0xC0FFEE });
-    let reference = reference_synopsis(&d.tree, &ReferenceConfig {
-        value_paths: Some(d.value_paths.clone()),
-        ..ReferenceConfig::default()
+    let d = imdb::generate(&imdb::ImdbConfig {
+        num_movies: 1150,
+        seed: 0xC0FFEE,
     });
+    let reference = reference_synopsis(
+        &d.tree,
+        &ReferenceConfig {
+            value_paths: Some(d.value_paths.clone()),
+            ..ReferenceConfig::default()
+        },
+    );
     let idx = EvalIndex::build(&d.tree);
-    let w = workload::generate_positive(&d.tree, &idx, &WorkloadConfig {
-        num_queries: 150, class_weights: [0.0,0.0,0.0,1.0],
-        allowed_targets: Some(d.summarized_targets()), ..WorkloadConfig::default()
-    });
-    let s = build_synopsis(reference.clone(), &BuildConfig { b_str: 0, b_val: 15*1024, ..BuildConfig::default() });
+    let w = workload::generate_positive(
+        &d.tree,
+        &idx,
+        &WorkloadConfig {
+            num_queries: 150,
+            class_weights: [0.0, 0.0, 0.0, 1.0],
+            allowed_targets: Some(d.summarized_targets()),
+            ..WorkloadConfig::default()
+        },
+    );
+    let s = build_synopsis(
+        reference.clone(),
+        &BuildConfig {
+            b_str: 0,
+            b_val: 15 * 1024,
+            ..BuildConfig::default()
+        },
+    );
     let r = metrics::evaluate_workload(&s, &w);
     println!("tag-only+15KB: text={:?}", r.class_rel[3]);
-    let mut worst: Vec<(f64, String, f64, f64)> = w.queries.iter().map(|q| {
-        let e = estimate(&s, &q.query);
-        (metrics::relative_error(q.true_count, e, w.sanity_bound), q.query.to_string(), q.true_count, e)
-    }).collect();
-    worst.sort_by(|a,b| b.0.total_cmp(&a.0));
-    for (rel, q, t, e) in worst.iter().take(8) { println!("  rel={rel:7.2} true={t:7.0} est={e:9.2}  {q}"); }
+    let mut worst: Vec<(f64, String, f64, f64)> = w
+        .queries
+        .iter()
+        .map(|q| {
+            let e = estimate(&s, &q.query);
+            (
+                metrics::relative_error(q.true_count, e, w.sanity_bound),
+                q.query.to_string(),
+                q.true_count,
+                e,
+            )
+        })
+        .collect();
+    worst.sort_by(|a, b| b.0.total_cmp(&a.0));
+    for (rel, q, t, e) in worst.iter().take(8) {
+        println!("  rel={rel:7.2} true={t:7.0} est={e:9.2}  {q}");
+    }
     // how many text queries have 1 vs 2 terms, and their error split
     let (mut n1, mut e1s, mut n2, mut e2s) = (0, 0.0, 0, 0.0);
     for q in &w.queries {
-        if q.class != QueryClass::Text { continue; }
+        if q.class != QueryClass::Text {
+            continue;
+        }
         let e = estimate(&s, &q.query);
         let rel = metrics::relative_error(q.true_count, e, w.sanity_bound);
-        let nterms = q.query.predicates().map(|(_, p)| match p {
-            xcluster_summaries::ValuePredicate::FtContains { terms } => terms.len(), _ => 0 }).max().unwrap_or(0);
-        if nterms >= 2 { n2 += 1; e2s += rel; } else { n1 += 1; e1s += rel; }
+        let nterms = q
+            .query
+            .predicates()
+            .map(|(_, p)| match p {
+                xcluster_summaries::ValuePredicate::FtContains { terms } => terms.len(),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        if nterms >= 2 {
+            n2 += 1;
+            e2s += rel;
+        } else {
+            n1 += 1;
+            e1s += rel;
+        }
     }
-    println!("1-term: n={n1} avg={:.2}; 2-term: n={n2} avg={:.2}", e1s/(n1 as f64).max(1.0), e2s/(n2 as f64).max(1.0));
+    println!(
+        "1-term: n={n1} avg={:.2}; 2-term: n={n2} avg={:.2}",
+        e1s / (n1 as f64).max(1.0),
+        e2s / (n2 as f64).max(1.0)
+    );
 }

@@ -65,26 +65,27 @@ pub fn build_with_unified_budget(
 ) -> AutoSplitResult {
     let mut probes: Vec<(f64, f64)> = Vec::new();
     let mut best: Option<(f64, f64, Synopsis)> = None;
-    let eval = |rho: f64, probes: &mut Vec<(f64, f64)>, best: &mut Option<(f64, f64, Synopsis)>| -> f64 {
-        // Reuse earlier probes at (almost) the same ρ.
-        if let Some(&(_, e)) = probes.iter().find(|(r, _)| (r - rho).abs() < 1e-3) {
-            return e;
-        }
-        let built = build_synopsis(
-            reference.clone(),
-            &BuildConfig {
-                b_str: (cfg.total_budget as f64 * rho) as usize,
-                b_val: (cfg.total_budget as f64 * (1.0 - rho)) as usize,
-                ..cfg.build.clone()
-            },
-        );
-        let err = evaluate_workload(&built, sample).overall_rel;
-        probes.push((rho, err));
-        if best.as_ref().is_none_or(|(_, e, _)| err < *e) {
-            *best = Some((rho, err, built));
-        }
-        err
-    };
+    let eval =
+        |rho: f64, probes: &mut Vec<(f64, f64)>, best: &mut Option<(f64, f64, Synopsis)>| -> f64 {
+            // Reuse earlier probes at (almost) the same ρ.
+            if let Some(&(_, e)) = probes.iter().find(|(r, _)| (r - rho).abs() < 1e-3) {
+                return e;
+            }
+            let built = build_synopsis(
+                reference.clone(),
+                &BuildConfig {
+                    b_str: (cfg.total_budget as f64 * rho) as usize,
+                    b_val: (cfg.total_budget as f64 * (1.0 - rho)) as usize,
+                    ..cfg.build.clone()
+                },
+            );
+            let err = evaluate_workload(&built, sample).overall_rel;
+            probes.push((rho, err));
+            if best.as_ref().is_none_or(|(_, e, _)| err < *e) {
+                *best = Some((rho, err, built));
+            }
+            err
+        };
 
     // Golden-section search over ρ (the error landscape is noisy but
     // roughly unimodal: too little structure loses correlations, too

@@ -146,7 +146,12 @@ impl GlobalMetricBuilder {
         err
     }
 
-    fn remapped(groups: &[Group], u: SynopsisNodeId, v: SynopsisNodeId, w: SynopsisNodeId) -> Vec<Group> {
+    fn remapped(
+        groups: &[Group],
+        u: SynopsisNodeId,
+        v: SynopsisNodeId,
+        w: SynopsisNodeId,
+    ) -> Vec<Group> {
         groups
             .iter()
             .map(|g| {
@@ -171,7 +176,8 @@ impl GlobalMetricBuilder {
         let mut merged = Self::remapped(&self.groups[&u], u, v, w);
         merged.extend(Self::remapped(&self.groups[&v], u, v, w));
         let after_w = Self::cluster_error(&merged);
-        let before_w = Self::cluster_error(&self.groups[&u]) + Self::cluster_error(&self.groups[&v]);
+        let before_w =
+            Self::cluster_error(&self.groups[&u]) + Self::cluster_error(&self.groups[&v]);
         let mut cost = after_w - before_w;
         // Parents of u/v whose groups see the target collapse.
         let mut parents: Vec<SynopsisNodeId> = s
@@ -194,7 +200,12 @@ impl GlobalMetricBuilder {
     }
 
     /// Applies the merge to the synopsis and updates the tracked groups.
-    pub fn apply(&mut self, s: &mut Synopsis, u: SynopsisNodeId, v: SynopsisNodeId) -> SynopsisNodeId {
+    pub fn apply(
+        &mut self,
+        s: &mut Synopsis,
+        u: SynopsisNodeId,
+        v: SynopsisNodeId,
+    ) -> SynopsisNodeId {
         let parents: Vec<SynopsisNodeId> = s
             .node(u)
             .parents
@@ -329,7 +340,13 @@ mod tests {
             seed: 17,
         });
         let tag = tag_synopsis(&d.tree);
-        let reference = reference_synopsis(&d.tree, &ReferenceConfig { value_paths: Some(vec![]), ..ReferenceConfig::default() });
+        let reference = reference_synopsis(
+            &d.tree,
+            &ReferenceConfig {
+                value_paths: Some(vec![]),
+                ..ReferenceConfig::default()
+            },
+        );
         let built = crate::build::build_synopsis(
             reference,
             &crate::build::BuildConfig {

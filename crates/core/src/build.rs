@@ -21,15 +21,53 @@
 //! summaries enter the pool with a cheap structure-only Δ and are refined
 //! to the full structure-value Δ when they reach the top of the heap;
 //! phase 2 compresses in byte *chunks* rather than `b = 1` micro-steps.
+//!
+//! Both phases report to the `xcluster-obs` registry under the `build.*`
+//! namespace: per-phase wall time, merges applied/rejected, pool refills
+//! and candidate counts, lazy-Δ refinements, and bytes freed per value
+//! chunk. `xcluster stats` / `xcluster build --stats` print them.
 
 use crate::delta::{
-    evaluate_compression_chunk, evaluate_merge, evaluate_merge_with, ChunkCandidate,
-    MergeCandidate,
+    evaluate_compression_chunk, evaluate_merge, evaluate_merge_with, ChunkCandidate, MergeCandidate,
 };
 use crate::merge::apply_merge;
 use crate::synopsis::{Synopsis, SynopsisNodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use xcluster_obs::SpanTimer;
+
+/// Registry handles for the build instrumentation, resolved once per
+/// process (updates are relaxed atomics — see `xcluster-obs`).
+mod stats {
+    use std::sync::{Arc, LazyLock};
+    use xcluster_obs::{counter, gauge, histogram, Counter, Gauge, Histogram};
+
+    macro_rules! handles {
+        ($($kind:ident $name:ident = $key:literal;)*) => {$(
+            pub static $name: LazyLock<Arc<handles!(@ty $kind)>> =
+                LazyLock::new(|| $kind($key));
+        )*};
+        (@ty counter) => { Counter };
+        (@ty gauge) => { Gauge };
+        (@ty histogram) => { Histogram };
+    }
+
+    handles! {
+        histogram PHASE1_NS = "build.phase1_ns";
+        histogram PHASE2_NS = "build.phase2_ns";
+        histogram TOTAL_NS = "build.total_ns";
+        histogram CHUNK_BYTES_FREED = "build.chunk_bytes_freed";
+        counter MERGES_APPLIED = "build.merges_applied";
+        counter MERGES_REJECTED = "build.merges_rejected";
+        counter POOL_REFILLS = "build.pool_refills";
+        counter POOL_CANDIDATES = "build.pool_candidates";
+        counter CANDIDATE_REFINEMENTS = "build.candidate_refinements";
+        counter VALUE_CHUNKS = "build.value_chunks";
+        counter VALUE_BYTES_FREED = "build.value_bytes_freed";
+        gauge FINAL_STRUCT_BYTES = "build.final_struct_bytes";
+        gauge FINAL_VALUE_BYTES = "build.final_value_bytes";
+    }
+}
 
 /// `XClusterBuild` parameters (paper defaults: `Hm = 10000`,
 /// `Hl = 5000`; budgets in bytes — the experiments use KB values).
@@ -59,12 +97,102 @@ impl Default for BuildConfig {
     }
 }
 
+/// A structurally invalid [`BuildConfig`] (the byte budgets `b_str` /
+/// `b_val` may legitimately be zero — that requests the smallest
+/// synopsis — but the pool and chunk parameters must be usable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildConfigError {
+    /// `h_m == 0`: the candidate pool could never hold a merge.
+    ZeroPool,
+    /// `h_l > h_m`: the drain threshold exceeds the pool capacity, so
+    /// the pool would refill before ever applying a merge.
+    DrainAboveCapacity {
+        /// The configured `h_l`.
+        h_l: usize,
+        /// The configured `h_m`.
+        h_m: usize,
+    },
+    /// `min_value_chunk == 0`: phase 2 would compress in empty steps
+    /// and never converge toward the value budget.
+    ZeroValueChunk,
+}
+
+impl std::fmt::Display for BuildConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildConfigError::ZeroPool => {
+                write!(f, "candidate pool capacity h_m must be nonzero")
+            }
+            BuildConfigError::DrainAboveCapacity { h_l, h_m } => write!(
+                f,
+                "pool drain threshold h_l ({h_l}) exceeds pool capacity h_m ({h_m})"
+            ),
+            BuildConfigError::ZeroValueChunk => {
+                write!(
+                    f,
+                    "value-compression chunk size min_value_chunk must be nonzero"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildConfigError {}
+
+impl BuildConfig {
+    /// Checks the pool and chunk parameters (byte budgets are
+    /// unconstrained: zero budgets request the smallest synopsis).
+    pub fn validate(&self) -> Result<(), BuildConfigError> {
+        if self.h_m == 0 {
+            return Err(BuildConfigError::ZeroPool);
+        }
+        if self.h_l > self.h_m {
+            return Err(BuildConfigError::DrainAboveCapacity {
+                h_l: self.h_l,
+                h_m: self.h_m,
+            });
+        }
+        if self.min_value_chunk == 0 {
+            return Err(BuildConfigError::ZeroValueChunk);
+        }
+        Ok(())
+    }
+}
+
 /// Runs both phases of `XClusterBuild` on a (reference) synopsis.
-pub fn build_synopsis(mut s: Synopsis, cfg: &BuildConfig) -> Synopsis {
-    structure_value_merge(&mut s, cfg);
-    value_compression(&mut s, cfg);
+///
+/// Panics on an invalid [`BuildConfig`]; use [`try_build_synopsis`]
+/// to surface the error instead.
+pub fn build_synopsis(s: Synopsis, cfg: &BuildConfig) -> Synopsis {
+    try_build_synopsis(s, cfg).expect("invalid BuildConfig")
+}
+
+/// [`build_synopsis`] with upfront [`BuildConfig::validate`] checking.
+pub fn try_build_synopsis(
+    mut s: Synopsis,
+    cfg: &BuildConfig,
+) -> Result<Synopsis, BuildConfigError> {
+    cfg.validate()?;
+    let _total = SpanTimer::new("build.total", &stats::TOTAL_NS);
+    {
+        let _p1 = SpanTimer::new("build.phase1", &stats::PHASE1_NS);
+        structure_value_merge(&mut s, cfg);
+    }
+    {
+        let _p2 = SpanTimer::new("build.phase2", &stats::PHASE2_NS);
+        value_compression(&mut s, cfg);
+    }
+    stats::FINAL_STRUCT_BYTES.set(s.structural_bytes() as i64);
+    stats::FINAL_VALUE_BYTES.set(s.value_bytes() as i64);
+    xcluster_obs::debug!(
+        "build",
+        "done: {} structural bytes, {} value bytes, {} merges",
+        s.structural_bytes(),
+        s.value_bytes(),
+        stats::MERGES_APPLIED.get()
+    );
     debug_assert_eq!(s.check_consistency(), Ok(()));
-    s
+    Ok(s)
 }
 
 // ---------------------------------------------------------------------
@@ -107,12 +235,10 @@ pub fn structure_value_merge(s: &mut Synopsis, cfg: &BuildConfig) {
             return;
         }
         let levels = clamped_levels(s);
-        let max_level = s
-            .live_nodes()
-            .map(|i| levels[i])
-            .max()
-            .unwrap_or(0);
+        let max_level = s.live_nodes().map(|i| levels[i]).max().unwrap_or(0);
         let mut pool = build_pool(s, cfg.h_m, l, &levels);
+        stats::POOL_REFILLS.inc();
+        stats::POOL_CANDIDATES.add(pool.len() as u64);
         if pool.is_empty() {
             if l > max_level {
                 return; // nothing left to merge at any level
@@ -120,6 +246,12 @@ pub fn structure_value_merge(s: &mut Synopsis, cfg: &BuildConfig) {
             l = max_level.min(l.saturating_mul(2)).max(l + 1);
             continue;
         }
+        xcluster_obs::trace!(
+            "build",
+            "pool refill at level {l}: {} candidates, {} structural bytes over budget",
+            pool.len(),
+            s.structural_bytes().saturating_sub(cfg.b_str)
+        );
         // Drain the pool to Hl (or fully, if it started below Hl).
         let floor = if pool.len() > cfg.h_l { cfg.h_l } else { 0 };
         let mut max_new_level = 0u32;
@@ -128,12 +260,14 @@ pub fn structure_value_merge(s: &mut Synopsis, cfg: &BuildConfig) {
             let Some(entry) = pool.pop() else { break };
             let MergeCandidate { u, v, versions, .. } = entry.cand;
             if !s.node(u).alive || !s.node(v).alive {
+                stats::MERGES_REJECTED.inc();
                 continue; // stale: endpoint already merged away
             }
             let fresh = s.node(u).version == versions.0 && s.node(v).version == versions.1;
             if !fresh || !entry.exact {
                 // Re-evaluate (and upgrade to the exact structure-value Δ)
                 // and give it another chance in the heap.
+                stats::CANDIDATE_REFINEMENTS.inc();
                 pool.push(PoolEntry {
                     cand: evaluate_merge(s, u, v),
                     exact: true,
@@ -143,6 +277,7 @@ pub fn structure_value_merge(s: &mut Synopsis, cfg: &BuildConfig) {
             let lu = levels.get(u).copied().unwrap_or(0);
             let lv = levels.get(v).copied().unwrap_or(0);
             apply_merge(s, u, v);
+            stats::MERGES_APPLIED.inc();
             merged_any = true;
             max_new_level = max_new_level.max(lu.max(lv));
         }
@@ -196,10 +331,8 @@ fn build_pool(s: &Synopsis, h_m: usize, l: u32, levels: &[u32]) -> BinaryHeap<Po
     const WINDOW: usize = 16;
     let mut entries: Vec<PoolEntry> = Vec::new();
     for ((_, _), ids) in s.nodes_by_label_type() {
-        let mut eligible: Vec<SynopsisNodeId> = ids
-            .into_iter()
-            .filter(|&i| levels[i] <= l)
-            .collect();
+        let mut eligible: Vec<SynopsisNodeId> =
+            ids.into_iter().filter(|&i| levels[i] <= l).collect();
         eligible.sort_by(|&a, &b| {
             let ka = (s.node(a).parents.first().copied(), s.node(a).count as u64);
             let kb = (s.node(b).parents.first().copied(), s.node(b).count as u64);
@@ -274,7 +407,13 @@ pub fn value_compression(s: &mut Synopsis, cfg: &BuildConfig) {
             }
             continue;
         }
+        let bytes_before = s.node(node).vsumm.as_ref().map_or(0, |v| v.size_bytes());
         s.node_mut(node).vsumm = Some(cand.compressed);
+        let freed =
+            bytes_before.saturating_sub(s.node(node).vsumm.as_ref().map_or(0, |v| v.size_bytes()));
+        stats::VALUE_CHUNKS.inc();
+        stats::VALUE_BYTES_FREED.add(freed as u64);
+        stats::CHUNK_BYTES_FREED.record(freed as u64);
         if let Some(next) = evaluate_compression_chunk(s, node, cfg.min_value_chunk) {
             heap.push(ValueEntry(next));
         }
@@ -463,6 +602,90 @@ mod tests {
         let built = build_synopsis(s, &cfg);
         built.check_consistency().unwrap();
         assert!(built.structural_bytes() <= cfg.b_str);
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_pool() {
+        let cfg = BuildConfig {
+            h_m: 0,
+            h_l: 0,
+            ..BuildConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(BuildConfigError::ZeroPool));
+        let t = parse("<r><a/></r>").unwrap();
+        let s = reference_synopsis(&t, &ReferenceConfig::default());
+        assert!(try_build_synopsis(s, &cfg).is_err());
+    }
+
+    #[test]
+    fn config_validation_rejects_drain_above_capacity() {
+        let cfg = BuildConfig {
+            h_m: 100,
+            h_l: 101,
+            ..BuildConfig::default()
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(BuildConfigError::DrainAboveCapacity { h_l: 101, h_m: 100 })
+        );
+        // The error message names both offending values.
+        let msg = cfg.validate().unwrap_err().to_string();
+        assert!(msg.contains("101") && msg.contains("100"), "{msg}");
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_value_chunk() {
+        let cfg = BuildConfig {
+            min_value_chunk: 0,
+            ..BuildConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(BuildConfigError::ZeroValueChunk));
+    }
+
+    #[test]
+    fn config_validation_accepts_zero_byte_budgets() {
+        // Zero byte budgets are a legitimate request for the smallest
+        // synopsis (tag partition / value floor), not an error.
+        let cfg = BuildConfig {
+            b_str: 0,
+            b_val: 0,
+            ..BuildConfig::default()
+        };
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid BuildConfig")]
+    fn build_synopsis_panics_on_invalid_config() {
+        let t = parse("<r><a/></r>").unwrap();
+        let s = reference_synopsis(&t, &ReferenceConfig::default());
+        build_synopsis(
+            s,
+            &BuildConfig {
+                h_m: 0,
+                h_l: 0,
+                ..BuildConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn build_reports_metrics() {
+        let s = imdb_small();
+        let cfg = BuildConfig {
+            b_str: s.structural_bytes() / 4,
+            b_val: s.value_bytes() / 2,
+            ..BuildConfig::default()
+        };
+        let applied_before = stats::MERGES_APPLIED.get();
+        let refills_before = stats::POOL_REFILLS.get();
+        let _built = build_synopsis(s, &cfg);
+        assert!(stats::MERGES_APPLIED.get() > applied_before);
+        assert!(stats::POOL_REFILLS.get() > refills_before);
+        // The gauge holds the most recent build's sizes; with parallel
+        // tests that may be another build's result, so only check it is
+        // set to something plausible.
+        assert!(stats::FINAL_STRUCT_BYTES.get() > 0);
     }
 
     #[test]

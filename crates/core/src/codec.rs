@@ -30,7 +30,11 @@ pub struct CodecError {
 
 impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "synopsis decode error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "synopsis decode error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -524,7 +528,11 @@ mod tests {
             num_movies: 30,
             seed: 5,
         });
-        for kind in [NumericKind::Histogram, NumericKind::Wavelet, NumericKind::Sample] {
+        for kind in [
+            NumericKind::Histogram,
+            NumericKind::Wavelet,
+            NumericKind::Sample,
+        ] {
             let s = reference_synopsis(
                 &d.tree,
                 &ReferenceConfig {

@@ -315,7 +315,11 @@ mod tests {
         // targets: self (1,1,1) and b (2,4,2.5).
         // Δ = 3[(1-1)² + (2-2.5)²] + 1[(1-1)² + (4-2.5)²]
         let expected = 3.0 * 0.25 + 1.0 * 2.25;
-        assert!((c.delta - expected).abs() < 1e-9, "{} vs {expected}", c.delta);
+        assert!(
+            (c.delta - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            c.delta
+        );
     }
 
     #[test]
@@ -323,9 +327,7 @@ mod tests {
         // Same centroid divergence, bigger extents → bigger delta.
         let (s_small, a1, a2) = structural(2.0, 4.0, 1.0, 1.0);
         let (s_big, b1, b2) = structural(2.0, 4.0, 10.0, 10.0);
-        assert!(
-            evaluate_merge(&s_big, b1, b2).delta > evaluate_merge(&s_small, a1, a2).delta
-        );
+        assert!(evaluate_merge(&s_big, b1, b2).delta > evaluate_merge(&s_small, a1, a2).delta);
     }
 
     #[test]
@@ -364,7 +366,11 @@ mod tests {
         s.add_edge(0, y1, 3.0);
         s.add_edge(0, y2, 2.0);
         let c = evaluate_merge(&s, y1, y2);
-        assert!(c.delta > 0.0, "leaf value divergence must cost: {}", c.delta);
+        assert!(
+            c.delta > 0.0,
+            "leaf value divergence must cost: {}",
+            c.delta
+        );
     }
 
     #[test]
@@ -390,7 +396,11 @@ mod tests {
         }
         let ids: Vec<_> = s.live_nodes().filter(|&i| i != 0).collect();
         let c = evaluate_merge(&s, ids[0], ids[1]);
-        assert!(c.delta < 1e-6, "identical distributions merge freely: {}", c.delta);
+        assert!(
+            c.delta < 1e-6,
+            "identical distributions merge freely: {}",
+            c.delta
+        );
     }
 
     #[test]

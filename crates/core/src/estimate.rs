@@ -17,13 +17,36 @@
 
 use crate::synopsis::{Synopsis, SynopsisNodeId};
 use std::collections::HashMap;
+use xcluster_obs::SpanTimer;
 use xcluster_query::{Axis, LabelTest, NodeKind, TwigQuery};
-use xcluster_summaries::ValuePredicate;
+use xcluster_summaries::{ValuePredicate, ValueSummary};
 use xcluster_xml::ValueType;
+
+/// Registry handles for the estimation instrumentation (`estimate.*`):
+/// per-query latency, clusters visited during embedding, and value-
+/// summary probes broken down by summary kind.
+mod stats {
+    use std::sync::{Arc, LazyLock};
+    use xcluster_obs::{counter, histogram, Counter, Histogram};
+
+    pub static QUERIES: LazyLock<Arc<Counter>> = LazyLock::new(|| counter("estimate.queries"));
+    pub static QUERY_NS: LazyLock<Arc<Histogram>> =
+        LazyLock::new(|| histogram("estimate.query_ns"));
+    pub static CLUSTERS_VISITED: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| counter("estimate.clusters_visited"));
+    pub static VPROBE_HISTOGRAM: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| counter("estimate.vprobe_histogram"));
+    pub static VPROBE_PST: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| counter("estimate.vprobe_pst"));
+    pub static VPROBE_TERM: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| counter("estimate.vprobe_term"));
+}
 
 /// Estimates the selectivity (expected binding-tuple count) of `query`.
 pub fn estimate(s: &Synopsis, query: &TwigQuery) -> f64 {
     debug_assert!(query.filters_are_existential());
+    stats::QUERIES.inc();
+    let _span = SpanTimer::new("estimate.query", &stats::QUERY_NS);
     let est = Estimator { s, query };
     let mut product = 1.0;
     for &c in &query.node(query.root()).children {
@@ -48,6 +71,7 @@ impl Estimator<'_> {
     fn child_factor(&self, q: usize, sn: SynopsisNodeId) -> f64 {
         let qnode = self.query.node(q);
         let reached = self.reach(sn, qnode.axis, &qnode.label);
+        stats::CLUSTERS_VISITED.add(reached.len() as u64);
         match qnode.kind {
             NodeKind::Variable => {
                 let mut sum = 0.0;
@@ -158,7 +182,16 @@ impl Estimator<'_> {
             return 0.0;
         }
         match &node.vsumm {
-            Some(vs) => vs.selectivity(pred),
+            Some(vs) => {
+                match vs {
+                    ValueSummary::Numeric(_)
+                    | ValueSummary::NumericWavelet(_)
+                    | ValueSummary::NumericSample(_) => stats::VPROBE_HISTOGRAM.inc(),
+                    ValueSummary::String(_) => stats::VPROBE_PST.inc(),
+                    ValueSummary::Text(_) => stats::VPROBE_TERM.inc(),
+                }
+                vs.selectivity(pred)
+            }
             None => 1.0,
         }
     }
@@ -190,13 +223,19 @@ mod tests {
 
     #[test]
     fn structural_estimates_exact_on_reference() {
-        let t = parse(
-            "<r><a><x>1</x></a><a><x>2</x><x>3</x></a><b><x>4</x></b></r>",
-        )
-        .unwrap();
+        let t = parse("<r><a><x>1</x></a><a><x>2</x><x>3</x></a><b><x>4</x></b></r>").unwrap();
         check_exact(
             &t,
-            &["//a", "//x", "/a/x", "//b/x", "/a", "//*", "/a{/x}", "//a{/x}{/x}"],
+            &[
+                "//a",
+                "//x",
+                "/a/x",
+                "//b/x",
+                "/a",
+                "//*",
+                "/a{/x}",
+                "//a{/x}{/x}",
+            ],
         );
     }
 
@@ -227,10 +266,7 @@ mod tests {
 
     #[test]
     fn string_predicates_on_reference() {
-        let t = parse(
-            "<r><n>alpha</n><n>alpine</n><n>beta</n><n>gamma</n></r>",
-        )
-        .unwrap();
+        let t = parse("<r><n>alpha</n><n>alpine</n><n>beta</n><n>gamma</n></r>").unwrap();
         let s = reference_synopsis(&t, &ReferenceConfig::default());
         let q = parse_twig("//n[contains(alp)]", t.terms()).unwrap();
         close(estimate(&s, &q), 2.0);
@@ -240,10 +276,8 @@ mod tests {
 
     #[test]
     fn text_predicates_on_reference() {
-        let t = parse(
-            "<r><d>xml tree synopsis model</d><d>relational query plan cost</d></r>",
-        )
-        .unwrap();
+        let t = parse("<r><d>xml tree synopsis model</d><d>relational query plan cost</d></r>")
+            .unwrap();
         let s = reference_synopsis(&t, &ReferenceConfig::default());
         let q = parse_twig("//d[ftcontains(xml)]", t.terms()).unwrap();
         close(estimate(&s, &q), 1.0);
@@ -303,8 +337,7 @@ mod tests {
             .collect();
         let refs: Vec<&xcluster_xml::Value> = vals.iter().collect();
         s.node_mut(c).vtype = ValueType::Numeric;
-        s.node_mut(c).vsumm =
-            xcluster_summaries::ValueSummary::build(&refs, ValueType::Numeric);
+        s.node_mut(c).vsumm = xcluster_summaries::ValueSummary::build(&refs, ValueType::Numeric);
         let mut terms = Interner::new();
         terms.intern("unused");
         let q = parse_twig("//A{/B/C[<9]}{//Ea}", &terms).unwrap();
@@ -353,8 +386,8 @@ mod tests {
     fn filter_qualification_capped_at_one() {
         // Each a has 3 qualifying x-children; the filter contributes a
         // probability, not a multiplier.
-        let t = parse("<r><a><x>1</x><x>1</x><x>1</x></a><a><x>1</x><x>1</x><x>1</x></a></r>")
-            .unwrap();
+        let t =
+            parse("<r><a><x>1</x><x>1</x><x>1</x></a><a><x>1</x><x>1</x><x>1</x></a></r>").unwrap();
         let s = reference_synopsis(&t, &ReferenceConfig::default());
         let q = parse_twig("//a[x]", t.terms()).unwrap();
         close(estimate(&s, &q), 2.0);

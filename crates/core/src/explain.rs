@@ -294,9 +294,7 @@ mod tests {
         let name_node = ex
             .nodes
             .iter()
-            .find(|n| {
-                matches!(twig.node(n.qnode).label, LabelTest::Tag(ref l) if l == "name")
-            })
+            .find(|n| matches!(twig.node(n.qnode).label, LabelTest::Tag(ref l) if l == "name"))
             .unwrap();
         assert!((flow_plain - name_node.expected_total()).abs() < 1e-9);
     }

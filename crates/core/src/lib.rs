@@ -62,7 +62,7 @@ pub mod metrics;
 pub mod reference;
 pub mod synopsis;
 
-pub use build::{build_synopsis, BuildConfig};
+pub use build::{build_synopsis, try_build_synopsis, BuildConfig, BuildConfigError};
 pub use estimate::estimate;
 pub use metrics::{relative_error, ErrorReport};
 pub use reference::{reference_synopsis, ReferenceConfig};

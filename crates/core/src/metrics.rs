@@ -76,7 +76,11 @@ pub fn evaluate_workload(s: &Synopsis, w: &Workload) -> ErrorReport {
     }
     let avg = |sum: f64, n: usize| if n == 0 { None } else { Some(sum / n as f64) };
     ErrorReport {
-        overall_rel: if rel_n == 0 { 0.0 } else { rel_sum / rel_n as f64 },
+        overall_rel: if rel_n == 0 {
+            0.0
+        } else {
+            rel_sum / rel_n as f64
+        },
         class_rel: [
             avg(class_sum[0], class_n[0]),
             avg(class_sum[1], class_n[1]),
@@ -153,6 +157,94 @@ mod tests {
             "negative estimates should be near zero: {}",
             report.avg_estimate
         );
+    }
+
+    /// A one-cluster document plus a hand-built workload targeting it,
+    /// so expected estimates are exact and edge cases are controllable.
+    fn tiny_workload(
+        counts_and_classes: &[(f64, QueryClass)],
+        sanity_bound: f64,
+    ) -> (Synopsis, Workload) {
+        use xcluster_query::WorkloadQuery;
+        let t = xcluster_xml::parse("<r><a/><a/><a/></r>").unwrap();
+        let s = reference_synopsis(&t, &ReferenceConfig::default());
+        let mut terms = xcluster_xml::Interner::new();
+        terms.intern("unused");
+        let queries = counts_and_classes
+            .iter()
+            .map(|&(true_count, class)| WorkloadQuery {
+                // Every query is //a, estimated exactly as 3.0.
+                query: xcluster_query::parse_twig("//a", &terms).unwrap(),
+                class,
+                true_count,
+            })
+            .collect();
+        (
+            s,
+            Workload {
+                queries,
+                sanity_bound,
+            },
+        )
+    }
+
+    #[test]
+    fn empty_workload_reports_zeroes() {
+        let (s, mut w) = tiny_workload(&[], 1.0);
+        w.queries.clear();
+        let report = evaluate_workload(&s, &w);
+        assert_eq!(report.overall_rel, 0.0);
+        assert_eq!(report.avg_estimate, 0.0);
+        assert_eq!(report.class_rel, [None, None, None, None]);
+        assert_eq!(report.low_count_abs, [None, None, None, None]);
+    }
+
+    #[test]
+    fn class_indexing_routes_errors_to_the_right_slot() {
+        // //a estimates 3.0 on the reference synopsis. True counts of 6
+        // give rel error |6-3|/6 = 0.5 in each populated class.
+        let (s, w) = tiny_workload(&[(6.0, QueryClass::Struct), (6.0, QueryClass::Text)], 1.0);
+        let report = evaluate_workload(&s, &w);
+        assert_eq!(report.class_rel(QueryClass::Struct), Some(0.5));
+        assert_eq!(report.class_rel(QueryClass::Text), Some(0.5));
+        assert_eq!(report.class_rel(QueryClass::Numeric), None);
+        assert_eq!(report.class_rel(QueryClass::String), None);
+        assert!((report.overall_rel - 0.5).abs() < 1e-12);
+        assert!((report.avg_estimate - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sanity_bound_caps_low_count_denominators() {
+        // True count 1 vs estimate 3: unbounded rel error would be 2.0;
+        // with sanity bound 10 the denominator is capped: 2/10 = 0.2.
+        let (s, w) = tiny_workload(&[(1.0, QueryClass::Struct)], 10.0);
+        let report = evaluate_workload(&s, &w);
+        assert!((report.overall_rel - 0.2).abs() < 1e-12);
+        // The query is low-count (1 <= 10): absolute error 2.0.
+        assert_eq!(report.low_count_abs(QueryClass::Struct), Some(2.0));
+    }
+
+    #[test]
+    fn low_count_bucket_is_inclusive_at_the_bound() {
+        // true_count == sanity_bound must count as low-count (ties are
+        // common with integer counts in small workloads).
+        let (s, w) = tiny_workload(&[(3.0, QueryClass::Numeric)], 3.0);
+        let report = evaluate_workload(&s, &w);
+        assert_eq!(report.low_count_abs(QueryClass::Numeric), Some(0.0));
+        // Above the bound: excluded from the low-count aggregate.
+        let (s, w) = tiny_workload(&[(4.0, QueryClass::Numeric)], 3.0);
+        let report = evaluate_workload(&s, &w);
+        assert_eq!(report.low_count_abs(QueryClass::Numeric), None);
+    }
+
+    #[test]
+    fn zero_true_count_and_zero_bound_do_not_divide_by_zero() {
+        let (s, w) = tiny_workload(&[(0.0, QueryClass::String)], 0.0);
+        let report = evaluate_workload(&s, &w);
+        assert!(report.overall_rel.is_finite());
+        // |0 - 3| / max(0, 0, MIN_POSITIVE) is astronomically large but
+        // finite; the low-count absolute error is the estimate itself.
+        assert_eq!(report.low_count_abs(QueryClass::String), Some(3.0));
     }
 
     #[test]

@@ -286,10 +286,7 @@ mod tests {
         // Both <a>s on the same path, but one has 1 x-child, other has 2.
         let t = doc("<r><a><x>1</x></a><a><x>2</x><x>3</x></a></r>");
         let p = count_stable_partition(&t);
-        let a_nodes: Vec<NodeId> = t
-            .all_nodes()
-            .filter(|&n| t.label_str(n) == "a")
-            .collect();
+        let a_nodes: Vec<NodeId> = t.all_nodes().filter(|&n| t.label_str(n) == "a").collect();
         assert_ne!(
             p.cluster_of[a_nodes[0].index()],
             p.cluster_of[a_nodes[1].index()],
@@ -342,10 +339,7 @@ mod tests {
         assert_eq!(s.num_value_nodes(), 1);
         let y = s.live_nodes().find(|&i| s.label_str(i) == "y").unwrap();
         let vs = s.node(y).vsumm.as_ref().unwrap();
-        let sel = vs.selectivity(&xcluster_summaries::ValuePredicate::Range {
-            lo: 1990,
-            hi: 1990,
-        });
+        let sel = vs.selectivity(&xcluster_summaries::ValuePredicate::Range { lo: 1990, hi: 1990 });
         assert!(sel > 0.0);
     }
 
@@ -358,10 +352,7 @@ mod tests {
         };
         let s = reference_synopsis(&t, &cfg);
         assert_eq!(s.num_value_nodes(), 1);
-        let with = s
-            .live_nodes()
-            .find(|&i| s.node(i).vsumm.is_some())
-            .unwrap();
+        let with = s.live_nodes().find(|&i| s.node(i).vsumm.is_some()).unwrap();
         assert_eq!(s.label_str(with), "y");
     }
 

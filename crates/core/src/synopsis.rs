@@ -150,7 +150,9 @@ impl Synopsis {
 
     /// Number of live edges.
     pub fn num_edges(&self) -> usize {
-        self.live_nodes().map(|i| self.nodes[i].children.len()).sum()
+        self.live_nodes()
+            .map(|i| self.nodes[i].children.len())
+            .sum()
     }
 
     /// Number of live nodes carrying value summaries (the "Value" column
@@ -284,7 +286,13 @@ impl Synopsis {
                 n.vtype
             );
             for &(t, c) in &n.children {
-                let _ = write!(out, " ->{}#{}:{:.2}", self.labels.resolve(self.nodes[t].label), t, c);
+                let _ = write!(
+                    out,
+                    " ->{}#{}:{:.2}",
+                    self.labels.resolve(self.nodes[t].label),
+                    t,
+                    c
+                );
             }
             out.push('\n');
         }

@@ -62,8 +62,10 @@ impl Dataset {
             .all_nodes()
             .filter(|&n| {
                 let path = self.tree.label_path(n);
-                let labels: Vec<&str> =
-                    path.iter().map(|&s| self.tree.labels().resolve(s)).collect();
+                let labels: Vec<&str> = path
+                    .iter()
+                    .map(|&s| self.tree.labels().resolve(s))
+                    .collect();
                 self.value_paths
                     .iter()
                     .any(|spec| spec.value_type == self.tree.value_type(n) && spec.matches(&labels))
@@ -71,4 +73,3 @@ impl Dataset {
             .collect()
     }
 }
-

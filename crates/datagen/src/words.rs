@@ -5,8 +5,8 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p",
-    "pl", "qu", "r", "s", "sh", "st", "t", "th", "tr", "v", "w", "z",
+    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p", "pl",
+    "qu", "r", "s", "sh", "st", "t", "th", "tr", "v", "w", "z",
 ];
 const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
 const CODAS: &[&str] = &["", "n", "r", "s", "t", "l", "m", "nd", "st", "ck", "x"];

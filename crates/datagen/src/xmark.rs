@@ -131,7 +131,10 @@ pub fn generate(cfg: &XmarkConfig) -> Dataset {
         let email = tree.add_child(person, "emailaddress");
         tree.set_value(
             email,
-            Value::String(format!("mailto:user{i}@{}.example", crate::words::pseudo_word(i % 97))),
+            Value::String(format!(
+                "mailto:user{i}@{}.example",
+                crate::words::pseudo_word(i % 97)
+            )),
         );
         if rng.gen_bool(0.7) {
             let age = tree.add_child(person, "age");
@@ -311,10 +314,21 @@ mod tests {
             .children(d.tree.root())
             .find(|&n| d.tree.label_str(n) == "regions")
             .unwrap();
-        let names: Vec<&str> = d.tree.children(regions).map(|c| d.tree.label_str(c)).collect();
+        let names: Vec<&str> = d
+            .tree
+            .children(regions)
+            .map(|c| d.tree.label_str(c))
+            .collect();
         assert_eq!(
             names,
-            vec!["africa", "asia", "australia", "europe", "namerica", "samerica"]
+            vec![
+                "africa",
+                "asia",
+                "australia",
+                "europe",
+                "namerica",
+                "samerica"
+            ]
         );
     }
 
@@ -390,7 +404,10 @@ mod tests {
             }
         }
         assert!(total > 0);
-        assert!(zero > total / 4, "expected many quiet auctions: {zero}/{total}");
+        assert!(
+            zero > total / 4,
+            "expected many quiet auctions: {zero}/{total}"
+        );
         assert!(many > 0, "expected a few hot auctions");
     }
 

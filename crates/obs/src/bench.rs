@@ -1,0 +1,264 @@
+//! A small micro-benchmark harness (the workspace's replacement for
+//! Criterion, which is unavailable in the offline build environment).
+//!
+//! Each benchmark is calibrated to a target measurement time, run as a
+//! series of timed samples, and reported as median / mean / min
+//! nanoseconds per iteration. Results also land in the global metric
+//! registry as `bench.<name>_ns` histograms, so a bench binary can dump
+//! one JSON snapshot covering both its measurements and the counters the
+//! benchmarked code incremented along the way.
+//!
+//! ```no_run
+//! use xcluster_obs::bench::{black_box, Runner};
+//! let mut r = Runner::new();
+//! r.bench("sum_1k", || (0..1000u64).map(black_box).sum::<u64>());
+//! r.finish();
+//! ```
+//!
+//! Environment knobs: `XCLUSTER_BENCH_MS` (measurement time per
+//! benchmark, default 2000) and `XCLUSTER_BENCH_SAMPLES` (sample count,
+//! default 20).
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark's aggregated result, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Median over samples.
+    pub median_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Iterations per sample (1 for batched benches).
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Runs benchmarks and collects [`BenchResult`]s.
+#[derive(Debug)]
+pub struct Runner {
+    warmup: Duration,
+    measure: Duration,
+    samples: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or(Duration::from_millis(default_ms), Duration::from_millis)
+}
+
+impl Runner {
+    /// A runner with the default (or env-configured) budget.
+    pub fn new() -> Runner {
+        Runner {
+            warmup: env_ms("XCLUSTER_BENCH_WARMUP_MS", 500),
+            measure: env_ms("XCLUSTER_BENCH_MS", 2000),
+            samples: std::env::var("XCLUSTER_BENCH_SAMPLES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(20)
+                .max(3),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-benchmark measurement time.
+    pub fn measurement_time(mut self, d: Duration) -> Runner {
+        self.measure = d;
+        self
+    }
+
+    /// Overrides the warm-up time.
+    pub fn warm_up_time(mut self, d: Duration) -> Runner {
+        self.warmup = d;
+        self
+    }
+
+    /// Benchmarks `f`, running it as many times per sample as needed to
+    /// make individual clock reads negligible.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        // Warm-up, and calibration: how many iterations fit in ~1/20 of
+        // the measurement budget?
+        let warm_until = Instant::now() + self.warmup;
+        let mut one = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        while Instant::now() < warm_until || warm_iters == 0 {
+            let t = Instant::now();
+            black_box(f());
+            one += t.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = one.as_nanos() as f64 / warm_iters as f64;
+        let sample_budget = self.measure.as_nanos() as f64 / self.samples as f64;
+        let iters = ((sample_budget / per_iter.max(1.0)) as u64).clamp(1, 1_000_000_000);
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            sample_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.push(name, sample_ns, iters);
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`, excluding
+    /// setup time from the measurement. Each sample is one routine call
+    /// — intended for expensive routines (builds, prunes) where cloning
+    /// the input would otherwise dominate.
+    pub fn bench_batched<S, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        // One warm-up run.
+        black_box(routine(setup()));
+        let deadline = Instant::now() + self.measure;
+        let mut sample_ns: Vec<f64> = Vec::new();
+        while sample_ns.len() < self.samples && (Instant::now() < deadline || sample_ns.len() < 3) {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            sample_ns.push(t.elapsed().as_nanos() as f64);
+        }
+        self.push(name, sample_ns, 1);
+    }
+
+    fn push(&mut self, name: &str, mut sample_ns: Vec<f64>, iters: u64) {
+        sample_ns.sort_by(f64::total_cmp);
+        let n = sample_ns.len();
+        let median = if n % 2 == 1 {
+            sample_ns[n / 2]
+        } else {
+            (sample_ns[n / 2 - 1] + sample_ns[n / 2]) / 2.0
+        };
+        let mean = sample_ns.iter().sum::<f64>() / n as f64;
+        let result = BenchResult {
+            name: name.to_string(),
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: sample_ns[0],
+            max_ns: sample_ns[n - 1],
+            iters_per_sample: iters,
+            samples: n,
+        };
+        crate::histogram(&format!("bench.{name}_ns")).record(median as u64);
+        println!(
+            "{:44} {:>12}/iter  (mean {}, min {}, {} samples x {} iters)",
+            result.name,
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(result.min_ns),
+            n,
+            iters
+        );
+        self.results.push(result);
+    }
+
+    /// Results collected so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints a summary table and returns the results.
+    pub fn finish(self) -> Vec<BenchResult> {
+        println!(
+            "\n{:44} {:>12} {:>12} {:>12}",
+            "benchmark", "median", "mean", "min"
+        );
+        for r in &self.results {
+            println!(
+                "{:44} {:>12} {:>12} {:>12}",
+                r.name,
+                fmt_ns(r.median_ns),
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.min_ns)
+            );
+        }
+        self.results
+    }
+}
+
+fn fmt_ns(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3}s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3}ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3}µs", v / 1e3)
+    } else {
+        format!("{v:.1}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_runner() -> Runner {
+        Runner::new()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+    }
+
+    #[test]
+    fn bench_produces_positive_timings() {
+        let mut r = fast_runner();
+        r.bench("noop_sum", || (0..100u64).sum::<u64>());
+        let res = &r.results()[0];
+        assert!(res.median_ns > 0.0);
+        assert!(res.min_ns <= res.median_ns);
+        assert!(res.median_ns <= res.max_ns);
+        assert!(res.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn bench_batched_excludes_setup() {
+        let mut r = fast_runner();
+        // Setup is much more expensive than the routine; the measured
+        // time must reflect the routine, not the setup.
+        r.bench_batched(
+            "cheap_routine",
+            || {
+                std::thread::sleep(Duration::from_millis(2));
+                7u64
+            },
+            |x| x + 1,
+        );
+        let res = &r.results()[0];
+        assert!(
+            res.median_ns < 1_000_000.0,
+            "setup leaked into measurement: {} ns",
+            res.median_ns
+        );
+    }
+
+    #[test]
+    fn results_land_in_registry() {
+        let mut r = fast_runner();
+        r.bench("registry_visible", || 1 + 1);
+        let snap = crate::snapshot();
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|(n, h)| n == "bench.registry_visible_ns" && h.count >= 1));
+    }
+}

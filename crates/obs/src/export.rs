@@ -1,0 +1,262 @@
+//! Snapshot exporters: compact JSON (for `BENCH_*.json` trajectory
+//! files and machine consumers) and an aligned pretty table (for
+//! `xcluster stats` and `--stats`).
+//!
+//! JSON is hand-rolled — metric names are the only strings and they are
+//! plain identifiers, but they are escaped anyway so arbitrary names
+//! cannot corrupt the output.
+
+use crate::registry::{HistogramSnapshot, Snapshot};
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a snapshot as a JSON object:
+///
+/// ```json
+/// {
+///   "counters": {"build.merges_applied": 412},
+///   "gauges": {"build.final_struct_bytes": 10240},
+///   "histograms": {"build.phase1_ns": {"count": 1, "sum": 120, ...}}
+/// }
+/// ```
+pub fn to_json(s: &Snapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    for (i, (name, v)) in s.counters.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{}\": {v}", esc(name));
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    for (i, (name, v)) in s.gauges.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{}\": {v}", esc(name));
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    for (i, (name, h)) in s.histograms.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+             \"mean\": {:.3}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+            esc(name),
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+            h.mean(),
+            h.p50,
+            h.p90,
+            h.p99
+        );
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Formats a nanosecond quantity with a human unit.
+fn ns(v: u64) -> String {
+    let v = v as f64;
+    if v >= 1e9 {
+        format!("{:.2}s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}µs", v / 1e3)
+    } else {
+        format!("{v:.0}ns")
+    }
+}
+
+fn is_time(name: &str) -> bool {
+    name.ends_with("_ns")
+}
+
+fn hist_cell(name: &str, v: u64) -> String {
+    if is_time(name) {
+        ns(v)
+    } else {
+        v.to_string()
+    }
+}
+
+/// Renders a snapshot as an aligned, human-readable table. Histograms
+/// whose names end in `_ns` are printed with time units.
+pub fn to_table(s: &Snapshot) -> String {
+    let mut out = String::new();
+    if !s.counters.is_empty() {
+        out.push_str("counters\n");
+        let w = s.counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, v) in &s.counters {
+            let _ = writeln!(out, "  {name:w$}  {v:>12}");
+        }
+    }
+    if !s.gauges.is_empty() {
+        out.push_str("gauges\n");
+        let w = s.gauges.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, v) in &s.gauges {
+            let _ = writeln!(out, "  {name:w$}  {v:>12}");
+        }
+    }
+    if !s.histograms.is_empty() {
+        out.push_str("histograms\n");
+        let w = s.histograms.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "  {:w$}  {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "", "count", "mean", "p50", "p90", "p99", "max"
+        );
+        for (name, h) in &s.histograms {
+            let _ = writeln!(
+                out,
+                "  {name:w$}  {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                h.count,
+                hist_cell(name, h.mean() as u64),
+                hist_cell(name, h.p50),
+                hist_cell(name, h.p90),
+                hist_cell(name, h.p99),
+                hist_cell(name, h.max),
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(registry is empty)\n");
+    }
+    out
+}
+
+/// Extra key/value pairs merged into a JSON export alongside the
+/// registry dump — used by the experiments runner to attach run
+/// metadata (scale, dataset, element counts) to `BENCH_*.json`.
+pub fn to_json_with_meta(s: &Snapshot, meta: &[(&str, String)]) -> String {
+    let mut out = String::from("{\n  \"meta\": {");
+    for (i, (k, v)) in meta.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        // Numbers pass through bare; everything else is quoted.
+        let bare = !v.is_empty() && v.parse::<f64>().is_ok();
+        if bare {
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", esc(k));
+        } else {
+            let _ = write!(out, "{sep}\n    \"{}\": \"{}\"", esc(k), esc(v));
+        }
+    }
+    out.push_str("\n  },\n");
+    // Splice the registry dump in as the remaining keys.
+    let body = to_json(s);
+    out.push_str(body.strip_prefix("{\n").unwrap_or(&body));
+    out
+}
+
+/// Convenience: [`to_json`] of one histogram (used in tests).
+pub fn histogram_to_json(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.3}, \
+         \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+        h.mean(),
+        h.p50,
+        h.p90,
+        h.p99
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::default();
+        r.counter("build.merges_applied").add(42);
+        r.counter("build.merges_rejected").add(7);
+        r.gauge("build.final_struct_bytes").set(10_240);
+        let h = r.histogram("build.phase1_ns");
+        h.record(1_500_000);
+        h.record(2_500_000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let j = to_json(&sample());
+        assert!(j.contains("\"build.merges_applied\": 42"));
+        assert!(j.contains("\"build.merges_rejected\": 7"));
+        assert!(j.contains("\"build.final_struct_bytes\": 10240"));
+        assert!(j.contains("\"build.phase1_ns\""));
+        assert!(j.contains("\"count\": 2"));
+        assert!(j.contains("\"sum\": 4000000"));
+        // Balanced braces and quotes (cheap well-formedness check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn json_escapes_hostile_names() {
+        let r = Registry::default();
+        r.counter("weird\"name\\with\nstuff").inc();
+        let j = to_json(&r.snapshot());
+        assert!(j.contains("weird\\\"name\\\\with\\nstuff"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn table_renders_all_sections_with_units() {
+        let t = to_table(&sample());
+        assert!(t.contains("counters"));
+        assert!(t.contains("gauges"));
+        assert!(t.contains("histograms"));
+        assert!(t.contains("build.merges_applied"));
+        // Time histogram rendered in ms.
+        assert!(t.contains("ms"), "{t}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let t = to_table(&Snapshot::default());
+        assert!(t.contains("empty"));
+        let j = to_json(&Snapshot::default());
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn meta_keys_precede_registry_dump() {
+        let j = to_json_with_meta(
+            &sample(),
+            &[
+                ("dataset", "imdb".to_string()),
+                ("scale", "0.25".to_string()),
+            ],
+        );
+        assert!(j.contains("\"dataset\": \"imdb\""));
+        assert!(j.contains("\"scale\": 0.25"));
+        assert!(j.contains("\"counters\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn ns_formatting_picks_sane_units() {
+        assert_eq!(ns(500), "500ns");
+        assert_eq!(ns(1_500), "1.50µs");
+        assert_eq!(ns(2_500_000), "2.50ms");
+        assert_eq!(ns(3_100_000_000), "3.10s");
+    }
+}

@@ -1,0 +1,106 @@
+//! **xcluster-obs** — the workspace's observability layer: a
+//! process-wide metric registry, RAII span timers, leveled structured
+//! logging, exporters, and a micro-benchmark harness. Dependency-free by
+//! construction (the build environment is offline).
+//!
+//! # Registry
+//!
+//! Three metric kinds live in a global, lazily-initialized registry:
+//!
+//! * [`Counter`] — monotone event counts (`build.merges_applied`);
+//! * [`Gauge`] — instantaneous values (`build.final_struct_bytes`);
+//! * [`Histogram`] — power-of-two-bucketed distributions, used for
+//!   latencies (`estimate.query_ns`) and sizes (`build.chunk_bytes_freed`).
+//!
+//! Handles are resolved by name once and cached by the instrumented
+//! code (typically in a `LazyLock`); updates are relaxed atomics, so
+//! instrumentation is cheap enough to stay on in release builds.
+//!
+//! ```
+//! let merges = xcluster_obs::counter("doc.merges");
+//! merges.inc();
+//! assert_eq!(merges.get(), 1);
+//! ```
+//!
+//! # Spans
+//!
+//! [`span::SpanTimer`] measures a scope into a histogram on drop. Spans
+//! compile out with `--no-default-features` (the `spans` feature) and
+//! can be disabled at runtime with [`set_enabled`] or
+//! `XCLUSTER_OBS=off`; both make the constructor skip the clock read.
+//!
+//! # Logging
+//!
+//! `XCLUSTER_LOG=debug` (or [`log::set_level`]) controls the leveled
+//! stderr logger; see [`log`] and the [`error!`]…[`trace!`] macros.
+//!
+//! # Export
+//!
+//! [`export::to_json`] and [`export::to_table`] serialize a registry
+//! [`Snapshot`] for `BENCH_*.json` files and the `xcluster stats`
+//! subcommand respectively.
+
+pub mod bench;
+pub mod export;
+pub mod log;
+pub mod registry;
+pub mod span;
+
+pub use log::Level;
+pub use registry::{
+    counter, gauge, global, histogram, reset, snapshot, Counter, Gauge, Histogram,
+    HistogramSnapshot, Registry, Snapshot,
+};
+pub use span::SpanTimer;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// 0 = disabled, 1 = enabled, 2 = uninitialized (read `XCLUSTER_OBS`).
+static ENABLED: AtomicU8 = AtomicU8::new(2);
+
+/// Whether span timing is enabled (counters and gauges always are).
+/// Initialized from `XCLUSTER_OBS` (`off`/`0` disables) on first call.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => {
+            let on = !matches!(
+                std::env::var("XCLUSTER_OBS").as_deref(),
+                Ok("off") | Ok("0") | Ok("false")
+            );
+            ENABLED.store(on as u8, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Runtime kill switch for span timing. Counters and gauges are
+/// unaffected (they are already ~1 ns per update).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on as u8, Ordering::Relaxed);
+}
+
+/// Starts a span recording into the global histogram `<name>_ns`.
+///
+/// The `Arc` lookup happens per call — for hot paths, cache the
+/// histogram handle and use [`SpanTimer::new`] directly.
+pub fn span_named<'a>(name: &'static str, hist: &'a Histogram) -> SpanTimer<'a> {
+    SpanTimer::new(name, hist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_is_shared() {
+        counter("lib.test_counter").add(3);
+        let snap = snapshot();
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, v)| n == "lib.test_counter" && *v >= 3));
+    }
+}

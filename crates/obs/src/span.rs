@@ -1,0 +1,135 @@
+//! RAII span timers: measure a scope's wall time into a registry
+//! histogram, with an optional trace-level log line on drop.
+//!
+//! ```
+//! let h = xcluster_obs::histogram("build.phase1_ns");
+//! {
+//!     let _t = xcluster_obs::span::SpanTimer::new("build.phase1", &h);
+//!     // ... timed work ...
+//! } // recorded into the histogram here
+//! assert_eq!(h.snapshot().count, 1);
+//! ```
+//!
+//! Spans are compiled out entirely when the `spans` feature is off, and
+//! skipped at runtime (no clock read) when [`crate::set_enabled`] has
+//! turned instrumentation off — both paths reduce `SpanTimer::new` to a
+//! few instructions, which is what lets instrumentation stay in release
+//! builds.
+
+use crate::registry::Histogram;
+use std::time::{Duration, Instant};
+
+/// Times a scope and records the elapsed nanoseconds on drop.
+#[must_use = "a span timer measures until it is dropped"]
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    inner: Option<SpanInner<'a>>,
+}
+
+#[derive(Debug)]
+struct SpanInner<'a> {
+    name: &'static str,
+    hist: &'a Histogram,
+    start: Instant,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Starts a span recording into `hist` (conventionally named
+    /// `<name>_ns`). Inert when spans are compiled out or disabled.
+    #[inline]
+    pub fn new(name: &'static str, hist: &'a Histogram) -> SpanTimer<'a> {
+        if !cfg!(feature = "spans") || !crate::enabled() {
+            return SpanTimer { inner: None };
+        }
+        SpanTimer {
+            inner: Some(SpanInner {
+                name,
+                hist,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Elapsed time so far (zero for inert spans).
+    pub fn elapsed(&self) -> Duration {
+        self.inner
+            .as_ref()
+            .map_or(Duration::ZERO, |i| i.start.elapsed())
+    }
+
+    /// Stops the span early and returns the measured duration, if it
+    /// was live.
+    pub fn finish(mut self) -> Option<Duration> {
+        self.inner.take().map(|i| {
+            let d = i.start.elapsed();
+            record(&i, d);
+            Some(d)
+        })?
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(i) = self.inner.take() {
+            record(&i, i.start.elapsed());
+        }
+    }
+}
+
+#[inline]
+fn record(i: &SpanInner<'_>, d: Duration) {
+    i.hist.record_duration(d);
+    crate::trace!("span", "{} took {:.3?}", i.name, d);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that read or write the global enabled flag.
+    static ENABLE_FLAG: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn span_records_into_histogram() {
+        let _g = ENABLE_FLAG.lock().unwrap();
+        let h = Histogram::default();
+        {
+            let _t = SpanTimer::new("test.span", &h);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if cfg!(feature = "spans") {
+            let s = h.snapshot();
+            assert_eq!(s.count, 1);
+            assert!(s.sum >= 1_000_000, "recorded {} ns", s.sum);
+        } else {
+            assert_eq!(h.snapshot().count, 0);
+        }
+    }
+
+    #[test]
+    fn finish_returns_duration_once() {
+        let _g = ENABLE_FLAG.lock().unwrap();
+        let h = Histogram::default();
+        let t = SpanTimer::new("test.finish", &h);
+        let d = t.finish();
+        if cfg!(feature = "spans") {
+            assert!(d.is_some());
+            assert_eq!(h.snapshot().count, 1);
+        } else {
+            assert!(d.is_none());
+        }
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = ENABLE_FLAG.lock().unwrap();
+        let h = Histogram::default();
+        crate::set_enabled(false);
+        {
+            let _t = SpanTimer::new("test.disabled", &h);
+        }
+        crate::set_enabled(true);
+        assert_eq!(h.snapshot().count, 0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Deterministic pseudo-random number generation for the XCluster
+//! workspace, with no external dependencies.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! cannot depend on the real `rand` crate. This crate implements the
+//! small subset of the `rand` 0.8 API that the generators, workloads,
+//! and benches actually use — [`rngs::StdRng`], [`SeedableRng`],
+//! [`Rng::gen_range`], [`Rng::gen_bool`], and [`Rng::gen`] — and is
+//! aliased as `rand` in the workspace manifests so call sites read
+//! idiomatically (`use rand::rngs::StdRng`).
+//!
+//! The generator is **xoshiro256++** seeded through **SplitMix64**
+//! (Blackman & Vigna), a standard, well-tested combination with 256 bits
+//! of state. It is *not* the same stream as `rand`'s ChaCha12-based
+//! `StdRng`; everything downstream treats seeds as opaque, so only
+//! determinism per seed matters, not the specific stream.
+
+/// Named RNG types (mirrors `rand::rngs`).
+pub mod rngs {
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+/// Seeding interface (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanded via SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion: guarantees a non-zero, well-mixed state
+        // even for adversarial seeds like 0.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl StdRng {
+    /// One xoshiro256++ step.
+    #[inline]
+    fn next_u64_impl(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Sampling interface (mirrors the used subset of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw from a half-open or inclusive range.
+    ///
+    /// Panics if the range is empty, like `rand`.
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A draw from the type's standard distribution (`f64` in `[0, 1)`,
+    /// integers uniform over their domain, `bool` fair).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+/// Maps 64 random bits to `[0, 1)` with 53-bit precision.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Unbiased uniform draw from `[0, n)` via Lemire's multiply-shift with
+/// rejection.
+#[inline]
+fn uniform_below<G: Rng>(rng: &mut G, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (n as u128);
+        let lo = m as u64;
+        if lo >= n || lo >= lo.wrapping_neg() % n {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Element types drawable uniformly from a range (mirrors
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Sized + PartialOrd {
+    /// A uniform draw from `[lo, hi)` (`inclusive = false`) or
+    /// `[lo, hi]` (`inclusive = true`). Bounds are already validated.
+    fn sample_uniform<G: Rng>(lo: Self, hi: Self, inclusive: bool, rng: &mut G) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_uniform<G: Rng>(lo: $t, hi: $t, inclusive: bool, rng: &mut G) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the (near-)full u64/i64 domain.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + uniform_below(rng, span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(i32, i64, u32, u64, usize, isize, u16, u8);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_uniform<G: Rng>(lo: f64, hi: f64, _inclusive: bool, rng: &mut G) -> f64 {
+        let x = lo + unit_f64(rng.next_u64()) * (hi - lo);
+        // Guard against rounding up to an excluded endpoint.
+        if x < hi || lo == hi {
+            x
+        } else {
+            lo
+        }
+    }
+}
+
+/// Range forms usable as the argument of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform element.
+    fn sample<G: Rng>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample<G: Rng>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample<G: Rng>(self, rng: &mut G) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_uniform(lo, hi, true, rng)
+    }
+}
+
+/// Types with a standard distribution for [`Rng::gen`].
+pub trait Standard {
+    /// Draws one element of the standard distribution.
+    fn sample<G: Rng>(rng: &mut G) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<G: Rng>(rng: &mut G) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<G: Rng>(rng: &mut G) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<G: Rng>(rng: &mut G) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<G: Rng>(rng: &mut G) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = StdRng::seed_from_u64(0);
+        let draws: Vec<u64> = (0..16).map(|_| r.next_u64()).collect();
+        assert!(draws.iter().any(|&x| x != 0));
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(13);
+        let mut counts = [0usize; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[r.gen_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            // Expected 10 000 per bin; 4σ ≈ 380.
+            assert!((9_500..10_500).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(17);
+        let hits = (0..50_000).filter(|_| r.gen_bool(0.3)).count();
+        let frac = hits as f64 / 50_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "{frac}");
+        let mut r = StdRng::seed_from_u64(18);
+        assert_eq!((0..100).filter(|_| r.gen_bool(0.0)).count(), 0);
+        let mut r = StdRng::seed_from_u64(19);
+        assert_eq!((0..100).filter(|_| r.gen_bool(1.0)).count(), 100);
+    }
+
+    #[test]
+    fn standard_f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(23);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(1);
+        let _ = r.gen_range(5..5usize);
+    }
+}

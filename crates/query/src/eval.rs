@@ -13,7 +13,19 @@
 
 use crate::twig::{Axis, LabelTest, NodeKind, TwigQuery};
 use std::collections::HashMap;
+use xcluster_obs::SpanTimer;
 use xcluster_xml::{NodeId, Symbol, XmlTree};
+
+/// Registry handles for evaluator instrumentation (`eval.*`).
+mod stats {
+    use std::sync::{Arc, LazyLock};
+    use xcluster_obs::{counter, histogram, Counter, Histogram};
+
+    pub static QUERIES: LazyLock<Arc<Counter>> = LazyLock::new(|| counter("eval.queries"));
+    pub static QUERY_NS: LazyLock<Arc<Histogram>> = LazyLock::new(|| histogram("eval.query_ns"));
+    pub static INDEX_BUILD_NS: LazyLock<Arc<Histogram>> =
+        LazyLock::new(|| histogram("eval.index_build_ns"));
+}
 
 /// Preorder/label index over a document, reusable across queries.
 #[derive(Debug)]
@@ -31,6 +43,7 @@ pub struct EvalIndex {
 impl EvalIndex {
     /// Builds the index with one DFS over the document.
     pub fn build(tree: &XmlTree) -> Self {
+        let _span = SpanTimer::new("eval.index_build", &stats::INDEX_BUILD_NS);
         let n = tree.len();
         let mut pre = vec![0u32; n];
         let mut max_pre = vec![0u32; n];
@@ -112,6 +125,8 @@ impl EvalIndex {
 /// Evaluates the exact selectivity (binding-tuple count) of `query`.
 pub fn evaluate(query: &TwigQuery, tree: &XmlTree, index: &EvalIndex) -> f64 {
     debug_assert!(query.filters_are_existential());
+    stats::QUERIES.inc();
+    let _span = SpanTimer::new("eval.query", &stats::QUERY_NS);
     let mut ev = Evaluator {
         query,
         tree,
@@ -298,10 +313,20 @@ mod tests {
     #[test]
     fn child_vs_descendant_axis() {
         let (t, idx) = bib();
-        assert_eq!(evaluate(&parse_twig("/author", t.terms()).unwrap(), &t, &idx), 2.0);
-        assert_eq!(evaluate(&parse_twig("/year", t.terms()).unwrap(), &t, &idx), 0.0);
         assert_eq!(
-            evaluate(&parse_twig("/author/paper/year", t.terms()).unwrap(), &t, &idx),
+            evaluate(&parse_twig("/author", t.terms()).unwrap(), &t, &idx),
+            2.0
+        );
+        assert_eq!(
+            evaluate(&parse_twig("/year", t.terms()).unwrap(), &t, &idx),
+            0.0
+        );
+        assert_eq!(
+            evaluate(
+                &parse_twig("/author/paper/year", t.terms()).unwrap(),
+                &t,
+                &idx
+            ),
             2.0
         );
     }
@@ -309,8 +334,14 @@ mod tests {
     #[test]
     fn wildcard_counts_everything() {
         let (t, idx) = bib();
-        assert_eq!(evaluate(&parse_twig("//*", t.terms()).unwrap(), &t, &idx), 16.0);
-        assert_eq!(evaluate(&parse_twig("/*", t.terms()).unwrap(), &t, &idx), 2.0);
+        assert_eq!(
+            evaluate(&parse_twig("//*", t.terms()).unwrap(), &t, &idx),
+            16.0
+        );
+        assert_eq!(
+            evaluate(&parse_twig("/*", t.terms()).unwrap(), &t, &idx),
+            2.0
+        );
     }
 
     #[test]
@@ -428,9 +459,17 @@ mod tests {
         });
         let idx = EvalIndex::build(&d.tree);
         // Every sixth entry is a series, the rest are movies.
-        let movies = evaluate(&parse_twig("//movie", d.tree.terms()).unwrap(), &d.tree, &idx);
+        let movies = evaluate(
+            &parse_twig("//movie", d.tree.terms()).unwrap(),
+            &d.tree,
+            &idx,
+        );
         assert_eq!(movies, 250.0);
-        let series = evaluate(&parse_twig("//series", d.tree.terms()).unwrap(), &d.tree, &idx);
+        let series = evaluate(
+            &parse_twig("//series", d.tree.terms()).unwrap(),
+            &d.tree,
+            &idx,
+        );
         assert_eq!(series, 50.0);
         let filtered = evaluate(
             &parse_twig("//movie[year>=1990]/title", d.tree.terms()).unwrap(),

@@ -156,7 +156,9 @@ impl<'a> P<'a> {
                 } else {
                     Axis::Child
                 }
-            } else if first && !require_axis && matches!(self.peek(), Some(c) if is_name(c) || c == b'*')
+            } else if first
+                && !require_axis
+                && matches!(self.peek(), Some(c) if is_name(c) || c == b'*')
             {
                 Axis::Child
             } else if first {

@@ -124,12 +124,22 @@ impl TwigQuery {
 
     /// Convenience: adds a variable step with a tag test.
     pub fn step(&mut self, parent: usize, axis: Axis, tag: &str) -> usize {
-        self.add_step(parent, axis, LabelTest::Tag(tag.to_string()), NodeKind::Variable)
+        self.add_step(
+            parent,
+            axis,
+            LabelTest::Tag(tag.to_string()),
+            NodeKind::Variable,
+        )
     }
 
     /// Convenience: adds a filter step with a tag test.
     pub fn filter(&mut self, parent: usize, axis: Axis, tag: &str) -> usize {
-        self.add_step(parent, axis, LabelTest::Tag(tag.to_string()), NodeKind::Filter)
+        self.add_step(
+            parent,
+            axis,
+            LabelTest::Tag(tag.to_string()),
+            NodeKind::Filter,
+        )
     }
 
     /// Attaches a value predicate to `node`.
@@ -217,8 +227,7 @@ impl fmt::Display for TwigQuery {
                 .children
                 .iter()
                 .copied()
-                .filter(|&c| q.node(c).kind == NodeKind::Variable)
-                .next_back();
+                .rfind(|&c| q.node(c).kind == NodeKind::Variable);
             for &c in &n.children {
                 if q.node(c).kind == NodeKind::Filter {
                     write!(f, "[")?;
@@ -240,8 +249,7 @@ impl fmt::Display for TwigQuery {
             .children
             .iter()
             .copied()
-            .filter(|&c| self.node(c).kind == NodeKind::Variable)
-            .next_back();
+            .rfind(|&c| self.node(c).kind == NodeKind::Variable);
         for &c in &self.nodes[0].children {
             if self.node(c).kind == NodeKind::Filter {
                 write!(f, "[")?;
@@ -270,7 +278,13 @@ mod tests {
         let mut q = TwigQuery::new();
         let p = q.step(q.root(), Axis::Descendant, "paper");
         let y = q.filter(p, Axis::Child, "year");
-        q.set_predicate(y, ValuePredicate::Range { lo: 2001, hi: u64::MAX });
+        q.set_predicate(
+            y,
+            ValuePredicate::Range {
+                lo: 2001,
+                hi: u64::MAX,
+            },
+        );
         let t = q.step(p, Axis::Child, "title");
         q.set_predicate(
             t,

@@ -409,7 +409,11 @@ fn predicate_from_value(value: &Value, rng: &mut StdRng) -> Option<ValuePredicat
             if tv.is_empty() {
                 return None;
             }
-            let k = if rng.gen_bool(0.3) && tv.len() >= 2 { 2 } else { 1 };
+            let k = if rng.gen_bool(0.3) && tv.len() >= 2 {
+                2
+            } else {
+                1
+            };
             let mut terms = Vec::with_capacity(k);
             for _ in 0..k {
                 terms.push(tv.terms()[rng.gen_range(0..tv.len())]);

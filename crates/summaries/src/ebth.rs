@@ -72,12 +72,7 @@ impl RleBitmap {
 
     /// Set union of two bitmaps.
     pub fn union(&self, other: &RleBitmap) -> RleBitmap {
-        let mut all: Vec<(u32, u32)> = self
-            .runs
-            .iter()
-            .chain(other.runs.iter())
-            .copied()
-            .collect();
+        let mut all: Vec<(u32, u32)> = self.runs.iter().chain(other.runs.iter()).copied().collect();
         all.sort_unstable();
         let mut runs: Vec<(u32, u32)> = Vec::with_capacity(all.len());
         for (s, e) in all {
@@ -94,6 +89,10 @@ impl RleBitmap {
         self.runs.iter().flat_map(|&(s, e)| s..e)
     }
 }
+
+/// [`Ebth::to_parts`] output: `(top pairs, support runs, uniform_sum,
+/// uniform_count, elements)`.
+pub type EbthParts = (Vec<(u32, f64)>, Vec<(u32, u32)>, f64, u64, f64);
 
 /// An end-biased term histogram summarizing a term-vector centroid.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,7 +144,7 @@ impl Ebth {
 
     /// Serialized parts: `(top pairs, support runs, uniform_sum,
     /// uniform_count, elements)`.
-    pub fn to_parts(&self) -> (Vec<(u32, f64)>, Vec<(u32, u32)>, f64, u64, f64) {
+    pub fn to_parts(&self) -> EbthParts {
         (
             self.top.iter().map(|&(t, f)| (t.0, f)).collect(),
             self.support.runs.clone(),
@@ -617,7 +616,10 @@ mod tests {
         let w = u.fuse(&v);
         let direct = Ebth::from_vectors(t1.iter().chain(t2.iter()));
         for id in [1u32, 2, 3, 4] {
-            close(w.term_frequency(Symbol(id)), direct.term_frequency(Symbol(id)));
+            close(
+                w.term_frequency(Symbol(id)),
+                direct.term_frequency(Symbol(id)),
+            );
         }
     }
 

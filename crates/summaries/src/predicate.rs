@@ -43,10 +43,9 @@ impl ValuePredicate {
             (ValuePredicate::FtContains { terms }, Value::Text(tv)) => {
                 terms.iter().all(|t| tv.contains(*t))
             }
-            (
-                ValuePredicate::SimilarTo { terms, min_overlap },
-                Value::Text(tv),
-            ) => terms.iter().filter(|t| tv.contains(**t)).count() >= *min_overlap,
+            (ValuePredicate::SimilarTo { terms, min_overlap }, Value::Text(tv)) => {
+                terms.iter().filter(|t| tv.contains(**t)).count() >= *min_overlap
+            }
             _ => false,
         }
     }
@@ -164,7 +163,10 @@ mod tests {
             "in 1..9"
         );
         assert_eq!(
-            ValuePredicate::Contains { needle: "ab".into() }.to_string(),
+            ValuePredicate::Contains {
+                needle: "ab".into()
+            }
+            .to_string(),
             "contains(ab)"
         );
     }

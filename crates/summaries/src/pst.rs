@@ -57,6 +57,10 @@ struct Node {
     last_seen: u32,
 }
 
+/// [`Pst::to_parts`] output: `(num_strings, max_depth, root_occ,
+/// preorder nodes as (depth, byte, presence, occurrence))`.
+pub type PstParts = (f64, usize, f64, Vec<(u16, u8, f64, f64)>);
+
 /// A pruned suffix tree with presence and occurrence counts.
 #[derive(Debug, Clone)]
 pub struct Pst {
@@ -325,8 +329,7 @@ impl Pst {
         let slink = &self.nodes[n.slink as usize];
         let slink_parent = &self.nodes[slink.parent as usize];
         let est = if slink_parent.occ > 0.0 {
-            (parent.occ * (slink.occ / slink_parent.occ))
-                .min(parent.count.min(slink.count))
+            (parent.occ * (slink.occ / slink_parent.occ)).min(parent.count.min(slink.count))
                 / self.num_strings
         } else {
             0.0
@@ -529,7 +532,7 @@ impl Pst {
     /// Serialized parts: `(num_strings, max_depth, root_occ, preorder
     /// node list as (depth, byte, presence, occurrence))`. Only alive
     /// nodes are emitted.
-    pub fn to_parts(&self) -> (f64, usize, f64, Vec<(u16, u8, f64, f64)>) {
+    pub fn to_parts(&self) -> PstParts {
         let mut out = Vec::with_capacity(self.node_count());
         let mut stack: Vec<u32> = self
             .alive_children(ROOT)
@@ -582,7 +585,10 @@ impl Pst {
         // Preorder with explicit depths: a stack of the current path.
         let mut path: Vec<u32> = vec![ROOT];
         for (depth, ch, count, occ) in preorder {
-            assert!(depth >= 1 && (depth as usize) < path.len() + 1, "bad preorder");
+            assert!(
+                depth >= 1 && (depth as usize) < path.len() + 1,
+                "bad preorder"
+            );
             path.truncate(depth as usize);
             let parent = *path.last().expect("path never empty");
             let id = pst.child_or_insert(parent, ch);
@@ -694,7 +700,14 @@ mod tests {
     fn markov_estimate_for_long_needles() {
         // Depth cap 2 forces Markovian stitching for length-3 needles.
         let strings: Vec<String> = (0..20)
-            .map(|i| format!("{}{}{}", (b'x' + i % 3) as char, "bc", (b'd' + i % 2) as char))
+            .map(|i| {
+                format!(
+                    "{}{}{}",
+                    (b'x' + i % 3) as char,
+                    "bc",
+                    (b'd' + i % 2) as char
+                )
+            })
             .collect();
         let pst = Pst::build(&strings, 2);
         let s = pst.selectivity("bcd");

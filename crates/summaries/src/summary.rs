@@ -134,10 +134,9 @@ impl ValueSummary {
                         hist_buckets * 2, // coefficients ≈ bucket budget in bytes
                         crate::wavelet::DEFAULT_LEVELS,
                     )),
-                    NumericKind::Sample => ValueSummary::NumericSample(SampleSummary::build(
-                        &nums,
-                        hist_buckets * 2,
-                    )),
+                    NumericKind::Sample => {
+                        ValueSummary::NumericSample(SampleSummary::build(&nums, hist_buckets * 2))
+                    }
                 })
             }
             ValueType::String => {
@@ -175,18 +174,14 @@ impl ValueSummary {
     /// can never match values of this type).
     pub fn selectivity(&self, pred: &ValuePredicate) -> f64 {
         match (self, pred) {
-            (ValueSummary::Numeric(h), ValuePredicate::Range { lo, hi }) => {
-                h.selectivity(*lo, *hi)
-            }
+            (ValueSummary::Numeric(h), ValuePredicate::Range { lo, hi }) => h.selectivity(*lo, *hi),
             (ValueSummary::NumericWavelet(w), ValuePredicate::Range { lo, hi }) => {
                 w.selectivity(*lo, *hi)
             }
             (ValueSummary::NumericSample(s), ValuePredicate::Range { lo, hi }) => {
                 s.selectivity(*lo, *hi)
             }
-            (ValueSummary::String(p), ValuePredicate::Contains { needle }) => {
-                p.selectivity(needle)
-            }
+            (ValueSummary::String(p), ValuePredicate::Contains { needle }) => p.selectivity(needle),
             (ValueSummary::Text(e), ValuePredicate::FtContains { terms }) => e.selectivity(terms),
             (ValueSummary::Text(e), ValuePredicate::SimilarTo { terms, min_overlap }) => {
                 e.similarity_selectivity(terms, *min_overlap)
@@ -413,7 +408,7 @@ mod tests {
 
     #[test]
     fn build_string() {
-        let vals = vec![
+        let vals = [
             Value::String("database".into()),
             Value::String("datalog".into()),
         ];
@@ -437,7 +432,7 @@ mod tests {
     fn build_text() {
         let tv1: TermVector = [Symbol(1), Symbol(2)].into_iter().collect();
         let tv2: TermVector = [Symbol(1)].into_iter().collect();
-        let vals = vec![Value::Text(tv1), Value::Text(tv2)];
+        let vals = [Value::Text(tv1), Value::Text(tv2)];
         let refs: Vec<&Value> = vals.iter().collect();
         let s = ValueSummary::build(&refs, ValueType::Text).unwrap();
         close(
@@ -476,7 +471,10 @@ mod tests {
         let a = ValueSummary::build(&ar, ValueType::Numeric).unwrap();
         let b = ValueSummary::build(&br, ValueType::Numeric).unwrap();
         let f = a.fuse(&b);
-        close(f.selectivity(&ValuePredicate::Range { lo: 0, hi: 500 }), 1.0);
+        close(
+            f.selectivity(&ValuePredicate::Range { lo: 0, hi: 500 }),
+            1.0,
+        );
         close(f.selectivity(&ValuePredicate::Range { lo: 0, hi: 50 }), 0.5);
     }
 
@@ -485,7 +483,7 @@ mod tests {
     fn fuse_mixed_types_panics() {
         let n = numeric_values(&[1]);
         let nr: Vec<&Value> = n.iter().collect();
-        let s = vec![Value::String("a".into())];
+        let s = [Value::String("a".into())];
         let sr: Vec<&Value> = s.iter().collect();
         let a = ValueSummary::build(&nr, ValueType::Numeric).unwrap();
         let b = ValueSummary::build(&sr, ValueType::String).unwrap();

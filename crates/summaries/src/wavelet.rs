@@ -202,8 +202,7 @@ impl WaveletSummary {
         if other.total == 0.0 {
             return self.clone();
         }
-        if self.lo == other.lo && self.cell_width == other.cell_width && self.cells == other.cells
-        {
+        if self.lo == other.lo && self.cell_width == other.cell_width && self.cells == other.cells {
             let mut coefficients = self.coefficients.clone();
             for (&i, &v) in &other.coefficients {
                 *coefficients.entry(i).or_insert(0.0) += v;

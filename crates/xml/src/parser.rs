@@ -65,7 +65,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -288,10 +292,12 @@ impl<'a> Parser<'a> {
         };
         Ok(match ty {
             ValueType::None => Value::None,
-            ValueType::Numeric => Value::Numeric(content.parse::<u64>().map_err(|_| ParseError {
-                offset: self.pos,
-                message: format!("<{tag}> content {content:?} is not numeric"),
-            })?),
+            ValueType::Numeric => {
+                Value::Numeric(content.parse::<u64>().map_err(|_| ParseError {
+                    offset: self.pos,
+                    message: format!("<{tag}> content {content:?} is not numeric"),
+                })?)
+            }
             ValueType::String => Value::String(content.to_string()),
             ValueType::Text => {
                 let terms: Vec<_> = content
@@ -348,8 +354,7 @@ mod tests {
 
     #[test]
     fn infers_value_types() {
-        let t = parse("<r><y>1999</y><s>short name</s><x>one two three four five</x></r>")
-            .unwrap();
+        let t = parse("<r><y>1999</y><s>short name</s><x>one two three four five</x></r>").unwrap();
         let kids: Vec<_> = t.children(t.root()).collect();
         assert_eq!(t.value_type(kids[0]), ValueType::Numeric);
         assert_eq!(t.value_type(kids[1]), ValueType::String);
@@ -382,10 +387,9 @@ mod tests {
 
     #[test]
     fn skips_prolog_comments_pis() {
-        let t = parse(
-            "<?xml version=\"1.0\"?><!DOCTYPE r><!-- hi --><r><!-- c --><a>1</a><?pi?></r>",
-        )
-        .unwrap();
+        let t =
+            parse("<?xml version=\"1.0\"?><!DOCTYPE r><!-- hi --><r><!-- c --><a>1</a><?pi?></r>")
+                .unwrap();
         assert_eq!(t.len(), 2);
     }
 
@@ -423,7 +427,10 @@ mod tests {
         let t2 = parse(&written).unwrap();
         assert_eq!(t.len(), t2.len());
         let labels1: Vec<_> = t.all_nodes().map(|n| t.label_str(n).to_string()).collect();
-        let labels2: Vec<_> = t2.all_nodes().map(|n| t2.label_str(n).to_string()).collect();
+        let labels2: Vec<_> = t2
+            .all_nodes()
+            .map(|n| t2.label_str(n).to_string())
+            .collect();
         assert_eq!(labels1, labels2);
         for (n1, n2) in t.all_nodes().zip(t2.all_nodes()) {
             assert_eq!(t.value_type(n1), t2.value_type(n2));

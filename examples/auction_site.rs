@@ -64,7 +64,10 @@ fn main() {
         "//listitem//listitem/text",
         "//regions//item/description/parlist/listitem",
     ];
-    println!("{:66}  {:>10}  {:>10}  {:>7}", "query", "estimate", "true", "relerr");
+    println!(
+        "{:66}  {:>10}  {:>10}  {:>7}",
+        "query", "estimate", "true", "relerr"
+    );
     for q in queries {
         let twig = parse_twig(q, d.tree.terms()).expect("valid twig");
         let est = estimate(&synopsis, &twig);

@@ -54,7 +54,10 @@ fn main() {
         w.sanity_bound
     );
 
-    println!("{:>10}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}", "size", "Overall", "Struct", "Numeric", "String", "Text");
+    println!(
+        "{:>10}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}",
+        "size", "Overall", "Struct", "Numeric", "String", "Text"
+    );
     for b_str in [1usize, 4, 8, 16].map(|k| k * 1024) {
         let built = build_synopsis(
             reference.clone(),

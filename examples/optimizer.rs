@@ -45,8 +45,14 @@ fn main() {
     let fragments = [
         ("year filter", "//movie[year>1995]"),
         ("genre filter", "//movie[genre contains(war)]"),
-        ("combined filters", "//movie[year>1995][genre contains(war)]"),
-        ("full twig", "//movie[year>1995][genre contains(war)]/cast/actor/name"),
+        (
+            "combined filters",
+            "//movie[year>1995][genre contains(war)]",
+        ),
+        (
+            "full twig",
+            "//movie[year>1995][genre contains(war)]/cast/actor/name",
+        ),
         ("actors only", "//movie/cast/actor/name"),
     ];
 

@@ -49,8 +49,8 @@ fn main() {
     let synopsis = build_synopsis(
         reference,
         &BuildConfig {
-            b_str: 256,  // structural budget (bytes)
-            b_val: 512,  // value-summary budget (bytes)
+            b_str: 256, // structural budget (bytes)
+            b_val: 512, // value-summary budget (bytes)
             ..BuildConfig::default()
         },
     );

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local mirror of the CI pipeline (.github/workflows/ci.yml):
+# formatting, lints, release build, and the full test suite.
+# Run from the repo root: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "CI OK"

@@ -127,7 +127,10 @@ fn tag_baseline_vs_xcluster_on_correlated_data() {
     let truth = evaluate(&q, &t, &idx);
     assert_eq!(truth, 0.0);
     let est_keep = estimate(&keep, &q);
-    assert!(est_keep < 1.0, "separated clusters know a has no late years");
+    assert!(
+        est_keep < 1.0,
+        "separated clusters know a has no late years"
+    );
     let _ = tag;
 }
 

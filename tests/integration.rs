@@ -354,11 +354,7 @@ fn similarity_predicate_end_to_end() {
         "similar(): {est} vs {truth}"
     );
     // ftcontains of both terms is at most the ≥1-overlap count.
-    let conj = parse_twig(
-        &format!("//plot[ftcontains({t1}, {t2})]"),
-        d.tree.terms(),
-    )
-    .unwrap();
+    let conj = parse_twig(&format!("//plot[ftcontains({t1}, {t2})]"), d.tree.terms()).unwrap();
     let conj_truth = xcluster_query::evaluate(&conj, &d.tree, &idx);
     assert!(conj_truth <= truth);
 }

@@ -1,9 +1,16 @@
-//! Property-based tests (proptest) on the core invariants:
-//! summary estimates stay in range under arbitrary data and compression,
-//! merges preserve mass, and structural estimates on the reference
-//! synopsis equal exact counts for arbitrary generated documents.
+//! Randomized property tests on the core invariants — summary estimates
+//! stay in range under arbitrary data and compression, merges preserve
+//! mass, and structural estimates on the reference synopsis equal exact
+//! counts for arbitrary generated documents.
+//!
+//! Originally written with proptest; the offline build environment has
+//! no crates.io access, so the same properties are now driven by the
+//! in-repo deterministic PRNG: each case is generated from a fixed seed
+//! and the failing seed is reported on panic, which keeps failures
+//! reproducible (`CASES` controls the per-property case count).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use xcluster_core::build::{build_synopsis, BuildConfig};
 use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
 use xcluster_core::{estimate, merge};
@@ -11,49 +18,80 @@ use xcluster_query::{evaluate, EvalIndex, TwigQuery};
 use xcluster_summaries::{Histogram, HistogramKind, Pst, ValuePredicate, ValueSummary};
 use xcluster_xml::{Value, ValueType, XmlTree};
 
+const CASES: u64 = 64;
+
+/// Runs `body` for `cases` seeds, wrapping panics with the failing seed.
+fn for_cases(cases: u64, body: impl Fn(&mut StdRng)) {
+    for seed in 0..cases {
+        let mut rng = StdRng::seed_from_u64(0xB175_0000 ^ seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(e) = result {
+            eprintln!("property failed for case seed {seed}");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+fn vec_u64(rng: &mut StdRng, max_len: usize, max_val: u64) -> Vec<u64> {
+    let len = rng.gen_range(1..=max_len);
+    (0..len).map(|_| rng.gen_range(0..max_val)).collect()
+}
+
+fn rand_string(rng: &mut StdRng, alphabet: &[u8], max_len: usize) -> String {
+    let len = rng.gen_range(1..=max_len);
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char)
+        .collect()
+}
+
 // -------------------------------------------------------------------
 // Summary-level properties.
 // -------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn histogram_selectivity_in_unit_range(
-        values in prop::collection::vec(0u64..10_000, 1..200),
-        lo in 0u64..12_000,
-        width in 0u64..12_000,
-        buckets in 1usize..40,
-    ) {
+#[test]
+fn histogram_selectivity_in_unit_range() {
+    for_cases(CASES * 2, |rng| {
+        let values = vec_u64(rng, 200, 10_000);
+        let lo = rng.gen_range(0u64..12_000);
+        let width = rng.gen_range(0u64..12_000);
+        let buckets = rng.gen_range(1usize..40);
         let h = Histogram::build(&values, buckets, HistogramKind::EquiDepth);
         let s = h.selectivity(lo, lo.saturating_add(width));
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "{s}");
-    }
+        assert!((0.0..=1.0 + 1e-9).contains(&s), "{s}");
+    });
+}
 
-    #[test]
-    fn histogram_total_preserved_by_fusion(
-        a in prop::collection::vec(0u64..1000, 1..100),
-        b in prop::collection::vec(0u64..1000, 1..100),
-    ) {
+#[test]
+fn histogram_total_preserved_by_fusion() {
+    for_cases(CASES, |rng| {
+        let a = vec_u64(rng, 100, 1000);
+        let b = vec_u64(rng, 100, 1000);
         let ha = Histogram::build(&a, 8, HistogramKind::EquiDepth);
         let hb = Histogram::build(&b, 8, HistogramKind::EquiDepth);
         let f = ha.fuse(&hb);
-        prop_assert!((f.total() - (a.len() + b.len()) as f64).abs() < 1e-6);
+        assert!((f.total() - (a.len() + b.len()) as f64).abs() < 1e-6);
         // Full-domain estimate equals the total.
-        prop_assert!((f.estimate_range(0, 2000) - f.total()).abs() < 1e-6);
-    }
+        assert!((f.estimate_range(0, 2000) - f.total()).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn histogram_full_range_selectivity_is_one(
-        values in prop::collection::vec(0u64..500, 1..100),
-    ) {
+#[test]
+fn histogram_full_range_selectivity_is_one() {
+    for_cases(CASES, |rng| {
+        let values = vec_u64(rng, 100, 500);
         let h = Histogram::build(&values, 6, HistogramKind::EquiDepth);
-        prop_assert!((h.selectivity(0, 1000) - 1.0).abs() < 1e-9);
-    }
+        assert!((h.selectivity(0, 1000) - 1.0).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn histogram_compression_keeps_total(
-        values in prop::collection::vec(0u64..1000, 2..150),
-        steps in 1usize..10,
-    ) {
+#[test]
+fn histogram_compression_keeps_total() {
+    for_cases(CASES, |rng| {
+        let mut values = vec_u64(rng, 150, 1000);
+        if values.len() < 2 {
+            values.push(7);
+        }
+        let steps = rng.gen_range(1usize..10);
         let mut h = Histogram::build(&values, 16, HistogramKind::EquiDepth);
         let total = h.total();
         for _ in 0..steps {
@@ -62,86 +100,97 @@ proptest! {
                 None => break,
             }
         }
-        prop_assert!((h.total() - total).abs() < 1e-9);
-        prop_assert!((h.estimate_range(0, 2000) - total).abs() < 1e-6);
-    }
+        assert!((h.total() - total).abs() < 1e-9);
+        assert!((h.estimate_range(0, 2000) - total).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn pst_retained_substrings_estimate_exactly(
-        strings in prop::collection::vec("[a-d]{1,8}", 1..40),
-    ) {
+#[test]
+fn pst_retained_substrings_estimate_exactly() {
+    for_cases(CASES, |rng| {
+        let n = rng.gen_range(1usize..40);
+        let strings: Vec<String> = (0..n).map(|_| rand_string(rng, b"abcd", 8)).collect();
         let pst = Pst::build(&strings, 8);
         for s in &strings {
             let exact = strings.iter().filter(|t| t.contains(s.as_str())).count() as f64
                 / strings.len() as f64;
             let est = pst.selectivity(s);
-            prop_assert!((est - exact).abs() < 1e-9, "{s}: {est} vs {exact}");
+            assert!((est - exact).abs() < 1e-9, "{s}: {est} vs {exact}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn pst_estimates_in_unit_range_after_pruning(
-        strings in prop::collection::vec("[a-e]{1,10}", 1..30),
-        needle in "[a-f]{1,12}",
-        keep in 0usize..40,
-    ) {
+#[test]
+fn pst_estimates_in_unit_range_after_pruning() {
+    for_cases(CASES, |rng| {
+        let n = rng.gen_range(1usize..30);
+        let strings: Vec<String> = (0..n).map(|_| rand_string(rng, b"abcde", 10)).collect();
+        let needle = rand_string(rng, b"abcdef", 12);
+        let keep = rng.gen_range(0usize..40);
         let mut pst = Pst::build(&strings, 6);
         pst.prune_to_size(keep);
         let s = pst.selectivity(&needle);
-        prop_assert!((0.0..=1.0).contains(&s), "{s}");
-    }
+        assert!((0.0..=1.0).contains(&s), "{s}");
+    });
+}
 
-    #[test]
-    fn pst_fusion_commutes(
-        a in prop::collection::vec("[a-c]{1,6}", 1..20),
-        b in prop::collection::vec("[a-c]{1,6}", 1..20),
-    ) {
+#[test]
+fn pst_fusion_commutes() {
+    for_cases(CASES, |rng| {
+        let na = rng.gen_range(1usize..20);
+        let nb = rng.gen_range(1usize..20);
+        let a: Vec<String> = (0..na).map(|_| rand_string(rng, b"abc", 6)).collect();
+        let b: Vec<String> = (0..nb).map(|_| rand_string(rng, b"abc", 6)).collect();
         let pa = Pst::build(&a, 6);
         let pb = Pst::build(&b, 6);
         let ab = pa.fuse(&pb);
         let ba = pb.fuse(&pa);
         for s in a.iter().chain(b.iter()) {
-            prop_assert!((ab.selectivity(s) - ba.selectivity(s)).abs() < 1e-9);
+            assert!((ab.selectivity(s) - ba.selectivity(s)).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn ebth_term_frequencies_bounded(
-        texts in prop::collection::vec(
-            prop::collection::vec(0u32..200, 0..10), 1..30),
-        demote in 0usize..30,
-    ) {
-        use xcluster_xml::{Symbol, TermVector};
-        let tvs: Vec<TermVector> = texts
-            .iter()
-            .map(|ids| ids.iter().map(|&i| Symbol(i)).collect())
+#[test]
+fn ebth_term_frequencies_bounded() {
+    use xcluster_xml::{Symbol, TermVector};
+    for_cases(CASES, |rng| {
+        let n_texts = rng.gen_range(1usize..30);
+        let tvs: Vec<TermVector> = (0..n_texts)
+            .map(|_| {
+                let len = rng.gen_range(0usize..10);
+                (0..len).map(|_| Symbol(rng.gen_range(0u32..200))).collect()
+            })
             .collect();
+        let demote = rng.gen_range(0usize..30);
         let mut e = xcluster_summaries::Ebth::from_vectors(tvs.iter());
         e.demote(demote);
         for t in 0..220u32 {
             let f = e.term_frequency(Symbol(t));
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&f), "term {t}: {f}");
+            assert!((0.0..=1.0 + 1e-9).contains(&f), "term {t}: {f}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn ebth_absent_terms_are_zero_at_any_compression(
-        texts in prop::collection::vec(
-            prop::collection::vec(0u32..50, 1..8), 1..20),
-        demote in 0usize..20,
-    ) {
-        use xcluster_xml::{Symbol, TermVector};
-        let tvs: Vec<TermVector> = texts
-            .iter()
-            .map(|ids| ids.iter().map(|&i| Symbol(i)).collect())
+#[test]
+fn ebth_absent_terms_are_zero_at_any_compression() {
+    use xcluster_xml::{Symbol, TermVector};
+    for_cases(CASES, |rng| {
+        let n_texts = rng.gen_range(1usize..20);
+        let tvs: Vec<TermVector> = (0..n_texts)
+            .map(|_| {
+                let len = rng.gen_range(1usize..8);
+                (0..len).map(|_| Symbol(rng.gen_range(0u32..50))).collect()
+            })
             .collect();
+        let demote = rng.gen_range(0usize..20);
         let mut e = xcluster_summaries::Ebth::from_vectors(tvs.iter());
         e.demote(demote);
         // Terms 100+ never occur: the 0/1 uniform bucket must say zero.
         for t in 100..120u32 {
-            prop_assert_eq!(e.term_frequency(Symbol(t)), 0.0);
+            assert_eq!(e.term_frequency(Symbol(t)), 0.0);
         }
-    }
+    });
 }
 
 // -------------------------------------------------------------------
@@ -150,33 +199,28 @@ proptest! {
 
 /// A random small document: labels from a tiny alphabet, values typed by
 /// label, up to 3 levels of nesting.
-fn arb_document() -> impl Strategy<Value = XmlTree> {
-    // Each "record" is (label-variant, numeric value, fanout).
-    let record = (0usize..3, 0u64..100, 1usize..4);
-    prop::collection::vec((record, prop::collection::vec(0u64..50, 0..4)), 1..25).prop_map(
-        |specs| {
-            let mut t = XmlTree::new("root");
-            let root = t.root();
-            for ((variant, val, _fanout), leaves) in specs {
-                let tag = ["a", "b", "c"][variant];
-                let node = t.add_child(root, tag);
-                let y = t.add_child(node, "y");
-                t.set_value(y, Value::Numeric(val));
-                for (i, lv) in leaves.iter().enumerate() {
-                    let leaf = t.add_child(node, if i % 2 == 0 { "m" } else { "n" });
-                    t.set_value(leaf, Value::Numeric(*lv));
-                }
-            }
-            t
-        },
-    )
+fn arb_document(rng: &mut StdRng) -> XmlTree {
+    let mut t = XmlTree::new("root");
+    let root = t.root();
+    let records = rng.gen_range(1usize..25);
+    for _ in 0..records {
+        let tag = ["a", "b", "c"][rng.gen_range(0usize..3)];
+        let node = t.add_child(root, tag);
+        let y = t.add_child(node, "y");
+        t.set_value(y, Value::Numeric(rng.gen_range(0u64..100)));
+        let leaves = rng.gen_range(0usize..4);
+        for i in 0..leaves {
+            let leaf = t.add_child(node, if i % 2 == 0 { "m" } else { "n" });
+            t.set_value(leaf, Value::Numeric(rng.gen_range(0u64..50)));
+        }
+    }
+    t
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn reference_structural_estimates_are_exact(tree in arb_document()) {
+#[test]
+fn reference_structural_estimates_are_exact() {
+    for_cases(CASES, |rng| {
+        let tree = arb_document(rng);
         let s = reference_synopsis(&tree, &ReferenceConfig::default());
         let idx = EvalIndex::build(&tree);
         for tag in ["a", "b", "c", "y", "m", "n"] {
@@ -184,12 +228,15 @@ proptest! {
             q.step(q.root(), xcluster_query::Axis::Descendant, tag);
             let est = estimate(&s, &q);
             let truth = evaluate(&q, &tree, &idx);
-            prop_assert!((est - truth).abs() < 1e-6, "{tag}: {est} vs {truth}");
+            assert!((est - truth).abs() < 1e-6, "{tag}: {est} vs {truth}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn build_never_underflows_budgets(tree in arb_document()) {
+#[test]
+fn build_never_underflows_budgets() {
+    for_cases(CASES, |rng| {
+        let tree = arb_document(rng);
         let reference = reference_synopsis(&tree, &ReferenceConfig::default());
         let cfg = BuildConfig {
             b_str: 256,
@@ -200,27 +247,37 @@ proptest! {
         built.check_consistency().unwrap();
         // Total element mass is invariant under merging.
         let mass: f64 = built.live_nodes().map(|i| built.node(i).count).sum();
-        prop_assert!((mass - tree.len() as f64).abs() < 1e-6);
-    }
+        assert!((mass - tree.len() as f64).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn estimates_are_nonnegative_and_finite(tree in arb_document()) {
+#[test]
+fn estimates_are_nonnegative_and_finite() {
+    for_cases(CASES, |rng| {
+        let tree = arb_document(rng);
         let reference = reference_synopsis(&tree, &ReferenceConfig::default());
         let built = build_synopsis(
             reference,
-            &BuildConfig { b_str: 128, b_val: 128, ..BuildConfig::default() },
+            &BuildConfig {
+                b_str: 128,
+                b_val: 128,
+                ..BuildConfig::default()
+            },
         );
         let mut q = TwigQuery::new();
         let a = q.step(q.root(), xcluster_query::Axis::Descendant, "a");
         let y = q.step(a, xcluster_query::Axis::Child, "y");
         q.set_predicate(y, ValuePredicate::Range { lo: 10, hi: 60 });
         let est = estimate(&built, &q);
-        prop_assert!(est.is_finite() && est >= 0.0, "{est}");
-    }
+        assert!(est.is_finite() && est >= 0.0, "{est}");
+    });
+}
 
-    #[test]
-    fn merge_preserves_expected_path_counts(tree in arb_document()) {
+#[test]
+fn merge_preserves_expected_path_counts() {
+    for_cases(CASES, |rng| {
         // Merging two sibling clusters keeps root-level expected counts.
+        let tree = arb_document(rng);
         let s = reference_synopsis(&tree, &ReferenceConfig::default());
         let groups = s.nodes_by_label_type();
         if let Some(ids) = groups.values().find(|v| v.len() >= 2) {
@@ -232,24 +289,25 @@ proptest! {
             let mut s2 = s.clone();
             merge::apply_merge(&mut s2, u, v);
             let after = estimate(&s2, &q);
-            prop_assert!((before - after).abs() < 1e-6 * before.max(1.0),
-                "{label}: {before} vs {after}");
+            assert!(
+                (before - after).abs() < 1e-6 * before.max(1.0),
+                "{label}: {before} vs {after}"
+            );
         }
-    }
+    });
 }
 
 // -------------------------------------------------------------------
 // ValueSummary dispatch properties.
 // -------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn value_summary_selectivity_bounded_under_compression(
-        values in prop::collection::vec(0u64..5000, 1..100),
-        lo in 0u64..5000,
-        width in 0u64..5000,
-        compressions in 0usize..20,
-    ) {
+#[test]
+fn value_summary_selectivity_bounded_under_compression() {
+    for_cases(CASES, |rng| {
+        let values = vec_u64(rng, 100, 5000);
+        let lo = rng.gen_range(0u64..5000);
+        let width = rng.gen_range(0u64..5000);
+        let compressions = rng.gen_range(0usize..20);
         let vals: Vec<Value> = values.iter().map(|&v| Value::Numeric(v)).collect();
         let refs: Vec<&Value> = vals.iter().collect();
         let mut s = ValueSummary::build(&refs, ValueType::Numeric).unwrap();
@@ -262,14 +320,15 @@ proptest! {
             lo,
             hi: lo.saturating_add(width),
         });
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&sel), "{sel}");
-    }
+        assert!((0.0..=1.0 + 1e-9).contains(&sel), "{sel}");
+    });
+}
 
-    #[test]
-    fn atomic_moments_are_symmetric_psd(
-        a in prop::collection::vec(0u64..100, 1..50),
-        b in prop::collection::vec(0u64..100, 1..50),
-    ) {
+#[test]
+fn atomic_moments_are_symmetric_psd() {
+    for_cases(CASES, |rng| {
+        let a = vec_u64(rng, 50, 100);
+        let b = vec_u64(rng, 50, 100);
         let va: Vec<Value> = a.iter().map(|&v| Value::Numeric(v)).collect();
         let vb: Vec<Value> = b.iter().map(|&v| Value::Numeric(v)).collect();
         let ra: Vec<&Value> = va.iter().collect();
@@ -278,12 +337,12 @@ proptest! {
         let sb = ValueSummary::build(&rb, ValueType::Numeric).unwrap();
         let m = sa.atomic_moments(&sb);
         // Squared distance is non-negative (Cauchy–Schwarz).
-        prop_assert!(m.sq_distance() >= 0.0);
+        assert!(m.sq_distance() >= 0.0);
         // Swapping arguments transposes the moments.
         let mt = sb.atomic_moments(&sa);
-        prop_assert!((m.sum_ab - mt.sum_ab).abs() < 1e-9);
-        prop_assert!((m.sum_aa - mt.sum_bb).abs() < 1e-9);
-    }
+        assert!((m.sum_ab - mt.sum_ab).abs() < 1e-9);
+        assert!((m.sum_aa - mt.sum_bb).abs() < 1e-9);
+    });
 }
 
 // -------------------------------------------------------------------
@@ -293,79 +352,79 @@ proptest! {
 /// A random twig over a small tag alphabet with range/contains
 /// predicates (ftcontains is excluded: term ids cannot round-trip
 /// through text without the originating dictionary).
-fn arb_twig() -> impl Strategy<Value = TwigQuery> {
+fn arb_twig(rng: &mut StdRng) -> TwigQuery {
     use xcluster_query::{Axis, LabelTest, NodeKind};
-    let step = (
-        0usize..4,         // parent selector (mod current size)
-        prop::bool::ANY,   // descendant axis?
-        0usize..5,         // label index (4 = wildcard)
-        0usize..3,         // kind: 0,1 variable; 2 filter
-        prop::option::of((0u64..100, 0u64..100, prop::bool::ANY)),
-    );
-    prop::collection::vec(step, 1..8).prop_map(|steps| {
-        let mut q = TwigQuery::new();
-        for (psel, desc, label, kind, pred) in steps {
-            let parent = psel % q.len();
-            // Keep filters existential: force filter kind under filters.
-            let parent_is_filter = parent != 0 && q.node(parent).kind == NodeKind::Filter;
-            let kind = if kind == 2 || parent_is_filter {
-                NodeKind::Filter
+    let mut q = TwigQuery::new();
+    let steps = rng.gen_range(1usize..8);
+    for _ in 0..steps {
+        let parent = rng.gen_range(0usize..4) % q.len();
+        // Keep filters existential: force filter kind under filters.
+        let parent_is_filter = parent != 0 && q.node(parent).kind == NodeKind::Filter;
+        let kind = if rng.gen_range(0usize..3) == 2 || parent_is_filter {
+            NodeKind::Filter
+        } else {
+            NodeKind::Variable
+        };
+        let label = match rng.gen_range(0usize..5) {
+            4 => LabelTest::Wildcard,
+            i => LabelTest::Tag(["a", "b", "c", "d"][i].to_string()),
+        };
+        let axis = if rng.gen_bool(0.5) {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
+        let id = q.add_step(parent, axis, label, kind);
+        if rng.gen_bool(0.5) {
+            let lo = rng.gen_range(0u64..100);
+            if rng.gen_bool(0.5) {
+                q.set_predicate(
+                    id,
+                    ValuePredicate::Contains {
+                        needle: format!("n{lo}"),
+                    },
+                );
             } else {
-                NodeKind::Variable
-            };
-            let label = match label {
-                4 => LabelTest::Wildcard,
-                i => LabelTest::Tag(["a", "b", "c", "d"][i].to_string()),
-            };
-            let axis = if desc { Axis::Descendant } else { Axis::Child };
-            let id = q.add_step(parent, axis, label, kind);
-            if let Some((lo, span, string_pred)) = pred {
-                if string_pred {
-                    q.set_predicate(
-                        id,
-                        ValuePredicate::Contains {
-                            needle: format!("n{lo}"),
-                        },
-                    );
-                } else {
-                    q.set_predicate(
-                        id,
-                        ValuePredicate::Range {
-                            lo,
-                            hi: lo + span,
-                        },
-                    );
-                }
+                q.set_predicate(
+                    id,
+                    ValuePredicate::Range {
+                        lo,
+                        hi: lo + rng.gen_range(0u64..100),
+                    },
+                );
             }
         }
-        q
-    })
+    }
+    q
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn twig_display_round_trips(q in arb_twig()) {
+#[test]
+fn twig_display_round_trips() {
+    for_cases(CASES * 2, |rng| {
+        let q = arb_twig(rng);
         let terms = xcluster_xml::Interner::new();
         let text = q.to_string();
         let reparsed = xcluster_query::parse_twig(&text, &terms)
             .unwrap_or_else(|e| panic!("reparse of {text:?} failed: {e}"));
         // Display is a normal form: printing again must be identical.
-        prop_assert_eq!(reparsed.to_string(), text);
-        prop_assert_eq!(reparsed.len(), q.len());
-        prop_assert_eq!(reparsed.num_variables(), q.num_variables());
-    }
+        assert_eq!(reparsed.to_string(), text);
+        assert_eq!(reparsed.len(), q.len());
+        assert_eq!(reparsed.num_variables(), q.num_variables());
+    });
+}
 
-    #[test]
-    fn twig_round_trip_preserves_semantics(q in arb_twig()) {
+#[test]
+fn twig_round_trip_preserves_semantics() {
+    for_cases(CASES * 2, |rng| {
+        let q = arb_twig(rng);
         // Evaluating the original and the reparsed twig on a fixed small
         // document gives the same count.
         let doc = xcluster_xml::parse(
             "<r><a><b>5</b><c>n7</c></a><a><b>50</b></a><d><a><b>5</b></a></d></r>",
-        ).unwrap();
+        )
+        .unwrap();
         let idx = EvalIndex::build(&doc);
         let reparsed = xcluster_query::parse_twig(&q.to_string(), doc.terms()).unwrap();
-        prop_assert_eq!(evaluate(&q, &doc, &idx), evaluate(&reparsed, &doc, &idx));
-    }
+        assert_eq!(evaluate(&q, &doc, &idx), evaluate(&reparsed, &doc, &idx));
+    });
 }
