@@ -1,20 +1,69 @@
 //! Overhead of the `xcluster-obs` instrumentation on the hot path.
 //!
-//! Times `build_synopsis` with the registry enabled and with the
-//! runtime kill switch (`set_enabled(false)`) thrown, in *interleaved
-//! pairs* so clock drift, thermal state, and allocator warm-up hit both
-//! sides equally. The acceptance bar is < 2% median overhead: counters
-//! are relaxed atomics and span timers collapse to a pair of
-//! `Instant::now()` calls, so the two sides should be statistically
-//! indistinguishable on a build that traverses thousands of clusters.
+//! Times `build_synopsis` — and the `estimate` read path — with the
+//! registry enabled and with the runtime kill switch
+//! (`set_enabled(false)`) thrown, in *interleaved pairs* so clock
+//! drift, thermal state, and allocator warm-up hit both sides equally.
+//! The acceptance bar is < 2% median overhead: counters are relaxed
+//! atomics, span timers collapse to a pair of `Instant::now()` calls,
+//! and per-query trace capture (off by default) costs one relaxed
+//! atomic load per estimate, so the two sides should be statistically
+//! indistinguishable.
 //!
 //! `XCLUSTER_BENCH_SAMPLES` sets the number of pairs (default 15).
 
 use std::time::Instant;
 use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::estimate::estimate;
 use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
 use xcluster_datagen::imdb::{generate, ImdbConfig};
 use xcluster_obs::bench::black_box;
+
+/// Median of per-pair enabled-vs-disabled overhead percentages for one
+/// workload closure, printing the summary line.
+fn interleaved(label: &str, pairs: usize, mut run: impl FnMut(bool) -> f64) {
+    // Warm-up: one run per side.
+    run(true);
+    run(false);
+    let mut deltas = Vec::with_capacity(pairs);
+    let mut on_ns = Vec::with_capacity(pairs);
+    let mut off_ns = Vec::with_capacity(pairs);
+    for i in 0..pairs {
+        // Alternate which side goes first within the pair, so a
+        // systematic first/second effect cancels too.
+        let (on, off) = if i % 2 == 0 {
+            let on = run(true);
+            (on, run(false))
+        } else {
+            let off = run(false);
+            (run(true), off)
+        };
+        deltas.push((on - off) / off * 100.0);
+        on_ns.push(on);
+        off_ns.push(off);
+        eprint!(".");
+    }
+    eprintln!();
+    xcluster_obs::set_enabled(true);
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        let n = v.len();
+        if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            (v[n / 2 - 1] + v[n / 2]) / 2.0
+        }
+    };
+    // Median of *per-pair* overhead: each pair ran back-to-back, so
+    // clock/thermal/allocator drift cancels within the pair.
+    let overhead = median(&mut deltas);
+    println!(
+        "obs overhead on {label}: {overhead:+.2}% median of per-pair deltas \
+         (enabled median {:.2}ms, disabled median {:.2}ms, {pairs} interleaved pairs)",
+        median(&mut on_ns) / 1e6,
+        median(&mut off_ns) / 1e6
+    );
+}
 
 fn main() {
     let d = generate(&ImdbConfig {
@@ -36,55 +85,36 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(15);
 
-    let run = |enabled: bool| {
+    interleaved("build", pairs, |enabled| {
         xcluster_obs::set_enabled(enabled);
         let input = reference.clone();
         let t = Instant::now();
         black_box(build_synopsis(input, &build_cfg));
         t.elapsed().as_nanos() as f64
-    };
+    });
 
-    // Warm-up: one build per side.
-    run(true);
-    run(false);
-
-    let mut deltas = Vec::with_capacity(pairs);
-    let mut on_ns = Vec::with_capacity(pairs);
-    let mut off_ns = Vec::with_capacity(pairs);
-    for i in 0..pairs {
-        // Alternate which side goes first within the pair, so a
-        // systematic first/second effect cancels too.
-        let (on, off) = if i % 2 == 0 {
-            let on = run(true);
-            (on, run(false))
-        } else {
-            let off = run(false);
-            (run(true), off)
-        };
-        deltas.push((on - off) / off * 100.0);
-        on_ns.push(on);
-        off_ns.push(off);
-        eprint!(".");
-    }
-    eprintln!();
-    xcluster_obs::set_enabled(true);
-
-    let median = |v: &mut Vec<f64>| {
-        v.sort_by(f64::total_cmp);
-        let n = v.len();
-        if n % 2 == 1 {
-            v[n / 2]
-        } else {
-            (v[n / 2 - 1] + v[n / 2]) / 2.0
-        }
-    };
-    // Median of *per-pair* overhead: each pair ran back-to-back, so
-    // clock/thermal/allocator drift cancels within the pair.
-    let overhead = median(&mut deltas);
-    println!(
-        "obs overhead on build: {overhead:+.2}% median of per-pair deltas \
-         (enabled median {:.1}ms, disabled median {:.1}ms, {pairs} interleaved pairs)",
-        median(&mut on_ns) / 1e6,
-        median(&mut off_ns) / 1e6
+    // The estimation read path: trace capture stays at its default
+    // (off), so the enabled side pays only the counters, the span
+    // timer, and the per-query capture check.
+    let built = build_synopsis(reference.clone(), &build_cfg);
+    let idx = xcluster_query::EvalIndex::build(&d.tree);
+    let workload = xcluster_query::workload::generate_positive(
+        &d.tree,
+        &idx,
+        &xcluster_query::WorkloadConfig {
+            num_queries: 200,
+            seed: 11,
+            ..xcluster_query::WorkloadConfig::default()
+        },
     );
+    interleaved("estimate", pairs, |enabled| {
+        xcluster_obs::set_enabled(enabled);
+        let t = Instant::now();
+        for _ in 0..20 {
+            for q in &workload.queries {
+                black_box(estimate(&built, &q.query));
+            }
+        }
+        t.elapsed().as_nanos() as f64
+    });
 }

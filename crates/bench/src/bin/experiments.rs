@@ -7,25 +7,40 @@
 //! ```
 //!
 //! Commands: `table1`, `table2`, `figure8a`, `figure8b`, `figure9`,
-//! `negative`, `ablation-metric`, `ablation-ebth`, `ablation-pst`, `all`.
+//! `negative`, `ablation-metric`, `ablation-ebth`, `ablation-pst`,
+//! `bench-build`, `bench-estimate`, `bench-accuracy`, `all`.
 //!
 //! Options: `--scale f` (data size relative to the paper, default 0.25),
 //! `--queries n` (workload size, default 1000), `--seed s`, `--out dir`
-//! (CSV output directory, default `results/`).
+//! (CSV output directory, default `results/`), `--gate <baseline.json>`
+//! (with `bench-accuracy`: compare against a committed baseline instead
+//! of rewriting it, failing on >10% relative worsening of any error
+//! metric).
 //!
-//! Every run also writes `<out>/BENCH_build.json`: the full
-//! `xcluster-obs` registry (build phase timings, merge/pool counters,
-//! estimation probe counts) plus run metadata — a machine-readable
-//! performance trace of everything the run built and estimated.
+//! The `bench-*` commands write the committed machine-readable snapshots
+//! at the repository root, each with the stable envelope
+//! `{"schema": 1, "run": {...}, "metrics": {...}}`:
+//!
+//! * `BENCH_build.json` — the full `xcluster-obs` registry after a
+//!   pinned-parameter build (phase timings, merge/pool counters);
+//! * `BENCH_estimate.json` — estimation latency percentiles over the
+//!   pinned workload;
+//! * `BENCH_accuracy.json` — per-class relative error plus the
+//!   error-attribution summary (top error-contributing cluster).
+//!
+//! They use pinned parameters (`--scale`/`--queries` are ignored) so the
+//! committed baselines stay comparable across runs; the metric registry
+//! is reset before every command, so each command's numbers are its own.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 use xcluster_bench::{
     negative_workload, pct, positive_workload, prepare_imdb, prepare_xmark, sweep,
 };
 use xcluster_core::baseline;
 use xcluster_core::build::{build_synopsis, BuildConfig};
-use xcluster_core::metrics::evaluate_workload;
+use xcluster_core::metrics::{evaluate_workload, evaluate_workload_attributed};
 use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
 use xcluster_query::QueryClass;
 
@@ -34,6 +49,7 @@ struct Opts {
     queries: usize,
     seed: u64,
     out: String,
+    gate: Option<String>,
 }
 
 fn main() {
@@ -43,6 +59,7 @@ fn main() {
         queries: 1000,
         seed: 0xC0FFEE,
         out: "results".into(),
+        gate: None,
     };
     let mut commands: Vec<String> = Vec::new();
     let mut i = 0;
@@ -64,6 +81,10 @@ fn main() {
                 opts.out = args[i + 1].clone();
                 i += 2;
             }
+            "--gate" => {
+                opts.gate = Some(args[i + 1].clone());
+                i += 2;
+            }
             cmd => {
                 commands.push(cmd.to_string());
                 i += 1;
@@ -72,9 +93,11 @@ fn main() {
     }
     if commands.is_empty() {
         eprintln!(
-            "usage: experiments [--scale f] [--queries n] [--seed s] [--out dir] <command>...\n\
+            "usage: experiments [--scale f] [--queries n] [--seed s] [--out dir] \
+             [--gate baseline.json] <command>...\n\
              commands: table1 table2 figure8a figure8b figure9 negative \
-             ablation-metric ablation-ebth ablation-pst ablation-numeric all"
+             ablation-metric ablation-ebth ablation-pst ablation-numeric \
+             bench-build bench-estimate bench-accuracy all"
         );
         std::process::exit(2);
     }
@@ -91,13 +114,18 @@ fn main() {
             "ablation-ebth",
             "ablation-pst",
             "ablation-numeric",
+            "bench-build",
+            "bench-estimate",
+            "bench-accuracy",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
     }
-    let run_start = Instant::now();
     for cmd in &commands {
+        // Fresh registry per command: each command's BENCH snapshot (and
+        // console stats) covers exactly the work that command did.
+        xcluster_obs::reset();
         let t0 = Instant::now();
         match cmd.as_str() {
             "table1" => table1(&opts),
@@ -110,6 +138,9 @@ fn main() {
             "ablation-ebth" => ablation_ebth(&opts),
             "ablation-pst" => ablation_pst(&opts),
             "ablation-numeric" => ablation_numeric(&opts),
+            "bench-build" => bench_build(&opts),
+            "bench-estimate" => bench_estimate(&opts),
+            "bench-accuracy" => bench_accuracy(&opts),
             other => {
                 eprintln!("unknown command: {other}");
                 std::process::exit(2);
@@ -117,27 +148,275 @@ fn main() {
         }
         eprintln!("[{cmd} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
     }
-    write_bench_snapshot(&opts, &commands, run_start.elapsed().as_secs_f64());
 }
 
-/// Dumps the metric registry accumulated over the whole run (every
-/// synopsis build and estimate the commands performed) with run
-/// metadata, as `<out>/BENCH_build.json`.
-fn write_bench_snapshot(opts: &Opts, commands: &[String], wall_s: f64) {
-    let snap = xcluster_obs::snapshot();
-    let json = xcluster_obs::export::to_json_with_meta(
-        &snap,
-        &[
-            ("commands", commands.join(" ")),
-            ("scale", format!("{}", opts.scale)),
-            ("queries", format!("{}", opts.queries)),
-            ("seed", format!("{}", opts.seed)),
-            ("wall_seconds", format!("{wall_s:.1}")),
-        ],
+// ---------------------------------------------------------------------
+// Committed BENCH_*.json snapshots (repo root, pinned parameters).
+// ---------------------------------------------------------------------
+
+/// Pinned parameters for the committed benchmark snapshots. Fixed (not
+/// `--scale`/`--queries`) so `BENCH_*.json` baselines are comparable
+/// across machines and invocations.
+const BENCH_SCALE: f64 = 0.02;
+const BENCH_QUERIES: usize = 150;
+
+/// The repository root: nearest ancestor of the working directory with a
+/// `.git`, falling back to the workspace root this binary was built from.
+fn repo_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("current_dir");
+    loop {
+        if dir.join(".git").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn write_bench_file(name: &str, run: &[(&str, String)], metrics_body: &str) {
+    let json = xcluster_obs::export::bench_json(run, metrics_body);
+    let path = repo_root().join(name);
+    std::fs::write(&path, json).expect("write BENCH file");
+    eprintln!("[wrote {}]", path.display());
+}
+
+fn bench_run_meta(command: &str, opts: &Opts, wall_s: f64) -> Vec<(&'static str, String)> {
+    vec![
+        ("command", command.to_string()),
+        ("dataset", "imdb".to_string()),
+        ("scale", format!("{BENCH_SCALE}")),
+        ("queries", format!("{BENCH_QUERIES}")),
+        ("seed", format!("{}", opts.seed)),
+        ("wall_seconds", format!("{wall_s:.2}")),
+    ]
+}
+
+/// `BENCH_build.json`: the full metric registry after one pinned build
+/// (phase timings, merge/pool counters, byte gauges).
+fn bench_build(opts: &Opts) {
+    let t0 = Instant::now();
+    let p = prepare_imdb(BENCH_SCALE, opts.seed);
+    let built = build_synopsis(
+        p.reference.clone(),
+        &BuildConfig {
+            b_str: b_str_points(BENCH_SCALE)[3],
+            b_val: b_val(BENCH_SCALE),
+            ..BuildConfig::default()
+        },
     );
-    let path = format!("{}/BENCH_build.json", opts.out);
-    std::fs::write(&path, json).expect("write BENCH_build.json");
-    eprintln!("[wrote {path}]");
+    println!(
+        "== bench-build: {} nodes, {} bytes ==",
+        built.num_nodes(),
+        built.total_bytes()
+    );
+    let snap = xcluster_obs::snapshot();
+    write_bench_file(
+        "BENCH_build.json",
+        &bench_run_meta("bench-build", opts, t0.elapsed().as_secs_f64()),
+        &xcluster_obs::export::to_json(&snap),
+    );
+}
+
+/// `BENCH_estimate.json`: per-query estimation latency percentiles over
+/// the pinned positive workload.
+fn bench_estimate(opts: &Opts) {
+    let t0 = Instant::now();
+    let p = prepare_imdb(BENCH_SCALE, opts.seed);
+    let built = build_synopsis(
+        p.reference.clone(),
+        &BuildConfig {
+            b_str: b_str_points(BENCH_SCALE)[3],
+            b_val: b_val(BENCH_SCALE),
+            ..BuildConfig::default()
+        },
+    );
+    let w = positive_workload(&p, BENCH_QUERIES, opts.seed);
+    // Warm-up pass, then timed passes.
+    let mut sink = 0.0;
+    for q in &w.queries {
+        sink += xcluster_core::estimate(&built, &q.query);
+    }
+    const ITERS: usize = 5;
+    let mut lat_ns: Vec<u64> = Vec::with_capacity(w.queries.len() * ITERS);
+    for _ in 0..ITERS {
+        for q in &w.queries {
+            let s = Instant::now();
+            sink += xcluster_core::estimate(&built, &q.query);
+            lat_ns.push(s.elapsed().as_nanos() as u64);
+        }
+    }
+    std::hint::black_box(sink);
+    lat_ns.sort_unstable();
+    let pctl = |p: f64| lat_ns[((lat_ns.len() - 1) as f64 * p).round() as usize];
+    let mean = lat_ns.iter().sum::<u64>() as f64 / lat_ns.len() as f64;
+    println!(
+        "== bench-estimate: {} samples, p50 {} ns, p99 {} ns ==",
+        lat_ns.len(),
+        pctl(0.50),
+        pctl(0.99)
+    );
+    let mut body = String::from("{\n");
+    let _ = writeln!(body, "    \"samples\": {},", lat_ns.len());
+    let _ = writeln!(body, "    \"mean_ns\": {mean:.0},");
+    let _ = writeln!(body, "    \"latency_ns\": {{");
+    let _ = writeln!(body, "      \"p50\": {},", pctl(0.50));
+    let _ = writeln!(body, "      \"p90\": {},", pctl(0.90));
+    let _ = writeln!(body, "      \"p99\": {},", pctl(0.99));
+    let _ = writeln!(body, "      \"max\": {}", pctl(1.0));
+    let _ = writeln!(body, "    }},");
+    let _ = writeln!(
+        body,
+        "    \"throughput_qps\": {:.0}",
+        1e9 / mean.max(f64::MIN_POSITIVE)
+    );
+    body.push_str("  }");
+    write_bench_file(
+        "BENCH_estimate.json",
+        &bench_run_meta("bench-estimate", opts, t0.elapsed().as_secs_f64()),
+        &body,
+    );
+}
+
+/// `BENCH_accuracy.json`: per-class relative error over the pinned
+/// workload, plus the error-attribution summary. With `--gate <file>`,
+/// compares against the committed baseline instead of rewriting it and
+/// exits non-zero if any error metric worsened by more than 10%.
+fn bench_accuracy(opts: &Opts) {
+    let t0 = Instant::now();
+    let p = prepare_imdb(BENCH_SCALE, opts.seed);
+    let built = build_synopsis(
+        p.reference.clone(),
+        &BuildConfig {
+            b_str: b_str_points(BENCH_SCALE)[3],
+            b_val: b_val(BENCH_SCALE),
+            ..BuildConfig::default()
+        },
+    );
+    let w = positive_workload(&p, BENCH_QUERIES, opts.seed);
+    let (report, attribution) = evaluate_workload_attributed(&built, &w);
+    println!(
+        "== bench-accuracy: overall {:.2}%, {} attributed cluster(s) ==",
+        report.overall_rel * 100.0,
+        attribution.clusters.len()
+    );
+    print!("{}", attribution.render(5));
+    let cell = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.6}"));
+    let mut body = String::from("{\n");
+    let _ = writeln!(body, "    \"overall_rel\": {:.6},", report.overall_rel);
+    let _ = writeln!(body, "    \"class_rel\": {{");
+    let _ = writeln!(
+        body,
+        "      \"struct\": {},",
+        cell(report.class_rel(QueryClass::Struct))
+    );
+    let _ = writeln!(
+        body,
+        "      \"numeric\": {},",
+        cell(report.class_rel(QueryClass::Numeric))
+    );
+    let _ = writeln!(
+        body,
+        "      \"string\": {},",
+        cell(report.class_rel(QueryClass::String))
+    );
+    let _ = writeln!(
+        body,
+        "      \"text\": {}",
+        cell(report.class_rel(QueryClass::Text))
+    );
+    let _ = writeln!(body, "    }},");
+    let _ = writeln!(body, "    \"avg_estimate\": {:.6},", report.avg_estimate);
+    match attribution.top() {
+        Some(top) => {
+            let _ = writeln!(body, "    \"top_error_cluster\": {{");
+            let _ = writeln!(body, "      \"cluster\": {},", top.cluster);
+            let _ = writeln!(
+                body,
+                "      \"label\": {},",
+                xcluster_obs::export::json_string(&top.label)
+            );
+            let _ = writeln!(body, "      \"abs_error\": {:.6},", top.abs_error);
+            let _ = writeln!(body, "      \"queries\": {}", top.queries);
+            let _ = writeln!(body, "    }},");
+        }
+        None => {
+            let _ = writeln!(body, "    \"top_error_cluster\": null,");
+        }
+    }
+    let _ = writeln!(
+        body,
+        "    \"unattributed_abs_error\": {:.6}",
+        attribution.unattributed
+    );
+    body.push_str("  }");
+    match &opts.gate {
+        Some(baseline) => {
+            if let Err(e) = gate_accuracy(baseline, &report) {
+                eprintln!("accuracy gate FAILED: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("[accuracy gate passed against {baseline}]");
+        }
+        None => write_bench_file(
+            "BENCH_accuracy.json",
+            &bench_run_meta("bench-accuracy", opts, t0.elapsed().as_secs_f64()),
+            &body,
+        ),
+    }
+}
+
+/// Compares a fresh accuracy report against a committed
+/// `BENCH_accuracy.json` baseline: every error metric present in the
+/// baseline may worsen by at most 10% (relative, with a small absolute
+/// slack for near-zero baselines).
+fn gate_accuracy(baseline_path: &str, fresh: &xcluster_core::ErrorReport) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+    let root = xcluster_obs::json::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let metrics = root
+        .get("metrics")
+        .ok_or_else(|| format!("{baseline_path}: missing \"metrics\""))?;
+    let mut checks: Vec<(String, Option<f64>, Option<f64>)> = vec![(
+        "overall_rel".to_string(),
+        metrics.get("overall_rel").and_then(|v| v.as_f64()),
+        Some(fresh.overall_rel),
+    )];
+    for (key, class) in [
+        ("struct", QueryClass::Struct),
+        ("numeric", QueryClass::Numeric),
+        ("string", QueryClass::String),
+        ("text", QueryClass::Text),
+    ] {
+        checks.push((
+            format!("class_rel.{key}"),
+            metrics
+                .get("class_rel")
+                .and_then(|c| c.get(key))
+                .and_then(|v| v.as_f64()),
+            fresh.class_rel(class),
+        ));
+    }
+    let mut failures = Vec::new();
+    for (name, base, now) in checks {
+        let (Some(base), Some(now)) = (base, now) else {
+            continue;
+        };
+        let limit = base * 1.10 + 1e-9;
+        if now > limit {
+            failures.push(format!(
+                "{name}: {now:.6} exceeds baseline {base:.6} by more than 10%"
+            ));
+        } else {
+            eprintln!("[gate] {name}: {now:.6} vs baseline {base:.6} — ok");
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
 }
 
 fn save(opts: &Opts, name: &str, content: &str) {

@@ -48,9 +48,10 @@ fn main() -> ExitCode {
         Some("evaluate") => cmd_evaluate(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => {
             eprintln!(
-                "usage: xcluster [--verbose|-q] <build|info|estimate|evaluate|compare|stats> ...\n\
+                "usage: xcluster [--verbose|-q] <build|info|estimate|evaluate|compare|stats|trace> ...\n\
                  \n\
                  build <doc.xml> -o <out.xcs> [--b-str N] [--b-val N] [--type label=kind]... [--stats]\n\
                  info <synopsis.xcs>\n\
@@ -58,7 +59,8 @@ fn main() -> ExitCode {
                  explain <synopsis.xcs> \"<twig>\"...\n\
                  evaluate <doc.xml> \"<twig>\"...\n\
                  compare <doc.xml> <synopsis.xcs> \"<twig>\"...\n\
-                 stats <doc.xml> [\"<twig>\"...] [--json]"
+                 stats <doc.xml> [\"<twig>\"...] [--json]\n\
+                 trace <doc.xml> \"<twig>\"... [--chrome out.json] [--b-str N] [--b-val N] [--type label=kind]..."
             );
             return ExitCode::from(2);
         }
@@ -317,6 +319,88 @@ fn cmd_stats(args: &[String]) -> Result<(), AnyError> {
         print!("{}", xcluster_obs::export::to_json(&snap));
     } else {
         print!("{}", xcluster_obs::export::to_table(&snap));
+    }
+    Ok(())
+}
+
+/// Builds a synopsis from the document, runs each query through both the
+/// estimator and the exact evaluator with per-query trace capture on,
+/// and prints the span trees (estimate alongside ground truth). With
+/// `--chrome <out.json>`, additionally writes every captured trace as a
+/// Chrome trace-event file loadable in Perfetto / `chrome://tracing`.
+fn cmd_trace(args: &[String]) -> Result<(), AnyError> {
+    let mut input: Option<&str> = None;
+    let mut chrome: Option<&str> = None;
+    let mut b_str = 10 * 1024;
+    let mut b_val = 150 * 1024;
+    let mut types: Vec<(String, ValueType)> = Vec::new();
+    let mut queries: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--chrome" => {
+                chrome = Some(&args[i + 1]);
+                i += 2;
+            }
+            "--b-str" => {
+                b_str = args[i + 1].parse()?;
+                i += 2;
+            }
+            "--b-val" => {
+                b_val = args[i + 1].parse()?;
+                i += 2;
+            }
+            "--type" => {
+                types.push(parse_type_opt(&args[i + 1])?);
+                i += 2;
+            }
+            _ if input.is_none() => {
+                input = Some(&args[i]);
+                i += 1;
+            }
+            _ => {
+                queries.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let input = input.ok_or("missing input document")?;
+    if queries.is_empty() {
+        return Err("no queries given".into());
+    }
+    let doc = load_document(input, &types)?;
+    let reference = reference_synopsis(&doc, &ReferenceConfig::default());
+    let synopsis = try_build_synopsis(
+        reference,
+        &BuildConfig {
+            b_str,
+            b_val,
+            ..BuildConfig::default()
+        },
+    )?;
+    let index = EvalIndex::build(&doc);
+    xcluster_obs::trace::set_capture(true);
+    // Size the ring so a long query list cannot evict earlier traces
+    // (each query records one estimate trace and one eval trace).
+    xcluster_obs::trace::set_ring_capacity(2 * queries.len().max(32));
+    let mut all = Vec::new();
+    for q in &queries {
+        let twig_s = parse_twig(q, synopsis.terms())?;
+        let twig_d = parse_twig(q, doc.terms())?;
+        let est = estimate(&synopsis, &twig_s);
+        let truth = evaluate(&twig_d, &doc, &index);
+        let traces = xcluster_obs::trace::drain();
+        println!("query: {q}");
+        println!("  estimate {est:.3}   true {truth:.0}");
+        for t in &traces {
+            print!("{}", t.render_tree());
+        }
+        println!();
+        all.extend(traces);
+    }
+    if let Some(path) = chrome {
+        std::fs::write(path, xcluster_obs::trace::chrome_trace_json(&all))?;
+        info!("cli", "wrote {} trace(s) to {path}", all.len());
     }
     Ok(())
 }

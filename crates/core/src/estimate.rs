@@ -16,8 +16,9 @@
 //! contain cycles).
 
 use crate::synopsis::{Synopsis, SynopsisNodeId};
-use std::collections::HashMap;
-use xcluster_obs::SpanTimer;
+use std::collections::BTreeMap;
+use xcluster_obs::trace::{self, Trace};
+use xcluster_obs::{SpanTimer, TraceBuilder};
 use xcluster_query::{Axis, LabelTest, NodeKind, TwigQuery};
 use xcluster_summaries::{ValuePredicate, ValueSummary};
 use xcluster_xml::ValueType;
@@ -43,24 +44,66 @@ mod stats {
 }
 
 /// Estimates the selectivity (expected binding-tuple count) of `query`.
+///
+/// When trace capture is on ([`xcluster_obs::trace::capture_enabled`]),
+/// every call also records a full [`Trace`] of the embedding walk into
+/// the global ring buffer; otherwise the traced bookkeeping is skipped
+/// entirely and only the aggregate counters above are touched.
 pub fn estimate(s: &Synopsis, query: &TwigQuery) -> f64 {
+    if trace::capture_enabled() {
+        let (value, t) = run(s, query, true);
+        trace::record(t.expect("tracing was requested"));
+        value
+    } else {
+        run(s, query, false).0
+    }
+}
+
+/// Estimates `query` and returns the trace of the embedding walk: one
+/// `estimate.step` span per (query node × source cluster) expansion,
+/// one `estimate.embed` span per candidate target cluster (attributes
+/// `qnode`, `from`, `cluster`, `expected`, `sigma`, `contribution`),
+/// and one `estimate.vprobe` span per value-summary probe (`kind`,
+/// `sigma`). The estimate is bitwise identical to [`estimate`] on the
+/// same inputs — tracing only adds bookkeeping, never reorders the
+/// floating-point work.
+pub fn estimate_traced(s: &Synopsis, query: &TwigQuery) -> (f64, Trace) {
+    let (value, t) = run(s, query, true);
+    (value, t.expect("tracing was requested"))
+}
+
+fn run(s: &Synopsis, query: &TwigQuery, traced: bool) -> (f64, Option<Trace>) {
     debug_assert!(query.filters_are_existential());
     stats::QUERIES.inc();
     let _span = SpanTimer::new("estimate.query", &stats::QUERY_NS);
-    let est = Estimator { s, query };
+    let tb = traced.then(|| {
+        let mut tb = TraceBuilder::new("estimate.query");
+        tb.attr_str(tb.root(), "query", query.to_string());
+        tb
+    });
+    let mut est = Estimator { s, query, tb };
     let mut product = 1.0;
     for &c in &query.node(query.root()).children {
         product *= est.child_factor(c, s.root());
-        if product == 0.0 {
-            return 0.0;
+        // Untraced, a zero product is final — stop. Traced, keep walking
+        // so the trace covers every branch; the extra factors multiply
+        // into an exact 0.0 and cannot change the result.
+        if product == 0.0 && est.tb.is_none() {
+            break;
         }
     }
-    product
+    let trace = est.tb.take().map(|mut tb| {
+        tb.attr_f64(tb.root(), "result", product);
+        tb.finish()
+    });
+    (product, trace)
 }
 
 struct Estimator<'a> {
     s: &'a Synopsis,
     query: &'a TwigQuery,
+    /// Trace under construction, when the caller asked for one.
+    tb: Option<TraceBuilder>,
 }
 
 impl Estimator<'_> {
@@ -68,25 +111,55 @@ impl Estimator<'_> {
     /// cluster `sn` its parent is embedded at: summed over all candidate
     /// target clusters (embeddings), each weighted by the expected number
     /// of reached elements.
-    fn child_factor(&self, q: usize, sn: SynopsisNodeId) -> f64 {
-        let qnode = self.query.node(q);
+    fn child_factor(&mut self, q: usize, sn: SynopsisNodeId) -> f64 {
+        let query = self.query;
+        let qnode = query.node(q);
         let reached = self.reach(sn, qnode.axis, &qnode.label);
         stats::CLUSTERS_VISITED.add(reached.len() as u64);
-        match qnode.kind {
+        let step = self.tb.as_mut().map(|tb| {
+            let id = tb.start("estimate.step");
+            tb.attr_u64(id, "qnode", q as u64);
+            tb.attr_str(
+                id,
+                "kind",
+                match qnode.kind {
+                    NodeKind::Variable => "variable",
+                    NodeKind::Filter => "filter",
+                },
+            );
+            tb.attr_str(
+                id,
+                "axis",
+                match qnode.axis {
+                    Axis::Child => "child",
+                    Axis::Descendant => "descendant",
+                },
+            );
+            tb.attr_u64(id, "from", sn as u64);
+            tb.attr_u64(id, "targets", reached.len() as u64);
+            id
+        });
+        let factor = match qnode.kind {
             NodeKind::Variable => {
                 let mut sum = 0.0;
                 for (target, expected) in reached {
+                    let embed = self.start_embed(q, sn, target, expected);
                     let sigma = self.predicate_selectivity(q, target);
+                    if let (Some(tb), Some(id)) = (self.tb.as_mut(), embed) {
+                        tb.attr_f64(id, "sigma", sigma);
+                    }
                     if sigma == 0.0 {
+                        self.end_embed(embed, 0.0);
                         continue;
                     }
                     let mut sub = expected * sigma;
                     for &c in &qnode.children {
                         sub *= self.child_factor(c, target);
-                        if sub == 0.0 {
+                        if sub == 0.0 && self.tb.is_none() {
                             break;
                         }
                     }
+                    self.end_embed(embed, sub);
                     sum += sub;
                 }
                 sum
@@ -96,22 +169,63 @@ impl Estimator<'_> {
                 // matches, capped at 1 as a qualification probability.
                 let mut expected_matches = 0.0;
                 for (target, expected) in reached {
+                    let embed = self.start_embed(q, sn, target, expected);
                     let mut sat = self.predicate_selectivity(q, target);
+                    if let (Some(tb), Some(id)) = (self.tb.as_mut(), embed) {
+                        tb.attr_f64(id, "sigma", sat);
+                    }
                     for &c in &qnode.children {
-                        if sat == 0.0 {
+                        if sat == 0.0 && self.tb.is_none() {
                             break;
                         }
                         sat *= self.child_factor(c, target).min(1.0);
                     }
+                    self.end_embed(embed, expected * sat);
                     expected_matches += expected * sat;
                 }
                 expected_matches.min(1.0)
             }
+        };
+        if let (Some(tb), Some(id)) = (self.tb.as_mut(), step) {
+            tb.attr_f64(id, "factor", factor);
+            tb.end(id);
+        }
+        factor
+    }
+
+    /// Opens an `estimate.embed` span for one candidate target cluster.
+    fn start_embed(
+        &mut self,
+        q: usize,
+        from: SynopsisNodeId,
+        target: SynopsisNodeId,
+        expected: f64,
+    ) -> Option<usize> {
+        self.tb.as_ref()?;
+        let label = self.s.label_str(target).to_string();
+        let tb = self.tb.as_mut().expect("checked above");
+        let id = tb.start("estimate.embed");
+        tb.attr_u64(id, "qnode", q as u64);
+        tb.attr_u64(id, "from", from as u64);
+        tb.attr_u64(id, "cluster", target as u64);
+        tb.attr_str(id, "label", label);
+        tb.attr_f64(id, "expected", expected);
+        Some(id)
+    }
+
+    /// Closes an `estimate.embed` span, recording the per-parent-element
+    /// contribution of this embedding (expected × σ × child factors).
+    fn end_embed(&mut self, embed: Option<usize>, contribution: f64) {
+        if let (Some(tb), Some(id)) = (self.tb.as_mut(), embed) {
+            tb.attr_f64(id, "contribution", contribution);
+            tb.end(id);
         }
     }
 
     /// Expected number of elements of each label-matching cluster reached
-    /// per element of `from` along `axis`.
+    /// per element of `from` along `axis`, in ascending cluster-id order
+    /// (a fixed iteration order keeps float accumulation — and therefore
+    /// the whole estimate — deterministic across runs).
     fn reach(
         &self,
         from: SynopsisNodeId,
@@ -130,11 +244,11 @@ impl Estimator<'_> {
             Axis::Descendant => {
                 // Depth-bounded DP: frontier[n] = expected elements of
                 // cluster n at the current depth per source element.
-                let mut reach: HashMap<SynopsisNodeId, f64> = HashMap::new();
-                let mut frontier: HashMap<SynopsisNodeId, f64> = HashMap::new();
+                let mut reach: BTreeMap<SynopsisNodeId, f64> = BTreeMap::new();
+                let mut frontier: BTreeMap<SynopsisNodeId, f64> = BTreeMap::new();
                 frontier.insert(from, 1.0);
                 for _ in 0..self.s.max_depth() {
-                    let mut next: HashMap<SynopsisNodeId, f64> = HashMap::new();
+                    let mut next: BTreeMap<SynopsisNodeId, f64> = BTreeMap::new();
                     for (&n, &w) in &frontier {
                         for &(t, c) in &self.s.node(n).children {
                             *next.entry(t).or_insert(0.0) += w * c;
@@ -166,7 +280,7 @@ impl Estimator<'_> {
     /// class cannot match the cluster's value type are 0; clusters of the
     /// right type without a stored summary contribute no information
     /// (σ = 1).
-    fn predicate_selectivity(&self, q: usize, target: SynopsisNodeId) -> f64 {
+    fn predicate_selectivity(&mut self, q: usize, target: SynopsisNodeId) -> f64 {
         let Some(pred) = &self.query.node(q).predicate else {
             return 1.0;
         };
@@ -178,22 +292,38 @@ impl Estimator<'_> {
                 | (ValuePredicate::FtContains { .. }, ValueType::Text)
                 | (ValuePredicate::SimilarTo { .. }, ValueType::Text)
         );
-        if !type_ok {
-            return 0.0;
-        }
-        match &node.vsumm {
-            Some(vs) => {
-                match vs {
-                    ValueSummary::Numeric(_)
-                    | ValueSummary::NumericWavelet(_)
-                    | ValueSummary::NumericSample(_) => stats::VPROBE_HISTOGRAM.inc(),
-                    ValueSummary::String(_) => stats::VPROBE_PST.inc(),
-                    ValueSummary::Text(_) => stats::VPROBE_TERM.inc(),
+        let (kind, sigma) = if !type_ok {
+            ("type_mismatch", 0.0)
+        } else {
+            match &node.vsumm {
+                Some(vs) => {
+                    let kind = match vs {
+                        ValueSummary::Numeric(_) => "histogram",
+                        ValueSummary::NumericWavelet(_) => "wavelet",
+                        ValueSummary::NumericSample(_) => "sample",
+                        ValueSummary::String(_) => "pst",
+                        ValueSummary::Text(_) => "term",
+                    };
+                    match vs {
+                        ValueSummary::Numeric(_)
+                        | ValueSummary::NumericWavelet(_)
+                        | ValueSummary::NumericSample(_) => stats::VPROBE_HISTOGRAM.inc(),
+                        ValueSummary::String(_) => stats::VPROBE_PST.inc(),
+                        ValueSummary::Text(_) => stats::VPROBE_TERM.inc(),
+                    }
+                    (kind, vs.selectivity(pred))
                 }
-                vs.selectivity(pred)
+                None => ("unsummarized", 1.0),
             }
-            None => 1.0,
+        };
+        if let Some(tb) = self.tb.as_mut() {
+            let id = tb.start("estimate.vprobe");
+            tb.attr_u64(id, "cluster", target as u64);
+            tb.attr_str(id, "kind", kind);
+            tb.attr_f64(id, "sigma", sigma);
+            tb.end(id);
         }
+        sigma
     }
 }
 

@@ -8,13 +8,20 @@
 //! binding-tuple estimate. This is the information a query optimizer
 //! reads off the synopsis to choose join orders / anchor plans on the
 //! most selective fragment.
+//!
+//! Since the tracing subsystem landed, `explain` is a *view over the
+//! estimator's own trace*: it runs [`crate::estimate::estimate_traced`]
+//! and folds the `estimate.embed` spans (per-edge expected cardinality
+//! and predicate selectivity, recorded as typed `f64` attributes) into
+//! top-down population flows. There is no second estimator walk, so the
+//! report can never disagree with the estimate — `Explanation::total`
+//! is bitwise equal to what [`crate::estimate`] returns.
 
-use crate::estimate::estimate;
+use crate::estimate::estimate_traced;
 use crate::synopsis::{Synopsis, SynopsisNodeId};
-use std::collections::HashMap;
-use xcluster_query::{Axis, LabelTest, NodeKind, TwigQuery};
-use xcluster_summaries::ValuePredicate;
-use xcluster_xml::ValueType;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use xcluster_obs::Trace;
+use xcluster_query::{LabelTest, NodeKind, TwigQuery};
 
 /// Expected bindings of one query node inside one synopsis cluster.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,7 +56,7 @@ impl NodeTrace {
 /// The result of [`explain`].
 #[derive(Debug, Clone)]
 pub struct Explanation {
-    /// The overall binding-tuple estimate (identical to
+    /// The overall binding-tuple estimate (bitwise identical to
     /// [`crate::estimate`] on the same inputs).
     pub total: f64,
     /// One trace per *variable* query node, in query-node order.
@@ -89,34 +96,94 @@ impl Explanation {
     }
 }
 
-/// Estimates `query` and reports the per-node embedding cardinalities.
-pub fn explain(s: &Synopsis, query: &TwigQuery) -> Explanation {
-    let mut populations: HashMap<usize, HashMap<SynopsisNodeId, f64>> = HashMap::new();
-    let mut root_pop = HashMap::new();
-    root_pop.insert(s.root(), 1.0);
+/// One `estimate.embed` span, decoded: the estimator considered mapping
+/// query node `qnode` (whose parent was embedded at cluster `from`)
+/// into cluster `target`, reaching `expected` elements per parent
+/// element, with predicate selectivity `sigma`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EmbedStep {
+    pub qnode: usize,
+    pub from: SynopsisNodeId,
+    pub target: SynopsisNodeId,
+    pub expected: f64,
+    pub sigma: f64,
+}
+
+/// Decodes every `estimate.embed` span of an estimation trace, in span
+/// (start) order.
+pub(crate) fn embed_steps(trace: &Trace) -> Vec<EmbedStep> {
+    trace
+        .by_name("estimate.embed")
+        .filter_map(|(_, span)| {
+            Some(EmbedStep {
+                qnode: span.attr("qnode")?.as_u64()? as usize,
+                from: span.attr("from")?.as_u64()? as usize,
+                target: span.attr("cluster")?.as_u64()? as usize,
+                expected: span.attr("expected")?.as_f64()?,
+                sigma: span.attr("sigma")?.as_f64()?,
+            })
+        })
+        .collect()
+}
+
+/// Top-down population flows reconstructed from an estimation trace:
+/// for each *variable* query node reachable through variable ancestors,
+/// the expected number of elements bound at each target cluster
+/// (ignoring sibling-branch multiplicities). Also returns the predicate
+/// selectivity the estimator applied at each (qnode, cluster).
+pub(crate) type Populations = HashMap<usize, BTreeMap<SynopsisNodeId, f64>>;
+
+pub(crate) fn populations_from_trace(
+    query: &TwigQuery,
+    trace: &Trace,
+    root_cluster: SynopsisNodeId,
+) -> (Populations, HashMap<(usize, SynopsisNodeId), f64>) {
+    let mut per_q: HashMap<usize, Vec<EmbedStep>> = HashMap::new();
+    for step in embed_steps(trace) {
+        per_q.entry(step.qnode).or_default().push(step);
+    }
+    let mut populations: Populations = HashMap::new();
+    let mut sigmas: HashMap<(usize, SynopsisNodeId), f64> = HashMap::new();
+    let mut root_pop = BTreeMap::new();
+    root_pop.insert(root_cluster, 1.0);
     populations.insert(query.root(), root_pop);
     // Top-down flow in query-node order (parents precede children).
-    let order: Vec<usize> = query.node_ids().collect();
-    for q in order {
+    for q in query.node_ids() {
         let node = query.node(q);
         if node.kind != NodeKind::Variable {
             continue;
         }
-        let parent = node.parent.expect("non-root query node");
+        let Some(parent) = node.parent else { continue };
         let Some(parent_pop) = populations.get(&parent).cloned() else {
             continue;
         };
-        let mut pop: HashMap<SynopsisNodeId, f64> = HashMap::new();
-        for (&sn, &flow) in &parent_pop {
-            for (target, expected_per_elem) in reach(s, sn, node.axis, &node.label) {
-                let sigma = predicate_selectivity(s, node.predicate.as_ref(), target);
-                if sigma > 0.0 {
-                    *pop.entry(target).or_insert(0.0) += flow * expected_per_elem * sigma;
+        let mut pop: BTreeMap<SynopsisNodeId, f64> = BTreeMap::new();
+        // The estimator expands (qnode, from) once per *occurrence* of
+        // `from` in a parent embedding; repeated occurrences replay
+        // identical spans, so fold each (from, target) edge exactly
+        // once (targets within one expansion are distinct).
+        let mut seen: HashSet<(SynopsisNodeId, SynopsisNodeId)> = HashSet::new();
+        for step in per_q.get(&q).map(|v| v.as_slice()).unwrap_or(&[]) {
+            if !seen.insert((step.from, step.target)) {
+                continue;
+            }
+            sigmas.insert((q, step.target), step.sigma);
+            if step.sigma > 0.0 {
+                if let Some(&flow) = parent_pop.get(&step.from) {
+                    *pop.entry(step.target).or_insert(0.0) += flow * step.expected * step.sigma;
                 }
             }
         }
         populations.insert(q, pop);
     }
+    (populations, sigmas)
+}
+
+/// Estimates `query` and reports the per-node embedding cardinalities,
+/// derived from the estimator's own trace.
+pub fn explain(s: &Synopsis, query: &TwigQuery) -> Explanation {
+    let (total, trace) = estimate_traced(s, query);
+    let (populations, sigmas) = populations_from_trace(query, &trace, s.root());
     let mut nodes = Vec::new();
     for q in query.node_ids() {
         if query.node(q).kind != NodeKind::Variable {
@@ -129,185 +196,17 @@ pub fn explain(s: &Synopsis, query: &TwigQuery) -> Explanation {
                     .map(|(&node, &expected)| TargetTrace {
                         node,
                         expected,
-                        selectivity: predicate_selectivity(
-                            s,
-                            query.node(q).predicate.as_ref(),
-                            node,
-                        ),
+                        selectivity: sigmas.get(&(q, node)).copied().unwrap_or(1.0),
                     })
                     .collect()
             })
             .unwrap_or_default();
-        targets.sort_by(|a, b| b.expected.total_cmp(&a.expected));
+        targets.sort_by(|a, b| {
+            b.expected
+                .total_cmp(&a.expected)
+                .then_with(|| a.node.cmp(&b.node))
+        });
         nodes.push(NodeTrace { qnode: q, targets });
     }
-    Explanation {
-        total: estimate(s, query),
-        nodes,
-    }
-}
-
-/// Expected elements of each label-matching cluster reached per element
-/// of `from` along `axis` (duplicated from the estimator, which keeps its
-/// internals private).
-fn reach(
-    s: &Synopsis,
-    from: SynopsisNodeId,
-    axis: Axis,
-    label: &LabelTest,
-) -> Vec<(SynopsisNodeId, f64)> {
-    let matches = |t: SynopsisNodeId| match label {
-        LabelTest::Wildcard => true,
-        LabelTest::Tag(l) => s.label_str(t) == l,
-    };
-    match axis {
-        Axis::Child => s
-            .node(from)
-            .children
-            .iter()
-            .filter(|&&(t, _)| matches(t))
-            .map(|&(t, c)| (t, c))
-            .collect(),
-        Axis::Descendant => {
-            let mut reach: HashMap<SynopsisNodeId, f64> = HashMap::new();
-            let mut frontier: HashMap<SynopsisNodeId, f64> = HashMap::new();
-            frontier.insert(from, 1.0);
-            for _ in 0..s.max_depth() {
-                let mut next: HashMap<SynopsisNodeId, f64> = HashMap::new();
-                for (&n, &w) in &frontier {
-                    for &(t, c) in &s.node(n).children {
-                        *next.entry(t).or_insert(0.0) += w * c;
-                    }
-                }
-                if next.is_empty() {
-                    break;
-                }
-                for (&t, &w) in &next {
-                    if matches(t) {
-                        *reach.entry(t).or_insert(0.0) += w;
-                    }
-                }
-                frontier = next;
-            }
-            reach.into_iter().collect()
-        }
-    }
-}
-
-fn predicate_selectivity(
-    s: &Synopsis,
-    pred: Option<&ValuePredicate>,
-    target: SynopsisNodeId,
-) -> f64 {
-    let Some(pred) = pred else {
-        return 1.0;
-    };
-    let node = s.node(target);
-    let type_ok = matches!(
-        (pred, node.vtype),
-        (ValuePredicate::Range { .. }, ValueType::Numeric)
-            | (ValuePredicate::Contains { .. }, ValueType::String)
-            | (ValuePredicate::FtContains { .. }, ValueType::Text)
-            | (ValuePredicate::SimilarTo { .. }, ValueType::Text)
-    );
-    if !type_ok {
-        return 0.0;
-    }
-    match &node.vsumm {
-        Some(vs) => vs.selectivity(pred),
-        None => 1.0,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::reference::{reference_synopsis, ReferenceConfig};
-    use xcluster_query::{evaluate, parse_twig, EvalIndex};
-    use xcluster_xml::parse;
-
-    #[test]
-    fn linear_path_flow_matches_exact_counts() {
-        let t = parse("<r><a><x>1</x></a><a><x>2</x><x>3</x></a></r>").unwrap();
-        let s = reference_synopsis(&t, &ReferenceConfig::default());
-        let q = parse_twig("//a/x", t.terms()).unwrap();
-        let ex = explain(&s, &q);
-        // q1 = a (2 elements), q2 = x (3 elements).
-        assert_eq!(ex.nodes.len(), 2);
-        assert!((ex.nodes[0].expected_total() - 2.0).abs() < 1e-9);
-        assert!((ex.nodes[1].expected_total() - 3.0).abs() < 1e-9);
-        let idx = EvalIndex::build(&t);
-        assert!((ex.total - evaluate(&q, &t, &idx)).abs() < 1e-9);
-    }
-
-    #[test]
-    fn predicate_shrinks_flow() {
-        let t = parse("<r><y>10</y><y>20</y><y>30</y><y>40</y></r>").unwrap();
-        let s = reference_synopsis(&t, &ReferenceConfig::default());
-        let q = parse_twig("//y[in 0..25]", t.terms()).unwrap();
-        let ex = explain(&s, &q);
-        let flow = ex.nodes[0].expected_total();
-        assert!(flow > 1.0 && flow < 3.0, "{flow}");
-        assert!(ex.nodes[0].targets[0].selectivity < 1.0);
-    }
-
-    #[test]
-    fn explain_total_equals_estimate() {
-        let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
-            num_movies: 60,
-            seed: 9,
-        });
-        let s = reference_synopsis(
-            &d.tree,
-            &ReferenceConfig {
-                value_paths: Some(d.value_paths.clone()),
-                ..ReferenceConfig::default()
-            },
-        );
-        for qs in [
-            "//movie[year>1990]/title",
-            "//movie{/cast/actor/name}{/director}",
-            "//series/episode/rating",
-        ] {
-            let q = parse_twig(qs, d.tree.terms()).unwrap();
-            let ex = explain(&s, &q);
-            assert!(
-                (ex.total - crate::estimate::estimate(&s, &q)).abs() < 1e-9,
-                "{qs}"
-            );
-        }
-    }
-
-    #[test]
-    fn branches_do_not_inflate_sibling_flow() {
-        // q's expected cardinality per node ignores sibling multipliers:
-        // adding a {title} leg must not change the actor-name flow.
-        let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
-            num_movies: 40,
-            seed: 3,
-        });
-        let s = reference_synopsis(&d.tree, &ReferenceConfig::default());
-        let plain = parse_twig("//movie/cast/actor/name", d.tree.terms()).unwrap();
-        let twig = parse_twig("//movie{/title}/cast/actor/name", d.tree.terms()).unwrap();
-        let flow_plain = explain(&s, &plain).nodes.last().unwrap().expected_total();
-        let ex = explain(&s, &twig);
-        let name_node = ex
-            .nodes
-            .iter()
-            .find(|n| matches!(twig.node(n.qnode).label, LabelTest::Tag(ref l) if l == "name"))
-            .unwrap();
-        assert!((flow_plain - name_node.expected_total()).abs() < 1e-9);
-    }
-
-    #[test]
-    fn render_mentions_labels_and_total() {
-        let t = parse("<r><a><x>1</x></a></r>").unwrap();
-        let s = reference_synopsis(&t, &ReferenceConfig::default());
-        let q = parse_twig("//a/x", t.terms()).unwrap();
-        let ex = explain(&s, &q);
-        let text = ex.render(&s, &q);
-        assert!(text.contains("estimate:"));
-        assert!(text.contains("(a)"));
-        assert!(text.contains("(x)"));
-    }
+    Explanation { total, nodes }
 }

@@ -63,7 +63,11 @@ pub mod reference;
 pub mod synopsis;
 
 pub use build::{build_synopsis, try_build_synopsis, BuildConfig, BuildConfigError};
-pub use estimate::estimate;
-pub use metrics::{relative_error, ErrorReport};
+pub use estimate::{estimate, estimate_traced};
+pub use explain::{explain, Explanation};
+pub use metrics::{
+    evaluate_workload, evaluate_workload_attributed, relative_error, AttributionReport,
+    ClusterAttribution, ErrorReport, QueryErrorRecord,
+};
 pub use reference::{reference_synopsis, ReferenceConfig};
 pub use synopsis::{Synopsis, SynopsisNodeId};

@@ -7,9 +7,11 @@
 //! relative errors. Figure 9 complements this with the average *absolute*
 //! error over exactly those low-count queries (`c < s`).
 
-use crate::estimate::estimate;
-use crate::synopsis::Synopsis;
-use xcluster_query::{QueryClass, Workload};
+use crate::estimate::{estimate, estimate_traced};
+use crate::explain::{embed_steps, populations_from_trace};
+use crate::synopsis::{Synopsis, SynopsisNodeId};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use xcluster_query::{NodeKind, QueryClass, Workload, WorkloadQuery};
 
 /// `|c − e| / max(c, s)` — the paper's absolute relative error.
 pub fn relative_error(true_count: f64, estimated: f64, sanity_bound: f64) -> f64 {
@@ -49,56 +51,287 @@ fn class_index(class: QueryClass) -> usize {
     QueryClass::ALL.iter().position(|&c| c == class).unwrap()
 }
 
-/// Runs every workload query against the synopsis and aggregates errors.
-pub fn evaluate_workload(s: &Synopsis, w: &Workload) -> ErrorReport {
-    let mut rel_sum = 0.0;
-    let mut rel_n = 0usize;
-    let mut class_sum = [0.0f64; 4];
-    let mut class_n = [0usize; 4];
-    let mut low_sum = [0.0f64; 4];
-    let mut low_n = [0usize; 4];
-    let mut est_sum = 0.0;
-    for q in &w.queries {
-        let est = estimate(s, &q.query);
-        est_sum += est;
-        let rel = relative_error(q.true_count, est, w.sanity_bound);
-        rel_sum += rel;
-        rel_n += 1;
+/// Error aggregation shared by [`evaluate_workload`] and
+/// [`evaluate_workload_attributed`], so the two modes cannot drift.
+#[derive(Default)]
+struct ErrorAcc {
+    rel_sum: f64,
+    rel_n: usize,
+    class_sum: [f64; 4],
+    class_n: [usize; 4],
+    low_sum: [f64; 4],
+    low_n: [usize; 4],
+    est_sum: f64,
+}
+
+impl ErrorAcc {
+    fn add(&mut self, q: &WorkloadQuery, est: f64, sanity_bound: f64) {
+        self.est_sum += est;
+        let rel = relative_error(q.true_count, est, sanity_bound);
+        self.rel_sum += rel;
+        self.rel_n += 1;
         let ci = class_index(q.class);
-        class_sum[ci] += rel;
-        class_n[ci] += 1;
+        self.class_sum[ci] += rel;
+        self.class_n[ci] += 1;
         // "below the sanity bound" (paper Fig. 9) — inclusive, because
         // integer true counts tie at the bound in small workloads.
-        if q.true_count <= w.sanity_bound {
-            low_sum[ci] += (q.true_count - est).abs();
-            low_n[ci] += 1;
+        if q.true_count <= sanity_bound {
+            self.low_sum[ci] += (q.true_count - est).abs();
+            self.low_n[ci] += 1;
         }
     }
-    let avg = |sum: f64, n: usize| if n == 0 { None } else { Some(sum / n as f64) };
-    ErrorReport {
-        overall_rel: if rel_n == 0 {
-            0.0
-        } else {
-            rel_sum / rel_n as f64
-        },
-        class_rel: [
-            avg(class_sum[0], class_n[0]),
-            avg(class_sum[1], class_n[1]),
-            avg(class_sum[2], class_n[2]),
-            avg(class_sum[3], class_n[3]),
-        ],
-        low_count_abs: [
-            avg(low_sum[0], low_n[0]),
-            avg(low_sum[1], low_n[1]),
-            avg(low_sum[2], low_n[2]),
-            avg(low_sum[3], low_n[3]),
-        ],
-        avg_estimate: if rel_n == 0 {
-            0.0
-        } else {
-            est_sum / rel_n as f64
-        },
+
+    fn report(&self) -> ErrorReport {
+        let avg = |sum: f64, n: usize| if n == 0 { None } else { Some(sum / n as f64) };
+        ErrorReport {
+            overall_rel: if self.rel_n == 0 {
+                0.0
+            } else {
+                self.rel_sum / self.rel_n as f64
+            },
+            class_rel: [
+                avg(self.class_sum[0], self.class_n[0]),
+                avg(self.class_sum[1], self.class_n[1]),
+                avg(self.class_sum[2], self.class_n[2]),
+                avg(self.class_sum[3], self.class_n[3]),
+            ],
+            low_count_abs: [
+                avg(self.low_sum[0], self.low_n[0]),
+                avg(self.low_sum[1], self.low_n[1]),
+                avg(self.low_sum[2], self.low_n[2]),
+                avg(self.low_sum[3], self.low_n[3]),
+            ],
+            avg_estimate: if self.rel_n == 0 {
+                0.0
+            } else {
+                self.est_sum / self.rel_n as f64
+            },
+        }
     }
+}
+
+/// Runs every workload query against the synopsis and aggregates errors.
+pub fn evaluate_workload(s: &Synopsis, w: &Workload) -> ErrorReport {
+    let mut acc = ErrorAcc::default();
+    for q in &w.queries {
+        acc.add(q, estimate(s, &q.query), w.sanity_bound);
+    }
+    acc.report()
+}
+
+/// Absolute estimation error charged to one synopsis cluster across a
+/// workload (see [`AttributionReport`]).
+#[derive(Debug, Clone)]
+pub struct ClusterAttribution {
+    /// The synopsis cluster.
+    pub cluster: SynopsisNodeId,
+    /// Its label, resolved for display.
+    pub label: String,
+    /// Total absolute error apportioned to this cluster.
+    pub abs_error: f64,
+    /// Number of workload queries that charged any error here.
+    pub queries: usize,
+    /// Distinct value-summary kinds probed at this cluster
+    /// (`histogram`, `pst`, `term`, `unsummarized`, …); empty when the
+    /// cluster was only reached structurally.
+    pub summary_kinds: Vec<String>,
+}
+
+/// Per-query record in an [`AttributionReport`].
+#[derive(Debug, Clone)]
+pub struct QueryErrorRecord {
+    /// The query, rendered back to twig syntax.
+    pub query: String,
+    /// Workload class of the query.
+    pub class: QueryClass,
+    /// Exact result cardinality.
+    pub true_count: f64,
+    /// Synopsis estimate.
+    pub estimate: f64,
+    /// `|true_count − estimate|`.
+    pub abs_error: f64,
+    /// The cluster charged the largest share of this query's error.
+    pub top_cluster: Option<SynopsisNodeId>,
+}
+
+/// Error-attribution report: each query's absolute error, joined with
+/// its estimation trace and apportioned across the synopsis clusters
+/// the estimate actually flowed through.
+///
+/// Apportioning prefers *predicate-probed* clusters (where a value
+/// summary — or its absence — turned structural flow into a
+/// selectivity), weighting by the structural mass arriving at each;
+/// purely structural queries fall back to weighting every embedding
+/// target. Queries whose trace carries no flow at all (e.g. labels
+/// absent from the synopsis) land in [`AttributionReport::unattributed`].
+#[derive(Debug, Clone)]
+pub struct AttributionReport {
+    /// Per-cluster totals, sorted by descending [`ClusterAttribution::abs_error`].
+    pub clusters: Vec<ClusterAttribution>,
+    /// Absolute error that could not be charged to any cluster.
+    pub unattributed: f64,
+    /// Per-query records, sorted by descending [`QueryErrorRecord::abs_error`].
+    pub queries: Vec<QueryErrorRecord>,
+}
+
+impl AttributionReport {
+    /// The cluster charged the most error, if any error was charged.
+    pub fn top(&self) -> Option<&ClusterAttribution> {
+        self.clusters.first()
+    }
+
+    /// Renders the top `limit` clusters and queries as a text report.
+    pub fn render(&self, limit: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "error attribution ({} queries)", self.queries.len());
+        for c in self.clusters.iter().take(limit) {
+            let kinds = if c.summary_kinds.is_empty() {
+                "structural".to_string()
+            } else {
+                c.summary_kinds.join(",")
+            };
+            let _ = writeln!(
+                out,
+                "  {}#{}  abs_error {:.3}  over {} query(ies)  [{kinds}]",
+                c.label, c.cluster, c.abs_error, c.queries
+            );
+        }
+        if self.unattributed > 0.0 {
+            let _ = writeln!(out, "  (unattributed)  abs_error {:.3}", self.unattributed);
+        }
+        for q in self.queries.iter().take(limit) {
+            let _ = writeln!(
+                out,
+                "  {}  true {:.1}  est {:.3}  abs_error {:.3}",
+                q.query, q.true_count, q.estimate, q.abs_error
+            );
+        }
+        out
+    }
+}
+
+/// Like [`evaluate_workload`], but additionally traces every query and
+/// joins each query's absolute error (against the workload's exact
+/// counts) with the clusters its estimate flowed through — ranking the
+/// clusters, and the value summaries stored there, by contributed error.
+pub fn evaluate_workload_attributed(
+    s: &Synopsis,
+    w: &Workload,
+) -> (ErrorReport, AttributionReport) {
+    let mut acc = ErrorAcc::default();
+    let mut cluster_err: BTreeMap<SynopsisNodeId, f64> = BTreeMap::new();
+    let mut cluster_queries: BTreeMap<SynopsisNodeId, usize> = BTreeMap::new();
+    let mut cluster_kinds: BTreeMap<SynopsisNodeId, BTreeSet<String>> = BTreeMap::new();
+    let mut unattributed = 0.0;
+    let mut records = Vec::with_capacity(w.queries.len());
+    for q in &w.queries {
+        let (est, trace) = estimate_traced(s, &q.query);
+        acc.add(q, est, w.sanity_bound);
+        let abs_error = (q.true_count - est).abs();
+        let (pops, _) = populations_from_trace(&q.query, &trace, s.root());
+        // Structural mass arriving at each embedding target, deduped the
+        // same way the flow reconstruction dedupes replayed expansions.
+        let mut probed: BTreeSet<SynopsisNodeId> = BTreeSet::new();
+        for (_, span) in trace.by_name("estimate.vprobe") {
+            let (Some(c), Some(kind)) = (
+                span.attr("cluster").and_then(|a| a.as_u64()),
+                span.attr("kind").and_then(|a| a.as_str()),
+            ) else {
+                continue;
+            };
+            probed.insert(c as usize);
+            cluster_kinds
+                .entry(c as usize)
+                .or_default()
+                .insert(kind.to_string());
+        }
+        let mut arriving: BTreeMap<SynopsisNodeId, f64> = BTreeMap::new();
+        let mut seen: HashSet<(usize, SynopsisNodeId, SynopsisNodeId)> = HashSet::new();
+        for step in embed_steps(&trace) {
+            if !seen.insert((step.qnode, step.from, step.target)) {
+                continue;
+            }
+            let Some(parent) = q.query.node(step.qnode).parent else {
+                continue;
+            };
+            let flow = if q.query.node(parent).kind == NodeKind::Variable {
+                pops.get(&parent).and_then(|p| p.get(&step.from)).copied()
+            } else {
+                None
+            };
+            if let Some(flow) = flow {
+                *arriving.entry(step.target).or_insert(0.0) += flow * step.expected;
+            }
+        }
+        // Prefer charging predicate-probed clusters; fall back to every
+        // structural target when the query carries no predicates.
+        let weights: Vec<(SynopsisNodeId, f64)> = {
+            let probed_w: Vec<_> = arriving
+                .iter()
+                .filter(|(c, _)| probed.contains(c))
+                .map(|(&c, &w)| (c, w))
+                .collect();
+            if probed_w.iter().any(|&(_, w)| w > 0.0) {
+                probed_w
+            } else {
+                arriving.iter().map(|(&c, &w)| (c, w)).collect()
+            }
+        };
+        let total_w: f64 = weights.iter().map(|&(_, w)| w).sum();
+        let mut top_cluster = None;
+        if total_w > 0.0 {
+            let mut best = f64::NEG_INFINITY;
+            for &(c, wgt) in &weights {
+                if wgt <= 0.0 {
+                    continue;
+                }
+                *cluster_err.entry(c).or_insert(0.0) += abs_error * wgt / total_w;
+                *cluster_queries.entry(c).or_insert(0) += 1;
+                if wgt > best {
+                    best = wgt;
+                    top_cluster = Some(c);
+                }
+            }
+        } else {
+            unattributed += abs_error;
+        }
+        records.push(QueryErrorRecord {
+            query: q.query.to_string(),
+            class: q.class,
+            true_count: q.true_count,
+            estimate: est,
+            abs_error,
+            top_cluster,
+        });
+    }
+    let mut clusters: Vec<ClusterAttribution> = cluster_err
+        .iter()
+        .map(|(&cluster, &abs_error)| ClusterAttribution {
+            cluster,
+            label: s.label_str(cluster).to_string(),
+            abs_error,
+            queries: cluster_queries.get(&cluster).copied().unwrap_or(0),
+            summary_kinds: cluster_kinds
+                .get(&cluster)
+                .map(|k| k.iter().cloned().collect())
+                .unwrap_or_default(),
+        })
+        .collect();
+    clusters.sort_by(|a, b| {
+        b.abs_error
+            .total_cmp(&a.abs_error)
+            .then_with(|| a.cluster.cmp(&b.cluster))
+    });
+    records.sort_by(|a, b| b.abs_error.total_cmp(&a.abs_error));
+    (
+        acc.report(),
+        AttributionReport {
+            clusters,
+            unattributed,
+            queries: records,
+        },
+    )
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 //! reference synopsis is a lossless structural representation.
 
 use crate::synopsis::{Synopsis, SynopsisNode};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use xcluster_summaries::summary::{DEFAULT_HISTOGRAM_BUCKETS, DEFAULT_PST_DEPTH};
 use xcluster_summaries::{NumericKind, ValueSummary};
 use xcluster_xml::{NodeId, Value, ValuePathSpec, ValueType, XmlTree};
@@ -143,7 +143,9 @@ fn materialize(tree: &XmlTree, partition: &Partition, cfg: &ReferenceConfig) -> 
     let mut label = vec![None::<xcluster_xml::Symbol>; k];
     let mut vtype = vec![ValueType::None; k];
     let mut representative = vec![None::<NodeId>; k];
-    let mut edge_totals: Vec<HashMap<usize, f64>> = vec![HashMap::new(); k];
+    // BTreeMap: edge insertion order below must not depend on HashMap's
+    // per-process seed, or identical builds diverge run to run.
+    let mut edge_totals: Vec<BTreeMap<usize, f64>> = vec![BTreeMap::new(); k];
     let mut values: Vec<Vec<&Value>> = vec![Vec::new(); k];
     for id in tree.all_nodes() {
         let c = partition.cluster_of[id.index()] as usize;

@@ -6,7 +6,7 @@
 //! [`SynopsisNodeId`]s stay stable across compression and the lazy
 //! candidate heap of the build algorithm can detect stale entries.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use xcluster_summaries::footprint::{SYNOPSIS_EDGE_BYTES, SYNOPSIS_NODE_BYTES};
 use xcluster_summaries::ValueSummary;
 use xcluster_xml::{Interner, Symbol, ValueType};
@@ -197,9 +197,13 @@ impl Synopsis {
     }
 
     /// Live nodes grouped by `(label, value type)` — the merge-compatible
-    /// classes of the type-respecting partition.
-    pub fn nodes_by_label_type(&self) -> HashMap<(Symbol, ValueType), Vec<SynopsisNodeId>> {
-        let mut map: HashMap<(Symbol, ValueType), Vec<SynopsisNodeId>> = HashMap::new();
+    /// classes of the type-respecting partition. Ordered (`BTreeMap`) so
+    /// that build passes iterating the groups are deterministic across
+    /// processes; merge order feeds the candidate pool, and HashMap's
+    /// per-process seed would make two runs of the same pinned build
+    /// produce different synopses.
+    pub fn nodes_by_label_type(&self) -> BTreeMap<(Symbol, ValueType), Vec<SynopsisNodeId>> {
+        let mut map: BTreeMap<(Symbol, ValueType), Vec<SynopsisNodeId>> = BTreeMap::new();
         for id in self.live_nodes() {
             let n = &self.nodes[id];
             map.entry((n.label, n.vtype)).or_default().push(id);

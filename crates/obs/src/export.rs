@@ -10,7 +10,7 @@ use crate::registry::{HistogramSnapshot, Snapshot};
 use std::fmt::Write as _;
 
 /// Escapes a string for a JSON string literal.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -26,6 +26,12 @@ fn esc(s: &str) -> String {
         }
     }
     out
+}
+
+/// Renders a string as a quoted, escaped JSON string literal — for
+/// callers hand-assembling `BENCH_*.json` metric bodies.
+pub fn json_string(s: &str) -> String {
+    format!("\"{}\"", esc(s))
 }
 
 /// Renders a snapshot as a JSON object:
@@ -163,6 +169,33 @@ pub fn to_json_with_meta(s: &Snapshot, meta: &[(&str, String)]) -> String {
     out
 }
 
+/// Wraps run metadata and a metrics payload in the stable `BENCH_*.json`
+/// schema committed at the repo root:
+///
+/// ```json
+/// {"schema": 1, "run": {"scale": 0.25, ...}, "metrics": {...}}
+/// ```
+///
+/// `metrics_body` must be a complete JSON object (e.g. [`to_json`]'s
+/// output, or a hand-built per-class error object); `run` follows the
+/// bare-number convention of [`to_json_with_meta`].
+pub fn bench_json(run: &[(&str, String)], metrics_body: &str) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"run\": {");
+    for (i, (k, v)) in run.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let bare = !v.is_empty() && v.parse::<f64>().is_ok();
+        if bare {
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", esc(k));
+        } else {
+            let _ = write!(out, "{sep}\n    \"{}\": \"{}\"", esc(k), esc(v));
+        }
+    }
+    out.push_str("\n  },\n  \"metrics\": ");
+    out.push_str(metrics_body.trim_end());
+    out.push_str("\n}\n");
+    out
+}
+
 /// Convenience: [`to_json`] of one histogram (used in tests).
 pub fn histogram_to_json(h: &HistogramSnapshot) -> String {
     format!(
@@ -250,6 +283,31 @@ mod tests {
         assert!(j.contains("\"scale\": 0.25"));
         assert!(j.contains("\"counters\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn bench_json_wraps_schema_run_and_metrics() {
+        let j = bench_json(
+            &[
+                ("command", "bench-estimate".to_string()),
+                ("scale", "0.25".to_string()),
+            ],
+            &to_json(&sample()),
+        );
+        assert!(j.starts_with("{\n  \"schema\": 1,"));
+        assert!(j.contains("\"command\": \"bench-estimate\""));
+        assert!(j.contains("\"scale\": 0.25"));
+        assert!(j.contains("\"metrics\": {"));
+        assert!(j.contains("\"build.merges_applied\": 42"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        // Must be loadable by the in-tree JSON reader.
+        let v = crate::json::parse(&j).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            v.get("run").unwrap().get("scale").unwrap().as_f64(),
+            Some(0.25)
+        );
+        assert!(v.get("metrics").unwrap().get("counters").is_some());
     }
 
     #[test]

@@ -42,9 +42,11 @@
 
 pub mod bench;
 pub mod export;
+pub mod json;
 pub mod log;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use log::Level;
 pub use registry::{
@@ -52,6 +54,7 @@ pub use registry::{
     HistogramSnapshot, Registry, Snapshot,
 };
 pub use span::SpanTimer;
+pub use trace::{Trace, TraceBuilder};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -89,6 +92,11 @@ pub fn set_enabled(on: bool) {
 pub fn span_named<'a>(name: &'static str, hist: &'a Histogram) -> SpanTimer<'a> {
     SpanTimer::new(name, hist)
 }
+
+/// Serializes tests across modules that flip the global enabled flag
+/// (`cargo test` runs them in parallel).
+#[cfg(test)]
+pub(crate) static TEST_ENABLE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 #[cfg(test)]
 mod tests {

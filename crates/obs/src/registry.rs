@@ -429,6 +429,30 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_after_reset_starts_from_zero() {
+        // The bench harness resets the registry between commands so
+        // each BENCH snapshot covers exactly one command's work.
+        let r = Registry::default();
+        r.counter("runs.a").add(3);
+        r.gauge("runs.g").set(77);
+        r.histogram("runs.h_ns").record(1_000);
+        let first = r.snapshot();
+        assert!(first.counters.iter().any(|(n, v)| n == "runs.a" && *v == 3));
+        r.reset();
+        let second = r.snapshot();
+        for (name, v) in &second.counters {
+            assert_eq!(*v, 0, "counter {name} survived reset");
+        }
+        for (name, v) in &second.gauges {
+            assert_eq!(*v, 0, "gauge {name} survived reset");
+        }
+        for (name, h) in &second.histograms {
+            assert_eq!(h.count, 0, "histogram {name} survived reset");
+            assert_eq!(h.sum, 0, "histogram {name} kept its sum");
+        }
+    }
+
+    #[test]
     fn concurrent_increments_do_not_lose_updates() {
         let r = Registry::default();
         let c = r.counter("concurrent");

@@ -85,10 +85,7 @@ fn record(i: &SpanInner<'_>, d: Duration) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
-
-    /// Serializes tests that read or write the global enabled flag.
-    static ENABLE_FLAG: Mutex<()> = Mutex::new(());
+    use crate::TEST_ENABLE_LOCK as ENABLE_FLAG;
 
     #[test]
     fn span_records_into_histogram() {

@@ -1,0 +1,597 @@
+//! Per-operation trace trees: hierarchical spans with key=value
+//! attributes and monotonic timestamps, recorded into a bounded ring
+//! buffer and exportable as Chrome trace-event JSON (loadable in
+//! Perfetto / `chrome://tracing`) or a compact text tree.
+//!
+//! Where the [`crate::registry`] aggregates (how many probes, how long
+//! on average), a [`Trace`] answers *what happened inside one
+//! operation*: which clusters one estimate embedded into, which value
+//! summaries it probed, and with what selectivities. Producers build a
+//! trace with [`TraceBuilder`], consumers read the span tree directly
+//! (attributes are typed, so `f64`s survive bit-exactly) or export it.
+//!
+//! Capture is off by default: [`capture_enabled`] reads `XCLUSTER_TRACE`
+//! once (`on`/`1` enables) and [`set_capture`] overrides it at runtime.
+//! `XCLUSTER_OBS=off` forces capture off regardless, so the kill switch
+//! disables every form of instrumentation at once.
+//!
+//! ```
+//! use xcluster_obs::trace::TraceBuilder;
+//! let mut tb = TraceBuilder::new("demo.op");
+//! let child = tb.start("demo.step");
+//! tb.attr_u64(child, "cluster", 7);
+//! tb.attr_f64(child, "sigma", 0.25);
+//! tb.end(child);
+//! let trace = tb.finish();
+//! assert_eq!(trace.spans().len(), 2);
+//! assert!(trace.to_chrome_json().contains("\"demo.step\""));
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::export::esc;
+
+/// A typed span attribute value. Numbers are stored natively so
+/// consumers (e.g. `explain` rebuilding flows from a trace) read them
+/// back bit-exactly instead of parsing strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer (ids, counts).
+    U64(u64),
+    /// Floating point (selectivities, expected cardinalities).
+    F64(f64),
+    /// Short string (kinds, labels, rendered queries).
+    Str(String),
+}
+
+impl AttrValue {
+    /// The value as `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            AttrValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AttrValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// JSON rendering (numbers bare, strings quoted and escaped).
+    fn to_json(&self) -> String {
+        match self {
+            AttrValue::U64(v) => v.to_string(),
+            AttrValue::F64(v) if v.is_finite() => format!("{v}"),
+            AttrValue::F64(v) => format!("\"{v}\""),
+            AttrValue::Str(s) => format!("\"{}\"", esc(s)),
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::F64(v) => write!(f, "{v}"),
+            AttrValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+/// One node of a trace tree. Timestamps are nanoseconds relative to the
+/// trace start (monotonic clock).
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Static span name (`estimate.embed`, `eval.query`, ...).
+    pub name: &'static str,
+    /// Index of the parent span (`None` for the root).
+    pub parent: Option<usize>,
+    /// Start offset from the trace origin, nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 until the span is ended).
+    pub dur_ns: u64,
+    /// Key=value attributes, in insertion order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl Span {
+    /// Looks up an attribute by key (first match).
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// An immutable, finished span tree. Span 0 is the root; children
+/// always have larger indices than their parent (spans are stored in
+/// start order).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    spans: Vec<Span>,
+}
+
+impl Trace {
+    /// All spans in start order (index 0 is the root).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// The root span.
+    pub fn root(&self) -> &Span {
+        &self.spans[0]
+    }
+
+    /// Total traced duration (the root span's).
+    pub fn duration_ns(&self) -> u64 {
+        self.spans[0].dur_ns
+    }
+
+    /// Spans with the given name, with their indices, in start order.
+    pub fn by_name<'a>(&'a self, name: &'a str) -> impl Iterator<Item = (usize, &'a Span)> + 'a {
+        self.spans
+            .iter()
+            .enumerate()
+            .filter(move |(_, s)| s.name == name)
+    }
+
+    /// Direct children of span `id`, in start order.
+    pub fn children(&self, id: usize) -> impl Iterator<Item = (usize, &Span)> + '_ {
+        self.spans
+            .iter()
+            .enumerate()
+            .filter(move |(_, s)| s.parent == Some(id))
+    }
+
+    /// Renders the tree as indented text, one span per line:
+    /// `name  dur  k=v k=v ...`.
+    pub fn render_tree(&self) -> String {
+        fn fmt_ns(v: u64) -> String {
+            let v = v as f64;
+            if v >= 1e9 {
+                format!("{:.2}s", v / 1e9)
+            } else if v >= 1e6 {
+                format!("{:.2}ms", v / 1e6)
+            } else if v >= 1e3 {
+                format!("{:.2}µs", v / 1e3)
+            } else {
+                format!("{v:.0}ns")
+            }
+        }
+        fn walk(t: &Trace, id: usize, depth: usize, out: &mut String) {
+            let s = &t.spans[id];
+            let indent = "  ".repeat(depth);
+            out.push_str(&format!("{indent}{} {}", s.name, fmt_ns(s.dur_ns)));
+            for (k, v) in &s.attrs {
+                let rendered = match v {
+                    AttrValue::F64(x) => format!("{x:.4}"),
+                    other => other.to_string(),
+                };
+                out.push_str(&format!(" {k}={rendered}"));
+            }
+            out.push('\n');
+            for (cid, _) in t.children(id) {
+                walk(t, cid, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        walk(self, 0, 0, &mut out);
+        out
+    }
+
+    /// Exports this trace alone as a Chrome trace-event JSON document.
+    /// See [`chrome_trace_json`] for the format.
+    pub fn to_chrome_json(&self) -> String {
+        chrome_trace_json(std::slice::from_ref(self))
+    }
+}
+
+/// Exports traces as a Chrome trace-event JSON document (the "JSON
+/// object format" with a `traceEvents` array of complete `"ph": "X"`
+/// events), loadable in Perfetto or `chrome://tracing`. Each trace is
+/// assigned its own thread id (`tid` = index + 1) so concurrent traces
+/// render as separate tracks; timestamps are microseconds with
+/// nanosecond precision, and span attributes become `args`.
+pub fn chrome_trace_json(traces: &[Trace]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [");
+    let mut first = true;
+    for (ti, trace) in traces.iter().enumerate() {
+        for span in trace.spans() {
+            let sep = if first { "" } else { "," };
+            first = false;
+            let cat = span.name.split('.').next().unwrap_or("xcluster");
+            let _ = write!(
+                out,
+                "{sep}\n  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \
+                 \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 1, \"tid\": {}, \"args\": {{",
+                esc(span.name),
+                esc(cat),
+                span.start_ns as f64 / 1e3,
+                span.dur_ns as f64 / 1e3,
+                ti + 1
+            );
+            for (i, (k, v)) in span.attrs.iter().enumerate() {
+                let sep = if i == 0 { "" } else { ", " };
+                let _ = write!(out, "{sep}\"{}\": {}", esc(k), v.to_json());
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Builds one [`Trace`]. Creating the builder opens the root span;
+/// [`TraceBuilder::finish`] closes it (and any spans left open) and
+/// freezes the tree. Spans form a stack: [`TraceBuilder::start`] opens a
+/// child of the innermost open span.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    t0: Instant,
+    spans: Vec<Span>,
+    stack: Vec<usize>,
+}
+
+impl TraceBuilder {
+    /// Opens a new trace whose root span is named `root`.
+    pub fn new(root: &'static str) -> TraceBuilder {
+        TraceBuilder {
+            t0: Instant::now(),
+            spans: vec![Span {
+                name: root,
+                parent: None,
+                start_ns: 0,
+                dur_ns: 0,
+                attrs: Vec::new(),
+            }],
+            stack: vec![0],
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// The root span's id (always 0).
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Opens a child span of the innermost open span; returns its id to
+    /// pass to [`TraceBuilder::end`] and the `attr_*` methods.
+    pub fn start(&mut self, name: &'static str) -> usize {
+        let id = self.spans.len();
+        self.spans.push(Span {
+            name,
+            parent: self.stack.last().copied(),
+            start_ns: self.now_ns(),
+            dur_ns: 0,
+            attrs: Vec::new(),
+        });
+        self.stack.push(id);
+        id
+    }
+
+    /// Closes span `id`, recording its duration. Any children still
+    /// open are closed with it (mismatched ends are tolerated so a `?`
+    /// or early `return` in traced code cannot corrupt the tree).
+    pub fn end(&mut self, id: usize) {
+        let now = self.now_ns();
+        while let Some(top) = self.stack.pop() {
+            self.spans[top].dur_ns = now.saturating_sub(self.spans[top].start_ns);
+            if top == id {
+                break;
+            }
+        }
+        if self.stack.is_empty() {
+            self.stack.push(0);
+        }
+    }
+
+    /// Attaches an attribute to span `id`.
+    pub fn attr(&mut self, id: usize, key: &'static str, value: impl Into<AttrValue>) {
+        self.spans[id].attrs.push((key, value.into()));
+    }
+
+    /// Attaches a `u64` attribute to span `id`.
+    pub fn attr_u64(&mut self, id: usize, key: &'static str, value: u64) {
+        self.attr(id, key, AttrValue::U64(value));
+    }
+
+    /// Attaches an `f64` attribute to span `id`.
+    pub fn attr_f64(&mut self, id: usize, key: &'static str, value: f64) {
+        self.attr(id, key, AttrValue::F64(value));
+    }
+
+    /// Attaches a string attribute to span `id`.
+    pub fn attr_str(&mut self, id: usize, key: &'static str, value: impl Into<String>) {
+        self.attr(id, key, AttrValue::Str(value.into()));
+    }
+
+    /// Closes every open span (root included) and returns the trace.
+    pub fn finish(mut self) -> Trace {
+        let now = self.now_ns();
+        while let Some(top) = self.stack.pop() {
+            self.spans[top].dur_ns = now.saturating_sub(self.spans[top].start_ns);
+        }
+        Trace { spans: self.spans }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Capture flag and the global ring buffer of recent traces.
+// ---------------------------------------------------------------------
+
+/// 0 = off, 1 = on, 2 = uninitialized (read `XCLUSTER_TRACE`).
+static CAPTURE: AtomicU8 = AtomicU8::new(2);
+
+/// Whether instrumented code should capture traces into the ring
+/// buffer. Off by default; `XCLUSTER_TRACE=on`/`1` enables it, and
+/// `XCLUSTER_OBS=off` forces it off (the global kill switch wins).
+#[inline]
+pub fn capture_enabled() -> bool {
+    if !crate::enabled() {
+        return false;
+    }
+    match CAPTURE.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => {
+            let on = matches!(
+                std::env::var("XCLUSTER_TRACE").as_deref(),
+                Ok("on") | Ok("1") | Ok("true")
+            );
+            CAPTURE.store(on as u8, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Turns trace capture on or off at runtime.
+pub fn set_capture(on: bool) {
+    CAPTURE.store(on as u8, Ordering::Relaxed);
+}
+
+/// Default ring-buffer capacity (traces, not spans).
+pub const DEFAULT_RING_CAPACITY: usize = 64;
+
+struct Ring {
+    buf: VecDeque<Trace>,
+    capacity: usize,
+    dropped: u64,
+}
+
+static RING: Mutex<Option<Ring>> = Mutex::new(None);
+
+fn with_ring<R>(f: impl FnOnce(&mut Ring) -> R) -> R {
+    let mut guard = RING.lock().unwrap();
+    let ring = guard.get_or_insert_with(|| Ring {
+        buf: VecDeque::new(),
+        capacity: DEFAULT_RING_CAPACITY,
+        dropped: 0,
+    });
+    f(ring)
+}
+
+/// Stores a finished trace in the ring buffer, evicting the oldest
+/// trace when full.
+pub fn record(trace: Trace) {
+    with_ring(|r| {
+        if r.buf.len() >= r.capacity {
+            r.buf.pop_front();
+            r.dropped += 1;
+        }
+        r.buf.push_back(trace);
+    });
+}
+
+/// Removes and returns every buffered trace, oldest first.
+pub fn drain() -> Vec<Trace> {
+    with_ring(|r| r.buf.drain(..).collect())
+}
+
+/// The most recently recorded trace, if any (clone; the buffer keeps it).
+pub fn last() -> Option<Trace> {
+    with_ring(|r| r.buf.back().cloned())
+}
+
+/// Number of traces currently buffered.
+pub fn buffered() -> usize {
+    with_ring(|r| r.buf.len())
+}
+
+/// Traces evicted because the ring was full, since process start.
+pub fn dropped() -> u64 {
+    with_ring(|r| r.dropped)
+}
+
+/// Resizes the ring buffer, evicting oldest traces if shrinking.
+/// Capacity 0 is clamped to 1.
+pub fn set_ring_capacity(capacity: usize) {
+    with_ring(|r| {
+        r.capacity = capacity.max(1);
+        while r.buf.len() > r.capacity {
+            r.buf.pop_front();
+            r.dropped += 1;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut tb = TraceBuilder::new("test.root");
+        tb.attr_str(tb.root(), "query", "//a/x");
+        let a = tb.start("test.step");
+        tb.attr_u64(a, "qnode", 1);
+        let b = tb.start("test.probe");
+        tb.attr_f64(b, "sigma", 0.125);
+        tb.attr_str(b, "kind", "histogram");
+        tb.end(b);
+        tb.end(a);
+        let c = tb.start("test.step");
+        tb.attr_u64(c, "qnode", 2);
+        tb.end(c);
+        tb.finish()
+    }
+
+    #[test]
+    fn builder_produces_correct_tree() {
+        let t = sample();
+        assert_eq!(t.spans().len(), 4);
+        assert_eq!(t.root().name, "test.root");
+        assert_eq!(t.spans()[1].parent, Some(0));
+        assert_eq!(t.spans()[2].parent, Some(1));
+        assert_eq!(t.spans()[3].parent, Some(0));
+        assert_eq!(t.children(0).count(), 2);
+        assert_eq!(t.by_name("test.step").count(), 2);
+        assert_eq!(t.spans()[2].attr("sigma").unwrap().as_f64(), Some(0.125));
+        assert_eq!(
+            t.spans()[2].attr("kind").unwrap().as_str(),
+            Some("histogram")
+        );
+    }
+
+    #[test]
+    fn f64_attrs_roundtrip_bitwise() {
+        let v = 0.1f64 + 0.2f64; // not exactly representable as a decimal
+        let mut tb = TraceBuilder::new("test.bits");
+        tb.attr_f64(0, "x", v);
+        let t = tb.finish();
+        assert_eq!(
+            t.root().attr("x").unwrap().as_f64().unwrap().to_bits(),
+            v.to_bits()
+        );
+    }
+
+    #[test]
+    fn timestamps_are_monotone_and_nested() {
+        let mut tb = TraceBuilder::new("test.time");
+        let a = tb.start("test.inner");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        tb.end(a);
+        let t = tb.finish();
+        let root = t.root();
+        let inner = &t.spans()[1];
+        assert!(inner.start_ns >= root.start_ns);
+        assert!(inner.dur_ns >= 1_000_000);
+        assert!(root.dur_ns >= inner.dur_ns);
+    }
+
+    #[test]
+    fn unbalanced_ends_do_not_corrupt_the_tree() {
+        let mut tb = TraceBuilder::new("test.root");
+        let a = tb.start("test.a");
+        let _b = tb.start("test.b"); // never explicitly ended
+        tb.end(a); // closes b with it
+        let c = tb.start("test.c");
+        tb.end(c);
+        let t = tb.finish();
+        assert_eq!(t.spans().len(), 4);
+        // c is a child of the root, not of the leaked b.
+        assert_eq!(t.spans()[3].parent, Some(0));
+        assert!(t.spans().iter().all(|s| s.dur_ns <= t.root().dur_ns));
+    }
+
+    #[test]
+    fn chrome_export_contains_all_spans_and_args() {
+        let t = sample();
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"test.root\""));
+        assert!(json.contains("\"test.probe\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"sigma\": 0.125"));
+        assert!(json.contains("\"kind\": \"histogram\""));
+        // Cheap well-formedness: balanced braces and quotes.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn render_tree_indents_children() {
+        let t = sample();
+        let text = t.render_tree();
+        assert!(text.contains("test.root"));
+        assert!(text.contains("\n  test.step"));
+        assert!(text.contains("\n    test.probe"));
+        assert!(text.contains("sigma=0.1250"));
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded_and_fifo() {
+        // The ring is global: use drain to isolate, then restore capacity.
+        drain();
+        set_ring_capacity(3);
+        for i in 0..5u64 {
+            let mut tb = TraceBuilder::new("test.ring");
+            tb.attr_u64(0, "i", i);
+            record(tb.finish());
+        }
+        assert_eq!(buffered(), 3);
+        let traces = drain();
+        let ids: Vec<u64> = traces
+            .iter()
+            .map(|t| t.root().attr("i").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+        assert!(dropped() >= 2);
+        set_ring_capacity(DEFAULT_RING_CAPACITY);
+    }
+
+    #[test]
+    fn capture_flag_toggles_and_respects_kill_switch() {
+        let _g = crate::TEST_ENABLE_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        set_capture(false);
+        assert!(!capture_enabled());
+        set_capture(true);
+        assert!(capture_enabled());
+        // XCLUSTER_OBS=off (the global kill switch) wins over capture.
+        crate::set_enabled(false);
+        assert!(!capture_enabled());
+        crate::set_enabled(true);
+        set_capture(false);
+    }
+}

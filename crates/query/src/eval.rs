@@ -13,7 +13,7 @@
 
 use crate::twig::{Axis, LabelTest, NodeKind, TwigQuery};
 use std::collections::HashMap;
-use xcluster_obs::SpanTimer;
+use xcluster_obs::{trace, SpanTimer, TraceBuilder};
 use xcluster_xml::{NodeId, Symbol, XmlTree};
 
 /// Registry handles for evaluator instrumentation (`eval.*`).
@@ -123,10 +123,21 @@ impl EvalIndex {
 }
 
 /// Evaluates the exact selectivity (binding-tuple count) of `query`.
+///
+/// When trace capture is on ([`xcluster_obs::trace::capture_enabled`]),
+/// records a shallow `eval.query` trace (one `eval.step` span per
+/// top-level twig branch, with its multiplicative factor) into the
+/// global ring buffer, so exact evaluation shows up next to the
+/// synopsis estimate in `xcluster trace` output and Chrome exports.
 pub fn evaluate(query: &TwigQuery, tree: &XmlTree, index: &EvalIndex) -> f64 {
     debug_assert!(query.filters_are_existential());
     stats::QUERIES.inc();
     let _span = SpanTimer::new("eval.query", &stats::QUERY_NS);
+    let mut tb = trace::capture_enabled().then(|| {
+        let mut tb = TraceBuilder::new("eval.query");
+        tb.attr_str(tb.root(), "query", query.to_string());
+        tb
+    });
     let mut ev = Evaluator {
         query,
         tree,
@@ -137,10 +148,24 @@ pub fn evaluate(query: &TwigQuery, tree: &XmlTree, index: &EvalIndex) -> f64 {
     let root = query.root();
     let mut product = 1.0;
     for &c in &query.node(root).children {
-        product *= ev.child_factor(c, tree.root());
-        if product == 0.0 {
-            return 0.0;
+        let step = tb.as_mut().map(|tb| {
+            let id = tb.start("eval.step");
+            tb.attr_u64(id, "qnode", c as u64);
+            id
+        });
+        let factor = ev.child_factor(c, tree.root());
+        if let (Some(tb), Some(id)) = (tb.as_mut(), step) {
+            tb.attr_f64(id, "factor", factor);
+            tb.end(id);
         }
+        product *= factor;
+        if product == 0.0 && tb.is_none() {
+            break;
+        }
+    }
+    if let Some(mut tb) = tb {
+        tb.attr_f64(tb.root(), "result", product);
+        trace::record(tb.finish());
     }
     product
 }

@@ -2,8 +2,22 @@
 # Local mirror of the CI pipeline (.github/workflows/ci.yml):
 # formatting, lints, release build, and the full test suite.
 # Run from the repo root: ./scripts/ci.sh
+#
+# Pass --accuracy (or set XCLUSTER_CI_ACCURACY=1) to additionally rerun
+# the pinned accuracy workload and gate against the committed
+# BENCH_accuracy.json baseline: any per-class relative error worsening
+# by more than 10% fails the script. Off by default because it adds a
+# release build + workload evaluation to the loop.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+ACCURACY="${XCLUSTER_CI_ACCURACY:-0}"
+for arg in "$@"; do
+  case "$arg" in
+    --accuracy) ACCURACY=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -16,5 +30,11 @@ cargo build --release --workspace
 
 echo "==> cargo test"
 cargo test -q --workspace
+
+if [[ "$ACCURACY" == "1" ]]; then
+  echo "==> accuracy regression gate (BENCH_accuracy.json, +10% tolerance)"
+  cargo run --release -p xcluster-bench --bin experiments -- \
+    bench-accuracy --gate BENCH_accuracy.json
+fi
 
 echo "CI OK"

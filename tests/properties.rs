@@ -297,6 +297,69 @@ fn merge_preserves_expected_path_counts() {
     });
 }
 
+/// `explain` is a view over the estimator's own trace, so its total must
+/// be *bitwise* identical to `estimate` — not merely close — for every
+/// query of a seeded workload, with per-node targets sorted by
+/// descending expectation.
+#[test]
+fn explain_total_is_bitwise_equal_to_estimate() {
+    let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+        num_movies: 40,
+        seed: 23,
+    });
+    let reference = reference_synopsis(
+        &d.tree,
+        &ReferenceConfig {
+            value_paths: Some(d.value_paths.clone()),
+            ..ReferenceConfig::default()
+        },
+    );
+    let built = build_synopsis(
+        reference,
+        &BuildConfig {
+            b_str: 4 * 1024,
+            b_val: 8 * 1024,
+            ..BuildConfig::default()
+        },
+    );
+    let idx = EvalIndex::build(&d.tree);
+    let w = xcluster_query::workload::generate_positive(
+        &d.tree,
+        &idx,
+        &xcluster_query::WorkloadConfig {
+            num_queries: 50,
+            seed: 23,
+            allowed_targets: Some(d.summarized_targets()),
+            ..xcluster_query::WorkloadConfig::default()
+        },
+    );
+    assert!(!w.queries.is_empty());
+    for wq in &w.queries {
+        let est = estimate(&built, &wq.query);
+        let ex = xcluster_core::explain(&built, &wq.query);
+        assert_eq!(
+            ex.total.to_bits(),
+            est.to_bits(),
+            "{}: {} vs {}",
+            wq.query,
+            ex.total,
+            est
+        );
+        for node in &ex.nodes {
+            for pair in node.targets.windows(2) {
+                assert!(
+                    pair[0].expected >= pair[1].expected,
+                    "{}: q{} targets out of order ({} before {})",
+                    wq.query,
+                    node.qnode,
+                    pair[0].expected,
+                    pair[1].expected
+                );
+            }
+        }
+    }
+}
+
 // -------------------------------------------------------------------
 // ValueSummary dispatch properties.
 // -------------------------------------------------------------------

@@ -1,0 +1,177 @@
+//! Integration tests for per-query estimation traces: Chrome
+//! trace-event export round-trips through the in-tree JSON reader, the
+//! global ring buffer captures estimator and evaluator traces, and the
+//! error-attribution harness names the cluster responsible for a known
+//! estimation failure.
+
+use std::sync::Mutex;
+use xcluster_core::estimate::{estimate, estimate_traced};
+use xcluster_core::metrics::evaluate_workload_attributed;
+use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+use xcluster_obs::trace;
+use xcluster_query::{evaluate, parse_twig, EvalIndex, QueryClass, Workload, WorkloadQuery};
+use xcluster_xml::{parse, ValuePathSpec, ValueType};
+
+/// Serializes tests that flip the process-global capture flag or drain
+/// the shared ring buffer.
+static RING_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn chrome_export_round_trips_through_json_reader() {
+    let t = parse("<r><a><x>1</x></a><a><x>2</x><x>3</x></a><b><x>4</x></b></r>").unwrap();
+    let s = reference_synopsis(&t, &ReferenceConfig::default());
+    let q = parse_twig("//a/x", t.terms()).unwrap();
+    let (est, tr) = estimate_traced(&s, &q);
+    assert_eq!(est, 3.0);
+
+    let json = trace::chrome_trace_json(std::slice::from_ref(&tr));
+    let v = xcluster_obs::json::parse(&json).expect("chrome export must be valid JSON");
+    assert_eq!(
+        v.get("displayTimeUnit").and_then(|u| u.as_str()),
+        Some("ns")
+    );
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    assert_eq!(events.len(), tr.spans().len());
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(|p| p.as_str()), Some("X"));
+        assert!(ev.get("ts").and_then(|t| t.as_f64()).is_some());
+        assert!(ev.get("dur").and_then(|d| d.as_f64()).is_some());
+        let name = ev.get("name").and_then(|n| n.as_str()).unwrap();
+        let cat = ev.get("cat").and_then(|c| c.as_str()).unwrap();
+        assert_eq!(cat, name.split('.').next().unwrap());
+    }
+    // The root event carries the query and the result, bit-exact enough
+    // to survive a JSON round trip at this magnitude.
+    let root = &events[0];
+    assert_eq!(
+        root.get("name").and_then(|n| n.as_str()),
+        Some("estimate.query")
+    );
+    let args = root.get("args").expect("root args");
+    assert_eq!(args.get("query").and_then(|q| q.as_str()), Some("//a/x"));
+    assert_eq!(args.get("result").and_then(|r| r.as_f64()), Some(3.0));
+    // And an embed event names the cluster it targeted.
+    let embed = events
+        .iter()
+        .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("estimate.embed"))
+        .expect("an estimate.embed event");
+    assert!(embed
+        .get("args")
+        .and_then(|a| a.get("cluster"))
+        .and_then(|c| c.as_f64())
+        .is_some());
+}
+
+#[test]
+fn ring_buffer_captures_estimator_and_evaluator_traces() {
+    let _g = RING_LOCK.lock().unwrap();
+    let t = parse("<r><a><x>1</x></a><a><x>2</x></a></r>").unwrap();
+    let s = reference_synopsis(&t, &ReferenceConfig::default());
+    let idx = EvalIndex::build(&t);
+    let q = parse_twig("//a/x", t.terms()).unwrap();
+
+    trace::set_capture(true);
+    trace::drain();
+    let est = estimate(&s, &q);
+    let truth = evaluate(&q, &t, &idx);
+    trace::set_capture(false);
+
+    let traces = trace::drain();
+    assert_eq!(est, truth);
+    let roots: Vec<&str> = traces.iter().map(|t| t.root().name).collect();
+    assert!(roots.contains(&"estimate.query"), "{roots:?}");
+    assert!(roots.contains(&"eval.query"), "{roots:?}");
+    for tr in &traces {
+        assert_eq!(
+            tr.root().attr("result").and_then(|a| a.as_f64()),
+            Some(est),
+            "both traces record the same (exact) result here"
+        );
+    }
+}
+
+#[test]
+fn capture_off_records_nothing_from_the_estimator() {
+    let _g = RING_LOCK.lock().unwrap();
+    let t = parse("<r><a/></r>").unwrap();
+    let s = reference_synopsis(&t, &ReferenceConfig::default());
+    let q = parse_twig("//a", t.terms()).unwrap();
+    trace::set_capture(false);
+    trace::drain();
+    let _ = estimate(&s, &q);
+    assert!(trace::drain().is_empty());
+}
+
+#[test]
+fn attribution_names_the_unsummarized_cluster_as_top_error_source() {
+    // y is on a summarized value path (exact histogram); z is numeric
+    // but carries no value summary, so its predicates pass with σ = 1 —
+    // a known-poor summary configuration. The workload's z-query is
+    // wildly overestimated; attribution must charge the z cluster.
+    let t = parse(
+        "<r><a><y>1</y></a><a><y>2</y></a>\
+         <b><z>5</z></b><b><z>6</z></b><b><z>7</z></b></r>",
+    )
+    .unwrap();
+    let cfg = ReferenceConfig {
+        value_paths: Some(vec![ValuePathSpec::new(&["a", "y"], ValueType::Numeric)]),
+        ..ReferenceConfig::default()
+    };
+    let s = reference_synopsis(&t, &cfg);
+    let idx = EvalIndex::build(&t);
+
+    let mk = |text: &str| {
+        let query = parse_twig(text, t.terms()).unwrap();
+        let true_count = evaluate(&query, &t, &idx);
+        WorkloadQuery {
+            query,
+            class: QueryClass::Numeric,
+            true_count,
+        }
+    };
+    let w = Workload {
+        queries: vec![mk("//y[in 0..10]"), mk("//z[=99999]")],
+        sanity_bound: 1.0,
+    };
+
+    let (report, attribution) = evaluate_workload_attributed(&s, &w);
+    // The y-query is exact; all error comes from the z-query (est 3, true 0).
+    assert!(report.overall_rel > 0.0);
+    let top = attribution.top().expect("some error was attributed");
+    assert_eq!(
+        top.label, "z",
+        "top error cluster: {:?}",
+        attribution.clusters
+    );
+    assert!((top.abs_error - 3.0).abs() < 1e-9, "{}", top.abs_error);
+    assert!(
+        top.summary_kinds.iter().any(|k| k == "unsummarized"),
+        "{:?}",
+        top.summary_kinds
+    );
+    // The per-query ranking agrees.
+    let worst = &attribution.queries[0];
+    assert_eq!(worst.true_count, 0.0);
+    assert_eq!(worst.estimate, 3.0);
+    assert_eq!(worst.top_cluster, Some(top.cluster));
+    assert_eq!(attribution.unattributed, 0.0);
+    // The rendered report names the cluster too.
+    assert!(attribution.render(3).contains("z#"));
+}
+
+#[test]
+fn explanation_render_and_trace_tree_agree_on_totals() {
+    let t = parse("<r><p><q>1</q><q>2</q></p><p><q>3</q></p></r>").unwrap();
+    let s = reference_synopsis(&t, &ReferenceConfig::default());
+    let twig = parse_twig("//p/q", t.terms()).unwrap();
+    let ex = xcluster_core::explain(&s, &twig);
+    let (est, tr) = estimate_traced(&s, &twig);
+    assert_eq!(ex.total.to_bits(), est.to_bits());
+    let rendered = tr.render_tree();
+    assert!(rendered.contains("estimate.query"), "{rendered}");
+    assert!(rendered.contains("result=3.0000"), "{rendered}");
+    assert!(ex.render(&s, &twig).contains("estimate: 3.00"));
+}
