@@ -40,7 +40,7 @@ use xcluster_bench::{
 };
 use xcluster_core::baseline;
 use xcluster_core::build::{build_synopsis, BuildConfig};
-use xcluster_core::metrics::{evaluate_workload, evaluate_workload_attributed};
+use xcluster_core::metrics::{evaluate_workload, evaluate_workload_attributed_with};
 use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
 use xcluster_query::QueryClass;
 
@@ -194,27 +194,54 @@ fn bench_run_meta(command: &str, opts: &Opts, wall_s: f64) -> Vec<(&'static str,
 }
 
 /// `BENCH_build.json`: the full metric registry after one pinned build
-/// (phase timings, merge/pool counters, byte gauges).
+/// (phase timings, merge/pool counters, byte gauges), plus a 1-vs-N
+/// thread speedup entry. The recorded snapshot covers the N-thread
+/// build; the 1-thread build runs first purely as the speedup baseline
+/// and doubles as a byte-identity check on the parallel path.
 fn bench_build(opts: &Opts) {
     let t0 = Instant::now();
     let p = prepare_imdb(BENCH_SCALE, opts.seed);
+    let cfg = BuildConfig {
+        b_str: b_str_points(BENCH_SCALE)[3],
+        b_val: b_val(BENCH_SCALE),
+        ..BuildConfig::default()
+    };
+    let threads = xcluster_core::resolve_threads(0);
+    let t1 = Instant::now();
+    let seq = build_synopsis(p.reference.clone(), &cfg);
+    let wall_1 = t1.elapsed().as_secs_f64();
+    // Fresh registry so the committed snapshot covers exactly the
+    // N-thread build.
+    xcluster_obs::reset();
+    let tn = Instant::now();
     let built = build_synopsis(
         p.reference.clone(),
         &BuildConfig {
-            b_str: b_str_points(BENCH_SCALE)[3],
-            b_val: b_val(BENCH_SCALE),
-            ..BuildConfig::default()
+            threads,
+            ..cfg.clone()
         },
     );
+    let wall_n = tn.elapsed().as_secs_f64();
+    assert_eq!(
+        xcluster_core::codec::encode_synopsis(&built),
+        xcluster_core::codec::encode_synopsis(&seq),
+        "parallel build must be byte-identical to sequential"
+    );
+    let speedup = wall_1 / wall_n.max(f64::MIN_POSITIVE);
     println!(
-        "== bench-build: {} nodes, {} bytes ==",
+        "== bench-build: {} nodes, {} bytes, {threads} thread(s), {speedup:.2}x vs 1 thread ==",
         built.num_nodes(),
         built.total_bytes()
     );
     let snap = xcluster_obs::snapshot();
+    let mut run = bench_run_meta("bench-build", opts, t0.elapsed().as_secs_f64());
+    run.push(("threads", format!("{threads}")));
+    run.push(("wall_seconds_1thread", format!("{wall_1:.3}")));
+    run.push(("wall_seconds_nthreads", format!("{wall_n:.3}")));
+    run.push(("speedup_vs_1thread", format!("{speedup:.2}")));
     write_bench_file(
         "BENCH_build.json",
-        &bench_run_meta("bench-build", opts, t0.elapsed().as_secs_f64()),
+        &run,
         &xcluster_obs::export::to_json(&snap),
     );
 }
@@ -251,8 +278,33 @@ fn bench_estimate(opts: &Opts) {
     lat_ns.sort_unstable();
     let pctl = |p: f64| lat_ns[((lat_ns.len() - 1) as f64 * p).round() as usize];
     let mean = lat_ns.iter().sum::<u64>() as f64 / lat_ns.len() as f64;
+    // Batch engine: the same workload through `estimate_batch` at 1 and
+    // N threads, median-of-ITERS wall times, results asserted bitwise
+    // equal across thread counts.
+    let threads = xcluster_core::resolve_threads(0);
+    let batch_wall = |t: usize| -> (f64, Vec<f64>) {
+        let mut walls = Vec::with_capacity(ITERS);
+        let mut result = Vec::new();
+        for _ in 0..ITERS {
+            let s = Instant::now();
+            result = xcluster_core::par::estimate_batch_by(&built, &w.queries, t, |q| &q.query);
+            walls.push(s.elapsed().as_secs_f64());
+        }
+        walls.sort_by(f64::total_cmp);
+        (walls[walls.len() / 2], result)
+    };
+    let (batch_wall_1, batch_est_1) = batch_wall(1);
+    let (batch_wall_n, batch_est_n) = batch_wall(threads);
+    assert!(
+        batch_est_1
+            .iter()
+            .zip(&batch_est_n)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "batch estimates must be bitwise equal across thread counts"
+    );
+    let speedup = batch_wall_1 / batch_wall_n.max(f64::MIN_POSITIVE);
     println!(
-        "== bench-estimate: {} samples, p50 {} ns, p99 {} ns ==",
+        "== bench-estimate: {} samples, p50 {} ns, p99 {} ns, batch {threads} thread(s) {speedup:.2}x vs 1 ==",
         lat_ns.len(),
         pctl(0.50),
         pctl(0.99)
@@ -268,15 +320,28 @@ fn bench_estimate(opts: &Opts) {
     let _ = writeln!(body, "    }},");
     let _ = writeln!(
         body,
-        "    \"throughput_qps\": {:.0}",
+        "    \"throughput_qps\": {:.0},",
         1e9 / mean.max(f64::MIN_POSITIVE)
     );
-    body.push_str("  }");
-    write_bench_file(
-        "BENCH_estimate.json",
-        &bench_run_meta("bench-estimate", opts, t0.elapsed().as_secs_f64()),
-        &body,
+    let _ = writeln!(body, "    \"batch\": {{");
+    let _ = writeln!(body, "      \"threads\": {threads},");
+    let _ = writeln!(
+        body,
+        "      \"median_wall_ms_1thread\": {:.3},",
+        batch_wall_1 * 1e3
     );
+    let _ = writeln!(
+        body,
+        "      \"median_wall_ms_nthreads\": {:.3},",
+        batch_wall_n * 1e3
+    );
+    let _ = writeln!(body, "      \"speedup_vs_1thread\": {speedup:.2}");
+    let _ = writeln!(body, "    }}");
+    body.push_str("  }");
+    let mut run = bench_run_meta("bench-estimate", opts, t0.elapsed().as_secs_f64());
+    run.push(("threads", format!("{threads}")));
+    run.push(("speedup_vs_1thread", format!("{speedup:.2}")));
+    write_bench_file("BENCH_estimate.json", &run, &body);
 }
 
 /// `BENCH_accuracy.json`: per-class relative error over the pinned
@@ -295,7 +360,10 @@ fn bench_accuracy(opts: &Opts) {
         },
     );
     let w = positive_workload(&p, BENCH_QUERIES, opts.seed);
-    let (report, attribution) = evaluate_workload_attributed(&built, &w);
+    // Traced estimation through the batch engine at full parallelism —
+    // bitwise identical to sequential (tests/parallel.rs), so the gate
+    // comparison is unaffected by the thread count.
+    let (report, attribution) = evaluate_workload_attributed_with(&built, &w, 0);
     println!(
         "== bench-accuracy: overall {:.2}%, {} attributed cluster(s) ==",
         report.overall_rel * 100.0,

@@ -31,6 +31,7 @@ use crate::delta::{
     evaluate_compression_chunk, evaluate_merge, evaluate_merge_with, ChunkCandidate, MergeCandidate,
 };
 use crate::merge::apply_merge;
+use crate::par;
 use crate::synopsis::{Synopsis, SynopsisNodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -66,6 +67,7 @@ mod stats {
         counter VALUE_BYTES_FREED = "build.value_bytes_freed";
         gauge FINAL_STRUCT_BYTES = "build.final_struct_bytes";
         gauge FINAL_VALUE_BYTES = "build.final_value_bytes";
+        gauge BUILD_THREADS = "build.threads";
     }
 }
 
@@ -83,6 +85,11 @@ pub struct BuildConfig {
     pub h_l: usize,
     /// Minimum bytes per value-compression chunk (phase 2 granularity).
     pub min_value_chunk: usize,
+    /// Worker threads for candidate scoring (`0` = available
+    /// parallelism). The thread count never changes the result: parallel
+    /// builds are byte-identical to `threads = 1` (see [`crate::par`]
+    /// and `tests/parallel.rs`).
+    pub threads: usize,
 }
 
 impl Default for BuildConfig {
@@ -93,6 +100,7 @@ impl Default for BuildConfig {
             h_m: 10_000,
             h_l: 5_000,
             min_value_chunk: 128,
+            threads: 1,
         }
     }
 }
@@ -174,6 +182,7 @@ pub fn try_build_synopsis(
 ) -> Result<Synopsis, BuildConfigError> {
     cfg.validate()?;
     let _total = SpanTimer::new("build.total", &stats::TOTAL_NS);
+    stats::BUILD_THREADS.set(par::resolve_threads(cfg.threads) as i64);
     {
         let _p1 = SpanTimer::new("build.phase1", &stats::PHASE1_NS);
         structure_value_merge(&mut s, cfg);
@@ -208,7 +217,7 @@ struct PoolEntry {
 
 impl PartialEq for PoolEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.cand.marginal_loss() == other.cand.marginal_loss()
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for PoolEntry {}
@@ -219,11 +228,18 @@ impl PartialOrd for PoolEntry {
 }
 impl Ord for PoolEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want minimum marginal loss.
+        // Reversed: BinaryHeap is a max-heap, we want minimum marginal
+        // loss. Equal losses tie-break on the (u, v) cluster-id pair
+        // (smallest pair pops first) and then on exactness (refined
+        // entries pop before cheap ones), so the pop order never depends
+        // on heap insertion order — a prerequisite for byte-identical
+        // parallel builds.
         other
             .cand
             .marginal_loss()
             .total_cmp(&self.cand.marginal_loss())
+            .then_with(|| (other.cand.u, other.cand.v).cmp(&(self.cand.u, self.cand.v)))
+            .then_with(|| self.exact.cmp(&other.exact))
     }
 }
 
@@ -236,7 +252,7 @@ pub fn structure_value_merge(s: &mut Synopsis, cfg: &BuildConfig) {
         }
         let levels = clamped_levels(s);
         let max_level = s.live_nodes().map(|i| levels[i]).max().unwrap_or(0);
-        let mut pool = build_pool(s, cfg.h_m, l, &levels);
+        let mut pool = build_pool(s, cfg.h_m, l, &levels, cfg.threads);
         stats::POOL_REFILLS.inc();
         stats::POOL_CANDIDATES.add(pool.len() as u64);
         if pool.is_empty() {
@@ -321,7 +337,47 @@ fn clamped_levels(s: &Synopsis) -> Vec<u32> {
 /// Pairs where either side carries a value summary enter with the cheap
 /// structure-only Δ (refined lazily on pop); purely structural pairs are
 /// exact immediately.
-fn build_pool(s: &Synopsis, h_m: usize, l: u32, levels: &[u32]) -> BinaryHeap<PoolEntry> {
+///
+/// Scoring fans out over `threads` workers partitioned by `(label,
+/// type)` group — groups are independent scoring units, and
+/// [`par::chunked_map`] concatenates per-chunk results in group order,
+/// so the entry vector (and everything downstream: the sort, the
+/// truncation, the heap) is identical to the sequential build.
+fn build_pool(
+    s: &Synopsis,
+    h_m: usize,
+    l: u32,
+    levels: &[u32],
+    threads: usize,
+) -> BinaryHeap<PoolEntry> {
+    // `nodes_by_label_type` is a BTreeMap, so the group order is
+    // deterministic (PR 2) — the partition axis for the workers.
+    let groups: Vec<Vec<SynopsisNodeId>> = s.nodes_by_label_type().into_values().collect();
+    let mut entries: Vec<PoolEntry> =
+        par::chunked_map(&groups, threads, |ids| score_group(s, ids, h_m, l, levels))
+            .into_iter()
+            .flatten()
+            .collect();
+    // Keep the h_m best (Figure 6, lines 6–8: evict maximal marginal loss).
+    if entries.len() > h_m {
+        // `Ord` is reversed for the min-heap (greatest = smallest loss),
+        // so descending heap order = ascending marginal loss, with the
+        // deterministic cluster-id tie-break at the truncation boundary.
+        entries.sort_by(|a, b| b.cmp(a));
+        entries.truncate(h_m);
+    }
+    entries.into_iter().collect()
+}
+
+/// Scores every merge pair within one `(label, type)` group — a pure
+/// function of the shared synopsis, safe to run on any worker.
+fn score_group(
+    s: &Synopsis,
+    ids: &[SynopsisNodeId],
+    h_m: usize,
+    l: u32,
+    levels: &[u32],
+) -> Vec<PoolEntry> {
     // Exhaustive pairing is quadratic per label group; reference synopses
     // can hold thousands of same-label context clusters. Large groups are
     // sorted by a merge-affinity key (primary parent, then extent size:
@@ -329,36 +385,29 @@ fn build_pool(s: &Synopsis, h_m: usize, l: u32, levels: &[u32]) -> BinaryHeap<Po
     // centroids) and paired within a sliding window — a documented bound
     // on Figure 6, in the same spirit as the paper's own Hm/level caps.
     const WINDOW: usize = 16;
-    let mut entries: Vec<PoolEntry> = Vec::new();
-    for ((_, _), ids) in s.nodes_by_label_type() {
-        let mut eligible: Vec<SynopsisNodeId> =
-            ids.into_iter().filter(|&i| levels[i] <= l).collect();
-        eligible.sort_by(|&a, &b| {
-            let ka = (s.node(a).parents.first().copied(), s.node(a).count as u64);
-            let kb = (s.node(b).parents.first().copied(), s.node(b).count as u64);
-            ka.cmp(&kb)
-        });
-        for (i, &u) in eligible.iter().enumerate() {
-            let window_end = if eligible.len() * (eligible.len() - 1) / 2 <= h_m {
-                eligible.len()
-            } else {
-                (i + 1 + WINDOW).min(eligible.len())
-            };
-            for &v in &eligible[i + 1..window_end] {
-                let has_values = s.node(u).vsumm.is_some() || s.node(v).vsumm.is_some();
-                entries.push(PoolEntry {
-                    cand: evaluate_merge_with(s, u, v, !has_values),
-                    exact: !has_values,
-                });
-            }
+    let mut eligible: Vec<SynopsisNodeId> =
+        ids.iter().copied().filter(|&i| levels[i] <= l).collect();
+    eligible.sort_by(|&a, &b| {
+        let ka = (s.node(a).parents.first().copied(), s.node(a).count as u64);
+        let kb = (s.node(b).parents.first().copied(), s.node(b).count as u64);
+        ka.cmp(&kb)
+    });
+    let mut entries = Vec::new();
+    for (i, &u) in eligible.iter().enumerate() {
+        let window_end = if eligible.len() * (eligible.len() - 1) / 2 <= h_m {
+            eligible.len()
+        } else {
+            (i + 1 + WINDOW).min(eligible.len())
+        };
+        for &v in &eligible[i + 1..window_end] {
+            let has_values = s.node(u).vsumm.is_some() || s.node(v).vsumm.is_some();
+            entries.push(PoolEntry {
+                cand: evaluate_merge_with(s, u, v, !has_values),
+                exact: !has_values,
+            });
         }
     }
-    // Keep the h_m best (Figure 6, lines 6–8: evict maximal marginal loss).
-    if entries.len() > h_m {
-        entries.sort_by(|a, b| a.cand.marginal_loss().total_cmp(&b.cand.marginal_loss()));
-        entries.truncate(h_m);
-    }
-    entries.into_iter().collect()
+    entries
 }
 
 // ---------------------------------------------------------------------
@@ -369,7 +418,7 @@ struct ValueEntry(ChunkCandidate);
 
 impl PartialEq for ValueEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.0.marginal_loss() == other.0.marginal_loss()
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for ValueEntry {}
@@ -380,19 +429,32 @@ impl PartialOrd for ValueEntry {
 }
 impl Ord for ValueEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.0.marginal_loss().total_cmp(&self.0.marginal_loss())
+        // Reversed min-heap, with the same insertion-order-independent
+        // tie-break discipline as `PoolEntry`: equal losses pop in
+        // ascending cluster-id order.
+        other
+            .0
+            .marginal_loss()
+            .total_cmp(&self.0.marginal_loss())
+            .then_with(|| other.0.node.cmp(&self.0.node))
     }
 }
 
 /// Phase 2 (Figure 5, lines 11–18).
+///
+/// The initial chunk evaluation (one summary-compression candidate per
+/// live node carrying values) fans out over `cfg.threads` workers; the
+/// drain loop itself stays sequential — each applied chunk invalidates
+/// the node it touched, so the loop is inherently serial.
 pub fn value_compression(s: &mut Synopsis, cfg: &BuildConfig) {
-    let mut heap: BinaryHeap<ValueEntry> = s
-        .live_nodes()
-        .collect::<Vec<_>>()
-        .into_iter()
-        .filter_map(|id| evaluate_compression_chunk(s, id, cfg.min_value_chunk))
-        .map(ValueEntry)
-        .collect();
+    let nodes: Vec<SynopsisNodeId> = s.live_nodes().collect();
+    let mut heap: BinaryHeap<ValueEntry> = par::chunked_map(&nodes, cfg.threads, |&id| {
+        evaluate_compression_chunk(s, id, cfg.min_value_chunk)
+    })
+    .into_iter()
+    .flatten()
+    .map(ValueEntry)
+    .collect();
     while s.value_bytes() > cfg.b_val {
         let Some(ValueEntry(cand)) = heap.pop() else {
             break; // every summary is already minimal
@@ -686,6 +748,62 @@ mod tests {
         // tests that may be another build's result, so only check it is
         // set to something plausible.
         assert!(stats::FINAL_STRUCT_BYTES.get() > 0);
+    }
+
+    #[test]
+    fn equal_loss_candidates_pop_in_stable_order() {
+        // Regression test for the pool-ordering hazard: entries whose
+        // marginal losses are exactly equal used to pop in heap
+        // insertion order; the (u, v) secondary key makes the pop order
+        // canonical (smallest cluster-id pair first).
+        let mk = |u: usize, v: usize| PoolEntry {
+            cand: MergeCandidate {
+                u,
+                v,
+                delta: 4.0,
+                bytes_saved: 8,
+                versions: (0, 0),
+            },
+            exact: true,
+        };
+        let orders = [
+            [mk(9, 12), mk(3, 7), mk(3, 5)],
+            [mk(3, 5), mk(9, 12), mk(3, 7)],
+            [mk(3, 7), mk(3, 5), mk(9, 12)],
+        ];
+        for order in orders {
+            let mut heap: BinaryHeap<PoolEntry> = order.into_iter().collect();
+            let popped: Vec<(usize, usize)> = std::iter::from_fn(|| heap.pop())
+                .map(|e| (e.cand.u, e.cand.v))
+                .collect();
+            assert_eq!(popped, vec![(3, 5), (3, 7), (9, 12)]);
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        let s = imdb_small();
+        let base = BuildConfig {
+            b_str: s.structural_bytes() / 3,
+            b_val: s.value_bytes() / 2,
+            ..BuildConfig::default()
+        };
+        let seq = build_synopsis(s.clone(), &base);
+        let seq_bytes = crate::codec::encode_synopsis(&seq);
+        for threads in [2, 4] {
+            let par_built = build_synopsis(
+                s.clone(),
+                &BuildConfig {
+                    threads,
+                    ..base.clone()
+                },
+            );
+            assert_eq!(
+                crate::codec::encode_synopsis(&par_built),
+                seq_bytes,
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

@@ -27,7 +27,10 @@
 //!   the Section 6.2 comparison, plus the tag-only smallest synopsis;
 //! * [`metrics`] — the evaluation metrics of Section 6.1 (average
 //!   absolute relative error with a sanity bound, absolute error for
-//!   low-count queries).
+//!   low-count queries);
+//! * [`par`] — the deterministic parallel execution layer: chunked
+//!   candidate scoring for the build and the batch estimation engine,
+//!   both byte-identical to sequential runs at any thread count.
 //!
 //! # Quick start
 //!
@@ -59,6 +62,7 @@ pub mod estimate;
 pub mod explain;
 pub mod merge;
 pub mod metrics;
+pub mod par;
 pub mod reference;
 pub mod synopsis;
 
@@ -66,8 +70,10 @@ pub use build::{build_synopsis, try_build_synopsis, BuildConfig, BuildConfigErro
 pub use estimate::{estimate, estimate_traced};
 pub use explain::{explain, Explanation};
 pub use metrics::{
-    evaluate_workload, evaluate_workload_attributed, relative_error, AttributionReport,
-    ClusterAttribution, ErrorReport, QueryErrorRecord,
+    evaluate_workload, evaluate_workload_attributed, evaluate_workload_attributed_with,
+    evaluate_workload_with, relative_error, AttributionReport, ClusterAttribution, ErrorReport,
+    QueryErrorRecord,
 };
+pub use par::{estimate_batch, resolve_threads};
 pub use reference::{reference_synopsis, ReferenceConfig};
 pub use synopsis::{Synopsis, SynopsisNodeId};

@@ -7,8 +7,8 @@
 //! relative errors. Figure 9 complements this with the average *absolute*
 //! error over exactly those low-count queries (`c < s`).
 
-use crate::estimate::{estimate, estimate_traced};
 use crate::explain::{embed_steps, populations_from_trace};
+use crate::par::{estimate_batch_by, estimate_batch_traced_by};
 use crate::synopsis::{Synopsis, SynopsisNodeId};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use xcluster_query::{NodeKind, QueryClass, Workload, WorkloadQuery};
@@ -112,9 +112,21 @@ impl ErrorAcc {
 
 /// Runs every workload query against the synopsis and aggregates errors.
 pub fn evaluate_workload(s: &Synopsis, w: &Workload) -> ErrorReport {
+    evaluate_workload_with(s, w, 1)
+}
+
+/// [`evaluate_workload`] with estimates computed by the parallel batch
+/// engine across `threads` workers (`0` = available parallelism).
+///
+/// The report is bitwise identical to the sequential one regardless of
+/// `threads`: per-query estimates are bitwise equal
+/// ([`crate::par::estimate_batch_by`]) and the error aggregation runs
+/// sequentially in query order, so no floating-point sum is reordered.
+pub fn evaluate_workload_with(s: &Synopsis, w: &Workload, threads: usize) -> ErrorReport {
+    let estimates = estimate_batch_by(s, &w.queries, threads, |q| &q.query);
     let mut acc = ErrorAcc::default();
-    for q in &w.queries {
-        acc.add(q, estimate(s, &q.query), w.sanity_bound);
+    for (q, est) in w.queries.iter().zip(estimates) {
+        acc.add(q, est, w.sanity_bound);
     }
     acc.report()
 }
@@ -219,14 +231,26 @@ pub fn evaluate_workload_attributed(
     s: &Synopsis,
     w: &Workload,
 ) -> (ErrorReport, AttributionReport) {
+    evaluate_workload_attributed_with(s, w, 1)
+}
+
+/// [`evaluate_workload_attributed`] with the traced estimates computed
+/// by the parallel batch engine across `threads` workers (`0` =
+/// available parallelism). Bitwise identical to sequential: tracing is
+/// pure per query and the attribution join runs in query order.
+pub fn evaluate_workload_attributed_with(
+    s: &Synopsis,
+    w: &Workload,
+    threads: usize,
+) -> (ErrorReport, AttributionReport) {
+    let traced = estimate_batch_traced_by(s, &w.queries, threads, |q| &q.query);
     let mut acc = ErrorAcc::default();
     let mut cluster_err: BTreeMap<SynopsisNodeId, f64> = BTreeMap::new();
     let mut cluster_queries: BTreeMap<SynopsisNodeId, usize> = BTreeMap::new();
     let mut cluster_kinds: BTreeMap<SynopsisNodeId, BTreeSet<String>> = BTreeMap::new();
     let mut unattributed = 0.0;
     let mut records = Vec::with_capacity(w.queries.len());
-    for q in &w.queries {
-        let (est, trace) = estimate_traced(s, &q.query);
+    for (q, (est, trace)) in w.queries.iter().zip(traced) {
         acc.add(q, est, w.sanity_bound);
         let abs_error = (q.true_count - est).abs();
         let (pops, _) = populations_from_trace(&q.query, &trace, s.root());

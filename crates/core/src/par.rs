@@ -1,0 +1,316 @@
+//! Deterministic parallel execution layer (`std::thread::scope`, no
+//! external dependencies — the build environment is offline).
+//!
+//! Two hot paths fan out through this module:
+//!
+//! 1. **Candidate scoring** during `XClusterBuild` phase 1/2
+//!    ([`chunked_map`], called from `build::build_pool` and
+//!    `build::value_compression`): work items are partitioned into
+//!    *contiguous* chunks in their original order, one chunk per worker,
+//!    and the per-item results are concatenated back in item order. Since
+//!    every score (`Δ(S,S′)/Δbytes`, summary alignment, value-compression
+//!    deltas) is a pure function of the shared `&Synopsis`, the parallel
+//!    result vector is **identical** — element for element, bit for bit —
+//!    to the sequential one, and the synopsis produced by a parallel
+//!    build is byte-identical to `threads = 1` (locked down by
+//!    `tests/parallel.rs`).
+//! 2. **Batch estimation** ([`estimate_batch`]): a twig workload is
+//!    sharded across workers the same way. Each query's estimate touches
+//!    only its own accumulation order, so per-query results are bitwise
+//!    equal to sequential [`crate::estimate::estimate`] calls; each
+//!    worker records its shard's metrics into a private
+//!    [`xcluster_obs::Registry`] that is merged into the global registry
+//!    after the join, so instrumentation stays race-free without
+//!    hot-path synchronization.
+//!
+//! The partition axis for the build is the `(label, type)` group (the
+//! merge-compatible classes of the type-respecting partition) — groups
+//! are independent scoring units, exactly the per-label/per-path
+//! independence that path-partitioned systems exploit.
+
+use crate::estimate::{estimate, estimate_traced};
+use crate::synopsis::Synopsis;
+use std::time::Instant;
+use xcluster_obs::trace::Trace;
+use xcluster_obs::Registry;
+use xcluster_query::TwigQuery;
+
+/// Registry handles for the batch-estimation instrumentation
+/// (`estimate.batch*`). Per-shard metrics are recorded into thread-local
+/// registries and merged after the join; only these whole-batch handles
+/// touch the global registry from the coordinating thread.
+mod stats {
+    use std::sync::{Arc, LazyLock};
+    use xcluster_obs::{counter, gauge, Counter, Gauge};
+
+    pub static BATCHES: LazyLock<Arc<Counter>> = LazyLock::new(|| counter("estimate.batches"));
+    pub static BATCH_THREADS: LazyLock<Arc<Gauge>> =
+        LazyLock::new(|| gauge("estimate.batch_threads"));
+}
+
+/// Resolves a thread-count knob: `0` means "use every available core"
+/// (`std::thread::available_parallelism`), anything else is taken
+/// literally. Never returns 0.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Splits `items` into at most `chunks` contiguous, near-equal slices
+/// (first `len % chunks` slices get one extra item). Empty slices are
+/// skipped, so the iterator yields `min(chunks, len)` slices whose
+/// concatenation is `items` in order.
+fn balanced_chunks<T>(items: &[T], chunks: usize) -> Vec<&[T]> {
+    let chunks = chunks.max(1);
+    let base = items.len() / chunks;
+    let rem = items.len() % chunks;
+    let mut out = Vec::with_capacity(chunks.min(items.len()));
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < rem);
+        if size == 0 {
+            break;
+        }
+        out.push(&items[start..start + size]);
+        start += size;
+    }
+    out
+}
+
+/// Maps `f` over `items` on a fixed pool of `threads` scoped workers
+/// with deterministic contiguous partitioning, returning the results in
+/// item order — the output is indistinguishable from
+/// `items.iter().map(f).collect()` whenever `f` is pure, regardless of
+/// thread count or scheduling.
+///
+/// `threads` is resolved via [`resolve_threads`] and clamped to the item
+/// count; with one worker (or one item) everything runs inline on the
+/// calling thread with no spawn overhead. A panic in any worker is
+/// re-raised on the calling thread after the scope joins.
+pub fn chunked_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = balanced_chunks(items, threads)
+            .into_iter()
+            .map(|chunk| {
+                let f = &f;
+                scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    out
+}
+
+/// Estimates every query of a workload shard-parallel across `threads`
+/// workers (`0` = available parallelism), returning the estimates in
+/// query order.
+///
+/// Every returned value is **bitwise equal** to a sequential
+/// [`estimate`] call on the same query — queries are independent and the
+/// shard partition never reorders any floating-point accumulation.
+/// Per-shard metrics (`estimate.batch_queries`, per-query latency in
+/// `estimate.batch_query_ns`) are recorded into per-thread registries
+/// merged into the global one after the join.
+pub fn estimate_batch(s: &Synopsis, queries: &[TwigQuery], threads: usize) -> Vec<f64> {
+    estimate_batch_by(s, queries, threads, |q| q)
+}
+
+/// [`estimate_batch`] over any container of queries, via an accessor —
+/// lets workload evaluation shard `&[WorkloadQuery]` without cloning
+/// every twig.
+pub fn estimate_batch_by<T, G>(s: &Synopsis, items: &[T], threads: usize, get: G) -> Vec<f64>
+where
+    T: Sync,
+    G: Fn(&T) -> &TwigQuery + Sync,
+{
+    run_batch(s, items, threads, &get, estimate)
+}
+
+/// Traced batch estimation: like [`estimate_batch_by`] but each query
+/// additionally returns the trace of its embedding walk (bitwise-equal
+/// estimates — tracing never reorders the floating-point work). Used by
+/// attributed workload evaluation.
+pub fn estimate_batch_traced_by<T, G>(
+    s: &Synopsis,
+    items: &[T],
+    threads: usize,
+    get: G,
+) -> Vec<(f64, Trace)>
+where
+    T: Sync,
+    G: Fn(&T) -> &TwigQuery + Sync,
+{
+    run_batch(s, items, threads, &get, estimate_traced)
+}
+
+/// Shared batch driver: shards `items` into contiguous chunks, runs
+/// `est` per query on scoped workers, concatenates results in item
+/// order, and merges each worker's private registry into the global one.
+fn run_batch<T, G, R>(
+    s: &Synopsis,
+    items: &[T],
+    threads: usize,
+    get: &G,
+    est: impl Fn(&Synopsis, &TwigQuery) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    G: Fn(&T) -> &TwigQuery + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len().max(1));
+    stats::BATCHES.inc();
+    stats::BATCH_THREADS.set(threads as i64);
+    let shard = |chunk: &[T]| -> Vec<R> {
+        // Private per-thread registry: race-free by construction, merged
+        // once after the shard finishes (single lock acquisition per
+        // metric name instead of one contended atomic per query).
+        let local = Registry::default();
+        let queries = local.counter("estimate.batch_queries");
+        let query_ns = local.histogram("estimate.batch_query_ns");
+        let timed = xcluster_obs::enabled();
+        let mut out = Vec::with_capacity(chunk.len());
+        for item in chunk {
+            if timed {
+                let t = Instant::now();
+                out.push(est(s, get(item)));
+                query_ns.record_duration(t.elapsed());
+            } else {
+                out.push(est(s, get(item)));
+            }
+            queries.inc();
+        }
+        xcluster_obs::global().merge_from(&local);
+        out
+    };
+    if threads <= 1 {
+        return shard(items);
+    }
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = balanced_chunks(items, threads)
+            .into_iter()
+            .map(|chunk| scope.spawn(move || shard(chunk)))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{reference_synopsis, ReferenceConfig};
+    use xcluster_query::parse_twig;
+    use xcluster_xml::parse;
+
+    #[test]
+    fn resolve_threads_zero_is_available_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn balanced_chunks_cover_in_order() {
+        let items: Vec<usize> = (0..10).collect();
+        for chunks in 1..=12 {
+            let parts = balanced_chunks(&items, chunks);
+            let flat: Vec<usize> = parts.iter().flat_map(|c| c.iter().copied()).collect();
+            assert_eq!(flat, items, "chunks = {chunks}");
+            assert!(parts.len() <= chunks);
+            let (min, max) = parts.iter().fold((usize::MAX, 0), |(lo, hi), c| {
+                (lo.min(c.len()), hi.max(c.len()))
+            });
+            assert!(max - min <= 1, "unbalanced: {min}..{max}");
+        }
+        assert!(balanced_chunks::<usize>(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn chunked_map_matches_sequential_for_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                chunked_map(&items, threads, |&x| x * x + 1),
+                expect,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_map_propagates_worker_panics() {
+        let items: Vec<u64> = (0..16).collect();
+        let r = std::panic::catch_unwind(|| {
+            chunked_map(&items, 4, |&x| {
+                assert!(x != 11, "boom");
+                x
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn estimate_batch_bitwise_equals_sequential() {
+        let t = parse("<r><a><x>1</x></a><a><x>2</x><x>3</x></a><b><x>4</x></b></r>").unwrap();
+        let s = reference_synopsis(&t, &ReferenceConfig::default());
+        let queries: Vec<_> = ["//a", "//x", "/a/x", "//b/x", "//*", "//a{/x}{/x}"]
+            .iter()
+            .map(|q| parse_twig(q, t.terms()).unwrap())
+            .collect();
+        let seq: Vec<f64> = queries.iter().map(|q| estimate(&s, q)).collect();
+        for threads in [1, 2, 4, 8] {
+            let batch = estimate_batch(&s, &queries, threads);
+            assert_eq!(batch.len(), seq.len());
+            for (i, (a, b)) in seq.iter().zip(&batch).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "query {i} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_batch_empty_workload() {
+        let t = parse("<r><a/></r>").unwrap();
+        let s = reference_synopsis(&t, &ReferenceConfig::default());
+        assert!(estimate_batch(&s, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn batch_metrics_are_merged_from_shards() {
+        let t = parse("<r><a/><a/></r>").unwrap();
+        let s = reference_synopsis(&t, &ReferenceConfig::default());
+        let queries: Vec<_> = (0..12)
+            .map(|_| parse_twig("//a", t.terms()).unwrap())
+            .collect();
+        let before = xcluster_obs::counter("estimate.batch_queries").get();
+        estimate_batch(&s, &queries, 3);
+        let after = xcluster_obs::counter("estimate.batch_queries").get();
+        assert_eq!(after - before, 12);
+    }
+}

@@ -31,6 +31,15 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+# Thread-matrix leg: the differential suite (parallel builds and batch
+# estimation byte-identical to sequential) under the release profile, so
+# it exercises the real build sizes, at each thread count.
+for threads in 1 4; do
+  echo "==> cargo test --release --test parallel (XCLUSTER_TEST_THREADS=$threads)"
+  XCLUSTER_TEST_THREADS="$threads" \
+    cargo test -q --release -p xcluster-core --test parallel
+done
+
 if [[ "$ACCURACY" == "1" ]]; then
   echo "==> accuracy regression gate (BENCH_accuracy.json, +10% tolerance)"
   cargo run --release -p xcluster-bench --bin experiments -- \

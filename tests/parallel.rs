@@ -1,0 +1,310 @@
+//! Differential tests for the deterministic parallel execution layer
+//! (`xcluster_core::par`).
+//!
+//! The contract under test: *the thread count is unobservable in the
+//! output*. A parallel build must produce a byte-identical synopsis
+//! (compared via the `codec` serialization) and batch estimation must
+//! return bitwise-equal floats, for every dataset family at every
+//! thread count.
+//!
+//! Thread counts default to `{2, 4, 8}` in release and `{2}` under the
+//! debug profile (debug builds are ~15× slower and the matrix multiplies
+//! whole synopsis builds); set `XCLUSTER_TEST_THREADS` to a
+//! comma-separated list to override (CI runs a `1,4` release matrix).
+
+use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::codec::encode_synopsis;
+use xcluster_core::metrics::{
+    evaluate_workload, evaluate_workload_attributed, evaluate_workload_attributed_with,
+    evaluate_workload_with,
+};
+use xcluster_core::par::estimate_batch_by;
+use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+use xcluster_core::{estimate, Synopsis};
+use xcluster_datagen::Dataset;
+use xcluster_query::{workload, EvalIndex, Workload, WorkloadConfig};
+
+/// Thread counts to differentiate against the sequential baseline.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("XCLUSTER_TEST_THREADS") {
+        Ok(v) => {
+            let counts: Vec<usize> = v
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t| t > 0)
+                .collect();
+            assert!(
+                !counts.is_empty(),
+                "XCLUSTER_TEST_THREADS={v:?} has no usable counts"
+            );
+            counts
+        }
+        Err(_) if cfg!(debug_assertions) => vec![2],
+        Err(_) => vec![2, 4, 8],
+    }
+}
+
+/// The reference synopsis with the dataset's own value paths summarized
+/// (so phase 2 and value-bearing merge candidates are exercised too).
+fn reference_of(d: &Dataset) -> Synopsis {
+    reference_synopsis(
+        &d.tree,
+        &ReferenceConfig {
+            value_paths: Some(d.value_paths.clone()),
+            ..ReferenceConfig::default()
+        },
+    )
+}
+
+/// Seeded imdb/xmark/treebank at two scales each: small enough to keep
+/// the suite quick, large enough that builds run multiple pool-refill
+/// rounds and phase-2 chunks.
+fn datasets() -> Vec<Dataset> {
+    vec![
+        xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: 30,
+            seed: 11,
+        }),
+        xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: 90,
+            seed: 12,
+        }),
+        xcluster_datagen::xmark::generate(&xcluster_datagen::xmark::XmarkConfig {
+            items: 40,
+            persons: 20,
+            open_auctions: 15,
+            closed_auctions: 10,
+            categories: 5,
+            seed: 13,
+        }),
+        xcluster_datagen::xmark::generate(&xcluster_datagen::xmark::XmarkConfig {
+            items: 120,
+            persons: 60,
+            open_auctions: 45,
+            closed_auctions: 30,
+            categories: 8,
+            seed: 14,
+        }),
+        // Treebank's deep random structure is near-incompressible: the
+        // reference synopsis keeps ~1 cluster per element, so build time
+        // grows superlinearly with `files`. Keep both scales small — the
+        // suite rebuilds each dataset once per thread count.
+        xcluster_datagen::treebank::generate(&xcluster_datagen::treebank::TreebankConfig {
+            files: 10,
+            max_sentences: 4,
+            max_depth: 5,
+            seed: 15,
+        }),
+        xcluster_datagen::treebank::generate(&xcluster_datagen::treebank::TreebankConfig {
+            files: 20,
+            max_sentences: 5,
+            max_depth: 6,
+            seed: 16,
+        }),
+    ]
+}
+
+/// A build configuration that forces real work in both phases.
+fn differential_config(r: &Synopsis) -> BuildConfig {
+    BuildConfig {
+        b_str: r.structural_bytes() / 3,
+        b_val: r.value_bytes() / 2,
+        ..BuildConfig::default()
+    }
+}
+
+#[test]
+fn parallel_build_is_bit_identical_across_datasets() {
+    for d in datasets() {
+        let r = reference_of(&d);
+        let cfg = differential_config(&r);
+        let seq_bytes = encode_synopsis(&build_synopsis(r.clone(), &cfg));
+        for t in thread_counts() {
+            let par = build_synopsis(
+                r.clone(),
+                &BuildConfig {
+                    threads: t,
+                    ..cfg.clone()
+                },
+            );
+            assert_eq!(
+                encode_synopsis(&par),
+                seq_bytes,
+                "{} ({} elements): parallel build diverged at {t} thread(s)",
+                d.name,
+                d.num_elements()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_build_with_zero_budgets_is_bit_identical() {
+    // The full-collapse path exercises maximal merge cascades, where a
+    // nondeterministic pool order would show up first.
+    for d in [
+        xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: 50,
+            seed: 21,
+        }),
+        xcluster_datagen::xmark::generate(&xcluster_datagen::xmark::XmarkConfig {
+            items: 60,
+            persons: 30,
+            open_auctions: 20,
+            closed_auctions: 15,
+            categories: 6,
+            seed: 22,
+        }),
+    ] {
+        let r = reference_of(&d);
+        let cfg = BuildConfig {
+            b_str: 0,
+            b_val: 0,
+            ..BuildConfig::default()
+        };
+        let seq_bytes = encode_synopsis(&build_synopsis(r.clone(), &cfg));
+        for t in thread_counts() {
+            let par = build_synopsis(
+                r.clone(),
+                &BuildConfig {
+                    threads: t,
+                    ..cfg.clone()
+                },
+            );
+            assert_eq!(
+                encode_synopsis(&par),
+                seq_bytes,
+                "{} at {t} thread(s)",
+                d.name
+            );
+        }
+    }
+}
+
+/// A built synopsis plus a 150-query seeded positive workload over the
+/// same document.
+fn built_with_workload(d: &Dataset, seed: u64) -> (Synopsis, Workload) {
+    let r = reference_of(d);
+    let cfg = differential_config(&r);
+    let built = build_synopsis(r, &cfg);
+    let idx = EvalIndex::build(&d.tree);
+    let w = workload::generate_positive(
+        &d.tree,
+        &idx,
+        &WorkloadConfig {
+            num_queries: 150,
+            seed,
+            allowed_targets: Some(d.summarized_targets()),
+            ..WorkloadConfig::default()
+        },
+    );
+    assert!(!w.queries.is_empty());
+    (built, w)
+}
+
+#[test]
+fn batch_estimation_is_bitwise_equal_to_sequential() {
+    let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+        num_movies: 90,
+        seed: 31,
+    });
+    let (built, w) = built_with_workload(&d, 0xBEEF);
+    let seq: Vec<f64> = w
+        .queries
+        .iter()
+        .map(|q| estimate(&built, &q.query))
+        .collect();
+    for t in thread_counts() {
+        let batch = estimate_batch_by(&built, &w.queries, t, |q| &q.query);
+        assert_eq!(batch.len(), seq.len());
+        for (i, (a, b)) in seq.iter().zip(&batch).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "query {i} ({}) diverged at {t} thread(s): {a} vs {b}",
+                w.queries[i].query
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_workload_reports_are_bitwise_identical() {
+    let d = xcluster_datagen::xmark::generate(&xcluster_datagen::xmark::XmarkConfig {
+        items: 80,
+        persons: 40,
+        open_auctions: 30,
+        closed_auctions: 20,
+        categories: 8,
+        seed: 32,
+    });
+    let (built, w) = built_with_workload(&d, 0xCAFE);
+    let seq = evaluate_workload(&built, &w);
+    for t in thread_counts() {
+        let par = evaluate_workload_with(&built, &w, t);
+        assert_eq!(
+            seq.overall_rel.to_bits(),
+            par.overall_rel.to_bits(),
+            "overall_rel diverged at {t} thread(s)"
+        );
+        assert_eq!(seq.avg_estimate.to_bits(), par.avg_estimate.to_bits());
+        for (a, b) in seq.class_rel.iter().zip(par.class_rel.iter()) {
+            assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+        }
+        for (a, b) in seq.low_count_abs.iter().zip(par.low_count_abs.iter()) {
+            assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+        }
+    }
+}
+
+#[test]
+fn parallel_attribution_is_identical() {
+    let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+        num_movies: 60,
+        seed: 33,
+    });
+    let (built, w) = built_with_workload(&d, 0xD00D);
+    let (seq_report, seq_attr) = evaluate_workload_attributed(&built, &w);
+    for t in thread_counts() {
+        let (par_report, par_attr) = evaluate_workload_attributed_with(&built, &w, t);
+        assert_eq!(
+            seq_report.overall_rel.to_bits(),
+            par_report.overall_rel.to_bits()
+        );
+        assert_eq!(seq_attr.clusters.len(), par_attr.clusters.len());
+        for (a, b) in seq_attr.clusters.iter().zip(&par_attr.clusters) {
+            assert_eq!(
+                a.cluster, b.cluster,
+                "cluster ranking diverged at {t} thread(s)"
+            );
+            assert_eq!(a.abs_error.to_bits(), b.abs_error.to_bits());
+            assert_eq!(a.queries, b.queries);
+            assert_eq!(a.summary_kinds, b.summary_kinds);
+        }
+        assert_eq!(
+            seq_attr.unattributed.to_bits(),
+            par_attr.unattributed.to_bits()
+        );
+        assert_eq!(seq_attr.queries.len(), par_attr.queries.len());
+        for (a, b) in seq_attr.queries.iter().zip(&par_attr.queries) {
+            assert_eq!(a.query, b.query);
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+            assert_eq!(a.top_cluster, b.top_cluster);
+        }
+    }
+}
+
+#[test]
+fn thread_zero_resolves_to_available_parallelism_and_stays_identical() {
+    // `threads = 0` (auto) must go through the same deterministic
+    // partitioning — whatever the machine's core count.
+    let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+        num_movies: 40,
+        seed: 41,
+    });
+    let r = reference_of(&d);
+    let cfg = differential_config(&r);
+    let seq_bytes = encode_synopsis(&build_synopsis(r.clone(), &cfg));
+    let auto = build_synopsis(r, &BuildConfig { threads: 0, ..cfg });
+    assert_eq!(encode_synopsis(&auto), seq_bytes);
+}

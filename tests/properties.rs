@@ -11,7 +11,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::build::{build_synopsis, try_build_synopsis, BuildConfig};
+use xcluster_core::codec::encode_synopsis;
 use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
 use xcluster_core::{estimate, merge};
 use xcluster_query::{evaluate, EvalIndex, TwigQuery};
@@ -248,6 +249,128 @@ fn build_never_underflows_budgets() {
         // Total element mass is invariant under merging.
         let mass: f64 = built.live_nodes().map(|i| built.node(i).count).sum();
         assert!((mass - tree.len() as f64).abs() < 1e-6);
+    });
+}
+
+/// A random `BuildConfig` — deliberately including invalid pool/chunk
+/// parameters and every thread-count mode (0 = auto) — so the build
+/// either returns a config error or an in-budget synopsis, never panics.
+fn arb_build_config(rng: &mut StdRng) -> BuildConfig {
+    BuildConfig {
+        b_str: rng.gen_range(0usize..4096),
+        b_val: rng.gen_range(0usize..4096),
+        h_m: rng.gen_range(0usize..64),
+        h_l: rng.gen_range(0usize..96),
+        min_value_chunk: rng.gen_range(0usize..256),
+        threads: rng.gen_range(0usize..5),
+    }
+}
+
+/// Checks one (document, config) case. Invariants: no panic; invalid
+/// configs are rejected exactly when `validate()` rejects them; a
+/// successful build is consistent and either meets the structural budget
+/// or has fully collapsed to the tag partition (every `(label, type)`
+/// group a single cluster — nothing left to merge).
+fn check_build_case(tree: &XmlTree, cfg: &BuildConfig) -> Result<(), String> {
+    let reference = reference_synopsis(tree, &ReferenceConfig::default());
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        try_build_synopsis(reference, cfg)
+    }));
+    match outcome {
+        Err(_) => Err("build panicked".to_string()),
+        Ok(Err(e)) => {
+            if cfg.validate().is_err() {
+                Ok(())
+            } else {
+                Err(format!("valid config rejected: {e}"))
+            }
+        }
+        Ok(Ok(built)) => {
+            if cfg.validate().is_err() {
+                return Err("invalid config accepted".to_string());
+            }
+            built
+                .check_consistency()
+                .map_err(|e| format!("inconsistent synopsis: {e:?}"))?;
+            let fully_collapsed = built
+                .nodes_by_label_type()
+                .values()
+                .all(|ids| ids.len() == 1);
+            if built.structural_bytes() > cfg.b_str && !fully_collapsed {
+                return Err(format!(
+                    "structural bytes {} exceed budget {} with merges still available",
+                    built.structural_bytes(),
+                    cfg.b_str
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Greedy shrink: repeatedly halve each config field while the case
+/// keeps failing, so the panic message carries a minimal reproduction
+/// instead of the raw random config.
+fn shrink_config(tree: &XmlTree, mut cfg: BuildConfig) -> BuildConfig {
+    loop {
+        let mut shrunk = false;
+        for field in 0..6 {
+            let mut candidate = cfg.clone();
+            let v = match field {
+                0 => &mut candidate.b_str,
+                1 => &mut candidate.b_val,
+                2 => &mut candidate.h_m,
+                3 => &mut candidate.h_l,
+                4 => &mut candidate.min_value_chunk,
+                _ => &mut candidate.threads,
+            };
+            if *v == 0 {
+                continue;
+            }
+            *v /= 2;
+            if check_build_case(tree, &candidate).is_err() {
+                cfg = candidate;
+                shrunk = true;
+            }
+        }
+        if !shrunk {
+            return cfg;
+        }
+    }
+}
+
+#[test]
+fn random_build_configs_never_panic_and_respect_budget() {
+    for_cases(CASES, |rng| {
+        let tree = arb_document(rng);
+        let cfg = arb_build_config(rng);
+        if let Err(msg) = check_build_case(&tree, &cfg) {
+            let minimal = shrink_config(&tree, cfg.clone());
+            panic!(
+                "property failed: {msg}\n  original config: {cfg:?}\n  minimal failing config: {minimal:?}"
+            );
+        }
+    });
+}
+
+#[test]
+fn parallel_build_matches_sequential_on_random_documents() {
+    for_cases(CASES / 2, |rng| {
+        let tree = arb_document(rng);
+        let reference = reference_synopsis(&tree, &ReferenceConfig::default());
+        let cfg = BuildConfig {
+            b_str: rng.gen_range(0usize..2048),
+            b_val: rng.gen_range(0usize..2048),
+            ..BuildConfig::default()
+        };
+        let threads = rng.gen_range(2usize..6);
+        let seq = build_synopsis(reference.clone(), &cfg);
+        let par = build_synopsis(reference, &BuildConfig { threads, ..cfg });
+        assert_eq!(
+            encode_synopsis(&par),
+            encode_synopsis(&seq),
+            "parallel build diverged at {threads} threads"
+        );
     });
 }
 
