@@ -8,7 +8,8 @@
 //!
 //! Commands: `table1`, `table2`, `figure8a`, `figure8b`, `figure9`,
 //! `negative`, `ablation-metric`, `ablation-ebth`, `ablation-pst`,
-//! `bench-build`, `bench-estimate`, `bench-accuracy`, `all`.
+//! `bench-build`, `bench-estimate`, `bench-accuracy`, `bench-serve`,
+//! `all`.
 //!
 //! Options: `--scale f` (data size relative to the paper, default 0.25),
 //! `--queries n` (workload size, default 1000), `--seed s`, `--out dir`
@@ -26,7 +27,10 @@
 //! * `BENCH_estimate.json` — estimation latency percentiles over the
 //!   pinned workload;
 //! * `BENCH_accuracy.json` — per-class relative error plus the
-//!   error-attribution summary (top error-contributing cluster).
+//!   error-attribution summary (top error-contributing cluster);
+//! * `BENCH_serve.json` — served-estimation throughput and
+//!   sliding-window latency quantiles over loopback HTTP, plus the
+//!   loaded synopsis's resident-memory footprint.
 //!
 //! They use pinned parameters (`--scale`/`--queries` are ignored) so the
 //! committed baselines stay comparable across runs; the metric registry
@@ -97,7 +101,7 @@ fn main() {
              [--gate baseline.json] <command>...\n\
              commands: table1 table2 figure8a figure8b figure9 negative \
              ablation-metric ablation-ebth ablation-pst ablation-numeric \
-             bench-build bench-estimate bench-accuracy all"
+             bench-build bench-estimate bench-accuracy bench-serve all"
         );
         std::process::exit(2);
     }
@@ -117,6 +121,7 @@ fn main() {
             "bench-build",
             "bench-estimate",
             "bench-accuracy",
+            "bench-serve",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -141,6 +146,7 @@ fn main() {
             "bench-build" => bench_build(&opts),
             "bench-estimate" => bench_estimate(&opts),
             "bench-accuracy" => bench_accuracy(&opts),
+            "bench-serve" => bench_serve(&opts),
             other => {
                 eprintln!("unknown command: {other}");
                 std::process::exit(2);
@@ -485,6 +491,125 @@ fn gate_accuracy(baseline_path: &str, fresh: &xcluster_core::ErrorReport) -> Res
     } else {
         Err(failures.join("; "))
     }
+}
+
+/// `BENCH_serve.json`: served-estimation throughput and sliding-window
+/// latency quantiles. Builds the pinned synopsis, serves it over
+/// loopback HTTP, and drives it with the seeded load generator in
+/// verify mode — every served estimate is checked bitwise against the
+/// in-process batch engine, so a nonzero mismatch count fails the run.
+/// The footprint block records what the loaded synopsis actually costs
+/// in resident heap bytes (vs the model's on-disk bytes).
+fn bench_serve(opts: &Opts) {
+    use xcluster_serve::{LoadgenConfig, Server, ServerConfig};
+    const SERVE_QUERIES: usize = 2000;
+    const SERVE_BATCH: usize = 50;
+    let t0 = Instant::now();
+    let p = prepare_imdb(BENCH_SCALE, opts.seed);
+    let built = build_synopsis(
+        p.reference.clone(),
+        &BuildConfig {
+            b_str: b_str_points(BENCH_SCALE)[3],
+            b_val: b_val(BENCH_SCALE),
+            ..BuildConfig::default()
+        },
+    );
+    let footprint = xcluster_core::MemoryFootprint::measure(&built);
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 0,
+        estimate_threads: 0,
+    })
+    .expect("bind loopback server");
+    let addr = server.local_addr().to_string();
+    server.set_synopsis(built.clone());
+    let server = std::sync::Arc::new(server);
+    let run_handle = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.run().expect("server run"))
+    };
+    // Pinned workload: structural, numeric-predicate, and deep-path
+    // shapes over the IMDB schema, sampled with the seeded PRNG.
+    let queries: Vec<String> = [
+        "//movie/year",
+        "//movie/title",
+        "//movie[year > 1980]/title",
+        "//movie[year < 1960]",
+        "//movie/cast/actor/name",
+        "/imdb/movie/genre",
+        "//movie/director/name",
+        "//series/episode/year",
+        "//series/cast/actor/name",
+        "//movie[year > 1990]/cast/actor",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let report = xcluster_serve::loadgen::run(&LoadgenConfig {
+        addr,
+        qps: 0.0,
+        total: SERVE_QUERIES,
+        batch: SERVE_BATCH,
+        seed: opts.seed,
+        queries,
+        verify: Some(built),
+        shutdown: true,
+        ..LoadgenConfig::default()
+    })
+    .expect("loadgen run");
+    run_handle.join().expect("server thread");
+    assert_eq!(report.errors, 0, "served batches must all succeed");
+    assert_eq!(
+        report.mismatches, 0,
+        "served estimates must be bitwise-identical to in-process"
+    );
+    println!(
+        "== bench-serve: {} queries over HTTP, {:.0} q/s, batch p99 {:.3} ms, footprint {} bytes ==",
+        report.sent_queries,
+        report.achieved_qps,
+        report.latency.p99 as f64 / 1e6,
+        footprint.total_bytes()
+    );
+    let mut body = String::from("{\n");
+    let _ = writeln!(body, "    \"queries\": {},", report.sent_queries);
+    let _ = writeln!(body, "    \"batches\": {},", report.batches);
+    let _ = writeln!(body, "    \"batch_size\": {SERVE_BATCH},");
+    let _ = writeln!(body, "    \"errors\": {},", report.errors);
+    let _ = writeln!(body, "    \"mismatches\": {},", report.mismatches);
+    let _ = writeln!(body, "    \"achieved_qps\": {:.0},", report.achieved_qps);
+    let _ = writeln!(body, "    \"batch_latency_ns\": {{");
+    let _ = writeln!(body, "      \"p50\": {},", report.latency.p50);
+    let _ = writeln!(body, "      \"p95\": {},", report.latency.p95);
+    let _ = writeln!(body, "      \"p99\": {},", report.latency.p99);
+    let _ = writeln!(body, "      \"max\": {}", report.latency.max);
+    let _ = writeln!(body, "    }},");
+    let _ = writeln!(body, "    \"footprint\": {{");
+    let _ = writeln!(body, "      \"total_bytes\": {},", footprint.total_bytes());
+    let _ = writeln!(
+        body,
+        "      \"cluster_bytes\": {},",
+        footprint.cluster_bytes
+    );
+    let _ = writeln!(body, "      \"edge_bytes\": {},", footprint.edge_bytes);
+    let _ = writeln!(
+        body,
+        "      \"interner_bytes\": {},",
+        footprint.interner_bytes
+    );
+    let _ = writeln!(
+        body,
+        "      \"summary_bytes\": {},",
+        footprint.summary_bytes()
+    );
+    let _ = writeln!(body, "      \"model_bytes\": {}", footprint.model_bytes());
+    let _ = writeln!(body, "    }}");
+    body.push_str("  }");
+    let mut run = bench_run_meta("bench-serve", opts, t0.elapsed().as_secs_f64());
+    if let Some(q) = run.iter_mut().find(|(k, _)| *k == "queries") {
+        q.1 = format!("{SERVE_QUERIES}");
+    }
+    run.push(("batch", format!("{SERVE_BATCH}")));
+    write_bench_file("BENCH_serve.json", &run, &body);
 }
 
 fn save(opts: &Opts, name: &str, content: &str) {

@@ -8,7 +8,10 @@
 //! xcluster estimate <synopsis.xcs> [--threads N] "<twig>"...
 //! xcluster evaluate <doc.xml> "<twig>"...       (exact counts)
 //! xcluster compare <doc.xml> <synopsis.xcs> "<twig>"...
-//! xcluster stats <doc.xml> ["<twig>"...] [--json]
+//! xcluster stats <doc.xml> ["<twig>"...] [--json|--prometheus]
+//! xcluster serve <synopsis.xcs> [--addr HOST:PORT] [--workers N] [--estimate-threads N]
+//! xcluster loadgen <addr> [--qps F] [--total N] [--batch N] [--seed N]
+//!                  [--verify syn.xcs] [--shutdown] [--queries-file F] "<twig>"...
 //! ```
 //!
 //! The twig syntax is documented in `xcluster_query::parser` — e.g.
@@ -53,6 +56,8 @@ fn main() -> ExitCode {
         Some("compare") => cmd_compare(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         _ => {
             eprintln!(
                 "usage: xcluster [--verbose|-q] <build|info|estimate|evaluate|compare|stats|trace> ...\n\
@@ -63,8 +68,10 @@ fn main() -> ExitCode {
                  explain <synopsis.xcs> \"<twig>\"...\n\
                  evaluate <doc.xml> \"<twig>\"...\n\
                  compare <doc.xml> <synopsis.xcs> \"<twig>\"...\n\
-                 stats <doc.xml> [\"<twig>\"...] [--json]\n\
-                 trace <doc.xml> \"<twig>\"... [--chrome out.json] [--b-str N] [--b-val N] [--type label=kind]..."
+                 stats <doc.xml> [\"<twig>\"...] [--json|--prometheus]\n\
+                 trace <doc.xml> \"<twig>\"... [--chrome out.json] [--b-str N] [--b-val N] [--type label=kind]...\n\
+                 serve <synopsis.xcs> [--addr HOST:PORT] [--workers N] [--estimate-threads N]\n\
+                 loadgen <addr> [--qps F] [--total N] [--batch N] [--seed N] [--verify syn.xcs] [--shutdown] [--queries-file F] \"<twig>\"..."
             );
             return ExitCode::from(2);
         }
@@ -86,6 +93,17 @@ fn take_flag(args: &mut Vec<String>, aliases: &[&str]) -> bool {
 }
 
 type AnyError = Box<dyn std::error::Error>;
+
+/// Writes machine-readable output as a single locked, flushed write so
+/// exported JSON/tables can never interleave with concurrently emitted
+/// log lines (logs go to stderr, exports to stdout).
+fn write_stdout(s: &str) -> Result<(), AnyError> {
+    use std::io::Write as _;
+    let mut out = std::io::stdout().lock();
+    out.write_all(s.as_bytes())?;
+    out.flush()?;
+    Ok(())
+}
 
 fn load_document(path: &str, type_opts: &[(String, ValueType)]) -> Result<XmlTree, AnyError> {
     let xml = std::fs::read_to_string(path)?;
@@ -184,10 +202,7 @@ fn cmd_build(args: &[String]) -> Result<(), AnyError> {
         bytes.len()
     );
     if stats {
-        print!(
-            "{}",
-            xcluster_obs::export::to_table(&xcluster_obs::snapshot())
-        );
+        write_stdout(&xcluster_obs::export::to_table(&xcluster_obs::snapshot()))?;
     }
     Ok(())
 }
@@ -318,10 +333,13 @@ fn cmd_compare(args: &[String]) -> Result<(), AnyError> {
 /// did the time go?
 fn cmd_stats(args: &[String]) -> Result<(), AnyError> {
     let mut json = false;
+    let mut prometheus = false;
     let mut positional: Vec<&String> = Vec::new();
     for a in args {
         if a == "--json" {
             json = true;
+        } else if a == "--prometheus" {
+            prometheus = true;
         } else {
             positional.push(a);
         }
@@ -341,11 +359,14 @@ fn cmd_stats(args: &[String]) -> Result<(), AnyError> {
         info!("cli", "{q}: estimate {est:.2}, true {truth:.0}");
     }
     let snap = xcluster_obs::snapshot();
-    if json {
-        print!("{}", xcluster_obs::export::to_json(&snap));
+    let rendered = if prometheus {
+        xcluster_obs::expose::render(&snap, xcluster_obs::expose::DEFAULT_NAMESPACE)
+    } else if json {
+        xcluster_obs::export::to_json(&snap)
     } else {
-        print!("{}", xcluster_obs::export::to_table(&snap));
-    }
+        xcluster_obs::export::to_table(&snap)
+    };
+    write_stdout(&rendered)?;
     Ok(())
 }
 
@@ -427,6 +448,141 @@ fn cmd_trace(args: &[String]) -> Result<(), AnyError> {
     if let Some(path) = chrome {
         std::fs::write(path, xcluster_obs::trace::chrome_trace_json(&all))?;
         info!("cli", "wrote {} trace(s) to {path}", all.len());
+    }
+    Ok(())
+}
+
+/// Serves a saved synopsis over HTTP. The listening address is printed
+/// to stdout immediately (flushed, so scripts can parse the ephemeral
+/// port); the synopsis loads on a background thread and `/readyz`
+/// reports 503 until it is installed.
+fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
+    let mut path: Option<&str> = None;
+    let mut cfg = xcluster_serve::ServerConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                cfg.addr = args.get(i + 1).ok_or("--addr needs a value")?.clone();
+                i += 2;
+            }
+            "--workers" => {
+                cfg.workers = args.get(i + 1).ok_or("--workers needs a value")?.parse()?;
+                i += 2;
+            }
+            "--estimate-threads" => {
+                cfg.estimate_threads = args
+                    .get(i + 1)
+                    .ok_or("--estimate-threads needs a value")?
+                    .parse()?;
+                i += 2;
+            }
+            other if path.is_none() => {
+                path = Some(other);
+                i += 1;
+            }
+            other => return Err(format!("unexpected argument {other:?}").into()),
+        }
+    }
+    let path = path.ok_or("missing synopsis file")?.to_string();
+    let server = xcluster_serve::Server::bind(&cfg)?;
+    write_stdout(&format!("listening on http://{}\n", server.local_addr()))?;
+    std::thread::scope(|scope| -> Result<(), AnyError> {
+        // Load in the background so the listener (and /healthz) is up
+        // immediately; /readyz flips once set_synopsis installs it. A
+        // failed load shuts the accept loop down instead of leaving a
+        // permanently-unready server running.
+        let loader = scope.spawn(|| -> Result<(), String> {
+            match load_synopsis(&path) {
+                Ok(synopsis) => {
+                    server.set_synopsis(synopsis);
+                    Ok(())
+                }
+                Err(e) => {
+                    server.state().request_shutdown();
+                    Err(e.to_string())
+                }
+            }
+        });
+        server.run()?;
+        match loader.join() {
+            Ok(r) => r.map_err(AnyError::from),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    })
+}
+
+/// Drives a running server with a seeded query workload and prints the
+/// achieved throughput and sliding-window latency quantiles.
+fn cmd_loadgen(args: &[String]) -> Result<(), AnyError> {
+    let mut cfg = xcluster_serve::LoadgenConfig::default();
+    let mut addr: Option<&str> = None;
+    let mut verify_path: Option<&str> = None;
+    let mut queries_file: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--qps" => {
+                cfg.qps = args.get(i + 1).ok_or("--qps needs a value")?.parse()?;
+                i += 2;
+            }
+            "--total" => {
+                cfg.total = args.get(i + 1).ok_or("--total needs a value")?.parse()?;
+                i += 2;
+            }
+            "--duration" => {
+                cfg.duration_s = args.get(i + 1).ok_or("--duration needs a value")?.parse()?;
+                i += 2;
+            }
+            "--batch" => {
+                cfg.batch = args.get(i + 1).ok_or("--batch needs a value")?.parse()?;
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = args.get(i + 1).ok_or("--seed needs a value")?.parse()?;
+                i += 2;
+            }
+            "--verify" => {
+                verify_path = Some(args.get(i + 1).ok_or("--verify needs a file")?);
+                i += 2;
+            }
+            "--queries-file" => {
+                queries_file = Some(args.get(i + 1).ok_or("--queries-file needs a file")?);
+                i += 2;
+            }
+            "--shutdown" => {
+                cfg.shutdown = true;
+                i += 1;
+            }
+            other if addr.is_none() => {
+                addr = Some(other);
+                i += 1;
+            }
+            other => {
+                cfg.queries.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    cfg.addr = addr.ok_or("missing server address")?.to_string();
+    if let Some(file) = queries_file {
+        for line in std::fs::read_to_string(file)?.lines() {
+            let line = line.trim();
+            if !line.is_empty() && !line.starts_with('#') {
+                cfg.queries.push(line.to_string());
+            }
+        }
+    }
+    if cfg.queries.is_empty() {
+        return Err("no queries given (positional or --queries-file)".into());
+    }
+    if let Some(p) = verify_path {
+        cfg.verify = Some(load_synopsis(p)?);
+    }
+    let report = xcluster_serve::loadgen::run(&cfg)?;
+    write_stdout(&report.to_text())?;
+    if report.errors > 0 || report.mismatches > 0 {
+        return Err(format!("{} errors, {} mismatches", report.errors, report.mismatches).into());
     }
     Ok(())
 }

@@ -1,0 +1,209 @@
+//! Resident-memory accounting for a loaded [`Synopsis`].
+//!
+//! The paper's budgets (`Bstr`, `Bval`) are expressed in *model* bytes —
+//! a compact on-disk encoding where a bucket costs 8 bytes and a PST
+//! node 9 (see `xcluster_summaries::footprint`). A serving process cares
+//! about a different number: how many bytes of heap the synopsis
+//! actually occupies, including arena tombstones, `Vec` slack capacity,
+//! and interner copies. [`MemoryFootprint::measure`] walks the arena
+//! once and attributes resident bytes across clusters, edges, and each
+//! value-summary kind; [`MemoryFootprint::register`] publishes the
+//! breakdown as `footprint.*` gauges so `/metrics` and
+//! `/synopsis/stats` can expose it.
+//!
+//! All numbers are computed from allocated capacities (`Vec::capacity`,
+//! `HashMap::capacity`), not live lengths — slack is real memory. They
+//! are a faithful model of the Rust layout, not an allocator probe:
+//! per-allocation malloc headers are not counted.
+
+use crate::synopsis::{Synopsis, SynopsisNode};
+use std::collections::BTreeMap;
+use xcluster_obs::Registry;
+
+/// Per-summary-kind resident accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindFootprint {
+    /// Number of live summaries of this kind.
+    pub count: usize,
+    /// Resident heap bytes across those summaries.
+    pub heap_bytes: usize,
+    /// Model (on-disk encoding) bytes across those summaries.
+    pub model_bytes: usize,
+}
+
+/// Resident-memory attribution for one synopsis.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoryFootprint {
+    /// Arena slots, including tombstones.
+    pub arena_nodes: usize,
+    /// Live (non-tombstone) cluster nodes.
+    pub live_nodes: usize,
+    /// Bytes of the node arena itself (capacity × node struct size).
+    /// Tombstones and slack capacity are included — they are resident.
+    pub cluster_bytes: usize,
+    /// Bytes of every node's child-edge and parent-id vectors.
+    pub edge_bytes: usize,
+    /// Per-kind summary accounting, keyed by
+    /// `ValueSummary::kind_name()` (`histogram`, `pst`,
+    /// `term_histogram`, `wavelet`, `sample`).
+    pub summaries: BTreeMap<&'static str, KindFootprint>,
+    /// Bytes of the label + term interners (string payloads and maps).
+    pub interner_bytes: usize,
+    /// The paper-model structural bytes (`|S|_str`), for comparison.
+    pub model_structural_bytes: usize,
+    /// The paper-model value bytes (`|S|_val`), for comparison.
+    pub model_value_bytes: usize,
+}
+
+impl MemoryFootprint {
+    /// Walks the synopsis once and attributes its resident heap bytes.
+    pub fn measure(s: &Synopsis) -> MemoryFootprint {
+        let mut fp = MemoryFootprint {
+            arena_nodes: s.arena_len(),
+            cluster_bytes: s.arena_capacity() * std::mem::size_of::<SynopsisNode>(),
+            interner_bytes: s.labels().heap_bytes() + s.terms().heap_bytes(),
+            model_structural_bytes: s.structural_bytes(),
+            model_value_bytes: s.value_bytes(),
+            ..MemoryFootprint::default()
+        };
+        for id in 0..s.arena_len() {
+            let node = s.node(id);
+            fp.edge_bytes += node.children.capacity()
+                * std::mem::size_of::<(crate::synopsis::SynopsisNodeId, f64)>()
+                + node.parents.capacity() * std::mem::size_of::<crate::synopsis::SynopsisNodeId>();
+            if node.alive {
+                fp.live_nodes += 1;
+            }
+            // Tombstoned nodes keep their summaries allocated until the
+            // arena is compacted — count them where they live.
+            if let Some(v) = &node.vsumm {
+                let k = fp.summaries.entry(v.kind_name()).or_default();
+                k.count += 1;
+                k.heap_bytes += v.heap_bytes();
+                k.model_bytes += v.size_bytes();
+            }
+        }
+        fp
+    }
+
+    /// Resident heap bytes across all summary kinds.
+    pub fn summary_bytes(&self) -> usize {
+        self.summaries.values().map(|k| k.heap_bytes).sum()
+    }
+
+    /// Total attributed resident bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.cluster_bytes + self.edge_bytes + self.summary_bytes() + self.interner_bytes
+    }
+
+    /// Total paper-model bytes (`|S|_str + |S|_val`).
+    pub fn model_bytes(&self) -> usize {
+        self.model_structural_bytes + self.model_value_bytes
+    }
+
+    /// Publishes the breakdown as `footprint.*` gauges in `r`.
+    pub fn register_into(&self, r: &Registry) {
+        let g = |name: &str, v: usize| r.gauge(name).set(v as i64);
+        g("footprint.arena_nodes", self.arena_nodes);
+        g("footprint.live_nodes", self.live_nodes);
+        g("footprint.cluster_bytes", self.cluster_bytes);
+        g("footprint.edge_bytes", self.edge_bytes);
+        g("footprint.interner_bytes", self.interner_bytes);
+        g("footprint.total_bytes", self.total_bytes());
+        g(
+            "footprint.model_structural_bytes",
+            self.model_structural_bytes,
+        );
+        g("footprint.model_value_bytes", self.model_value_bytes);
+        for (kind, k) in &self.summaries {
+            g(&format!("footprint.summary_{kind}_count"), k.count);
+            g(&format!("footprint.summary_{kind}_bytes"), k.heap_bytes);
+        }
+    }
+
+    /// Publishes the breakdown into the global registry.
+    pub fn register(&self) {
+        self.register_into(xcluster_obs::global());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_synopsis, BuildConfig};
+    use crate::reference::{reference_synopsis, ReferenceConfig};
+    use xcluster_xml::parse;
+
+    fn sample_synopsis() -> Synopsis {
+        let doc = parse(
+            "<bib><paper><year>1998</year><title>Histograms</title>\
+             <abstract>histograms approximate value distributions compactly</abstract></paper>\
+             <paper><year>2004</year><title>Sketches</title>\
+             <abstract>sketches summarize streams in sublinear space</abstract></paper></bib>",
+        )
+        .unwrap();
+        let reference = reference_synopsis(&doc, &ReferenceConfig::default());
+        build_synopsis(
+            reference,
+            &BuildConfig {
+                b_str: 512,
+                b_val: 1024,
+                ..BuildConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn measure_attributes_all_components() {
+        let s = sample_synopsis();
+        let fp = MemoryFootprint::measure(&s);
+        assert_eq!(fp.arena_nodes, s.arena_len());
+        assert_eq!(fp.live_nodes, s.num_nodes());
+        assert!(fp.cluster_bytes >= fp.arena_nodes * std::mem::size_of::<SynopsisNode>());
+        assert!(fp.edge_bytes > 0, "sample doc has edges");
+        assert!(fp.interner_bytes > 0, "labels are interned");
+        assert_eq!(fp.model_structural_bytes, s.structural_bytes());
+        assert_eq!(fp.model_value_bytes, s.value_bytes());
+        assert_eq!(
+            fp.total_bytes(),
+            fp.cluster_bytes + fp.edge_bytes + fp.summary_bytes() + fp.interner_bytes
+        );
+    }
+
+    #[test]
+    fn measure_sees_summary_kinds() {
+        let s = sample_synopsis();
+        let fp = MemoryFootprint::measure(&s);
+        // year → histogram, title → pst, abstract → term histogram.
+        for kind in ["histogram", "pst", "term_histogram"] {
+            let k = fp.summaries.get(kind).copied().unwrap_or_default();
+            assert!(k.count > 0, "expected a {kind} summary");
+            assert!(k.heap_bytes > 0, "{kind} summaries occupy heap");
+            assert!(k.model_bytes > 0, "{kind} summaries have model bytes");
+        }
+        // Resident bytes exceed the compact on-disk model.
+        assert!(fp.summary_bytes() >= fp.model_value_bytes / 2);
+    }
+
+    #[test]
+    fn register_publishes_gauges() {
+        let s = sample_synopsis();
+        let fp = MemoryFootprint::measure(&s);
+        let r = Registry::default();
+        fp.register_into(&r);
+        let snap = r.snapshot();
+        let get = |name: &str| {
+            snap.gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing gauge {name}"))
+        };
+        assert_eq!(get("footprint.total_bytes"), fp.total_bytes() as i64);
+        assert_eq!(get("footprint.live_nodes"), fp.live_nodes as i64);
+        assert_eq!(
+            get("footprint.summary_histogram_bytes"),
+            fp.summaries["histogram"].heap_bytes as i64
+        );
+    }
+}

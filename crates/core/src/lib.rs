@@ -60,6 +60,7 @@ pub mod codec;
 pub mod delta;
 pub mod estimate;
 pub mod explain;
+pub mod footprint;
 pub mod merge;
 pub mod metrics;
 pub mod par;
@@ -69,6 +70,7 @@ pub mod synopsis;
 pub use build::{build_synopsis, try_build_synopsis, BuildConfig, BuildConfigError};
 pub use estimate::{estimate, estimate_traced};
 pub use explain::{explain, Explanation};
+pub use footprint::MemoryFootprint;
 pub use metrics::{
     evaluate_workload, evaluate_workload_attributed, evaluate_workload_attributed_with,
     evaluate_workload_with, relative_error, AttributionReport, ClusterAttribution, ErrorReport,

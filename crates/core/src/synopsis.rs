@@ -138,6 +138,12 @@ impl Synopsis {
         self.nodes.len()
     }
 
+    /// Allocated arena capacity (≥ [`Synopsis::arena_len`]); the slack
+    /// is counted by the memory-footprint accounting.
+    pub fn arena_capacity(&self) -> usize {
+        self.nodes.capacity()
+    }
+
     /// Ids of all live nodes.
     pub fn live_nodes(&self) -> impl Iterator<Item = SynopsisNodeId> + '_ {
         (0..self.nodes.len()).filter(|&i| self.nodes[i].alive)

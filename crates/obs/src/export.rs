@@ -9,8 +9,8 @@
 use crate::registry::{HistogramSnapshot, Snapshot};
 use std::fmt::Write as _;
 
-/// Escapes a string for a JSON string literal.
-pub(crate) fn esc(s: &str) -> String {
+/// Escapes a string for a JSON string literal (no surrounding quotes).
+pub fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -1,0 +1,585 @@
+//! Prometheus text exposition (format version 0.0.4) for the metric
+//! registry, plus a strict line parser used to test the format without
+//! a scraper.
+//!
+//! The renderer maps the registry's dotted metric names onto the
+//! Prometheus name grammar (`[a-zA-Z_:][a-zA-Z0-9_:]*`) by replacing
+//! every other character with `_` and prefixing a namespace (`xcluster`
+//! by default):
+//!
+//! * counters  → `<ns>_<name>_total` with `# TYPE … counter`;
+//! * gauges    → `<ns>_<name>` with `# TYPE … gauge`;
+//! * histograms → `# TYPE … summary`: `{quantile="0.5|0.9|0.99"}`
+//!   series plus `_sum`/`_count`, and companion `_min`/`_max` gauges
+//!   (the text format's summary has no min/max);
+//! * sliding windows ([`WindowSnapshot`]) → gauges with
+//!   `{quantile="0.5|0.95|0.99"}` and a `window="<seconds>s"` label —
+//!   they are *windowed* readings, not cumulative summaries, so they
+//!   are deliberately not exposed as the summary type.
+//!
+//! [`parse`] implements the inverse direction strictly enough to catch
+//! real exposition mistakes (bad name characters, unescaped label
+//! values, garbage sample lines, `TYPE` after samples): CI scrapes
+//! `/metrics` and feeds the body back through it.
+
+use crate::registry::Snapshot;
+use crate::window::WindowSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default metric namespace.
+pub const DEFAULT_NAMESPACE: &str = "xcluster";
+
+/// Maps a registry metric name into the Prometheus name grammar.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value (`\` → `\\`, `"` → `\"`, newline → `\n`).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One metric family header in the output.
+fn header(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Renders a u64 that may exceed f64's 2^53 integer range losslessly
+/// enough for exposition (Prometheus values are f64 anyway).
+fn num(v: u64) -> String {
+    format!("{v}")
+}
+
+/// A named sliding-window reading to expose alongside the registry.
+pub type NamedWindow<'a> = (&'a str, WindowSnapshot);
+
+/// Renders a registry snapshot in Prometheus text format under the
+/// given namespace ([`DEFAULT_NAMESPACE`] is the convention).
+pub fn render(s: &Snapshot, namespace: &str) -> String {
+    render_with_windows(s, &[], namespace)
+}
+
+/// [`render`] plus sliding-window quantile families. `windows` pairs a
+/// registry-style dotted name (e.g. `serve.request_ns`) with a
+/// point-in-time [`WindowSnapshot`].
+pub fn render_with_windows(s: &Snapshot, windows: &[NamedWindow<'_>], namespace: &str) -> String {
+    let ns = if namespace.is_empty() {
+        DEFAULT_NAMESPACE
+    } else {
+        namespace
+    };
+    let mut out = String::new();
+    let mut seen: BTreeMap<String, u32> = BTreeMap::new();
+    // Two dotted names may sanitize onto the same exposition name;
+    // suffix later arrivals so the output never carries a duplicate
+    // family (which scrapers reject).
+    let mut unique = |base: String| -> String {
+        let n = seen.entry(base.clone()).or_insert(0);
+        *n += 1;
+        if *n == 1 {
+            base
+        } else {
+            format!("{base}_{n}")
+        }
+    };
+    for (name, v) in &s.counters {
+        let fq = unique(format!("{ns}_{}_total", sanitize_name(name)));
+        header(
+            &mut out,
+            &fq,
+            "counter",
+            &format!("Registry counter '{}'.", escape_label(name)),
+        );
+        let _ = writeln!(out, "{fq} {}", num(*v));
+    }
+    for (name, v) in &s.gauges {
+        let fq = unique(format!("{ns}_{}", sanitize_name(name)));
+        header(
+            &mut out,
+            &fq,
+            "gauge",
+            &format!("Registry gauge '{}'.", escape_label(name)),
+        );
+        let _ = writeln!(out, "{fq} {v}");
+    }
+    for (name, h) in &s.histograms {
+        let fq = unique(format!("{ns}_{}", sanitize_name(name)));
+        header(
+            &mut out,
+            &fq,
+            "summary",
+            &format!(
+                "Registry histogram '{}' (pow2 buckets).",
+                escape_label(name)
+            ),
+        );
+        for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+            let _ = writeln!(out, "{fq}{{quantile=\"{q}\"}} {}", num(v));
+        }
+        let _ = writeln!(out, "{fq}_sum {}", num(h.sum));
+        let _ = writeln!(out, "{fq}_count {}", num(h.count));
+        let min_fq = unique(format!("{fq}_min"));
+        header(&mut out, &min_fq, "gauge", "Smallest recorded value.");
+        let _ = writeln!(out, "{min_fq} {}", num(h.min));
+        let max_fq = unique(format!("{fq}_max"));
+        header(&mut out, &max_fq, "gauge", "Largest recorded value.");
+        let _ = writeln!(out, "{max_fq} {}", num(h.max));
+    }
+    for (name, w) in windows {
+        let secs = w.window_ns as f64 / 1e9;
+        let label = format!("window=\"{secs}s\"");
+        let fq = unique(format!("{ns}_window_{}", sanitize_name(name)));
+        header(
+            &mut out,
+            &fq,
+            "gauge",
+            &format!(
+                "Sliding-window quantiles of '{}' over the last {secs}s.",
+                escape_label(name)
+            ),
+        );
+        for (q, v) in [("0.5", w.p50), ("0.95", w.p95), ("0.99", w.p99)] {
+            let _ = writeln!(out, "{fq}{{{label},quantile=\"{q}\"}} {}", num(v));
+        }
+        let max_fq = unique(format!("{fq}_max"));
+        header(&mut out, &max_fq, "gauge", "Windowed maximum.");
+        let _ = writeln!(out, "{max_fq}{{{label}}} {}", num(w.max));
+        let count_fq = unique(format!("{fq}_count"));
+        header(&mut out, &count_fq, "gauge", "Observations in the window.");
+        let _ = writeln!(out, "{count_fq}{{{label}}} {}", num(w.count));
+    }
+    out
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sample name (family name, possibly with `_sum`/`_count` suffix).
+    pub name: String,
+    /// Labels in source order.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition: samples plus the `# TYPE` declarations.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// Every sample line, in order.
+    pub samples: Vec<Sample>,
+    /// Family name → declared type.
+    pub types: BTreeMap<String, String>,
+}
+
+impl Exposition {
+    /// All samples with the given name.
+    pub fn by_name<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Sample> {
+        self.samples.iter().filter(move |s| s.name == name)
+    }
+
+    /// The single sample with this name and no labels, if present.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+
+    /// The sample with this name carrying `quantile="q"`.
+    pub fn quantile(&self, name: &str, q: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.label("quantile") == Some(q))
+            .map(|s| s.value)
+    }
+}
+
+fn valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Resolves the declared family a sample belongs to: the exact sample
+/// name if it was declared, else the name with one `_sum`/`_count`/
+/// `_total`/`_bucket` suffix stripped **when the base is a declared
+/// summary or histogram** (those suffixes only carry meaning for the
+/// complex types — a gauge legitimately named `…_count` is its own
+/// family).
+fn resolve_family<'a>(name: &'a str, types: &BTreeMap<String, String>) -> Option<&'a str> {
+    if types.contains_key(name) {
+        return Some(name);
+    }
+    for suffix in ["_sum", "_count", "_total", "_bucket"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if matches!(
+                types.get(base).map(String::as_str),
+                Some("summary" | "histogram")
+            ) {
+                return Some(base);
+            }
+        }
+    }
+    None
+}
+
+/// Parses a Prometheus text exposition strictly. Returns an error with
+/// the 1-based line number for any malformed line. Samples whose family
+/// has no preceding `# TYPE` are rejected, as is a repeated `# TYPE` or
+/// one appearing after its family's samples.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut out = Exposition::default();
+    let mut families_sampled: BTreeMap<String, bool> = BTreeMap::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let ln = ln + 1;
+        let line = raw.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut it = decl.splitn(2, ' ');
+                let name = it.next().unwrap_or("");
+                let kind = it.next().ok_or(format!("line {ln}: TYPE without kind"))?;
+                if !valid_name(name) {
+                    return Err(format!("line {ln}: invalid family name {name:?}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                ) {
+                    return Err(format!("line {ln}: unknown metric type {kind:?}"));
+                }
+                if families_sampled.get(name).copied().unwrap_or(false) {
+                    return Err(format!("line {ln}: TYPE for {name:?} after its samples"));
+                }
+                if out
+                    .types
+                    .insert(name.to_string(), kind.to_string())
+                    .is_some()
+                {
+                    return Err(format!("line {ln}: duplicate TYPE for {name:?}"));
+                }
+                continue;
+            }
+            if rest.starts_with("HELP ") {
+                continue;
+            }
+            return Err(format!("line {ln}: unknown comment directive"));
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        let sample = parse_sample(line).map_err(|e| format!("line {ln}: {e}"))?;
+        let family = resolve_family(&sample.name, &out.types).ok_or(format!(
+            "line {ln}: sample {:?} has no TYPE declaration",
+            sample.name
+        ))?;
+        families_sampled.insert(family.to_string(), true);
+        out.samples.push(sample);
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let bytes = line.as_bytes();
+    let name_end = bytes
+        .iter()
+        .position(|&b| b == b'{' || b == b' ')
+        .ok_or("missing value")?;
+    let name = &line[..name_end];
+    if !valid_name(name) {
+        return Err(format!("invalid sample name {name:?}"));
+    }
+    let mut labels = Vec::new();
+    let mut pos = name_end;
+    if bytes[pos] == b'{' {
+        pos += 1;
+        loop {
+            if pos >= bytes.len() {
+                return Err("unterminated label set".into());
+            }
+            if bytes[pos] == b'}' {
+                pos += 1;
+                break;
+            }
+            let eq = line[pos..]
+                .find('=')
+                .map(|i| pos + i)
+                .ok_or("label without '='")?;
+            let lname = &line[pos..eq];
+            if !valid_label_name(lname) {
+                return Err(format!("invalid label name {lname:?}"));
+            }
+            if bytes.get(eq + 1) != Some(&b'"') {
+                return Err("label value must be quoted".into());
+            }
+            let mut value = String::new();
+            let mut i = eq + 2;
+            loop {
+                match bytes.get(i) {
+                    None => return Err("unterminated label value".into()),
+                    Some(b'"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(b'\\') => {
+                        match bytes.get(i + 1) {
+                            Some(b'\\') => value.push('\\'),
+                            Some(b'"') => value.push('"'),
+                            Some(b'n') => value.push('\n'),
+                            _ => return Err("bad escape in label value".into()),
+                        }
+                        i += 2;
+                    }
+                    Some(_) => {
+                        // One UTF-8 scalar.
+                        let start = i;
+                        i += 1;
+                        while i < bytes.len() && (bytes[i] & 0xC0) == 0x80 {
+                            i += 1;
+                        }
+                        value.push_str(&line[start..i]);
+                    }
+                }
+            }
+            labels.push((lname.to_string(), value));
+            match bytes.get(i) {
+                Some(b',') => pos = i + 1,
+                Some(b'}') => pos = i,
+                _ => return Err("expected ',' or '}' after label".into()),
+            }
+        }
+    }
+    let rest = line[pos..].trim_start();
+    if rest.is_empty() {
+        return Err("missing value".into());
+    }
+    // A timestamp (second field) is permitted by the format; we accept
+    // and ignore it.
+    let mut fields = rest.split_ascii_whitespace();
+    let value_text = fields.next().ok_or("missing value")?;
+    let value = match value_text {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        t => t.parse::<f64>().map_err(|_| format!("bad value {t:?}"))?,
+    };
+    if let Some(ts) = fields.next() {
+        ts.parse::<i64>()
+            .map_err(|_| format!("bad timestamp {ts:?}"))?;
+    }
+    if fields.next().is_some() {
+        return Err("trailing fields after value".into());
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::window::{SlidingWindow, WindowConfig};
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Registry::default();
+        r.counter("build.merges_applied").add(412);
+        r.counter("estimate.batch_queries").add(150);
+        r.gauge("build.final_struct_bytes").set(10_240);
+        let h = r.histogram("estimate.query_ns");
+        h.record(1_000);
+        h.record(2_000);
+        h.record(1_000_000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn sanitize_maps_dotted_names() {
+        assert_eq!(sanitize_name("build.phase1_ns"), "build_phase1_ns");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn render_roundtrips_through_parser() {
+        let text = render(&sample_snapshot(), "xcluster");
+        let exp = parse(&text).unwrap();
+        assert_eq!(
+            exp.value("xcluster_build_merges_applied_total"),
+            Some(412.0)
+        );
+        assert_eq!(
+            exp.value("xcluster_build_final_struct_bytes"),
+            Some(10240.0)
+        );
+        assert_eq!(
+            exp.types
+                .get("xcluster_build_merges_applied_total")
+                .unwrap(),
+            "counter"
+        );
+        assert_eq!(
+            exp.types.get("xcluster_estimate_query_ns").unwrap(),
+            "summary"
+        );
+        assert_eq!(exp.value("xcluster_estimate_query_ns_count"), Some(3.0));
+        assert_eq!(
+            exp.value("xcluster_estimate_query_ns_sum"),
+            Some(1_003_000.0)
+        );
+        assert!(exp.quantile("xcluster_estimate_query_ns", "0.5").is_some());
+        assert_eq!(exp.value("xcluster_estimate_query_ns_min"), Some(1_000.0));
+        assert_eq!(
+            exp.value("xcluster_estimate_query_ns_max"),
+            Some(1_000_000.0)
+        );
+    }
+
+    #[test]
+    fn windows_render_as_labeled_gauges() {
+        let w = SlidingWindow::new(WindowConfig {
+            slots: 4,
+            slot_ns: 1_000_000_000,
+        });
+        w.record_at(0, 5_000);
+        w.record_at(1, 9_000);
+        let snap = w.snapshot_at(10);
+        let text = render_with_windows(
+            &Snapshot::default(),
+            &[("serve.request_ns", snap)],
+            "xcluster",
+        );
+        let exp = parse(&text).unwrap();
+        let q50 = exp
+            .quantile("xcluster_window_serve_request_ns", "0.5")
+            .unwrap();
+        assert!(q50 > 0.0);
+        let max = exp
+            .by_name("xcluster_window_serve_request_ns_max")
+            .next()
+            .unwrap();
+        assert_eq!(max.value, 9_000.0);
+        assert_eq!(max.label("window"), Some("4s"));
+        assert_eq!(
+            exp.by_name("xcluster_window_serve_request_ns_count")
+                .next()
+                .unwrap()
+                .value,
+            2.0
+        );
+    }
+
+    #[test]
+    fn colliding_sanitized_names_stay_unique() {
+        let r = Registry::default();
+        r.counter("a.b").inc();
+        r.counter("a_b").inc();
+        let text = render(&r.snapshot(), "x");
+        let exp = parse(&text).unwrap();
+        assert_eq!(exp.value("x_a_b_total"), Some(1.0));
+        assert_eq!(exp.value("x_a_b_total_2"), Some(1.0));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse("x_total 1").is_err(), "sample without TYPE");
+        assert!(parse("# TYPE m counter\nm{,} 1").is_err());
+        assert!(parse("# TYPE m counter\nm{a=\"x} 1").is_err());
+        assert!(parse("# TYPE m counter\nm{a=x} 1").is_err());
+        assert!(parse("# TYPE m counter\nm 1 2 3").is_err());
+        assert!(parse("# TYPE m counter\nm notanumber").is_err());
+        assert!(parse("# TYPE m bogus\n").is_err());
+        assert!(parse("# TYPE m counter\n# TYPE m counter\n").is_err());
+        assert!(parse("# TYPE 9bad counter\n").is_err());
+        assert!(parse("# FROB x y\n").is_err());
+        // TYPE must precede its family's samples.
+        assert!(parse("# TYPE a gauge\na 1\nb 1\n# TYPE b gauge\n").is_err());
+    }
+
+    #[test]
+    fn suffix_stripping_is_type_aware() {
+        // `_count` resolves to a summary family...
+        let exp = parse("# TYPE s summary\ns_count 3\ns_sum 9\n").unwrap();
+        assert_eq!(exp.value("s_count"), Some(3.0));
+        // ...but a gauge named `…_count` is its own family and needs its
+        // own declaration.
+        assert!(parse("# TYPE g gauge\ng_count 3\n").is_err());
+        let exp = parse("# TYPE g_count gauge\ng_count 3\n").unwrap();
+        assert_eq!(exp.value("g_count"), Some(3.0));
+    }
+
+    #[test]
+    fn parser_handles_labels_escapes_and_timestamps() {
+        let text = "# TYPE m gauge\nm{path=\"a\\\\b\\\"c\\nd\",other=\"é\"} 4.5 1700000000\n";
+        let exp = parse(text).unwrap();
+        let s = &exp.samples[0];
+        assert_eq!(s.label("path"), Some("a\\b\"c\nd"));
+        assert_eq!(s.label("other"), Some("é"));
+        assert_eq!(s.value, 4.5);
+        // Special float values.
+        let exp = parse("# TYPE m gauge\nm +Inf\n").unwrap();
+        assert!(exp.samples[0].value.is_infinite());
+    }
+
+    #[test]
+    fn counter_names_get_total_suffix() {
+        let r = Registry::default();
+        r.counter("serve.requests").add(9);
+        let text = render(&r.snapshot(), "xcluster");
+        assert!(text.contains("xcluster_serve_requests_total 9\n"));
+        assert!(text.contains("# TYPE xcluster_serve_requests_total counter\n"));
+    }
+}

@@ -7,6 +7,11 @@
 //! Supported: objects, arrays, strings (with `\uXXXX` escapes), numbers
 //! (as `f64`), booleans, null. Duplicate object keys keep the last
 //! value, like most permissive readers.
+//!
+//! Nesting is capped at [`MAX_DEPTH`] containers: the parser also reads
+//! untrusted request bodies (the serve crate's `POST /estimate`), and a
+//! recursive-descent reader with unbounded depth turns `[[[[…` into a
+//! stack overflow instead of an error.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -103,12 +108,16 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container (object/array) nesting the parser accepts.
+pub const MAX_DEPTH: usize = 512;
+
 /// Parses a complete JSON document (trailing whitespace allowed,
 /// trailing garbage rejected).
 pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -122,6 +131,7 @@ pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -174,12 +184,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Obj(map));
         }
         loop {
@@ -195,6 +215,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Obj(map));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -204,10 +225,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Arr(items));
         }
         loop {
@@ -218,6 +241,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -355,6 +379,72 @@ mod tests {
         assert!(parse("tru").is_err());
         assert!(parse("1 2").is_err());
         assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unescapes_all_escape_forms() {
+        let v = parse(r#""\" \\ \/ \b \f \n \r \t""#).unwrap();
+        assert_eq!(v.as_str(), Some("\" \\ / \u{8} \u{c} \n \r \t"));
+        assert!(parse(r#""\x""#).is_err(), "unknown escape must be rejected");
+        assert!(parse(r#""\"#).is_err(), "escape at end of input");
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        // BMP escapes decode to the scalar they name.
+        assert_eq!(parse("\"\\u00e9\"").unwrap().as_str(), Some("é"));
+        assert_eq!(parse("\"\\u0041\\u005A\"").unwrap().as_str(), Some("AZ"));
+        // NUL is representable.
+        assert_eq!(parse("\"\\u0000\"").unwrap().as_str(), Some("\u{0}"));
+        // Lone surrogates become U+FFFD (the exporters never emit them).
+        assert_eq!(
+            parse(r#""\uD83D""#).unwrap().as_str(),
+            Some("\u{fffd}"),
+            "lone high surrogate"
+        );
+        // Raw multi-byte UTF-8 passes through untouched.
+        assert_eq!(parse("\"日本語\"").unwrap().as_str(), Some("日本語"));
+        // Truncated and non-hex escapes are errors, not panics.
+        assert!(parse(r#""\u00""#).is_err());
+        assert!(parse(r#""\u00zz""#).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        // MAX_DEPTH containers parse; one more is a clean error (no
+        // stack overflow on attacker-shaped /estimate bodies).
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+        let deep = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        let e = parse(&deep).unwrap_err();
+        assert!(e.message.contains("nesting too deep"), "{e}");
+        // Mixed object/array nesting counts against the same budget.
+        let mixed = "{\"a\":[".repeat(MAX_DEPTH) + "0" + &"]}".repeat(MAX_DEPTH);
+        assert!(parse(&mixed).is_err());
+        // Depth is a nesting limit, not a total-container limit:
+        // siblings at the same level are fine.
+        let wide = format!("[{}]", vec!["[]"; 1000].join(","));
+        assert!(parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        for doc in [
+            "null x",
+            "{} {}",
+            "[1] ,",
+            "\"s\"\"t\"",
+            "1.5e3garbage",
+            "true,",
+        ] {
+            let e = parse(doc).unwrap_err();
+            assert!(
+                e.message.contains("trailing") || e.message.contains("invalid number"),
+                "{doc:?} -> {e}"
+            );
+        }
+        // Trailing whitespace (including newlines) is fine.
+        assert!(parse("  [1, 2]\n\t ").is_ok());
     }
 
     #[test]

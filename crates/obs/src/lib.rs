@@ -42,11 +42,13 @@
 
 pub mod bench;
 pub mod export;
+pub mod expose;
 pub mod json;
 pub mod log;
 pub mod registry;
 pub mod span;
 pub mod trace;
+pub mod window;
 
 pub use log::Level;
 pub use registry::{
@@ -55,6 +57,7 @@ pub use registry::{
 };
 pub use span::SpanTimer;
 pub use trace::{Trace, TraceBuilder};
+pub use window::{SlidingWindow, WindowConfig, WindowSnapshot};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

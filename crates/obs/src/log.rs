@@ -10,6 +10,18 @@
 //! [   0.013s INFO  build] phase1 done merges=412 bytes=10240
 //! ```
 //!
+//! Logging goes to **stderr only**, and each line is emitted as a
+//! single `write_all` on the locked handle — log lines never tear
+//! mid-line against each other or against exporter output on stdout,
+//! so `xcluster stats --json > metrics.json` stays machine-readable at
+//! any log level.
+//!
+//! `XCLUSTER_LOG_TS=1` (or [`set_timestamps`]) additionally prefixes
+//! every line with a raw monotonic nanosecond timestamp
+//! (`123456789ns `), which downstream tooling can sort and diff exactly
+//! — the human-readable `[ 0.013s …]` uptime only has millisecond
+//! resolution.
+//!
 //! The level check is a single relaxed atomic load, so disabled call
 //! sites cost ~1 ns and the logger can stay compiled into release
 //! builds.
@@ -115,14 +127,70 @@ pub fn uptime() -> f64 {
     START.get_or_init(Instant::now).elapsed().as_secs_f64()
 }
 
-/// Emits one line. Prefer the [`error!`](crate::error)…
-/// [`trace!`](crate::trace) macros, which skip argument formatting when
-/// the level is disabled.
+/// Monotonic nanoseconds since the logger was first touched.
+pub fn uptime_ns() -> u64 {
+    START
+        .get_or_init(Instant::now)
+        .elapsed()
+        .as_nanos()
+        .min(u64::MAX as u128) as u64
+}
+
+/// 0 = off, 1 = on, 2 = uninitialized (read `XCLUSTER_LOG_TS`).
+static TIMESTAMPS: AtomicU8 = AtomicU8::new(2);
+
+/// Whether lines carry the raw monotonic-nanosecond prefix.
+/// Initialized from `XCLUSTER_LOG_TS` (`1`/`true`/`on` enable).
+pub fn timestamps_enabled() -> bool {
+    match TIMESTAMPS.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => {
+            let on = matches!(
+                std::env::var("XCLUSTER_LOG_TS").as_deref(),
+                Ok("1") | Ok("true") | Ok("on")
+            );
+            TIMESTAMPS.store(on as u8, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Overrides the environment-configured timestamp prefix.
+pub fn set_timestamps(on: bool) {
+    TIMESTAMPS.store(on as u8, Ordering::Relaxed);
+}
+
+/// Renders one log line (including the trailing newline) exactly as
+/// [`log`] would emit it.
+fn format_line(level: Level, target: &str, args: std::fmt::Arguments<'_>) -> String {
+    use std::fmt::Write as _;
+    let mut line = String::with_capacity(96);
+    if timestamps_enabled() {
+        let _ = write!(line, "{}ns ", uptime_ns());
+    }
+    let _ = writeln!(
+        line,
+        "[{:8.3}s {} {}] {}",
+        uptime(),
+        level.label(),
+        target,
+        args
+    );
+    line
+}
+
+/// Emits one line to stderr as a single write on the locked handle.
+/// Prefer the [`error!`](crate::error)… [`trace!`](crate::trace)
+/// macros, which skip argument formatting when the level is disabled.
 pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
     if !enabled(level) {
         return;
     }
-    eprintln!("[{:8.3}s {} {}] {}", uptime(), level.label(), target, args);
+    use std::io::Write as _;
+    let line = format_line(level, target, args);
+    let mut err = std::io::stderr().lock();
+    let _ = err.write_all(line.as_bytes());
 }
 
 /// Logs at [`Level::Error`]: `error!("target", "fmt {}", args)`.

@@ -1,0 +1,462 @@
+//! Sliding-window latency tracking: "latency right now", not since
+//! process start.
+//!
+//! The cumulative [`crate::Histogram`] answers *lifetime* questions —
+//! after an hour of traffic its p99 barely moves when the last minute
+//! degrades. A [`SlidingWindow`] answers the operational question
+//! instead: what were p50/p95/p99/max over the last N seconds?
+//!
+//! # Design
+//!
+//! The window is a ring of `slots` fixed-duration sub-windows of
+//! `slot_ns` nanoseconds each. An observation lands in the sub-window
+//! covering its timestamp; sub-windows are plain power-of-two bucket
+//! arrays (the same ±50% resolution as the cumulative histogram). A
+//! read **merges** every sub-window that is still inside the window
+//! horizon and computes quantiles from the merged buckets; sub-windows
+//! older than the horizon are skipped on read and recycled lazily on
+//! the next write that maps to their ring slot, so there is no timer
+//! thread and no work on idle windows.
+//!
+//! Timestamps are explicit (`record_at`/`snapshot_at`, nanosecond
+//! ticks), which makes the algebra deterministic and testable; the
+//! convenience methods (`record`, `snapshot`) feed a monotonic clock
+//! anchored at construction. All state sits behind one mutex — an
+//! update is a few adds under an uncontended lock, and worker shards
+//! that want zero contention can keep private windows and fold them
+//! with [`SlidingWindow::merge_from`] (the sharded-registry pattern of
+//! the parallel batch engine). Merging is associative and commutative:
+//! sub-windows with the same epoch combine bucket-wise, so any merge
+//! tree yields the same snapshot.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Number of power-of-two buckets (value `v` lands in bucket
+/// `64 - v.leading_zeros()`, i.e. by bit length; bucket 0 holds 0).
+const BUCKETS: usize = 64;
+
+/// Geometric midpoint of bucket `i` — the same percentile convention as
+/// the cumulative histogram.
+fn bucket_mid(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << (i - 1)) + (1u64 << (i - 1)) / 2
+    }
+}
+
+/// Shape of a sliding window: `slots` sub-windows of `slot_ns` each;
+/// the horizon is their product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Number of ring slots (≥ 1).
+    pub slots: usize,
+    /// Sub-window duration in nanoseconds (≥ 1).
+    pub slot_ns: u64,
+}
+
+impl WindowConfig {
+    /// `slots` sub-windows of `slot_secs` seconds each.
+    pub fn seconds(slots: usize, slot_secs: u64) -> WindowConfig {
+        WindowConfig {
+            slots,
+            slot_ns: slot_secs.max(1) * 1_000_000_000,
+        }
+    }
+
+    /// Total window horizon in nanoseconds.
+    pub fn horizon_ns(&self) -> u64 {
+        self.slot_ns.saturating_mul(self.slots as u64)
+    }
+}
+
+impl Default for WindowConfig {
+    /// Ten one-second sub-windows: quantiles over the last 10 s.
+    fn default() -> Self {
+        WindowConfig::seconds(10, 1)
+    }
+}
+
+/// One ring slot: the observations of a single sub-window epoch.
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Which sub-window this slot currently holds (`tick / slot_ns`);
+    /// `u64::MAX` marks a never-used slot.
+    epoch: u64,
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Slot {
+    const EMPTY: Slot = Slot {
+        epoch: u64::MAX,
+        buckets: [0; BUCKETS],
+        count: 0,
+        sum: 0,
+        max: 0,
+    };
+
+    fn reset(&mut self, epoch: u64) {
+        *self = Slot::EMPTY;
+        self.epoch = epoch;
+    }
+
+    fn record(&mut self, v: u64) {
+        let idx = (64 - v.leading_zeros()) as usize;
+        self.buckets[idx.min(BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.max = self.max.max(v);
+    }
+
+    fn merge(&mut self, other: &Slot) {
+        debug_assert_eq!(self.epoch, other.epoch);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += *o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Quantiles of a sliding window at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowSnapshot {
+    /// Observations inside the horizon.
+    pub count: u64,
+    /// Their sum.
+    pub sum: u64,
+    /// Exact maximum inside the horizon.
+    pub max: u64,
+    /// Approximate 50th percentile (bucket midpoint).
+    pub p50: u64,
+    /// Approximate 95th percentile (bucket midpoint).
+    pub p95: u64,
+    /// Approximate 99th percentile (bucket midpoint).
+    pub p99: u64,
+    /// The horizon the quantiles cover, in nanoseconds.
+    pub window_ns: u64,
+}
+
+impl WindowSnapshot {
+    /// Mean of the windowed observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A thread-safe sliding-window histogram (see the module docs).
+#[derive(Debug)]
+pub struct SlidingWindow {
+    cfg: WindowConfig,
+    inner: Mutex<Vec<Slot>>,
+    origin: Instant,
+}
+
+impl SlidingWindow {
+    /// An empty window of the given shape.
+    pub fn new(cfg: WindowConfig) -> SlidingWindow {
+        SlidingWindow {
+            cfg,
+            inner: Mutex::new(vec![Slot::EMPTY; cfg.slots.max(1)]),
+            origin: Instant::now(),
+        }
+    }
+
+    /// The window's shape.
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    /// Nanoseconds since this window was created (the tick source of
+    /// the convenience methods).
+    pub fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Records `v` at an explicit tick (nanoseconds on any monotonic
+    /// axis — all ticks of one window must share the axis).
+    pub fn record_at(&self, tick_ns: u64, v: u64) {
+        let epoch = tick_ns / self.cfg.slot_ns.max(1);
+        let mut slots = self.inner.lock().unwrap();
+        let n = slots.len();
+        let slot = &mut slots[(epoch as usize) % n];
+        if slot.epoch != epoch {
+            // Stale sub-window from a previous ring lap (or never used):
+            // recycle it for the new epoch. Out-of-order ticks older than
+            // a full lap land here too and overwrite — the horizon has
+            // already passed them by.
+            slot.reset(epoch);
+        }
+        slot.record(v);
+    }
+
+    /// Records `v` now.
+    pub fn record(&self, v: u64) {
+        self.record_at(self.now_ns(), v);
+    }
+
+    /// Records a duration now.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Quantiles over the sub-windows still inside the horizon at an
+    /// explicit tick: epochs in `(current − slots, current]`.
+    pub fn snapshot_at(&self, tick_ns: u64) -> WindowSnapshot {
+        let epoch = tick_ns / self.cfg.slot_ns.max(1);
+        let oldest = epoch.saturating_sub(self.cfg.slots.saturating_sub(1) as u64);
+        let slots = self.inner.lock().unwrap();
+        let mut buckets = [0u64; BUCKETS];
+        let mut snap = WindowSnapshot {
+            window_ns: self.cfg.horizon_ns(),
+            ..WindowSnapshot::default()
+        };
+        for slot in slots.iter() {
+            if slot.epoch < oldest || slot.epoch > epoch || slot.count == 0 {
+                continue;
+            }
+            for (b, o) in buckets.iter_mut().zip(&slot.buckets) {
+                *b += *o;
+            }
+            snap.count += slot.count;
+            snap.sum = snap.sum.wrapping_add(slot.sum);
+            snap.max = snap.max.max(slot.max);
+        }
+        let pct = |q: f64| -> u64 {
+            if snap.count == 0 {
+                return 0;
+            }
+            let rank = (q * snap.count as f64).ceil() as u64;
+            let mut seen = 0u64;
+            for (i, &c) in buckets.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_mid(i);
+                }
+            }
+            snap.max
+        };
+        snap.p50 = pct(0.50);
+        snap.p95 = pct(0.95);
+        snap.p99 = pct(0.99);
+        snap
+    }
+
+    /// Quantiles over the last `horizon_ns()` nanoseconds, ending now.
+    pub fn snapshot(&self) -> WindowSnapshot {
+        self.snapshot_at(self.now_ns())
+    }
+
+    /// Folds every sub-window of `other` into `self` (both windows must
+    /// share shape and tick axis). Sub-windows with equal epochs combine
+    /// bucket-wise; a newer epoch in `other` evicts the stale slot it
+    /// lands on, exactly as a write would. Associative and commutative:
+    /// any merge tree over a set of shard windows yields the same
+    /// snapshots.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ — merging windows of different
+    /// geometry has no meaningful algebra.
+    pub fn merge_from(&self, other: &SlidingWindow) {
+        assert_eq!(
+            self.cfg, other.cfg,
+            "cannot merge sliding windows of different shapes"
+        );
+        let theirs = other.inner.lock().unwrap().clone();
+        let mut ours = self.inner.lock().unwrap();
+        let n = ours.len();
+        for slot in &theirs {
+            if slot.epoch == u64::MAX || slot.count == 0 {
+                continue;
+            }
+            let mine = &mut ours[(slot.epoch as usize) % n];
+            if mine.epoch == slot.epoch {
+                mine.merge(slot);
+            } else if mine.epoch == u64::MAX || mine.epoch < slot.epoch {
+                *mine = slot.clone();
+            }
+            // else: our slot holds a *newer* epoch; theirs is already
+            // outside the horizon and is dropped, as a read would.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SLOT: u64 = 1_000; // 1 µs sub-windows keep the math readable
+
+    fn cfg(slots: usize) -> WindowConfig {
+        WindowConfig {
+            slots,
+            slot_ns: SLOT,
+        }
+    }
+
+    /// SplitMix64 — self-contained seeded data (obs has no deps).
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The pow2-bucket midpoint a value's quantile should report
+    /// (clamped to the top bucket, like recording is).
+    fn expected_mid(v: u64) -> u64 {
+        bucket_mid(((64 - v.leading_zeros()) as usize).min(BUCKETS - 1))
+    }
+
+    #[test]
+    fn quantiles_match_brute_force_sort_on_seeded_data() {
+        let w = SlidingWindow::new(cfg(8));
+        let mut state = 0xDEADBEEF;
+        let mut values: Vec<u64> = Vec::new();
+        for i in 0..5_000u64 {
+            // Mixed magnitudes spread across the full horizon.
+            let v = splitmix(&mut state) >> (splitmix(&mut state) % 48);
+            let tick = (i * 8 * SLOT) / 5_000; // 0 .. 8 slots
+            w.record_at(tick, v);
+            values.push(v);
+        }
+        let snap = w.snapshot_at(8 * SLOT - 1);
+        assert_eq!(snap.count, values.len() as u64);
+        values.sort_unstable();
+        assert_eq!(snap.max, *values.last().unwrap());
+        for (q, got) in [(0.50, snap.p50), (0.95, snap.p95), (0.99, snap.p99)] {
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+            // The window reports the holding bucket's midpoint; the
+            // brute-force quantile must fall in the same pow2 bucket.
+            assert_eq!(got, expected_mid(values[rank]), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn subwindows_expire_as_time_advances() {
+        let w = SlidingWindow::new(cfg(4));
+        w.record_at(0, 100); // epoch 0
+        w.record_at(SLOT, 200); // epoch 1
+        let s = w.snapshot_at(SLOT);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 200);
+        // At epoch 4 the horizon is (0, 4]: epoch 0 has expired.
+        let s = w.snapshot_at(4 * SLOT);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, 200);
+        // Far future: everything expired, snapshot is zero.
+        let s = w.snapshot_at(100 * SLOT);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.p99, 0);
+    }
+
+    #[test]
+    fn stale_slots_are_recycled_on_write() {
+        let w = SlidingWindow::new(cfg(2));
+        w.record_at(0, 7); // epoch 0 → ring slot 0
+        w.record_at(2 * SLOT, 9); // epoch 2 → ring slot 0 again (lap)
+        let s = w.snapshot_at(2 * SLOT);
+        assert_eq!(s.count, 1, "epoch-0 data must not leak into epoch 2");
+        assert_eq!(s.max, 9);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let shards: Vec<SlidingWindow> = (0..3)
+            .map(|t| {
+                let w = SlidingWindow::new(cfg(4));
+                let mut state = 0xABCD + t;
+                for i in 0..200u64 {
+                    w.record_at((i % (4 * SLOT / 10)) * 10, splitmix(&mut state) % 100_000);
+                }
+                w
+            })
+            .collect();
+        let probe = 4 * SLOT - 1;
+        // ((a ⊔ b) ⊔ c)
+        let left = SlidingWindow::new(cfg(4));
+        left.merge_from(&shards[0]);
+        left.merge_from(&shards[1]);
+        left.merge_from(&shards[2]);
+        // (a ⊔ (b ⊔ c)) with the inner pair reversed for commutativity.
+        let inner = SlidingWindow::new(cfg(4));
+        inner.merge_from(&shards[2]);
+        inner.merge_from(&shards[1]);
+        let right = SlidingWindow::new(cfg(4));
+        right.merge_from(&shards[0]);
+        right.merge_from(&inner);
+        assert_eq!(left.snapshot_at(probe), right.snapshot_at(probe));
+        // The merged window equals recording everything into one window.
+        let direct = SlidingWindow::new(cfg(4));
+        for (t, shard) in shards.iter().enumerate() {
+            let mut state = 0xABCD + t as u64;
+            for i in 0..200u64 {
+                direct.record_at((i % (4 * SLOT / 10)) * 10, splitmix(&mut state) % 100_000);
+            }
+            let _ = shard; // shards already hold the same data
+        }
+        assert_eq!(left.snapshot_at(probe), direct.snapshot_at(probe));
+    }
+
+    #[test]
+    fn merge_keeps_newest_epoch_on_slot_conflict() {
+        // Shard A wrote epoch 0, shard B wrote epoch 2; both map to ring
+        // slot 0 of a 2-slot window. The merge must keep epoch 2 (the
+        // one still observable) regardless of merge order.
+        let a = SlidingWindow::new(cfg(2));
+        a.record_at(0, 11);
+        let b = SlidingWindow::new(cfg(2));
+        b.record_at(2 * SLOT, 22);
+        let ab = SlidingWindow::new(cfg(2));
+        ab.merge_from(&a);
+        ab.merge_from(&b);
+        let ba = SlidingWindow::new(cfg(2));
+        ba.merge_from(&b);
+        ba.merge_from(&a);
+        let s_ab = ab.snapshot_at(2 * SLOT);
+        let s_ba = ba.snapshot_at(2 * SLOT);
+        assert_eq!(s_ab, s_ba);
+        assert_eq!(s_ab.count, 1);
+        assert_eq!(s_ab.max, 22);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shapes")]
+    fn merge_rejects_mismatched_shapes() {
+        let a = SlidingWindow::new(cfg(2));
+        let b = SlidingWindow::new(cfg(3));
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn realtime_helpers_record_and_read() {
+        let w = SlidingWindow::new(WindowConfig::seconds(10, 1));
+        w.record(1_000);
+        w.record_duration(std::time::Duration::from_micros(5));
+        let s = w.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 5_000);
+        assert_eq!(s.window_ns, 10_000_000_000);
+        assert!(s.mean() > 0.0);
+    }
+
+    #[test]
+    fn empty_window_snapshot_is_zero() {
+        let w = SlidingWindow::new(WindowConfig::default());
+        let s = w.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.p50, 0);
+    }
+}

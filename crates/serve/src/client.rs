@@ -1,0 +1,128 @@
+//! A tiny blocking HTTP/1.1 client — enough to drive the server from
+//! the load generator, the CI smoke test, and integration tests without
+//! external dependencies. One request per connection (`Connection:
+//! close`), so no connection-state bookkeeping.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body as text.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Strips an optional `http://` scheme and any trailing path from a
+/// server URL, leaving `host:port` for `TcpStream::connect`.
+pub fn host_port(url: &str) -> &str {
+    let rest = url.strip_prefix("http://").unwrap_or(url);
+    rest.split('/').next().unwrap_or(rest)
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Issues one request and reads the full response. `addr` may be
+/// `host:port` or `http://host:port`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(host_port(addr))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\
+         Content-Type: application/json\r\nConnection: close\r\n\r\n",
+        host_port(addr),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
+    let text = std::str::from_utf8(raw).map_err(|_| bad_data("non-UTF-8 response"))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .or_else(|| text.split_once("\n\n"))
+        .ok_or_else(|| bad_data("response without header terminator"))?;
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or_else(|| bad_data("empty response"))?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad_data(format!("bad status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((n, v)) = line.split_once(':') {
+            headers.push((n.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    // `Connection: close` responses end at EOF; trust Content-Length
+    // when present to trim any trailing bytes defensively.
+    let body = match headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        Some(len) if len <= body.len() => &body[..len],
+        _ => body,
+    };
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_port_strips_scheme_and_path() {
+        assert_eq!(host_port("http://127.0.0.1:8080/metrics"), "127.0.0.1:8080");
+        assert_eq!(host_port("127.0.0.1:8080"), "127.0.0.1:8080");
+        assert_eq!(host_port("http://localhost:9"), "localhost:9");
+    }
+
+    #[test]
+    fn parses_response_bytes() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 3\r\n\r\nok\n";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("content-type"), Some("text/plain"));
+        assert_eq!(r.body, "ok\n");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 nope\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,340 @@
+//! A minimal HTTP/1.1 wire layer over `std::io` streams — just enough
+//! protocol for the estimation server and its load generator: request
+//! parsing with header and body caps, and single-write responses.
+//!
+//! Not a general web server: no chunked transfer encoding, no `Expect:
+//! 100-continue`, no pipelining beyond sequential keep-alive. Anything
+//! outside that subset is rejected with a clean error instead of being
+//! misinterpreted.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Upper bound on request head (request line + headers) bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on request body bytes (hostile `Content-Length` guard).
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercase as sent (`GET`, `POST`).
+    pub method: String,
+    /// Request target path, e.g. `/estimate` (query strings included).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// default unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection between requests (normal end of a
+    /// keep-alive session).
+    Closed,
+    /// The bytes on the wire are not the HTTP subset we speak.
+    Malformed(String),
+    /// The head or declared body exceeds the configured caps.
+    TooLarge(String),
+    /// Transport failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Closed => write!(f, "connection closed"),
+            ReadError::Malformed(m) => write!(f, "malformed request: {m}"),
+            ReadError::TooLarge(m) => write!(f, "request too large: {m}"),
+            ReadError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<String, ReadError> {
+    let mut buf = Vec::new();
+    let n = r
+        .by_ref()
+        .take(*budget as u64 + 1)
+        .read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Err(ReadError::Closed);
+    }
+    if n > *budget {
+        return Err(ReadError::TooLarge(format!(
+            "head exceeds {MAX_HEAD_BYTES} bytes"
+        )));
+    }
+    *budget -= n;
+    if buf.last() != Some(&b'\n') {
+        return Err(ReadError::Malformed("line without terminator".into()));
+    }
+    buf.pop();
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| ReadError::Malformed("non-UTF-8 header bytes".into()))
+}
+
+/// Reads one request off `r`. Returns [`ReadError::Closed`] when the
+/// peer hung up cleanly before sending a request line.
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ReadError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_line(r, &mut budget)?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(ReadError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ReadError::Malformed(format!("bad version {version:?}")));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(r, &mut budget) {
+            Ok(l) => l,
+            Err(ReadError::Closed) => {
+                return Err(ReadError::Malformed("truncated header block".into()))
+            }
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ReadError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut req = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if req.header("transfer-encoding").is_some() {
+        return Err(ReadError::Malformed(
+            "transfer-encoding is not supported".into(),
+        ));
+    }
+    if let Some(cl) = req.header("content-length") {
+        let len: usize = cl
+            .parse()
+            .map_err(|_| ReadError::Malformed(format!("bad content-length {cl:?}")))?;
+        if len > MAX_BODY_BYTES {
+            return Err(ReadError::TooLarge(format!(
+                "body of {len} bytes exceeds {MAX_BODY_BYTES}"
+            )));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)
+            .map_err(|_| ReadError::Malformed("truncated body".into()))?;
+        req.body = body;
+    }
+    Ok(req)
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (`200`, `404`, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A Prometheus text-exposition response.
+    pub fn metrics(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into_bytes(),
+        }
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes `resp` as one `write_all` (head + body in a single
+/// buffer, so concurrent connections never interleave partial writes).
+pub fn write_response<W: Write>(w: &mut W, resp: &Response, keep_alive: bool) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    let mut buf = Vec::with_capacity(head.len() + resp.body.len());
+    buf.extend_from_slice(head.as_bytes());
+    buf.extend_from_slice(&resp.body);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_request() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            "POST /estimate HTTP/1.1\r\nContent-Length: 7\r\nConnection: close\r\n\r\n{\"a\":1}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"a\":1}");
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn bare_lf_lines_are_accepted() {
+        let req = parse("GET / HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.path, "/");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(matches!(
+            parse("NOT-HTTP\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/9.9\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbadheader\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn clean_close_before_request_line() {
+        assert!(matches!(parse(""), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&raw), Err(ReadError::TooLarge(_))));
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_HEAD_BYTES));
+        assert!(matches!(parse(&raw), Err(ReadError::TooLarge(_))));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{\"ok\":true}"), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::text(503, "loading\n"), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+}

@@ -1,0 +1,33 @@
+//! **xcluster-serve** — the live serving layer: a dependency-free
+//! HTTP/1.1 estimation server plus the matching client and load
+//! generator. XCluster synopses exist to answer selectivity queries
+//! cheaply at runtime; this crate turns a built synopsis into a
+//! long-running process you can scrape, health-check, and
+//! capacity-plan against.
+//!
+//! * [`http`] — minimal request/response wire layer with size caps;
+//! * [`server`] — [`server::Server`]: `TcpListener` accept loop over a
+//!   bounded worker pool, routing `POST /estimate`, `GET /metrics`
+//!   (Prometheus text exposition from `xcluster_obs::expose`),
+//!   `GET /healthz`, `GET /readyz`, `GET /synopsis/stats`, and
+//!   `POST /shutdown`;
+//! * [`client`] — one-shot blocking HTTP client for tests and tooling;
+//! * [`loadgen`] — seeded workload driver reporting achieved
+//!   throughput, sliding-window latency quantiles, and optional
+//!   bitwise verification against in-process `estimate_batch`.
+//!
+//! # Determinism contract
+//!
+//! `/estimate` responses carry `f64` estimates printed with Rust's
+//! shortest-roundtrip `Display`; re-parsing them yields bitwise the
+//! values `estimate_batch` produced, at any server thread count. The
+//! load generator's `--verify` mode and the smoke tests enforce this.
+
+pub mod client;
+pub mod http;
+pub mod loadgen;
+pub mod server;
+
+pub use client::{request, HttpResponse};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use server::{Server, ServerConfig, ServerState};

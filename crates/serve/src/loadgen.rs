@@ -1,0 +1,262 @@
+//! Seeded load generation against a running server: samples query
+//! strings with the workspace PRNG, POSTs them in batches at a target
+//! rate, tracks latency in a [`SlidingWindow`], and optionally verifies
+//! every response bitwise against an in-process `estimate_batch` on the
+//! same synopsis.
+
+use crate::client;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io;
+use std::time::{Duration, Instant};
+use xcluster_core::par::estimate_batch;
+use xcluster_core::synopsis::Synopsis;
+use xcluster_obs::export::esc;
+use xcluster_obs::json::{self, JsonValue};
+use xcluster_obs::{SlidingWindow, WindowConfig, WindowSnapshot};
+use xcluster_query::parse_twig;
+
+/// Load-generator parameters.
+pub struct LoadgenConfig {
+    /// Server address (`host:port` or `http://host:port`).
+    pub addr: String,
+    /// Target query throughput (queries/second; `0` = unthrottled).
+    pub qps: f64,
+    /// Total queries to send.
+    pub total: usize,
+    /// Optional wall-clock cap in seconds (`0` = run until `total`).
+    pub duration_s: f64,
+    /// Queries per `POST /estimate` batch.
+    pub batch: usize,
+    /// PRNG seed for workload sampling.
+    pub seed: u64,
+    /// Candidate query strings, sampled uniformly with replacement.
+    pub queries: Vec<String>,
+    /// When set, every response is compared bitwise against
+    /// `estimate_batch` on this synopsis.
+    pub verify: Option<Synopsis>,
+    /// Send `POST /shutdown` when done.
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:0".into(),
+            qps: 0.0,
+            total: 1000,
+            duration_s: 0.0,
+            batch: 50,
+            seed: 42,
+            queries: Vec::new(),
+            verify: None,
+            shutdown: false,
+        }
+    }
+}
+
+/// What a load-generation run achieved.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Queries sent (across all batches).
+    pub sent_queries: usize,
+    /// Batches POSTed.
+    pub batches: usize,
+    /// Failed requests (transport errors or non-200 responses).
+    pub errors: usize,
+    /// Estimates that did not match the in-process verification bits
+    /// (only counted when `verify` was configured).
+    pub mismatches: usize,
+    /// Wall-clock duration of the run in seconds.
+    pub elapsed_s: f64,
+    /// Achieved query throughput.
+    pub achieved_qps: f64,
+    /// Batch-latency quantiles over the trailing window.
+    pub latency: WindowSnapshot,
+}
+
+impl LoadgenReport {
+    /// Human-readable summary (one line per fact, stdout-friendly).
+    pub fn to_text(&self) -> String {
+        let ns_ms = |v: u64| v as f64 / 1e6;
+        format!(
+            "queries_sent      {}\n\
+             batches           {}\n\
+             errors            {}\n\
+             mismatches        {}\n\
+             elapsed_s         {:.3}\n\
+             achieved_qps      {:.1}\n\
+             batch_p50_ms      {:.3}\n\
+             batch_p95_ms      {:.3}\n\
+             batch_p99_ms      {:.3}\n\
+             batch_max_ms      {:.3}\n",
+            self.sent_queries,
+            self.batches,
+            self.errors,
+            self.mismatches,
+            self.elapsed_s,
+            self.achieved_qps,
+            ns_ms(self.latency.p50),
+            ns_ms(self.latency.p95),
+            ns_ms(self.latency.p99),
+            ns_ms(self.latency.max),
+        )
+    }
+}
+
+/// Serializes a batch of query strings as the `/estimate` request body.
+pub fn batch_body(queries: &[&str]) -> String {
+    let mut body = String::with_capacity(32 + queries.len() * 16);
+    body.push_str("{\"queries\":[");
+    for (i, q) in queries.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push('"');
+        body.push_str(&esc(q));
+        body.push('"');
+    }
+    body.push_str("]}");
+    body
+}
+
+/// Extracts the `estimates` array from an `/estimate` response body.
+pub fn parse_estimates(body: &str) -> Result<Vec<f64>, String> {
+    let doc = json::parse(body).map_err(|e| e.to_string())?;
+    let arr = doc
+        .get("estimates")
+        .and_then(JsonValue::as_array)
+        .ok_or("response has no estimates array")?;
+    arr.iter()
+        .map(|v| v.as_f64().ok_or_else(|| "non-numeric estimate".to_string()))
+        .collect()
+}
+
+/// Runs the configured load against the server.
+///
+/// Pacing is batch-level: at `qps > 0` the generator sleeps so batches
+/// start every `batch/qps` seconds; a server slower than the target
+/// simply skips the sleep (open-loop up to one in-flight batch).
+pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    assert!(!cfg.queries.is_empty(), "loadgen needs at least one query");
+    assert!(cfg.batch > 0, "batch size must be positive");
+    let verified: Option<Vec<xcluster_query::TwigQuery>> = cfg.verify.as_ref().map(|s| {
+        cfg.queries
+            .iter()
+            .map(|q| {
+                parse_twig(q, s.terms())
+                    .unwrap_or_else(|e| panic!("verify synopsis cannot parse {q:?}: {e}"))
+            })
+            .collect()
+    });
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let window = SlidingWindow::new(WindowConfig::default());
+    let mut report = LoadgenReport {
+        sent_queries: 0,
+        batches: 0,
+        errors: 0,
+        mismatches: 0,
+        elapsed_s: 0.0,
+        achieved_qps: 0.0,
+        latency: WindowSnapshot::default(),
+    };
+    let start = Instant::now();
+    let batch_interval = if cfg.qps > 0.0 {
+        Duration::from_secs_f64(cfg.batch as f64 / cfg.qps)
+    } else {
+        Duration::ZERO
+    };
+    while report.sent_queries < cfg.total {
+        if cfg.duration_s > 0.0 && start.elapsed().as_secs_f64() >= cfg.duration_s {
+            break;
+        }
+        let next_batch_at = start.elapsed() + batch_interval;
+        let n = cfg.batch.min(cfg.total - report.sent_queries);
+        let picks: Vec<usize> = (0..n)
+            .map(|_| rng.gen_range(0..cfg.queries.len()))
+            .collect();
+        let strings: Vec<&str> = picks.iter().map(|&i| cfg.queries[i].as_str()).collect();
+        let body = batch_body(&strings);
+        let t0 = Instant::now();
+        let resp = client::request(&cfg.addr, "POST", "/estimate", Some(&body));
+        let elapsed_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        report.batches += 1;
+        report.sent_queries += n;
+        match resp {
+            Ok(r) if r.status == 200 => {
+                window.record(elapsed_ns);
+                if let Some(twigs) = &verified {
+                    let got = parse_estimates(&r.body).unwrap_or_default();
+                    let subset: Vec<xcluster_query::TwigQuery> =
+                        picks.iter().map(|&i| twigs[i].clone()).collect();
+                    let want = estimate_batch(cfg.verify.as_ref().unwrap(), &subset, 1);
+                    if got.len() != want.len() {
+                        report.mismatches += n;
+                    } else {
+                        report.mismatches += got
+                            .iter()
+                            .zip(&want)
+                            .filter(|(g, w)| g.to_bits() != w.to_bits())
+                            .count();
+                    }
+                }
+            }
+            Ok(r) => {
+                report.errors += 1;
+                xcluster_obs::warn!(
+                    "loadgen",
+                    "batch failed status={} body={}",
+                    r.status,
+                    r.body
+                );
+            }
+            Err(e) => {
+                report.errors += 1;
+                xcluster_obs::warn!("loadgen", "batch failed err={e}");
+            }
+        }
+        if batch_interval > Duration::ZERO {
+            let now = start.elapsed();
+            if now < next_batch_at {
+                std::thread::sleep(next_batch_at - now);
+            }
+        }
+    }
+    report.elapsed_s = start.elapsed().as_secs_f64();
+    report.achieved_qps = if report.elapsed_s > 0.0 {
+        report.sent_queries as f64 / report.elapsed_s
+    } else {
+        0.0
+    };
+    report.latency = window.snapshot();
+    if cfg.shutdown {
+        let _ = client::request(&cfg.addr, "POST", "/shutdown", None);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_body_is_valid_json() {
+        let body = batch_body(&["//a/b", "//p[x > 3]/q", "weird \"quote\""]);
+        let doc = json::parse(&body).unwrap();
+        let arr = doc.get("queries").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].as_str(), Some("weird \"quote\""));
+    }
+
+    #[test]
+    fn parse_estimates_roundtrips_bits() {
+        for v in [0.0f64, 1.5, 123456.75, 0.1, 1e-12, 7.0 / 3.0] {
+            let body = format!("{{\"count\":1,\"estimates\":[{v}]}}");
+            let got = parse_estimates(&body).unwrap();
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].to_bits(), v.to_bits(), "{v}");
+        }
+        assert!(parse_estimates("{}").is_err());
+        assert!(parse_estimates("{\"estimates\":[\"x\"]}").is_err());
+    }
+}

@@ -1,0 +1,391 @@
+//! The estimation server: a `TcpListener` accept loop feeding a bounded
+//! pool of worker threads (the same fixed-pool discipline as
+//! `xcluster_core::par` — a known worker count, deterministic handling
+//! per connection, no unbounded spawning).
+//!
+//! Endpoints:
+//!
+//! | method | path              | purpose                                   |
+//! |--------|-------------------|-------------------------------------------|
+//! | POST   | `/estimate`       | JSON batch of twig queries → estimates    |
+//! | GET    | `/metrics`        | Prometheus text exposition v0.0.4         |
+//! | GET    | `/healthz`        | liveness (always 200 while running)       |
+//! | GET    | `/readyz`         | readiness (503 until the synopsis loads)  |
+//! | GET    | `/synopsis/stats` | synopsis + memory-footprint JSON          |
+//! | POST   | `/shutdown`       | graceful stop (drains, then exits)        |
+//!
+//! Estimates are produced by `estimate_batch`, so a server response is
+//! bitwise-identical to an in-process call on the same queries at any
+//! thread count; `f64` values survive the HTTP round trip exactly
+//! because Rust's `Display` prints the shortest representation that
+//! parses back to the same bits.
+
+use crate::http::{read_request, write_response, ReadError, Request, Response};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, LazyLock, Mutex, RwLock};
+use std::time::{Duration, Instant};
+use xcluster_core::footprint::MemoryFootprint;
+use xcluster_core::par::{estimate_batch, resolve_threads};
+use xcluster_core::synopsis::Synopsis;
+use xcluster_obs::export::esc;
+use xcluster_obs::json::{self, JsonValue};
+use xcluster_obs::{expose, Counter, Histogram, SlidingWindow, WindowConfig};
+use xcluster_query::parse_twig;
+
+static REQUESTS: LazyLock<Arc<Counter>> = LazyLock::new(|| xcluster_obs::counter("serve.requests"));
+static ERRORS: LazyLock<Arc<Counter>> = LazyLock::new(|| xcluster_obs::counter("serve.errors"));
+static BATCHES: LazyLock<Arc<Counter>> =
+    LazyLock::new(|| xcluster_obs::counter("serve.estimate_batches"));
+static QUERIES: LazyLock<Arc<Counter>> =
+    LazyLock::new(|| xcluster_obs::counter("serve.estimate_queries"));
+static ESTIMATE_NS: LazyLock<Arc<Histogram>> =
+    LazyLock::new(|| xcluster_obs::histogram("serve.estimate_ns"));
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Connection worker threads (`0` = available parallelism, capped
+    /// at 16).
+    pub workers: usize,
+    /// Threads per `estimate_batch` call (`0` = available parallelism).
+    pub estimate_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            estimate_threads: 1,
+        }
+    }
+}
+
+struct Loaded {
+    synopsis: Arc<Synopsis>,
+    footprint: MemoryFootprint,
+}
+
+/// Shared server state: the loaded synopsis, readiness/shutdown flags,
+/// and the sliding latency window behind the `/metrics` quantiles.
+pub struct ServerState {
+    loaded: RwLock<Option<Loaded>>,
+    ready: AtomicBool,
+    shutdown: AtomicBool,
+    estimate_threads: usize,
+    /// Batch latency over the last 10 seconds (10 × 1 s sub-windows).
+    window: SlidingWindow,
+    addr: SocketAddr,
+}
+
+impl ServerState {
+    /// Whether a synopsis is loaded and `/estimate` is usable.
+    pub fn ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    /// Whether a graceful shutdown was requested.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Requests a graceful shutdown and unblocks the accept loop.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        xcluster_obs::gauge("serve.shutting_down").set(1);
+        // Self-connect so the blocking `accept` wakes up and observes
+        // the flag; the probe connection is dropped unhandled.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+
+    /// The sliding `/estimate` latency window.
+    pub fn window(&self) -> &SlidingWindow {
+        &self.window
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds the listener. The server starts unready; call
+    /// [`Server::set_synopsis`] (before or after [`Server::run`] from
+    /// another thread) to make `/estimate` live.
+    pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = resolve_threads(cfg.workers).clamp(1, 16);
+        xcluster_obs::gauge("serve.workers").set(workers as i64);
+        xcluster_obs::gauge("serve.ready").set(0);
+        xcluster_obs::gauge("serve.shutting_down").set(0);
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                loaded: RwLock::new(None),
+                ready: AtomicBool::new(false),
+                shutdown: AtomicBool::new(false),
+                estimate_threads: cfg.estimate_threads,
+                window: SlidingWindow::new(WindowConfig::default()),
+                addr,
+            }),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Shared state handle (for shutdown or readiness from outside).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Installs the synopsis: measures and registers its memory
+    /// footprint, publishes the build-size gauges reconstructible from
+    /// the artifact, and flips `/readyz` to ready.
+    pub fn set_synopsis(&self, synopsis: Synopsis) {
+        let footprint = MemoryFootprint::measure(&synopsis);
+        footprint.register();
+        xcluster_obs::gauge("build.final_struct_bytes").set(synopsis.structural_bytes() as i64);
+        xcluster_obs::gauge("build.final_value_bytes").set(synopsis.value_bytes() as i64);
+        xcluster_obs::info!(
+            "serve",
+            "synopsis loaded nodes={} edges={} resident_bytes={}",
+            synopsis.num_nodes(),
+            synopsis.num_edges(),
+            footprint.total_bytes()
+        );
+        *self.state.loaded.write().unwrap() = Some(Loaded {
+            synopsis: Arc::new(synopsis),
+            footprint,
+        });
+        self.state.ready.store(true, Ordering::Release);
+        xcluster_obs::gauge("serve.ready").set(1);
+    }
+
+    /// Runs the accept loop until shutdown is requested. Connections
+    /// are dispatched over a bounded channel to a fixed worker pool;
+    /// when the channel is full the accept loop blocks, applying
+    /// backpressure instead of queueing without bound.
+    pub fn run(&self) -> std::io::Result<()> {
+        let state = &self.state;
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(self.workers * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        xcluster_obs::info!("serve", "listening addr={}", self.state.addr);
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let rx = Arc::clone(&rx);
+                scope.spawn(move || loop {
+                    let stream = rx.lock().unwrap().recv();
+                    match stream {
+                        Ok(s) => handle_connection(state, s),
+                        Err(_) => break,
+                    }
+                });
+            }
+            for stream in self.listener.incoming() {
+                if state.shutting_down() {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        if tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        xcluster_obs::warn!("serve", "accept failed err={e}");
+                    }
+                }
+            }
+            drop(tx);
+        });
+        xcluster_obs::info!("serve", "stopped addr={}", self.state.addr);
+        Ok(())
+    }
+}
+
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    // A stuck or idle peer must not pin a pool worker forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Io(_)) => return,
+            Err(e @ (ReadError::Malformed(_) | ReadError::TooLarge(_))) => {
+                ERRORS.inc();
+                let status = if matches!(e, ReadError::TooLarge(_)) {
+                    413
+                } else {
+                    400
+                };
+                let resp =
+                    Response::json(status, format!("{{\"error\":\"{}\"}}", esc(&e.to_string())));
+                let _ = write_response(&mut stream, &resp, false);
+                return;
+            }
+        };
+        REQUESTS.inc();
+        let keep_alive = req.keep_alive() && !state.shutting_down();
+        let resp = route(state, &req);
+        if resp.status >= 400 {
+            ERRORS.inc();
+        }
+        if write_response(&mut stream, &resp, keep_alive).is_err() {
+            return;
+        }
+        if req.method == "POST" && req.path == "/shutdown" {
+            state.request_shutdown();
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+fn route(state: &ServerState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/readyz") => {
+            if state.ready() {
+                Response::text(200, "ready\n")
+            } else {
+                Response::text(503, "loading\n")
+            }
+        }
+        ("GET", "/metrics") => {
+            let snap = xcluster_obs::snapshot();
+            let windows = [("estimate_ns", state.window.snapshot())];
+            Response::metrics(expose::render_with_windows(
+                &snap,
+                &windows,
+                expose::DEFAULT_NAMESPACE,
+            ))
+        }
+        ("GET", "/synopsis/stats") => stats_response(state),
+        ("POST", "/estimate") => estimate_response(state, req),
+        ("POST", "/shutdown") => Response::text(200, "shutting down\n"),
+        (_, "/healthz" | "/readyz" | "/metrics" | "/synopsis/stats") => {
+            Response::text(405, "method not allowed\n")
+        }
+        (_, "/estimate" | "/shutdown") => Response::text(405, "method not allowed\n"),
+        _ => Response::text(404, "not found\n"),
+    }
+}
+
+fn stats_response(state: &ServerState) -> Response {
+    let guard = state.loaded.read().unwrap();
+    let Some(loaded) = guard.as_ref() else {
+        return Response::json(503, "{\"error\":\"synopsis not loaded\"}");
+    };
+    let s = &loaded.synopsis;
+    let fp = &loaded.footprint;
+    let mut kinds = String::new();
+    for (i, (kind, k)) in fp.summaries.iter().enumerate() {
+        if i > 0 {
+            kinds.push(',');
+        }
+        kinds.push_str(&format!(
+            "\"{kind}\":{{\"count\":{},\"heap_bytes\":{},\"model_bytes\":{}}}",
+            k.count, k.heap_bytes, k.model_bytes
+        ));
+    }
+    let body = format!(
+        "{{\"nodes\":{},\"edges\":{},\"value_nodes\":{},\"arena_nodes\":{},\"max_depth\":{},\
+         \"model\":{{\"structural_bytes\":{},\"value_bytes\":{},\"total_bytes\":{}}},\
+         \"footprint\":{{\"total_bytes\":{},\"cluster_bytes\":{},\"edge_bytes\":{},\
+         \"interner_bytes\":{},\"summary_bytes\":{},\"summaries\":{{{kinds}}}}}}}",
+        s.num_nodes(),
+        s.num_edges(),
+        s.num_value_nodes(),
+        s.arena_len(),
+        s.max_depth(),
+        s.structural_bytes(),
+        s.value_bytes(),
+        s.total_bytes(),
+        fp.total_bytes(),
+        fp.cluster_bytes,
+        fp.edge_bytes,
+        fp.interner_bytes,
+        fp.summary_bytes(),
+    );
+    Response::json(200, body)
+}
+
+fn estimate_response(state: &ServerState, req: &Request) -> Response {
+    let synopsis = {
+        let guard = state.loaded.read().unwrap();
+        match guard.as_ref() {
+            Some(l) => Arc::clone(&l.synopsis),
+            None => return Response::json(503, "{\"error\":\"synopsis not loaded\"}"),
+        }
+    };
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(b) => b,
+        Err(_) => return Response::json(400, "{\"error\":\"body is not UTF-8\"}"),
+    };
+    let doc = match json::parse(body) {
+        Ok(d) => d,
+        Err(e) => return Response::json(400, format!("{{\"error\":\"{}\"}}", esc(&e.to_string()))),
+    };
+    let Some(queries) = doc.get("queries").and_then(JsonValue::as_array) else {
+        return Response::json(400, "{\"error\":\"expected {\\\"queries\\\":[...]}\"}");
+    };
+    let mut twigs = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        let Some(text) = q.as_str() else {
+            return Response::json(
+                400,
+                format!("{{\"error\":\"query is not a string\",\"index\":{i}}}"),
+            );
+        };
+        match parse_twig(text, synopsis.terms()) {
+            Ok(t) => twigs.push(t),
+            Err(e) => {
+                return Response::json(
+                    400,
+                    format!("{{\"error\":\"{}\",\"index\":{i}}}", esc(&e.to_string())),
+                )
+            }
+        }
+    }
+    let t0 = Instant::now();
+    let estimates = estimate_batch(&synopsis, &twigs, state.estimate_threads);
+    let elapsed_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    state.window.record(elapsed_ns);
+    ESTIMATE_NS.record(elapsed_ns);
+    BATCHES.inc();
+    QUERIES.add(twigs.len() as u64);
+    let mut out = String::with_capacity(16 + estimates.len() * 8);
+    out.push_str("{\"count\":");
+    out.push_str(&estimates.len().to_string());
+    out.push_str(",\"estimates\":[");
+    for (i, e) in estimates.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // f64 Display is shortest-roundtrip: parsing this text yields
+        // the identical bits, which the smoke tests assert.
+        out.push_str(&format!("{e}"));
+    }
+    out.push_str("]}");
+    Response::json(200, out)
+}

@@ -1,0 +1,195 @@
+//! End-to-end smoke test over a real TCP socket: readiness gating,
+//! batch estimation bitwise-equal to in-process `estimate_batch`,
+//! Prometheus exposition with the required series, synopsis stats, and
+//! graceful shutdown.
+
+use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::par::estimate_batch;
+use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+use xcluster_core::synopsis::Synopsis;
+use xcluster_obs::expose;
+use xcluster_obs::json::{self, JsonValue};
+use xcluster_serve::loadgen::{batch_body, parse_estimates};
+use xcluster_serve::{client, Server, ServerConfig};
+
+fn sample_synopsis() -> Synopsis {
+    let mut xml = String::from("<bib>");
+    for i in 0..40 {
+        xml.push_str(&format!(
+            "<paper><year>{}</year><title>paper number {i}</title>\
+             <abstract>selectivity estimation for structured xml content {}</abstract></paper>",
+            1980 + (i * 7) % 40,
+            ["histograms", "sketches", "synopses", "wavelets"][i % 4],
+        ));
+    }
+    xml.push_str("</bib>");
+    let doc = xcluster_xml::parse(&xml).unwrap();
+    let reference = reference_synopsis(&doc, &ReferenceConfig::default());
+    build_synopsis(
+        reference,
+        &BuildConfig {
+            b_str: 2048,
+            b_val: 4096,
+            ..BuildConfig::default()
+        },
+    )
+}
+
+fn queries() -> Vec<String> {
+    vec![
+        "//paper/year".into(),
+        "//paper[year > 1999]/title".into(),
+        "//paper[year < 1990]".into(),
+        "/bib/paper/title".into(),
+        "//paper/abstract".into(),
+        "//paper[year > 1985]/abstract".into(),
+    ]
+}
+
+/// One server instance shared by the whole test (binding once keeps the
+/// test fast and exercises keep-alive across endpoints).
+#[test]
+fn serve_smoke() {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        estimate_threads: 2,
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let state = server.state();
+
+    // Not ready before the synopsis loads; liveness is immediate.
+    let synopsis = sample_synopsis();
+    let expected_synopsis = synopsis.clone();
+    let server = std::sync::Arc::new(server);
+    let run_handle = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.run().unwrap())
+    };
+    assert_eq!(
+        client::request(&addr, "GET", "/healthz", None)
+            .unwrap()
+            .status,
+        200
+    );
+    assert_eq!(
+        client::request(&addr, "GET", "/readyz", None)
+            .unwrap()
+            .status,
+        503
+    );
+    let r = client::request(&addr, "POST", "/estimate", Some("{\"queries\":[]}")).unwrap();
+    assert_eq!(r.status, 503, "estimate before load must 503: {}", r.body);
+
+    server.set_synopsis(synopsis);
+    assert!(state.ready());
+    assert_eq!(
+        client::request(&addr, "GET", "/readyz", None)
+            .unwrap()
+            .status,
+        200
+    );
+
+    // 50-query batch: responses bitwise-equal to in-process estimates.
+    let qs = queries();
+    let batch: Vec<&str> = (0..50).map(|i| qs[i % qs.len()].as_str()).collect();
+    let resp = client::request(&addr, "POST", "/estimate", Some(&batch_body(&batch))).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let got = parse_estimates(&resp.body).unwrap();
+    let twigs: Vec<_> = batch
+        .iter()
+        .map(|q| xcluster_query::parse_twig(q, expected_synopsis.terms()).unwrap())
+        .collect();
+    let want = estimate_batch(&expected_synopsis, &twigs, 1);
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "estimate {i} differs: {g} vs {w} ({})",
+            batch[i]
+        );
+    }
+
+    // Bad requests are 4xx, not connection drops.
+    let r = client::request(
+        &addr,
+        "POST",
+        "/estimate",
+        Some("{\"queries\":[\"///((\"]}"),
+    )
+    .unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("\"index\":0"), "{}", r.body);
+    let r = client::request(&addr, "POST", "/estimate", Some("not json")).unwrap();
+    assert_eq!(r.status, 400);
+    let r = client::request(&addr, "GET", "/nope", None).unwrap();
+    assert_eq!(r.status, 404);
+    let r = client::request(&addr, "GET", "/estimate", None).unwrap();
+    assert_eq!(r.status, 405);
+
+    // /metrics parses as Prometheus text format and carries build,
+    // estimate, serve, window-quantile, and footprint series.
+    let m = client::request(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(m.status, 200);
+    assert_eq!(m.header("content-type"), Some("text/plain; version=0.0.4"));
+    let exposition = expose::parse(&m.body).unwrap();
+    for series in [
+        "xcluster_build_final_struct_bytes",
+        "xcluster_serve_requests_total",
+        "xcluster_serve_estimate_queries_total",
+        "xcluster_footprint_total_bytes",
+        "xcluster_footprint_summary_histogram_bytes",
+    ] {
+        assert!(
+            exposition.value(series).is_some(),
+            "missing series {series} in:\n{}",
+            m.body
+        );
+    }
+    assert!(
+        exposition
+            .quantile("xcluster_window_estimate_ns", "0.99")
+            .is_some(),
+        "missing window quantile series in:\n{}",
+        m.body
+    );
+    assert!(
+        exposition
+            .value("xcluster_serve_estimate_queries_total")
+            .unwrap()
+            >= 50.0,
+        "batch queries must be counted"
+    );
+
+    // Estimate-latency summary from the cumulative histogram.
+    assert!(
+        exposition
+            .quantile("xcluster_serve_estimate_ns", "0.5")
+            .is_some(),
+        "missing estimate summary in:\n{}",
+        m.body
+    );
+
+    // /synopsis/stats reports the footprint attribution as JSON.
+    let s = client::request(&addr, "GET", "/synopsis/stats", None).unwrap();
+    assert_eq!(s.status, 200);
+    let doc = json::parse(&s.body).unwrap();
+    assert_eq!(
+        doc.get("nodes").and_then(JsonValue::as_f64),
+        Some(expected_synopsis.num_nodes() as f64)
+    );
+    let fp = doc.get("footprint").expect("footprint object");
+    assert!(fp.get("total_bytes").and_then(JsonValue::as_f64).unwrap() > 0.0);
+    assert!(fp
+        .get("summaries")
+        .and_then(|s| s.get("histogram"))
+        .is_some());
+
+    // Graceful shutdown via the endpoint; the accept loop exits.
+    let r = client::request(&addr, "POST", "/shutdown", None).unwrap();
+    assert_eq!(r.status, 200);
+    run_handle.join().unwrap();
+    assert!(state.shutting_down());
+}

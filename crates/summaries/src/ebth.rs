@@ -65,6 +65,11 @@ impl RleBitmap {
         self.runs.len()
     }
 
+    /// Resident heap bytes of the run vector (allocated capacity).
+    pub fn heap_bytes(&self) -> usize {
+        self.runs.capacity() * std::mem::size_of::<(u32, u32)>()
+    }
+
     /// Number of set bits.
     pub fn cardinality(&self) -> u64 {
         self.runs.iter().map(|&(s, e)| (e - s) as u64).sum()
@@ -204,6 +209,12 @@ impl Ebth {
             + self.top.len() * EBTH_TOP_TERM_BYTES
             + self.support.num_runs() * EBTH_RUN_BYTES
             + EBTH_UNIFORM_BUCKET_BYTES
+    }
+
+    /// Resident heap bytes of the in-memory representation: the indexed
+    /// term vector plus the RLE support bitmap.
+    pub fn heap_bytes(&self) -> usize {
+        self.top.capacity() * std::mem::size_of::<(TermId, f64)>() + self.support.heap_bytes()
     }
 
     /// Estimated fractional frequency `w[t]` of a single term: exact for

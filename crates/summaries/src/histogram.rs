@@ -149,6 +149,13 @@ impl Histogram {
         SUMMARY_HEADER_BYTES + self.buckets.len() * HISTOGRAM_BUCKET_BYTES
     }
 
+    /// Resident heap bytes of the in-memory representation (allocated
+    /// capacity, not just live length) — the actual Rust layout, as
+    /// opposed to the on-disk model of [`Histogram::size_bytes`].
+    pub fn heap_bytes(&self) -> usize {
+        self.buckets.capacity() * std::mem::size_of::<Bucket>()
+    }
+
     /// Estimated number of values in the inclusive range `[lo, hi]`
     /// (continuous uniformity within buckets).
     pub fn estimate_range(&self, lo: u64, hi: u64) -> f64 {

@@ -205,6 +205,18 @@ impl Pst {
         SUMMARY_HEADER_BYTES + self.node_count() * PST_NODE_BYTES
     }
 
+    /// Resident heap bytes of the in-memory representation: the node
+    /// arena (including pruned tombstones, which still occupy slots)
+    /// plus every node's child-id vector.
+    pub fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.children.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
+
     /// The exact presence count of `needle` if it is retained.
     pub fn count_of(&self, needle: &str) -> Option<f64> {
         let mut cur = ROOT;

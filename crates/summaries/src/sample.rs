@@ -95,6 +95,12 @@ impl SampleSummary {
         SUMMARY_HEADER_BYTES + self.sample.len() * SAMPLE_ENTRY_BYTES
     }
 
+    /// Resident heap bytes of the in-memory representation (reservoir
+    /// capacity).
+    pub fn heap_bytes(&self) -> usize {
+        self.sample.capacity() * std::mem::size_of::<u64>()
+    }
+
     /// Estimated fraction of values in `[a, b]` (sample proportion).
     pub fn selectivity(&self, a: u64, b: u64) -> f64 {
         if self.sample.is_empty() || b < a {

@@ -201,6 +201,32 @@ impl ValueSummary {
         }
     }
 
+    /// Resident heap bytes of the in-memory representation (allocated
+    /// capacities), as opposed to the on-disk model of
+    /// [`ValueSummary::size_bytes`]. The enum header itself is counted
+    /// by the owner (it lives inline in the synopsis node).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            ValueSummary::Numeric(h) => h.heap_bytes(),
+            ValueSummary::NumericWavelet(w) => w.heap_bytes(),
+            ValueSummary::NumericSample(s) => s.heap_bytes(),
+            ValueSummary::String(p) => p.heap_bytes(),
+            ValueSummary::Text(e) => e.heap_bytes(),
+        }
+    }
+
+    /// Stable snake_case name of the summary backend, used as a metric
+    /// label by the memory-footprint accounting.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ValueSummary::Numeric(_) => "histogram",
+            ValueSummary::NumericWavelet(_) => "wavelet",
+            ValueSummary::NumericSample(_) => "sample",
+            ValueSummary::String(_) => "pst",
+            ValueSummary::Text(_) => "term_histogram",
+        }
+    }
+
     /// Fuses two summaries of the same type for a node merge (paper
     /// Section 4.1). `self_weight`/`other_weight` are the extent sizes
     /// `|u|`, `|v|`; they matter only for `TEXT` centroids (histograms and

@@ -114,6 +114,13 @@ impl WaveletSummary {
         SUMMARY_HEADER_BYTES + 16 /* domain */ + self.coefficients.len() * WAVELET_COEF_BYTES
     }
 
+    /// Resident heap bytes of the in-memory representation. `HashMap`
+    /// capacity is approximated as one `(key, value)` slot plus one
+    /// control byte per allocated bucket (the std swiss-table layout).
+    pub fn heap_bytes(&self) -> usize {
+        self.coefficients.capacity() * (std::mem::size_of::<(u32, f64)>() + 1)
+    }
+
     /// Reconstructed frequency of grid cell `i` (`O(log n)` walk).
     fn cell_value(&self, i: usize) -> f64 {
         debug_assert!(i < self.cells);

@@ -85,6 +85,18 @@ impl Interner {
             .enumerate()
             .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
     }
+
+    /// Resident heap bytes: string payloads are stored twice (once in
+    /// the resolve vector, once as map keys); the map side approximates
+    /// one `(key, value)` slot plus one control byte per allocated
+    /// bucket (the std swiss-table layout).
+    pub fn heap_bytes(&self) -> usize {
+        let payload: usize = self.strings.iter().map(|s| s.len()).sum();
+        let vec_side = self.strings.capacity() * std::mem::size_of::<Box<str>>();
+        let map_side =
+            self.map.capacity() * (std::mem::size_of::<(Box<str>, Symbol)>() + 1) + payload;
+        payload + vec_side + map_side
+    }
 }
 
 #[cfg(test)]

@@ -8,42 +8,126 @@
 # BENCH_accuracy.json baseline: any per-class relative error worsening
 # by more than 10% fails the script. Off by default because it adds a
 # release build + workload evaluation to the loop.
+#
+# Pass --serve-smoke (or set XCLUSTER_CI_SERVE=1) to additionally boot
+# `xcluster serve` on an ephemeral port, scrape /metrics, and drive it
+# with `xcluster loadgen` in verify mode: 1000 queries must succeed
+# with zero errors and zero bitwise mismatches against the in-process
+# batch engine, and the server must shut down cleanly. --serve-smoke-only
+# runs just that leg against an existing release binary (used by the
+# workflow, where the main legs already ran as their own steps).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ACCURACY="${XCLUSTER_CI_ACCURACY:-0}"
+SERVE="${XCLUSTER_CI_SERVE:-0}"
+MAIN=1
 for arg in "$@"; do
   case "$arg" in
     --accuracy) ACCURACY=1 ;;
+    --serve-smoke) SERVE=1 ;;
+    --serve-smoke-only) SERVE=1; MAIN=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+if [[ "$MAIN" == "1" ]]; then
+  echo "==> cargo fmt --check"
+  cargo fmt --all -- --check
 
-echo "==> cargo clippy -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+  echo "==> cargo clippy -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --release --workspace
+  echo "==> cargo build --release"
+  cargo build --release --workspace
 
-echo "==> cargo test"
-cargo test -q --workspace
+  echo "==> cargo test"
+  cargo test -q --workspace
 
-# Thread-matrix leg: the differential suite (parallel builds and batch
-# estimation byte-identical to sequential) under the release profile, so
-# it exercises the real build sizes, at each thread count.
-for threads in 1 4; do
-  echo "==> cargo test --release --test parallel (XCLUSTER_TEST_THREADS=$threads)"
-  XCLUSTER_TEST_THREADS="$threads" \
-    cargo test -q --release -p xcluster-core --test parallel
-done
+  # Thread-matrix leg: the differential suite (parallel builds and batch
+  # estimation byte-identical to sequential) under the release profile,
+  # so it exercises the real build sizes, at each thread count.
+  for threads in 1 4; do
+    echo "==> cargo test --release --test parallel (XCLUSTER_TEST_THREADS=$threads)"
+    XCLUSTER_TEST_THREADS="$threads" \
+      cargo test -q --release -p xcluster-core --test parallel
+  done
+fi
 
 if [[ "$ACCURACY" == "1" ]]; then
   echo "==> accuracy regression gate (BENCH_accuracy.json, +10% tolerance)"
   cargo run --release -p xcluster-bench --bin experiments -- \
     bench-accuracy --gate BENCH_accuracy.json
+fi
+
+if [[ "$SERVE" == "1" ]]; then
+  echo "==> serve smoke: ephemeral port, /metrics scrape, 1000 verified queries"
+  XCLUSTER="target/release/xcluster"
+  [[ -x "$XCLUSTER" ]] || cargo build --release -p xcluster-cli
+  SMOKE_DIR="$(mktemp -d)"
+  SERVE_PID=""
+  cleanup() {
+    [[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$SMOKE_DIR"
+  }
+  trap cleanup EXIT
+
+  cat > "$SMOKE_DIR/doc.xml" <<'XML'
+<bib>
+<paper><year>1999</year><title>alpha beta</title><abstract>selectivity estimation for structured xml content</abstract></paper>
+<paper><year>2003</year><title>gamma delta</title><abstract>histograms approximate value distributions compactly here</abstract></paper>
+<paper><year>1987</year><title>epsilon</title><abstract>wavelet synopses for massive data streams</abstract></paper>
+<paper><year>2010</year><title>zeta eta</title><abstract>pruned suffix trees summarize string content</abstract></paper>
+</bib>
+XML
+  cat > "$SMOKE_DIR/queries.txt" <<'QUERIES'
+//paper/year
+//paper[year > 1999]/title
+/bib/paper/abstract
+//paper[year < 1990]
+QUERIES
+  "$XCLUSTER" build "$SMOKE_DIR/doc.xml" --b-str 2048 --b-val 4096 \
+    -o "$SMOKE_DIR/syn.xcs"
+
+  # Boot on an ephemeral port; the bound address is on stdout.
+  "$XCLUSTER" serve "$SMOKE_DIR/syn.xcs" --addr 127.0.0.1:0 --workers 2 \
+    > "$SMOKE_DIR/serve.out" 2> "$SMOKE_DIR/serve.err" &
+  SERVE_PID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's|^listening on http://||p' "$SMOKE_DIR/serve.out" | tr -d '[:space:]')"
+    [[ -n "$ADDR" ]] && break
+    sleep 0.1
+  done
+  [[ -n "$ADDR" ]] || { echo "server never reported an address" >&2; exit 1; }
+
+  # Scrape the live /metrics endpoint (bash /dev/tcp; no curl in CI)
+  # and check the serve + footprint series are being exported.
+  exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR##*:}"
+  printf 'GET /metrics HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n' >&3
+  SCRAPE="$(cat <&3)"
+  exec 3<&- 3>&-
+  for series in xcluster_serve_requests_total xcluster_footprint_total_bytes \
+                xcluster_build_final_struct_bytes; do
+    grep -q "^$series " <<< "$SCRAPE" \
+      || { echo "/metrics missing series $series" >&2; exit 1; }
+  done
+
+  # The one-shot exposition must carry the build series; the server's
+  # live /metrics endpoint uses the same renderer.
+  METRICS="$("$XCLUSTER" stats "$SMOKE_DIR/doc.xml" --prometheus)"
+  grep -q '^xcluster_build_final_struct_bytes ' <<< "$METRICS" \
+    || { echo "stats --prometheus missing build series" >&2; exit 1; }
+
+  # 1000 verified queries: zero transport errors, zero bitwise
+  # mismatches, then POST /shutdown for a clean exit.
+  "$XCLUSTER" loadgen "$ADDR" --total 1000 --batch 50 \
+    --verify "$SMOKE_DIR/syn.xcs" --queries-file "$SMOKE_DIR/queries.txt" \
+    --shutdown
+  wait "$SERVE_PID"
+  SERVE_PID=""
+  trap - EXIT
+  cleanup
 fi
 
 echo "CI OK"
