@@ -44,7 +44,7 @@ use xcluster_bench::{
 };
 use xcluster_core::baseline;
 use xcluster_core::build::{build_synopsis, BuildConfig};
-use xcluster_core::metrics::{evaluate_workload, evaluate_workload_attributed_with};
+use xcluster_core::metrics::{evaluate_workload, EvalOptions};
 use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
 use xcluster_query::QueryClass;
 
@@ -284,23 +284,45 @@ fn bench_estimate(opts: &Opts) {
     lat_ns.sort_unstable();
     let pctl = |p: f64| lat_ns[((lat_ns.len() - 1) as f64 * p).round() as usize];
     let mean = lat_ns.iter().sum::<u64>() as f64 / lat_ns.len() as f64;
-    // Batch engine: the same workload through `estimate_batch` at 1 and
-    // N threads, median-of-ITERS wall times, results asserted bitwise
-    // equal across thread counts.
-    let threads = xcluster_core::resolve_threads(0);
-    let batch_wall = |t: usize| -> (f64, Vec<f64>) {
+    // Interpreter reference: single-thread wall over the workload,
+    // median of ITERS (the plan path must beat this to justify itself).
+    let (interp_wall, interp_est) = {
         let mut walls = Vec::with_capacity(ITERS);
-        let mut result = Vec::new();
+        let mut result: Vec<f64> = Vec::new();
         for _ in 0..ITERS {
             let s = Instant::now();
-            result = xcluster_core::par::estimate_batch_by(&built, &w.queries, t, |q| &q.query);
+            result = w
+                .queries
+                .iter()
+                .map(|q| xcluster_core::estimate(&built, &q.query))
+                .collect();
             walls.push(s.elapsed().as_secs_f64());
         }
         walls.sort_by(f64::total_cmp);
         (walls[walls.len() / 2], result)
     };
-    let (batch_wall_1, batch_est_1) = batch_wall(1);
-    let (batch_wall_n, batch_est_n) = batch_wall(threads);
+    // Plan engine: the same workload through an `Estimator` session at 1
+    // and N threads. One reach/probe cache serves every pass — the first
+    // single-thread pass runs it cold, everything after is warm.
+    let threads = xcluster_core::resolve_threads(0);
+    let cache = xcluster_core::Estimator::new(&built).cache();
+    let batch_wall = |t: usize| -> (f64, f64, Vec<f64>) {
+        let est = xcluster_core::Estimator::new(&built)
+            .with_threads(t)
+            .with_cache(cache.clone());
+        let mut walls = Vec::with_capacity(ITERS);
+        let mut result = Vec::new();
+        for _ in 0..ITERS {
+            let s = Instant::now();
+            result = est.estimate_batch_by(&w.queries, |q| &q.query);
+            walls.push(s.elapsed().as_secs_f64());
+        }
+        let cold = walls[0];
+        walls.sort_by(f64::total_cmp);
+        (cold, walls[walls.len() / 2], result)
+    };
+    let (plan_wall_cold, batch_wall_1, batch_est_1) = batch_wall(1);
+    let (_, batch_wall_n, batch_est_n) = batch_wall(threads);
     assert!(
         batch_est_1
             .iter()
@@ -308,9 +330,18 @@ fn bench_estimate(opts: &Opts) {
             .all(|(a, b)| a.to_bits() == b.to_bits()),
         "batch estimates must be bitwise equal across thread counts"
     );
+    assert!(
+        batch_est_1
+            .iter()
+            .zip(&interp_est)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "plan estimates must be bitwise equal to the interpreter"
+    );
     let speedup = batch_wall_1 / batch_wall_n.max(f64::MIN_POSITIVE);
+    let plan_speedup = interp_wall / batch_wall_1.max(f64::MIN_POSITIVE);
+    let cstats = cache.stats();
     println!(
-        "== bench-estimate: {} samples, p50 {} ns, p99 {} ns, batch {threads} thread(s) {speedup:.2}x vs 1 ==",
+        "== bench-estimate: {} samples, p50 {} ns, p99 {} ns, plan {plan_speedup:.2}x vs interpreter, batch {threads} thread(s) {speedup:.2}x vs 1 ==",
         lat_ns.len(),
         pctl(0.50),
         pctl(0.99)
@@ -342,11 +373,45 @@ fn bench_estimate(opts: &Opts) {
         batch_wall_n * 1e3
     );
     let _ = writeln!(body, "      \"speedup_vs_1thread\": {speedup:.2}");
+    let _ = writeln!(body, "    }},");
+    // Plan-vs-interpreter single-thread wall clocks plus the session
+    // cache's hit rates and footprint (tentpole of the plan/cache work).
+    let _ = writeln!(body, "    \"plan\": {{");
+    let _ = writeln!(
+        body,
+        "      \"interpreter_wall_ms_1thread\": {:.3},",
+        interp_wall * 1e3
+    );
+    let _ = writeln!(
+        body,
+        "      \"plan_wall_ms_1thread_cold\": {:.3},",
+        plan_wall_cold * 1e3
+    );
+    let _ = writeln!(
+        body,
+        "      \"plan_wall_ms_1thread\": {:.3},",
+        batch_wall_1 * 1e3
+    );
+    let _ = writeln!(body, "      \"speedup_vs_interpreter\": {plan_speedup:.2},");
+    let _ = writeln!(
+        body,
+        "      \"reach_hit_rate\": {:.4},",
+        cstats.reach_hit_rate()
+    );
+    let _ = writeln!(
+        body,
+        "      \"probe_hit_rate\": {:.4},",
+        cstats.probe_hit_rate()
+    );
+    let _ = writeln!(body, "      \"reach_entries\": {},", cstats.reach_entries);
+    let _ = writeln!(body, "      \"probe_entries\": {},", cstats.probe_entries);
+    let _ = writeln!(body, "      \"cache_bytes\": {}", cache.heap_bytes());
     let _ = writeln!(body, "    }}");
     body.push_str("  }");
     let mut run = bench_run_meta("bench-estimate", opts, t0.elapsed().as_secs_f64());
     run.push(("threads", format!("{threads}")));
     run.push(("speedup_vs_1thread", format!("{speedup:.2}")));
+    run.push(("plan_speedup_vs_interpreter", format!("{plan_speedup:.2}")));
     write_bench_file("BENCH_estimate.json", &run, &body);
 }
 
@@ -369,7 +434,17 @@ fn bench_accuracy(opts: &Opts) {
     // Traced estimation through the batch engine at full parallelism —
     // bitwise identical to sequential (tests/parallel.rs), so the gate
     // comparison is unaffected by the thread count.
-    let (report, attribution) = evaluate_workload_attributed_with(&built, &w, 0);
+    let eval = evaluate_workload(
+        &built,
+        &w,
+        &EvalOptions::default()
+            .with_threads(0)
+            .with_attribution(true),
+    );
+    let (report, attribution) = (
+        eval.report,
+        eval.attribution.expect("attribution requested"),
+    );
     println!(
         "== bench-accuracy: overall {:.2}%, {} attributed cluster(s) ==",
         report.overall_rel * 100.0,
@@ -871,8 +946,12 @@ fn ablation_metric(opts: &Opts) {
                 },
             );
             let (global, tracked) = baseline::global_metric_build(reference.clone(), budget);
-            let le = evaluate_workload(&local, &w).overall_rel;
-            let ge = evaluate_workload(&global, &w).overall_rel;
+            let le = evaluate_workload(&local, &w, &EvalOptions::default())
+                .report
+                .overall_rel;
+            let ge = evaluate_workload(&global, &w, &EvalOptions::default())
+                .report
+                .overall_rel;
             println!(
                 "{:8} {:>10.1} {:>12.2} {:>12.2} {:>16}",
                 name,
@@ -1088,7 +1167,7 @@ fn ablation_numeric(opts: &Opts) {
                     ..BuildConfig::default()
                 },
             );
-            let r = evaluate_workload(&built, &w);
+            let r = evaluate_workload(&built, &w, &EvalOptions::default()).report;
             let err = r.class_rel(QueryClass::Numeric).unwrap_or(0.0);
             println!(
                 "{:>12} {:>12.1} {:>13.2}% {:>12.1}",

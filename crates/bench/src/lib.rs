@@ -7,7 +7,7 @@
 //! paths, and the budget-sweep runner behind Figures 8 and 9.
 
 use xcluster_core::build::{build_synopsis, BuildConfig};
-use xcluster_core::metrics::{evaluate_workload, ErrorReport};
+use xcluster_core::metrics::{evaluate_workload, ErrorReport, EvalOptions};
 use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
 use xcluster_core::Synopsis;
 use xcluster_datagen::{imdb, xmark, Dataset};
@@ -123,7 +123,7 @@ pub fn sweep(p: &Prepared, w: &Workload, b_str_points: &[usize], b_val: usize) -
             SweepPoint {
                 b_str,
                 total_bytes: built.total_bytes(),
-                report: evaluate_workload(&built, w),
+                report: evaluate_workload(&built, w, &EvalOptions::default()).report,
             }
         })
         .collect()

@@ -267,7 +267,9 @@ fn cmd_estimate(args: &[String]) -> Result<(), AnyError> {
         .iter()
         .map(|q| parse_twig(q, s.terms()))
         .collect::<Result<Vec<_>, _>>()?;
-    let estimates = xcluster_core::estimate_batch(&s, &twigs, threads);
+    let estimates = xcluster_core::Estimator::new(&s)
+        .with_threads(threads)
+        .estimate_batch(&twigs);
     for (q, est) in queries.iter().zip(estimates) {
         println!("{est:12.2}  {q}");
     }

@@ -35,7 +35,7 @@ fn main() {
             ..BuildConfig::default()
         },
     );
-    let r = metrics::evaluate_workload(&s, &w);
+    let r = metrics::evaluate_workload(&s, &w, &metrics::EvalOptions::default()).report;
     println!("tag-only+15KB: text={:?}", r.class_rel[3]);
     let mut worst: Vec<(f64, String, f64, f64)> = w
         .queries

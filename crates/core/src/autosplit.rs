@@ -12,7 +12,7 @@
 //! workload with the Section 6.1 error metric.
 
 use crate::build::{build_synopsis, BuildConfig};
-use crate::metrics::evaluate_workload;
+use crate::metrics::{evaluate_workload, EvalOptions};
 use crate::synopsis::Synopsis;
 use xcluster_query::Workload;
 
@@ -79,7 +79,9 @@ pub fn build_with_unified_budget(
                     ..cfg.build.clone()
                 },
             );
-            let err = evaluate_workload(&built, sample).overall_rel;
+            let err = evaluate_workload(&built, sample, &EvalOptions::default())
+                .report
+                .overall_rel;
             probes.push((rho, err));
             if best.as_ref().is_none_or(|(_, e, _)| err < *e) {
                 *best = Some((rho, err, built));
@@ -182,7 +184,9 @@ mod tests {
             assert!(result.sample_error <= err + 1e-9);
         }
         // And it generalizes sanely to a holdout workload.
-        let holdout_err = evaluate_workload(&result.synopsis, &holdout).overall_rel;
+        let holdout_err = evaluate_workload(&result.synopsis, &holdout, &EvalOptions::default())
+            .report
+            .overall_rel;
         assert!(holdout_err.is_finite());
     }
 }

@@ -15,8 +15,10 @@
 //! source document's depth — merged synopses of recursive data may
 //! contain cycles).
 
+use crate::plan::{compile, run_plan, Plan, ReachCache};
 use crate::synopsis::{Synopsis, SynopsisNodeId};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use xcluster_obs::trace::{self, Trace};
 use xcluster_obs::{SpanTimer, TraceBuilder};
 use xcluster_query::{Axis, LabelTest, NodeKind, TwigQuery};
@@ -25,8 +27,10 @@ use xcluster_xml::ValueType;
 
 /// Registry handles for the estimation instrumentation (`estimate.*`):
 /// per-query latency, clusters visited during embedding, and value-
-/// summary probes broken down by summary kind.
-mod stats {
+/// summary probes broken down by summary kind. Shared with the compiled
+/// plan interpreter (`crate::plan`), which keeps these counters in exact
+/// parity with the reference interpreter.
+pub(crate) mod stats {
     use std::sync::{Arc, LazyLock};
     use xcluster_obs::{counter, histogram, Counter, Histogram};
 
@@ -72,6 +76,16 @@ pub fn estimate_traced(s: &Synopsis, query: &TwigQuery) -> (f64, Trace) {
     (value, t.expect("tracing was requested"))
 }
 
+/// The zero-product early-break policy, shared by the reference
+/// interpreter and the compiled-plan interpreter (`crate::plan`) so the
+/// two engines cannot drift. Untraced, a zero accumulator is final —
+/// stop expanding. Traced, keep walking so the trace covers every
+/// branch; the extra factors multiply into an exact 0.0 and cannot
+/// change the result.
+pub(crate) fn keep_expanding(acc: f64, traced: bool) -> bool {
+    acc != 0.0 || traced
+}
+
 fn run(s: &Synopsis, query: &TwigQuery, traced: bool) -> (f64, Option<Trace>) {
     debug_assert!(query.filters_are_existential());
     stats::QUERIES.inc();
@@ -81,14 +95,11 @@ fn run(s: &Synopsis, query: &TwigQuery, traced: bool) -> (f64, Option<Trace>) {
         tb.attr_str(tb.root(), "query", query.to_string());
         tb
     });
-    let mut est = Estimator { s, query, tb };
+    let mut est = Walker { s, query, tb };
     let mut product = 1.0;
     for &c in &query.node(query.root()).children {
         product *= est.child_factor(c, s.root());
-        // Untraced, a zero product is final — stop. Traced, keep walking
-        // so the trace covers every branch; the extra factors multiply
-        // into an exact 0.0 and cannot change the result.
-        if product == 0.0 && est.tb.is_none() {
+        if !keep_expanding(product, est.tb.is_some()) {
             break;
         }
     }
@@ -99,14 +110,17 @@ fn run(s: &Synopsis, query: &TwigQuery, traced: bool) -> (f64, Option<Trace>) {
     (product, trace)
 }
 
-struct Estimator<'a> {
+/// The reference embedding walk. Kept interpreter-pure (no caches, no
+/// compiled state) so it can referee the compiled plan path in the
+/// differential tests.
+struct Walker<'a> {
     s: &'a Synopsis,
     query: &'a TwigQuery,
     /// Trace under construction, when the caller asked for one.
     tb: Option<TraceBuilder>,
 }
 
-impl Estimator<'_> {
+impl Walker<'_> {
     /// Expected contribution of query child `q` per element of the
     /// cluster `sn` its parent is embedded at: summed over all candidate
     /// target clusters (embeddings), each weighted by the expected number
@@ -155,7 +169,7 @@ impl Estimator<'_> {
                     let mut sub = expected * sigma;
                     for &c in &qnode.children {
                         sub *= self.child_factor(c, target);
-                        if sub == 0.0 && self.tb.is_none() {
+                        if !keep_expanding(sub, self.tb.is_some()) {
                             break;
                         }
                     }
@@ -175,7 +189,7 @@ impl Estimator<'_> {
                         tb.attr_f64(id, "sigma", sat);
                     }
                     for &c in &qnode.children {
-                        if sat == 0.0 && self.tb.is_none() {
+                        if !keep_expanding(sat, self.tb.is_some()) {
                             break;
                         }
                         sat *= self.child_factor(c, target).min(1.0);
@@ -324,6 +338,153 @@ impl Estimator<'_> {
             tb.end(id);
         }
         sigma
+    }
+}
+
+/// A reusable estimation session over one synopsis — the unified entry
+/// point behind which `estimate` / `estimate_traced` /
+/// `estimate_batch{,_by,_traced_by}` collapse.
+///
+/// The session owns the plan/reach caches ([`ReachCache`]): queries are
+/// compiled once ([`crate::plan::compile`]) and executed by the plan
+/// interpreter, which memoizes descendant-reachability DPs and value
+/// probes across queries. Every estimate is **bitwise identical** to the
+/// reference interpreter ([`estimate`]) at any thread count, cache-warm
+/// or cache-cold (`tests/plan_diff.rs` is the referee).
+///
+/// Because the session borrows the synopsis, the borrow checker
+/// guarantees the cache can never survive a rebuild within one session.
+/// Long-lived holders that re-create sessions per request (the serving
+/// layer) share one cache across sessions via [`Estimator::with_cache`]
+/// and build a fresh cache whenever they load a new synopsis.
+///
+/// ```
+/// use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+/// use xcluster_core::Estimator;
+/// use xcluster_query::parse_twig;
+/// use xcluster_xml::parse;
+///
+/// let doc = parse("<r><a><x>1</x></a><a><x>2</x></a></r>").unwrap();
+/// let s = reference_synopsis(&doc, &ReferenceConfig::default());
+/// let est = Estimator::new(&s).with_threads(2);
+/// let q = parse_twig("//a/x", doc.terms()).unwrap();
+/// assert_eq!(est.estimate(&q), 2.0);
+/// let batch = est.estimate_batch(&[q.clone(), q]);
+/// assert_eq!(batch, vec![2.0, 2.0]);
+/// ```
+pub struct Estimator<'s> {
+    s: &'s Synopsis,
+    threads: usize,
+    cache: Arc<ReachCache>,
+}
+
+impl<'s> Estimator<'s> {
+    /// A session over `s` with a fresh cache, running single-threaded.
+    pub fn new(s: &'s Synopsis) -> Estimator<'s> {
+        Estimator {
+            s,
+            threads: 1,
+            cache: Arc::new(ReachCache::new()),
+        }
+    }
+
+    /// Sets the worker count for the batch entry points (`0` = available
+    /// parallelism). Thread count is unobservable in the results: shards
+    /// share the cache read-only-in-effect and every estimate stays
+    /// bitwise equal to a single-threaded run.
+    pub fn with_threads(mut self, threads: usize) -> Estimator<'s> {
+        self.threads = threads;
+        self
+    }
+
+    /// Shares an existing cache (e.g. the serving layer's per-loaded-
+    /// synopsis cache) instead of a fresh one. The cache must have been
+    /// used only with this synopsis; [`ReachCache`] panics otherwise.
+    pub fn with_cache(mut self, cache: Arc<ReachCache>) -> Estimator<'s> {
+        self.cache = cache;
+        self
+    }
+
+    /// The synopsis this session estimates over.
+    pub fn synopsis(&self) -> &'s Synopsis {
+        self.s
+    }
+
+    /// The resolved worker count knob (as configured, `0` = auto).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The session's plan/reach cache (shared handle).
+    pub fn cache(&self) -> Arc<ReachCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Compiles `query` against the session's synopsis. Useful when one
+    /// plan will be executed many times.
+    pub fn compile(&self, query: &TwigQuery) -> Plan {
+        compile(self.s, query)
+    }
+
+    /// Estimates one query through the compiled-plan path. Like
+    /// [`estimate`], records a trace into the global ring buffer when
+    /// capture is enabled.
+    pub fn estimate(&self, query: &TwigQuery) -> f64 {
+        self.estimate_plan(&self.compile(query))
+    }
+
+    /// Executes an already-compiled plan (see [`Estimator::compile`]).
+    pub fn estimate_plan(&self, plan: &Plan) -> f64 {
+        if trace::capture_enabled() {
+            let (value, t) = run_plan(self.s, plan, &self.cache, true);
+            trace::record(t.expect("tracing was requested"));
+            value
+        } else {
+            run_plan(self.s, plan, &self.cache, false).0
+        }
+    }
+
+    /// Estimates one query and returns the trace of the embedding walk —
+    /// span-for-span identical to [`estimate_traced`].
+    pub fn estimate_traced(&self, query: &TwigQuery) -> (f64, Trace) {
+        self.estimate_plan_traced(&self.compile(query))
+    }
+
+    /// Traced execution of an already-compiled plan.
+    pub fn estimate_plan_traced(&self, plan: &Plan) -> (f64, Trace) {
+        let (value, t) = run_plan(self.s, plan, &self.cache, true);
+        (value, t.expect("tracing was requested"))
+    }
+
+    /// Estimates every query, sharded across the session's workers,
+    /// returning estimates in query order. The whole batch is compiled
+    /// up front on the calling thread; shards share the session cache.
+    pub fn estimate_batch(&self, queries: &[TwigQuery]) -> Vec<f64> {
+        self.estimate_batch_by(queries, |q| q)
+    }
+
+    /// [`Estimator::estimate_batch`] over any container of queries, via
+    /// an accessor — lets workload evaluation shard `&[WorkloadQuery]`
+    /// without cloning every twig.
+    pub fn estimate_batch_by<T, G>(&self, items: &[T], get: G) -> Vec<f64>
+    where
+        T: Sync,
+        G: Fn(&T) -> &TwigQuery + Sync,
+    {
+        let plans: Vec<Plan> = items.iter().map(|i| self.compile(get(i))).collect();
+        crate::par::run_shards(&plans, self.threads, |p| self.estimate_plan(p))
+    }
+
+    /// Traced batch estimation: each query additionally returns the
+    /// trace of its embedding walk. Used by attributed workload
+    /// evaluation.
+    pub fn estimate_batch_traced_by<T, G>(&self, items: &[T], get: G) -> Vec<(f64, Trace)>
+    where
+        T: Sync,
+        G: Fn(&T) -> &TwigQuery + Sync,
+    {
+        let plans: Vec<Plan> = items.iter().map(|i| self.compile(get(i))).collect();
+        crate::par::run_shards(&plans, self.threads, |p| self.estimate_plan_traced(p))
     }
 }
 

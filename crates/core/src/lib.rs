@@ -30,12 +30,15 @@
 //!   low-count queries);
 //! * [`par`] — the deterministic parallel execution layer: chunked
 //!   candidate scoring for the build and the batch estimation engine,
-//!   both byte-identical to sequential runs at any thread count.
+//!   both byte-identical to sequential runs at any thread count;
+//! * [`plan`] — compiled query plans (labels interned, predicates
+//!   pre-lowered) and the per-synopsis [`plan::ReachCache`], executed by
+//!   an interpreter bitwise-identical to [`estimate`]'s.
 //!
 //! # Quick start
 //!
 //! ```
-//! use xcluster_core::{build::{BuildConfig, build_synopsis}, estimate::estimate};
+//! use xcluster_core::{build::{BuildConfig, build_synopsis}, Estimator};
 //! use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
 //! use xcluster_query::{parse_twig, EvalIndex, evaluate};
 //! use xcluster_xml::parse;
@@ -47,10 +50,10 @@
 //! let reference = reference_synopsis(&doc, &ReferenceConfig::default());
 //! let synopsis = build_synopsis(reference, &BuildConfig { b_str: 512, b_val: 1024, ..BuildConfig::default() });
 //!
+//! let est = Estimator::new(&synopsis);
 //! let q = parse_twig("//paper[year>2000]/title", doc.terms()).unwrap();
-//! let est = estimate(&synopsis, &q);
 //! let truth = evaluate(&q, &doc, &EvalIndex::build(&doc));
-//! assert!((est - truth).abs() < 1.0);
+//! assert!((est.estimate(&q) - truth).abs() < 1.0);
 //! ```
 
 pub mod autosplit;
@@ -64,18 +67,25 @@ pub mod footprint;
 pub mod merge;
 pub mod metrics;
 pub mod par;
+pub mod plan;
 pub mod reference;
 pub mod synopsis;
 
 pub use build::{build_synopsis, try_build_synopsis, BuildConfig, BuildConfigError};
-pub use estimate::{estimate, estimate_traced};
+pub use estimate::{estimate, estimate_traced, Estimator};
 pub use explain::{explain, Explanation};
 pub use footprint::MemoryFootprint;
 pub use metrics::{
-    evaluate_workload, evaluate_workload_attributed, evaluate_workload_attributed_with,
-    evaluate_workload_with, relative_error, AttributionReport, ClusterAttribution, ErrorReport,
-    QueryErrorRecord,
+    evaluate_workload, relative_error, AttributionReport, ClusterAttribution, ErrorReport,
+    EvalOptions, QueryErrorRecord, WorkloadEval,
 };
-pub use par::{estimate_batch, resolve_threads};
+#[allow(deprecated)]
+pub use metrics::{
+    evaluate_workload_attributed, evaluate_workload_attributed_with, evaluate_workload_with,
+};
+#[allow(deprecated)]
+pub use par::estimate_batch;
+pub use par::resolve_threads;
+pub use plan::{compile, Plan, PlanNode, ReachCache, ReachCacheStats};
 pub use reference::{reference_synopsis, ReferenceConfig};
 pub use synopsis::{Synopsis, SynopsisNodeId};

@@ -7,10 +7,11 @@
 //! relative errors. Figure 9 complements this with the average *absolute*
 //! error over exactly those low-count queries (`c < s`).
 
+use crate::estimate::Estimator;
 use crate::explain::{embed_steps, populations_from_trace};
-use crate::par::{estimate_batch_by, estimate_batch_traced_by};
 use crate::synopsis::{Synopsis, SynopsisNodeId};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use xcluster_obs::trace::{self, Trace};
 use xcluster_query::{NodeKind, QueryClass, Workload, WorkloadQuery};
 
 /// `|c − e| / max(c, s)` — the paper's absolute relative error.
@@ -51,8 +52,8 @@ fn class_index(class: QueryClass) -> usize {
     QueryClass::ALL.iter().position(|&c| c == class).unwrap()
 }
 
-/// Error aggregation shared by [`evaluate_workload`] and
-/// [`evaluate_workload_attributed`], so the two modes cannot drift.
+/// Error aggregation shared by the plain and attributed paths of
+/// [`evaluate_workload`], so the two modes cannot drift.
 #[derive(Default)]
 struct ErrorAcc {
     rel_sum: f64,
@@ -110,25 +111,121 @@ impl ErrorAcc {
     }
 }
 
-/// Runs every workload query against the synopsis and aggregates errors.
-pub fn evaluate_workload(s: &Synopsis, w: &Workload) -> ErrorReport {
-    evaluate_workload_with(s, w, 1)
+/// Knobs for [`evaluate_workload`]: worker count, whether to compute
+/// error attribution, and whether to record per-query traces into the
+/// global ring buffer.
+///
+/// ```
+/// use xcluster_core::EvalOptions;
+/// let opts = EvalOptions::default().with_threads(4).with_attribution(true);
+/// assert_eq!(opts.threads, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Batch-estimation workers (`0` = available parallelism).
+    /// Defaults to 1.
+    pub threads: usize,
+    /// Join every query's error with the clusters its estimate flowed
+    /// through and rank them ([`AttributionReport`]).
+    pub attribution: bool,
+    /// Record each query's trace into the global ring buffer
+    /// ([`xcluster_obs::trace`]), regardless of the global capture flag.
+    pub capture_traces: bool,
 }
 
-/// [`evaluate_workload`] with estimates computed by the parallel batch
-/// engine across `threads` workers (`0` = available parallelism).
-///
-/// The report is bitwise identical to the sequential one regardless of
-/// `threads`: per-query estimates are bitwise equal
-/// ([`crate::par::estimate_batch_by`]) and the error aggregation runs
-/// sequentially in query order, so no floating-point sum is reordered.
-pub fn evaluate_workload_with(s: &Synopsis, w: &Workload, threads: usize) -> ErrorReport {
-    let estimates = estimate_batch_by(s, &w.queries, threads, |q| &q.query);
-    let mut acc = ErrorAcc::default();
-    for (q, est) in w.queries.iter().zip(estimates) {
-        acc.add(q, est, w.sanity_bound);
+impl Default for EvalOptions {
+    fn default() -> EvalOptions {
+        EvalOptions {
+            threads: 1,
+            attribution: false,
+            capture_traces: false,
+        }
     }
-    acc.report()
+}
+
+impl EvalOptions {
+    /// Sets the worker count (`0` = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> EvalOptions {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables (or disables) error attribution.
+    pub fn with_attribution(mut self, on: bool) -> EvalOptions {
+        self.attribution = on;
+        self
+    }
+
+    /// Enables (or disables) trace capture into the global ring buffer.
+    pub fn with_traces(mut self, on: bool) -> EvalOptions {
+        self.capture_traces = on;
+        self
+    }
+}
+
+/// Result of [`evaluate_workload`]: the error aggregates, plus the
+/// attribution join when [`EvalOptions::attribution`] was set.
+#[derive(Debug, Clone)]
+pub struct WorkloadEval {
+    /// Per-class and overall error aggregates.
+    pub report: ErrorReport,
+    /// The error-attribution join, when requested.
+    pub attribution: Option<AttributionReport>,
+}
+
+/// Runs every workload query against the synopsis and aggregates errors
+/// — the single workload-evaluation entry point (the former
+/// `evaluate_workload_with` / `evaluate_workload_attributed{,_with}`
+/// variants are deprecated shims over this).
+///
+/// Estimates run through an [`Estimator`] session (compiled plans plus
+/// a shared reach/probe cache) across `opts.threads` workers. The
+/// report is bitwise identical regardless of thread count, tracing, or
+/// attribution: per-query estimates are bitwise equal and the error
+/// aggregation runs sequentially in query order, so no floating-point
+/// sum is reordered.
+pub fn evaluate_workload(s: &Synopsis, w: &Workload, opts: &EvalOptions) -> WorkloadEval {
+    let est = Estimator::new(s).with_threads(opts.threads);
+    if opts.attribution || opts.capture_traces {
+        let traced = est.estimate_batch_traced_by(&w.queries, |q| &q.query);
+        if opts.capture_traces {
+            for (_, t) in &traced {
+                trace::record(t.clone());
+            }
+        }
+        if opts.attribution {
+            let (report, attribution) = attribute(s, w, &traced);
+            WorkloadEval {
+                report,
+                attribution: Some(attribution),
+            }
+        } else {
+            let mut acc = ErrorAcc::default();
+            for (q, (e, _)) in w.queries.iter().zip(&traced) {
+                acc.add(q, *e, w.sanity_bound);
+            }
+            WorkloadEval {
+                report: acc.report(),
+                attribution: None,
+            }
+        }
+    } else {
+        let estimates = est.estimate_batch_by(&w.queries, |q| &q.query);
+        let mut acc = ErrorAcc::default();
+        for (q, e) in w.queries.iter().zip(estimates) {
+            acc.add(q, e, w.sanity_bound);
+        }
+        WorkloadEval {
+            report: acc.report(),
+            attribution: None,
+        }
+    }
+}
+
+/// Single-threaded plain evaluation — deprecated shim.
+#[deprecated(note = "use evaluate_workload(s, w, &EvalOptions::default().with_threads(threads))")]
+pub fn evaluate_workload_with(s: &Synopsis, w: &Workload, threads: usize) -> ErrorReport {
+    evaluate_workload(s, w, &EvalOptions::default().with_threads(threads)).report
 }
 
 /// Absolute estimation error charged to one synopsis cluster across a
@@ -223,37 +320,62 @@ impl AttributionReport {
     }
 }
 
-/// Like [`evaluate_workload`], but additionally traces every query and
-/// joins each query's absolute error (against the workload's exact
-/// counts) with the clusters its estimate flowed through — ranking the
-/// clusters, and the value summaries stored there, by contributed error.
+/// Attributed evaluation — deprecated shim.
+#[deprecated(note = "use evaluate_workload(s, w, &EvalOptions::default().with_attribution(true))")]
 pub fn evaluate_workload_attributed(
     s: &Synopsis,
     w: &Workload,
 ) -> (ErrorReport, AttributionReport) {
-    evaluate_workload_attributed_with(s, w, 1)
+    let eval = evaluate_workload(s, w, &EvalOptions::default().with_attribution(true));
+    (
+        eval.report,
+        eval.attribution.expect("attribution requested"),
+    )
 }
 
-/// [`evaluate_workload_attributed`] with the traced estimates computed
-/// by the parallel batch engine across `threads` workers (`0` =
-/// available parallelism). Bitwise identical to sequential: tracing is
-/// pure per query and the attribution join runs in query order.
+/// Attributed evaluation across `threads` workers — deprecated shim.
+#[deprecated(
+    note = "use evaluate_workload(s, w, &EvalOptions::default().with_threads(threads).with_attribution(true))"
+)]
 pub fn evaluate_workload_attributed_with(
     s: &Synopsis,
     w: &Workload,
     threads: usize,
 ) -> (ErrorReport, AttributionReport) {
-    let traced = estimate_batch_traced_by(s, &w.queries, threads, |q| &q.query);
+    let eval = evaluate_workload(
+        s,
+        w,
+        &EvalOptions::default()
+            .with_threads(threads)
+            .with_attribution(true),
+    );
+    (
+        eval.report,
+        eval.attribution.expect("attribution requested"),
+    )
+}
+
+/// The attribution join behind [`evaluate_workload`]: aggregates errors
+/// and joins each query's absolute error (against the workload's exact
+/// counts) with the clusters its estimate flowed through — ranking the
+/// clusters, and the value summaries stored there, by contributed
+/// error. Runs in query order, so the report is bitwise identical to
+/// the plain path.
+fn attribute(
+    s: &Synopsis,
+    w: &Workload,
+    traced: &[(f64, Trace)],
+) -> (ErrorReport, AttributionReport) {
     let mut acc = ErrorAcc::default();
     let mut cluster_err: BTreeMap<SynopsisNodeId, f64> = BTreeMap::new();
     let mut cluster_queries: BTreeMap<SynopsisNodeId, usize> = BTreeMap::new();
     let mut cluster_kinds: BTreeMap<SynopsisNodeId, BTreeSet<String>> = BTreeMap::new();
     let mut unattributed = 0.0;
     let mut records = Vec::with_capacity(w.queries.len());
-    for (q, (est, trace)) in w.queries.iter().zip(traced) {
+    for (q, &(est, ref trace)) in w.queries.iter().zip(traced) {
         acc.add(q, est, w.sanity_bound);
         let abs_error = (q.true_count - est).abs();
-        let (pops, _) = populations_from_trace(&q.query, &trace, s.root());
+        let (pops, _) = populations_from_trace(&q.query, trace, s.root());
         // Structural mass arriving at each embedding target, deduped the
         // same way the flow reconstruction dedupes replayed expansions.
         let mut probed: BTreeSet<SynopsisNodeId> = BTreeSet::new();
@@ -272,7 +394,7 @@ pub fn evaluate_workload_attributed_with(
         }
         let mut arriving: BTreeMap<SynopsisNodeId, f64> = BTreeMap::new();
         let mut seen: HashSet<(usize, SynopsisNodeId, SynopsisNodeId)> = HashSet::new();
-        for step in embed_steps(&trace) {
+        for step in embed_steps(trace) {
             if !seen.insert((step.qnode, step.from, step.target)) {
                 continue;
             }
@@ -387,7 +509,7 @@ mod tests {
             ..WorkloadConfig::default()
         };
         let w = workload::generate_positive(&d.tree, &idx, &cfg);
-        let report = evaluate_workload(&s, &w);
+        let report = evaluate_workload(&s, &w, &EvalOptions::default()).report;
         assert!(
             report.overall_rel < 1e-6,
             "reference must be lossless for structure: {}",
@@ -408,7 +530,7 @@ mod tests {
             ..WorkloadConfig::default()
         };
         let w = workload::generate_negative(&d.tree, &idx, &cfg);
-        let report = evaluate_workload(&s, &w);
+        let report = evaluate_workload(&s, &w, &EvalOptions::default()).report;
         assert!(
             report.avg_estimate < 0.5,
             "negative estimates should be near zero: {}",
@@ -449,7 +571,7 @@ mod tests {
     fn empty_workload_reports_zeroes() {
         let (s, mut w) = tiny_workload(&[], 1.0);
         w.queries.clear();
-        let report = evaluate_workload(&s, &w);
+        let report = evaluate_workload(&s, &w, &EvalOptions::default()).report;
         assert_eq!(report.overall_rel, 0.0);
         assert_eq!(report.avg_estimate, 0.0);
         assert_eq!(report.class_rel, [None, None, None, None]);
@@ -461,7 +583,7 @@ mod tests {
         // //a estimates 3.0 on the reference synopsis. True counts of 6
         // give rel error |6-3|/6 = 0.5 in each populated class.
         let (s, w) = tiny_workload(&[(6.0, QueryClass::Struct), (6.0, QueryClass::Text)], 1.0);
-        let report = evaluate_workload(&s, &w);
+        let report = evaluate_workload(&s, &w, &EvalOptions::default()).report;
         assert_eq!(report.class_rel(QueryClass::Struct), Some(0.5));
         assert_eq!(report.class_rel(QueryClass::Text), Some(0.5));
         assert_eq!(report.class_rel(QueryClass::Numeric), None);
@@ -475,7 +597,7 @@ mod tests {
         // True count 1 vs estimate 3: unbounded rel error would be 2.0;
         // with sanity bound 10 the denominator is capped: 2/10 = 0.2.
         let (s, w) = tiny_workload(&[(1.0, QueryClass::Struct)], 10.0);
-        let report = evaluate_workload(&s, &w);
+        let report = evaluate_workload(&s, &w, &EvalOptions::default()).report;
         assert!((report.overall_rel - 0.2).abs() < 1e-12);
         // The query is low-count (1 <= 10): absolute error 2.0.
         assert_eq!(report.low_count_abs(QueryClass::Struct), Some(2.0));
@@ -486,18 +608,18 @@ mod tests {
         // true_count == sanity_bound must count as low-count (ties are
         // common with integer counts in small workloads).
         let (s, w) = tiny_workload(&[(3.0, QueryClass::Numeric)], 3.0);
-        let report = evaluate_workload(&s, &w);
+        let report = evaluate_workload(&s, &w, &EvalOptions::default()).report;
         assert_eq!(report.low_count_abs(QueryClass::Numeric), Some(0.0));
         // Above the bound: excluded from the low-count aggregate.
         let (s, w) = tiny_workload(&[(4.0, QueryClass::Numeric)], 3.0);
-        let report = evaluate_workload(&s, &w);
+        let report = evaluate_workload(&s, &w, &EvalOptions::default()).report;
         assert_eq!(report.low_count_abs(QueryClass::Numeric), None);
     }
 
     #[test]
     fn zero_true_count_and_zero_bound_do_not_divide_by_zero() {
         let (s, w) = tiny_workload(&[(0.0, QueryClass::String)], 0.0);
-        let report = evaluate_workload(&s, &w);
+        let report = evaluate_workload(&s, &w, &EvalOptions::default()).report;
         assert!(report.overall_rel.is_finite());
         // |0 - 3| / max(0, 0, MIN_POSITIVE) is astronomically large but
         // finite; the low-count absolute error is the estimate itself.

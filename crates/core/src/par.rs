@@ -14,21 +14,23 @@
 //!    to the sequential one, and the synopsis produced by a parallel
 //!    build is byte-identical to `threads = 1` (locked down by
 //!    `tests/parallel.rs`).
-//! 2. **Batch estimation** ([`estimate_batch`]): a twig workload is
-//!    sharded across workers the same way. Each query's estimate touches
-//!    only its own accumulation order, so per-query results are bitwise
-//!    equal to sequential [`crate::estimate::estimate`] calls; each
-//!    worker records its shard's metrics into a private
-//!    [`xcluster_obs::Registry`] that is merged into the global registry
-//!    after the join, so instrumentation stays race-free without
-//!    hot-path synchronization.
+//! 2. **Batch estimation** (`run_shards`, driving
+//!    [`crate::estimate::Estimator`]'s batch entry points): compiled
+//!    plans are sharded across workers the same way. Each query's
+//!    estimate touches only its own accumulation order and the shared
+//!    [`crate::plan::ReachCache`] memoizes only pure functions of the
+//!    synopsis, so per-query results are bitwise equal to sequential
+//!    [`crate::estimate::estimate`] calls; each worker records its
+//!    shard's metrics into a private [`xcluster_obs::Registry`] that is
+//!    merged into the global registry after the join, so instrumentation
+//!    stays race-free without hot-path synchronization.
 //!
 //! The partition axis for the build is the `(label, type)` group (the
 //! merge-compatible classes of the type-respecting partition) — groups
 //! are independent scoring units, exactly the per-label/per-path
 //! independence that path-partitioned systems exploit.
 
-use crate::estimate::{estimate, estimate_traced};
+use crate::estimate::Estimator;
 use crate::synopsis::Synopsis;
 use std::time::Instant;
 use xcluster_obs::trace::Trace;
@@ -124,32 +126,34 @@ where
 /// Estimates every query of a workload shard-parallel across `threads`
 /// workers (`0` = available parallelism), returning the estimates in
 /// query order.
-///
-/// Every returned value is **bitwise equal** to a sequential
-/// [`estimate`] call on the same query — queries are independent and the
-/// shard partition never reorders any floating-point accumulation.
-/// Per-shard metrics (`estimate.batch_queries`, per-query latency in
-/// `estimate.batch_query_ns`) are recorded into per-thread registries
-/// merged into the global one after the join.
+#[deprecated(
+    note = "use xcluster_core::Estimator::new(s).with_threads(threads).estimate_batch(queries)"
+)]
 pub fn estimate_batch(s: &Synopsis, queries: &[TwigQuery], threads: usize) -> Vec<f64> {
-    estimate_batch_by(s, queries, threads, |q| q)
+    Estimator::new(s)
+        .with_threads(threads)
+        .estimate_batch(queries)
 }
 
-/// [`estimate_batch`] over any container of queries, via an accessor —
-/// lets workload evaluation shard `&[WorkloadQuery]` without cloning
-/// every twig.
+/// Batch estimation over any container of queries, via an accessor.
+#[deprecated(
+    note = "use xcluster_core::Estimator::new(s).with_threads(threads).estimate_batch_by(items, get)"
+)]
 pub fn estimate_batch_by<T, G>(s: &Synopsis, items: &[T], threads: usize, get: G) -> Vec<f64>
 where
     T: Sync,
     G: Fn(&T) -> &TwigQuery + Sync,
 {
-    run_batch(s, items, threads, &get, estimate)
+    Estimator::new(s)
+        .with_threads(threads)
+        .estimate_batch_by(items, get)
 }
 
-/// Traced batch estimation: like [`estimate_batch_by`] but each query
-/// additionally returns the trace of its embedding walk (bitwise-equal
-/// estimates — tracing never reorders the floating-point work). Used by
-/// attributed workload evaluation.
+/// Traced batch estimation: each query additionally returns the trace
+/// of its embedding walk.
+#[deprecated(
+    note = "use xcluster_core::Estimator::new(s).with_threads(threads).estimate_batch_traced_by(items, get)"
+)]
 pub fn estimate_batch_traced_by<T, G>(
     s: &Synopsis,
     items: &[T],
@@ -160,23 +164,22 @@ where
     T: Sync,
     G: Fn(&T) -> &TwigQuery + Sync,
 {
-    run_batch(s, items, threads, &get, estimate_traced)
+    Estimator::new(s)
+        .with_threads(threads)
+        .estimate_batch_traced_by(items, get)
 }
 
-/// Shared batch driver: shards `items` into contiguous chunks, runs
-/// `est` per query on scoped workers, concatenates results in item
-/// order, and merges each worker's private registry into the global one.
-fn run_batch<T, G, R>(
-    s: &Synopsis,
-    items: &[T],
-    threads: usize,
-    get: &G,
-    est: impl Fn(&Synopsis, &TwigQuery) -> R + Sync,
-) -> Vec<R>
+/// Shared batch driver behind [`Estimator`]'s batch entry points:
+/// shards `items` into contiguous chunks, runs `est` per item on scoped
+/// workers, concatenates results in item order, and merges each
+/// worker's private registry into the global one. Output is identical to
+/// `items.iter().map(est).collect()` whenever `est` is pure (up to
+/// interior-mutable caches whose entries are pure functions of shared
+/// state — see [`crate::plan::ReachCache`]).
+pub(crate) fn run_shards<T, R>(items: &[T], threads: usize, est: impl Fn(&T) -> R + Sync) -> Vec<R>
 where
     T: Sync,
     R: Send,
-    G: Fn(&T) -> &TwigQuery + Sync,
 {
     let threads = resolve_threads(threads).min(items.len().max(1));
     stats::BATCHES.inc();
@@ -193,10 +196,10 @@ where
         for item in chunk {
             if timed {
                 let t = Instant::now();
-                out.push(est(s, get(item)));
+                out.push(est(item));
                 query_ns.record_duration(t.elapsed());
             } else {
-                out.push(est(s, get(item)));
+                out.push(est(item));
             }
             queries.inc();
         }
@@ -284,9 +287,14 @@ mod tests {
             .iter()
             .map(|q| parse_twig(q, t.terms()).unwrap())
             .collect();
-        let seq: Vec<f64> = queries.iter().map(|q| estimate(&s, q)).collect();
+        let seq: Vec<f64> = queries
+            .iter()
+            .map(|q| crate::estimate::estimate(&s, q))
+            .collect();
         for threads in [1, 2, 4, 8] {
-            let batch = estimate_batch(&s, &queries, threads);
+            let batch = Estimator::new(&s)
+                .with_threads(threads)
+                .estimate_batch(&queries);
             assert_eq!(batch.len(), seq.len());
             for (i, (a, b)) in seq.iter().zip(&batch).enumerate() {
                 assert_eq!(a.to_bits(), b.to_bits(), "query {i} at {threads} threads");
@@ -298,7 +306,26 @@ mod tests {
     fn estimate_batch_empty_workload() {
         let t = parse("<r><a/></r>").unwrap();
         let s = reference_synopsis(&t, &ReferenceConfig::default());
-        assert!(estimate_batch(&s, &[], 4).is_empty());
+        assert!(Estimator::new(&s)
+            .with_threads(4)
+            .estimate_batch(&[])
+            .is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_batch_shims_match_the_session() {
+        let t = parse("<r><a><x>1</x></a><a><x>2</x></a></r>").unwrap();
+        let s = reference_synopsis(&t, &ReferenceConfig::default());
+        let queries: Vec<_> = ["//a", "//a/x", "//*"]
+            .iter()
+            .map(|q| parse_twig(q, t.terms()).unwrap())
+            .collect();
+        let session = Estimator::new(&s).with_threads(2).estimate_batch(&queries);
+        let shim = estimate_batch(&s, &queries, 2);
+        for (a, b) in session.iter().zip(&shim) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]
@@ -309,7 +336,7 @@ mod tests {
             .map(|_| parse_twig("//a", t.terms()).unwrap())
             .collect();
         let before = xcluster_obs::counter("estimate.batch_queries").get();
-        estimate_batch(&s, &queries, 3);
+        Estimator::new(&s).with_threads(3).estimate_batch(&queries);
         let after = xcluster_obs::counter("estimate.batch_queries").get();
         assert_eq!(after - before, 12);
     }

@@ -1,0 +1,843 @@
+//! Compiled query plans and the per-synopsis estimation cache.
+//!
+//! The reference interpreter ([`crate::estimate`]) re-derives everything
+//! per query: label tests are re-matched by string, every `//` step runs
+//! a fresh depth-bounded dynamic program over the synopsis graph, and
+//! identical `(cluster, predicate)` value probes are recomputed across a
+//! batch. This module compiles a [`TwigQuery`] against a [`Synopsis`]
+//! once — interned label ids resolved, axes and predicates pre-lowered,
+//! branch order fixed — into a flat arena [`Plan`], and interprets that
+//! plan with a shared [`ReachCache`].
+//!
+//! **Bitwise contract.** For any query, [`run_plan`] produces an
+//! estimate bitwise-identical to [`crate::estimate::estimate`] on the
+//! same synopsis, and in traced mode an identical span structure (the
+//! PR 3 differential harness in `tests/plan_diff.rs` is the referee).
+//! The cache preserves this because everything it memoizes is a pure
+//! function of the immutable synopsis:
+//!
+//! * The descendant-reach DP's frontier propagation never looks at
+//!   labels, and each target's accumulated weight is an independent f64
+//!   addition chain in ascending depth order — so caching the *full*
+//!   (label-independent) DP per source cluster and filtering the result
+//!   by label afterward yields exactly the values the label-filtered DP
+//!   computes, bit for bit.
+//! * Label tests compare interned [`Symbol`]s; the interner is injective,
+//!   so symbol equality is string equality.
+//! * The value-probe memo stores the probe's `(σ, kind)` pair verbatim,
+//!   so memo hits replay the same counters and trace attributes.
+//!
+//! Cache hit/miss *counters* are the one thing scheduling can perturb:
+//! two shards racing on a cold key both count a miss. The cached values
+//! themselves are identical either way, so estimates stay independent of
+//! thread count.
+//!
+//! **Invalidation.** A `ReachCache` is valid for exactly one synopsis.
+//! Sessions that borrow the synopsis ([`crate::estimate::Estimator`])
+//! get this for free from the borrow checker — the synopsis cannot be
+//! mutated while the session lives. Long-lived holders (the serving
+//! layer keeps one cache per loaded `Arc<Synopsis>`) must build a fresh
+//! cache on every reload; the cache pins the arena length of the first
+//! synopsis it sees and panics if reused across a rebuild.
+
+use crate::estimate::{keep_expanding, stats as estats};
+use crate::synopsis::{Synopsis, SynopsisNodeId};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use xcluster_obs::trace::Trace;
+use xcluster_obs::{SpanTimer, TraceBuilder};
+use xcluster_query::{Axis, LabelTest, NodeKind, TwigQuery};
+use xcluster_summaries::{ValuePredicate, ValueSummary};
+use xcluster_xml::{Symbol, TermId, ValueType};
+
+/// Registry handles for the plan-path instrumentation (`estimate.plan_*`):
+/// compilations, plan executions, and cache hit/miss totals. Like the
+/// interpreter's `estimate.*` handles these are striped atomics, safe to
+/// bump from any shard thread.
+pub(crate) mod stats {
+    use std::sync::{Arc, LazyLock};
+    use xcluster_obs::{counter, Counter};
+
+    pub static PLAN_COMPILES: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| counter("estimate.plan_compiles"));
+    pub static PLAN_RUNS: LazyLock<Arc<Counter>> = LazyLock::new(|| counter("estimate.plan_runs"));
+    pub static PLAN_REACH_HITS: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| counter("estimate.plan_reach_hits"));
+    pub static PLAN_REACH_MISSES: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| counter("estimate.plan_reach_misses"));
+    pub static PLAN_PROBE_HITS: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| counter("estimate.plan_probe_hits"));
+    pub static PLAN_PROBE_MISSES: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| counter("estimate.plan_probe_misses"));
+}
+
+/// A label test resolved against one synopsis's interner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanLabel {
+    /// `*` — matches every cluster.
+    Wildcard,
+    /// A tag resolved to its interned symbol; matching is one integer
+    /// comparison instead of a string compare per candidate.
+    Sym(Symbol),
+    /// The queried tag occurs nowhere in the synopsis: the step cannot
+    /// match any cluster, so no reach DP is ever needed.
+    Absent,
+}
+
+/// The value-type class a predicate can apply to, pre-lowered from the
+/// predicate shape so the runtime type gate is a two-enum match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredClass {
+    /// Range predicates over `NUMERIC` content.
+    Numeric,
+    /// Substring predicates over `STRING` content.
+    String,
+    /// Keyword / similarity predicates over `TEXT` content.
+    Text,
+}
+
+impl PredClass {
+    fn of(pred: &ValuePredicate) -> PredClass {
+        match pred {
+            ValuePredicate::Range { .. } => PredClass::Numeric,
+            ValuePredicate::Contains { .. } => PredClass::String,
+            ValuePredicate::FtContains { .. } | ValuePredicate::SimilarTo { .. } => PredClass::Text,
+        }
+    }
+
+    /// The same pairs [`crate::estimate`]'s `type_ok` accepts.
+    fn matches(self, vtype: ValueType) -> bool {
+        matches!(
+            (self, vtype),
+            (PredClass::Numeric, ValueType::Numeric)
+                | (PredClass::String, ValueType::String)
+                | (PredClass::Text, ValueType::Text)
+        )
+    }
+}
+
+/// A pre-lowered value predicate: the predicate plus its type class.
+#[derive(Debug, Clone)]
+pub struct PlanPredicate {
+    /// The predicate as parsed.
+    pub pred: ValuePredicate,
+    /// Its pre-computed type class.
+    pub class: PredClass,
+}
+
+/// One node of a compiled plan. Plan node ids coincide with the query
+/// node ids of the [`TwigQuery`] the plan was compiled from, so traces
+/// emitted by the plan interpreter carry the same `qnode` attributes the
+/// reference interpreter emits (attribution and `explain` rely on this).
+#[derive(Debug, Clone)]
+pub struct PlanNode {
+    /// Axis connecting this node to its parent.
+    pub axis: Axis,
+    /// Resolved label test.
+    pub label: PlanLabel,
+    /// Variable (binding) or existential filter.
+    pub kind: NodeKind,
+    /// Pre-lowered value predicate, if any.
+    pub predicate: Option<PlanPredicate>,
+    /// Child plan-node ids, in the query's fixed branch order.
+    pub children: Vec<usize>,
+}
+
+/// A twig query compiled against one synopsis: a flat arena of
+/// [`PlanNode`]s (index = query node id, root at 0) plus the query's
+/// display form for traces.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    nodes: Vec<PlanNode>,
+    display: String,
+}
+
+impl Plan {
+    /// The root plan node id (never matched itself; only its children
+    /// are expanded).
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: usize) -> &PlanNode {
+        &self.nodes[id]
+    }
+
+    /// Number of plan nodes (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the plan has no nodes (never true for compiled plans).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The source query rendered in twig syntax.
+    pub fn display(&self) -> &str {
+        &self.display
+    }
+}
+
+/// Compiles `query` against `s`: resolves every label test through the
+/// synopsis interner, pre-lowers predicates to their type class, and
+/// freezes the branch order into a flat arena.
+pub fn compile(s: &Synopsis, query: &TwigQuery) -> Plan {
+    debug_assert!(query.filters_are_existential());
+    stats::PLAN_COMPILES.inc();
+    let nodes = (0..query.len())
+        .map(|id| {
+            let qn = query.node(id);
+            PlanNode {
+                axis: qn.axis,
+                label: match &qn.label {
+                    LabelTest::Wildcard => PlanLabel::Wildcard,
+                    LabelTest::Tag(t) => match s.labels().get(t) {
+                        Some(sym) => PlanLabel::Sym(sym),
+                        None => PlanLabel::Absent,
+                    },
+                },
+                kind: qn.kind,
+                predicate: qn.predicate.as_ref().map(|p| PlanPredicate {
+                    pred: p.clone(),
+                    class: PredClass::of(p),
+                }),
+                children: qn.children.clone(),
+            }
+        })
+        .collect();
+    Plan {
+        nodes,
+        display: query.to_string(),
+    }
+}
+
+/// Soft cap on memoized value probes: past this many entries new probes
+/// are computed but not inserted (no eviction — workload predicate sets
+/// are small and repetitive; the cap only bounds adversarial churn).
+const PROBE_MEMO_CAP: usize = 8192;
+
+type ReachVec = Vec<(SynopsisNodeId, f64)>;
+
+/// Per-cluster slice of the value-probe memo: predicate → `(σ, kind)`.
+type ProbeMemo = HashMap<ValuePredicate, (f64, &'static str)>;
+
+/// Shared, read-only-in-effect estimation cache for one synopsis.
+///
+/// Memoizes (1) the descendant-reachability DP per
+/// `(source cluster, label)` — backed by a per-source *full* DP so each
+/// source's propagation runs at most once — and (2) a bounded value-probe
+/// memo keyed by `(cluster, predicate)`. All entries are pure functions
+/// of the synopsis, so concurrent shards may race to fill a key without
+/// affecting any estimate; see the module docs for the bitwise argument
+/// and the invalidation rules.
+#[derive(Debug, Default)]
+pub struct ReachCache {
+    /// Full (label-independent) descendant DP result per source cluster.
+    full: RwLock<HashMap<SynopsisNodeId, Arc<ReachVec>>>,
+    /// Label-filtered views of the full DP, keyed `(source, label)`.
+    filtered: RwLock<HashMap<(SynopsisNodeId, PlanLabel), Arc<ReachVec>>>,
+    /// Value-probe memo: cluster → predicate → `(σ, kind)`.
+    probes: RwLock<HashMap<SynopsisNodeId, ProbeMemo>>,
+    probe_len: AtomicUsize,
+    reach_hits: AtomicU64,
+    reach_misses: AtomicU64,
+    probe_hits: AtomicU64,
+    probe_misses: AtomicU64,
+    /// Arena length of the first synopsis this cache was used with —
+    /// a cheap guard against reuse across a rebuild.
+    arena_len: OnceLock<usize>,
+}
+
+/// Point-in-time [`ReachCache`] occupancy and hit/miss totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReachCacheStats {
+    /// Reachability lookups served from the cache.
+    pub reach_hits: u64,
+    /// Reachability lookups that ran (or waited on) the DP.
+    pub reach_misses: u64,
+    /// Value probes served from the memo.
+    pub probe_hits: u64,
+    /// Value probes that hit the summary.
+    pub probe_misses: u64,
+    /// Cached full-DP entries (one per distinct `//` source cluster).
+    pub full_entries: usize,
+    /// Cached label-filtered reach views.
+    pub reach_entries: usize,
+    /// Memoized value probes.
+    pub probe_entries: usize,
+}
+
+impl ReachCacheStats {
+    fn rate(hits: u64, misses: u64) -> f64 {
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of reachability lookups served from the cache.
+    pub fn reach_hit_rate(&self) -> f64 {
+        Self::rate(self.reach_hits, self.reach_misses)
+    }
+
+    /// Fraction of value probes served from the memo.
+    pub fn probe_hit_rate(&self) -> f64 {
+        Self::rate(self.probe_hits, self.probe_misses)
+    }
+}
+
+impl ReachCache {
+    /// An empty cache, valid for whichever synopsis it is first used
+    /// with.
+    pub fn new() -> ReachCache {
+        ReachCache::default()
+    }
+
+    fn check_synopsis(&self, s: &Synopsis) {
+        let bound = *self.arena_len.get_or_init(|| s.arena_len());
+        assert_eq!(
+            bound,
+            s.arena_len(),
+            "ReachCache reused across a rebuilt synopsis; create a fresh cache per synopsis"
+        );
+    }
+
+    /// The memoized descendant-axis reach of `from` under `label`:
+    /// expected elements per source element of every matching cluster,
+    /// in ascending cluster-id order — bitwise-identical to the
+    /// interpreter's label-filtered DP (see module docs).
+    pub fn descendant_reach(
+        &self,
+        s: &Synopsis,
+        from: SynopsisNodeId,
+        label: PlanLabel,
+    ) -> Arc<ReachVec> {
+        self.check_synopsis(s);
+        let key = (from, label);
+        if let Some(hit) = self.filtered.read().unwrap().get(&key) {
+            self.reach_hits.fetch_add(1, Ordering::Relaxed);
+            stats::PLAN_REACH_HITS.inc();
+            return Arc::clone(hit);
+        }
+        self.reach_misses.fetch_add(1, Ordering::Relaxed);
+        stats::PLAN_REACH_MISSES.inc();
+        let full = self.full_reach(s, from);
+        let view: Arc<ReachVec> = match label {
+            PlanLabel::Wildcard => full,
+            PlanLabel::Sym(sym) => Arc::new(
+                full.iter()
+                    .filter(|&&(t, _)| s.node(t).label == sym)
+                    .copied()
+                    .collect(),
+            ),
+            PlanLabel::Absent => Arc::new(Vec::new()),
+        };
+        let mut w = self.filtered.write().unwrap();
+        Arc::clone(w.entry(key).or_insert(view))
+    }
+
+    /// The full (label-independent) DP for one source cluster. Races on
+    /// a cold key recompute the same bits; the first insert wins.
+    fn full_reach(&self, s: &Synopsis, from: SynopsisNodeId) -> Arc<ReachVec> {
+        if let Some(hit) = self.full.read().unwrap().get(&from) {
+            return Arc::clone(hit);
+        }
+        // Depth-bounded DP mirroring the interpreter's with the label
+        // filter dropped: frontier[n] = expected elements of cluster n
+        // at the current depth per source element. Propagation never
+        // consults labels and each target accumulates an independent f64
+        // addition chain in ascending depth order, so filtering this
+        // result afterward equals filtering inside the DP, bit for bit.
+        let mut reach: BTreeMap<SynopsisNodeId, f64> = BTreeMap::new();
+        let mut frontier: BTreeMap<SynopsisNodeId, f64> = BTreeMap::new();
+        frontier.insert(from, 1.0);
+        for _ in 0..s.max_depth() {
+            let mut next: BTreeMap<SynopsisNodeId, f64> = BTreeMap::new();
+            for (&n, &w) in &frontier {
+                for &(t, c) in &s.node(n).children {
+                    *next.entry(t).or_insert(0.0) += w * c;
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            for (&t, &w) in &next {
+                *reach.entry(t).or_insert(0.0) += w;
+            }
+            frontier = next;
+        }
+        let computed: Arc<ReachVec> = Arc::new(reach.into_iter().collect());
+        let mut w = self.full.write().unwrap();
+        Arc::clone(w.entry(from).or_insert(computed))
+    }
+
+    /// Memoized value-summary probe at a cluster: returns `(σ, kind)`
+    /// exactly as the interpreter computes them, so hits replay the same
+    /// `estimate.vprobe_*` counter bumps and trace attributes. Only real
+    /// summary probes are memoized — type mismatches and unsummarized
+    /// clusters cost nothing to recompute.
+    fn probe(
+        &self,
+        s: &Synopsis,
+        target: SynopsisNodeId,
+        pred: &ValuePredicate,
+        vs: &ValueSummary,
+    ) -> (f64, &'static str) {
+        self.check_synopsis(s);
+        {
+            let r = self.probes.read().unwrap();
+            if let Some(&hit) = r.get(&target).and_then(|m| m.get(pred)) {
+                self.probe_hits.fetch_add(1, Ordering::Relaxed);
+                stats::PLAN_PROBE_HITS.inc();
+                return hit;
+            }
+        }
+        self.probe_misses.fetch_add(1, Ordering::Relaxed);
+        stats::PLAN_PROBE_MISSES.inc();
+        let kind = match vs {
+            ValueSummary::Numeric(_) => "histogram",
+            ValueSummary::NumericWavelet(_) => "wavelet",
+            ValueSummary::NumericSample(_) => "sample",
+            ValueSummary::String(_) => "pst",
+            ValueSummary::Text(_) => "term",
+        };
+        let sigma = vs.selectivity(pred);
+        if self.probe_len.load(Ordering::Relaxed) < PROBE_MEMO_CAP {
+            let mut w = self.probes.write().unwrap();
+            if w.entry(target)
+                .or_default()
+                .insert(pred.clone(), (sigma, kind))
+                .is_none()
+            {
+                self.probe_len.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        (sigma, kind)
+    }
+
+    /// Occupancy and hit/miss totals. Counters are `Relaxed` reads —
+    /// exact once concurrent shards have joined.
+    pub fn stats(&self) -> ReachCacheStats {
+        ReachCacheStats {
+            reach_hits: self.reach_hits.load(Ordering::Relaxed),
+            reach_misses: self.reach_misses.load(Ordering::Relaxed),
+            probe_hits: self.probe_hits.load(Ordering::Relaxed),
+            probe_misses: self.probe_misses.load(Ordering::Relaxed),
+            full_entries: self.full.read().unwrap().len(),
+            reach_entries: self.filtered.read().unwrap().len(),
+            probe_entries: self.probe_len.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Attributed resident heap bytes, following the
+    /// [`crate::footprint`] conventions: allocated capacities (slack is
+    /// real memory), one control byte per hash-table slot, no malloc
+    /// headers. Wildcard reach views share the full DP's allocation and
+    /// are counted once.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let full = self.full.read().unwrap();
+        let filtered = self.filtered.read().unwrap();
+        let probes = self.probes.read().unwrap();
+        let vec_bytes = |v: &ReachVec| {
+            size_of::<ReachVec>() + v.capacity() * size_of::<(SynopsisNodeId, f64)>()
+        };
+        let mut bytes = 0;
+        bytes += full.capacity() * (size_of::<(SynopsisNodeId, Arc<ReachVec>)>() + 1);
+        bytes += full.values().map(|v| vec_bytes(v)).sum::<usize>();
+        bytes +=
+            filtered.capacity() * (size_of::<((SynopsisNodeId, PlanLabel), Arc<ReachVec>)>() + 1);
+        bytes += filtered
+            .iter()
+            .filter(|((_, label), _)| !matches!(label, PlanLabel::Wildcard))
+            .map(|(_, v)| vec_bytes(v))
+            .sum::<usize>();
+        bytes += probes.capacity()
+            * (size_of::<(SynopsisNodeId, HashMap<ValuePredicate, (f64, &'static str)>)>() + 1);
+        for m in probes.values() {
+            bytes += m.capacity() * (size_of::<(ValuePredicate, (f64, &'static str))>() + 1);
+            bytes += m.keys().map(pred_heap_bytes).sum::<usize>();
+        }
+        bytes
+    }
+}
+
+fn pred_heap_bytes(p: &ValuePredicate) -> usize {
+    match p {
+        ValuePredicate::Range { .. } => 0,
+        ValuePredicate::Contains { needle } => needle.capacity(),
+        ValuePredicate::FtContains { terms } | ValuePredicate::SimilarTo { terms, .. } => {
+            terms.capacity() * std::mem::size_of::<TermId>()
+        }
+    }
+}
+
+/// Executes a compiled plan. The estimate — and, when `traced`, the
+/// whole span structure — is bitwise-identical to
+/// [`crate::estimate::estimate`] / [`crate::estimate::estimate_traced`]
+/// on the query the plan was compiled from.
+pub(crate) fn run_plan(
+    s: &Synopsis,
+    plan: &Plan,
+    cache: &ReachCache,
+    traced: bool,
+) -> (f64, Option<Trace>) {
+    estats::QUERIES.inc();
+    stats::PLAN_RUNS.inc();
+    let _span = SpanTimer::new("estimate.query", &estats::QUERY_NS);
+    let tb = traced.then(|| {
+        let mut tb = TraceBuilder::new("estimate.query");
+        tb.attr_str(tb.root(), "query", plan.display());
+        tb
+    });
+    let mut walk = PlanWalk { s, plan, cache, tb };
+    let mut product = 1.0;
+    for &c in &plan.node(plan.root()).children {
+        product *= walk.child_factor(c, s.root());
+        if !keep_expanding(product, walk.tb.is_some()) {
+            break;
+        }
+    }
+    let trace = walk.tb.take().map(|mut tb| {
+        tb.attr_f64(tb.root(), "result", product);
+        tb.finish()
+    });
+    (product, trace)
+}
+
+/// Reach result: either an inline child-axis filter or a shared cached
+/// descendant DP view.
+enum Reached {
+    Inline(ReachVec),
+    Cached(Arc<ReachVec>),
+}
+
+impl std::ops::Deref for Reached {
+    type Target = [(SynopsisNodeId, f64)];
+
+    fn deref(&self) -> &Self::Target {
+        match self {
+            Reached::Inline(v) => v,
+            Reached::Cached(v) => v,
+        }
+    }
+}
+
+/// The plan-interpreter walk state — the compiled mirror of
+/// `estimate::Walker`, kept structurally parallel so the differential
+/// referee stays easy to audit.
+struct PlanWalk<'a> {
+    s: &'a Synopsis,
+    plan: &'a Plan,
+    cache: &'a ReachCache,
+    tb: Option<TraceBuilder>,
+}
+
+impl PlanWalk<'_> {
+    fn child_factor(&mut self, q: usize, sn: SynopsisNodeId) -> f64 {
+        let plan = self.plan;
+        let pnode = plan.node(q);
+        let reached = self.reach(sn, pnode.axis, pnode.label);
+        estats::CLUSTERS_VISITED.add(reached.len() as u64);
+        let step = self.tb.as_mut().map(|tb| {
+            let id = tb.start("estimate.step");
+            tb.attr_u64(id, "qnode", q as u64);
+            tb.attr_str(
+                id,
+                "kind",
+                match pnode.kind {
+                    NodeKind::Variable => "variable",
+                    NodeKind::Filter => "filter",
+                },
+            );
+            tb.attr_str(
+                id,
+                "axis",
+                match pnode.axis {
+                    Axis::Child => "child",
+                    Axis::Descendant => "descendant",
+                },
+            );
+            tb.attr_u64(id, "from", sn as u64);
+            tb.attr_u64(id, "targets", reached.len() as u64);
+            id
+        });
+        let factor = match pnode.kind {
+            NodeKind::Variable => {
+                let mut sum = 0.0;
+                for &(target, expected) in reached.iter() {
+                    let embed = self.start_embed(q, sn, target, expected);
+                    let sigma = self.predicate_selectivity(q, target);
+                    if let (Some(tb), Some(id)) = (self.tb.as_mut(), embed) {
+                        tb.attr_f64(id, "sigma", sigma);
+                    }
+                    if sigma == 0.0 {
+                        self.end_embed(embed, 0.0);
+                        continue;
+                    }
+                    let mut sub = expected * sigma;
+                    for &c in &pnode.children {
+                        sub *= self.child_factor(c, target);
+                        if !keep_expanding(sub, self.tb.is_some()) {
+                            break;
+                        }
+                    }
+                    self.end_embed(embed, sub);
+                    sum += sub;
+                }
+                sum
+            }
+            NodeKind::Filter => {
+                let mut expected_matches = 0.0;
+                for &(target, expected) in reached.iter() {
+                    let embed = self.start_embed(q, sn, target, expected);
+                    let mut sat = self.predicate_selectivity(q, target);
+                    if let (Some(tb), Some(id)) = (self.tb.as_mut(), embed) {
+                        tb.attr_f64(id, "sigma", sat);
+                    }
+                    for &c in &pnode.children {
+                        if !keep_expanding(sat, self.tb.is_some()) {
+                            break;
+                        }
+                        sat *= self.child_factor(c, target).min(1.0);
+                    }
+                    self.end_embed(embed, expected * sat);
+                    expected_matches += expected * sat;
+                }
+                expected_matches.min(1.0)
+            }
+        };
+        if let (Some(tb), Some(id)) = (self.tb.as_mut(), step) {
+            tb.attr_f64(id, "factor", factor);
+            tb.end(id);
+        }
+        factor
+    }
+
+    fn start_embed(
+        &mut self,
+        q: usize,
+        from: SynopsisNodeId,
+        target: SynopsisNodeId,
+        expected: f64,
+    ) -> Option<usize> {
+        self.tb.as_ref()?;
+        let label = self.s.label_str(target).to_string();
+        let tb = self.tb.as_mut().expect("checked above");
+        let id = tb.start("estimate.embed");
+        tb.attr_u64(id, "qnode", q as u64);
+        tb.attr_u64(id, "from", from as u64);
+        tb.attr_u64(id, "cluster", target as u64);
+        tb.attr_str(id, "label", label);
+        tb.attr_f64(id, "expected", expected);
+        Some(id)
+    }
+
+    fn end_embed(&mut self, embed: Option<usize>, contribution: f64) {
+        if let (Some(tb), Some(id)) = (self.tb.as_mut(), embed) {
+            tb.attr_f64(id, "contribution", contribution);
+            tb.end(id);
+        }
+    }
+
+    fn reach(&self, from: SynopsisNodeId, axis: Axis, label: PlanLabel) -> Reached {
+        match axis {
+            Axis::Child => Reached::Inline(
+                self.s
+                    .node(from)
+                    .children
+                    .iter()
+                    .filter(|&&(t, _)| label_matches(self.s, label, t))
+                    .map(|&(t, c)| (t, c))
+                    .collect(),
+            ),
+            Axis::Descendant => match label {
+                PlanLabel::Absent => Reached::Inline(Vec::new()),
+                _ => Reached::Cached(self.cache.descendant_reach(self.s, from, label)),
+            },
+        }
+    }
+
+    fn predicate_selectivity(&mut self, q: usize, target: SynopsisNodeId) -> f64 {
+        let plan = self.plan;
+        let Some(pp) = &plan.node(q).predicate else {
+            return 1.0;
+        };
+        let node = self.s.node(target);
+        let (kind, sigma) = if !pp.class.matches(node.vtype) {
+            ("type_mismatch", 0.0)
+        } else {
+            match &node.vsumm {
+                Some(vs) => {
+                    let (sigma, kind) = self.cache.probe(self.s, target, &pp.pred, vs);
+                    // Replay the interpreter's per-kind probe counters —
+                    // identically on memo hits and misses.
+                    match kind {
+                        "histogram" | "wavelet" | "sample" => estats::VPROBE_HISTOGRAM.inc(),
+                        "pst" => estats::VPROBE_PST.inc(),
+                        "term" => estats::VPROBE_TERM.inc(),
+                        _ => {}
+                    }
+                    (kind, sigma)
+                }
+                None => ("unsummarized", 1.0),
+            }
+        };
+        if let Some(tb) = self.tb.as_mut() {
+            let id = tb.start("estimate.vprobe");
+            tb.attr_u64(id, "cluster", target as u64);
+            tb.attr_str(id, "kind", kind);
+            tb.attr_f64(id, "sigma", sigma);
+            tb.end(id);
+        }
+        sigma
+    }
+}
+
+fn label_matches(s: &Synopsis, label: PlanLabel, node: SynopsisNodeId) -> bool {
+    match label {
+        PlanLabel::Wildcard => true,
+        PlanLabel::Sym(sym) => s.node(node).label == sym,
+        PlanLabel::Absent => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::{estimate, estimate_traced, Estimator};
+    use crate::reference::{reference_synopsis, ReferenceConfig};
+    use xcluster_query::parse_twig;
+    use xcluster_xml::parse;
+
+    fn sample() -> (xcluster_xml::XmlTree, Synopsis) {
+        let t = parse(
+            "<r><a><x>1</x><t>alpha beta</t></a><a><x>2</x><x>3</x></a>\
+             <b><x>4</x><n>alpha</n></b></r>",
+        )
+        .unwrap();
+        let s = reference_synopsis(&t, &ReferenceConfig::default());
+        (t, s)
+    }
+
+    #[test]
+    fn compile_resolves_labels_and_predicates() {
+        let (t, s) = sample();
+        let q = parse_twig("//a[x > 1]/x", t.terms()).unwrap();
+        let p = compile(&s, &q);
+        assert_eq!(p.len(), q.len());
+        assert_eq!(p.display(), q.to_string());
+        // Node 1 (//a) resolves to an interned symbol; the filter node
+        // carries the lowered numeric predicate.
+        let a = p.node(1);
+        assert!(matches!(a.label, PlanLabel::Sym(_)));
+        let pp = (0..p.len())
+            .find_map(|i| p.node(i).predicate.as_ref())
+            .expect("the filter carries a predicate");
+        assert_eq!(pp.class, PredClass::Numeric);
+        // Absent tags compile to PlanLabel::Absent, not a dead symbol.
+        let q = parse_twig("//zzz", t.terms()).unwrap();
+        let p = compile(&s, &q);
+        assert!(matches!(p.node(1).label, PlanLabel::Absent));
+    }
+
+    #[test]
+    fn plan_run_matches_interpreter_bitwise() {
+        let (t, s) = sample();
+        let cache = ReachCache::new();
+        for qs in [
+            "//a",
+            "//x",
+            "/a/x",
+            "//b/x",
+            "//*",
+            "//a{/x}{/x}",
+            "//zzz",
+            "//a[x>1]",
+            "//t[ftcontains(alpha)]",
+            "//n[contains(alp)]",
+            "/a//x",
+        ] {
+            let q = parse_twig(qs, t.terms()).unwrap();
+            let p = compile(&s, &q);
+            let reference = estimate(&s, &q);
+            // Cold, then warm: both bitwise-equal to the interpreter.
+            for pass in 0..2 {
+                let (got, _) = run_plan(&s, &p, &cache, false);
+                assert_eq!(
+                    got.to_bits(),
+                    reference.to_bits(),
+                    "{qs} (pass {pass}): {got} vs {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traced_plan_run_matches_interpreter_spans() {
+        let (t, s) = sample();
+        let cache = ReachCache::new();
+        let q = parse_twig("//a[x>1]/x", t.terms()).unwrap();
+        let p = compile(&s, &q);
+        let (ref_est, ref_trace) = estimate_traced(&s, &q);
+        for _ in 0..2 {
+            let (est, trace) = run_plan(&s, &p, &cache, true);
+            let trace = trace.unwrap();
+            assert_eq!(est.to_bits(), ref_est.to_bits());
+            assert_eq!(trace.spans().len(), ref_trace.spans().len());
+            for (a, b) in ref_trace.spans().iter().zip(trace.spans()) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.attrs, b.attrs);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_reports_hits_and_footprint() {
+        let (t, s) = sample();
+        let cache = ReachCache::new();
+        let q = parse_twig("//a//x", t.terms()).unwrap();
+        let p = compile(&s, &q);
+        run_plan(&s, &p, &cache, false);
+        let cold = cache.stats();
+        assert!(cold.reach_misses > 0);
+        assert!(cold.full_entries > 0);
+        run_plan(&s, &p, &cache, false);
+        let warm = cache.stats();
+        assert!(warm.reach_hits > cold.reach_hits, "{warm:?}");
+        assert_eq!(warm.reach_misses, cold.reach_misses);
+        assert!(warm.reach_hit_rate() > 0.0);
+        assert!(cache.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn probe_memo_hits_on_repeated_predicates() {
+        let (t, s) = sample();
+        let est = Estimator::new(&s);
+        let q = parse_twig("//a[x>1]", t.terms()).unwrap();
+        let a = est.estimate(&q);
+        let b = est.estimate(&q);
+        assert_eq!(a.to_bits(), b.to_bits());
+        let stats = est.cache().stats();
+        assert!(stats.probe_hits > 0, "{stats:?}");
+        assert!(stats.probe_entries > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh cache per synopsis")]
+    fn cache_rejects_a_different_synopsis() {
+        let (t, s) = sample();
+        let other = reference_synopsis(&parse("<r><a/></r>").unwrap(), &ReferenceConfig::default());
+        let cache = ReachCache::new();
+        let q = parse_twig("//a//x", t.terms()).unwrap();
+        let p = compile(&s, &q);
+        run_plan(&s, &p, &cache, false);
+        let p2 = compile(&other, &q);
+        run_plan(&other, &p2, &cache, false);
+    }
+}

@@ -1,16 +1,16 @@
 //! Seeded load generation against a running server: samples query
 //! strings with the workspace PRNG, POSTs them in batches at a target
 //! rate, tracks latency in a [`SlidingWindow`], and optionally verifies
-//! every response bitwise against an in-process `estimate_batch` on the
-//! same synopsis.
+//! every response bitwise against an in-process single-threaded
+//! [`xcluster_core::Estimator`] run on the same synopsis.
 
 use crate::client;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io;
 use std::time::{Duration, Instant};
-use xcluster_core::par::estimate_batch;
 use xcluster_core::synopsis::Synopsis;
+use xcluster_core::Estimator;
 use xcluster_obs::export::esc;
 use xcluster_obs::json::{self, JsonValue};
 use xcluster_obs::{SlidingWindow, WindowConfig, WindowSnapshot};
@@ -32,8 +32,8 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Candidate query strings, sampled uniformly with replacement.
     pub queries: Vec<String>,
-    /// When set, every response is compared bitwise against
-    /// `estimate_batch` on this synopsis.
+    /// When set, every response is compared bitwise against an
+    /// in-process estimation session on this synopsis.
     pub verify: Option<Synopsis>,
     /// Send `POST /shutdown` when done.
     pub shutdown: bool,
@@ -189,7 +189,7 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
                     let got = parse_estimates(&r.body).unwrap_or_default();
                     let subset: Vec<xcluster_query::TwigQuery> =
                         picks.iter().map(|&i| twigs[i].clone()).collect();
-                    let want = estimate_batch(cfg.verify.as_ref().unwrap(), &subset, 1);
+                    let want = Estimator::new(cfg.verify.as_ref().unwrap()).estimate_batch(&subset);
                     if got.len() != want.len() {
                         report.mismatches += n;
                     } else {

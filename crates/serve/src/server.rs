@@ -14,11 +14,15 @@
 //! | GET    | `/synopsis/stats` | synopsis + memory-footprint JSON          |
 //! | POST   | `/shutdown`       | graceful stop (drains, then exits)        |
 //!
-//! Estimates are produced by `estimate_batch`, so a server response is
-//! bitwise-identical to an in-process call on the same queries at any
-//! thread count; `f64` values survive the HTTP round trip exactly
-//! because Rust's `Display` prints the shortest representation that
-//! parses back to the same bits.
+//! Estimates are produced by a compiled-plan [`Estimator`] session, so
+//! a server response is bitwise-identical to an in-process call on the
+//! same queries at any thread count; `f64` values survive the HTTP
+//! round trip exactly because Rust's `Display` prints the shortest
+//! representation that parses back to the same bits. Each `/estimate`
+//! batch compiles its queries once and shares the per-synopsis
+//! [`ReachCache`] across requests, so repeated label reachability and
+//! value probes are answered from the cache; the cache is replaced
+//! (never retained) when a new synopsis is installed.
 
 use crate::http::{read_request, write_response, ReadError, Request, Response};
 use std::io::BufReader;
@@ -28,8 +32,9 @@ use std::sync::mpsc;
 use std::sync::{Arc, LazyLock, Mutex, RwLock};
 use std::time::{Duration, Instant};
 use xcluster_core::footprint::MemoryFootprint;
-use xcluster_core::par::{estimate_batch, resolve_threads};
+use xcluster_core::par::resolve_threads;
 use xcluster_core::synopsis::Synopsis;
+use xcluster_core::{Estimator, ReachCache};
 use xcluster_obs::export::esc;
 use xcluster_obs::json::{self, JsonValue};
 use xcluster_obs::{expose, Counter, Histogram, SlidingWindow, WindowConfig};
@@ -69,6 +74,10 @@ impl Default for ServerConfig {
 struct Loaded {
     synopsis: Arc<Synopsis>,
     footprint: MemoryFootprint,
+    /// Reachability/probe cache shared by every `/estimate` batch
+    /// against this synopsis. Replaced wholesale on reload — cached
+    /// entries are pure functions of the synopsis they were built from.
+    cache: Arc<ReachCache>,
 }
 
 /// Shared server state: the loaded synopsis, readiness/shutdown flags,
@@ -169,7 +178,9 @@ impl Server {
         *self.state.loaded.write().unwrap() = Some(Loaded {
             synopsis: Arc::new(synopsis),
             footprint,
+            cache: Arc::new(ReachCache::new()),
         });
+        xcluster_obs::gauge("footprint.reach_cache_bytes").set(0);
         self.state.ready.store(true, Ordering::Release);
         xcluster_obs::gauge("serve.ready").set(1);
     }
@@ -308,11 +319,15 @@ fn stats_response(state: &ServerState) -> Response {
             k.count, k.heap_bytes, k.model_bytes
         ));
     }
+    let cstats = loaded.cache.stats();
     let body = format!(
         "{{\"nodes\":{},\"edges\":{},\"value_nodes\":{},\"arena_nodes\":{},\"max_depth\":{},\
          \"model\":{{\"structural_bytes\":{},\"value_bytes\":{},\"total_bytes\":{}}},\
          \"footprint\":{{\"total_bytes\":{},\"cluster_bytes\":{},\"edge_bytes\":{},\
-         \"interner_bytes\":{},\"summary_bytes\":{},\"summaries\":{{{kinds}}}}}}}",
+         \"interner_bytes\":{},\"summary_bytes\":{},\"summaries\":{{{kinds}}}}},\
+         \"reach_cache\":{{\"heap_bytes\":{},\"full_entries\":{},\"reach_entries\":{},\
+         \"probe_entries\":{},\"reach_hits\":{},\"reach_misses\":{},\"probe_hits\":{},\
+         \"probe_misses\":{}}}}}",
         s.num_nodes(),
         s.num_edges(),
         s.num_value_nodes(),
@@ -326,15 +341,23 @@ fn stats_response(state: &ServerState) -> Response {
         fp.edge_bytes,
         fp.interner_bytes,
         fp.summary_bytes(),
+        loaded.cache.heap_bytes(),
+        cstats.full_entries,
+        cstats.reach_entries,
+        cstats.probe_entries,
+        cstats.reach_hits,
+        cstats.reach_misses,
+        cstats.probe_hits,
+        cstats.probe_misses,
     );
     Response::json(200, body)
 }
 
 fn estimate_response(state: &ServerState, req: &Request) -> Response {
-    let synopsis = {
+    let (synopsis, cache) = {
         let guard = state.loaded.read().unwrap();
         match guard.as_ref() {
-            Some(l) => Arc::clone(&l.synopsis),
+            Some(l) => (Arc::clone(&l.synopsis), Arc::clone(&l.cache)),
             None => return Response::json(503, "{\"error\":\"synopsis not loaded\"}"),
         }
     };
@@ -368,12 +391,18 @@ fn estimate_response(state: &ServerState, req: &Request) -> Response {
         }
     }
     let t0 = Instant::now();
-    let estimates = estimate_batch(&synopsis, &twigs, state.estimate_threads);
+    let estimates = Estimator::new(&synopsis)
+        .with_threads(state.estimate_threads)
+        .with_cache(Arc::clone(&cache))
+        .estimate_batch(&twigs);
     let elapsed_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
     state.window.record(elapsed_ns);
     ESTIMATE_NS.record(elapsed_ns);
     BATCHES.inc();
     QUERIES.add(twigs.len() as u64);
+    // The cache grows monotonically (bounded probe memo); account its
+    // resident bytes alongside the synopsis footprint gauges.
+    xcluster_obs::gauge("footprint.reach_cache_bytes").set(cache.heap_bytes() as i64);
     let mut out = String::with_capacity(16 + estimates.len() * 8);
     out.push_str("{\"count\":");
     out.push_str(&estimates.len().to_string());

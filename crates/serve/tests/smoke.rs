@@ -1,12 +1,12 @@
 //! End-to-end smoke test over a real TCP socket: readiness gating,
-//! batch estimation bitwise-equal to in-process `estimate_batch`,
+//! batch estimation bitwise-equal to an in-process `Estimator` run,
 //! Prometheus exposition with the required series, synopsis stats, and
 //! graceful shutdown.
 
 use xcluster_core::build::{build_synopsis, BuildConfig};
-use xcluster_core::par::estimate_batch;
 use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
 use xcluster_core::synopsis::Synopsis;
+use xcluster_core::Estimator;
 use xcluster_obs::expose;
 use xcluster_obs::json::{self, JsonValue};
 use xcluster_serve::loadgen::{batch_body, parse_estimates};
@@ -101,7 +101,7 @@ fn serve_smoke() {
         .iter()
         .map(|q| xcluster_query::parse_twig(q, expected_synopsis.terms()).unwrap())
         .collect();
-    let want = estimate_batch(&expected_synopsis, &twigs, 1);
+    let want = Estimator::new(&expected_synopsis).estimate_batch(&twigs);
     assert_eq!(got.len(), want.len());
     for (i, (g, w)) in got.iter().zip(&want).enumerate() {
         assert_eq!(

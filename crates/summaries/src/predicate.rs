@@ -10,7 +10,10 @@ use std::fmt;
 use xcluster_xml::{TermId, Value};
 
 /// A value predicate attached to a twig-query node.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Hash` lets estimation layers memoize probe results keyed by
+/// `(cluster, predicate)` (see `xcluster_core::plan::ReachCache`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ValuePredicate {
     /// `NUMERIC` range `[lo, hi]`, both ends inclusive.
     Range { lo: u64, hi: u64 },

@@ -7,7 +7,7 @@
 //! ```
 
 use xcluster_core::build::{build_synopsis, BuildConfig};
-use xcluster_core::metrics::evaluate_workload;
+use xcluster_core::metrics::{evaluate_workload, EvalOptions};
 use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
 use xcluster_datagen::imdb;
 use xcluster_query::{workload, EvalIndex, QueryClass, WorkloadConfig};
@@ -67,7 +67,7 @@ fn main() {
                 ..BuildConfig::default()
             },
         );
-        let report = evaluate_workload(&built, &w);
+        let report = evaluate_workload(&built, &w, &EvalOptions::default()).report;
         let fmt = |o: Option<f64>| match o {
             Some(v) => format!("{:7.1}%", v * 100.0),
             None => "      -".to_string(),

@@ -10,7 +10,7 @@
 
 use xcluster_core::autosplit::{build_with_unified_budget, AutoSplitConfig};
 use xcluster_core::build::{build_synopsis, BuildConfig};
-use xcluster_core::metrics::evaluate_workload;
+use xcluster_core::metrics::{evaluate_workload, EvalOptions};
 use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
 use xcluster_datagen::imdb;
 use xcluster_query::{workload, EvalIndex, WorkloadConfig};
@@ -58,7 +58,9 @@ fn main() {
                 ..BuildConfig::default()
             },
         );
-        let err = evaluate_workload(&built, &holdout).overall_rel;
+        let err = evaluate_workload(&built, &holdout, &EvalOptions::default())
+            .report
+            .overall_rel;
         println!(
             "{:>20}ρ= {:>4.2} {:>5}/{:<5}KB {:>12.1}%",
             "fixed ",
@@ -78,7 +80,9 @@ fn main() {
             ..AutoSplitConfig::default()
         },
     );
-    let err = evaluate_workload(&result.synopsis, &holdout).overall_rel;
+    let err = evaluate_workload(&result.synopsis, &holdout, &EvalOptions::default())
+        .report
+        .overall_rel;
     println!(
         "{:>20}ρ= {:>4.2} {:>5}/{:<5}KB {:>12.1}%   (auto, {} probes)",
         "searched ",

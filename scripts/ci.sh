@@ -9,6 +9,11 @@
 # by more than 10% fails the script. Off by default because it adds a
 # release build + workload evaluation to the loop.
 #
+# Pass --plan-diff (or set XCLUSTER_CI_PLAN_DIFF=1) to additionally run
+# the compiled-plan differential suite under the release profile at a
+# 1,4 thread matrix: the plan engine must be bitwise-identical to the
+# reference interpreter on every dataset family, cold and warm cache.
+#
 # Pass --serve-smoke (or set XCLUSTER_CI_SERVE=1) to additionally boot
 # `xcluster serve` on an ephemeral port, scrape /metrics, and drive it
 # with `xcluster loadgen` in verify mode: 1000 queries must succeed
@@ -20,11 +25,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ACCURACY="${XCLUSTER_CI_ACCURACY:-0}"
+PLAN_DIFF="${XCLUSTER_CI_PLAN_DIFF:-0}"
 SERVE="${XCLUSTER_CI_SERVE:-0}"
 MAIN=1
 for arg in "$@"; do
   case "$arg" in
     --accuracy) ACCURACY=1 ;;
+    --plan-diff) PLAN_DIFF=1 ;;
     --serve-smoke) SERVE=1 ;;
     --serve-smoke-only) SERVE=1; MAIN=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
@@ -36,7 +43,9 @@ if [[ "$MAIN" == "1" ]]; then
   cargo fmt --all -- --check
 
   echo "==> cargo clippy -D warnings"
-  cargo clippy --workspace --all-targets -- -D warnings
+  # -D warnings also denies `deprecated`: in-repo callers must stay on
+  # the unified Estimator/EvalOptions API, not the shims.
+  cargo clippy --workspace --all-targets -- -D warnings -D deprecated
 
   echo "==> cargo build --release"
   cargo build --release --workspace
@@ -51,6 +60,16 @@ if [[ "$MAIN" == "1" ]]; then
     echo "==> cargo test --release --test parallel (XCLUSTER_TEST_THREADS=$threads)"
     XCLUSTER_TEST_THREADS="$threads" \
       cargo test -q --release -p xcluster-core --test parallel
+  done
+fi
+
+if [[ "$PLAN_DIFF" == "1" ]]; then
+  # Compiled-plan differential leg: plan-vs-interpreter bitwise equality
+  # (cold cache, warm cache, shared cache, traced spans) under release.
+  for threads in 1 4; do
+    echo "==> cargo test --release --test plan_diff (XCLUSTER_TEST_THREADS=$threads)"
+    XCLUSTER_TEST_THREADS="$threads" \
+      cargo test -q --release -p xcluster-core --test plan_diff
   done
 fi
 

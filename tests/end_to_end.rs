@@ -198,8 +198,13 @@ fn global_metric_baseline_comparable_on_structural_queries() {
             ..xcluster_query::WorkloadConfig::default()
         },
     );
-    let local_err = xcluster_core::metrics::evaluate_workload(&local, &w).overall_rel;
-    let global_err = xcluster_core::metrics::evaluate_workload(&global, &w).overall_rel;
+    let opts = xcluster_core::metrics::EvalOptions::default();
+    let local_err = xcluster_core::metrics::evaluate_workload(&local, &w, &opts)
+        .report
+        .overall_rel;
+    let global_err = xcluster_core::metrics::evaluate_workload(&global, &w, &opts)
+        .report
+        .overall_rel;
     // Comparable: within a factor of ~2 + small absolute slack.
     assert!(
         local_err <= global_err * 2.0 + 0.1,

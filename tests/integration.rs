@@ -2,7 +2,7 @@
 //! XClusterBuild → estimation, scored against the exact evaluator.
 
 use xcluster_core::build::{build_synopsis, BuildConfig};
-use xcluster_core::metrics::{evaluate_workload, relative_error};
+use xcluster_core::metrics::{evaluate_workload, relative_error, EvalOptions};
 use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
 use xcluster_core::{estimate, Synopsis};
 use xcluster_datagen::{imdb, xmark, Dataset};
@@ -115,7 +115,7 @@ fn imdb_pipeline_estimates_accurately_at_modest_budget() {
             ..WorkloadConfig::default()
         },
     );
-    let report = evaluate_workload(&built, &w);
+    let report = evaluate_workload(&built, &w, &EvalOptions::default()).report;
     assert!(
         report.overall_rel < 0.6,
         "overall error too high: {}",
@@ -155,7 +155,7 @@ fn error_decreases_with_structural_budget() {
                     ..BuildConfig::default()
                 },
             );
-            evaluate_workload(&built, &w)
+            evaluate_workload(&built, &w, &EvalOptions::default()).report
         })
         .collect();
     // The trend of Figure 8's most robust series: structural-query error
@@ -199,7 +199,7 @@ fn xmark_pipeline_handles_recursion_and_types() {
             ..WorkloadConfig::default()
         },
     );
-    let report = evaluate_workload(&built, &w);
+    let report = evaluate_workload(&built, &w, &EvalOptions::default()).report;
     assert!(report.overall_rel < 0.8, "error {}", report.overall_rel);
 }
 
@@ -227,7 +227,7 @@ fn negative_workload_estimates_near_zero_after_compression() {
             ..WorkloadConfig::default()
         },
     );
-    let report = evaluate_workload(&built, &w);
+    let report = evaluate_workload(&built, &w, &EvalOptions::default()).report;
     assert!(
         report.avg_estimate < 2.0,
         "negative estimates too high: {}",

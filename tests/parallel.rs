@@ -14,13 +14,9 @@
 
 use xcluster_core::build::{build_synopsis, BuildConfig};
 use xcluster_core::codec::encode_synopsis;
-use xcluster_core::metrics::{
-    evaluate_workload, evaluate_workload_attributed, evaluate_workload_attributed_with,
-    evaluate_workload_with,
-};
-use xcluster_core::par::estimate_batch_by;
+use xcluster_core::metrics::{evaluate_workload, EvalOptions};
 use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
-use xcluster_core::{estimate, Synopsis};
+use xcluster_core::{estimate, Estimator, Synopsis};
 use xcluster_datagen::Dataset;
 use xcluster_query::{workload, EvalIndex, Workload, WorkloadConfig};
 
@@ -215,7 +211,9 @@ fn batch_estimation_is_bitwise_equal_to_sequential() {
         .map(|q| estimate(&built, &q.query))
         .collect();
     for t in thread_counts() {
-        let batch = estimate_batch_by(&built, &w.queries, t, |q| &q.query);
+        let batch = Estimator::new(&built)
+            .with_threads(t)
+            .estimate_batch_by(&w.queries, |q| &q.query);
         assert_eq!(batch.len(), seq.len());
         for (i, (a, b)) in seq.iter().zip(&batch).enumerate() {
             assert_eq!(
@@ -239,9 +237,9 @@ fn parallel_workload_reports_are_bitwise_identical() {
         seed: 32,
     });
     let (built, w) = built_with_workload(&d, 0xCAFE);
-    let seq = evaluate_workload(&built, &w);
+    let seq = evaluate_workload(&built, &w, &EvalOptions::default()).report;
     for t in thread_counts() {
-        let par = evaluate_workload_with(&built, &w, t);
+        let par = evaluate_workload(&built, &w, &EvalOptions::default().with_threads(t)).report;
         assert_eq!(
             seq.overall_rel.to_bits(),
             par.overall_rel.to_bits(),
@@ -264,9 +262,17 @@ fn parallel_attribution_is_identical() {
         seed: 33,
     });
     let (built, w) = built_with_workload(&d, 0xD00D);
-    let (seq_report, seq_attr) = evaluate_workload_attributed(&built, &w);
+    let seq = evaluate_workload(&built, &w, &EvalOptions::default().with_attribution(true));
+    let (seq_report, seq_attr) = (seq.report, seq.attribution.expect("attribution requested"));
     for t in thread_counts() {
-        let (par_report, par_attr) = evaluate_workload_attributed_with(&built, &w, t);
+        let par = evaluate_workload(
+            &built,
+            &w,
+            &EvalOptions::default()
+                .with_threads(t)
+                .with_attribution(true),
+        );
+        let (par_report, par_attr) = (par.report, par.attribution.expect("attribution requested"));
         assert_eq!(
             seq_report.overall_rel.to_bits(),
             par_report.overall_rel.to_bits()

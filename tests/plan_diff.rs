@@ -1,0 +1,229 @@
+//! Differential tests for the compiled-plan estimation path
+//! (`xcluster_core::plan` behind [`xcluster_core::Estimator`]).
+//!
+//! The contract under test: *compilation and caching are unobservable
+//! in the output*. For every dataset family, every query, and every
+//! thread count, the plan interpreter must return floats bitwise-equal
+//! to the reference interpreter (`xcluster_core::estimate`), whether
+//! the [`ReachCache`] is cold or warm — and traced runs must replay the
+//! exact span structure of the interpreter.
+//!
+//! Thread counts default to `{1, 2}` under the debug profile and
+//! `{1, 4}` in release; set `XCLUSTER_TEST_THREADS` to a
+//! comma-separated list to override (CI runs a `1,4` release matrix via
+//! `scripts/ci.sh --plan-diff`).
+
+use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+use xcluster_core::{estimate, estimate_traced, Estimator, ReachCache, Synopsis};
+use xcluster_datagen::Dataset;
+use xcluster_query::{workload, EvalIndex, Workload, WorkloadConfig};
+
+/// Thread counts to differentiate against the reference interpreter.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("XCLUSTER_TEST_THREADS") {
+        Ok(v) => {
+            let counts: Vec<usize> = v
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t| t > 0)
+                .collect();
+            assert!(
+                !counts.is_empty(),
+                "XCLUSTER_TEST_THREADS={v:?} has no usable counts"
+            );
+            counts
+        }
+        Err(_) if cfg!(debug_assertions) => vec![1, 2],
+        Err(_) => vec![1, 4],
+    }
+}
+
+/// The same seeded dataset family as `tests/parallel.rs`, one scale
+/// each: imdb, xmark, and treebank.
+fn datasets() -> Vec<Dataset> {
+    vec![
+        xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: 30,
+            seed: 11,
+        }),
+        xcluster_datagen::xmark::generate(&xcluster_datagen::xmark::XmarkConfig {
+            items: 40,
+            persons: 20,
+            open_auctions: 15,
+            closed_auctions: 10,
+            categories: 5,
+            seed: 13,
+        }),
+        xcluster_datagen::treebank::generate(&xcluster_datagen::treebank::TreebankConfig {
+            files: 10,
+            max_sentences: 4,
+            max_depth: 5,
+            seed: 15,
+        }),
+    ]
+}
+
+/// A built synopsis plus a 150-query seeded positive workload over the
+/// same document (the `tests/parallel.rs` recipe).
+fn built_with_workload(d: &Dataset, seed: u64) -> (Synopsis, Workload) {
+    let r = reference_synopsis(
+        &d.tree,
+        &ReferenceConfig {
+            value_paths: Some(d.value_paths.clone()),
+            ..ReferenceConfig::default()
+        },
+    );
+    let cfg = BuildConfig {
+        b_str: r.structural_bytes() / 3,
+        b_val: r.value_bytes() / 2,
+        ..BuildConfig::default()
+    };
+    let built = build_synopsis(r, &cfg);
+    let idx = EvalIndex::build(&d.tree);
+    let w = workload::generate_positive(
+        &d.tree,
+        &idx,
+        &WorkloadConfig {
+            num_queries: 150,
+            seed,
+            allowed_targets: Some(d.summarized_targets()),
+            ..WorkloadConfig::default()
+        },
+    );
+    assert!(!w.queries.is_empty());
+    (built, w)
+}
+
+#[test]
+fn plan_engine_is_bitwise_equal_to_interpreter_across_datasets() {
+    for d in datasets() {
+        let (built, w) = built_with_workload(&d, 0x5EED);
+        let reference: Vec<f64> = w
+            .queries
+            .iter()
+            .map(|q| estimate(&built, &q.query))
+            .collect();
+        for t in thread_counts() {
+            // A fresh session per thread count: every run starts from a
+            // cold cache, so this also differentiates cold-cache runs.
+            let est = Estimator::new(&built).with_threads(t);
+            let got = est.estimate_batch_by(&w.queries, |q| &q.query);
+            assert_eq!(got.len(), reference.len());
+            for (i, (a, b)) in reference.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}: query {i} ({}) diverged at {t} thread(s): {a} vs {b}",
+                    d.name,
+                    w.queries[i].query
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_cache_is_bitwise_equal_to_cold_cache() {
+    // Seeded property test: re-running the same workload through one
+    // session (second pass answered from the reach/probe caches) must
+    // not perturb a single bit relative to the first cold pass, at any
+    // thread count, on every dataset family.
+    for d in datasets() {
+        let (built, w) = built_with_workload(&d, 0xCACE);
+        for t in thread_counts() {
+            let est = Estimator::new(&built).with_threads(t);
+            let cold = est.estimate_batch_by(&w.queries, |q| &q.query);
+            let stats_after_cold = est.cache().stats();
+            let warm = est.estimate_batch_by(&w.queries, |q| &q.query);
+            let stats_after_warm = est.cache().stats();
+            for (i, (a, b)) in cold.iter().zip(&warm).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}: query {i} ({}) changed under a warm cache at {t} thread(s)",
+                    d.name,
+                    w.queries[i].query
+                );
+            }
+            // The warm pass must actually exercise the cache, not
+            // silently rebuild: no new reach entries appear.
+            assert_eq!(
+                stats_after_warm.full_entries, stats_after_cold.full_entries,
+                "{}: warm pass grew the full-DP cache",
+                d.name
+            );
+            assert_eq!(
+                stats_after_warm.reach_entries, stats_after_cold.reach_entries,
+                "{}: warm pass grew the filtered-reach cache",
+                d.name
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_cache_across_sessions_is_bitwise_equal() {
+    // The serving pattern: one long-lived cache shared by successive
+    // per-batch sessions at different thread counts.
+    let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+        num_movies: 30,
+        seed: 11,
+    });
+    let (built, w) = built_with_workload(&d, 0xBA7C);
+    let reference: Vec<f64> = w
+        .queries
+        .iter()
+        .map(|q| estimate(&built, &q.query))
+        .collect();
+    let cache = std::sync::Arc::new(ReachCache::new());
+    for t in thread_counts() {
+        let est = Estimator::new(&built)
+            .with_threads(t)
+            .with_cache(std::sync::Arc::clone(&cache));
+        let got = est.estimate_batch_by(&w.queries, |q| &q.query);
+        for (i, (a, b)) in reference.iter().zip(&got).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "query {i} ({}) diverged with a shared cache at {t} thread(s)",
+                w.queries[i].query
+            );
+        }
+    }
+    let stats = cache.stats();
+    assert!(stats.reach_hits > 0, "shared cache never hit: {stats:?}");
+}
+
+#[test]
+fn traced_plan_runs_replay_interpreter_spans() {
+    let d = xcluster_datagen::xmark::generate(&xcluster_datagen::xmark::XmarkConfig {
+        items: 40,
+        persons: 20,
+        open_auctions: 15,
+        closed_auctions: 10,
+        categories: 5,
+        seed: 13,
+    });
+    let (built, w) = built_with_workload(&d, 0x7ACE);
+    let est = Estimator::new(&built);
+    // Two passes — the second replays probes and reachability from the
+    // cache, and must still emit the identical span structure.
+    for pass in 0..2 {
+        for q in w.queries.iter().take(40) {
+            let (ref_est, ref_trace) = estimate_traced(&built, &q.query);
+            let (got_est, got_trace) = est.estimate_traced(&q.query);
+            assert_eq!(got_est.to_bits(), ref_est.to_bits(), "{}", q.query);
+            assert_eq!(
+                got_trace.spans().len(),
+                ref_trace.spans().len(),
+                "span count diverged for {} (pass {pass})",
+                q.query
+            );
+            for (a, b) in ref_trace.spans().iter().zip(got_trace.spans()) {
+                assert_eq!(a.name, b.name, "{} (pass {pass})", q.query);
+                assert_eq!(a.attrs, b.attrs, "{} (pass {pass})", q.query);
+            }
+        }
+    }
+}

@@ -6,7 +6,7 @@
 
 use std::sync::Mutex;
 use xcluster_core::estimate::{estimate, estimate_traced};
-use xcluster_core::metrics::evaluate_workload_attributed;
+use xcluster_core::metrics::{evaluate_workload, EvalOptions};
 use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
 use xcluster_obs::trace;
 use xcluster_query::{evaluate, parse_twig, EvalIndex, QueryClass, Workload, WorkloadQuery};
@@ -137,7 +137,11 @@ fn attribution_names_the_unsummarized_cluster_as_top_error_source() {
         sanity_bound: 1.0,
     };
 
-    let (report, attribution) = evaluate_workload_attributed(&s, &w);
+    let eval = evaluate_workload(&s, &w, &EvalOptions::default().with_attribution(true));
+    let (report, attribution) = (
+        eval.report,
+        eval.attribution.expect("attribution requested"),
+    );
     // The y-query is exact; all error comes from the z-query (est 3, true 0).
     assert!(report.overall_rel > 0.0);
     let top = attribution.top().expect("some error was attributed");
