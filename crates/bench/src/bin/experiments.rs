@@ -575,10 +575,19 @@ fn gate_accuracy(baseline_path: &str, fresh: &xcluster_core::ErrorReport) -> Res
 /// in-process batch engine, so a nonzero mismatch count fails the run.
 /// The footprint block records what the loaded synopsis actually costs
 /// in resident heap bytes (vs the model's on-disk bytes).
+///
+/// Two passes measure the shadow accuracy monitor: a baseline with the
+/// monitor off, then a second serve with 5% shadow sampling attached.
+/// The second pass downloads the wide-event journal, re-evaluates the
+/// shadow-sampled queries exactly (same document, same quantization)
+/// and asserts the scraped `xcluster_accuracy_rel{class=...}` gauges
+/// agree within 1e-9, and that monitored throughput stays within 90%
+/// of the baseline.
 fn bench_serve(opts: &Opts) {
-    use xcluster_serve::{LoadgenConfig, Server, ServerConfig};
+    use xcluster_serve::{client, LoadgenConfig, Server, ServerConfig, ShadowConfig};
     const SERVE_QUERIES: usize = 2000;
     const SERVE_BATCH: usize = 50;
+    const SHADOW_PPM: u32 = 50_000;
     let t0 = Instant::now();
     let p = prepare_imdb(BENCH_SCALE, opts.seed);
     let built = build_synopsis(
@@ -590,19 +599,6 @@ fn bench_serve(opts: &Opts) {
         },
     );
     let footprint = xcluster_core::MemoryFootprint::measure(&built);
-    let server = Server::bind(&ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        workers: 0,
-        estimate_threads: 0,
-    })
-    .expect("bind loopback server");
-    let addr = server.local_addr().to_string();
-    server.set_synopsis(built.clone());
-    let server = std::sync::Arc::new(server);
-    let run_handle = {
-        let server = std::sync::Arc::clone(&server);
-        std::thread::spawn(move || server.run().expect("server run"))
-    };
     // Pinned workload: structural, numeric-predicate, and deep-path
     // shapes over the IMDB schema, sampled with the seeded PRNG.
     let queries: Vec<String> = [
@@ -620,14 +616,34 @@ fn bench_serve(opts: &Opts) {
     .iter()
     .map(|s| s.to_string())
     .collect();
+    let server_cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 0,
+        estimate_threads: 0,
+        // Retain every served query so the journal pass is complete.
+        journal_capacity: SERVE_QUERIES,
+        journal_sample_ppm: 1_000_000,
+        shadow_sample_ppm: SHADOW_PPM,
+        ..ServerConfig::default()
+    };
+
+    // Pass 1 — shadow off: the committed throughput/latency baseline.
+    let server = Server::bind(&server_cfg).expect("bind loopback server");
+    let addr = server.local_addr().to_string();
+    server.set_synopsis(built.clone());
+    let server = std::sync::Arc::new(server);
+    let run_handle = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.run().expect("server run"))
+    };
     let report = xcluster_serve::loadgen::run(&LoadgenConfig {
         addr,
         qps: 0.0,
         total: SERVE_QUERIES,
         batch: SERVE_BATCH,
         seed: opts.seed,
-        queries,
-        verify: Some(built),
+        queries: queries.clone(),
+        verify: Some(built.clone()),
         shutdown: true,
         ..LoadgenConfig::default()
     })
@@ -638,12 +654,131 @@ fn bench_serve(opts: &Opts) {
         report.mismatches, 0,
         "served estimates must be bitwise-identical to in-process"
     );
+
+    // Pass 2 — shadow on at 5%: same server shape plus the monitor.
+    let server = Server::bind(&server_cfg).expect("bind loopback server");
+    let addr = server.local_addr().to_string();
+    server.set_synopsis(built.clone());
+    server.set_shadow(p.dataset.tree.clone(), ShadowConfig::default());
+    let state = server.state();
+    let server = std::sync::Arc::new(server);
+    let run_handle = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.run().expect("server run"))
+    };
+    let shadow_report = xcluster_serve::loadgen::run(&LoadgenConfig {
+        addr: addr.clone(),
+        qps: 0.0,
+        total: SERVE_QUERIES,
+        batch: SERVE_BATCH,
+        seed: opts.seed,
+        queries,
+        verify: Some(built),
+        shutdown: false,
+        ..LoadgenConfig::default()
+    })
+    .expect("shadow loadgen run");
+    assert_eq!(shadow_report.errors, 0, "shadowed batches must all succeed");
+    assert_eq!(
+        shadow_report.mismatches, 0,
+        "shadow must not perturb estimates"
+    );
+    // Wait for the monitor to drain its queue, then scrape and download
+    // the journal before shutting the server down.
+    let monitor = state.shadow().expect("shadow attached");
+    for _ in 0..2000 {
+        if monitor.idle() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(
+        monitor.idle(),
+        "shadow queue did not drain: {:?}",
+        monitor.stats()
+    );
+    let shadow_stats = monitor.stats();
+    assert_eq!(
+        shadow_stats.dropped, 0,
+        "bounded queue must not overflow here"
+    );
+    assert_eq!(shadow_stats.parse_failures, 0);
+    let metrics_body = client::request(&addr, "GET", "/metrics", None)
+        .expect("scrape /metrics")
+        .body;
+    let journal_body = client::request(&addr, "GET", "/debug/journal", None)
+        .expect("download journal")
+        .body;
+    client::request(&addr, "POST", "/shutdown", None).expect("shutdown");
+    run_handle.join().expect("server thread");
+
+    // Offline reconstruction: exactly re-evaluate the shadow-sampled
+    // journal queries with the same quantization the monitor uses and
+    // compare against the scraped per-class gauges.
+    let records = xcluster_obs::journal::parse_jsonl(&journal_body).expect("parse journal");
+    assert_eq!(records.len(), SERVE_QUERIES, "full-rate journal retention");
+    let sampled: Vec<_> = records.iter().filter(|r| r.shadow_sampled).collect();
+    assert_eq!(
+        sampled.len() as u64,
+        shadow_stats.evaluated,
+        "journal flags must reconstruct the shadow subset"
+    );
+    let doc = &p.dataset.tree;
+    let mut sums: std::collections::HashMap<QueryClass, (u64, u64)> =
+        std::collections::HashMap::new();
+    for rec in &sampled {
+        let twig = xcluster_query::parse_twig(&rec.query, doc.terms()).expect("journal query");
+        let truth = xcluster_query::evaluate(&twig, doc, &p.index);
+        let rel = xcluster_core::metrics::relative_error(truth, rec.estimate, 1.0);
+        let e = sums
+            .entry(xcluster_query::classify(&twig))
+            .or_insert((0, 0));
+        e.0 += (rel * 1e9).round() as u64;
+        e.1 += 1;
+    }
+    let exposition = xcluster_obs::expose::parse(&metrics_body).expect("parse /metrics");
+    let mut class_rel: Vec<(&str, Option<f64>)> = Vec::new();
+    for (class, label) in [
+        (QueryClass::Struct, "struct"),
+        (QueryClass::Numeric, "numeric"),
+        (QueryClass::String, "string"),
+        (QueryClass::Text, "text"),
+    ] {
+        let offline = sums
+            .get(&class)
+            .map(|(sum, count)| *sum as f64 / *count as f64 / 1e9);
+        let scraped = exposition
+            .by_name("xcluster_accuracy_rel")
+            .find(|s| s.label("class") == Some(label))
+            .map(|s| s.value);
+        match (offline, scraped) {
+            (None, None) => {}
+            (Some(o), Some(s)) => assert!(
+                (o - s).abs() < 1e-9,
+                "class {label}: offline {o} vs scraped {s}"
+            ),
+            other => panic!("class {label}: presence mismatch {other:?}"),
+        }
+        class_rel.push((label, offline));
+    }
+    let qps_ratio = shadow_report.achieved_qps / report.achieved_qps;
+    assert!(
+        qps_ratio >= 0.9,
+        "shadow monitor overhead too high: {:.0} q/s with vs {:.0} q/s without ({:.1}%)",
+        shadow_report.achieved_qps,
+        report.achieved_qps,
+        qps_ratio * 100.0
+    );
     println!(
         "== bench-serve: {} queries over HTTP, {:.0} q/s, batch p99 {:.3} ms, footprint {} bytes ==",
         report.sent_queries,
         report.achieved_qps,
         report.latency.p99 as f64 / 1e6,
         footprint.total_bytes()
+    );
+    println!(
+        "== bench-serve shadow: {} sampled / {} evaluated at {} ppm, qps ratio {:.3} ==",
+        shadow_stats.submitted, shadow_stats.evaluated, SHADOW_PPM, qps_ratio
     );
     let mut body = String::from("{\n");
     let _ = writeln!(body, "    \"queries\": {},", report.sent_queries);
@@ -677,6 +812,36 @@ fn bench_serve(opts: &Opts) {
         footprint.summary_bytes()
     );
     let _ = writeln!(body, "      \"model_bytes\": {}", footprint.model_bytes());
+    let _ = writeln!(body, "    }},");
+    let _ = writeln!(body, "    \"shadow\": {{");
+    let _ = writeln!(body, "      \"sample_ppm\": {SHADOW_PPM},");
+    let _ = writeln!(body, "      \"sampled\": {},", shadow_stats.submitted);
+    let _ = writeln!(body, "      \"evaluated\": {},", shadow_stats.evaluated);
+    let _ = writeln!(body, "      \"dropped\": {},", shadow_stats.dropped);
+    let _ = writeln!(
+        body,
+        "      \"drift_events\": {},",
+        shadow_stats.drift_events
+    );
+    let _ = writeln!(body, "      \"class_rel\": {{");
+    for (i, (label, rel)) in class_rel.iter().enumerate() {
+        let comma = if i + 1 < class_rel.len() { "," } else { "" };
+        match rel {
+            Some(r) => {
+                let _ = writeln!(body, "        \"{label}\": {r}{comma}");
+            }
+            None => {
+                let _ = writeln!(body, "        \"{label}\": null{comma}");
+            }
+        }
+    }
+    let _ = writeln!(body, "      }},");
+    let _ = writeln!(
+        body,
+        "      \"shadow_qps\": {:.0},",
+        shadow_report.achieved_qps
+    );
+    let _ = writeln!(body, "      \"qps_ratio\": {qps_ratio:.3}");
     let _ = writeln!(body, "    }}");
     body.push_str("  }");
     let mut run = bench_run_meta("bench-serve", opts, t0.elapsed().as_secs_f64());

@@ -10,8 +10,14 @@
 //! xcluster compare <doc.xml> <synopsis.xcs> "<twig>"...
 //! xcluster stats <doc.xml> ["<twig>"...] [--json|--prometheus]
 //! xcluster serve <synopsis.xcs> [--addr HOST:PORT] [--workers N] [--estimate-threads N]
+//!                [--read-timeout SECS] [--max-head-bytes N] [--max-body-bytes N]
+//!                [--journal-capacity N] [--journal-sample-ppm N] [--journal-seed N]
+//!                [--slow-capacity N] [--shadow doc.xml] [--shadow-sample-ppm N]
+//!                [--shadow-sanity F] [--shadow-threshold F] [--shadow-queue N]
+//!                [--type label=kind]...
 //! xcluster loadgen <addr> [--qps F] [--total N] [--batch N] [--seed N]
 //!                  [--verify syn.xcs] [--shutdown] [--queries-file F] "<twig>"...
+//! xcluster replay <journal.jsonl> <synopsis.xcs> [--threads N]
 //! ```
 //!
 //! The twig syntax is documented in `xcluster_query::parser` — e.g.
@@ -58,6 +64,7 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
         _ => {
             eprintln!(
                 "usage: xcluster [--verbose|-q] <build|info|estimate|evaluate|compare|stats|trace> ...\n\
@@ -71,7 +78,12 @@ fn main() -> ExitCode {
                  stats <doc.xml> [\"<twig>\"...] [--json|--prometheus]\n\
                  trace <doc.xml> \"<twig>\"... [--chrome out.json] [--b-str N] [--b-val N] [--type label=kind]...\n\
                  serve <synopsis.xcs> [--addr HOST:PORT] [--workers N] [--estimate-threads N]\n\
-                 loadgen <addr> [--qps F] [--total N] [--batch N] [--seed N] [--verify syn.xcs] [--shutdown] [--queries-file F] \"<twig>\"..."
+                 \x20     [--read-timeout SECS] [--max-head-bytes N] [--max-body-bytes N]\n\
+                 \x20     [--journal-capacity N] [--journal-sample-ppm N] [--journal-seed N] [--slow-capacity N]\n\
+                 \x20     [--shadow doc.xml] [--shadow-sample-ppm N] [--shadow-sanity F] [--shadow-threshold F]\n\
+                 \x20     [--shadow-queue N] [--type label=kind]...\n\
+                 loadgen <addr> [--qps F] [--total N] [--batch N] [--seed N] [--verify syn.xcs] [--shutdown] [--queries-file F] \"<twig>\"...\n\
+                 replay <journal.jsonl> <synopsis.xcs> [--threads N]"
             );
             return ExitCode::from(2);
         }
@@ -461,6 +473,9 @@ fn cmd_trace(args: &[String]) -> Result<(), AnyError> {
 fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     let mut path: Option<&str> = None;
     let mut cfg = xcluster_serve::ServerConfig::default();
+    let mut shadow_cfg = xcluster_serve::ShadowConfig::default();
+    let mut shadow_doc: Option<&str> = None;
+    let mut types: Vec<(String, ValueType)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -479,6 +494,98 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
                     .parse()?;
                 i += 2;
             }
+            "--read-timeout" => {
+                cfg.read_timeout_secs = args
+                    .get(i + 1)
+                    .ok_or("--read-timeout needs seconds")?
+                    .parse()?;
+                i += 2;
+            }
+            "--max-head-bytes" => {
+                cfg.max_head_bytes = args
+                    .get(i + 1)
+                    .ok_or("--max-head-bytes needs a value")?
+                    .parse()?;
+                i += 2;
+            }
+            "--max-body-bytes" => {
+                cfg.max_body_bytes = args
+                    .get(i + 1)
+                    .ok_or("--max-body-bytes needs a value")?
+                    .parse()?;
+                i += 2;
+            }
+            "--journal-capacity" => {
+                cfg.journal_capacity = args
+                    .get(i + 1)
+                    .ok_or("--journal-capacity needs a value")?
+                    .parse()?;
+                i += 2;
+            }
+            "--journal-sample-ppm" => {
+                cfg.journal_sample_ppm = args
+                    .get(i + 1)
+                    .ok_or("--journal-sample-ppm needs a value")?
+                    .parse()?;
+                i += 2;
+            }
+            "--journal-seed" => {
+                cfg.journal_seed = args
+                    .get(i + 1)
+                    .ok_or("--journal-seed needs a value")?
+                    .parse()?;
+                i += 2;
+            }
+            "--slow-capacity" => {
+                cfg.slow_capacity = args
+                    .get(i + 1)
+                    .ok_or("--slow-capacity needs a value")?
+                    .parse()?;
+                i += 2;
+            }
+            "--shadow" => {
+                shadow_doc = Some(args.get(i + 1).ok_or("--shadow needs a document")?);
+                i += 2;
+            }
+            "--shadow-sample-ppm" => {
+                cfg.shadow_sample_ppm = args
+                    .get(i + 1)
+                    .ok_or("--shadow-sample-ppm needs a value")?
+                    .parse()?;
+                i += 2;
+            }
+            "--shadow-seed" => {
+                cfg.shadow_seed = args
+                    .get(i + 1)
+                    .ok_or("--shadow-seed needs a value")?
+                    .parse()?;
+                i += 2;
+            }
+            "--shadow-sanity" => {
+                shadow_cfg.sanity_bound = args
+                    .get(i + 1)
+                    .ok_or("--shadow-sanity needs a value")?
+                    .parse()?;
+                i += 2;
+            }
+            "--shadow-threshold" => {
+                shadow_cfg.drift_threshold = args
+                    .get(i + 1)
+                    .ok_or("--shadow-threshold needs a value")?
+                    .parse()?;
+                i += 2;
+            }
+            "--shadow-queue" => {
+                shadow_cfg.queue = args
+                    .get(i + 1)
+                    .ok_or("--shadow-queue needs a value")?
+                    .parse()?;
+                i += 2;
+            }
+            "--type" => {
+                types.push(parse_type_opt(&args[i + 1])?);
+                i += 2;
+            }
             other if path.is_none() => {
                 path = Some(other);
                 i += 1;
@@ -493,18 +600,32 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
         // Load in the background so the listener (and /healthz) is up
         // immediately; /readyz flips once set_synopsis installs it. A
         // failed load shuts the accept loop down instead of leaving a
-        // permanently-unready server running.
+        // permanently-unready server running. The shadow document (when
+        // given) loads on the same thread after the synopsis — shadow
+        // evaluation is best-effort monitoring, never startup-critical.
         let loader = scope.spawn(|| -> Result<(), String> {
             match load_synopsis(&path) {
                 Ok(synopsis) => {
                     server.set_synopsis(synopsis);
-                    Ok(())
                 }
                 Err(e) => {
                     server.state().request_shutdown();
-                    Err(e.to_string())
+                    return Err(e.to_string());
                 }
             }
+            if let Some(doc_path) = shadow_doc {
+                match load_document(doc_path, &types) {
+                    Ok(doc) => {
+                        server.set_shadow(doc, shadow_cfg.clone());
+                        info!("cli", "shadow accuracy monitor attached doc={doc_path}");
+                    }
+                    Err(e) => {
+                        server.state().request_shutdown();
+                        return Err(e.to_string());
+                    }
+                }
+            }
+            Ok(())
         });
         server.run()?;
         match loader.join() {
@@ -512,6 +633,59 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
             Err(panic) => std::panic::resume_unwind(panic),
         }
     })
+}
+
+/// Re-runs an exported wide-event journal (`GET /debug/journal`)
+/// through an in-process [`xcluster_core::Estimator`] on the same
+/// synopsis and asserts every recorded estimate reproduces **bitwise**
+/// — the end-to-end determinism check behind the CI replay leg.
+fn cmd_replay(args: &[String]) -> Result<(), AnyError> {
+    let mut threads = 1usize;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threads" {
+            threads = args.get(i + 1).ok_or("--threads needs a value")?.parse()?;
+            i += 2;
+        } else {
+            positional.push(&args[i]);
+            i += 1;
+        }
+    }
+    let journal_path = positional.first().ok_or("missing journal.jsonl")?;
+    let syn_path = positional.get(1).ok_or("missing synopsis file")?;
+    let records = xcluster_obs::journal::parse_jsonl(&std::fs::read_to_string(journal_path)?)?;
+    if records.is_empty() {
+        return Err("journal is empty — nothing to replay".into());
+    }
+    let s = load_synopsis(syn_path)?;
+    let twigs = records
+        .iter()
+        .map(|r| parse_twig(&r.query, s.terms()))
+        .collect::<Result<Vec<_>, _>>()?;
+    let estimates = xcluster_core::Estimator::new(&s)
+        .with_threads(threads)
+        .estimate_batch(&twigs);
+    let mut mismatches = 0usize;
+    for (rec, est) in records.iter().zip(&estimates) {
+        if est.to_bits() != rec.estimate.to_bits() {
+            mismatches += 1;
+            if mismatches <= 10 {
+                eprintln!(
+                    "mismatch seq={} query={:?}: recorded {} replayed {est}",
+                    rec.seq, rec.query, rec.estimate
+                );
+            }
+        }
+    }
+    write_stdout(&format!(
+        "replayed {} journal record(s): {mismatches} mismatch(es)\n",
+        records.len()
+    ))?;
+    if mismatches > 0 {
+        return Err(format!("{mismatches} estimate(s) did not reproduce bitwise").into());
+    }
+    Ok(())
 }
 
 /// Drives a running server with a seeded query workload and prints the

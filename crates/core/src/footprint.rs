@@ -127,6 +127,42 @@ impl MemoryFootprint {
     }
 }
 
+/// Serving-side telemetry buffers (query journal, slow-query ring)
+/// accounted next to the synopsis footprint. Unlike
+/// [`MemoryFootprint`] these are not measured from a structure — the
+/// serving layer reports its own incremental byte counts and this
+/// helper publishes them under the same `footprint.*` namespace so
+/// `/metrics` and `/synopsis/stats` present one memory story.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServingFootprint {
+    /// Resident bytes of the wide-event query journal.
+    pub journal_bytes: usize,
+    /// Resident bytes of the slow-query ring (records + retained traces).
+    pub slow_ring_bytes: usize,
+}
+
+impl ServingFootprint {
+    /// Total attributed serving-telemetry bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.journal_bytes + self.slow_ring_bytes
+    }
+
+    /// Publishes the breakdown as `footprint.*` gauges in `r`.
+    pub fn register_into(&self, r: &Registry) {
+        r.gauge("footprint.journal_bytes")
+            .set(self.journal_bytes as i64);
+        r.gauge("footprint.slow_ring_bytes")
+            .set(self.slow_ring_bytes as i64);
+        r.gauge("footprint.serving_bytes")
+            .set(self.total_bytes() as i64);
+    }
+
+    /// Publishes the breakdown into the global registry.
+    pub fn register(&self) {
+        self.register_into(xcluster_obs::global());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +219,28 @@ mod tests {
         }
         // Resident bytes exceed the compact on-disk model.
         assert!(fp.summary_bytes() >= fp.model_value_bytes / 2);
+    }
+
+    #[test]
+    fn serving_footprint_registers_gauges() {
+        let fp = ServingFootprint {
+            journal_bytes: 1024,
+            slow_ring_bytes: 512,
+        };
+        assert_eq!(fp.total_bytes(), 1536);
+        let r = Registry::default();
+        fp.register_into(&r);
+        let snap = r.snapshot();
+        let get = |name: &str| {
+            snap.gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing gauge {name}"))
+        };
+        assert_eq!(get("footprint.journal_bytes"), 1024);
+        assert_eq!(get("footprint.slow_ring_bytes"), 512);
+        assert_eq!(get("footprint.serving_bytes"), 1536);
     }
 
     #[test]

@@ -177,6 +177,38 @@ pub fn render_with_windows(s: &Snapshot, windows: &[NamedWindow<'_>], namespace:
     out
 }
 
+/// Renders one labeled metric family (header plus one sample line per
+/// label set) and appends it to `out`. This is for series the
+/// registry's flat dotted names cannot express — per-class accuracy
+/// gauges like `xcluster_accuracy_rel{class="struct"}`. `name` must
+/// already be a full exposition name (namespace included); it is
+/// sanitized defensively. Values print with `f64` `Display`, which is
+/// shortest-roundtrip: a strict scrape re-parses identical bits.
+pub fn render_labeled_family(
+    out: &mut String,
+    name: &str,
+    kind: &str,
+    help: &str,
+    samples: &[(&[(&str, &str)], f64)],
+) {
+    let fq = sanitize_name(name);
+    header(out, &fq, kind, help);
+    for (labels, value) in samples {
+        let _ = write!(out, "{fq}");
+        if !labels.is_empty() {
+            let _ = write!(out, "{{");
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, ",");
+                }
+                let _ = write!(out, "{}=\"{}\"", sanitize_name(k), escape_label(v));
+            }
+            let _ = write!(out, "}}");
+        }
+        let _ = writeln!(out, " {value}");
+    }
+}
+
 /// One parsed sample line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
@@ -520,6 +552,31 @@ mod tests {
                 .value,
             2.0
         );
+    }
+
+    #[test]
+    fn labeled_family_roundtrips_value_bits() {
+        let mut out = String::new();
+        let v = 0.9890772937381937f64;
+        render_labeled_family(
+            &mut out,
+            "xcluster_accuracy_rel",
+            "gauge",
+            "Windowed mean relative error per query class.",
+            &[
+                (&[("class", "struct")], v),
+                (&[("class", "text")], 0.0),
+                (&[], 1.5),
+            ],
+        );
+        let exp = parse(&out).unwrap();
+        let s = exp
+            .by_name("xcluster_accuracy_rel")
+            .find(|s| s.label("class") == Some("struct"))
+            .unwrap();
+        assert_eq!(s.value.to_bits(), v.to_bits(), "Display is roundtrip");
+        assert_eq!(exp.value("xcluster_accuracy_rel"), Some(1.5));
+        assert_eq!(exp.types.get("xcluster_accuracy_rel").unwrap(), "gauge");
     }
 
     #[test]

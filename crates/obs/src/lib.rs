@@ -43,6 +43,7 @@
 pub mod bench;
 pub mod export;
 pub mod expose;
+pub mod journal;
 pub mod json;
 pub mod log;
 pub mod registry;
@@ -50,6 +51,7 @@ pub mod span;
 pub mod trace;
 pub mod window;
 
+pub use journal::{Journal, JournalConfig, JournalRecord, Sampler};
 pub use log::Level;
 pub use registry::{
     counter, gauge, global, histogram, reset, snapshot, Counter, Gauge, Histogram,

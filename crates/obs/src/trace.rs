@@ -160,6 +160,13 @@ impl Trace {
         &self.spans[0]
     }
 
+    /// Appends an attribute to the root span — for annotating a
+    /// finished trace with context the traced code never saw (e.g. the
+    /// serving layer tagging an estimation trace with its request id).
+    pub fn push_root_attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        self.spans[0].attrs.push((key, value.into()));
+    }
+
     /// Total traced duration (the root span's).
     pub fn duration_ns(&self) -> u64 {
         self.spans[0].dur_ns

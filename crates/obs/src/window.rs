@@ -11,9 +11,12 @@
 //! The window is a ring of `slots` fixed-duration sub-windows of
 //! `slot_ns` nanoseconds each. An observation lands in the sub-window
 //! covering its timestamp; sub-windows are plain power-of-two bucket
-//! arrays (the same ±50% resolution as the cumulative histogram). A
-//! read **merges** every sub-window that is still inside the window
-//! horizon and computes quantiles from the merged buckets; sub-windows
+//! arrays (the same bucketing as the cumulative histogram). A read
+//! **merges** every sub-window that is still inside the window horizon
+//! and computes quantiles from the merged buckets with within-bucket
+//! linear interpolation, so nearby quantiles that share a power-of-two
+//! bucket still separate instead of collapsing to a midpoint;
+//! sub-windows
 //! older than the horizon are skipped on read and recycled lazily on
 //! the next write that maps to their ring slot, so there is no timer
 //! thread and no work on idle windows.
@@ -36,13 +39,12 @@ use std::time::Instant;
 /// `64 - v.leading_zeros()`, i.e. by bit length; bucket 0 holds 0).
 const BUCKETS: usize = 64;
 
-/// Geometric midpoint of bucket `i` — the same percentile convention as
-/// the cumulative histogram.
-fn bucket_mid(i: usize) -> u64 {
+/// Lower bound of bucket `i` (bucket 0 holds exactly the value 0).
+fn bucket_lo(i: usize) -> u64 {
     if i == 0 {
         0
     } else {
-        (1u64 << (i - 1)) + (1u64 << (i - 1)) / 2
+        1u64 << (i - 1)
     }
 }
 
@@ -132,11 +134,12 @@ pub struct WindowSnapshot {
     pub sum: u64,
     /// Exact maximum inside the horizon.
     pub max: u64,
-    /// Approximate 50th percentile (bucket midpoint).
+    /// Approximate 50th percentile (within-bucket linear interpolation
+    /// over the merged pow2 buckets).
     pub p50: u64,
-    /// Approximate 95th percentile (bucket midpoint).
+    /// Approximate 95th percentile (interpolated, see `p50`).
     pub p95: u64,
-    /// Approximate 99th percentile (bucket midpoint).
+    /// Approximate 99th percentile (interpolated, see `p50`).
     pub p99: u64,
     /// The horizon the quantiles cover, in nanoseconds.
     pub window_ns: u64,
@@ -231,17 +234,37 @@ impl SlidingWindow {
             snap.sum = snap.sum.wrapping_add(slot.sum);
             snap.max = snap.max.max(slot.max);
         }
+        // Quantile read with within-bucket linear interpolation: the
+        // bucket holding the rank bounds the value to [2^(i-1), 2^i);
+        // assuming the bucket's observations spread uniformly across
+        // that range, the k-th of its c observations sits at
+        // lo + width·(k − ½)/c. This keeps nearby quantiles (p95/p99)
+        // apart when they land in the same power-of-two bucket, where a
+        // fixed midpoint would collapse them to one value.
         let pct = |q: f64| -> u64 {
             if snap.count == 0 {
                 return 0;
             }
-            let rank = (q * snap.count as f64).ceil() as u64;
+            let rank = ((q * snap.count as f64).ceil() as u64).max(1);
             let mut seen = 0u64;
             for (i, &c) in buckets.iter().enumerate() {
-                seen += c;
-                if seen >= rank {
-                    return bucket_mid(i);
+                if c == 0 {
+                    continue;
                 }
+                if seen + c >= rank {
+                    if i == 0 {
+                        return 0;
+                    }
+                    let lo = bucket_lo(i);
+                    // Bucket i covers [2^(i-1), 2^i): width equals lo.
+                    // (The top bucket also absorbs clamped values above
+                    // it; interpolation there is still monotone and the
+                    // result is capped at the observed max below.)
+                    let pos = (rank - seen) as f64 - 0.5;
+                    let v = lo as f64 + lo as f64 * (pos / c as f64);
+                    return (v.round() as u64).min(snap.max);
+                }
+                seen += c;
             }
             snap.max
         };
@@ -312,10 +335,9 @@ mod tests {
         z ^ (z >> 31)
     }
 
-    /// The pow2-bucket midpoint a value's quantile should report
-    /// (clamped to the top bucket, like recording is).
-    fn expected_mid(v: u64) -> u64 {
-        bucket_mid(((64 - v.leading_zeros()) as usize).min(BUCKETS - 1))
+    /// The pow2 bucket a value records into (clamped to the top).
+    fn bucket_of(v: u64) -> usize {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
     }
 
     #[test]
@@ -336,10 +358,61 @@ mod tests {
         assert_eq!(snap.max, *values.last().unwrap());
         for (q, got) in [(0.50, snap.p50), (0.95, snap.p95), (0.99, snap.p99)] {
             let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
-            // The window reports the holding bucket's midpoint; the
-            // brute-force quantile must fall in the same pow2 bucket.
-            assert_eq!(got, expected_mid(values[rank]), "q = {q}");
+            let exact = values[rank];
+            // The interpolated value must stay inside the pow2 bucket
+            // that holds the brute-force quantile (its only guaranteed
+            // bound under arbitrary within-bucket distributions).
+            let b = bucket_of(exact);
+            let lo = bucket_lo(b);
+            let hi = lo.saturating_mul(2).max(1);
+            assert!(
+                got >= lo && got <= hi,
+                "q = {q}: interpolated {got} outside bucket [{lo}, {hi}] of exact {exact}"
+            );
         }
+        // Quantiles are monotone.
+        assert!(snap.p50 <= snap.p95 && snap.p95 <= snap.p99 && snap.p99 <= snap.max);
+    }
+
+    #[test]
+    fn interpolation_separates_quantiles_within_one_bucket() {
+        // The regression this guards: batch latencies concentrated in a
+        // single pow2 bucket reported p95 == p99 == the bucket midpoint.
+        // With uniform data in [2^19, 2^20) the interpolated quantiles
+        // must separate and track a brute-force sort closely (uniform
+        // data is exactly the interpolation's model).
+        let w = SlidingWindow::new(cfg(4));
+        let mut values: Vec<u64> = Vec::new();
+        let lo = 1u64 << 19;
+        for i in 0..1_000u64 {
+            let v = lo + (i * (lo - 1)) / 1_000; // uniform over one bucket
+            w.record_at(i % (4 * SLOT), v);
+            values.push(v);
+        }
+        let snap = w.snapshot_at(4 * SLOT - 1);
+        values.sort_unstable();
+        assert!(snap.p95 != snap.p99, "p95 and p99 must separate");
+        assert!(snap.p50 < snap.p95 && snap.p95 < snap.p99);
+        for (q, got) in [(0.50, snap.p50), (0.95, snap.p95), (0.99, snap.p99)] {
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = values[rank] as f64;
+            let rel = (got as f64 - exact).abs() / exact;
+            assert!(
+                rel < 0.01,
+                "q = {q}: interpolated {got} vs exact {exact} (rel {rel:.4})"
+            );
+        }
+    }
+
+    #[test]
+    fn interpolated_quantiles_stay_within_observed_range() {
+        let w = SlidingWindow::new(cfg(4));
+        // A single observation: every quantile is that observation.
+        w.record_at(0, 700_000);
+        let s = w.snapshot_at(0);
+        assert_eq!(s.max, 700_000);
+        assert!(s.p50 <= s.max && s.p99 <= s.max);
+        assert!(s.p50 >= bucket_lo(bucket_of(700_000)));
     }
 
     #[test]

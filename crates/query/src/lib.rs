@@ -25,4 +25,4 @@ pub mod workload;
 pub use eval::{evaluate, EvalIndex};
 pub use parser::{parse_twig, TwigParseError};
 pub use twig::{Axis, LabelTest, NodeKind, TwigNode, TwigQuery};
-pub use workload::{QueryClass, Workload, WorkloadConfig, WorkloadQuery};
+pub use workload::{classify, QueryClass, Workload, WorkloadConfig, WorkloadQuery};

@@ -54,6 +54,23 @@ impl QueryClass {
     }
 }
 
+/// Classifies an arbitrary twig by its first value predicate (the
+/// generators attach at most one per query): `Range` → `Numeric`,
+/// `Contains` → `String`, keyword predicates → `Text`, none → `Struct`.
+///
+/// The serving-side shadow accuracy monitor uses this to bucket live
+/// queries into the same classes as offline workload reports.
+pub fn classify(query: &TwigQuery) -> QueryClass {
+    match query.predicates().next().map(|(_, p)| p) {
+        None => QueryClass::Struct,
+        Some(ValuePredicate::Range { .. }) => QueryClass::Numeric,
+        Some(ValuePredicate::Contains { .. }) => QueryClass::String,
+        Some(ValuePredicate::FtContains { .. } | ValuePredicate::SimilarTo { .. }) => {
+            QueryClass::Text
+        }
+    }
+}
+
 /// One generated query with its ground-truth selectivity.
 #[derive(Debug, Clone)]
 pub struct WorkloadQuery {
@@ -569,6 +586,25 @@ mod tests {
         for q in &w.queries {
             assert_eq!(q.class, QueryClass::Numeric);
         }
+    }
+
+    #[test]
+    fn classify_matches_generator_classes() {
+        let (tree, idx) = setup();
+        let cfg = WorkloadConfig {
+            num_queries: 40,
+            seed: 7,
+            ..WorkloadConfig::default()
+        };
+        for w in [
+            generate_positive(&tree, &idx, &cfg),
+            generate_negative(&tree, &idx, &cfg),
+        ] {
+            for q in &w.queries {
+                assert_eq!(classify(&q.query), q.class, "{:?}", q.query);
+            }
+        }
+        assert_eq!(classify(&TwigQuery::new()), QueryClass::Struct);
     }
 
     #[test]

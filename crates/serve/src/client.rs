@@ -47,15 +47,31 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> io::Result<HttpResponse> {
+    request_with_headers(addr, method, path, &[], body)
+}
+
+/// [`request`] with extra request headers (e.g. `x-request-id`).
+/// Header names and values must already be line-safe.
+pub fn request_with_headers(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> io::Result<HttpResponse> {
     let mut stream = TcpStream::connect(host_port(addr))?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     let body = body.unwrap_or("");
-    let head = format!(
+    let mut head = format!(
         "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\
-         Content-Type: application/json\r\nConnection: close\r\n\r\n",
+         Content-Type: application/json\r\nConnection: close\r\n",
         host_port(addr),
         body.len(),
     );
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()?;

@@ -9,11 +9,32 @@
 
 use std::io::{self, BufRead, Read, Write};
 
-/// Upper bound on request head (request line + headers) bytes.
+/// Default upper bound on request head (request line + headers) bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
-/// Upper bound on request body bytes (hostile `Content-Length` guard).
+/// Default upper bound on request body bytes (hostile `Content-Length`
+/// guard).
 pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// Request-size caps enforced while reading a request off the wire.
+/// [`Limits::default`] matches the historical hardcoded values; the
+/// server exposes them as `xcluster serve` flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Upper bound on request head (request line + headers) bytes.
+    pub max_head_bytes: usize,
+    /// Upper bound on declared request body bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: MAX_HEAD_BYTES,
+            max_body_bytes: MAX_BODY_BYTES,
+        }
+    }
+}
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -35,6 +56,23 @@ impl Request {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// The path without its query string (`/debug/slow?chrome=1` →
+    /// `/debug/slow`).
+    pub fn route_path(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+
+    /// First value of query parameter `key` (`?n=50&x` → `n` is `50`,
+    /// `x` is `""`). No percent-decoding — the diagnostics endpoints
+    /// only take plain numeric/flag parameters.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        let (_, qs) = self.path.split_once('?')?;
+        qs.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
     }
 
     /// Whether the client asked to keep the connection open (HTTP/1.1
@@ -79,7 +117,7 @@ impl From<io::Error> for ReadError {
     }
 }
 
-fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<String, ReadError> {
+fn read_line<R: BufRead>(r: &mut R, budget: &mut usize, cap: usize) -> Result<String, ReadError> {
     let mut buf = Vec::new();
     let n = r
         .by_ref()
@@ -89,9 +127,7 @@ fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<String, ReadEr
         return Err(ReadError::Closed);
     }
     if n > *budget {
-        return Err(ReadError::TooLarge(format!(
-            "head exceeds {MAX_HEAD_BYTES} bytes"
-        )));
+        return Err(ReadError::TooLarge(format!("head exceeds {cap} bytes")));
     }
     *budget -= n;
     if buf.last() != Some(&b'\n') {
@@ -104,11 +140,17 @@ fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<String, ReadEr
     String::from_utf8(buf).map_err(|_| ReadError::Malformed("non-UTF-8 header bytes".into()))
 }
 
-/// Reads one request off `r`. Returns [`ReadError::Closed`] when the
-/// peer hung up cleanly before sending a request line.
+/// Reads one request off `r` with the default [`Limits`]. Returns
+/// [`ReadError::Closed`] when the peer hung up cleanly before sending a
+/// request line.
 pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ReadError> {
-    let mut budget = MAX_HEAD_BYTES;
-    let request_line = read_line(r, &mut budget)?;
+    read_request_with(r, &Limits::default())
+}
+
+/// Reads one request off `r`, enforcing the given size caps.
+pub fn read_request_with<R: BufRead>(r: &mut R, limits: &Limits) -> Result<Request, ReadError> {
+    let mut budget = limits.max_head_bytes;
+    let request_line = read_line(r, &mut budget, limits.max_head_bytes)?;
     let mut parts = request_line.split(' ');
     let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
@@ -123,7 +165,7 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ReadError> {
     }
     let mut headers = Vec::new();
     loop {
-        let line = match read_line(r, &mut budget) {
+        let line = match read_line(r, &mut budget, limits.max_head_bytes) {
             Ok(l) => l,
             Err(ReadError::Closed) => {
                 return Err(ReadError::Malformed("truncated header block".into()))
@@ -153,9 +195,10 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ReadError> {
         let len: usize = cl
             .parse()
             .map_err(|_| ReadError::Malformed(format!("bad content-length {cl:?}")))?;
-        if len > MAX_BODY_BYTES {
+        if len > limits.max_body_bytes {
             return Err(ReadError::TooLarge(format!(
-                "body of {len} bytes exceeds {MAX_BODY_BYTES}"
+                "body of {len} bytes exceeds {}",
+                limits.max_body_bytes
             )));
         }
         let mut body = vec![0u8; len];
@@ -173,36 +216,50 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (e.g. `x-request-id` echo); names must
+    /// already be valid header tokens.
+    pub headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: Vec<u8>,
 }
 
 impl Response {
-    /// A `text/plain` response.
-    pub fn text(status: u16, body: impl Into<String>) -> Response {
+    /// A response with an explicit content type.
+    pub fn with_type(status: u16, content_type: &'static str, body: impl Into<String>) -> Response {
         Response {
             status,
-            content_type: "text/plain; charset=utf-8",
+            content_type,
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response::with_type(status, "text/plain; charset=utf-8", body)
     }
 
     /// An `application/json` response.
     pub fn json(status: u16, body: impl Into<String>) -> Response {
-        Response {
-            status,
-            content_type: "application/json",
-            body: body.into().into_bytes(),
-        }
+        Response::with_type(status, "application/json", body)
     }
 
     /// A Prometheus text-exposition response.
     pub fn metrics(body: String) -> Response {
-        Response {
-            status: 200,
-            content_type: "text/plain; version=0.0.4",
-            body: body.into_bytes(),
-        }
+        Response::with_type(200, "text/plain; version=0.0.4", body)
+    }
+
+    /// Appends an extra response header. Values are sanitized to a
+    /// single line so a hostile echo cannot inject headers.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        let value: String = value
+            .into()
+            .chars()
+            .filter(|c| !c.is_control())
+            .take(256)
+            .collect();
+        self.headers.push((name, value));
+        self
     }
 }
 
@@ -223,14 +280,21 @@ pub fn status_text(status: u16) -> &'static str {
 /// Serializes `resp` as one `write_all` (head + body in a single
 /// buffer, so concurrent connections never interleave partial writes).
 pub fn write_response<W: Write>(w: &mut W, resp: &Response, keep_alive: bool) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
         status_text(resp.status),
         resp.content_type,
         resp.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in &resp.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     let mut buf = Vec::with_capacity(head.len() + resp.body.len());
     buf.extend_from_slice(head.as_bytes());
     buf.extend_from_slice(&resp.body);
@@ -320,6 +384,63 @@ mod tests {
     fn oversized_head_is_rejected() {
         let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_HEAD_BYTES));
         assert!(matches!(parse(&raw), Err(ReadError::TooLarge(_))));
+    }
+
+    #[test]
+    fn custom_limits_are_enforced() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 8,
+        };
+        // Head just over the configured cap.
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(80));
+        let err = read_request_with(&mut BufReader::new(raw.as_bytes()), &limits).unwrap_err();
+        assert!(matches!(err, ReadError::TooLarge(_)));
+        // Declared body over the configured cap (well under the default).
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789";
+        let err = read_request_with(&mut BufReader::new(raw.as_bytes()), &limits).unwrap_err();
+        assert!(matches!(err, ReadError::TooLarge(m) if m.contains('8')));
+        // At the cap both pass.
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 8\r\n\r\n12345678";
+        let req = read_request_with(&mut BufReader::new(raw.as_bytes()), &limits).unwrap();
+        assert_eq!(req.body, b"12345678");
+    }
+
+    #[test]
+    fn route_path_and_query_params() {
+        let req = parse("GET /debug/slow?chrome=1&n=5 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.route_path(), "/debug/slow");
+        assert_eq!(req.query_param("chrome"), Some("1"));
+        assert_eq!(req.query_param("n"), Some("5"));
+        assert_eq!(req.query_param("missing"), None);
+        let req = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.route_path(), "/healthz");
+        assert_eq!(req.query_param("chrome"), None);
+    }
+
+    #[test]
+    fn extra_headers_are_emitted_and_sanitized() {
+        let resp = Response::json(200, "{}")
+            .with_header("x-request-id", "abc-123")
+            .with_header("x-evil", "a\r\nInjected: yes");
+        let mut out = Vec::new();
+        write_response(&mut out, &resp, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("x-request-id: abc-123\r\n"), "{text}");
+        assert!(text.contains("x-evil: aInjected: yes\r\n"), "{text}");
+        assert!(!text.contains("\r\nInjected:"));
+        // Headers land before the blank line separating head from body.
+        let head_end = text.find("\r\n\r\n").unwrap();
+        assert!(text.find("x-request-id").unwrap() < head_end);
+    }
+
+    #[test]
+    fn with_type_sets_content_type() {
+        let resp = Response::with_type(200, "application/x-ndjson", "{}\n");
+        let mut out = Vec::new();
+        write_response(&mut out, &resp, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: application/x-ndjson\r\n"));
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!   (Prometheus text exposition from `xcluster_obs::expose`),
 //!   `GET /healthz`, `GET /readyz`, `GET /synopsis/stats`, and
 //!   `POST /shutdown`;
+//! * [`telemetry`] — request-level telemetry: the top-K slow-query
+//!   ring (full span trees, `GET /debug/slow`) and the shadow accuracy
+//!   monitor re-evaluating a deterministic sample of served queries
+//!   exactly (`xcluster_accuracy_rel{class=...}`);
 //! * [`client`] — one-shot blocking HTTP client for tests and tooling;
 //! * [`loadgen`] — seeded workload driver reporting achieved
 //!   throughput, sliding-window latency quantiles, and optional
@@ -27,7 +31,9 @@ pub mod client;
 pub mod http;
 pub mod loadgen;
 pub mod server;
+pub mod telemetry;
 
 pub use client::{request, HttpResponse};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use server::{Server, ServerConfig, ServerState};
+pub use telemetry::{ShadowConfig, ShadowMonitor, ShadowStats, SlowEntry, SlowRing};

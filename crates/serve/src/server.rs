@@ -12,6 +12,9 @@
 //! | GET    | `/healthz`        | liveness (always 200 while running)       |
 //! | GET    | `/readyz`         | readiness (503 until the synopsis loads)  |
 //! | GET    | `/synopsis/stats` | synopsis + memory-footprint JSON          |
+//! | GET    | `/debug/requests` | recent journal records (`?n=` limit)      |
+//! | GET    | `/debug/slow`     | top-K slow batches (`?chrome=1` trace)    |
+//! | GET    | `/debug/journal`  | full journal as JSONL download            |
 //! | POST   | `/shutdown`       | graceful stop (drains, then exits)        |
 //!
 //! Estimates are produced by a compiled-plan [`Estimator`] session, so
@@ -23,22 +26,41 @@
 //! [`ReachCache`] across requests, so repeated label reachability and
 //! value probes are answered from the cache; the cache is replaced
 //! (never retained) when a new synopsis is installed.
+//!
+//! # Request telemetry
+//!
+//! Every `/estimate` request is assigned an id — the client's
+//! `x-request-id` header when present (sanitized), otherwise generated
+//! from the journal sequence — and the id is echoed back as a response
+//! header. Served queries receive global sequence numbers from the
+//! wide-event [`Journal`]; a seeded sampler decides which get a
+//! retained record, and a second, independent sampler marks the subset
+//! handed to the optional shadow accuracy monitor (see
+//! [`crate::telemetry`]). Batches slow enough for the top-K
+//! [`SlowRing`] are deterministically re-estimated with tracing on —
+//! estimation is pure, so the re-run is bitwise identical — and the
+//! resulting span trees are browsable at `GET /debug/slow`.
 
-use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::http::{read_request_with, write_response, Limits, ReadError, Request, Response};
+use crate::telemetry::{shard_of, ShadowConfig, ShadowMonitor, SlowEntry, SlowRing};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, LazyLock, Mutex, RwLock};
 use std::time::{Duration, Instant};
-use xcluster_core::footprint::MemoryFootprint;
+use xcluster_core::footprint::{MemoryFootprint, ServingFootprint};
 use xcluster_core::par::resolve_threads;
 use xcluster_core::synopsis::Synopsis;
 use xcluster_core::{Estimator, ReachCache};
 use xcluster_obs::export::esc;
 use xcluster_obs::json::{self, JsonValue};
-use xcluster_obs::{expose, Counter, Histogram, SlidingWindow, WindowConfig};
+use xcluster_obs::{
+    expose, trace, Counter, Histogram, Journal, JournalConfig, JournalRecord, Sampler,
+    SlidingWindow, WindowConfig,
+};
 use xcluster_query::parse_twig;
+use xcluster_xml::XmlTree;
 
 static REQUESTS: LazyLock<Arc<Counter>> = LazyLock::new(|| xcluster_obs::counter("serve.requests"));
 static ERRORS: LazyLock<Arc<Counter>> = LazyLock::new(|| xcluster_obs::counter("serve.errors"));
@@ -48,6 +70,8 @@ static QUERIES: LazyLock<Arc<Counter>> =
     LazyLock::new(|| xcluster_obs::counter("serve.estimate_queries"));
 static ESTIMATE_NS: LazyLock<Arc<Histogram>> =
     LazyLock::new(|| xcluster_obs::histogram("serve.estimate_ns"));
+static CLUSTERS_VISITED: LazyLock<Arc<Counter>> =
+    LazyLock::new(|| xcluster_obs::counter("estimate.clusters_visited"));
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -59,14 +83,45 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Threads per `estimate_batch` call (`0` = available parallelism).
     pub estimate_threads: usize,
+    /// Per-connection read timeout in seconds (`0` = no timeout).
+    pub read_timeout_secs: u64,
+    /// Request head (request line + headers) byte cap.
+    pub max_head_bytes: usize,
+    /// Request body byte cap.
+    pub max_body_bytes: usize,
+    /// Wide-event journal retention (records; `0` disables retention
+    /// but sequence numbers still advance).
+    pub journal_capacity: usize,
+    /// Journal sampling rate, parts-per-million of served queries.
+    pub journal_sample_ppm: u32,
+    /// Journal sampler seed.
+    pub journal_seed: u64,
+    /// Top-K slow-batch ring capacity (`0` disables trace capture).
+    pub slow_capacity: usize,
+    /// Shadow-accuracy sampling rate, parts-per-million. The sampler
+    /// always runs (the journal's `shadow_sampled` flag is deterministic
+    /// whether or not a monitor is attached).
+    pub shadow_sample_ppm: u32,
+    /// Shadow sampler seed.
+    pub shadow_seed: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let journal = JournalConfig::default();
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 0,
             estimate_threads: 1,
+            read_timeout_secs: 30,
+            max_head_bytes: Limits::default().max_head_bytes,
+            max_body_bytes: Limits::default().max_body_bytes,
+            journal_capacity: journal.capacity,
+            journal_sample_ppm: journal.sample_ppm,
+            journal_seed: journal.seed,
+            slow_capacity: 16,
+            shadow_sample_ppm: ShadowConfig::default().sample_ppm,
+            shadow_seed: ShadowConfig::default().seed,
         }
     }
 }
@@ -81,7 +136,8 @@ struct Loaded {
 }
 
 /// Shared server state: the loaded synopsis, readiness/shutdown flags,
-/// and the sliding latency window behind the `/metrics` quantiles.
+/// the sliding latency window behind the `/metrics` quantiles, and the
+/// request-telemetry rings.
 pub struct ServerState {
     loaded: RwLock<Option<Loaded>>,
     ready: AtomicBool,
@@ -90,6 +146,16 @@ pub struct ServerState {
     /// Batch latency over the last 10 seconds (10 × 1 s sub-windows).
     window: SlidingWindow,
     addr: SocketAddr,
+    limits: Limits,
+    read_timeout: Option<Duration>,
+    /// Wide-event query journal (also the global seq counter).
+    journal: Journal,
+    /// Top-K slowest batches with full span trees.
+    slow: SlowRing,
+    /// Decides which served queries the shadow monitor re-evaluates;
+    /// always present so the journal flag stays deterministic.
+    shadow_sampler: Sampler,
+    shadow: RwLock<Option<Arc<ShadowMonitor>>>,
 }
 
 impl ServerState {
@@ -116,6 +182,36 @@ impl ServerState {
     pub fn window(&self) -> &SlidingWindow {
         &self.window
     }
+
+    /// The wide-event query journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The top-K slow-batch ring.
+    pub fn slow_ring(&self) -> &SlowRing {
+        &self.slow
+    }
+
+    /// The shadow sampling decision for a journal sequence number.
+    pub fn shadow_sampler(&self) -> &Sampler {
+        &self.shadow_sampler
+    }
+
+    /// The attached shadow monitor, if any.
+    pub fn shadow(&self) -> Option<Arc<ShadowMonitor>> {
+        self.shadow.read().unwrap().clone()
+    }
+
+    /// Publishes the journal/slow-ring resident bytes as `footprint.*`
+    /// gauges (called after every journaled batch).
+    fn register_serving_footprint(&self) {
+        ServingFootprint {
+            journal_bytes: self.journal.heap_bytes(),
+            slow_ring_bytes: self.slow.heap_bytes(),
+        }
+        .register();
+    }
 }
 
 /// A bound, not-yet-running server.
@@ -136,6 +232,12 @@ impl Server {
         xcluster_obs::gauge("serve.workers").set(workers as i64);
         xcluster_obs::gauge("serve.ready").set(0);
         xcluster_obs::gauge("serve.shutting_down").set(0);
+        let journal = Journal::new(JournalConfig {
+            capacity: cfg.journal_capacity,
+            sample_ppm: cfg.journal_sample_ppm,
+            seed: cfg.journal_seed,
+            ..JournalConfig::default()
+        });
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
@@ -145,6 +247,16 @@ impl Server {
                 estimate_threads: cfg.estimate_threads,
                 window: SlidingWindow::new(WindowConfig::default()),
                 addr,
+                limits: Limits {
+                    max_head_bytes: cfg.max_head_bytes,
+                    max_body_bytes: cfg.max_body_bytes,
+                },
+                read_timeout: (cfg.read_timeout_secs > 0)
+                    .then(|| Duration::from_secs(cfg.read_timeout_secs)),
+                journal,
+                slow: SlowRing::new(cfg.slow_capacity),
+                shadow_sampler: Sampler::new(cfg.shadow_seed, cfg.shadow_sample_ppm),
+                shadow: RwLock::new(None),
             }),
             workers,
         })
@@ -185,22 +297,37 @@ impl Server {
         xcluster_obs::gauge("serve.ready").set(1);
     }
 
+    /// Attaches a shadow accuracy monitor over an owned copy of the
+    /// served document. The monitor's sampling identity (rate + seed)
+    /// is forced to the server's own shadow sampler, so the journal's
+    /// `shadow_sampled` flags describe exactly the monitored subset.
+    pub fn set_shadow(&self, tree: XmlTree, cfg: ShadowConfig) {
+        let cfg = ShadowConfig {
+            sample_ppm: self.state.shadow_sampler.rate_ppm(),
+            seed: self.state.journal.config().seed,
+            ..cfg
+        };
+        let monitor = Arc::new(ShadowMonitor::spawn(cfg, tree));
+        *self.state.shadow.write().unwrap() = Some(monitor);
+    }
+
     /// Runs the accept loop until shutdown is requested. Connections
     /// are dispatched over a bounded channel to a fixed worker pool;
     /// when the channel is full the accept loop blocks, applying
-    /// backpressure instead of queueing without bound.
+    /// backpressure instead of queueing without bound. On exit the
+    /// shadow monitor (if any) is drained and joined.
     pub fn run(&self) -> std::io::Result<()> {
         let state = &self.state;
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(self.workers * 2);
         let rx = Arc::new(Mutex::new(rx));
         xcluster_obs::info!("serve", "listening addr={}", self.state.addr);
         std::thread::scope(|scope| {
-            for _ in 0..self.workers {
+            for worker in 0..self.workers as u64 {
                 let rx = Arc::clone(&rx);
                 scope.spawn(move || loop {
                     let stream = rx.lock().unwrap().recv();
                     match stream {
-                        Ok(s) => handle_connection(state, s),
+                        Ok(s) => handle_connection(state, s, worker),
                         Err(_) => break,
                     }
                 });
@@ -222,21 +349,24 @@ impl Server {
             }
             drop(tx);
         });
+        if let Some(shadow) = state.shadow() {
+            shadow.finish();
+        }
         xcluster_obs::info!("serve", "stopped addr={}", self.state.addr);
         Ok(())
     }
 }
 
-fn handle_connection(state: &ServerState, stream: TcpStream) {
+fn handle_connection(state: &ServerState, stream: TcpStream, worker: u64) {
     // A stuck or idle peer must not pin a pool worker forever.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_read_timeout(state.read_timeout);
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let mut stream = stream;
     loop {
-        let req = match read_request(&mut reader) {
+        let req = match read_request_with(&mut reader, &state.limits) {
             Ok(r) => r,
             Err(ReadError::Closed) => return,
             Err(ReadError::Io(_)) => return,
@@ -255,14 +385,14 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
         };
         REQUESTS.inc();
         let keep_alive = req.keep_alive() && !state.shutting_down();
-        let resp = route(state, &req);
+        let resp = route(state, &req, worker);
         if resp.status >= 400 {
             ERRORS.inc();
         }
         if write_response(&mut stream, &resp, keep_alive).is_err() {
             return;
         }
-        if req.method == "POST" && req.path == "/shutdown" {
+        if req.method == "POST" && req.route_path() == "/shutdown" {
             state.request_shutdown();
             return;
         }
@@ -272,8 +402,8 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
     }
 }
 
-fn route(state: &ServerState, req: &Request) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
+fn route(state: &ServerState, req: &Request, worker: u64) -> Response {
+    match (req.method.as_str(), req.route_path()) {
         ("GET", "/healthz") => Response::text(200, "ok\n"),
         ("GET", "/readyz") => {
             if state.ready() {
@@ -285,18 +415,25 @@ fn route(state: &ServerState, req: &Request) -> Response {
         ("GET", "/metrics") => {
             let snap = xcluster_obs::snapshot();
             let windows = [("estimate_ns", state.window.snapshot())];
-            Response::metrics(expose::render_with_windows(
-                &snap,
-                &windows,
-                expose::DEFAULT_NAMESPACE,
-            ))
+            let mut body = expose::render_with_windows(&snap, &windows, expose::DEFAULT_NAMESPACE);
+            if let Some(shadow) = state.shadow() {
+                shadow.render_metrics(&mut body, expose::DEFAULT_NAMESPACE);
+            }
+            Response::metrics(body)
         }
         ("GET", "/synopsis/stats") => stats_response(state),
-        ("POST", "/estimate") => estimate_response(state, req),
+        ("GET", "/debug/requests") => debug_requests_response(state, req),
+        ("GET", "/debug/slow") => debug_slow_response(state, req),
+        ("GET", "/debug/journal") => Response::with_type(200, "application/x-ndjson", {
+            xcluster_obs::journal::to_jsonl(&state.journal.snapshot())
+        }),
+        ("POST", "/estimate") => estimate_response(state, req, worker),
         ("POST", "/shutdown") => Response::text(200, "shutting down\n"),
-        (_, "/healthz" | "/readyz" | "/metrics" | "/synopsis/stats") => {
-            Response::text(405, "method not allowed\n")
-        }
+        (
+            _,
+            "/healthz" | "/readyz" | "/metrics" | "/synopsis/stats" | "/debug/requests"
+            | "/debug/slow" | "/debug/journal",
+        ) => Response::text(405, "method not allowed\n"),
         (_, "/estimate" | "/shutdown") => Response::text(405, "method not allowed\n"),
         _ => Response::text(404, "not found\n"),
     }
@@ -320,6 +457,24 @@ fn stats_response(state: &ServerState) -> Response {
         ));
     }
     let cstats = loaded.cache.stats();
+    let journal = &state.journal;
+    let jcfg = journal.config();
+    let shadow_block = match state.shadow() {
+        Some(m) => {
+            let st = m.stats();
+            format!(
+                ",\"shadow\":{{\"sample_ppm\":{},\"submitted\":{},\"evaluated\":{},\
+                 \"dropped\":{},\"parse_failures\":{},\"drift_events\":{}}}",
+                m.config().sample_ppm,
+                st.submitted,
+                st.evaluated,
+                st.dropped,
+                st.parse_failures,
+                st.drift_events,
+            )
+        }
+        None => String::new(),
+    };
     let body = format!(
         "{{\"nodes\":{},\"edges\":{},\"value_nodes\":{},\"arena_nodes\":{},\"max_depth\":{},\
          \"model\":{{\"structural_bytes\":{},\"value_bytes\":{},\"total_bytes\":{}}},\
@@ -327,7 +482,10 @@ fn stats_response(state: &ServerState) -> Response {
          \"interner_bytes\":{},\"summary_bytes\":{},\"summaries\":{{{kinds}}}}},\
          \"reach_cache\":{{\"heap_bytes\":{},\"full_entries\":{},\"reach_entries\":{},\
          \"probe_entries\":{},\"reach_hits\":{},\"reach_misses\":{},\"probe_hits\":{},\
-         \"probe_misses\":{}}}}}",
+         \"probe_misses\":{}}},\
+         \"journal\":{{\"capacity\":{},\"len\":{},\"reserved\":{},\"evicted\":{},\
+         \"sample_ppm\":{},\"seed\":{},\"heap_bytes\":{}}},\
+         \"slow_ring\":{{\"capacity\":{},\"len\":{},\"heap_bytes\":{}}}{shadow_block}}}",
         s.num_nodes(),
         s.num_edges(),
         s.num_value_nodes(),
@@ -349,11 +507,92 @@ fn stats_response(state: &ServerState) -> Response {
         cstats.reach_misses,
         cstats.probe_hits,
         cstats.probe_misses,
+        journal.capacity(),
+        journal.len(),
+        journal.reserved(),
+        journal.evicted(),
+        jcfg.sample_ppm,
+        jcfg.seed,
+        journal.heap_bytes(),
+        state.slow.capacity(),
+        state.slow.len(),
+        state.slow.heap_bytes(),
     );
     Response::json(200, body)
 }
 
-fn estimate_response(state: &ServerState, req: &Request) -> Response {
+/// `GET /debug/requests[?n=K]` — the most recent K (default 100)
+/// journal records as a JSON array, newest last.
+fn debug_requests_response(state: &ServerState, req: &Request) -> Response {
+    let n = req
+        .query_param("n")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(100);
+    let records = state.journal.snapshot();
+    let tail = &records[records.len().saturating_sub(n)..];
+    let mut out = String::with_capacity(64 + tail.len() * 160);
+    out.push_str("{\"count\":");
+    out.push_str(&tail.len().to_string());
+    out.push_str(",\"records\":[");
+    for (i, rec) in tail.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&rec.to_json());
+    }
+    out.push_str("]}");
+    Response::json(200, out)
+}
+
+/// `GET /debug/slow[?chrome=1]` — the top-K slowest batches. The
+/// default JSON lists batch identity and rendered span trees; with
+/// `chrome=1` the stored traces are exported as one Chrome
+/// `chrome://tracing` / Perfetto document.
+fn debug_slow_response(state: &ServerState, req: &Request) -> Response {
+    let entries = state.slow.snapshot();
+    if req.query_param("chrome") == Some("1") {
+        let traces: Vec<_> = entries.into_iter().flat_map(|e| e.traces).collect();
+        return Response::json(200, trace::chrome_trace_json(&traces));
+    }
+    let mut out = String::with_capacity(64 + entries.len() * 256);
+    out.push_str("{\"count\":");
+    out.push_str(&entries.len().to_string());
+    out.push_str(",\"batches\":[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut tree = String::new();
+        for t in &e.traces {
+            tree.push_str(&t.render_tree());
+        }
+        out.push_str(&format!(
+            "{{\"seq\":{},\"request_id\":\"{}\",\"latency_ns\":{},\"queries\":{},\
+             \"spans\":{},\"tree\":\"{}\"}}",
+            e.seq,
+            esc(&e.request_id),
+            e.latency_ns,
+            e.queries,
+            e.traces.iter().map(|t| t.spans().len()).sum::<usize>(),
+            esc(&tree),
+        ));
+    }
+    out.push_str("]}");
+    Response::json(200, out)
+}
+
+/// Extracts a usable request id from the client header: printable
+/// ASCII, truncated to 64 bytes. Anything else falls back to the
+/// server-generated id.
+fn client_request_id(req: &Request) -> Option<String> {
+    let id = req.header("x-request-id")?.trim();
+    if id.is_empty() || !id.bytes().all(|b| (0x21..=0x7E).contains(&b)) {
+        return None;
+    }
+    Some(id.chars().take(64).collect())
+}
+
+fn estimate_response(state: &ServerState, req: &Request, worker: u64) -> Response {
     let (synopsis, cache) = {
         let guard = state.loaded.read().unwrap();
         match guard.as_ref() {
@@ -373,6 +612,7 @@ fn estimate_response(state: &ServerState, req: &Request) -> Response {
         return Response::json(400, "{\"error\":\"expected {\\\"queries\\\":[...]}\"}");
     };
     let mut twigs = Vec::with_capacity(queries.len());
+    let mut texts: Vec<&str> = Vec::with_capacity(queries.len());
     for (i, q) in queries.iter().enumerate() {
         let Some(text) = q.as_str() else {
             return Response::json(
@@ -381,7 +621,10 @@ fn estimate_response(state: &ServerState, req: &Request) -> Response {
             );
         };
         match parse_twig(text, synopsis.terms()) {
-            Ok(t) => twigs.push(t),
+            Ok(t) => {
+                twigs.push(t);
+                texts.push(text);
+            }
             Err(e) => {
                 return Response::json(
                     400,
@@ -390,16 +633,79 @@ fn estimate_response(state: &ServerState, req: &Request) -> Response {
             }
         }
     }
+    // Reserve the batch's global sequence block before estimating so
+    // journal order reflects admission order.
+    let seq0 = state.journal.reserve(twigs.len() as u64);
+    let request_id = client_request_id(req).unwrap_or_else(|| format!("auto-{seq0:08x}"));
+    // Before/after counter deltas attribute batch-level work to the
+    // journal records. The counters are process-global and the cache is
+    // per-synopsis, so under concurrent batches the deltas are
+    // approximate — documented on `JournalRecord`.
+    let clusters0 = CLUSTERS_VISITED.get();
+    let cstats0 = cache.stats();
     let t0 = Instant::now();
-    let estimates = Estimator::new(&synopsis)
+    let estimator = Estimator::new(&synopsis)
         .with_threads(state.estimate_threads)
-        .with_cache(Arc::clone(&cache))
-        .estimate_batch(&twigs);
+        .with_cache(Arc::clone(&cache));
+    let estimates = estimator.estimate_batch(&twigs);
     let elapsed_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let clusters = CLUSTERS_VISITED.get().saturating_sub(clusters0);
+    let cstats = cache.stats();
     state.window.record(elapsed_ns);
     ESTIMATE_NS.record(elapsed_ns);
     BATCHES.inc();
     QUERIES.add(twigs.len() as u64);
+    // Journal the sampled queries of this batch.
+    let shadow = state.shadow();
+    for (i, (text, est)) in texts.iter().zip(&estimates).enumerate() {
+        let seq = seq0 + i as u64;
+        let shadow_sampled = state.shadow_sampler.sample(seq);
+        if shadow_sampled {
+            if let Some(m) = &shadow {
+                m.submit(text, *est);
+            }
+        }
+        if state.journal.sampled(seq) {
+            state.journal.record(JournalRecord {
+                seq,
+                request_id: request_id.clone(),
+                query: (*text).to_string(),
+                estimate: *est,
+                latency_ns: elapsed_ns,
+                clusters,
+                reach_hits: cstats.reach_hits.saturating_sub(cstats0.reach_hits),
+                reach_misses: cstats.reach_misses.saturating_sub(cstats0.reach_misses),
+                probe_hits: cstats.probe_hits.saturating_sub(cstats0.probe_hits),
+                probe_misses: cstats.probe_misses.saturating_sub(cstats0.probe_misses),
+                worker,
+                shard: shard_of(i, twigs.len(), state.estimate_threads),
+                shadow_sampled,
+            });
+        }
+    }
+    // Capture the span trees of a qualifying slow batch by re-running
+    // it traced: estimation is pure, so the re-run estimates are
+    // bitwise identical and only the original latency is kept.
+    if !twigs.is_empty() && state.slow.qualifies(elapsed_ns) {
+        let traced = estimator.estimate_batch_traced_by(&twigs, |t| t);
+        let traces = traced
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, mut t))| {
+                t.push_root_attr("request_id", request_id.as_str());
+                t.push_root_attr("seq", seq0 + i as u64);
+                t
+            })
+            .collect();
+        state.slow.offer(SlowEntry {
+            seq: seq0,
+            request_id: request_id.clone(),
+            latency_ns: elapsed_ns,
+            queries: twigs.len(),
+            traces,
+        });
+    }
+    state.register_serving_footprint();
     // The cache grows monotonically (bounded probe memo); account its
     // resident bytes alongside the synopsis footprint gauges.
     xcluster_obs::gauge("footprint.reach_cache_bytes").set(cache.heap_bytes() as i64);
@@ -416,5 +722,5 @@ fn estimate_response(state: &ServerState, req: &Request) -> Response {
         out.push_str(&format!("{e}"));
     }
     out.push_str("]}");
-    Response::json(200, out)
+    Response::json(200, out).with_header("x-request-id", request_id)
 }

@@ -1,0 +1,592 @@
+//! Serving-side telemetry: the top-K slow-query ring and the shadow
+//! accuracy monitor.
+//!
+//! # Slow ring
+//!
+//! [`SlowRing`] keeps the K slowest `/estimate` batches seen since
+//! startup, each with the full span trees of its queries. Traces are
+//! produced by *re-running* a qualifying batch through the traced
+//! estimator entry point — estimation is a pure function of (synopsis,
+//! query), so the re-run returns bitwise-identical estimates while the
+//! entry keeps the originally observed wall-clock latency for ranking.
+//!
+//! # Shadow accuracy monitor
+//!
+//! [`ShadowMonitor`] owns a background worker (one thread, fed by a
+//! bounded `sync_channel` — the same fixed-pool discipline as
+//! `xcluster_core::par`) that re-evaluates a deterministic sample of
+//! served queries *exactly* against the original document. Per-class
+//! relative errors are encoded as nano-units (`rel × 1e9`, rounded)
+//! into [`SlidingWindow`]s and exported as the labeled gauge family
+//! `xcluster_accuracy_rel{class="..."}`; a windowed mean crossing the
+//! configured threshold bumps `xcluster_accuracy_drift_total`
+//! (edge-triggered per class, so a sustained breach counts once).
+//!
+//! The sampling decision is a pure function of `(seed, journal seq)`
+//! via [`Sampler`], so an offline reader holding the exported journal
+//! can reconstruct exactly which queries the shadow evaluated and
+//! reproduce the published error means independently — the bench
+//! harness does precisely that and asserts agreement within `1e-9`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use xcluster_core::metrics::relative_error;
+use xcluster_core::par::resolve_threads;
+use xcluster_obs::trace::{AttrValue, Span};
+use xcluster_obs::{expose, SlidingWindow, Trace, WindowConfig};
+use xcluster_query::{classify, parse_twig, EvalIndex, QueryClass};
+use xcluster_xml::XmlTree;
+
+/// Scale for storing relative errors in integer sliding windows:
+/// one unit is 1e-9 of relative error ("nano-rel").
+pub const REL_SCALE: f64 = 1e9;
+
+/// Which shard of a `len`-item batch estimated at `threads` configured
+/// threads contains item `index`. Mirrors the `balanced_chunks`
+/// arithmetic in `xcluster_core::par` (contiguous chunks, the first
+/// `len % chunks` chunks carry one extra item), so journal records can
+/// attribute each query to the worker shard that actually estimated it.
+pub fn shard_of(index: usize, len: usize, threads: usize) -> u64 {
+    debug_assert!(index < len);
+    let chunks = resolve_threads(threads).min(len.max(1));
+    let base = len / chunks;
+    let rem = len % chunks;
+    let big = rem * (base + 1);
+    if index < big {
+        (index / (base + 1)) as u64
+    } else {
+        (rem + (index - big) / base.max(1)) as u64
+    }
+}
+
+/// One retained slow batch: identity, observed latency, and the span
+/// trees of a deterministic traced re-run.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// Journal sequence number of the batch's first query.
+    pub seq: u64,
+    /// The request id the batch was served under.
+    pub request_id: String,
+    /// Originally observed batch latency (not the re-run's).
+    pub latency_ns: u64,
+    /// Queries in the batch.
+    pub queries: usize,
+    /// One trace per query, in batch order.
+    pub traces: Vec<Trace>,
+}
+
+impl SlowEntry {
+    fn heap_bytes(&self) -> usize {
+        let attr_entry = std::mem::size_of::<(&'static str, AttrValue)>();
+        let trace_bytes: usize = self
+            .traces
+            .iter()
+            .flat_map(|t| t.spans())
+            .map(|s| {
+                let strings: usize = s
+                    .attrs
+                    .iter()
+                    .map(|(_, v)| match v {
+                        AttrValue::Str(s) => s.capacity(),
+                        _ => 0,
+                    })
+                    .sum();
+                std::mem::size_of::<Span>() + s.attrs.capacity() * attr_entry + strings
+            })
+            .sum();
+        self.request_id.capacity() + trace_bytes
+    }
+}
+
+/// Bounded top-K ring of the slowest `/estimate` batches, ordered by
+/// observed latency (descending). `offer` keeps at most `capacity`
+/// entries; `qualifies` lets callers skip the traced re-run for batches
+/// that would not be admitted anyway.
+pub struct SlowRing {
+    capacity: usize,
+    inner: Mutex<Vec<SlowEntry>>,
+}
+
+impl SlowRing {
+    /// An empty ring retaining at most `capacity` entries.
+    pub fn new(capacity: usize) -> SlowRing {
+        SlowRing {
+            capacity,
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether a batch with this latency would currently be admitted.
+    pub fn qualifies(&self, latency_ns: u64) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let g = self.inner.lock().unwrap();
+        g.len() < self.capacity || latency_ns > g.last().map_or(0, |e| e.latency_ns)
+    }
+
+    /// Inserts `entry` in latency order, evicting the fastest retained
+    /// entry if over capacity.
+    pub fn offer(&self, entry: SlowEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut g = self.inner.lock().unwrap();
+        let at = g
+            .binary_search_by(|e| entry.latency_ns.cmp(&e.latency_ns))
+            .unwrap_or_else(|i| i);
+        if at >= self.capacity {
+            return;
+        }
+        g.insert(at, entry);
+        g.truncate(self.capacity);
+    }
+
+    /// Retained entries, slowest first.
+    pub fn snapshot(&self) -> Vec<SlowEntry> {
+        self.inner.lock().unwrap().clone()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident bytes of the retained entries (traces,
+    /// attribute strings, request ids).
+    pub fn heap_bytes(&self) -> usize {
+        let g = self.inner.lock().unwrap();
+        g.capacity() * std::mem::size_of::<SlowEntry>()
+            + g.iter().map(SlowEntry::heap_bytes).sum::<usize>()
+    }
+}
+
+/// Shadow monitor construction parameters.
+#[derive(Debug, Clone)]
+pub struct ShadowConfig {
+    /// Sampling rate in parts-per-million of served queries (default
+    /// 50 000 = 5%).
+    pub sample_ppm: u32,
+    /// Sampler seed — must match the journal's seed for offline
+    /// reconstruction (the server wires this automatically).
+    pub seed: u64,
+    /// Sanity bound `s` of the relative-error metric (paper §6.1).
+    pub sanity_bound: f64,
+    /// Windowed mean relative error above which a class is in drift.
+    pub drift_threshold: f64,
+    /// Bounded job-queue depth; estimation never blocks on the shadow —
+    /// jobs beyond this are counted as dropped.
+    pub queue: usize,
+    /// Shape of the per-class error windows.
+    pub window: WindowConfig,
+}
+
+impl Default for ShadowConfig {
+    fn default() -> Self {
+        ShadowConfig {
+            sample_ppm: 50_000,
+            seed: 0x1CEB_00DA,
+            sanity_bound: 1.0,
+            drift_threshold: 0.5,
+            queue: 4096,
+            window: WindowConfig::seconds(12, 10),
+        }
+    }
+}
+
+/// One sampled query heading to exact re-evaluation.
+struct ShadowJob {
+    query: String,
+    estimate: f64,
+}
+
+/// Monitor counters at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShadowStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs exactly evaluated by the worker.
+    pub evaluated: u64,
+    /// Jobs rejected because the queue was full.
+    pub dropped: u64,
+    /// Sampled queries the worker could not parse against the document
+    /// terms (should stay 0 — the server already parsed them).
+    pub parse_failures: u64,
+    /// Edge-triggered threshold breaches across classes.
+    pub drift_events: u64,
+}
+
+struct ShadowShared {
+    /// Per-class nano-rel error windows, indexed in `QueryClass::ALL`
+    /// order.
+    windows: [SlidingWindow; 4],
+    /// Running exact sums backing the exported means: (nano-rel sum,
+    /// count) per class. Unlike the sliding windows these never expire,
+    /// which is what makes the bench's offline reconstruction exact.
+    sums: [(AtomicU64, AtomicU64); 4],
+    submitted: AtomicU64,
+    evaluated: AtomicU64,
+    dropped: AtomicU64,
+    parse_failures: AtomicU64,
+    drift_events: AtomicU64,
+    in_drift: [AtomicBool; 4],
+    sanity_bound: f64,
+    drift_threshold: f64,
+}
+
+/// The shadow accuracy monitor: owns the worker thread and the shared
+/// error state. See the module docs for the full contract.
+pub struct ShadowMonitor {
+    cfg: ShadowConfig,
+    tx: Mutex<Option<SyncSender<ShadowJob>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    shared: Arc<ShadowShared>,
+}
+
+impl ShadowMonitor {
+    /// Spawns the monitor over an owned copy of the served document.
+    /// The (potentially expensive) `EvalIndex` build happens on the
+    /// worker thread, so serving is never delayed by it.
+    pub fn spawn(cfg: ShadowConfig, tree: XmlTree) -> ShadowMonitor {
+        let shared = Arc::new(ShadowShared {
+            windows: std::array::from_fn(|_| SlidingWindow::new(cfg.window)),
+            sums: std::array::from_fn(|_| (AtomicU64::new(0), AtomicU64::new(0))),
+            submitted: AtomicU64::new(0),
+            evaluated: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            parse_failures: AtomicU64::new(0),
+            drift_events: AtomicU64::new(0),
+            in_drift: std::array::from_fn(|_| AtomicBool::new(false)),
+            sanity_bound: cfg.sanity_bound,
+            drift_threshold: cfg.drift_threshold,
+        });
+        let (tx, rx) = sync_channel::<ShadowJob>(cfg.queue.max(1));
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("shadow-eval".to_string())
+            .spawn(move || {
+                let index = EvalIndex::build(&tree);
+                // `recv` drains buffered jobs before reporting
+                // disconnect, so dropping the sender is a clean flush.
+                while let Ok(job) = rx.recv() {
+                    worker_shared.evaluate(&tree, &index, &job);
+                }
+            })
+            .expect("spawn shadow worker");
+        ShadowMonitor {
+            cfg,
+            tx: Mutex::new(Some(tx)),
+            worker: Mutex::new(Some(worker)),
+            shared,
+        }
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> &ShadowConfig {
+        &self.cfg
+    }
+
+    /// Offers one sampled query. Never blocks: a full queue counts the
+    /// job as dropped and returns `false`.
+    pub fn submit(&self, query: &str, estimate: f64) -> bool {
+        let g = self.tx.lock().unwrap();
+        let Some(tx) = g.as_ref() else {
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        match tx.try_send(ShadowJob {
+            query: query.to_string(),
+            estimate,
+        }) {
+            Ok(()) => {
+                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Closes the queue and joins the worker after it drains every
+    /// buffered job. Error state stays readable afterwards. Idempotent.
+    pub fn finish(&self) {
+        self.tx.lock().unwrap().take();
+        if let Some(h) = self.worker.lock().unwrap().take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ShadowStats {
+        ShadowStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            evaluated: self.shared.evaluated.load(Ordering::Relaxed),
+            dropped: self.shared.dropped.load(Ordering::Relaxed),
+            parse_failures: self.shared.parse_failures.load(Ordering::Relaxed),
+            drift_events: self.shared.drift_events.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether every accepted job has been evaluated (used by tests and
+    /// the bench harness to wait for quiescence without sleeping).
+    pub fn idle(&self) -> bool {
+        let s = self.stats();
+        s.evaluated == s.submitted
+    }
+
+    /// Mean relative error of `class` over every evaluated sample since
+    /// startup (`None` until the class has one). Quantized to 1e-9.
+    pub fn class_rel(&self, class: QueryClass) -> Option<f64> {
+        let i = class_index(class);
+        let count = self.shared.sums[i].1.load(Ordering::Acquire);
+        if count == 0 {
+            return None;
+        }
+        let sum = self.shared.sums[i].0.load(Ordering::Acquire);
+        Some(sum as f64 / count as f64 / REL_SCALE)
+    }
+
+    /// Appends the monitor's Prometheus families to `out`:
+    /// `<ns>_accuracy_rel{class=...}` (running mean),
+    /// `<ns>_accuracy_rel_window{class=...}` (sliding-window mean), the
+    /// drift counter, and the shadow job counters.
+    pub fn render_metrics(&self, out: &mut String, namespace: &str) {
+        let classes = ["struct", "numeric", "string", "text"];
+        let mut rel: Vec<(Vec<(&str, &str)>, f64)> = Vec::new();
+        let mut rel_window: Vec<(Vec<(&str, &str)>, f64)> = Vec::new();
+        for (i, class) in QueryClass::ALL.iter().enumerate() {
+            if let Some(mean) = self.class_rel(*class) {
+                rel.push((vec![("class", classes[i])], mean));
+            }
+            let snap = self.shared.windows[i].snapshot();
+            if snap.count > 0 {
+                rel_window.push((vec![("class", classes[i])], snap.mean() / REL_SCALE));
+            }
+        }
+        let s = self.stats();
+        let name = |suffix: &str| format!("{namespace}_{suffix}");
+        fn as_slices<'a>(
+            v: &'a [(Vec<(&'a str, &'a str)>, f64)],
+        ) -> Vec<(&'a [(&'a str, &'a str)], f64)> {
+            v.iter().map(|(l, val)| (l.as_slice(), *val)).collect()
+        }
+        expose::render_labeled_family(
+            out,
+            &name("accuracy_rel"),
+            "gauge",
+            "Mean relative error of shadow-evaluated queries since startup, by class.",
+            &as_slices(&rel),
+        );
+        expose::render_labeled_family(
+            out,
+            &name("accuracy_rel_window"),
+            "gauge",
+            "Sliding-window mean relative error of shadow-evaluated queries, by class.",
+            &as_slices(&rel_window),
+        );
+        expose::render_labeled_family(
+            out,
+            &name("accuracy_drift_total"),
+            "counter",
+            "Edge-triggered windowed-mean threshold breaches across classes.",
+            &[(&[], s.drift_events as f64)],
+        );
+        expose::render_labeled_family(
+            out,
+            &name("shadow_sampled_total"),
+            "counter",
+            "Queries accepted by the shadow monitor queue.",
+            &[(&[], s.submitted as f64)],
+        );
+        expose::render_labeled_family(
+            out,
+            &name("shadow_evaluated_total"),
+            "counter",
+            "Queries exactly re-evaluated by the shadow worker.",
+            &[(&[], s.evaluated as f64)],
+        );
+        expose::render_labeled_family(
+            out,
+            &name("shadow_dropped_total"),
+            "counter",
+            "Sampled queries rejected because the shadow queue was full.",
+            &[(&[], s.dropped as f64)],
+        );
+    }
+}
+
+impl Drop for ShadowMonitor {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+impl ShadowShared {
+    fn evaluate(&self, tree: &XmlTree, index: &EvalIndex, job: &ShadowJob) {
+        let Ok(twig) = parse_twig(&job.query, tree.terms()) else {
+            self.parse_failures.fetch_add(1, Ordering::Relaxed);
+            self.evaluated.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let truth = xcluster_query::evaluate(&twig, tree, index);
+        let rel = relative_error(truth, job.estimate, self.sanity_bound);
+        let nanos = (rel * REL_SCALE).round() as u64;
+        let i = class_index(classify(&twig));
+        self.windows[i].record(nanos);
+        self.sums[i].0.fetch_add(nanos, Ordering::AcqRel);
+        self.sums[i].1.fetch_add(1, Ordering::AcqRel);
+        let windowed_mean = {
+            let snap = self.windows[i].snapshot();
+            snap.mean() / REL_SCALE
+        };
+        let breached = windowed_mean > self.drift_threshold;
+        let was = self.in_drift[i].swap(breached, Ordering::AcqRel);
+        if breached && !was {
+            self.drift_events.fetch_add(1, Ordering::Relaxed);
+        }
+        self.evaluated.fetch_add(1, Ordering::Release);
+    }
+}
+
+fn class_index(class: QueryClass) -> usize {
+    QueryClass::ALL
+        .iter()
+        .position(|c| *c == class)
+        .expect("class in ALL")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcluster_obs::TraceBuilder;
+
+    fn entry(seq: u64, latency_ns: u64) -> SlowEntry {
+        let t = TraceBuilder::new("serve.batch").finish();
+        SlowEntry {
+            seq,
+            request_id: format!("req-{seq}"),
+            latency_ns,
+            queries: 1,
+            traces: vec![t],
+        }
+    }
+
+    #[test]
+    fn shard_of_mirrors_balanced_chunks() {
+        for len in 1..40usize {
+            for threads in 1..6usize {
+                let chunks = resolve_threads(threads).min(len);
+                let base = len / chunks;
+                let rem = len % chunks;
+                // Reconstruct the chunk boundaries the long way.
+                let mut expect = Vec::with_capacity(len);
+                for c in 0..chunks {
+                    let size = base + usize::from(c < rem);
+                    for _ in 0..size {
+                        expect.push(c as u64);
+                    }
+                }
+                for (i, want) in expect.iter().enumerate() {
+                    assert_eq!(
+                        shard_of(i, len, threads),
+                        *want,
+                        "len={len} threads={threads} i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slow_ring_keeps_top_k_by_latency() {
+        let ring = SlowRing::new(3);
+        assert!(ring.qualifies(1));
+        for (seq, lat) in [(0, 50), (1, 10), (2, 90), (3, 40), (4, 70)] {
+            if ring.qualifies(lat) {
+                ring.offer(entry(seq, lat));
+            }
+        }
+        let snap = ring.snapshot();
+        let lats: Vec<u64> = snap.iter().map(|e| e.latency_ns).collect();
+        assert_eq!(lats, vec![90, 70, 50]);
+        // Slower-than-min qualifies, faster does not.
+        assert!(ring.qualifies(60));
+        assert!(!ring.qualifies(50));
+        assert!(ring.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn zero_capacity_ring_rejects_everything() {
+        let ring = SlowRing::new(0);
+        assert!(!ring.qualifies(u64::MAX));
+        ring.offer(entry(0, 100));
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn shadow_monitor_evaluates_samples_exactly() {
+        let tree = xcluster_xml::parse(
+            "<bib><paper><year>1998</year><title>Histograms</title></paper>\
+             <paper><year>2004</year><title>Sketches</title></paper></bib>",
+        )
+        .unwrap();
+        let monitor = ShadowMonitor::spawn(ShadowConfig::default(), tree);
+        // //paper has a true count of 2; estimate 1.0 → rel = 0.5.
+        assert!(monitor.submit("//paper", 1.0));
+        // Exact structural estimate → rel = 0.
+        assert!(monitor.submit("//title", 2.0));
+        monitor.finish();
+        let s = monitor.stats();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.evaluated, 2);
+        assert_eq!(s.dropped, 0);
+        assert_eq!(s.parse_failures, 0);
+        let rel = monitor.class_rel(QueryClass::Struct).unwrap();
+        assert!((rel - 0.25).abs() < 1e-9, "{rel}");
+        assert_eq!(monitor.class_rel(QueryClass::Numeric), None);
+        let mut out = String::new();
+        monitor.render_metrics(&mut out, "t");
+        assert!(out.contains("t_accuracy_rel{class=\"struct\"}"), "{out}");
+        assert!(out.contains("t_shadow_evaluated_total 2"), "{out}");
+    }
+
+    #[test]
+    fn shadow_drift_is_edge_triggered() {
+        let tree = xcluster_xml::parse("<r><a>1</a><a>2</a></r>").unwrap();
+        let cfg = ShadowConfig {
+            drift_threshold: 0.1,
+            ..ShadowConfig::default()
+        };
+        let monitor = ShadowMonitor::spawn(cfg, tree);
+        // //a true count 2, estimate 20 → rel well above threshold,
+        // repeatedly: the breach must count once.
+        for _ in 0..5 {
+            assert!(monitor.submit("//a", 20.0));
+        }
+        monitor.finish();
+        assert_eq!(monitor.stats().drift_events, 1);
+    }
+
+    #[test]
+    fn shadow_submit_after_finish_counts_dropped() {
+        let tree = xcluster_xml::parse("<r><a>1</a></r>").unwrap();
+        let monitor = ShadowMonitor::spawn(ShadowConfig::default(), tree);
+        monitor.finish();
+        assert!(!monitor.submit("//a", 1.0));
+        assert_eq!(monitor.stats().dropped, 1);
+    }
+}

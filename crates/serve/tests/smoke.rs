@@ -12,7 +12,7 @@ use xcluster_obs::json::{self, JsonValue};
 use xcluster_serve::loadgen::{batch_body, parse_estimates};
 use xcluster_serve::{client, Server, ServerConfig};
 
-fn sample_synopsis() -> Synopsis {
+fn sample_doc() -> xcluster_xml::XmlTree {
     let mut xml = String::from("<bib>");
     for i in 0..40 {
         xml.push_str(&format!(
@@ -23,7 +23,11 @@ fn sample_synopsis() -> Synopsis {
         ));
     }
     xml.push_str("</bib>");
-    let doc = xcluster_xml::parse(&xml).unwrap();
+    xcluster_xml::parse(&xml).unwrap()
+}
+
+fn sample_synopsis() -> Synopsis {
+    let doc = sample_doc();
     let reference = reference_synopsis(&doc, &ReferenceConfig::default());
     build_synopsis(
         reference,
@@ -54,6 +58,7 @@ fn serve_smoke() {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         estimate_threads: 2,
+        ..ServerConfig::default()
     })
     .unwrap();
     let addr = server.local_addr().to_string();
@@ -192,4 +197,215 @@ fn serve_smoke() {
     assert_eq!(r.status, 200);
     run_handle.join().unwrap();
     assert!(state.shutting_down());
+}
+
+/// Request-level telemetry end to end: request-id echo, the journal
+/// and slow-ring debug endpoints, an in-process bitwise replay of the
+/// downloaded journal, and the shadow accuracy monitor agreeing with
+/// an offline exact re-evaluation of the same sampled queries.
+#[test]
+fn telemetry_journal_slow_and_shadow() {
+    let doc = sample_doc();
+    let synopsis = sample_synopsis();
+    let expected_synopsis = synopsis.clone();
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        estimate_threads: 2,
+        // Journal everything; shadow everything (deterministic small test).
+        journal_sample_ppm: 1_000_000,
+        shadow_sample_ppm: 1_000_000,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let state = server.state();
+    server.set_synopsis(synopsis);
+    server.set_shadow(doc.clone(), xcluster_serve::ShadowConfig::default());
+    let server = std::sync::Arc::new(server);
+    let run_handle = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.run().unwrap())
+    };
+
+    // Client-supplied request id is echoed; journal records carry it.
+    let qs = queries();
+    let batch: Vec<&str> = qs.iter().map(String::as_str).collect();
+    let resp = client::request_with_headers(
+        &addr,
+        "POST",
+        "/estimate",
+        &[("x-request-id", "smoke-req-7")],
+        Some(&batch_body(&batch)),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(resp.header("x-request-id"), Some("smoke-req-7"));
+
+    // Server-generated ids are derived from the journal sequence.
+    let resp2 = client::request(&addr, "POST", "/estimate", Some(&batch_body(&batch))).unwrap();
+    let auto_id = resp2.header("x-request-id").expect("generated id");
+    assert!(auto_id.starts_with("auto-"), "{auto_id}");
+
+    // /debug/requests returns the most recent records.
+    let r = client::request(&addr, "GET", "/debug/requests?n=4", None).unwrap();
+    assert_eq!(r.status, 200);
+    let doc_json = json::parse(&r.body).unwrap();
+    assert_eq!(doc_json.get("count").and_then(JsonValue::as_f64), Some(4.0));
+
+    // /debug/slow retains the slowest batches with span trees; the
+    // chrome export is a trace-event document.
+    let r = client::request(&addr, "GET", "/debug/slow", None).unwrap();
+    assert_eq!(r.status, 200);
+    let slow = json::parse(&r.body).unwrap();
+    assert!(slow.get("count").and_then(JsonValue::as_f64).unwrap() >= 1.0);
+    let r = client::request(&addr, "GET", "/debug/slow?chrome=1", None).unwrap();
+    assert!(r.body.contains("traceEvents"), "{}", r.body);
+
+    // Download the journal and replay it in-process: estimates must be
+    // bitwise identical (estimation is a pure function).
+    let r = client::request(&addr, "GET", "/debug/journal", None).unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("content-type"), Some("application/x-ndjson"));
+    let records = xcluster_obs::journal::parse_jsonl(&r.body).unwrap();
+    assert_eq!(records.len(), 2 * batch.len(), "full-rate journal");
+    for rec in &records {
+        let twig = xcluster_query::parse_twig(&rec.query, expected_synopsis.terms()).unwrap();
+        let est = Estimator::new(&expected_synopsis).estimate_batch(&[twig])[0];
+        assert_eq!(
+            est.to_bits(),
+            rec.estimate.to_bits(),
+            "replay mismatch for {} (seq {})",
+            rec.query,
+            rec.seq
+        );
+    }
+
+    // Wait for the shadow worker to drain, then check the exported
+    // per-class errors against an offline exact re-evaluation of the
+    // same sampled queries (identical quantization → within 1e-9).
+    let monitor = state.shadow().expect("shadow attached");
+    for _ in 0..1000 {
+        if monitor.idle() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(
+        monitor.idle(),
+        "shadow did not drain: {:?}",
+        monitor.stats()
+    );
+    let stats = monitor.stats();
+    assert_eq!(stats.dropped, 0);
+    assert_eq!(stats.parse_failures, 0);
+    assert_eq!(stats.evaluated, records.len() as u64, "shadow at 100%");
+    let index = xcluster_query::EvalIndex::build(&doc);
+    let mut sums = std::collections::HashMap::new();
+    for rec in &records {
+        assert!(rec.shadow_sampled, "100% shadow sampling");
+        let twig = xcluster_query::parse_twig(&rec.query, doc.terms()).unwrap();
+        let truth = xcluster_query::evaluate(&twig, &doc, &index);
+        let rel = xcluster_core::metrics::relative_error(truth, rec.estimate, 1.0);
+        let nanos = (rel * 1e9).round() as u64;
+        let class = xcluster_query::classify(&twig);
+        let e = sums.entry(class).or_insert((0u64, 0u64));
+        e.0 += nanos;
+        e.1 += 1;
+    }
+    let m = client::request(&addr, "GET", "/metrics", None).unwrap();
+    let exposition = expose::parse(&m.body).unwrap();
+    for (class, label) in [
+        (xcluster_query::QueryClass::Struct, "struct"),
+        (xcluster_query::QueryClass::Numeric, "numeric"),
+        (xcluster_query::QueryClass::String, "string"),
+        (xcluster_query::QueryClass::Text, "text"),
+    ] {
+        let offline = sums
+            .get(&class)
+            .map(|(sum, count)| *sum as f64 / *count as f64 / 1e9);
+        let scraped = exposition
+            .by_name("xcluster_accuracy_rel")
+            .find(|s| s.label("class") == Some(label))
+            .map(|s| s.value);
+        match (offline, scraped) {
+            (None, None) => {}
+            (Some(o), Some(s)) => {
+                assert!((o - s).abs() < 1e-9, "class {label}: offline {o} vs {s}")
+            }
+            other => panic!("class {label}: presence mismatch {other:?}"),
+        }
+    }
+
+    // /synopsis/stats carries the journal, slow-ring, and shadow blocks.
+    let s = client::request(&addr, "GET", "/synopsis/stats", None).unwrap();
+    let stats_doc = json::parse(&s.body).unwrap();
+    let journal = stats_doc.get("journal").expect("journal block");
+    assert_eq!(
+        journal.get("len").and_then(JsonValue::as_f64),
+        Some(records.len() as f64)
+    );
+    assert!(
+        journal
+            .get("heap_bytes")
+            .and_then(JsonValue::as_f64)
+            .unwrap()
+            > 0.0
+    );
+    let slow = stats_doc.get("slow_ring").expect("slow_ring block");
+    assert!(slow.get("len").and_then(JsonValue::as_f64).unwrap() >= 1.0);
+    let shadow = stats_doc.get("shadow").expect("shadow block");
+    assert_eq!(
+        shadow.get("evaluated").and_then(JsonValue::as_f64),
+        Some(records.len() as f64)
+    );
+
+    // Serving telemetry bytes are attributed in /metrics.
+    assert!(
+        exposition
+            .value("xcluster_footprint_journal_bytes")
+            .unwrap()
+            > 0.0
+    );
+
+    let r = client::request(&addr, "POST", "/shutdown", None).unwrap();
+    assert_eq!(r.status, 200);
+    run_handle.join().unwrap();
+}
+
+/// The head/body caps configured at bind time apply on the wire as
+/// 4xx responses, not connection drops.
+#[test]
+fn configured_limits_reject_oversized_requests() {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        max_head_bytes: 256,
+        max_body_bytes: 128,
+        read_timeout_secs: 5,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let server = std::sync::Arc::new(server);
+    let run_handle = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.run().unwrap())
+    };
+
+    // Within limits: normal 200.
+    let r = client::request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(r.status, 200);
+    // Body over the configured cap → 413.
+    let big_body = "x".repeat(200);
+    let r = client::request(&addr, "POST", "/estimate", Some(&big_body)).unwrap();
+    assert_eq!(r.status, 413, "{}", r.body);
+    // Head over the configured cap → 413.
+    let long_path = format!("/{}", "p".repeat(400));
+    let r = client::request(&addr, "GET", &long_path, None).unwrap();
+    assert_eq!(r.status, 413, "{}", r.body);
+
+    let r = client::request(&addr, "POST", "/shutdown", None).unwrap();
+    assert_eq!(r.status, 200);
+    run_handle.join().unwrap();
 }

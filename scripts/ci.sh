@@ -21,12 +21,21 @@
 # batch engine, and the server must shut down cleanly. --serve-smoke-only
 # runs just that leg against an existing release binary (used by the
 # workflow, where the main legs already ran as their own steps).
+#
+# Pass --journal-replay (or set XCLUSTER_CI_JOURNAL=1) to additionally
+# serve with full-rate journal sampling, drive 1000 verified queries,
+# download the wide-event journal from /debug/journal, and replay it
+# offline with `xcluster replay`: every journalled estimate must be
+# reproduced bitwise from the same synopsis (0 mismatches).
+# --journal-replay-only runs just that leg against an existing release
+# binary.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ACCURACY="${XCLUSTER_CI_ACCURACY:-0}"
 PLAN_DIFF="${XCLUSTER_CI_PLAN_DIFF:-0}"
 SERVE="${XCLUSTER_CI_SERVE:-0}"
+JOURNAL="${XCLUSTER_CI_JOURNAL:-0}"
 MAIN=1
 for arg in "$@"; do
   case "$arg" in
@@ -34,6 +43,8 @@ for arg in "$@"; do
     --plan-diff) PLAN_DIFF=1 ;;
     --serve-smoke) SERVE=1 ;;
     --serve-smoke-only) SERVE=1; MAIN=0 ;;
+    --journal-replay) JOURNAL=1 ;;
+    --journal-replay-only) JOURNAL=1; MAIN=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -147,6 +158,75 @@ QUERIES
   SERVE_PID=""
   trap - EXIT
   cleanup
+fi
+
+if [[ "$JOURNAL" == "1" ]]; then
+  echo "==> journal replay: 1000 served queries, bitwise offline replay"
+  XCLUSTER="target/release/xcluster"
+  [[ -x "$XCLUSTER" ]] || cargo build --release -p xcluster-cli
+  JOURNAL_DIR="$(mktemp -d)"
+  JOURNAL_PID=""
+  journal_cleanup() {
+    [[ -n "$JOURNAL_PID" ]] && kill "$JOURNAL_PID" 2>/dev/null || true
+    rm -rf "$JOURNAL_DIR"
+  }
+  trap journal_cleanup EXIT
+
+  cat > "$JOURNAL_DIR/doc.xml" <<'XML'
+<bib>
+<paper><year>1999</year><title>alpha beta</title><abstract>selectivity estimation for structured xml content</abstract></paper>
+<paper><year>2003</year><title>gamma delta</title><abstract>histograms approximate value distributions compactly here</abstract></paper>
+<paper><year>1987</year><title>epsilon</title><abstract>wavelet synopses for massive data streams</abstract></paper>
+<paper><year>2010</year><title>zeta eta</title><abstract>pruned suffix trees summarize string content</abstract></paper>
+</bib>
+XML
+  cat > "$JOURNAL_DIR/queries.txt" <<'QUERIES'
+//paper/year
+//paper[year > 1999]/title
+/bib/paper/abstract
+//paper[year < 1990]
+QUERIES
+  "$XCLUSTER" build "$JOURNAL_DIR/doc.xml" --b-str 2048 --b-val 4096 \
+    -o "$JOURNAL_DIR/syn.xcs"
+
+  # Full-rate journal sampling with room for every served query, so the
+  # replay covers the complete 1000-query load.
+  "$XCLUSTER" serve "$JOURNAL_DIR/syn.xcs" --addr 127.0.0.1:0 --workers 2 \
+    --journal-capacity 2048 --journal-sample-ppm 1000000 \
+    > "$JOURNAL_DIR/serve.out" 2> "$JOURNAL_DIR/serve.err" &
+  JOURNAL_PID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's|^listening on http://||p' "$JOURNAL_DIR/serve.out" | tr -d '[:space:]')"
+    [[ -n "$ADDR" ]] && break
+    sleep 0.1
+  done
+  [[ -n "$ADDR" ]] || { echo "server never reported an address" >&2; exit 1; }
+
+  "$XCLUSTER" loadgen "$ADDR" --total 1000 --batch 50 \
+    --verify "$JOURNAL_DIR/syn.xcs" --queries-file "$JOURNAL_DIR/queries.txt"
+
+  # Download the journal (bash /dev/tcp; no curl in CI), strip the HTTP
+  # response head, then shut the server down cleanly.
+  exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR##*:}"
+  printf 'GET /debug/journal HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' >&3
+  cat <&3 | sed '1,/^\r\{0,1\}$/d' > "$JOURNAL_DIR/journal.jsonl"
+  exec 3<&- 3>&-
+  exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR##*:}"
+  printf 'POST /shutdown HTTP/1.1\r\nHost: ci\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' >&3
+  cat <&3 > /dev/null
+  exec 3<&- 3>&-
+  wait "$JOURNAL_PID"
+  JOURNAL_PID=""
+
+  LINES="$(wc -l < "$JOURNAL_DIR/journal.jsonl")"
+  [[ "$LINES" == "1000" ]] \
+    || { echo "journal holds $LINES records, expected 1000" >&2; exit 1; }
+
+  # The replay subcommand exits nonzero on any bitwise mismatch.
+  "$XCLUSTER" replay "$JOURNAL_DIR/journal.jsonl" "$JOURNAL_DIR/syn.xcs"
+  trap - EXIT
+  journal_cleanup
 fi
 
 echo "CI OK"
