@@ -4,11 +4,13 @@
 //! registry enabled and with the runtime kill switch
 //! (`set_enabled(false)`) thrown, in *interleaved pairs* so clock
 //! drift, thermal state, and allocator warm-up hit both sides equally.
-//! The acceptance bar is < 2% median overhead: counters are relaxed
-//! atomics, span timers collapse to a pair of `Instant::now()` calls,
-//! and per-query trace capture (off by default) costs one relaxed
-//! atomic load per estimate, so the two sides should be statistically
-//! indistinguishable.
+//! Call-path profiling (`obs::profile`) is switched on for the whole
+//! run, so the enabled side pays the full observability stack:
+//! counters, span timers, *and* the profiler's per-span path-tree
+//! walk. The acceptance bar — asserted, nonzero exit on failure — is
+//! < 3% median overhead: counters are relaxed atomics, span timers
+//! collapse to a pair of `Instant::now()` calls, and a profiler frame
+//! is one thread-local stack push/pop plus a child-slot lookup.
 //!
 //! `XCLUSTER_BENCH_SAMPLES` sets the number of pairs (default 15).
 
@@ -20,8 +22,9 @@ use xcluster_datagen::imdb::{generate, ImdbConfig};
 use xcluster_obs::bench::black_box;
 
 /// Median of per-pair enabled-vs-disabled overhead percentages for one
-/// workload closure, printing the summary line.
-fn interleaved(label: &str, pairs: usize, mut run: impl FnMut(bool) -> f64) {
+/// workload closure, printing the summary line. Returns the median
+/// overhead percentage so the caller can gate on it.
+fn interleaved(label: &str, pairs: usize, mut run: impl FnMut(bool) -> f64) -> f64 {
     // Warm-up: one run per side.
     run(true);
     run(false);
@@ -63,7 +66,12 @@ fn interleaved(label: &str, pairs: usize, mut run: impl FnMut(bool) -> f64) {
         median(&mut on_ns) / 1e6,
         median(&mut off_ns) / 1e6
     );
+    overhead
 }
+
+/// Hard acceptance bar for the full observability stack (metrics +
+/// spans + call-path profiling) on a hot path.
+const MAX_OVERHEAD_PCT: f64 = 3.0;
 
 fn main() {
     let d = generate(&ImdbConfig {
@@ -85,7 +93,13 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(15);
 
-    interleaved("build", pairs, |enabled| {
+    // Profiling stays requested for the whole run; the kill switch
+    // gates it per side (profiling is ANDed with `enabled()`), so the
+    // enabled side pays span timers *and* profiler frames while the
+    // disabled side pays neither.
+    xcluster_obs::profile::set_profiling(true);
+
+    let build_overhead = interleaved("build", pairs, |enabled| {
         xcluster_obs::set_enabled(enabled);
         let input = reference.clone();
         let t = Instant::now();
@@ -107,7 +121,7 @@ fn main() {
             ..xcluster_query::WorkloadConfig::default()
         },
     );
-    interleaved("estimate", pairs, |enabled| {
+    let estimate_overhead = interleaved("estimate", pairs, |enabled| {
         xcluster_obs::set_enabled(enabled);
         let t = Instant::now();
         for _ in 0..20 {
@@ -117,4 +131,19 @@ fn main() {
         }
         t.elapsed().as_nanos() as f64
     });
+
+    let profile = xcluster_obs::profile::snapshot();
+    xcluster_obs::profile::set_profiling(false);
+    assert!(
+        profile.total_ns("build.total") > 0,
+        "profiling was on — the enabled side must have recorded frames"
+    );
+    for (label, overhead) in [("build", build_overhead), ("estimate", estimate_overhead)] {
+        assert!(
+            overhead < MAX_OVERHEAD_PCT,
+            "obs overhead on {label} is {overhead:+.2}%, bar is {MAX_OVERHEAD_PCT}% \
+             (with call-path profiling enabled)"
+        );
+    }
+    println!("obs overhead bar: both paths under {MAX_OVERHEAD_PCT}% with profiling enabled");
 }

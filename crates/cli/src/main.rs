@@ -4,7 +4,10 @@
 //! ```text
 //! xcluster build <doc.xml> -o <synopsis.xcs> [--b-str BYTES] [--b-val BYTES]
 //!                [--threads N] [--type label=numeric|string|text]... [--stats]
+//!                [--profile] [--profile-chrome out.json]
 //! xcluster info <synopsis.xcs>
+//! xcluster quality <doc.xml> [--b-str N] [--b-val N] [--threads N]
+//!                  [--queries N] [--seed N] [--top N] [--json] [--type label=kind]...
 //! xcluster estimate <synopsis.xcs> [--threads N] "<twig>"...
 //! xcluster evaluate <doc.xml> "<twig>"...       (exact counts)
 //! xcluster compare <doc.xml> <synopsis.xcs> "<twig>"...
@@ -56,6 +59,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(|s| s.as_str()) {
         Some("build") => cmd_build(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("quality") => cmd_quality(&args[1..]),
         Some("estimate") => cmd_estimate(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..]),
@@ -70,7 +74,9 @@ fn main() -> ExitCode {
                 "usage: xcluster [--verbose|-q] <build|info|estimate|evaluate|compare|stats|trace> ...\n\
                  \n\
                  build <doc.xml> -o <out.xcs> [--b-str N] [--b-val N] [--threads N] [--type label=kind]... [--stats]\n\
+                 \x20     [--profile] [--profile-chrome out.json]\n\
                  info <synopsis.xcs>\n\
+                 quality <doc.xml> [--b-str N] [--b-val N] [--threads N] [--queries N] [--seed N] [--top N] [--json] [--type label=kind]...\n\
                  estimate <synopsis.xcs> [--threads N] \"<twig>\"...\n\
                  explain <synopsis.xcs> \"<twig>\"...\n\
                  evaluate <doc.xml> \"<twig>\"...\n\
@@ -147,6 +153,8 @@ fn cmd_build(args: &[String]) -> Result<(), AnyError> {
     let mut b_val = 150 * 1024;
     let mut threads = 1usize;
     let mut stats = false;
+    let mut profile = false;
+    let mut profile_chrome: Option<&str> = None;
     let mut types: Vec<(String, ValueType)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -175,6 +183,17 @@ fn cmd_build(args: &[String]) -> Result<(), AnyError> {
                 stats = true;
                 i += 1;
             }
+            "--profile" => {
+                profile = true;
+                i += 1;
+            }
+            "--profile-chrome" => {
+                profile_chrome = Some(
+                    args.get(i + 1)
+                        .ok_or("--profile-chrome needs an output file")?,
+                );
+                i += 2;
+            }
             other if input.is_none() => {
                 input = Some(other);
                 i += 1;
@@ -184,6 +203,14 @@ fn cmd_build(args: &[String]) -> Result<(), AnyError> {
     }
     let input = input.ok_or("missing input document")?;
     let output = output.ok_or("missing -o <output.xcs>")?;
+    let profiling = profile || profile_chrome.is_some();
+    if profiling {
+        // Profiling rides on the span layer; force it on so the flags
+        // work even when metrics were silenced via the environment.
+        xcluster_obs::set_enabled(true);
+        xcluster_obs::profile::set_profiling(true);
+        xcluster_obs::profile::reset();
+    }
     let doc = load_document(input, &types)?;
     info!("cli", "parsed {} elements from {input}", doc.len());
     let reference = reference_synopsis(&doc, &ReferenceConfig::default());
@@ -215,6 +242,128 @@ fn cmd_build(args: &[String]) -> Result<(), AnyError> {
     );
     if stats {
         write_stdout(&xcluster_obs::export::to_table(&xcluster_obs::snapshot()))?;
+    }
+    if profiling {
+        let p = xcluster_obs::profile::snapshot();
+        xcluster_obs::profile::set_profiling(false);
+        if p.dropped() > 0 {
+            info!(
+                "cli",
+                "profile table overflow: {} frame(s) dropped",
+                p.dropped()
+            );
+        }
+        if let Some(path) = profile_chrome {
+            std::fs::write(path, p.chrome_json())?;
+            info!("cli", "wrote chrome trace profile to {path}");
+        }
+        if profile {
+            // Collapsed stacks on stdout: pipe straight into
+            // `flamegraph.pl` (or any FlameGraph-format consumer).
+            write_stdout(&p.collapsed())?;
+        }
+    }
+    Ok(())
+}
+
+/// Builds a synopsis from the document under the given budgets, runs a
+/// seeded positive workload through the estimator with per-cluster
+/// error attribution on, and prints the synopsis-quality report — the
+/// offline twin of the server's `GET /debug/synopsis`.
+fn cmd_quality(args: &[String]) -> Result<(), AnyError> {
+    let mut input: Option<&str> = None;
+    let mut b_str = 10 * 1024;
+    let mut b_val = 150 * 1024;
+    let mut threads = 1usize;
+    let mut num_queries = 200usize;
+    let mut seed = 42u64;
+    let mut top = 20usize;
+    let mut json = false;
+    let mut types: Vec<(String, ValueType)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--b-str" => {
+                b_str = args.get(i + 1).ok_or("--b-str needs a value")?.parse()?;
+                i += 2;
+            }
+            "--b-val" => {
+                b_val = args.get(i + 1).ok_or("--b-val needs a value")?.parse()?;
+                i += 2;
+            }
+            "--threads" => {
+                threads = args.get(i + 1).ok_or("--threads needs a value")?.parse()?;
+                i += 2;
+            }
+            "--queries" => {
+                num_queries = args.get(i + 1).ok_or("--queries needs a value")?.parse()?;
+                i += 2;
+            }
+            "--seed" => {
+                seed = args.get(i + 1).ok_or("--seed needs a value")?.parse()?;
+                i += 2;
+            }
+            "--top" => {
+                top = args.get(i + 1).ok_or("--top needs a value")?.parse()?;
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--type" => {
+                types.push(parse_type_opt(&args[i + 1])?);
+                i += 2;
+            }
+            other if input.is_none() => {
+                input = Some(other);
+                i += 1;
+            }
+            other => return Err(format!("unexpected argument {other:?}").into()),
+        }
+    }
+    let input = input.ok_or("missing input document")?;
+    let doc = load_document(input, &types)?;
+    info!("cli", "parsed {} elements from {input}", doc.len());
+    let reference = reference_synopsis(&doc, &ReferenceConfig::default());
+    let synopsis = try_build_synopsis(
+        reference,
+        &BuildConfig {
+            b_str,
+            b_val,
+            threads,
+            ..BuildConfig::default()
+        },
+    )?;
+    let index = EvalIndex::build(&doc);
+    let workload = xcluster_query::workload::generate_positive(
+        &doc,
+        &index,
+        &xcluster_query::workload::WorkloadConfig {
+            num_queries,
+            seed,
+            ..Default::default()
+        },
+    );
+    let eval = xcluster_core::evaluate_workload(
+        &synopsis,
+        &workload,
+        &xcluster_core::EvalOptions::default()
+            .with_threads(threads)
+            .with_attribution(true),
+    );
+    info!(
+        "cli",
+        "workload of {} queries: avg rel.err {:.4}",
+        workload.queries.len(),
+        eval.report.overall_rel
+    );
+    let report = xcluster_core::QualityReport::measure_with(&synopsis, eval.attribution.as_ref());
+    if json {
+        write_stdout(&report.to_json(top))?;
+        write_stdout("\n")?;
+    } else {
+        write_stdout(&report.render(top))?;
     }
     Ok(())
 }

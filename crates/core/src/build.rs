@@ -26,6 +26,16 @@
 //! namespace: per-phase wall time, merges applied/rejected, pool refills
 //! and candidate counts, lazy-Δ refinements, and bytes freed per value
 //! chunk. `xcluster stats` / `xcluster build --stats` print them.
+//!
+//! With call-path profiling on (`XCLUSTER_PROFILE=1` or
+//! `xcluster build --profile`), every stage additionally feeds
+//! [`xcluster_obs::profile`]: merge rounds, pool refills, per-group
+//! candidate scoring, lazy refinements, and phase-2 chunk evaluation
+//! and application each open a profiler frame, so the collapsed-stack
+//! export shows where build time goes *inside* the two phase timers —
+//! whose inclusive totals the profile reproduces exactly, because
+//! [`SpanTimer`] closes its profiler frame with the same duration it
+//! records into the histogram.
 
 use crate::delta::{
     evaluate_compression_chunk, evaluate_merge, evaluate_merge_with, ChunkCandidate, MergeCandidate,
@@ -35,7 +45,7 @@ use crate::par;
 use crate::synopsis::{Synopsis, SynopsisNodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use xcluster_obs::SpanTimer;
+use xcluster_obs::{profile, SpanTimer};
 
 /// Registry handles for the build instrumentation, resolved once per
 /// process (updates are relaxed atomics — see `xcluster-obs`).
@@ -247,12 +257,16 @@ impl Ord for PoolEntry {
 pub fn structure_value_merge(s: &mut Synopsis, cfg: &BuildConfig) {
     let mut l = 1u32;
     loop {
+        let _round = profile::span("merge_round");
         if s.structural_bytes() <= cfg.b_str {
             return;
         }
         let levels = clamped_levels(s);
         let max_level = s.live_nodes().map(|i| levels[i]).max().unwrap_or(0);
-        let mut pool = build_pool(s, cfg.h_m, l, &levels, cfg.threads);
+        let mut pool = {
+            let _refill = profile::span("pool_refill");
+            build_pool(s, cfg.h_m, l, &levels, cfg.threads)
+        };
         stats::POOL_REFILLS.inc();
         stats::POOL_CANDIDATES.add(pool.len() as u64);
         if pool.is_empty() {
@@ -269,6 +283,7 @@ pub fn structure_value_merge(s: &mut Synopsis, cfg: &BuildConfig) {
             s.structural_bytes().saturating_sub(cfg.b_str)
         );
         // Drain the pool to Hl (or fully, if it started below Hl).
+        let _drain = profile::span("pool_drain");
         let floor = if pool.len() > cfg.h_l { cfg.h_l } else { 0 };
         let mut max_new_level = 0u32;
         let mut merged_any = false;
@@ -283,6 +298,7 @@ pub fn structure_value_merge(s: &mut Synopsis, cfg: &BuildConfig) {
             if !fresh || !entry.exact {
                 // Re-evaluate (and upgrade to the exact structure-value Δ)
                 // and give it another chance in the heap.
+                let _refine = profile::span("refine_candidate");
                 stats::CANDIDATE_REFINEMENTS.inc();
                 pool.push(PoolEntry {
                     cand: evaluate_merge(s, u, v),
@@ -297,6 +313,7 @@ pub fn structure_value_merge(s: &mut Synopsis, cfg: &BuildConfig) {
             merged_any = true;
             max_new_level = max_new_level.max(lu.max(lv));
         }
+        drop(_drain);
         if s.structural_bytes() <= cfg.b_str {
             return;
         }
@@ -378,6 +395,10 @@ fn score_group(
     l: u32,
     levels: &[u32],
 ) -> Vec<PoolEntry> {
+    // One profiler frame per scored group. On worker threads the frame
+    // roots its own per-thread stack (standard per-thread flamegraph
+    // semantics); with `threads = 1` it nests under `pool_refill`.
+    let _score = profile::span("score_group");
     // Exhaustive pairing is quadratic per label group; reference synopses
     // can hold thousands of same-label context clusters. Large groups are
     // sorted by a merge-affinity key (primary parent, then extent size:
@@ -448,6 +469,7 @@ impl Ord for ValueEntry {
 /// the node it touched, so the loop is inherently serial.
 pub fn value_compression(s: &mut Synopsis, cfg: &BuildConfig) {
     let nodes: Vec<SynopsisNodeId> = s.live_nodes().collect();
+    let heap_init = profile::span("chunk_heap_init");
     let mut heap: BinaryHeap<ValueEntry> = par::chunked_map(&nodes, cfg.threads, |&id| {
         evaluate_compression_chunk(s, id, cfg.min_value_chunk)
     })
@@ -455,7 +477,9 @@ pub fn value_compression(s: &mut Synopsis, cfg: &BuildConfig) {
     .flatten()
     .map(ValueEntry)
     .collect();
+    drop(heap_init);
     while s.value_bytes() > cfg.b_val {
+        let _chunk = profile::span("value_chunk");
         let Some(ValueEntry(cand)) = heap.pop() else {
             break; // every summary is already minimal
         };

@@ -68,6 +68,7 @@ pub mod merge;
 pub mod metrics;
 pub mod par;
 pub mod plan;
+pub mod quality;
 pub mod reference;
 pub mod synopsis;
 
@@ -87,5 +88,6 @@ pub use metrics::{
 pub use par::estimate_batch;
 pub use par::resolve_threads;
 pub use plan::{compile, Plan, PlanNode, ReachCache, ReachCacheStats};
+pub use quality::{ClusterHealth, QualityReport};
 pub use reference::{reference_synopsis, ReferenceConfig};
 pub use synopsis::{Synopsis, SynopsisNodeId};

@@ -30,6 +30,7 @@ pub const FUSED_SUMMARY_CAP: usize = 2 * 1024;
 /// # Panics
 /// Panics if `u == v`, either node is dead, or labels/types differ.
 pub fn apply_merge(s: &mut Synopsis, u: SynopsisNodeId, v: SynopsisNodeId) -> SynopsisNodeId {
+    let _prof = xcluster_obs::profile::span("apply_merge");
     assert_ne!(u, v, "cannot merge a node with itself");
     let (nu, nv) = (s.node(u), s.node(v));
     assert!(nu.alive && nv.alive, "merge of dead node");

@@ -1,0 +1,545 @@
+//! Per-cluster synopsis health: which clusters spend the byte budget,
+//! which ones carry the workload's estimation error, and how well the
+//! reachability/probe caches are working — the introspection a
+//! rebuild/retune decision needs, ranked worst-first.
+//!
+//! A [`QualityReport`] joins three sources over the live clusters:
+//!
+//! * **Bytes and population** — an arena walk in the style of
+//!   [`crate::footprint`], but per cluster: paper-model structural
+//!   bytes (node header + child edges), value-summary model and heap
+//!   bytes by kind, and `count(u)`.
+//! * **Workload error attribution** — an [`AttributionReport`] from
+//!   [`crate::metrics::evaluate_workload`], when one is available: the
+//!   absolute error charged to each cluster, how many queries charged
+//!   it, and which summary kinds they probed. The ranking then follows
+//!   the attribution order (descending error), so
+//!   [`QualityReport::top`] names the same cluster as
+//!   [`AttributionReport::top`].
+//! * **Cache health** — a [`ReachCacheStats`] snapshot, when serving.
+//!
+//! The report renders three ways: a CLI table ([`QualityReport::render`],
+//! `xcluster quality`), a JSON document ([`QualityReport::to_json`],
+//! `GET /debug/synopsis?n=`), and top-offender Prometheus gauges
+//! ([`QualityReport::render_metrics`], merged into `/metrics`).
+
+use crate::metrics::AttributionReport;
+use crate::plan::ReachCacheStats;
+use crate::synopsis::{Synopsis, SynopsisNodeId};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use xcluster_obs::expose;
+use xcluster_summaries::footprint::{SYNOPSIS_EDGE_BYTES, SYNOPSIS_NODE_BYTES};
+
+/// Health row for one live cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterHealth {
+    /// The cluster's arena id.
+    pub cluster: SynopsisNodeId,
+    /// Its element label, resolved for display.
+    pub label: String,
+    /// Its value type (`none`, `numeric`, `string`, `text`).
+    pub vtype: &'static str,
+    /// `count(u)`: document elements summarized by this cluster.
+    pub population: f64,
+    /// Value-summary kind (`histogram`, `pst`, `term_histogram`, …),
+    /// if the cluster is summarized.
+    pub summary_kind: Option<&'static str>,
+    /// Paper-model bytes of the value summary (charged against `Bval`).
+    pub summary_bytes: usize,
+    /// Resident heap bytes of the value summary.
+    pub summary_heap_bytes: usize,
+    /// Paper-model structural bytes: node header + child edges.
+    pub struct_bytes: usize,
+    /// Absolute workload error attributed to this cluster (0 without
+    /// attribution).
+    pub abs_error: f64,
+    /// This cluster's share of the total attributed error (0..1).
+    pub error_share: f64,
+    /// Workload queries that charged any error here.
+    pub queries: usize,
+    /// Summary kinds those queries probed (from the attribution).
+    pub kinds_probed: Vec<String>,
+}
+
+impl ClusterHealth {
+    /// Total paper-model bytes this cluster occupies.
+    pub fn total_bytes(&self) -> usize {
+        self.struct_bytes + self.summary_bytes
+    }
+}
+
+/// A ranked synopsis health report (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct QualityReport {
+    /// Per-cluster rows. With attribution: descending `abs_error`,
+    /// ties by descending total bytes, then ascending cluster id (so
+    /// the first row is [`AttributionReport::top`]'s cluster whenever
+    /// any error was charged). Without: descending total bytes, then
+    /// ascending cluster id.
+    pub clusters: Vec<ClusterHealth>,
+    /// Whether workload attribution was joined in.
+    pub attributed: bool,
+    /// Sum of attributed per-cluster absolute error.
+    pub total_abs_error: f64,
+    /// Absolute error the attribution could not charge to any cluster.
+    pub unattributed_error: f64,
+    /// Paper-model structural bytes of the whole synopsis.
+    pub structural_bytes: usize,
+    /// Paper-model value bytes of the whole synopsis.
+    pub value_bytes: usize,
+    /// Per-kind footprint totals, keyed by summary kind.
+    pub bytes_by_kind: BTreeMap<&'static str, usize>,
+    /// Reachability/probe cache counters, when serving.
+    pub cache: Option<ReachCacheStats>,
+}
+
+impl QualityReport {
+    /// Measures bytes and population only (no workload attribution):
+    /// rows rank by descending total bytes.
+    pub fn measure(s: &Synopsis) -> QualityReport {
+        QualityReport::measure_with(s, None)
+    }
+
+    /// Measures the synopsis and joins `attribution` when given; the
+    /// ranking then follows the attribution (descending error).
+    pub fn measure_with(s: &Synopsis, attribution: Option<&AttributionReport>) -> QualityReport {
+        let mut by_cluster: BTreeMap<SynopsisNodeId, (f64, usize, Vec<String>)> = BTreeMap::new();
+        let mut total_abs_error = 0.0;
+        let mut unattributed = 0.0;
+        if let Some(attr) = attribution {
+            unattributed = attr.unattributed;
+            for c in &attr.clusters {
+                total_abs_error += c.abs_error;
+                by_cluster.insert(c.cluster, (c.abs_error, c.queries, c.summary_kinds.clone()));
+            }
+        }
+        let mut report = QualityReport {
+            attributed: attribution.is_some(),
+            total_abs_error,
+            unattributed_error: unattributed,
+            structural_bytes: s.structural_bytes(),
+            value_bytes: s.value_bytes(),
+            ..QualityReport::default()
+        };
+        for id in s.live_nodes() {
+            let node = s.node(id);
+            let (abs_error, queries, kinds_probed) =
+                by_cluster.get(&id).cloned().unwrap_or_default();
+            let (summary_kind, summary_bytes, summary_heap_bytes) = match &node.vsumm {
+                Some(v) => (Some(v.kind_name()), v.size_bytes(), v.heap_bytes()),
+                None => (None, 0, 0),
+            };
+            if let Some(kind) = summary_kind {
+                *report.bytes_by_kind.entry(kind).or_default() += summary_bytes;
+            }
+            report.clusters.push(ClusterHealth {
+                cluster: id,
+                label: s.labels().resolve(node.label).to_string(),
+                vtype: node.vtype.name(),
+                population: node.count,
+                summary_kind,
+                summary_bytes,
+                summary_heap_bytes,
+                struct_bytes: SYNOPSIS_NODE_BYTES + node.children.len() * SYNOPSIS_EDGE_BYTES,
+                abs_error,
+                error_share: if total_abs_error > 0.0 {
+                    abs_error / total_abs_error
+                } else {
+                    0.0
+                },
+                queries,
+                kinds_probed,
+            });
+        }
+        report.clusters.sort_by(|a, b| {
+            b.abs_error
+                .total_cmp(&a.abs_error)
+                .then_with(|| b.total_bytes().cmp(&a.total_bytes()))
+                .then_with(|| a.cluster.cmp(&b.cluster))
+        });
+        report
+    }
+
+    /// Attaches a reachability/probe cache snapshot.
+    pub fn with_cache_stats(mut self, stats: ReachCacheStats) -> QualityReport {
+        self.cache = Some(stats);
+        self
+    }
+
+    /// The worst-ranked cluster (most error, or most bytes without
+    /// attribution).
+    pub fn top(&self) -> Option<&ClusterHealth> {
+        self.clusters.first()
+    }
+
+    /// JSON document for `GET /debug/synopsis?n=`: ranking metadata,
+    /// totals, and the first `n` rows (`0` = all).
+    pub fn to_json(&self, n: usize) -> String {
+        let limit = if n == 0 { self.clusters.len() } else { n };
+        let mut rows = Vec::new();
+        for c in self.clusters.iter().take(limit) {
+            let kinds: Vec<String> = c
+                .kinds_probed
+                .iter()
+                .map(|k| format!("\"{}\"", expose_esc(k)))
+                .collect();
+            rows.push(format!(
+                "{{\"cluster\":{},\"label\":\"{}\",\"vtype\":\"{}\",\"population\":{},\
+                 \"summary_kind\":{},\"summary_bytes\":{},\"summary_heap_bytes\":{},\
+                 \"struct_bytes\":{},\"abs_error\":{},\"error_share\":{},\"queries\":{},\
+                 \"kinds_probed\":[{}]}}",
+                c.cluster,
+                expose_esc(&c.label),
+                c.vtype,
+                c.population,
+                match c.summary_kind {
+                    Some(k) => format!("\"{k}\""),
+                    None => "null".to_string(),
+                },
+                c.summary_bytes,
+                c.summary_heap_bytes,
+                c.struct_bytes,
+                c.abs_error,
+                c.error_share,
+                c.queries,
+                kinds.join(",")
+            ));
+        }
+        let by_kind: Vec<String> = self
+            .bytes_by_kind
+            .iter()
+            .map(|(k, b)| format!("\"{k}\":{b}"))
+            .collect();
+        let cache = match &self.cache {
+            Some(c) => format!(
+                "{{\"reach_hits\":{},\"reach_misses\":{},\"probe_hits\":{},\"probe_misses\":{},\
+                 \"full_entries\":{},\"reach_entries\":{},\"probe_entries\":{}}}",
+                c.reach_hits,
+                c.reach_misses,
+                c.probe_hits,
+                c.probe_misses,
+                c.full_entries,
+                c.reach_entries,
+                c.probe_entries
+            ),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"clusters\":{},\"returned\":{},\"attributed\":{},\"total_abs_error\":{},\
+             \"unattributed_error\":{},\"structural_bytes\":{},\"value_bytes\":{},\
+             \"bytes_by_kind\":{{{}}},\"cache\":{},\"ranked_by\":\"{}\",\"top\":[{}]}}",
+            self.clusters.len(),
+            rows.len(),
+            self.attributed,
+            self.total_abs_error,
+            self.unattributed_error,
+            self.structural_bytes,
+            self.value_bytes,
+            by_kind.join(","),
+            cache,
+            if self.attributed {
+                "abs_error"
+            } else {
+                "bytes"
+            },
+            rows.join(",")
+        )
+    }
+
+    /// Human-readable table for `xcluster quality` (`n = 0` = all rows).
+    pub fn render(&self, n: usize) -> String {
+        let limit = if n == 0 { self.clusters.len() } else { n };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "synopsis quality: {} clusters, {} struct B + {} value B, ranked by {}",
+            self.clusters.len(),
+            self.structural_bytes,
+            self.value_bytes,
+            if self.attributed {
+                "workload error"
+            } else {
+                "bytes"
+            },
+        );
+        if !self.bytes_by_kind.is_empty() {
+            let kinds: Vec<String> = self
+                .bytes_by_kind
+                .iter()
+                .map(|(k, b)| format!("{k} {b} B"))
+                .collect();
+            let _ = writeln!(out, "value bytes by kind: {}", kinds.join(", "));
+        }
+        if self.attributed {
+            let _ = writeln!(
+                out,
+                "workload abs error: {:.4} attributed, {:.4} unattributed",
+                self.total_abs_error, self.unattributed_error
+            );
+        }
+        if let Some(c) = &self.cache {
+            let _ = writeln!(
+                out,
+                "caches: reach {}/{} hits, probe {}/{} hits, {} entries",
+                c.reach_hits,
+                c.reach_hits + c.reach_misses,
+                c.probe_hits,
+                c.probe_hits + c.probe_misses,
+                c.full_entries + c.reach_entries + c.probe_entries,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:>8}  {:<16} {:<8} {:>10} {:<14} {:>9} {:>9} {:>12} {:>7} {:>7}",
+            "cluster",
+            "label",
+            "vtype",
+            "population",
+            "summary",
+            "sum B",
+            "struct B",
+            "abs error",
+            "share",
+            "queries"
+        );
+        for c in self.clusters.iter().take(limit) {
+            let _ = writeln!(
+                out,
+                "{:>8}  {:<16} {:<8} {:>10.1} {:<14} {:>9} {:>9} {:>12.4} {:>6.1}% {:>7}",
+                c.cluster,
+                truncated(&c.label, 16),
+                c.vtype,
+                c.population,
+                c.summary_kind.unwrap_or("-"),
+                c.summary_bytes,
+                c.struct_bytes,
+                c.abs_error,
+                c.error_share * 100.0,
+                c.queries
+            );
+        }
+        if self.clusters.len() > limit {
+            let _ = writeln!(out, "... {} more clusters", self.clusters.len() - limit);
+        }
+        out
+    }
+
+    /// Appends top-offender gauges to a Prometheus exposition: the
+    /// first `n` ranked clusters' error and byte gauges, plus report
+    /// totals. Cluster ids and labels ride as labels; label values are
+    /// escaped by the exposition renderer.
+    pub fn render_metrics(&self, out: &mut String, namespace: &str, n: usize) {
+        let top: Vec<&ClusterHealth> = self.clusters.iter().take(n).collect();
+        let ids: Vec<String> = top.iter().map(|c| c.cluster.to_string()).collect();
+        let mut bytes_samples: Vec<(Vec<(&str, &str)>, f64)> = Vec::new();
+        let mut error_samples: Vec<(Vec<(&str, &str)>, f64)> = Vec::new();
+        for (i, c) in top.iter().enumerate() {
+            let labels = vec![
+                ("cluster", ids[i].as_str()),
+                ("label", c.label.as_str()),
+                ("kind", c.summary_kind.unwrap_or("none")),
+            ];
+            bytes_samples.push((labels.clone(), c.total_bytes() as f64));
+            if self.attributed {
+                error_samples.push((labels, c.abs_error));
+            }
+        }
+        fn slices<'a>(
+            v: &'a [(Vec<(&'a str, &'a str)>, f64)],
+        ) -> Vec<(&'a [(&'a str, &'a str)], f64)> {
+            v.iter().map(|(l, val)| (l.as_slice(), *val)).collect()
+        }
+        expose::render_labeled_family(
+            out,
+            &format!("{namespace}_quality_cluster_bytes"),
+            "gauge",
+            "Paper-model bytes (structure + summary) of the worst-ranked clusters.",
+            &slices(&bytes_samples),
+        );
+        if self.attributed {
+            expose::render_labeled_family(
+                out,
+                &format!("{namespace}_quality_cluster_error"),
+                "gauge",
+                "Absolute workload error attributed to the worst-ranked clusters.",
+                &slices(&error_samples),
+            );
+            expose::render_labeled_family(
+                out,
+                &format!("{namespace}_quality_unattributed_error"),
+                "gauge",
+                "Absolute workload error not charged to any cluster.",
+                &[(&[], self.unattributed_error)],
+            );
+        }
+        expose::render_labeled_family(
+            out,
+            &format!("{namespace}_quality_clusters"),
+            "gauge",
+            "Live clusters in the loaded synopsis.",
+            &[(&[], self.clusters.len() as f64)],
+        );
+    }
+}
+
+/// JSON string escaping (shared with the obs JSON export).
+fn expose_esc(s: &str) -> String {
+    xcluster_obs::export::esc(s)
+}
+
+/// Truncates a label for the fixed-width table.
+fn truncated(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!(
+            "{}…",
+            &s[..s
+                .char_indices()
+                .take(n - 1)
+                .last()
+                .map_or(0, |(i, c)| i + c.len_utf8())]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_synopsis, BuildConfig};
+    use crate::metrics::{evaluate_workload, EvalOptions};
+    use crate::reference::{reference_synopsis, ReferenceConfig};
+    use xcluster_query::eval::EvalIndex;
+    use xcluster_query::workload::{self, Workload, WorkloadConfig};
+    use xcluster_xml::parse;
+
+    fn sample() -> (xcluster_xml::XmlTree, Synopsis) {
+        let doc = parse(
+            "<bib><paper><year>1998</year><title>Histograms</title>\
+             <abstract>histograms approximate value distributions compactly</abstract></paper>\
+             <paper><year>2004</year><title>Sketches</title>\
+             <abstract>sketches summarize streams in sublinear space</abstract></paper>\
+             <paper><year>2010</year><title>Synopses</title>\
+             <abstract>xml synopses estimate twig selectivity</abstract></paper></bib>",
+        )
+        .unwrap();
+        let reference = reference_synopsis(&doc, &ReferenceConfig::default());
+        let s = build_synopsis(
+            reference,
+            &BuildConfig {
+                b_str: 512,
+                b_val: 512,
+                ..BuildConfig::default()
+            },
+        );
+        (doc, s)
+    }
+
+    fn sample_workload(doc: &xcluster_xml::XmlTree) -> Workload {
+        let idx = EvalIndex::build(doc);
+        workload::generate_positive(
+            doc,
+            &idx,
+            &WorkloadConfig {
+                num_queries: 40,
+                seed: 5,
+                ..WorkloadConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn measure_covers_every_live_cluster() {
+        let (_, s) = sample();
+        let q = QualityReport::measure(&s);
+        assert_eq!(q.clusters.len(), s.num_nodes());
+        assert!(!q.attributed);
+        assert_eq!(q.structural_bytes, s.structural_bytes());
+        assert_eq!(q.value_bytes, s.value_bytes());
+        // Per-cluster bytes partition the totals.
+        let struct_sum: usize = q.clusters.iter().map(|c| c.struct_bytes).sum();
+        let value_sum: usize = q.clusters.iter().map(|c| c.summary_bytes).sum();
+        assert_eq!(struct_sum, s.structural_bytes());
+        assert_eq!(value_sum, s.value_bytes());
+        assert_eq!(q.bytes_by_kind.values().sum::<usize>(), value_sum);
+        // Without attribution the ranking is by bytes.
+        for w in q.clusters.windows(2) {
+            assert!(w[0].total_bytes() >= w[1].total_bytes());
+        }
+    }
+
+    #[test]
+    fn attribution_ranks_the_same_top_cluster() {
+        let (doc, s) = sample();
+        let w = sample_workload(&doc);
+        let eval = evaluate_workload(&s, &w, &EvalOptions::default().with_attribution(true));
+        let attr = eval.attribution.expect("attribution requested");
+        let q = QualityReport::measure_with(&s, Some(&attr));
+        assert!(q.attributed);
+        if let Some(top) = attr.top() {
+            assert_eq!(q.top().unwrap().cluster, top.cluster, "rankings agree");
+            assert!(q.top().unwrap().abs_error > 0.0);
+            assert!(
+                (q.top().unwrap().error_share - top.abs_error / q.total_abs_error).abs() < 1e-12
+            );
+        }
+        // Attribution joins onto measured rows, never invents clusters.
+        assert_eq!(q.clusters.len(), s.num_nodes());
+    }
+
+    #[test]
+    fn json_and_table_render_and_limit() {
+        let (doc, s) = sample();
+        let w = sample_workload(&doc);
+        let eval = evaluate_workload(&s, &w, &EvalOptions::default().with_attribution(true));
+        let q = QualityReport::measure_with(&s, eval.attribution.as_ref());
+        let v = xcluster_obs::json::parse(&q.to_json(3)).expect("valid JSON");
+        assert_eq!(
+            v.get("clusters").and_then(|x| x.as_f64()).unwrap() as usize,
+            q.clusters.len()
+        );
+        let top = v.get("top").unwrap().idx(0).unwrap();
+        assert_eq!(
+            top.get("cluster").and_then(|x| x.as_f64()).unwrap() as usize,
+            q.top().unwrap().cluster
+        );
+        let returned = v.get("returned").and_then(|x| x.as_f64()).unwrap() as usize;
+        assert!(returned <= 3);
+        let table = q.render(2);
+        assert!(table.contains("ranked by workload error"), "{table}");
+        assert!(table.contains("more clusters"), "{table}");
+    }
+
+    #[test]
+    fn metrics_render_and_scrape_round_trip() {
+        let (doc, s) = sample();
+        let w = sample_workload(&doc);
+        let eval = evaluate_workload(&s, &w, &EvalOptions::default().with_attribution(true));
+        let q = QualityReport::measure_with(&s, eval.attribution.as_ref());
+        let mut out = String::new();
+        q.render_metrics(&mut out, "xcluster", 5);
+        let exp = expose::parse(&out).expect("strict scrape");
+        let top = q.top().unwrap();
+        let id = top.cluster.to_string();
+        let labels = [
+            ("cluster", id.as_str()),
+            ("label", top.label.as_str()),
+            ("kind", top.summary_kind.unwrap_or("none")),
+        ];
+        assert_eq!(
+            exp.labeled_value("xcluster_quality_cluster_bytes", &labels),
+            Some(top.total_bytes() as f64)
+        );
+        if q.attributed && top.abs_error > 0.0 {
+            assert_eq!(
+                exp.labeled_value("xcluster_quality_cluster_error", &labels),
+                Some(top.abs_error)
+            );
+        }
+        assert_eq!(
+            exp.value("xcluster_quality_clusters"),
+            Some(q.clusters.len() as f64)
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Embeds the build's identity (compiler version, git commit) for the
+//! `xcluster_build_info` exposition family. Everything degrades to
+//! "unknown" — offline builds, exported tarballs, and vendored checkouts
+//! must compile identically.
+
+use std::process::Command;
+
+fn capture(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(out.stdout).ok()?;
+    let line = text.lines().next()?.trim();
+    if line.is_empty() {
+        None
+    } else {
+        Some(line.to_string())
+    }
+}
+
+fn main() {
+    println!("cargo:rerun-if-changed=build.rs");
+    // Re-embed the commit when HEAD moves (path is relative to this
+    // crate's manifest directory; absent outside a git checkout).
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    if let Some(v) = capture(&rustc, &["--version"]) {
+        println!("cargo:rustc-env=XCLUSTER_RUSTC_VERSION={v}");
+    }
+    if let Some(sha) = capture("git", &["rev-parse", "--short=12", "HEAD"]) {
+        println!("cargo:rustc-env=XCLUSTER_GIT_SHA={sha}");
+    }
+}

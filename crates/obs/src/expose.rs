@@ -64,9 +64,26 @@ fn escape_label(v: &str) -> String {
     out
 }
 
-/// One metric family header in the output.
+/// Escapes HELP text. The text format escapes only `\` and newline in
+/// help strings — a double quote is literal there, unlike in label
+/// values (escaping it would surface a stray backslash in scrape UIs).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One metric family header in the output. `help` is raw text; it is
+/// escaped here so a newline or backslash can never break the line
+/// grammar of the exposition.
 fn header(out: &mut String, name: &str, kind: &str, help: &str) {
-    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
     let _ = writeln!(out, "# TYPE {name} {kind}");
 }
 
@@ -78,6 +95,38 @@ fn num(v: u64) -> String {
 
 /// A named sliding-window reading to expose alongside the registry.
 pub type NamedWindow<'a> = (&'a str, WindowSnapshot);
+
+/// The build's identity as `(version, rustc, git)` — crate version plus
+/// the compiler and short commit hash discovered by the build script
+/// (`"unknown"` when the build environment could not supply one).
+pub fn build_info() -> (&'static str, &'static str, &'static str) {
+    (
+        env!("CARGO_PKG_VERSION"),
+        option_env!("XCLUSTER_RUSTC_VERSION").unwrap_or("unknown"),
+        option_env!("XCLUSTER_GIT_SHA").unwrap_or("unknown"),
+    )
+}
+
+/// One-line human form of [`build_info`], e.g. for health endpoints:
+/// `xcluster/0.1.0 git/1a2b3c4d`.
+pub fn version_string() -> String {
+    let (version, _, git) = build_info();
+    format!("xcluster/{version} git/{git}")
+}
+
+/// Renders the constant `{ns}_build_info{{version,rustc,git}} 1` gauge
+/// — the standard Prometheus idiom for joining build metadata onto any
+/// other series.
+pub fn render_build_info(out: &mut String, namespace: &str) {
+    let (version, rustc, git) = build_info();
+    render_labeled_family(
+        out,
+        &format!("{namespace}_build_info"),
+        "gauge",
+        "Constant gauge carrying the build's version metadata as labels.",
+        &[(&[("version", version), ("rustc", rustc), ("git", git)], 1.0)],
+    );
+}
 
 /// Renders a registry snapshot in Prometheus text format under the
 /// given namespace ([`DEFAULT_NAMESPACE`] is the convention).
@@ -95,7 +144,10 @@ pub fn render_with_windows(s: &Snapshot, windows: &[NamedWindow<'_>], namespace:
         namespace
     };
     let mut out = String::new();
+    render_build_info(&mut out, ns);
     let mut seen: BTreeMap<String, u32> = BTreeMap::new();
+    // Guard the already-emitted family from a registry-name collision.
+    seen.insert(format!("{ns}_build_info"), 1);
     // Two dotted names may sanitize onto the same exposition name;
     // suffix later arrivals so the output never carries a duplicate
     // family (which scrapers reject).
@@ -114,18 +166,13 @@ pub fn render_with_windows(s: &Snapshot, windows: &[NamedWindow<'_>], namespace:
             &mut out,
             &fq,
             "counter",
-            &format!("Registry counter '{}'.", escape_label(name)),
+            &format!("Registry counter '{name}'."),
         );
         let _ = writeln!(out, "{fq} {}", num(*v));
     }
     for (name, v) in &s.gauges {
         let fq = unique(format!("{ns}_{}", sanitize_name(name)));
-        header(
-            &mut out,
-            &fq,
-            "gauge",
-            &format!("Registry gauge '{}'.", escape_label(name)),
-        );
+        header(&mut out, &fq, "gauge", &format!("Registry gauge '{name}'."));
         let _ = writeln!(out, "{fq} {v}");
     }
     for (name, h) in &s.histograms {
@@ -134,10 +181,7 @@ pub fn render_with_windows(s: &Snapshot, windows: &[NamedWindow<'_>], namespace:
             &mut out,
             &fq,
             "summary",
-            &format!(
-                "Registry histogram '{}' (pow2 buckets).",
-                escape_label(name)
-            ),
+            &format!("Registry histogram '{name}' (pow2 buckets)."),
         );
         for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
             let _ = writeln!(out, "{fq}{{quantile=\"{q}\"}} {}", num(v));
@@ -159,10 +203,7 @@ pub fn render_with_windows(s: &Snapshot, windows: &[NamedWindow<'_>], namespace:
             &mut out,
             &fq,
             "gauge",
-            &format!(
-                "Sliding-window quantiles of '{}' over the last {secs}s.",
-                escape_label(name)
-            ),
+            &format!("Sliding-window quantiles of '{name}' over the last {secs}s."),
         );
         for (q, v) in [("0.5", w.p50), ("0.95", w.p95), ("0.99", w.p99)] {
             let _ = writeln!(out, "{fq}{{{label},quantile=\"{q}\"}} {}", num(v));
@@ -250,6 +291,19 @@ impl Exposition {
         self.samples
             .iter()
             .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+
+    /// The single sample with this name carrying exactly these labels
+    /// (order-insensitive), if present.
+    pub fn labeled_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && labels.iter().all(|&(k, v)| s.label(k) == Some(v))
+            })
             .map(|s| s.value)
     }
 
@@ -629,6 +683,75 @@ mod tests {
         // Special float values.
         let exp = parse("# TYPE m gauge\nm +Inf\n").unwrap();
         assert!(exp.samples[0].value.is_infinite());
+    }
+
+    #[test]
+    fn label_values_escape_and_round_trip() {
+        let awkward = "a\\b\"c\nd,e}f";
+        let mut out = String::new();
+        render_labeled_family(
+            &mut out,
+            "xcluster_quality_cluster_bytes",
+            "gauge",
+            "Bytes per cluster.",
+            &[(&[("label", awkward), ("kind", "terms")], 42.0)],
+        );
+        // The raw rendering carries the escapes…
+        assert!(out.contains("label=\"a\\\\b\\\"c\\nd,e}f\""));
+        // …and the strict parser recovers the original value exactly.
+        let exp = parse(&out).unwrap();
+        let s = exp
+            .by_name("xcluster_quality_cluster_bytes")
+            .next()
+            .unwrap();
+        assert_eq!(s.label("label"), Some(awkward));
+        assert_eq!(
+            exp.labeled_value(
+                "xcluster_quality_cluster_bytes",
+                &[("kind", "terms"), ("label", awkward)],
+            ),
+            Some(42.0)
+        );
+    }
+
+    #[test]
+    fn help_text_escapes_without_mangling_quotes() {
+        let mut out = String::new();
+        render_labeled_family(
+            &mut out,
+            "m",
+            "gauge",
+            "Says \"hi\" across\ntwo lines with a \\ too.",
+            &[(&[], 1.0)],
+        );
+        // Quotes stay literal in HELP; newline and backslash are
+        // escaped so the line grammar survives.
+        assert!(out.contains("# HELP m Says \"hi\" across\\ntwo lines with a \\\\ too.\n"));
+        assert_eq!(parse(&out).unwrap().value("m"), Some(1.0));
+    }
+
+    #[test]
+    fn registry_names_with_quotes_render_cleanly() {
+        let r = Registry::default();
+        r.counter("weird\"name").inc();
+        let text = render(&r.snapshot(), "x");
+        // The help line carries the name verbatim — no `\"` artifact.
+        assert!(text.contains("# HELP x_weird_name_total Registry counter 'weird\"name'.\n"));
+        parse(&text).unwrap();
+    }
+
+    #[test]
+    fn build_info_gauge_is_rendered_and_parses() {
+        let text = render(&Snapshot::default(), "xcluster");
+        let exp = parse(&text).unwrap();
+        let info = exp.by_name("xcluster_build_info").next().unwrap();
+        assert_eq!(info.value, 1.0);
+        let (version, rustc, git) = build_info();
+        assert_eq!(info.label("version"), Some(version));
+        assert_eq!(info.label("rustc"), Some(rustc));
+        assert_eq!(info.label("git"), Some(git));
+        assert!(!version.is_empty());
+        assert!(version_string().starts_with("xcluster/"));
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod expose;
 pub mod journal;
 pub mod json;
 pub mod log;
+pub mod profile;
 pub mod registry;
 pub mod span;
 pub mod trace;
@@ -53,6 +54,7 @@ pub mod window;
 
 pub use journal::{Journal, JournalConfig, JournalRecord, Sampler};
 pub use log::Level;
+pub use profile::{PathEntry, Profile, ProfileGuard};
 pub use registry::{
     counter, gauge, global, histogram, reset, snapshot, Counter, Gauge, Histogram,
     HistogramSnapshot, Registry, Snapshot,

@@ -1,0 +1,636 @@
+//! Continuous call-path profiling: aggregate span nesting into a
+//! cumulative flame profile cheap enough to leave on in production.
+//!
+//! # Model
+//!
+//! Each thread owns a *path tree*: one node per distinct call path
+//! (sequence of span names from that thread's outermost open span down),
+//! accumulating inclusive nanoseconds and invocation counts. Opening a
+//! span walks one edge down (creating it on first sight); closing walks
+//! back up and adds the span's measured duration to the path node.
+//! There is no sampling and no unwinding — the "stack" is exactly the
+//! nesting of [`crate::span::SpanTimer`]s and [`span`] guards, so the
+//! profile is a complete, deterministic aggregation of every
+//! instrumented scope.
+//!
+//! The per-thread table is bounded ([`set_max_paths`]): once full, new
+//! paths are dropped and counted ([`Profile::dropped`]) instead of
+//! growing without limit — re-entering an existing path is always free.
+//! Thread-local trees merge into one global table when a thread exits
+//! and whenever [`snapshot`] runs, so worker-pool spans (which root
+//! their own per-thread stacks, standard flamegraph semantics) are
+//! never lost.
+//!
+//! # Cost
+//!
+//! Profiling is off unless `XCLUSTER_PROFILE=1` (or [`set_profiling`]):
+//! the off path is one relaxed atomic load per span. The on path is a
+//! thread-local lookup plus a linear scan of the current node's
+//! children — no locks, no allocation after first sight of a path. The
+//! `obs_overhead` bench asserts the whole obs stack, profiler enabled,
+//! stays under 3% on a real build.
+//!
+//! # Exports
+//!
+//! [`Profile::collapsed`] renders `path;leaf <excl_ns>` lines —
+//! `flamegraph.pl`-compatible collapsed stacks weighted by *exclusive*
+//! time (inclusive minus children), so the sum over any subtree equals
+//! that subtree root's inclusive time. [`Profile::chrome_json`] renders
+//! the aggregated tree as Chrome trace-event JSON (`chrome://tracing`,
+//! Perfetto). Both orders are deterministic (path-lexicographic).
+//!
+//! ```
+//! xcluster_obs::profile::set_profiling(true);
+//! {
+//!     let _outer = xcluster_obs::profile::span("doc.outer");
+//!     let _inner = xcluster_obs::profile::span("doc.inner");
+//! }
+//! let p = xcluster_obs::profile::snapshot();
+//! assert_eq!(p.total_ns("doc.inner"), p.find(&["doc.outer", "doc.inner"]).unwrap().0);
+//! xcluster_obs::profile::set_profiling(false);
+//! ```
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default bound on distinct call paths per thread (and per merge into
+/// the global table). Far above any real instrumentation density —
+/// the build pipeline has a few dozen distinct paths.
+pub const DEFAULT_MAX_PATHS: usize = 4096;
+
+/// 0 = off, 1 = on, 2 = uninitialized (read `XCLUSTER_PROFILE`).
+static PROFILING: AtomicU8 = AtomicU8::new(2);
+
+/// Per-thread path-table bound (applies from the next node creation).
+static MAX_PATHS: AtomicUsize = AtomicUsize::new(DEFAULT_MAX_PATHS);
+
+/// Whether call-path profiling is collecting. Initialized from
+/// `XCLUSTER_PROFILE` (`1`/`on`/`true` enables) on first call; forced
+/// off while the global [`crate::enabled`] kill switch is off.
+#[inline]
+pub fn profiling_enabled() -> bool {
+    let flag = match PROFILING.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => {
+            let on = matches!(
+                std::env::var("XCLUSTER_PROFILE").as_deref(),
+                Ok("1") | Ok("on") | Ok("true")
+            );
+            PROFILING.store(on as u8, Ordering::Relaxed);
+            on
+        }
+    };
+    flag && crate::enabled()
+}
+
+/// Runtime switch for call-path profiling (overrides the env default).
+pub fn set_profiling(on: bool) {
+    PROFILING.store(on as u8, Ordering::Relaxed);
+}
+
+/// Caps the number of distinct call paths tracked per thread; paths
+/// beyond the cap are dropped and counted, never silently grown.
+pub fn set_max_paths(n: usize) {
+    MAX_PATHS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// An open profiler frame, closed by [`exit`] with the measured
+/// duration. `usize::MAX` marks a frame inside an overflowed subtree.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameToken(usize);
+
+const OVERFLOW: usize = usize::MAX;
+
+/// One node of a path tree: a distinct call path ending in `name`.
+#[derive(Debug, Clone)]
+struct PathNode {
+    name: &'static str,
+    children: Vec<usize>,
+    incl_ns: u64,
+    count: u64,
+}
+
+impl PathNode {
+    fn new(name: &'static str) -> PathNode {
+        PathNode {
+            name,
+            children: Vec::new(),
+            incl_ns: 0,
+            count: 0,
+        }
+    }
+}
+
+/// A path tree plus its drop counter. Node 0 is the synthetic root.
+#[derive(Debug)]
+struct PathTree {
+    nodes: Vec<PathNode>,
+    dropped: u64,
+}
+
+impl PathTree {
+    fn new() -> PathTree {
+        PathTree {
+            nodes: vec![PathNode::new("")],
+            dropped: 0,
+        }
+    }
+
+    /// The child of `at` named `name`, created on first sight; `None`
+    /// when the table is at its bound.
+    fn child(&mut self, at: usize, name: &'static str, max: usize) -> Option<usize> {
+        if let Some(&c) = self.nodes[at]
+            .children
+            .iter()
+            .find(|&&c| std::ptr::eq(self.nodes[c].name, name) || self.nodes[c].name == name)
+        {
+            return Some(c);
+        }
+        if self.nodes.len() >= max {
+            return None;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(PathNode::new(name));
+        self.nodes[at].children.push(id);
+        Some(id)
+    }
+
+    /// Adds every counted path of `other` into this tree (path-wise).
+    fn absorb(&mut self, other: &PathTree) {
+        fn rec(dst: &mut PathTree, dst_at: usize, src: &PathTree, src_at: usize, max: usize) {
+            for &sc in &src.nodes[src_at].children {
+                let name = src.nodes[sc].name;
+                match dst.child(dst_at, name, max) {
+                    Some(dc) => {
+                        dst.nodes[dc].incl_ns += src.nodes[sc].incl_ns;
+                        dst.nodes[dc].count += src.nodes[sc].count;
+                        rec(dst, dc, src, sc, max);
+                    }
+                    None => dst.dropped += src.nodes[sc].count.max(1),
+                }
+            }
+        }
+        let max = MAX_PATHS.load(Ordering::Relaxed).max(self.nodes.len());
+        rec(self, 0, other, 0, max);
+        self.dropped += other.dropped;
+    }
+}
+
+/// Thread-local profiler state: the path tree plus the open-frame stack.
+struct LocalProfile {
+    tree: PathTree,
+    stack: Vec<usize>,
+    overflow_depth: usize,
+}
+
+impl LocalProfile {
+    fn new() -> LocalProfile {
+        LocalProfile {
+            tree: PathTree::new(),
+            stack: Vec::with_capacity(16),
+            overflow_depth: 0,
+        }
+    }
+
+    fn enter(&mut self, name: &'static str) -> FrameToken {
+        if self.overflow_depth > 0 {
+            self.overflow_depth += 1;
+            return FrameToken(OVERFLOW);
+        }
+        let at = self.stack.last().copied().unwrap_or(0);
+        match self.tree.child(at, name, MAX_PATHS.load(Ordering::Relaxed)) {
+            Some(id) => {
+                self.stack.push(id);
+                FrameToken(id)
+            }
+            None => {
+                self.tree.dropped += 1;
+                self.overflow_depth = 1;
+                FrameToken(OVERFLOW)
+            }
+        }
+    }
+
+    fn exit(&mut self, token: FrameToken, dur_ns: u64) {
+        if token.0 == OVERFLOW {
+            self.overflow_depth = self.overflow_depth.saturating_sub(1);
+            return;
+        }
+        // Tolerate unbalanced exits (a guard leaked across an early
+        // return path): pop until the frame is found, or ignore a token
+        // whose frame is no longer on the stack (e.g. after `reset`).
+        if let Some(pos) = self.stack.iter().rposition(|&id| id == token.0) {
+            self.stack.truncate(pos);
+            let node = &mut self.tree.nodes[token.0];
+            node.incl_ns += dur_ns;
+            node.count += 1;
+        }
+    }
+
+    /// Moves this thread's accumulated counts into the global table,
+    /// keeping the local tree structure (open frames stay valid).
+    fn flush(&mut self) {
+        let has_counts =
+            self.tree.dropped > 0 || self.tree.nodes.iter().any(|n| n.count > 0 || n.incl_ns > 0);
+        if !has_counts {
+            return;
+        }
+        with_global(|g| g.absorb(&self.tree));
+        for n in &mut self.tree.nodes {
+            n.incl_ns = 0;
+            n.count = 0;
+        }
+        self.tree.dropped = 0;
+    }
+}
+
+impl Drop for LocalProfile {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalProfile> = RefCell::new(LocalProfile::new());
+}
+
+static GLOBAL: Mutex<PathTree> = Mutex::new(PathTree {
+    nodes: Vec::new(),
+    dropped: 0,
+});
+
+fn with_global<R>(f: impl FnOnce(&mut PathTree) -> R) -> R {
+    // Resilient to poisoning: flushes run from thread-exit destructors,
+    // where a second panic would abort the process.
+    let mut g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    if g.nodes.is_empty() {
+        g.nodes.push(PathNode::new(""));
+    }
+    f(&mut g)
+}
+
+/// Opens a frame on the current thread's path stack. Callers must pair
+/// it with [`exit`] carrying the frame's measured duration;
+/// [`crate::span::SpanTimer`] does this with the *same* duration it
+/// records into its histogram, so profile and histogram totals
+/// reconcile exactly. Returns `None` when profiling is off.
+#[inline]
+pub fn enter(name: &'static str) -> Option<FrameToken> {
+    if !profiling_enabled() {
+        return None;
+    }
+    LOCAL.try_with(|l| l.borrow_mut().enter(name)).ok()
+}
+
+/// Closes a frame opened by [`enter`], attributing `dur_ns` inclusive
+/// nanoseconds to its call path.
+#[inline]
+pub fn exit(token: FrameToken, dur_ns: u64) {
+    let _ = LOCAL.try_with(|l| l.borrow_mut().exit(token, dur_ns));
+}
+
+/// A self-timing RAII profiler frame for scopes that don't carry a
+/// histogram (use [`crate::span::SpanTimer`] when they do — it feeds
+/// the profiler automatically). Inert when profiling is off.
+#[must_use = "a profile span measures until it is dropped"]
+#[derive(Debug)]
+pub struct ProfileGuard {
+    frame: Option<(FrameToken, Instant)>,
+}
+
+impl Drop for ProfileGuard {
+    fn drop(&mut self) {
+        if let Some((token, start)) = self.frame.take() {
+            exit(token, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Opens a self-timing profiler frame named `name`.
+#[inline]
+pub fn span(name: &'static str) -> ProfileGuard {
+    ProfileGuard {
+        frame: enter(name).map(|t| (t, Instant::now())),
+    }
+}
+
+/// One aggregated call path: names from the outermost span down,
+/// inclusive / exclusive nanoseconds, and invocation count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathEntry {
+    /// Span names, outermost first.
+    pub path: Vec<&'static str>,
+    /// Total nanoseconds spent with this exact path open.
+    pub incl_ns: u64,
+    /// Inclusive minus the children's inclusive time (self time).
+    pub excl_ns: u64,
+    /// Times this exact path was closed.
+    pub count: u64,
+}
+
+/// An immutable aggregated flame profile (see [`snapshot`]).
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    entries: Vec<PathEntry>,
+    dropped: u64,
+}
+
+impl Profile {
+    /// All call paths, path-lexicographic, outermost names first.
+    pub fn entries(&self) -> &[PathEntry] {
+        &self.entries
+    }
+
+    /// Spans dropped because the bounded path table was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether the profile holds no paths.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(incl_ns, count)` of one exact path, if present.
+    pub fn find(&self, path: &[&str]) -> Option<(u64, u64)> {
+        self.entries
+            .iter()
+            .find(|e| e.path == path)
+            .map(|e| (e.incl_ns, e.count))
+    }
+
+    /// Total inclusive nanoseconds across every path *ending* in
+    /// `name` — the profile's answer to "how long did `name` run",
+    /// regardless of where it was called from.
+    pub fn total_ns(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.path.last() == Some(&name))
+            .map(|e| e.incl_ns)
+            .sum()
+    }
+
+    /// Collapsed-stack export: one `a;b;c <excl_ns>` line per path with
+    /// nonzero exclusive time, path-lexicographic — pipe into
+    /// `flamegraph.pl` for an SVG. Summing the lines under any frame
+    /// reproduces that frame's inclusive time.
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            if e.excl_ns == 0 {
+                continue;
+            }
+            out.push_str(&e.path.join(";"));
+            out.push(' ');
+            out.push_str(&e.excl_ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Chrome trace-event JSON of the aggregated tree: one complete
+    /// (`ph:"X"`) event per path, children laid out inside their
+    /// parent's extent in path order. Timestamps are synthetic (this is
+    /// an aggregation, not a timeline); durations are real.
+    pub fn chrome_json(&self) -> String {
+        let mut events = Vec::new();
+        // Entries are path-lexicographic, so a stack of (path_len,
+        // next_free_ts) reproduces the tree shape in one pass.
+        let mut cursor: Vec<(usize, u64)> = vec![(0, 0)];
+        for e in &self.entries {
+            while cursor
+                .last()
+                .is_some_and(|&(depth, _)| depth >= e.path.len())
+            {
+                cursor.pop();
+            }
+            let start = cursor.last().map_or(0, |&(_, ts)| ts);
+            if let Some(top) = cursor.last_mut() {
+                top.1 = start + e.incl_ns;
+            }
+            cursor.push((e.path.len(), start));
+            let name = e.path.last().copied().unwrap_or("");
+            events.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":{:.3},\"dur\":{:.3},\
+                 \"args\":{{\"count\":{},\"excl_ns\":{}}}}}",
+                crate::export::esc(name),
+                start as f64 / 1_000.0,
+                e.incl_ns as f64 / 1_000.0,
+                e.count,
+                e.excl_ns,
+            ));
+        }
+        format!("{{\"traceEvents\":[{}]}}", events.join(","))
+    }
+}
+
+/// Flushes the calling thread's tree and snapshots the merged global
+/// profile. Threads that exited are already merged; other live threads'
+/// unflushed counts appear once they flush (worker-pool threads flush
+/// on exit, before their `chunked_map` scope returns).
+pub fn snapshot() -> Profile {
+    let _ = LOCAL.try_with(|l| l.borrow_mut().flush());
+    with_global(|g| {
+        let mut entries = Vec::new();
+        let mut path = Vec::new();
+        fn rec(
+            g: &PathTree,
+            at: usize,
+            path: &mut Vec<&'static str>,
+            entries: &mut Vec<PathEntry>,
+        ) {
+            for &c in &g.nodes[at].children {
+                let node = &g.nodes[c];
+                path.push(node.name);
+                let child_incl: u64 = node.children.iter().map(|&cc| g.nodes[cc].incl_ns).sum();
+                entries.push(PathEntry {
+                    path: path.clone(),
+                    incl_ns: node.incl_ns,
+                    excl_ns: node.incl_ns.saturating_sub(child_incl),
+                    count: node.count,
+                });
+                rec(g, c, path, entries);
+                path.pop();
+            }
+        }
+        rec(g, 0, &mut path, &mut entries);
+        entries.sort_by(|a, b| a.path.cmp(&b.path));
+        Profile {
+            entries,
+            dropped: g.dropped,
+        }
+    })
+}
+
+/// Clears the global table and the calling thread's accumulated counts
+/// and open-frame stack. Call between profiled runs (with no spans
+/// open) to profile them in isolation.
+pub fn reset() {
+    let _ = LOCAL.try_with(|l| {
+        let mut l = l.borrow_mut();
+        l.tree = PathTree::new();
+        l.stack.clear();
+        l.overflow_depth = 0;
+    });
+    with_global(|g| {
+        g.nodes.clear();
+        g.nodes.push(PathNode::new(""));
+        g.dropped = 0;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TEST_ENABLE_LOCK as ENABLE_FLAG;
+
+    /// Profiler tests share the global table with each other (and with
+    /// any other test that flips the enable flags), so they serialize
+    /// on the crate-wide lock and reset around themselves.
+    fn with_profiler(f: impl FnOnce()) {
+        let _g = ENABLE_FLAG.lock().unwrap();
+        crate::set_enabled(true);
+        set_profiling(true);
+        reset();
+        f();
+        set_profiling(false);
+        reset();
+    }
+
+    #[test]
+    fn nesting_builds_call_paths() {
+        with_profiler(|| {
+            {
+                let _a = span("a");
+                {
+                    let _b = span("b");
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                let _b2 = span("b");
+            }
+            let _top = span("b");
+            drop(_top);
+            let p = snapshot();
+            let paths: Vec<Vec<&str>> = p.entries().iter().map(|e| e.path.clone()).collect();
+            assert_eq!(paths, vec![vec!["a"], vec!["a", "b"], vec!["b"]]);
+            let (ab_incl, ab_count) = p.find(&["a", "b"]).unwrap();
+            assert_eq!(ab_count, 2, "two a→b invocations aggregate to one path");
+            assert!(ab_incl >= 1_000_000);
+            let (a_incl, a_count) = p.find(&["a"]).unwrap();
+            assert_eq!(a_count, 1);
+            assert!(a_incl >= ab_incl, "parent includes child time");
+            // Exclusive = inclusive − children.
+            let a = &p.entries()[0];
+            assert_eq!(a.excl_ns, a.incl_ns - ab_incl);
+            assert_eq!(p.total_ns("b"), ab_incl + p.find(&["b"]).unwrap().0);
+        });
+    }
+
+    #[test]
+    fn collapsed_lines_sum_to_inclusive_roots() {
+        with_profiler(|| {
+            {
+                let _a = span("root");
+                {
+                    let _b = span("left");
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                let _c = span("right");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            let p = snapshot();
+            let collapsed = p.collapsed();
+            let mut total = 0u64;
+            for line in collapsed.lines() {
+                let (path, ns) = line.rsplit_once(' ').unwrap();
+                assert!(path.starts_with("root"), "line {line:?}");
+                total += ns.parse::<u64>().unwrap();
+            }
+            let (root_incl, _) = p.find(&["root"]).unwrap();
+            assert_eq!(total, root_incl, "exclusive weights partition the root");
+            // Export is deterministic.
+            assert_eq!(collapsed, snapshot().collapsed());
+        });
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_one_event_per_path() {
+        with_profiler(|| {
+            {
+                let _a = span("outer");
+                let _b = span("inner \"q\"");
+            }
+            let p = snapshot();
+            let v = crate::json::parse(&p.chrome_json()).expect("valid JSON");
+            let events = v.get("traceEvents").unwrap();
+            let n = match events {
+                crate::json::JsonValue::Arr(a) => a.len(),
+                _ => panic!("traceEvents not an array"),
+            };
+            assert_eq!(n, p.entries().len());
+        });
+    }
+
+    #[test]
+    fn bounded_table_drops_and_counts_overflow() {
+        with_profiler(|| {
+            set_max_paths(3); // root + 2 distinct paths
+            static NAMES: [&str; 8] = ["p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7"];
+            for name in NAMES {
+                let _g = span(name);
+                // Nested frames inside an overflowed subtree must pair
+                // up without corrupting the stack.
+                let _inner = span("p0");
+            }
+            let p = snapshot();
+            set_max_paths(DEFAULT_MAX_PATHS);
+            assert!(p.dropped() > 0, "overflow must be counted");
+            assert!(p.entries().len() <= 4);
+            // Re-entry into a retained path still counts.
+            assert!(p.find(&["p0"]).unwrap().1 >= 1);
+        });
+    }
+
+    #[test]
+    fn worker_threads_merge_into_the_global_profile() {
+        with_profiler(|| {
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        let _g = span("worker");
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    });
+                }
+            });
+            let p = snapshot();
+            let (incl, count) = p.find(&["worker"]).unwrap();
+            assert_eq!(count, 4, "every thread's spans survive thread exit");
+            assert!(incl >= 4_000_000);
+        });
+    }
+
+    #[test]
+    fn disabled_profiling_records_nothing() {
+        let _g = ENABLE_FLAG.lock().unwrap();
+        crate::set_enabled(true);
+        set_profiling(false);
+        reset();
+        {
+            let _a = span("off");
+        }
+        assert!(snapshot().is_empty());
+        // The kill switch forces profiling off even when requested.
+        set_profiling(true);
+        crate::set_enabled(false);
+        {
+            let _a = span("killed");
+        }
+        assert!(snapshot().is_empty());
+        crate::set_enabled(true);
+        set_profiling(false);
+        reset();
+    }
+}

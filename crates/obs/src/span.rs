@@ -16,6 +16,7 @@
 //! few instructions, which is what lets instrumentation stay in release
 //! builds.
 
+use crate::profile;
 use crate::registry::Histogram;
 use std::time::{Duration, Instant};
 
@@ -31,6 +32,10 @@ struct SpanInner<'a> {
     name: &'static str,
     hist: &'a Histogram,
     start: Instant,
+    /// Open profiler frame, when call-path profiling is on. Closed in
+    /// [`record`] with the *same* duration the histogram receives, so
+    /// profile and histogram totals reconcile exactly.
+    prof: Option<profile::FrameToken>,
 }
 
 impl<'a> SpanTimer<'a> {
@@ -45,6 +50,7 @@ impl<'a> SpanTimer<'a> {
             inner: Some(SpanInner {
                 name,
                 hist,
+                prof: profile::enter(name),
                 start: Instant::now(),
             }),
         }
@@ -79,6 +85,9 @@ impl Drop for SpanTimer<'_> {
 #[inline]
 fn record(i: &SpanInner<'_>, d: Duration) {
     i.hist.record_duration(d);
+    if let Some(token) = i.prof {
+        profile::exit(token, d.as_nanos() as u64);
+    }
     crate::trace!("span", "{} took {:.3?}", i.name, d);
 }
 

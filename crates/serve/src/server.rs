@@ -15,6 +15,7 @@
 //! | GET    | `/debug/requests` | recent journal records (`?n=` limit)      |
 //! | GET    | `/debug/slow`     | top-K slow batches (`?chrome=1` trace)    |
 //! | GET    | `/debug/journal`  | full journal as JSONL download            |
+//! | GET    | `/debug/synopsis` | per-cluster health report (`?n=` limit)   |
 //! | POST   | `/shutdown`       | graceful stop (drains, then exits)        |
 //!
 //! Estimates are produced by a compiled-plan [`Estimator`] session, so
@@ -52,7 +53,7 @@ use std::time::{Duration, Instant};
 use xcluster_core::footprint::{MemoryFootprint, ServingFootprint};
 use xcluster_core::par::resolve_threads;
 use xcluster_core::synopsis::Synopsis;
-use xcluster_core::{Estimator, ReachCache};
+use xcluster_core::{AttributionReport, Estimator, QualityReport, ReachCache};
 use xcluster_obs::export::esc;
 use xcluster_obs::json::{self, JsonValue};
 use xcluster_obs::{
@@ -156,6 +157,9 @@ pub struct ServerState {
     /// always present so the journal flag stays deterministic.
     shadow_sampler: Sampler,
     shadow: RwLock<Option<Arc<ShadowMonitor>>>,
+    /// Offline workload-error attribution for the loaded synopsis;
+    /// ranks `/debug/synopsis` and the quality gauges by error when set.
+    attribution: RwLock<Option<Arc<AttributionReport>>>,
 }
 
 impl ServerState {
@@ -201,6 +205,24 @@ impl ServerState {
     /// The attached shadow monitor, if any.
     pub fn shadow(&self) -> Option<Arc<ShadowMonitor>> {
         self.shadow.read().unwrap().clone()
+    }
+
+    /// The installed workload-error attribution, if any.
+    pub fn attribution(&self) -> Option<Arc<AttributionReport>> {
+        self.attribution.read().unwrap().clone()
+    }
+
+    /// Builds the synopsis-quality report for the loaded synopsis,
+    /// joined with the installed attribution and the live reach-cache
+    /// statistics. `None` until a synopsis is loaded.
+    pub fn quality_report(&self) -> Option<QualityReport> {
+        let guard = self.loaded.read().unwrap();
+        let loaded = guard.as_ref()?;
+        let attr = self.attribution();
+        Some(
+            QualityReport::measure_with(&loaded.synopsis, attr.as_deref())
+                .with_cache_stats(loaded.cache.stats()),
+        )
     }
 
     /// Publishes the journal/slow-ring resident bytes as `footprint.*`
@@ -257,6 +279,7 @@ impl Server {
                 slow: SlowRing::new(cfg.slow_capacity),
                 shadow_sampler: Sampler::new(cfg.shadow_seed, cfg.shadow_sample_ppm),
                 shadow: RwLock::new(None),
+                attribution: RwLock::new(None),
             }),
             workers,
         })
@@ -295,6 +318,16 @@ impl Server {
         xcluster_obs::gauge("footprint.reach_cache_bytes").set(0);
         self.state.ready.store(true, Ordering::Release);
         xcluster_obs::gauge("serve.ready").set(1);
+    }
+
+    /// Installs a workload-error attribution report (computed offline
+    /// via `evaluate_workload` with attribution enabled). Once set,
+    /// `/debug/synopsis` and the `/metrics` quality gauges rank
+    /// clusters by their contribution to workload error instead of by
+    /// footprint alone. Replaced wholesale — install a fresh report
+    /// whenever the synopsis changes.
+    pub fn set_attribution(&self, attribution: AttributionReport) {
+        *self.state.attribution.write().unwrap() = Some(Arc::new(attribution));
     }
 
     /// Attaches a shadow accuracy monitor over an owned copy of the
@@ -404,7 +437,7 @@ fn handle_connection(state: &ServerState, stream: TcpStream, worker: u64) {
 
 fn route(state: &ServerState, req: &Request, worker: u64) -> Response {
     match (req.method.as_str(), req.route_path()) {
-        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/healthz") => Response::text(200, format!("ok {}\n", expose::version_string())),
         ("GET", "/readyz") => {
             if state.ready() {
                 Response::text(200, "ready\n")
@@ -419,6 +452,9 @@ fn route(state: &ServerState, req: &Request, worker: u64) -> Response {
             if let Some(shadow) = state.shadow() {
                 shadow.render_metrics(&mut body, expose::DEFAULT_NAMESPACE);
             }
+            if let Some(quality) = state.quality_report() {
+                quality.render_metrics(&mut body, expose::DEFAULT_NAMESPACE, TOP_OFFENDER_GAUGES);
+            }
             Response::metrics(body)
         }
         ("GET", "/synopsis/stats") => stats_response(state),
@@ -427,15 +463,39 @@ fn route(state: &ServerState, req: &Request, worker: u64) -> Response {
         ("GET", "/debug/journal") => Response::with_type(200, "application/x-ndjson", {
             xcluster_obs::journal::to_jsonl(&state.journal.snapshot())
         }),
+        ("GET", "/debug/synopsis") => debug_synopsis_response(state, req),
         ("POST", "/estimate") => estimate_response(state, req, worker),
         ("POST", "/shutdown") => Response::text(200, "shutting down\n"),
         (
             _,
             "/healthz" | "/readyz" | "/metrics" | "/synopsis/stats" | "/debug/requests"
-            | "/debug/slow" | "/debug/journal",
+            | "/debug/slow" | "/debug/journal" | "/debug/synopsis",
         ) => Response::text(405, "method not allowed\n"),
         (_, "/estimate" | "/shutdown") => Response::text(405, "method not allowed\n"),
         _ => Response::text(404, "not found\n"),
+    }
+}
+
+/// How many top-offender clusters the `/metrics` quality gauges carry.
+/// Deliberately small: `/metrics` is scraped continuously, so the
+/// per-cluster series must stay bounded; the full ranking is one
+/// `/debug/synopsis?n=` request away.
+const TOP_OFFENDER_GAUGES: usize = 5;
+
+/// `GET /debug/synopsis[?n=K]` — the per-cluster health report for the
+/// loaded synopsis as JSON: bytes by summary kind, population, and
+/// (when an attribution report is installed) each cluster's
+/// contribution to workload estimation error, ranked worst-first.
+/// Built fresh per request so it always reflects the live reach-cache
+/// counters.
+fn debug_synopsis_response(state: &ServerState, req: &Request) -> Response {
+    let n = req
+        .query_param("n")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(20);
+    match state.quality_report() {
+        Some(q) => Response::json(200, q.to_json(n)),
+        None => Response::json(503, "{\"error\":\"synopsis not loaded\"}"),
     }
 }
 

@@ -530,6 +530,43 @@ mod tests {
     }
 
     #[test]
+    fn slow_ring_concurrent_offers_keep_exact_top_k() {
+        // 8 writers race 4 000 distinct latencies (a bit-mixed
+        // permutation, so arrival order is adversarial) into a 16-slot
+        // ring, each gating on `qualifies` exactly like the server
+        // does. The check-then-offer pair is not atomic — an entry may
+        // qualify and then lose its slot to a concurrent faster
+        // insert — but `offer` re-ranks under the lock, so the final
+        // ring must still be exactly the true top K, descending, with
+        // no rank lost and no duplicate admitted twice.
+        let per_writer = 500u64;
+        let writers = 8u64;
+        let ring = std::sync::Arc::new(SlowRing::new(16));
+        // Distinct latencies: odd multiplier mod 2^64 is a bijection.
+        let lat = |i: u64| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let ring = std::sync::Arc::clone(&ring);
+                scope.spawn(move || {
+                    for k in 0..per_writer {
+                        let i = w * per_writer + k;
+                        if ring.qualifies(lat(i)) {
+                            ring.offer(entry(i, lat(i)));
+                        }
+                    }
+                });
+            }
+        });
+        let mut expect: Vec<u64> = (0..writers * per_writer).map(lat).collect();
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        expect.truncate(16);
+        let got: Vec<u64> = ring.snapshot().iter().map(|e| e.latency_ns).collect();
+        assert_eq!(got, expect, "exact top-16, descending");
+        assert_eq!(ring.len(), 16);
+        assert!(ring.heap_bytes() > 0);
+    }
+
+    #[test]
     fn zero_capacity_ring_rejects_everything() {
         let ring = SlowRing::new(0);
         assert!(!ring.qualifies(u64::MAX));

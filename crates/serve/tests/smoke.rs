@@ -72,17 +72,25 @@ fn serve_smoke() {
         let server = std::sync::Arc::clone(&server);
         std::thread::spawn(move || server.run().unwrap())
     };
-    assert_eq!(
-        client::request(&addr, "GET", "/healthz", None)
-            .unwrap()
-            .status,
-        200
+    let health = client::request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    assert!(
+        health.body.starts_with("ok xcluster/"),
+        "liveness carries the build identity: {}",
+        health.body
     );
     assert_eq!(
         client::request(&addr, "GET", "/readyz", None)
             .unwrap()
             .status,
         503
+    );
+    assert_eq!(
+        client::request(&addr, "GET", "/debug/synopsis", None)
+            .unwrap()
+            .status,
+        503,
+        "no health report before the synopsis loads"
     );
     let r = client::request(&addr, "POST", "/estimate", Some("{\"queries\":[]}")).unwrap();
     assert_eq!(r.status, 503, "estimate before load must 503: {}", r.body);
@@ -191,6 +199,109 @@ fn serve_smoke() {
         .get("summaries")
         .and_then(|s| s.get("histogram"))
         .is_some());
+
+    // /debug/synopsis before attribution: measured, ranked by bytes.
+    let q = client::request(&addr, "GET", "/debug/synopsis?n=3", None).unwrap();
+    assert_eq!(q.status, 200, "{}", q.body);
+    let qdoc = json::parse(&q.body).unwrap();
+    assert_eq!(
+        qdoc.get("attributed").and_then(JsonValue::as_bool),
+        Some(false)
+    );
+    assert_eq!(
+        qdoc.get("clusters").and_then(JsonValue::as_f64),
+        Some(expected_synopsis.num_nodes() as f64),
+        "one health row per live cluster"
+    );
+
+    // Hot-swap in a *lossy* synopsis (budgets tight enough that the
+    // positive workload has real estimation error), evaluate that
+    // workload offline with attribution, install the attribution, and
+    // re-read: the served report must rank the same top offender as the
+    // offline evaluation — the acceptance contract for the quality
+    // surface.
+    let doc_tree = sample_doc();
+    let lossy = build_synopsis(
+        reference_synopsis(&doc_tree, &ReferenceConfig::default()),
+        &BuildConfig {
+            b_str: 512,
+            b_val: 256,
+            ..BuildConfig::default()
+        },
+    );
+    let lossy_nodes = lossy.num_nodes();
+    server.set_synopsis(lossy.clone());
+    let idx = xcluster_query::EvalIndex::build(&doc_tree);
+    let workload = xcluster_query::workload::generate_positive(
+        &doc_tree,
+        &idx,
+        &xcluster_query::WorkloadConfig {
+            num_queries: 150,
+            seed: 7,
+            ..xcluster_query::WorkloadConfig::default()
+        },
+    );
+    let eval = xcluster_core::evaluate_workload(
+        &lossy,
+        &workload,
+        &xcluster_core::EvalOptions::default().with_attribution(true),
+    );
+    let attribution = eval.attribution.expect("attribution requested");
+    let offline_top = attribution.top().expect("workload has error");
+    assert!(
+        offline_top.abs_error > 0.0,
+        "lossy budgets must produce real estimation error"
+    );
+    let offline_top = offline_top.cluster;
+    server.set_attribution(attribution);
+    let q = client::request(&addr, "GET", "/debug/synopsis?n=3", None).unwrap();
+    assert_eq!(q.status, 200, "{}", q.body);
+    let qdoc = json::parse(&q.body).unwrap();
+    assert_eq!(
+        qdoc.get("attributed").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        qdoc.get("clusters").and_then(JsonValue::as_f64),
+        Some(lossy_nodes as f64),
+        "health report follows the hot-swapped synopsis"
+    );
+    let top = qdoc
+        .get("top")
+        .and_then(|t| match t {
+            JsonValue::Arr(rows) => rows.first(),
+            _ => None,
+        })
+        .expect("non-empty top array");
+    assert_eq!(
+        top.get("cluster").and_then(JsonValue::as_f64),
+        Some(offline_top as f64),
+        "served top offender equals the offline attribution top"
+    );
+    assert!(top.get("abs_error").and_then(JsonValue::as_f64).unwrap() > 0.0);
+
+    // /metrics now carries the build identity and the top-offender
+    // quality gauges, with the same cluster leading.
+    let m = client::request(&addr, "GET", "/metrics", None).unwrap();
+    let exposition = expose::parse(&m.body).unwrap();
+    let info = exposition
+        .by_name("xcluster_build_info")
+        .next()
+        .expect("build info gauge");
+    assert_eq!(info.value, 1.0);
+    assert!(info.label("version").is_some_and(|v| !v.is_empty()));
+    assert_eq!(
+        exposition.value("xcluster_quality_clusters"),
+        Some(lossy_nodes as f64)
+    );
+    let worst = exposition
+        .by_name("xcluster_quality_cluster_error")
+        .next()
+        .expect("quality error gauges after attribution install");
+    assert_eq!(
+        worst.label("cluster"),
+        Some(offline_top.to_string().as_str())
+    );
 
     // Graceful shutdown via the endpoint; the accept loop exits.
     let r = client::request(&addr, "POST", "/shutdown", None).unwrap();

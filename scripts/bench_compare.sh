@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Compares the committed BENCH_*.json benchmark artifacts in the working
+# tree against a baseline git revision (HEAD~1 by default, or the ref
+# given as $1), printing a per-metric delta table for every numeric leaf
+# (dotted-path flattened, e.g. metrics.class_rel.string). Deltas beyond
+# ±10% are flagged with `<<` so drift is easy to spot in CI logs.
+#
+# Informational only: this script ALWAYS exits 0. The blocking accuracy
+# check is `ci.sh --accuracy`, which gates against BENCH_accuracy.json
+# with explicit tolerances; this report exists so perf/size drift in the
+# other artifacts is visible in every run without flaking the build.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+BASE_REF="${1:-HEAD~1}"
+
+# Flattens pretty-printed JSON to `dotted.path value` lines, numeric
+# leaves only. Line-oriented on purpose: the BENCH artifacts are emitted
+# by our own serializer (one key per line), and a dependency-free awk
+# pass is all CI has.
+flatten() {
+  awk '
+    {
+      line = $0
+      sub(/\r$/, "", line)
+    }
+    line ~ /^[[:space:]]*"[^"]+"[[:space:]]*:[[:space:]]*\{[[:space:]]*$/ {
+      key = line
+      sub(/^[[:space:]]*"/, "", key)
+      sub(/".*$/, "", key)
+      stack[depth++] = key
+      next
+    }
+    line ~ /^[[:space:]]*\}/ {
+      if (depth > 0) depth--
+      next
+    }
+    line ~ /^[[:space:]]*"[^"]+"[[:space:]]*:[[:space:]]*-?[0-9]/ {
+      key = line
+      sub(/^[[:space:]]*"/, "", key)
+      sub(/".*$/, "", key)
+      val = line
+      sub(/^[^:]*:[[:space:]]*/, "", val)
+      sub(/[,[:space:]]*$/, "", val)
+      path = ""
+      for (i = 0; i < depth; i++) path = path stack[i] "."
+      print path key, val
+    }
+  '
+}
+
+if ! git rev-parse --verify --quiet "$BASE_REF" > /dev/null; then
+  echo "bench_compare: baseline ref $BASE_REF does not exist (first commit?) — nothing to compare"
+  exit 0
+fi
+
+shopt -s nullglob
+artifacts=(BENCH_*.json)
+if [[ ${#artifacts[@]} -eq 0 ]]; then
+  echo "bench_compare: no BENCH_*.json artifacts in the working tree"
+  exit 0
+fi
+
+for f in "${artifacts[@]}"; do
+  if ! base="$(git show "$BASE_REF:$f" 2> /dev/null)"; then
+    echo "== $f: new artifact (no baseline at $BASE_REF)"
+    continue
+  fi
+  echo "== $f vs $BASE_REF"
+  # Join old and new flattened metrics on the dotted path and print the
+  # delta. awk does the join so the whole report is one pass per file.
+  awk '
+    NR == FNR { old[$1] = $2; next }
+    {
+      new[$1] = $2
+      order[++n] = $1
+    }
+    END {
+      for (i = 1; i <= n; i++) {
+        k = order[i]
+        if (k in old) {
+          o = old[k] + 0
+          v = new[k] + 0
+          flag = ""
+          if (o == v) {
+            printf "  %-44s %14g  (unchanged)\n", k, v
+          } else if (o == 0) {
+            printf "  %-44s %14g -> %-14g (was zero) <<\n", k, o, v
+          } else {
+            pct = (v - o) / (o < 0 ? -o : o) * 100
+            flag = (pct > 10 || pct < -10) ? " <<" : ""
+            printf "  %-44s %14g -> %-14g %+8.2f%%%s\n", k, o, v, pct, flag
+          }
+          delete old[k]
+        } else {
+          printf "  %-44s %31s %-14g (new metric) <<\n", k, "", new[k] + 0
+        }
+      }
+      for (k in old)
+        printf "  %-44s %14g -> %-14s (removed) <<\n", k, old[k] + 0, "-"
+    }
+  ' <(flatten <<< "$base") <(flatten < "$f")
+done
+
+exit 0

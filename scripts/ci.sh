@@ -72,6 +72,12 @@ if [[ "$MAIN" == "1" ]]; then
     XCLUSTER_TEST_THREADS="$threads" \
       cargo test -q --release -p xcluster-core --test parallel
   done
+
+  # Benchmark drift report: committed BENCH_*.json artifacts vs the
+  # previous commit. Informational only — bench_compare.sh always exits
+  # 0, and the `|| true` keeps even a script failure non-blocking.
+  echo "==> bench compare vs HEAD~1 (informational)"
+  ./scripts/bench_compare.sh || true
 fi
 
 if [[ "$PLAN_DIFF" == "1" ]]; then

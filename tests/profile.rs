@@ -1,0 +1,180 @@
+//! Call-path profiling over the real build pipeline.
+//!
+//! The acceptance contract for `obs::profile`: a profiled build's
+//! per-phase inclusive totals must reconcile with the
+//! `build.phase{1,2}_ns` histograms (the `SpanTimer` closes its
+//! profiler frame with the same duration it records, so the totals are
+//! identical by construction — asserted here within the 1% contract),
+//! the collapsed-stack export must partition each phase's inclusive
+//! time, and profiling must not perturb build determinism.
+//!
+//! These tests share the process-global profile table and the global
+//! registry histograms, so they serialize on one lock and this file
+//! deliberately contains every test that profiles a build.
+
+use std::sync::Mutex;
+use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+use xcluster_core::Synopsis;
+use xcluster_obs::profile;
+
+static PROFILE_LOCK: Mutex<()> = Mutex::new(());
+
+fn imdb_synopsis() -> Synopsis {
+    let d = xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+        num_movies: 60,
+        seed: 11,
+    });
+    reference_synopsis(&d.tree, &ReferenceConfig::default())
+}
+
+fn build_cfg(s: &Synopsis, threads: usize) -> BuildConfig {
+    BuildConfig {
+        b_str: s.structural_bytes() / 4,
+        b_val: s.value_bytes() / 8,
+        threads,
+        ..BuildConfig::default()
+    }
+}
+
+/// Sums the collapsed-stack weights of every line under `prefix`.
+fn collapsed_subtree_ns(collapsed: &str, prefix: &str) -> u64 {
+    collapsed
+        .lines()
+        .filter_map(|line| {
+            let (path, ns) = line.rsplit_once(' ')?;
+            (path == prefix || path.starts_with(&format!("{prefix};")))
+                .then(|| ns.parse::<u64>().unwrap())
+        })
+        .sum()
+}
+
+#[test]
+fn profiled_build_reconciles_with_phase_histograms() {
+    let _g = PROFILE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    xcluster_obs::set_enabled(true);
+    profile::set_profiling(true);
+    profile::reset();
+
+    let h1 = xcluster_obs::histogram("build.phase1_ns");
+    let h2 = xcluster_obs::histogram("build.phase2_ns");
+    let ht = xcluster_obs::histogram("build.total_ns");
+    let chunks = xcluster_obs::counter("build.value_chunks");
+    let (b1, b2, bt) = (h1.snapshot().sum, h2.snapshot().sum, ht.snapshot().sum);
+    let chunks_before = chunks.get();
+
+    let s = imdb_synopsis();
+    let built = build_synopsis(s.clone(), &build_cfg(&s, 1));
+    assert!(built.num_nodes() > 0);
+
+    let (d1, d2, dt) = (
+        h1.snapshot().sum - b1,
+        h2.snapshot().sum - b2,
+        ht.snapshot().sum - bt,
+    );
+    let p = profile::snapshot();
+    profile::set_profiling(false);
+
+    let (p1, _) = p
+        .find(&["build.total", "build.phase1"])
+        .expect("phase1 path");
+    let (p2, _) = p
+        .find(&["build.total", "build.phase2"])
+        .expect("phase2 path");
+    let (pt, _) = p.find(&["build.total"]).expect("total path");
+    let within = |a: u64, b: u64, what: &str| {
+        let rel = (a as f64 - b as f64).abs() / (b as f64).max(1.0);
+        assert!(
+            rel <= 0.01,
+            "{what}: profile {a} vs histogram {b} ({rel:.4})"
+        );
+    };
+    assert!(d1 > 0 && d2 > 0, "build must exercise both phases");
+    within(p1, d1, "phase1");
+    within(p2, d2, "phase2");
+    within(pt, dt, "total");
+
+    // The deep instrumentation is present and nested where it belongs
+    // (threads = 1, so scoring nests under the refill).
+    for path in [
+        vec!["build.total", "build.phase1", "merge_round"],
+        vec![
+            "build.total",
+            "build.phase1",
+            "merge_round",
+            "pool_refill",
+            "score_group",
+        ],
+        vec![
+            "build.total",
+            "build.phase1",
+            "merge_round",
+            "pool_drain",
+            "apply_merge",
+        ],
+        vec!["build.total", "build.phase2", "chunk_heap_init"],
+    ] {
+        assert!(p.find(&path).is_some(), "missing call path {path:?}");
+    }
+    // The chunk-drain loop only runs when post-merge value bytes still
+    // exceed the budget; when it did, its frames must be in the profile.
+    if chunks.get() > chunks_before {
+        assert!(
+            p.find(&["build.total", "build.phase2", "value_chunk"])
+                .is_some(),
+            "chunks were applied but the value_chunk path is missing"
+        );
+    }
+
+    // Collapsed-stack weights are exclusive times: the subtree under a
+    // phase sums back to that phase's inclusive time.
+    let collapsed = p.collapsed();
+    within(
+        collapsed_subtree_ns(&collapsed, "build.total;build.phase1"),
+        p1,
+        "collapsed phase1 subtree",
+    );
+    within(
+        collapsed_subtree_ns(&collapsed, "build.total;build.phase2"),
+        p2,
+        "collapsed phase2 subtree",
+    );
+    within(
+        collapsed_subtree_ns(&collapsed, "build.total"),
+        pt,
+        "collapsed total",
+    );
+    assert_eq!(p.dropped(), 0, "build paths fit the default table");
+}
+
+#[test]
+fn profiling_does_not_perturb_build_output() {
+    let _g = PROFILE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    xcluster_obs::set_enabled(true);
+    let s = imdb_synopsis();
+    let cfg = build_cfg(&s, 1);
+
+    profile::set_profiling(false);
+    let plain = xcluster_core::codec::encode_synopsis(&build_synopsis(s.clone(), &cfg));
+
+    profile::set_profiling(true);
+    profile::reset();
+    let profiled_seq = build_synopsis(s.clone(), &cfg);
+    let profiled_par = build_synopsis(s, &BuildConfig { threads: 4, ..cfg });
+    let p = profile::snapshot();
+    profile::set_profiling(false);
+
+    assert_eq!(
+        xcluster_core::codec::encode_synopsis(&profiled_seq),
+        plain,
+        "profiling must not change the build"
+    );
+    assert_eq!(
+        xcluster_core::codec::encode_synopsis(&profiled_par),
+        plain,
+        "profiled parallel build stays byte-identical"
+    );
+    // Worker-thread scoring frames rooted their own stacks and merged
+    // into the global profile when the workers exited.
+    assert!(p.total_ns("score_group") > 0);
+}
