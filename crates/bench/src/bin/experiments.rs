@@ -204,6 +204,13 @@ fn bench_run_meta(command: &str, opts: &Opts, wall_s: f64) -> Vec<(&'static str,
 /// thread speedup entry. The recorded snapshot covers the N-thread
 /// build; the 1-thread build runs first purely as the speedup baseline
 /// and doubles as a byte-identity check on the parallel path.
+///
+/// The `incremental` metrics block times synopsis maintenance under a
+/// pinned 5%-churn delta: one `apply_delta` pass against the wall clock
+/// of a from-scratch rebuild (reference + budget passes) over the
+/// mutated document. Incremental maintenance must be at least 5× faster
+/// than the rebuild it replaces — that ratio is the point of the
+/// subsystem, so the run fails if it regresses below the floor.
 fn bench_build(opts: &Opts) {
     let t0 = Instant::now();
     let p = prepare_imdb(BENCH_SCALE, opts.seed);
@@ -239,17 +246,93 @@ fn bench_build(opts: &Opts) {
         built.num_nodes(),
         built.total_bytes()
     );
+
+    // Incremental maintenance vs rebuild at the pinned 5% churn point.
+    const INCREMENTAL_CHURN: f64 = 0.05;
+    const INCREMENTAL_MIN_SPEEDUP: f64 = 5.0;
+    let delta = xcluster_datagen::deltas::generate_delta(
+        &p.dataset.tree,
+        &xcluster_datagen::deltas::DeltaConfig {
+            churn: INCREMENTAL_CHURN,
+            seed: opts.seed,
+            ..xcluster_datagen::deltas::DeltaConfig::default()
+        },
+    );
+    let mut maintained = built.clone();
+    let ti = Instant::now();
+    let dstats = xcluster_core::apply_delta(&mut maintained, &p.dataset.tree, &delta, &cfg);
+    let apply_wall = ti.elapsed().as_secs_f64();
+    let mutated = xcluster_core::apply_to_tree(&p.dataset.tree, &delta).tree;
+    let tr = Instant::now();
+    let rebuilt = build_synopsis(
+        reference_synopsis(
+            &mutated,
+            &ReferenceConfig {
+                value_paths: Some(p.dataset.value_paths.clone()),
+                ..ReferenceConfig::default()
+            },
+        ),
+        &cfg,
+    );
+    let rebuild_wall = tr.elapsed().as_secs_f64();
+    let inc_speedup = rebuild_wall / apply_wall.max(f64::MIN_POSITIVE);
+    maintained.check_consistency().expect("maintained synopsis");
+    assert!(
+        inc_speedup >= INCREMENTAL_MIN_SPEEDUP,
+        "incremental apply must be at least {INCREMENTAL_MIN_SPEEDUP}x faster than a rebuild \
+         at {INCREMENTAL_CHURN} churn: apply {apply_wall:.4}s vs rebuild {rebuild_wall:.4}s \
+         ({inc_speedup:.1}x)"
+    );
+    println!(
+        "== bench-build incremental: {}+{} elements churned, apply {:.2} ms vs rebuild {:.2} ms ({inc_speedup:.0}x) ==",
+        dstats.inserted_elements,
+        dstats.deleted_elements,
+        apply_wall * 1e3,
+        rebuild_wall * 1e3
+    );
+
     let snap = xcluster_obs::snapshot();
     let mut run = bench_run_meta("bench-build", opts, t0.elapsed().as_secs_f64());
     run.push(("threads", format!("{threads}")));
     run.push(("wall_seconds_1thread", format!("{wall_1:.3}")));
     run.push(("wall_seconds_nthreads", format!("{wall_n:.3}")));
     run.push(("speedup_vs_1thread", format!("{speedup:.2}")));
-    write_bench_file(
-        "BENCH_build.json",
-        &run,
-        &xcluster_obs::export::to_json(&snap),
+    // Splice the incremental block into the registry dump so the
+    // committed snapshot keeps one `metrics` object.
+    let registry = xcluster_obs::export::to_json(&snap);
+    let mut body = registry.trim_end().to_string();
+    body.truncate(body.rfind('}').expect("registry json object"));
+    body.truncate(body.trim_end().len());
+    let _ = writeln!(body, ",\n  \"incremental\": {{");
+    let _ = writeln!(body, "    \"churn\": {INCREMENTAL_CHURN},");
+    let _ = writeln!(
+        body,
+        "    \"inserted_elements\": {},",
+        dstats.inserted_elements
     );
+    let _ = writeln!(
+        body,
+        "    \"deleted_elements\": {},",
+        dstats.deleted_elements
+    );
+    let _ = writeln!(body, "    \"dirty_groups\": {},", dstats.dirty_groups);
+    let _ = writeln!(body, "    \"remerged\": {},", dstats.remerged);
+    let _ = writeln!(body, "    \"synopsis_version\": {},", maintained.version());
+    let _ = writeln!(body, "    \"apply_wall_ms\": {:.3},", apply_wall * 1e3);
+    let _ = writeln!(body, "    \"rebuild_wall_ms\": {:.3},", rebuild_wall * 1e3);
+    let _ = writeln!(body, "    \"speedup_vs_rebuild\": {inc_speedup:.1},");
+    let _ = writeln!(
+        body,
+        "    \"rebuilt_total_bytes\": {},",
+        rebuilt.total_bytes()
+    );
+    let _ = writeln!(
+        body,
+        "    \"maintained_total_bytes\": {}",
+        maintained.total_bytes()
+    );
+    body.push_str("  }\n}\n");
+    write_bench_file("BENCH_build.json", &run, &body);
 }
 
 /// `BENCH_estimate.json`: per-query estimation latency percentiles over

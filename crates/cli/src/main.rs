@@ -21,7 +21,20 @@
 //! xcluster loadgen <addr> [--qps F] [--total N] [--batch N] [--seed N]
 //!                  [--verify syn.xcs] [--shutdown] [--queries-file F] "<twig>"...
 //! xcluster replay <journal.jsonl> <synopsis.xcs> [--threads N]
+//! xcluster apply-delta <synopsis.xcs> <doc.xml> -o <out.xcs> [--churn F]
+//!                      [--insert-fraction F] [--max-subtree N] [--seed N]
+//!                      [--steps N] [--b-str N] [--b-val N] [--write-doc out.xml]
+//!                      [--type label=kind]...
 //! ```
+//!
+//! `apply-delta` maintains a saved synopsis incrementally: it generates a
+//! seeded churn stream against the document (subtree insertions copied
+//! from the document with jittered numeric values, disjoint subtree
+//! deletions), applies each delta in place under the given byte budgets,
+//! and writes the updated — version-bumped — artifact. A server pointed
+//! at that artifact picks it up via `POST /reload` with zero downtime.
+//! `--write-doc` also saves the mutated document, so the refreshed
+//! synopsis can be validated against its ground truth with `compare`.
 //!
 //! The twig syntax is documented in `xcluster_query::parser` — e.g.
 //! `//movie[year>2000]{/title}{/cast/actor/name}`.
@@ -69,6 +82,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("apply-delta") => cmd_apply_delta(&args[1..]),
         _ => {
             eprintln!(
                 "usage: xcluster [--verbose|-q] <build|info|estimate|evaluate|compare|stats|trace> ...\n\
@@ -89,7 +103,9 @@ fn main() -> ExitCode {
                  \x20     [--shadow doc.xml] [--shadow-sample-ppm N] [--shadow-sanity F] [--shadow-threshold F]\n\
                  \x20     [--shadow-queue N] [--type label=kind]...\n\
                  loadgen <addr> [--qps F] [--total N] [--batch N] [--seed N] [--verify syn.xcs] [--shutdown] [--queries-file F] \"<twig>\"...\n\
-                 replay <journal.jsonl> <synopsis.xcs> [--threads N]"
+                 replay <journal.jsonl> <synopsis.xcs> [--threads N]\n\
+                 apply-delta <synopsis.xcs> <doc.xml> -o <out.xcs> [--churn F] [--insert-fraction F]\n\
+                 \x20     [--max-subtree N] [--seed N] [--steps N] [--b-str N] [--b-val N] [--write-doc out.xml] [--type label=kind]..."
             );
             return ExitCode::from(2);
         }
@@ -376,6 +392,7 @@ fn load_synopsis(path: &str) -> Result<Synopsis, AnyError> {
 fn cmd_info(args: &[String]) -> Result<(), AnyError> {
     let path = args.first().ok_or("missing synopsis file")?;
     let s = load_synopsis(path)?;
+    println!("version:          {}", s.version());
     println!("nodes:            {}", s.num_nodes());
     println!("edges:            {}", s.num_edges());
     println!("value summaries:  {}", s.num_value_nodes());
@@ -744,6 +761,8 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     }
     let path = path.ok_or("missing synopsis file")?.to_string();
     let server = xcluster_serve::Server::bind(&cfg)?;
+    // POST /reload re-reads this artifact and swaps it in live.
+    server.set_synopsis_path(&path);
     write_stdout(&format!("listening on http://{}\n", server.local_addr()))?;
     std::thread::scope(|scope| -> Result<(), AnyError> {
         // Load in the background so the listener (and /healthz) is up
@@ -833,6 +852,138 @@ fn cmd_replay(args: &[String]) -> Result<(), AnyError> {
     ))?;
     if mismatches > 0 {
         return Err(format!("{mismatches} estimate(s) did not reproduce bitwise").into());
+    }
+    Ok(())
+}
+
+/// Maintains a saved synopsis incrementally: generates a seeded churn
+/// stream against the document, applies every delta to the synopsis in
+/// place (`apply_delta`), and writes the updated, version-bumped
+/// artifact. See the module docs for the workflow.
+fn cmd_apply_delta(args: &[String]) -> Result<(), AnyError> {
+    let mut syn_path: Option<&str> = None;
+    let mut doc_path: Option<&str> = None;
+    let mut output: Option<&str> = None;
+    let mut write_doc: Option<&str> = None;
+    let mut delta_cfg = xcluster_datagen::deltas::DeltaConfig::default();
+    let mut steps = 1usize;
+    let mut b_str = 10 * 1024;
+    let mut b_val = 150 * 1024;
+    let mut types: Vec<(String, ValueType)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--output" => {
+                output = Some(args.get(i + 1).ok_or("-o needs a file")?);
+                i += 2;
+            }
+            "--churn" => {
+                delta_cfg.churn = args.get(i + 1).ok_or("--churn needs a value")?.parse()?;
+                i += 2;
+            }
+            "--insert-fraction" => {
+                delta_cfg.insert_fraction = args
+                    .get(i + 1)
+                    .ok_or("--insert-fraction needs a value")?
+                    .parse()?;
+                i += 2;
+            }
+            "--max-subtree" => {
+                delta_cfg.max_subtree = args
+                    .get(i + 1)
+                    .ok_or("--max-subtree needs a value")?
+                    .parse()?;
+                i += 2;
+            }
+            "--seed" => {
+                delta_cfg.seed = args.get(i + 1).ok_or("--seed needs a value")?.parse()?;
+                i += 2;
+            }
+            "--steps" => {
+                steps = args.get(i + 1).ok_or("--steps needs a value")?.parse()?;
+                i += 2;
+            }
+            "--b-str" => {
+                b_str = args.get(i + 1).ok_or("--b-str needs a value")?.parse()?;
+                i += 2;
+            }
+            "--b-val" => {
+                b_val = args.get(i + 1).ok_or("--b-val needs a value")?.parse()?;
+                i += 2;
+            }
+            "--write-doc" => {
+                write_doc = Some(args.get(i + 1).ok_or("--write-doc needs a file")?);
+                i += 2;
+            }
+            "--type" => {
+                types.push(parse_type_opt(&args[i + 1])?);
+                i += 2;
+            }
+            other if syn_path.is_none() => {
+                syn_path = Some(other);
+                i += 1;
+            }
+            other if doc_path.is_none() => {
+                doc_path = Some(other);
+                i += 1;
+            }
+            other => return Err(format!("unexpected argument {other:?}").into()),
+        }
+    }
+    let syn_path = syn_path.ok_or("missing synopsis file")?;
+    let doc_path = doc_path.ok_or("missing document file")?;
+    let output = output.ok_or("missing -o <output.xcs>")?;
+    let mut synopsis = load_synopsis(syn_path)?;
+    let mut doc = load_document(doc_path, &types)?;
+    let cfg = BuildConfig {
+        b_str,
+        b_val,
+        ..BuildConfig::default()
+    };
+    for step in 0..steps {
+        let step_cfg = xcluster_datagen::deltas::DeltaConfig {
+            seed: delta_cfg.seed.wrapping_add(step as u64),
+            ..delta_cfg.clone()
+        };
+        let delta = xcluster_datagen::deltas::generate_delta(&doc, &step_cfg);
+        let stats = xcluster_core::apply_delta(&mut synopsis, &doc, &delta, &cfg);
+        doc = xcluster_core::apply_to_tree(&doc, &delta).tree;
+        info!(
+            "cli",
+            "step {step}: +{} -{} elements, {} dirty groups, {} new / {} removed clusters\
+             {}{} -> version {}",
+            stats.inserted_elements,
+            stats.deleted_elements,
+            stats.dirty_groups,
+            stats.new_clusters,
+            stats.removed_clusters,
+            if stats.remerged { ", re-merged" } else { "" },
+            if stats.recompressed {
+                ", re-compressed"
+            } else {
+                ""
+            },
+            synopsis.version()
+        );
+    }
+    let bytes = encode_synopsis(&synopsis);
+    std::fs::write(output, &bytes)?;
+    info!(
+        "cli",
+        "wrote {output}: version {}, {} nodes, {} struct + {} value bytes ({} on disk)",
+        synopsis.version(),
+        synopsis.num_nodes(),
+        synopsis.structural_bytes(),
+        synopsis.value_bytes(),
+        bytes.len()
+    );
+    if let Some(path) = write_doc {
+        std::fs::write(path, xcluster_xml::write_document(&doc))?;
+        info!(
+            "cli",
+            "wrote mutated document to {path} ({} elements)",
+            doc.len()
+        );
     }
     Ok(())
 }

@@ -44,8 +44,13 @@ use crate::merge::apply_merge;
 use crate::par;
 use crate::synopsis::{Synopsis, SynopsisNodeId};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 use xcluster_obs::{profile, SpanTimer};
+use xcluster_xml::{Symbol, ValueType};
+
+/// A set of `(label, value type)` merge classes — the unit of dirtiness
+/// tracked by incremental maintenance (`crate::delta::apply_delta`).
+pub type GroupSet = BTreeSet<(Symbol, ValueType)>;
 
 /// Registry handles for the build instrumentation, resolved once per
 /// process (updates are relaxed atomics — see `xcluster-obs`).
@@ -255,6 +260,20 @@ impl Ord for PoolEntry {
 
 /// Phase 1 (Figure 5, lines 2–10).
 pub fn structure_value_merge(s: &mut Synopsis, cfg: &BuildConfig) {
+    structure_value_merge_filtered(s, cfg, None);
+}
+
+/// [`structure_value_merge`] restricted to the given `(label, type)`
+/// groups: only pairs within a listed group are considered. Used by
+/// incremental maintenance to re-run the merge heap over the regions a
+/// delta dirtied instead of the whole synopsis. The restricted pass can
+/// stop above `Bstr` when the clean regions hold the remaining bytes —
+/// callers fall back to the full pass in that case.
+pub fn structure_value_merge_groups(s: &mut Synopsis, cfg: &BuildConfig, groups: &GroupSet) {
+    structure_value_merge_filtered(s, cfg, Some(groups));
+}
+
+fn structure_value_merge_filtered(s: &mut Synopsis, cfg: &BuildConfig, filter: Option<&GroupSet>) {
     let mut l = 1u32;
     loop {
         let _round = profile::span("merge_round");
@@ -265,7 +284,7 @@ pub fn structure_value_merge(s: &mut Synopsis, cfg: &BuildConfig) {
         let max_level = s.live_nodes().map(|i| levels[i]).max().unwrap_or(0);
         let mut pool = {
             let _refill = profile::span("pool_refill");
-            build_pool(s, cfg.h_m, l, &levels, cfg.threads)
+            build_pool(s, cfg.h_m, l, &levels, cfg.threads, filter)
         };
         stats::POOL_REFILLS.inc();
         stats::POOL_CANDIDATES.add(pool.len() as u64);
@@ -366,10 +385,16 @@ fn build_pool(
     l: u32,
     levels: &[u32],
     threads: usize,
+    filter: Option<&GroupSet>,
 ) -> BinaryHeap<PoolEntry> {
     // `nodes_by_label_type` is a BTreeMap, so the group order is
     // deterministic (PR 2) — the partition axis for the workers.
-    let groups: Vec<Vec<SynopsisNodeId>> = s.nodes_by_label_type().into_values().collect();
+    let groups: Vec<Vec<SynopsisNodeId>> = s
+        .nodes_by_label_type()
+        .into_iter()
+        .filter(|(key, _)| filter.is_none_or(|f| f.contains(key)))
+        .map(|(_, ids)| ids)
+        .collect();
     let mut entries: Vec<PoolEntry> =
         par::chunked_map(&groups, threads, |ids| score_group(s, ids, h_m, l, levels))
             .into_iter()
@@ -468,7 +493,26 @@ impl Ord for ValueEntry {
 /// drain loop itself stays sequential — each applied chunk invalidates
 /// the node it touched, so the loop is inherently serial.
 pub fn value_compression(s: &mut Synopsis, cfg: &BuildConfig) {
-    let nodes: Vec<SynopsisNodeId> = s.live_nodes().collect();
+    value_compression_filtered(s, cfg, None);
+}
+
+/// [`value_compression`] restricted to summarized nodes in the given
+/// `(label, type)` groups — the phase-2 counterpart of
+/// [`structure_value_merge_groups`]. As with phase 1, the restricted pass
+/// may stop above `Bval` when the clean summaries hold the bytes; callers
+/// fall back to the full pass.
+pub fn value_compression_groups(s: &mut Synopsis, cfg: &BuildConfig, groups: &GroupSet) {
+    value_compression_filtered(s, cfg, Some(groups));
+}
+
+fn value_compression_filtered(s: &mut Synopsis, cfg: &BuildConfig, filter: Option<&GroupSet>) {
+    let nodes: Vec<SynopsisNodeId> = s
+        .live_nodes()
+        .filter(|&id| {
+            let n = s.node(id);
+            filter.is_none_or(|f| f.contains(&(n.label, n.vtype)))
+        })
+        .collect();
     let heap_init = profile::span("chunk_heap_init");
     let mut heap: BinaryHeap<ValueEntry> = par::chunked_map(&nodes, cfg.threads, |&id| {
         evaluate_compression_chunk(s, id, cfg.min_value_chunk)

@@ -17,7 +17,11 @@ use xcluster_summaries::{
 use xcluster_xml::{Interner, Symbol, ValueType};
 
 const MAGIC: &[u8; 4] = b"XCLU";
-const VERSION: u8 = 1;
+/// Format 1: the original layout, no maintenance version.
+const FMT_V1: u8 = 1;
+/// Format 2: adds the `u64` synopsis maintenance version right after the
+/// format byte. Format-1 images still decode (as version 0).
+const FMT_V2: u8 = 2;
 
 /// A malformed or incompatible synopsis image.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,7 +81,8 @@ impl Writer {
 pub fn encode_synopsis(s: &Synopsis) -> Vec<u8> {
     let mut w = Writer { buf: Vec::new() };
     w.buf.extend_from_slice(MAGIC);
-    w.u8(VERSION);
+    w.u8(FMT_V2);
+    w.u64(s.version());
     w.interner(s.labels());
     w.interner(s.terms());
     w.u32(s.max_depth() as u32);
@@ -245,9 +250,11 @@ pub fn decode_synopsis(bytes: &[u8]) -> Result<Synopsis, CodecError> {
     if r.take(4)? != MAGIC {
         return r.fail("bad magic (not a synopsis file)");
     }
-    if r.u8()? != VERSION {
-        return r.fail("unsupported version");
-    }
+    let version = match r.u8()? {
+        FMT_V1 => 0,
+        FMT_V2 => r.u64()?,
+        _ => return r.fail("unsupported version"),
+    };
     let labels = r.interner()?;
     let terms = r.interner()?;
     let max_depth = r.u32()? as usize;
@@ -317,6 +324,7 @@ pub fn decode_synopsis(bytes: &[u8]) -> Result<Synopsis, CodecError> {
     let root_label = nodes[0].label;
     let mut s = Synopsis::new(labels, root_label, max_depth);
     s.set_terms(terms);
+    s.set_version(version);
     *s.node_mut(0) = nodes[0].clone();
     for n in nodes.into_iter().skip(1) {
         s.push_node(n);
@@ -518,6 +526,44 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = encode_synopsis(&sample_synopsis());
         bytes.push(0);
+        assert!(decode_synopsis(&bytes).is_err());
+    }
+
+    #[test]
+    fn versioned_header_round_trips() {
+        let mut s = sample_synopsis();
+        assert_eq!(s.version(), 0); // from-scratch builds stamp version 0
+        s.set_version(5);
+        let d = decode_synopsis(&encode_synopsis(&s)).unwrap();
+        assert_eq!(d.version(), 5);
+    }
+
+    #[test]
+    fn versioned_header_still_rejects_trailing_bytes() {
+        let mut s = sample_synopsis();
+        s.set_version(3);
+        let mut bytes = encode_synopsis(&s);
+        bytes.extend_from_slice(&[0xAB, 0xCD]);
+        assert!(decode_synopsis(&bytes).is_err());
+    }
+
+    #[test]
+    fn legacy_format1_decodes_with_version_zero() {
+        // A format-1 image is the format-2 image with the fmt byte set to
+        // 1 and the 8-byte version field spliced out.
+        let bytes = encode_synopsis(&sample_synopsis());
+        let mut legacy = bytes[..4].to_vec();
+        legacy.push(1);
+        legacy.extend_from_slice(&bytes[13..]);
+        let d = decode_synopsis(&legacy).unwrap();
+        assert_eq!(d.version(), 0);
+        assert_eq!(d.num_nodes(), sample_synopsis().num_nodes());
+    }
+
+    #[test]
+    fn future_formats_are_rejected() {
+        let mut bytes = encode_synopsis(&sample_synopsis());
+        bytes[4] = 3;
         assert!(decode_synopsis(&bytes).is_err());
     }
 

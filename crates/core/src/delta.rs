@@ -23,10 +23,15 @@
 //! *self* child of count 1 — value-distribution divergence is then always
 //! measured, and the metric is unchanged for the purely structural parts.
 
+use crate::build::{
+    structure_value_merge, structure_value_merge_groups, value_compression,
+    value_compression_groups, BuildConfig, GroupSet,
+};
 use crate::merge::merge_struct_bytes_saved;
-use crate::synopsis::{Synopsis, SynopsisNodeId};
-use std::collections::BTreeMap;
+use crate::synopsis::{Synopsis, SynopsisNode, SynopsisNodeId};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use xcluster_summaries::{AtomicMoments, ValueSummary};
+use xcluster_xml::{NodeId, Symbol, Value, ValueType, XmlTree};
 
 /// A scored candidate `merge(S, u, v)` operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -252,6 +257,829 @@ pub fn evaluate_compression_chunk(
     })
 }
 
+// ---------------------------------------------------------------------
+// Incremental maintenance: document deltas (DESIGN.md §13).
+//
+// A `DocDelta` describes subtree insertions and deletions against one
+// base document. `apply_to_tree` replays it on the document (producing
+// the mutated tree plus an id remap), `apply_delta` replays it on the
+// synopsis: cluster counts, edge pair-totals, and value summaries are
+// updated locally via a deterministic descent mapping, the touched
+// `(label, type)` groups are marked dirty, and the merge/compression
+// heaps re-run only over the dirtied regions when a byte budget is
+// exceeded (full-pass fallback).
+// ---------------------------------------------------------------------
+
+/// Registry handles for incremental-maintenance instrumentation.
+mod dstats {
+    use std::sync::{Arc, LazyLock};
+    use xcluster_obs::{counter, Counter};
+
+    pub static APPLIED: LazyLock<Arc<Counter>> = LazyLock::new(|| counter("delta.applied"));
+    pub static INSERTED: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| counter("delta.inserted_elements"));
+    pub static DELETED: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| counter("delta.deleted_elements"));
+    pub static REMERGES: LazyLock<Arc<Counter>> = LazyLock::new(|| counter("delta.remerges"));
+    pub static RECOMPRESSIONS: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| counter("delta.recompressions"));
+}
+
+/// One subtree mutation against a base document.
+#[derive(Debug, Clone)]
+pub enum DeltaOp {
+    /// Splice `fragment` (its whole tree, rooted at `fragment.root()`) in
+    /// as a new last child of `parent`. The fragment carries its own
+    /// interners; labels and terms are re-interned on application.
+    Insert {
+        /// Base-document element the fragment is attached under.
+        parent: NodeId,
+        /// The subtree to insert.
+        fragment: XmlTree,
+    },
+    /// Remove the subtree rooted at `root` (which must not be the
+    /// document root, and delete roots must not nest).
+    Delete {
+        /// Base-document root of the removed subtree.
+        root: NodeId,
+    },
+}
+
+/// An ordered batch of subtree mutations against one base document.
+#[derive(Debug, Clone, Default)]
+pub struct DocDelta {
+    /// The mutations, applied in order.
+    pub ops: Vec<DeltaOp>,
+}
+
+impl DocDelta {
+    /// Wraps a list of operations.
+    pub fn new(ops: Vec<DeltaOp>) -> Self {
+        DocDelta { ops }
+    }
+
+    /// Whether the delta contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Total elements inserted by the delta's fragments.
+    pub fn inserted_elements(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                DeltaOp::Insert { fragment, .. } => fragment.len(),
+                DeltaOp::Delete { .. } => 0,
+            })
+            .sum()
+    }
+}
+
+/// The result of replaying a [`DocDelta`] on its base document.
+#[derive(Debug)]
+pub struct TreePatch {
+    /// The mutated document (fresh arena, interners symbol-aligned with
+    /// the base for all surviving labels/terms).
+    pub tree: XmlTree,
+    /// For each `Insert` op (in op order), the id of the inserted
+    /// fragment root in [`TreePatch::tree`].
+    pub inserted_roots: Vec<NodeId>,
+    /// Base node id → id in [`TreePatch::tree`]; `None` for deleted nodes.
+    pub remap: Vec<Option<NodeId>>,
+}
+
+/// Panics on malformed deltas: out-of-range ids, deletion of the document
+/// root, nested or duplicate delete roots, or an insert parent inside a
+/// deleted subtree. Generators uphold these invariants by construction.
+fn validate_delta(base: &XmlTree, delta: &DocDelta) {
+    let mut roots: HashSet<u32> = HashSet::new();
+    for op in &delta.ops {
+        if let DeltaOp::Delete { root } = op {
+            assert!(root.index() < base.len(), "delete root out of range");
+            assert!(*root != base.root(), "cannot delete the document root");
+            assert!(roots.insert(root.0), "duplicate delete root {root:?}");
+        }
+    }
+    for op in &delta.ops {
+        match op {
+            DeltaOp::Delete { root } => {
+                let mut cur = *root;
+                while let Some(p) = base.parent(cur) {
+                    assert!(
+                        !roots.contains(&p.0),
+                        "nested delete roots: {root:?} inside {p:?}"
+                    );
+                    cur = p;
+                }
+            }
+            DeltaOp::Insert { parent, .. } => {
+                assert!(parent.index() < base.len(), "insert parent out of range");
+                let mut cur = *parent;
+                loop {
+                    assert!(
+                        !roots.contains(&cur.0),
+                        "insert parent {parent:?} lies in a deleted subtree"
+                    );
+                    match base.parent(cur) {
+                        Some(p) => cur = p,
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Preorder over a fragment: its root, then its descendants.
+fn fragment_preorder(frag: &XmlTree) -> impl Iterator<Item = NodeId> + '_ {
+    std::iter::once(frag.root()).chain(frag.descendants(frag.root()))
+}
+
+/// Replays `delta` on `base`, producing the mutated document.
+///
+/// The new tree re-interns the base dictionaries in order (so surviving
+/// symbols are unchanged) and then interns every fragment's labels and
+/// terms in global op order — the exact order [`apply_delta`] interns
+/// them into the synopsis, keeping document and synopsis symbol-aligned.
+pub fn apply_to_tree(base: &XmlTree, delta: &DocDelta) -> TreePatch {
+    validate_delta(base, delta);
+    let mut deleted = vec![false; base.len()];
+    let mut inserts_at: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, op) in delta.ops.iter().enumerate() {
+        match op {
+            DeltaOp::Delete { root } => deleted[root.index()] = true,
+            DeltaOp::Insert { parent, .. } => inserts_at.entry(parent.0).or_default().push(i),
+        }
+    }
+    let mut t = XmlTree::new(base.label_str(base.root()));
+    for (_, l) in base.labels().iter() {
+        t.intern_label(l);
+    }
+    for (_, w) in base.terms().iter() {
+        t.intern_term(w);
+    }
+    for op in &delta.ops {
+        if let DeltaOp::Insert { fragment, .. } = op {
+            for n in fragment_preorder(fragment) {
+                t.intern_label(fragment.label_str(n));
+                if let Value::Text(tv) = fragment.value(n) {
+                    for &term in tv.terms() {
+                        t.intern_term(fragment.term_str(term));
+                    }
+                }
+            }
+        }
+    }
+    t.set_value(t.root(), base.value(base.root()).clone());
+    let mut remap: Vec<Option<NodeId>> = vec![None; base.len()];
+    remap[base.root().index()] = Some(t.root());
+    let mut inserted: Vec<Option<NodeId>> = vec![None; delta.ops.len()];
+    copy_level(
+        &mut t,
+        base,
+        base.root(),
+        NodeId(0),
+        &deleted,
+        &inserts_at,
+        &delta.ops,
+        &mut remap,
+        &mut inserted,
+    );
+    TreePatch {
+        tree: t,
+        inserted_roots: inserted.into_iter().flatten().collect(),
+        remap,
+    }
+}
+
+/// Copies the surviving base children of `bnode` under `tnode`, then
+/// appends the fragments inserted at `bnode` (op order).
+#[allow(clippy::too_many_arguments)]
+fn copy_level(
+    t: &mut XmlTree,
+    base: &XmlTree,
+    bnode: NodeId,
+    tnode: NodeId,
+    deleted: &[bool],
+    inserts_at: &BTreeMap<u32, Vec<usize>>,
+    ops: &[DeltaOp],
+    remap: &mut [Option<NodeId>],
+    inserted: &mut [Option<NodeId>],
+) {
+    for c in base.children(bnode) {
+        if deleted[c.index()] {
+            continue;
+        }
+        let id = t.add_child_sym(tnode, base.label(c));
+        t.set_value(id, base.value(c).clone());
+        remap[c.index()] = Some(id);
+        copy_level(t, base, c, id, deleted, inserts_at, ops, remap, inserted);
+    }
+    if let Some(idxs) = inserts_at.get(&bnode.0) {
+        for &i in idxs {
+            let DeltaOp::Insert { fragment, .. } = &ops[i] else {
+                unreachable!("inserts_at only indexes Insert ops")
+            };
+            inserted[i] = Some(copy_fragment(t, fragment, fragment.root(), tnode));
+        }
+    }
+}
+
+fn copy_fragment(t: &mut XmlTree, frag: &XmlTree, fnode: NodeId, tparent: NodeId) -> NodeId {
+    let sym = t.intern_label(frag.label_str(fnode));
+    let id = t.add_child_sym(tparent, sym);
+    let v = match frag.value(fnode) {
+        Value::Text(tv) => Value::Text(
+            tv.terms()
+                .iter()
+                .map(|&term| t.intern_term(frag.term_str(term)))
+                .collect(),
+        ),
+        other => other.clone(),
+    };
+    t.set_value(id, v);
+    for c in frag.children(fnode).collect::<Vec<_>>() {
+        copy_fragment(t, frag, c, id);
+    }
+    id
+}
+
+/// Extracts the subtree rooted at `root` as a standalone fragment tree
+/// (fresh interners). Used to build insertion fragments and to invert
+/// deletions.
+pub fn extract_subtree(base: &XmlTree, root: NodeId) -> XmlTree {
+    let mut t = XmlTree::new(base.label_str(root));
+    let rv = rebase_value(&mut t, base, root);
+    t.set_value(t.root(), rv);
+    extract_children(&mut t, base, root, NodeId(0));
+    t
+}
+
+fn extract_children(t: &mut XmlTree, base: &XmlTree, bnode: NodeId, tnode: NodeId) {
+    for c in base.children(bnode) {
+        let id = t.add_child(tnode, base.label_str(c));
+        let v = rebase_value(t, base, c);
+        t.set_value(id, v);
+        extract_children(t, base, c, id);
+    }
+}
+
+fn rebase_value(t: &mut XmlTree, base: &XmlTree, node: NodeId) -> Value {
+    match base.value(node) {
+        Value::Text(tv) => Value::Text(
+            tv.terms()
+                .iter()
+                .map(|&term| t.intern_term(base.term_str(term)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Builds the delta that undoes `delta`: deletions of the inserted
+/// fragment roots and re-insertions of the deleted subtrees, in reverse
+/// op order. The inverse applies against [`TreePatch::tree`] (its ids
+/// come from `patch`).
+pub fn inverse_delta(base: &XmlTree, delta: &DocDelta, patch: &TreePatch) -> DocDelta {
+    let mut insert_idx = 0usize;
+    let mut ops: Vec<DeltaOp> = Vec::with_capacity(delta.ops.len());
+    for op in &delta.ops {
+        ops.push(match op {
+            DeltaOp::Insert { .. } => {
+                let root = patch.inserted_roots[insert_idx];
+                insert_idx += 1;
+                DeltaOp::Delete { root }
+            }
+            DeltaOp::Delete { root } => {
+                let p = base
+                    .parent(*root)
+                    .expect("validated: not the document root");
+                let parent = patch.remap[p.index()].expect("delete parent survives the patch");
+                DeltaOp::Insert {
+                    parent,
+                    fragment: extract_subtree(base, *root),
+                }
+            }
+        });
+    }
+    ops.reverse();
+    DocDelta { ops }
+}
+
+/// Outcome of one [`apply_delta`] call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Elements added to cluster extents.
+    pub inserted_elements: usize,
+    /// Elements removed from cluster extents.
+    pub deleted_elements: usize,
+    /// Clusters created for fragment elements with no matching child.
+    pub new_clusters: usize,
+    /// Clusters tombstoned after their extent emptied.
+    pub removed_clusters: usize,
+    /// Dirtied `(label, type)` groups.
+    pub dirty_groups: usize,
+    /// Subtrees/extents skipped or clamped because the descent mapping
+    /// had no matching cluster (mapping drift on merged synopses).
+    pub clamped: usize,
+    /// Whether the structural budget forced a dirty-region merge pass.
+    pub remerged: bool,
+    /// Whether the value budget forced a dirty-region compression pass.
+    pub recompressed: bool,
+}
+
+/// Per-cluster summary cap for clusters created by a delta, mirroring
+/// `ReferenceConfig::default().max_summary_bytes` (strings/text get 4×,
+/// as in reference construction).
+const NEW_SUMMARY_CAP: usize = 1024;
+
+#[derive(Default)]
+struct DeltaAccum {
+    /// Net extent-count change per cluster.
+    dcount: BTreeMap<SynopsisNodeId, f64>,
+    /// Net parent→child *pair total* change per edge (integer-valued).
+    dedge: BTreeMap<(SynopsisNodeId, SynopsisNodeId), f64>,
+    /// Dirtied `(label, type)` groups.
+    dirty: GroupSet,
+    /// Values routed into clusters created by this delta.
+    new_values: BTreeMap<SynopsisNodeId, Vec<Value>>,
+    created: Vec<SynopsisNodeId>,
+    clamped: usize,
+    inserted: usize,
+    deleted: usize,
+}
+
+/// Effective extent of `id` mid-delta: the stored count plus the net
+/// change accumulated by earlier ops of the same delta (counts are only
+/// written back once, after mapping). Descent must compare effective
+/// counts so that op *k* maps against the state ops 1..k-1 produced —
+/// an inverse delta (ops reversed) then walks the same state sequence
+/// backwards and retraces every choice exactly.
+fn eff(s: &Synopsis, dcount: &BTreeMap<SynopsisNodeId, f64>, id: SynopsisNodeId) -> f64 {
+    s.node(id).count + dcount.get(&id).copied().unwrap_or(0.0)
+}
+
+/// The deterministic descent rule: among `parent`'s live children with
+/// the given label and type, the largest effective extent wins, ties to
+/// the smallest id. The rule is self-reinforcing (an insert makes its
+/// target strictly largest), which is what makes insert⟲delete
+/// invertible.
+fn pick_child(
+    s: &Synopsis,
+    dcount: &BTreeMap<SynopsisNodeId, f64>,
+    parent: SynopsisNodeId,
+    label: Symbol,
+    vtype: ValueType,
+) -> Option<SynopsisNodeId> {
+    let mut best: Option<SynopsisNodeId> = None;
+    for &(t, _) in &s.node(parent).children {
+        let n = s.node(t);
+        if !n.alive || n.label != label || n.vtype != vtype {
+            continue;
+        }
+        // Children are sorted by id, so a strict `>` keeps the smallest
+        // id among equal counts.
+        if best.is_none_or(|b| eff(s, dcount, t) > eff(s, dcount, b)) {
+            best = Some(t);
+        }
+    }
+    best
+}
+
+/// Appends an empty cluster for `(label, vtype)` under `parent`, with a
+/// zero-count placeholder edge so later ops in the same delta can see it
+/// during descent; the final edge application installs the real average.
+fn create_cluster(
+    s: &mut Synopsis,
+    parent: SynopsisNodeId,
+    label: Symbol,
+    vtype: ValueType,
+) -> SynopsisNodeId {
+    let id = s.push_node(SynopsisNode {
+        label,
+        vtype,
+        count: 0.0,
+        children: Vec::new(),
+        parents: Vec::new(),
+        vsumm: None,
+        alive: true,
+        version: 0,
+    });
+    s.add_edge(parent, id, 0.0);
+    id
+}
+
+fn mark_dirty(s: &Synopsis, dirty: &mut GroupSet, id: SynopsisNodeId) {
+    let n = s.node(id);
+    dirty.insert((n.label, n.vtype));
+}
+
+/// Resolves the cluster chain for the base-document path root → `e`,
+/// backtracking over descent choices (a merged synopsis can hold several
+/// same-label chains and the greedy pick may dead-end). Returns the
+/// chain including the root cluster, or `None` if no matching chain
+/// exists.
+fn resolve_base_path(
+    s: &Synopsis,
+    dcount: &BTreeMap<SynopsisNodeId, f64>,
+    base: &XmlTree,
+    e: NodeId,
+) -> Option<Vec<SynopsisNodeId>> {
+    let mut path = vec![e];
+    let mut cur = e;
+    while let Some(p) = base.parent(cur) {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    let specs: Vec<(Symbol, ValueType)> = path[1..]
+        .iter()
+        .map(|&n| (base.label(n), base.value_type(n)))
+        .collect();
+    let mut chain = vec![s.root()];
+    if descend(s, dcount, s.root(), &specs, &mut chain) {
+        Some(chain)
+    } else {
+        None
+    }
+}
+
+fn descend(
+    s: &Synopsis,
+    dcount: &BTreeMap<SynopsisNodeId, f64>,
+    cur: SynopsisNodeId,
+    specs: &[(Symbol, ValueType)],
+    chain: &mut Vec<SynopsisNodeId>,
+) -> bool {
+    let Some(&(label, vtype)) = specs.first() else {
+        return true;
+    };
+    let mut cands: Vec<SynopsisNodeId> = s
+        .node(cur)
+        .children
+        .iter()
+        .map(|&(t, _)| t)
+        .filter(|&t| {
+            let n = s.node(t);
+            n.alive && n.label == label && n.vtype == vtype
+        })
+        .collect();
+    cands.sort_by(|&a, &b| {
+        eff(s, dcount, b)
+            .total_cmp(&eff(s, dcount, a))
+            .then_with(|| a.cmp(&b))
+    });
+    for c in cands {
+        chain.push(c);
+        if descend(s, dcount, c, &specs[1..], chain) {
+            return true;
+        }
+        chain.pop();
+    }
+    false
+}
+
+/// Insert-side resolution: like [`resolve_base_path`], but creates the
+/// missing clusters greedily when no matching chain exists (the insert
+/// target must exist afterwards either way).
+fn resolve_or_create_path(
+    s: &mut Synopsis,
+    dcount: &BTreeMap<SynopsisNodeId, f64>,
+    base: &XmlTree,
+    e: NodeId,
+) -> SynopsisNodeId {
+    if let Some(chain) = resolve_base_path(s, dcount, base, e) {
+        return *chain.last().expect("chain holds at least the root");
+    }
+    let mut path = vec![e];
+    let mut cur = e;
+    while let Some(p) = base.parent(cur) {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    let mut pc = s.root();
+    for &n in &path[1..] {
+        let (label, vtype) = (base.label(n), base.value_type(n));
+        pc = pick_child(s, dcount, pc, label, vtype)
+            .unwrap_or_else(|| create_cluster(s, pc, label, vtype));
+    }
+    pc
+}
+
+/// Re-interns the fragment's labels and text terms into the synopsis, in
+/// fragment preorder — the same global order [`apply_to_tree`] follows,
+/// keeping the synopsis symbol-aligned with the mutated document.
+fn intern_fragment(s: &mut Synopsis, frag: &XmlTree) {
+    let nodes: Vec<NodeId> = fragment_preorder(frag).collect();
+    for n in nodes {
+        s.intern_label(frag.label_str(n));
+        if let Value::Text(tv) = frag.value(n) {
+            for &term in tv.terms() {
+                s.intern_term(frag.term_str(term));
+            }
+        }
+    }
+}
+
+/// Rewrites a fragment value's term ids into the synopsis dictionary.
+fn align_value(s: &Synopsis, frag: &XmlTree, v: &Value) -> Value {
+    match v {
+        Value::Text(tv) => Value::Text(
+            tv.terms()
+                .iter()
+                .map(|&t| {
+                    s.terms()
+                        .get(frag.term_str(t))
+                        .expect("fragment terms pre-interned")
+                })
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn map_insert(
+    s: &mut Synopsis,
+    frag: &XmlTree,
+    fnode: NodeId,
+    pc: SynopsisNodeId,
+    acc: &mut DeltaAccum,
+) {
+    let label = s
+        .labels()
+        .get(frag.label_str(fnode))
+        .expect("fragment labels pre-interned");
+    let vtype = frag.value_type(fnode);
+    let (cluster, created) = match pick_child(s, &acc.dcount, pc, label, vtype) {
+        Some(c) => (c, false),
+        None => (create_cluster(s, pc, label, vtype), true),
+    };
+    if created {
+        acc.created.push(cluster);
+        acc.new_values.insert(cluster, Vec::new());
+    }
+    *acc.dcount.entry(cluster).or_insert(0.0) += 1.0;
+    *acc.dedge.entry((pc, cluster)).or_insert(0.0) += 1.0;
+    mark_dirty(s, &mut acc.dirty, pc);
+    mark_dirty(s, &mut acc.dirty, cluster);
+    acc.inserted += 1;
+    if vtype != ValueType::None {
+        let val = align_value(s, frag, frag.value(fnode));
+        if let Some(vals) = acc.new_values.get_mut(&cluster) {
+            vals.push(val);
+        } else if s.node(cluster).vsumm.is_some() {
+            s.node_mut(cluster)
+                .vsumm
+                .as_mut()
+                .expect("checked above")
+                .observe(&val);
+        }
+    }
+    let children: Vec<NodeId> = frag.children(fnode).collect();
+    for ch in children {
+        map_insert(s, frag, ch, cluster, acc);
+    }
+}
+
+fn map_delete(
+    s: &mut Synopsis,
+    base: &XmlTree,
+    bnode: NodeId,
+    pc: SynopsisNodeId,
+    cluster: SynopsisNodeId,
+    acc: &mut DeltaAccum,
+) {
+    *acc.dcount.entry(cluster).or_insert(0.0) -= 1.0;
+    *acc.dedge.entry((pc, cluster)).or_insert(0.0) -= 1.0;
+    mark_dirty(s, &mut acc.dirty, pc);
+    mark_dirty(s, &mut acc.dirty, cluster);
+    acc.deleted += 1;
+    if base.value_type(bnode) != ValueType::None && s.node(cluster).vsumm.is_some() {
+        // Base values are already symbol-aligned with the synopsis.
+        let v = base.value(bnode).clone();
+        s.node_mut(cluster)
+            .vsumm
+            .as_mut()
+            .expect("checked above")
+            .retract(&v);
+    }
+    let children: Vec<NodeId> = base.children(bnode).collect();
+    for ch in children {
+        match pick_child(s, &acc.dcount, cluster, base.label(ch), base.value_type(ch)) {
+            Some(cc) => map_delete(s, base, ch, cluster, cc, acc),
+            None => acc.clamped += 1, // unmappable subtree: skip it whole
+        }
+    }
+}
+
+/// Applies `delta` to a synopsis of `base` in place.
+///
+/// Cluster extents, edge averages (via exact integer pair-totals), and
+/// value summaries are updated locally along the descent mapping; the
+/// dirtied `(label, type)` groups are re-merged / re-compressed under
+/// the original byte budgets only if a budget is exceeded, with a
+/// full-pass fallback. A non-empty delta bumps the synopsis version.
+///
+/// Thread counts in `cfg` never change the result: the mapping is
+/// sequential and the restricted build passes are deterministic, so
+/// `apply_delta` is byte-identical at any `cfg.threads`.
+pub fn apply_delta(
+    s: &mut Synopsis,
+    base: &XmlTree,
+    delta: &DocDelta,
+    cfg: &BuildConfig,
+) -> DeltaStats {
+    let mut stats = DeltaStats::default();
+    if delta.ops.is_empty() {
+        return stats;
+    }
+    validate_delta(base, delta);
+    // Alignment pre-pass: intern every fragment's labels/terms in global
+    // op order, exactly as `apply_to_tree` does for the mutated tree.
+    for op in &delta.ops {
+        if let DeltaOp::Insert { fragment, .. } = op {
+            intern_fragment(s, fragment);
+        }
+    }
+    let mut acc = DeltaAccum::default();
+    // Exact max depth of the mutated document. Inserts only deepen
+    // (`depth(parent) + 1 + fragment depth` — ancestors of a valid
+    // insert parent all survive, so its base depth is its mutated
+    // depth), but a delete can remove the deepest path, so recompute
+    // the surviving depth with one forward pass over the base arena
+    // (ids are created after parents), skipping deleted subtrees.
+    // `//`-closure estimation iterates `max_depth` times, so an upper
+    // bound is not enough: the depth must shrink back on deletion for
+    // delta ⟲ inverse to restore estimates bitwise.
+    let mut max_depth = if delta
+        .ops
+        .iter()
+        .any(|op| matches!(op, DeltaOp::Delete { .. }))
+    {
+        let mut cut = vec![false; base.len()];
+        for op in &delta.ops {
+            if let DeltaOp::Delete { root } = op {
+                cut[root.index()] = true;
+            }
+        }
+        let mut depths = vec![0usize; base.len()];
+        let mut max = 0;
+        for id in base.all_nodes() {
+            let Some(p) = base.parent(id) else { continue };
+            if cut[p.index()] {
+                cut[id.index()] = true;
+            }
+            if cut[id.index()] {
+                continue;
+            }
+            let d = depths[p.index()] + 1;
+            depths[id.index()] = d;
+            max = max.max(d);
+        }
+        max
+    } else {
+        s.max_depth()
+    };
+    for op in &delta.ops {
+        match op {
+            DeltaOp::Insert { parent, fragment } => {
+                let pc = resolve_or_create_path(s, &acc.dcount, base, *parent);
+                map_insert(s, fragment, fragment.root(), pc, &mut acc);
+                max_depth = max_depth.max(base.depth(*parent) + 1 + fragment.max_depth());
+            }
+            DeltaOp::Delete { root } => match resolve_base_path(s, &acc.dcount, base, *root) {
+                Some(chain) => {
+                    let cluster = *chain.last().expect("chain holds the target");
+                    let pc = chain[chain.len() - 2];
+                    map_delete(s, base, *root, pc, cluster, &mut acc);
+                }
+                None => acc.clamped += 1, // unmappable delete: skip the op
+            },
+        }
+    }
+    // Edge averages: reconstruct integer pair-totals from the stored
+    // averages (`t = round(avg · count)` — totals are integers well below
+    // 2⁵³, and an unchanged edge's `t/c` reproduces the original division
+    // bitwise), apply the deltas, re-divide by the new extent.
+    let affected: BTreeSet<SynopsisNodeId> = acc
+        .dcount
+        .keys()
+        .copied()
+        .chain(acc.dedge.keys().map(|&(u, _)| u))
+        .collect();
+    let mut edge_updates: Vec<(SynopsisNodeId, SynopsisNodeId, f64)> = Vec::new();
+    for &u in &affected {
+        let c_old = s.node(u).count;
+        let c_new = (c_old + acc.dcount.get(&u).copied().unwrap_or(0.0)).max(0.0);
+        for &(v, avg) in &s.node(u).children {
+            let t_old = (avg * c_old).round();
+            let t_new = t_old + acc.dedge.get(&(u, v)).copied().unwrap_or(0.0);
+            let new_avg = if c_new > 0.0 && t_new > 0.0 {
+                t_new / c_new
+            } else {
+                0.0
+            };
+            edge_updates.push((u, v, new_avg));
+        }
+    }
+    for (&c, &d) in &acc.dcount {
+        let cur = s.node(c).count;
+        if cur + d < -0.5 {
+            stats.clamped += 1;
+        }
+        s.node_mut(c).count = (cur + d).max(0.0);
+    }
+    for (u, v, avg) in edge_updates {
+        s.set_edge(u, v, avg);
+    }
+    // Tombstone clusters whose extent emptied.
+    let root = s.root();
+    let touched: Vec<SynopsisNodeId> = acc.dcount.keys().copied().collect();
+    for c in touched {
+        if c == root || !s.node(c).alive || s.node(c).count > 0.0 {
+            continue;
+        }
+        let children: Vec<SynopsisNodeId> = s.node(c).children.iter().map(|&(t, _)| t).collect();
+        for v in children {
+            s.remove_edge(c, v);
+        }
+        let parents = s.node(c).parents.clone();
+        for p in parents {
+            s.remove_edge(p, c);
+        }
+        let n = s.node_mut(c);
+        n.alive = false;
+        n.vsumm = None;
+        stats.removed_clusters += 1;
+    }
+    // Summaries for surviving created clusters (default parameters, the
+    // reference-construction byte cap).
+    for (&c, vals) in &acc.new_values {
+        if !s.node(c).alive || vals.is_empty() {
+            continue;
+        }
+        let refs: Vec<&Value> = vals.iter().collect();
+        let vt = s.node(c).vtype;
+        if let Some(mut vs) = ValueSummary::build(&refs, vt) {
+            let cap = match vt {
+                ValueType::String | ValueType::Text => NEW_SUMMARY_CAP * 4,
+                _ => NEW_SUMMARY_CAP,
+            };
+            if vs.size_bytes() > cap {
+                vs.compress_to_bytes(cap);
+            }
+            s.node_mut(c).vsumm = Some(vs);
+        }
+    }
+    if max_depth != s.max_depth() {
+        s.set_max_depth(max_depth);
+    }
+    s.bump_version();
+    stats.inserted_elements = acc.inserted;
+    stats.deleted_elements = acc.deleted;
+    stats.new_clusters = acc.created.len();
+    stats.dirty_groups = acc.dirty.len();
+    stats.clamped += acc.clamped;
+    // Dirty-region budget passes, full-pass fallback.
+    if s.structural_bytes() > cfg.b_str {
+        stats.remerged = true;
+        dstats::REMERGES.inc();
+        structure_value_merge_groups(s, cfg, &acc.dirty);
+        if s.structural_bytes() > cfg.b_str {
+            structure_value_merge(s, cfg);
+        }
+    }
+    if s.value_bytes() > cfg.b_val {
+        stats.recompressed = true;
+        dstats::RECOMPRESSIONS.inc();
+        value_compression_groups(s, cfg, &acc.dirty);
+        if s.value_bytes() > cfg.b_val {
+            value_compression(s, cfg);
+        }
+    }
+    dstats::APPLIED.inc();
+    dstats::INSERTED.add(stats.inserted_elements as u64);
+    dstats::DELETED.add(stats.deleted_elements as u64);
+    xcluster_obs::debug!(
+        "delta",
+        "applied: +{} -{} elements, {} dirty groups, {} new / {} removed clusters, v{}",
+        stats.inserted_elements,
+        stats.deleted_elements,
+        stats.dirty_groups,
+        stats.new_clusters,
+        stats.removed_clusters,
+        s.version()
+    );
+    debug_assert_eq!(s.check_consistency(), Ok(()));
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,5 +1262,231 @@ mod tests {
         assert!(c.delta >= 0.0);
         // No summary → no candidate.
         assert!(evaluate_compression(&s, s.root()).is_none());
+    }
+
+    // --- incremental maintenance ---
+
+    use crate::codec::encode_synopsis;
+    use crate::estimate::estimate;
+    use crate::reference::{reference_synopsis, ReferenceConfig};
+    use xcluster_query::parse_twig;
+    use xcluster_xml::parse;
+
+    fn find(t: &xcluster_xml::XmlTree, label: &str) -> xcluster_xml::NodeId {
+        t.all_nodes()
+            .find(|&n| t.label_str(n) == label)
+            .unwrap_or_else(|| panic!("no node labelled {label}"))
+    }
+
+    fn huge_budget() -> BuildConfig {
+        BuildConfig {
+            b_str: usize::MAX / 2,
+            b_val: usize::MAX / 2,
+            ..BuildConfig::default()
+        }
+    }
+
+    #[test]
+    fn apply_to_tree_replays_inserts_and_deletes() {
+        let base = parse("<r><a><x>1</x></a><b><x>2</x></b></r>").unwrap();
+        let frag = parse("<c><y>9</y></c>").unwrap();
+        let delta = DocDelta::new(vec![
+            DeltaOp::Delete {
+                root: find(&base, "b"),
+            },
+            DeltaOp::Insert {
+                parent: find(&base, "a"),
+                fragment: frag,
+            },
+        ]);
+        let patch = apply_to_tree(&base, &delta);
+        // 5 base nodes − 2 deleted + 2 inserted.
+        assert_eq!(patch.tree.len(), 5);
+        assert_eq!(patch.inserted_roots.len(), 1);
+        let ir = patch.inserted_roots[0];
+        assert_eq!(patch.tree.label_str(ir), "c");
+        assert_eq!(patch.tree.parent(ir), patch.remap[find(&base, "a").index()]);
+        // Deleted nodes have no image; survivors keep labels and values.
+        assert!(patch.remap[find(&base, "b").index()].is_none());
+        let xa = find(&base, "x");
+        let nx = patch.remap[xa.index()].unwrap();
+        assert_eq!(patch.tree.label_str(nx), "x");
+        assert_eq!(patch.tree.value(nx), base.value(xa));
+        // Base symbols survive unchanged (alignment discipline).
+        assert_eq!(patch.tree.label(nx), base.label(xa));
+    }
+
+    #[test]
+    fn empty_delta_is_a_bitwise_identity() {
+        let base = parse("<r><a><x>1</x></a><a><x>2</x></a></r>").unwrap();
+        let mut s = reference_synopsis(&base, &ReferenceConfig::default());
+        let before = encode_synopsis(&s);
+        let stats = apply_delta(&mut s, &base, &DocDelta::default(), &huge_budget());
+        assert_eq!(stats, DeltaStats::default());
+        assert_eq!(s.version(), 0);
+        assert_eq!(encode_synopsis(&s), before);
+    }
+
+    #[test]
+    fn insert_then_inverse_restores_estimates_bitwise() {
+        let base = parse("<r><a><x>1</x><x>2</x></a><a><x>3</x></a><b><x>4</x></b></r>").unwrap();
+        let s0 = reference_synopsis(&base, &ReferenceConfig::default());
+        let mut s = s0.clone();
+        let cfg = huge_budget();
+        let delta = DocDelta::new(vec![
+            DeltaOp::Insert {
+                parent: find(&base, "a"),
+                fragment: parse("<x>5</x>").unwrap(),
+            },
+            DeltaOp::Insert {
+                parent: find(&base, "b"),
+                fragment: parse("<c><y>7</y></c>").unwrap(),
+            },
+        ]);
+        let patch = apply_to_tree(&base, &delta);
+        apply_delta(&mut s, &base, &delta, &cfg);
+        assert!(estimate(&s, &parse_twig("//x", base.terms()).unwrap()) > 4.0);
+        let inv = inverse_delta(&base, &delta, &patch);
+        apply_delta(&mut s, &patch.tree, &inv, &cfg);
+        assert_eq!(s.live_nodes().count(), s0.live_nodes().count());
+        for q in [
+            "//a",
+            "//x",
+            "/a/x",
+            "//b/x",
+            "//a{/x}{/x}",
+            "//x[in 0..10]",
+        ] {
+            let twig = parse_twig(q, base.terms()).unwrap();
+            let (got, want) = (estimate(&s, &twig), estimate(&s0, &twig));
+            assert_eq!(got.to_bits(), want.to_bits(), "{q}: {got} vs {want}");
+        }
+        assert_eq!(s.version(), 2);
+        assert_eq!(s.check_consistency(), Ok(()));
+    }
+
+    #[test]
+    fn max_depth_tracks_the_mutated_document_exactly() {
+        // `//`-closure estimation iterates max_depth times, so it must
+        // shrink back when the deepest subtree is deleted — an upper
+        // bound would leak into descendant estimates.
+        let base = parse("<r><a><b><c><d>1</d></c></b></a><e><f>2</f></e></r>").unwrap();
+        let s0 = reference_synopsis(&base, &ReferenceConfig::default());
+        assert_eq!(s0.max_depth(), base.max_depth());
+        let cfg = huge_budget();
+        // Deepening insert raises it to the new document depth.
+        let deepen = DocDelta::new(vec![DeltaOp::Insert {
+            parent: find(&base, "d"),
+            fragment: parse("<g><h>3</h></g>").unwrap(),
+        }]);
+        let patch = apply_to_tree(&base, &deepen);
+        let mut s = s0.clone();
+        apply_delta(&mut s, &base, &deepen, &cfg);
+        assert_eq!(s.max_depth(), patch.tree.max_depth());
+        // Deleting the (now deeper) spine shrinks it back below the
+        // original depth, exactly matching the mutated document.
+        let cut = DocDelta::new(vec![DeltaOp::Delete {
+            root: find(&patch.tree, "b"),
+        }]);
+        let cut_patch = apply_to_tree(&patch.tree, &cut);
+        apply_delta(&mut s, &patch.tree, &cut, &cfg);
+        assert_eq!(s.max_depth(), cut_patch.tree.max_depth());
+        assert_eq!(s.max_depth(), 2); // r → e → f is the surviving spine
+    }
+
+    #[test]
+    fn cluster_counts_track_the_document_size() {
+        let base = parse("<r><a><x>1</x></a><a><x>2</x></a></r>").unwrap();
+        let mut s = reference_synopsis(&base, &ReferenceConfig::default());
+        let delta = DocDelta::new(vec![DeltaOp::Insert {
+            parent: find(&base, "a"),
+            fragment: parse("<x>3</x>").unwrap(),
+        }]);
+        let patch = apply_to_tree(&base, &delta);
+        let stats = apply_delta(&mut s, &base, &delta, &huge_budget());
+        assert_eq!(stats.inserted_elements, 1);
+        assert_eq!(stats.clamped, 0);
+        let total: f64 = s.live_nodes().map(|id| s.node(id).count).sum();
+        assert_eq!(total, patch.tree.len() as f64);
+    }
+
+    #[test]
+    fn delete_to_zero_tombstones_the_cluster() {
+        let base = parse("<r><a><x>1</x></a><b><x>2</x></b></r>").unwrap();
+        let mut s = reference_synopsis(&base, &ReferenceConfig::default());
+        let live_before = s.live_nodes().count();
+        let delta = DocDelta::new(vec![DeltaOp::Delete {
+            root: find(&base, "b"),
+        }]);
+        let stats = apply_delta(&mut s, &base, &delta, &huge_budget());
+        assert_eq!(stats.deleted_elements, 2);
+        assert_eq!(stats.removed_clusters, 2);
+        assert_eq!(s.live_nodes().count(), live_before - 2);
+        let q = parse_twig("//b/x", base.terms()).unwrap();
+        assert_eq!(estimate(&s, &q), 0.0);
+        assert_eq!(s.check_consistency(), Ok(()));
+    }
+
+    #[test]
+    fn new_label_insert_creates_a_cluster_with_a_summary() {
+        let base = parse("<r><a><x>1</x></a></r>").unwrap();
+        let mut s = reference_synopsis(&base, &ReferenceConfig::default());
+        let delta = DocDelta::new(vec![DeltaOp::Insert {
+            parent: find(&base, "r"),
+            fragment: parse("<z>42</z>").unwrap(),
+        }]);
+        let stats = apply_delta(&mut s, &base, &delta, &huge_budget());
+        assert_eq!(stats.new_clusters, 1);
+        let zl = s.labels().get("z").expect("new label interned");
+        let z = s
+            .live_nodes()
+            .find(|&id| s.node(id).label == zl)
+            .expect("new cluster live");
+        assert_eq!(s.node(z).count, 1.0);
+        assert!(s.node(z).vsumm.is_some());
+        // The mutated tree interns the same symbol, so queries resolve.
+        let patch = apply_to_tree(&base, &delta);
+        let q = parse_twig("//z[in 40..50]", patch.tree.terms()).unwrap();
+        assert_eq!(estimate(&s, &q), 1.0);
+        assert_eq!(s.check_consistency(), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot delete the document root")]
+    fn deleting_the_document_root_panics() {
+        let base = parse("<r><a></a></r>").unwrap();
+        let delta = DocDelta::new(vec![DeltaOp::Delete { root: base.root() }]);
+        apply_to_tree(&base, &delta);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested delete roots")]
+    fn nested_delete_roots_panic() {
+        let base = parse("<r><a><x>1</x></a></r>").unwrap();
+        let delta = DocDelta::new(vec![
+            DeltaOp::Delete {
+                root: find(&base, "a"),
+            },
+            DeltaOp::Delete {
+                root: find(&base, "x"),
+            },
+        ]);
+        apply_to_tree(&base, &delta);
+    }
+
+    #[test]
+    #[should_panic(expected = "lies in a deleted subtree")]
+    fn inserting_under_a_deleted_subtree_panics() {
+        let base = parse("<r><a><x>1</x></a></r>").unwrap();
+        let delta = DocDelta::new(vec![
+            DeltaOp::Delete {
+                root: find(&base, "a"),
+            },
+            DeltaOp::Insert {
+                parent: find(&base, "x"),
+                fragment: parse("<y>2</y>").unwrap(),
+            },
+        ]);
+        apply_to_tree(&base, &delta);
     }
 }

@@ -17,7 +17,9 @@
 //! * [`reference`] — the detailed reference synopsis (count-stable,
 //!   single-incoming-path refinement with per-path value summaries);
 //! * [`delta`] — the localized Δ(S, S′) clustering-error metric driving
-//!   compression choices (Section 4.1);
+//!   compression choices (Section 4.1), plus incremental maintenance:
+//!   document deltas ([`DocDelta`]) applied in place to a built synopsis
+//!   with dirty-region re-merging (DESIGN.md §13);
 //! * [`merge`] — the node-merge operation (Section 4.1);
 //! * [`build`] — the two-phase `XClusterBuild` algorithm with the
 //!   marginal-loss candidate pool (Section 4.3, Figures 5–6);
@@ -73,6 +75,10 @@ pub mod reference;
 pub mod synopsis;
 
 pub use build::{build_synopsis, try_build_synopsis, BuildConfig, BuildConfigError};
+pub use delta::{
+    apply_delta, apply_to_tree, extract_subtree, inverse_delta, DeltaOp, DeltaStats, DocDelta,
+    TreePatch,
+};
 pub use estimate::{estimate, estimate_traced, Estimator};
 pub use explain::{explain, Explanation};
 pub use footprint::MemoryFootprint;

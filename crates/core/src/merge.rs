@@ -52,9 +52,13 @@ pub fn apply_merge(s: &mut Synopsis, u: SynopsisNodeId, v: SynopsisNodeId) -> Sy
         let t = if t == u || t == v { w } else { t };
         *child_counts.entry(t).or_insert(0.0) += cv * c;
     }
+    // `cu * avg` can land 1 ulp off the integer pair total it stands
+    // for; snapping back keeps every stored average exactly
+    // `pair_total / count`, the canonical form incremental maintenance
+    // (`delta::apply_delta`) reconstructs integer totals through.
     let children: Vec<(SynopsisNodeId, f64)> = child_counts
         .into_iter()
-        .map(|(t, total)| (t, total / cw))
+        .map(|(t, total)| (t, total.round() / cw))
         .collect();
 
     // Parent edges: summed counts, remapping u/v → w.

@@ -61,6 +61,11 @@ pub struct Synopsis {
     /// descendant-axis path expansion during estimation (merged synopses
     /// of recursive data can contain cycles).
     max_depth: usize,
+    /// Monotonic maintenance version: 0 for a from-scratch build, bumped
+    /// once per applied (non-empty) [`crate::delta::DocDelta`]. Stamped
+    /// into the codec header and exposed by the server so consumers can
+    /// tell which refresh of a synopsis produced an estimate.
+    version: u64,
 }
 
 impl Synopsis {
@@ -82,7 +87,42 @@ impl Synopsis {
             labels,
             terms: Interner::new(),
             max_depth,
+            version: 0,
         }
+    }
+
+    /// The maintenance version (0 = built from scratch, incremented once
+    /// per applied delta).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Sets the maintenance version (codec decode, server reload).
+    pub fn set_version(&mut self, version: u64) {
+        self.version = version;
+    }
+
+    /// Increments the maintenance version.
+    pub fn bump_version(&mut self) {
+        self.version += 1;
+    }
+
+    /// Raises the depth cap (a subtree insertion can deepen the document).
+    pub fn set_max_depth(&mut self, max_depth: usize) {
+        self.max_depth = max_depth;
+    }
+
+    /// Interns a label into the synopsis's own label interner. Incremental
+    /// maintenance interns fragment labels in the same order as the
+    /// mutated document, keeping the two interners symbol-aligned.
+    pub fn intern_label(&mut self, label: &str) -> Symbol {
+        self.labels.intern(label)
+    }
+
+    /// Interns a term into the synopsis's term dictionary (same alignment
+    /// discipline as [`Synopsis::intern_label`]).
+    pub fn intern_term(&mut self, term: &str) -> Symbol {
+        self.terms.intern(term)
     }
 
     /// Installs the document's term dictionary (for self-contained
@@ -199,6 +239,38 @@ impl Synopsis {
         let parents = &mut self.nodes[v].parents;
         if let Err(i) = parents.binary_search(&u) {
             parents.insert(i, u);
+        }
+    }
+
+    /// Sets the exact average count of edge `u → v`, creating the edge if
+    /// missing and removing it when `c` drops to zero or below.
+    pub fn set_edge(&mut self, u: SynopsisNodeId, v: SynopsisNodeId, c: f64) {
+        if c <= 0.0 {
+            self.remove_edge(u, v);
+            return;
+        }
+        let node = &mut self.nodes[u];
+        node.version += 1;
+        match node.children.binary_search_by_key(&v, |&(t, _)| t) {
+            Ok(i) => node.children[i].1 = c,
+            Err(i) => node.children.insert(i, (v, c)),
+        }
+        let parents = &mut self.nodes[v].parents;
+        if let Err(i) = parents.binary_search(&u) {
+            parents.insert(i, u);
+        }
+    }
+
+    /// Removes edge `u → v` (and the matching parent link), if present.
+    pub fn remove_edge(&mut self, u: SynopsisNodeId, v: SynopsisNodeId) {
+        let node = &mut self.nodes[u];
+        if let Ok(i) = node.children.binary_search_by_key(&v, |&(t, _)| t) {
+            node.version += 1;
+            node.children.remove(i);
+            let parents = &mut self.nodes[v].parents;
+            if let Ok(j) = parents.binary_search(&u) {
+                parents.remove(j);
+            }
         }
     }
 
@@ -413,6 +485,55 @@ mod tests {
         for ids in groups.values() {
             assert_eq!(ids.len(), 1);
         }
+    }
+
+    #[test]
+    fn set_edge_overwrites_and_removes() {
+        let mut s = tiny();
+        s.set_edge(0, 1, 7.5);
+        assert_eq!(s.node(0).edge_count(1), 7.5);
+        assert_eq!(s.num_edges(), 2);
+        s.set_edge(0, 2, 3.0); // creates a fresh edge + parent link
+        assert!(s.node(2).parents.binary_search(&0).is_ok());
+        s.check_consistency().unwrap();
+        s.set_edge(0, 2, 0.0); // zero count removes the edge again
+        assert_eq!(s.node(0).edge_count(2), 0.0);
+        assert!(s.node(2).parents.binary_search(&0).is_err());
+        s.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn remove_edge_clears_parent_link() {
+        let mut s = tiny();
+        s.remove_edge(1, 2);
+        assert_eq!(s.node(1).edge_count(2), 0.0);
+        assert!(s.node(2).parents.is_empty());
+        s.remove_edge(1, 2); // idempotent on a missing edge
+        s.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn version_starts_at_zero_and_bumps() {
+        let mut s = tiny();
+        assert_eq!(s.version(), 0);
+        s.bump_version();
+        s.bump_version();
+        assert_eq!(s.version(), 2);
+        s.set_version(9);
+        assert_eq!(s.version(), 9);
+    }
+
+    #[test]
+    fn intern_helpers_extend_the_dictionaries() {
+        let mut s = tiny();
+        let before = s.labels().len();
+        let sym = s.intern_label("fresh");
+        assert_eq!(sym.index(), before);
+        assert_eq!(s.labels().resolve(sym), "fresh");
+        let t = s.intern_term("word");
+        assert_eq!(s.terms().resolve(t), "word");
+        s.set_max_depth(42);
+        assert_eq!(s.max_depth(), 42);
     }
 
     #[test]

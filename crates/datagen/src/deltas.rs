@@ -1,0 +1,233 @@
+//! Seeded subtree-mutation streams for incremental maintenance.
+//!
+//! The differential harness (`tests/incremental_diff.rs`), the property
+//! suite, and `bench-build` all need reproducible document churn: batches
+//! of subtree insertions and deletions drawn against an evolving base
+//! document. Fragments are *copies of existing subtrees* with jittered
+//! numeric leaves — realistic churn keeps the inserted structure inside
+//! the document's existing label vocabulary, so the synopsis descent
+//! mapping lands on live clusters instead of fabricating new ones, which
+//! is the regime incremental maintenance is designed for. Deletion roots
+//! are pairwise disjoint and never cover an insert parent, upholding the
+//! `DocDelta` validity invariants by construction.
+//!
+//! All generators are deterministic in their seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xcluster_core::delta::{apply_to_tree, extract_subtree, DeltaOp, DocDelta};
+use xcluster_xml::{NodeId, Value, XmlTree};
+
+/// Churn-stream configuration.
+#[derive(Debug, Clone)]
+pub struct DeltaConfig {
+    /// Fraction of the document's elements touched per delta (inserted
+    /// plus deleted), e.g. `0.05` for 5% churn.
+    pub churn: f64,
+    /// Probability that a mutation is an insertion (the rest are
+    /// deletions). `1.0` yields insert-only deltas.
+    pub insert_fraction: f64,
+    /// Upper bound on the node count of any single inserted fragment or
+    /// deleted subtree.
+    pub max_subtree: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DeltaConfig {
+    fn default() -> Self {
+        DeltaConfig {
+            churn: 0.05,
+            insert_fraction: 0.5,
+            max_subtree: 24,
+            seed: 0xDE17A,
+        }
+    }
+}
+
+/// Number of elements a delta at this configuration aims to touch.
+fn churn_budget(tree: &XmlTree, cfg: &DeltaConfig) -> usize {
+    ((tree.len() as f64 * cfg.churn).round() as usize).max(1)
+}
+
+/// Generates one delta against `tree`.
+///
+/// The delta touches roughly `churn · |tree|` elements, split between
+/// subtree insertions (donor subtrees copied from the document, numeric
+/// leaves jittered) and subtree deletions (disjoint roots). Always valid
+/// for `apply_to_tree`/`apply_delta` on `tree`.
+pub fn generate_delta(tree: &XmlTree, cfg: &DeltaConfig) -> DocDelta {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    generate_with(tree, cfg, &mut rng)
+}
+
+/// Generates a stream of `steps` deltas, each valid against the document
+/// produced by applying all earlier deltas in order (element `0` applies
+/// to `tree` itself). Replay with [`apply_to_tree`].
+pub fn delta_stream(tree: &XmlTree, cfg: &DeltaConfig, steps: usize) -> Vec<DocDelta> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut cur = None; // lazily cloned: step 0 reads `tree` directly
+    let mut out = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let base = cur.as_ref().unwrap_or(tree);
+        let delta = generate_with(base, cfg, &mut rng);
+        cur = Some(apply_to_tree(base, &delta).tree);
+        out.push(delta);
+    }
+    out
+}
+
+fn generate_with(tree: &XmlTree, cfg: &DeltaConfig, rng: &mut StdRng) -> DocDelta {
+    let budget = churn_budget(tree, cfg);
+    let n = tree.len() as u32;
+    let mut ops: Vec<DeltaOp> = Vec::new();
+    // All nodes inside already-chosen delete subtrees (roots included).
+    let mut covered: Vec<bool> = vec![false; tree.len()];
+    let mut insert_parents: Vec<u32> = Vec::new();
+    let mut touched = 0usize;
+    let mut attempts = budget * 20 + 64;
+    while touched < budget && attempts > 0 {
+        attempts -= 1;
+        if rng.gen_bool(cfg.insert_fraction) {
+            let donor = NodeId(rng.gen_range(0..n));
+            let size = subtree_size(tree, donor);
+            if size > cfg.max_subtree {
+                continue;
+            }
+            let parent = NodeId(rng.gen_range(0..n));
+            if covered[parent.index()] {
+                continue;
+            }
+            let mut fragment = extract_subtree(tree, donor);
+            jitter_numeric_leaves(&mut fragment, rng);
+            insert_parents.push(parent.0);
+            ops.push(DeltaOp::Insert { parent, fragment });
+            touched += size;
+        } else {
+            if n < 2 {
+                continue;
+            }
+            let root = NodeId(rng.gen_range(1..n)); // never the doc root
+            if covered[root.index()] {
+                continue;
+            }
+            let size = subtree_size(tree, root);
+            if size > cfg.max_subtree {
+                continue;
+            }
+            // Reject roots whose subtree contains an earlier delete root
+            // or an insert parent; otherwise claim the whole subtree.
+            let members: Vec<u32> = std::iter::once(root)
+                .chain(tree.descendants(root))
+                .map(|d| d.0)
+                .collect();
+            if members
+                .iter()
+                .any(|&m| covered[m as usize] || insert_parents.contains(&m))
+            {
+                continue;
+            }
+            for &m in &members {
+                covered[m as usize] = true;
+            }
+            ops.push(DeltaOp::Delete { root });
+            touched += size;
+        }
+    }
+    DocDelta::new(ops)
+}
+
+fn subtree_size(tree: &XmlTree, root: NodeId) -> usize {
+    1 + tree.descendants(root).count()
+}
+
+/// Perturbs every numeric leaf by a small uniform offset (saturating at
+/// zero: numeric domains are `{0..M-1}`), so inserted copies carry fresh
+/// but similarly-distributed values.
+fn jitter_numeric_leaves(frag: &mut XmlTree, rng: &mut StdRng) {
+    let nodes: Vec<NodeId> = frag.all_nodes().collect();
+    for node in nodes {
+        let cur = match frag.value(node) {
+            Value::Numeric(v) => Some(*v),
+            _ => None,
+        };
+        if let Some(v) = cur {
+            let jittered = v.saturating_add_signed(rng.gen_range(-3i64..=3));
+            frag.set_value(node, Value::Numeric(jittered));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imdb::{self, ImdbConfig};
+    use xcluster_xml::write_document;
+
+    fn small_doc() -> XmlTree {
+        imdb::generate(&ImdbConfig {
+            num_movies: 25,
+            seed: 11,
+        })
+        .tree
+    }
+
+    #[test]
+    fn deltas_are_deterministic_in_the_seed() {
+        let doc = small_doc();
+        let cfg = DeltaConfig::default();
+        let a = apply_to_tree(&doc, &generate_delta(&doc, &cfg)).tree;
+        let b = apply_to_tree(&doc, &generate_delta(&doc, &cfg)).tree;
+        assert_eq!(write_document(&a), write_document(&b));
+        let other = generate_delta(
+            &doc,
+            &DeltaConfig {
+                seed: cfg.seed + 1,
+                ..cfg
+            },
+        );
+        let c = apply_to_tree(&doc, &other).tree;
+        assert_ne!(write_document(&a), write_document(&c));
+    }
+
+    #[test]
+    fn churn_tracks_the_configured_rate() {
+        let doc = small_doc();
+        let cfg = DeltaConfig {
+            churn: 0.05,
+            ..DeltaConfig::default()
+        };
+        let delta = generate_delta(&doc, &cfg);
+        assert!(!delta.is_empty());
+        let patch = apply_to_tree(&doc, &delta);
+        let moved = patch.tree.len().abs_diff(doc.len());
+        // Inserts and deletes partly cancel in the size difference, so
+        // only bound it by the full churn budget.
+        assert!(moved <= 2 * churn_budget(&doc, &cfg));
+    }
+
+    #[test]
+    fn insert_only_streams_grow_the_document() {
+        let doc = small_doc();
+        let cfg = DeltaConfig {
+            insert_fraction: 1.0,
+            ..DeltaConfig::default()
+        };
+        let mut cur = apply_to_tree(&doc, &generate_delta(&doc, &cfg)).tree;
+        assert!(cur.len() > doc.len());
+        // Streams stay valid as the document evolves.
+        for delta in delta_stream(&doc, &cfg, 4) {
+            assert!(delta
+                .ops
+                .iter()
+                .all(|op| matches!(op, DeltaOp::Insert { .. })));
+        }
+        let mixed = delta_stream(&doc, &DeltaConfig::default(), 4);
+        let mut base = doc;
+        for delta in &mixed {
+            base = apply_to_tree(&base, delta).tree;
+        }
+        cur = base;
+        assert!(!cur.is_empty());
+    }
+}

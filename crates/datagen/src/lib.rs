@@ -23,6 +23,7 @@
 //!
 //! All generators are deterministic in their seed.
 
+pub mod deltas;
 pub mod imdb;
 pub mod treebank;
 pub mod words;

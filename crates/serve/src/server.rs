@@ -16,6 +16,7 @@
 //! | GET    | `/debug/slow`     | top-K slow batches (`?chrome=1` trace)    |
 //! | GET    | `/debug/journal`  | full journal as JSONL download            |
 //! | GET    | `/debug/synopsis` | per-cluster health report (`?n=` limit)   |
+//! | POST   | `/reload`         | re-read + swap the synopsis artifact      |
 //! | POST   | `/shutdown`       | graceful stop (drains, then exits)        |
 //!
 //! Estimates are produced by a compiled-plan [`Estimator`] session, so
@@ -41,11 +42,25 @@
 //! [`SlowRing`] are deterministically re-estimated with tracing on —
 //! estimation is pure, so the re-run is bitwise identical — and the
 //! resulting span trees are browsable at `GET /debug/slow`.
+//!
+//! # Zero-downtime reload
+//!
+//! The loaded synopsis is double-buffered behind the `loaded` RwLock:
+//! `POST /reload` decodes the configured artifact *outside* the lock,
+//! then swaps it in (together with a fresh [`ReachCache`]) under a brief
+//! write section. In-flight `/estimate` batches hold `Arc` clones taken
+//! under the read lock, so they finish against the synopsis version they
+//! started with; every `/estimate` response names that version in its
+//! `x-synopsis-version` header. Installed versions are strictly
+//! monotone — a reloaded artifact whose stamped version does not exceed
+//! the live one is installed as `live + 1` — and the current version is
+//! published as the `synopsis.version` gauge and in `/synopsis/stats`.
 
 use crate::http::{read_request_with, write_response, Limits, ReadError, Request, Response};
 use crate::telemetry::{shard_of, ShadowConfig, ShadowMonitor, SlowEntry, SlowRing};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, LazyLock, Mutex, RwLock};
@@ -160,6 +175,8 @@ pub struct ServerState {
     /// Offline workload-error attribution for the loaded synopsis;
     /// ranks `/debug/synopsis` and the quality gauges by error when set.
     attribution: RwLock<Option<Arc<AttributionReport>>>,
+    /// Artifact path `POST /reload` re-reads; unset → reload answers 409.
+    synopsis_path: RwLock<Option<PathBuf>>,
 }
 
 impl ServerState {
@@ -225,6 +242,50 @@ impl ServerState {
         )
     }
 
+    /// The artifact path `POST /reload` re-reads, if configured.
+    pub fn synopsis_path(&self) -> Option<PathBuf> {
+        self.synopsis_path.read().unwrap().clone()
+    }
+
+    /// Installs a synopsis atomically: the footprint is measured and the
+    /// build gauges published outside the lock, then the synopsis plus a
+    /// fresh [`ReachCache`] replace the live pair under a brief write
+    /// section. Installed versions are strictly monotone — if the
+    /// incoming synopsis does not out-version the live one it is stamped
+    /// `live + 1`. Returns the installed version.
+    pub fn install_synopsis(&self, mut synopsis: Synopsis) -> u64 {
+        let footprint = MemoryFootprint::measure(&synopsis);
+        footprint.register();
+        xcluster_obs::gauge("build.final_struct_bytes").set(synopsis.structural_bytes() as i64);
+        xcluster_obs::gauge("build.final_value_bytes").set(synopsis.value_bytes() as i64);
+        let resident = footprint.total_bytes();
+        let version = {
+            let mut guard = self.loaded.write().unwrap();
+            if let Some(prev) = guard.as_ref() {
+                let live = prev.synopsis.version();
+                if synopsis.version() <= live {
+                    synopsis.set_version(live + 1);
+                }
+            }
+            let version = synopsis.version();
+            *guard = Some(Loaded {
+                synopsis: Arc::new(synopsis),
+                footprint,
+                cache: Arc::new(ReachCache::new()),
+            });
+            version
+        };
+        xcluster_obs::gauge("synopsis.version").set(version as i64);
+        xcluster_obs::gauge("footprint.reach_cache_bytes").set(0);
+        self.ready.store(true, Ordering::Release);
+        xcluster_obs::gauge("serve.ready").set(1);
+        xcluster_obs::info!(
+            "serve",
+            "synopsis installed version={version} resident_bytes={resident}"
+        );
+        version
+    }
+
     /// Publishes the journal/slow-ring resident bytes as `footprint.*`
     /// gauges (called after every journaled batch).
     fn register_serving_footprint(&self) {
@@ -280,6 +341,7 @@ impl Server {
                 shadow_sampler: Sampler::new(cfg.shadow_seed, cfg.shadow_sample_ppm),
                 shadow: RwLock::new(None),
                 attribution: RwLock::new(None),
+                synopsis_path: RwLock::new(None),
             }),
             workers,
         })
@@ -299,25 +361,19 @@ impl Server {
     /// footprint, publishes the build-size gauges reconstructible from
     /// the artifact, and flips `/readyz` to ready.
     pub fn set_synopsis(&self, synopsis: Synopsis) {
-        let footprint = MemoryFootprint::measure(&synopsis);
-        footprint.register();
-        xcluster_obs::gauge("build.final_struct_bytes").set(synopsis.structural_bytes() as i64);
-        xcluster_obs::gauge("build.final_value_bytes").set(synopsis.value_bytes() as i64);
         xcluster_obs::info!(
             "serve",
-            "synopsis loaded nodes={} edges={} resident_bytes={}",
+            "synopsis loaded nodes={} edges={}",
             synopsis.num_nodes(),
             synopsis.num_edges(),
-            footprint.total_bytes()
         );
-        *self.state.loaded.write().unwrap() = Some(Loaded {
-            synopsis: Arc::new(synopsis),
-            footprint,
-            cache: Arc::new(ReachCache::new()),
-        });
-        xcluster_obs::gauge("footprint.reach_cache_bytes").set(0);
-        self.state.ready.store(true, Ordering::Release);
-        xcluster_obs::gauge("serve.ready").set(1);
+        self.state.install_synopsis(synopsis);
+    }
+
+    /// Configures the artifact path `POST /reload` re-reads. Without it
+    /// the endpoint answers 409 (the server has nothing to reload from).
+    pub fn set_synopsis_path(&self, path: impl Into<PathBuf>) {
+        *self.state.synopsis_path.write().unwrap() = Some(path.into());
     }
 
     /// Installs a workload-error attribution report (computed offline
@@ -465,13 +521,14 @@ fn route(state: &ServerState, req: &Request, worker: u64) -> Response {
         }),
         ("GET", "/debug/synopsis") => debug_synopsis_response(state, req),
         ("POST", "/estimate") => estimate_response(state, req, worker),
+        ("POST", "/reload") => reload_response(state),
         ("POST", "/shutdown") => Response::text(200, "shutting down\n"),
         (
             _,
             "/healthz" | "/readyz" | "/metrics" | "/synopsis/stats" | "/debug/requests"
             | "/debug/slow" | "/debug/journal" | "/debug/synopsis",
         ) => Response::text(405, "method not allowed\n"),
-        (_, "/estimate" | "/shutdown") => Response::text(405, "method not allowed\n"),
+        (_, "/estimate" | "/reload" | "/shutdown") => Response::text(405, "method not allowed\n"),
         _ => Response::text(404, "not found\n"),
     }
 }
@@ -497,6 +554,40 @@ fn debug_synopsis_response(state: &ServerState, req: &Request) -> Response {
         Some(q) => Response::json(200, q.to_json(n)),
         None => Response::json(503, "{\"error\":\"synopsis not loaded\"}"),
     }
+}
+
+/// `POST /reload` — re-reads the configured synopsis artifact and swaps
+/// it in under live traffic. The file read and decode happen outside
+/// any lock; only the final pointer swap takes the write lock, so
+/// concurrent `/estimate` batches are never blocked behind the decode
+/// and finish against the synopsis they started with.
+fn reload_response(state: &ServerState) -> Response {
+    let Some(path) = state.synopsis_path() else {
+        return Response::json(409, "{\"error\":\"no synopsis path configured\"}");
+    };
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            return Response::json(
+                500,
+                format!(
+                    "{{\"error\":\"read {}: {}\"}}",
+                    esc(&path.display().to_string()),
+                    esc(&e.to_string())
+                ),
+            )
+        }
+    };
+    let synopsis = match xcluster_core::codec::decode_synopsis(&bytes) {
+        Ok(s) => s,
+        Err(e) => return Response::json(500, format!("{{\"error\":\"{}\"}}", esc(&e.to_string()))),
+    };
+    let nodes = synopsis.num_nodes();
+    let version = state.install_synopsis(synopsis);
+    Response::json(
+        200,
+        format!("{{\"reloaded\":true,\"version\":{version},\"nodes\":{nodes}}}"),
+    )
 }
 
 fn stats_response(state: &ServerState) -> Response {
@@ -536,7 +627,7 @@ fn stats_response(state: &ServerState) -> Response {
         None => String::new(),
     };
     let body = format!(
-        "{{\"nodes\":{},\"edges\":{},\"value_nodes\":{},\"arena_nodes\":{},\"max_depth\":{},\
+        "{{\"version\":{},\"nodes\":{},\"edges\":{},\"value_nodes\":{},\"arena_nodes\":{},\"max_depth\":{},\
          \"model\":{{\"structural_bytes\":{},\"value_bytes\":{},\"total_bytes\":{}}},\
          \"footprint\":{{\"total_bytes\":{},\"cluster_bytes\":{},\"edge_bytes\":{},\
          \"interner_bytes\":{},\"summary_bytes\":{},\"summaries\":{{{kinds}}}}},\
@@ -546,6 +637,7 @@ fn stats_response(state: &ServerState) -> Response {
          \"journal\":{{\"capacity\":{},\"len\":{},\"reserved\":{},\"evicted\":{},\
          \"sample_ppm\":{},\"seed\":{},\"heap_bytes\":{}}},\
          \"slow_ring\":{{\"capacity\":{},\"len\":{},\"heap_bytes\":{}}}{shadow_block}}}",
+        s.version(),
         s.num_nodes(),
         s.num_edges(),
         s.num_value_nodes(),
@@ -782,5 +874,7 @@ fn estimate_response(state: &ServerState, req: &Request, worker: u64) -> Respons
         out.push_str(&format!("{e}"));
     }
     out.push_str("]}");
-    Response::json(200, out).with_header("x-request-id", request_id)
+    Response::json(200, out)
+        .with_header("x-request-id", request_id)
+        .with_header("x-synopsis-version", synopsis.version().to_string())
 }

@@ -93,6 +93,52 @@ impl RleBitmap {
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
         self.runs.iter().flat_map(|&(s, e)| s..e)
     }
+
+    /// Sets a single id, extending, merging, or creating runs as needed.
+    /// No-op if the id is already set.
+    pub fn insert(&mut self, id: u32) {
+        let i = self.runs.partition_point(|&(_, e)| e < id);
+        if i < self.runs.len() {
+            let (s, e) = self.runs[i];
+            if s <= id && id < e {
+                return;
+            }
+            if e == id {
+                // Extends run i on the right; may close a 1-wide gap.
+                self.runs[i].1 = id + 1;
+                if i + 1 < self.runs.len() && self.runs[i + 1].0 == id + 1 {
+                    self.runs[i].1 = self.runs[i + 1].1;
+                    self.runs.remove(i + 1);
+                }
+                return;
+            }
+            if s == id + 1 {
+                self.runs[i].0 = id;
+                return;
+            }
+        }
+        self.runs.insert(i, (id, id + 1));
+    }
+
+    /// Clears a single id, shrinking or splitting its run. No-op if the
+    /// id is not set. Exact inverse of [`RleBitmap::insert`].
+    pub fn remove(&mut self, id: u32) {
+        let i = self.runs.partition_point(|&(_, e)| e <= id);
+        if i >= self.runs.len() || id < self.runs[i].0 {
+            return;
+        }
+        let (s, e) = self.runs[i];
+        if s == id && e == id + 1 {
+            self.runs.remove(i);
+        } else if s == id {
+            self.runs[i].0 = id + 1;
+        } else if e == id + 1 {
+            self.runs[i].1 = id;
+        } else {
+            self.runs[i].1 = id;
+            self.runs.insert(i + 1, (id + 1, e));
+        }
+    }
 }
 
 /// [`Ebth::to_parts`] output: `(top pairs, support runs, uniform_sum,
@@ -415,6 +461,70 @@ impl Ebth {
         }
     }
 
+    /// Incremental maintenance: folds one more text into the centroid.
+    ///
+    /// Every stored frequency is a single division of an integral
+    /// occurrence count by `k`, so the counts are reconstructed exactly
+    /// (`c = round(f·k)`), adjusted, and re-divided by the new `k`.
+    /// Terms the summary has never seen become indexed with count 1;
+    /// terms in the uniform bucket adjust its aggregate mass (their
+    /// individual counts are no longer known — the documented
+    /// approximation of the end-biased layout).
+    pub fn observe(&mut self, tv: &TermVector) {
+        self.adjust(tv, 1.0);
+    }
+
+    /// Inverse of [`Ebth::observe`]: bitwise-exact for a summary whose
+    /// terms are all indexed (no demotions), which is the case for
+    /// uncompressed reference centroids.
+    pub fn retract(&mut self, tv: &TermVector) {
+        self.adjust(tv, -1.0);
+    }
+
+    fn adjust(&mut self, tv: &TermVector, sign: f64) {
+        let k_old = self.elements;
+        let k_new = k_old + sign;
+        if k_new <= 0.0 {
+            self.top.clear();
+            self.support = RleBitmap::default();
+            self.uniform_sum = 0.0;
+            self.uniform_count = 0;
+            self.elements = 0.0;
+            return;
+        }
+        let mut counts: Vec<(TermId, f64)> = self
+            .top
+            .iter()
+            .map(|&(t, f)| (t, (f * k_old).round()))
+            .collect();
+        let mut uniform_total = (self.uniform_sum * k_old).round();
+        for &t in tv.terms() {
+            match counts.binary_search_by_key(&t.0, |(s, _)| s.0) {
+                Ok(i) => counts[i].1 += sign,
+                Err(i) => {
+                    if self.support.contains(t.0) {
+                        uniform_total = (uniform_total + sign).max(0.0);
+                    } else if sign > 0.0 {
+                        counts.insert(i, (t, 1.0));
+                        self.support.insert(t.0);
+                    }
+                    // Retracting a term the summary never saw: no-op.
+                }
+            }
+        }
+        counts.retain(|&(t, c)| {
+            if c <= 0.0 {
+                self.support.remove(t.0);
+                false
+            } else {
+                true
+            }
+        });
+        self.top = counts.into_iter().map(|(t, c)| (t, c / k_new)).collect();
+        self.uniform_sum = uniform_total / k_new;
+        self.elements = k_new;
+    }
+
     /// Ablation baseline: compresses the centroid with a *conventional*
     /// equal-width bucket histogram over term-id ranges, losing the 0/1
     /// support information. Every term in a covered range (occurring or
@@ -691,6 +801,80 @@ mod tests {
         close(e.elements(), 0.0);
         close(e.term_frequency(Symbol(0)), 0.0);
         assert!(e.demote_one().is_none());
+    }
+
+    #[test]
+    fn rle_insert_remove_surgery() {
+        let mut bm = RleBitmap::from_sorted_ids(&[1, 2, 5, 6]);
+        bm.insert(4); // prepend to [5,7)
+        bm.insert(3); // closes the gap → one run [1,7)
+        assert_eq!(bm.num_runs(), 1);
+        assert_eq!(bm.iter().collect::<Vec<u32>>(), vec![1, 2, 3, 4, 5, 6]);
+        bm.insert(3); // idempotent
+        assert_eq!(bm.cardinality(), 6);
+        bm.remove(4); // split
+        assert_eq!(bm.num_runs(), 2);
+        bm.remove(1); // shrink left edge
+        bm.remove(6); // shrink right edge
+        assert_eq!(bm.iter().collect::<Vec<u32>>(), vec![2, 3, 5]);
+        bm.remove(9); // absent id: no-op
+        assert_eq!(bm.cardinality(), 3);
+        bm.remove(2);
+        bm.remove(3);
+        bm.remove(5);
+        assert_eq!(bm.num_runs(), 0);
+        bm.insert(7);
+        assert!(bm.contains(7));
+    }
+
+    #[test]
+    fn observe_matches_rebuild_for_exact_centroids() {
+        let t1 = [tv(&[1, 2]), tv(&[2, 3])];
+        let mut e = Ebth::from_vectors(t1.iter());
+        let extra = tv(&[2, 9]);
+        e.observe(&extra);
+        let direct = Ebth::from_vectors(t1.iter().chain([extra.clone()].iter()));
+        close(e.elements(), 3.0);
+        for id in [1u32, 2, 3, 9, 50] {
+            close(
+                e.term_frequency(Symbol(id)),
+                direct.term_frequency(Symbol(id)),
+            );
+        }
+    }
+
+    #[test]
+    fn observe_then_retract_is_bitwise_identity_when_uncompressed() {
+        let before = Ebth::from_vectors([tv(&[1, 4]), tv(&[1, 2]), tv(&[7])].iter());
+        let mut e = before.clone();
+        for probe in [tv(&[1, 2, 99]), tv(&[]), tv(&[4, 7])] {
+            e.observe(&probe);
+            e.retract(&probe);
+        }
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn observe_adjusts_uniform_bucket_in_aggregate() {
+        let mut e = Ebth::from_vectors([tv(&[1, 2, 3]), tv(&[1])].iter());
+        e.demote(2); // terms 2 and 3 move into the uniform bucket
+        let (cnt_before, _) = e.uniform_bucket();
+        e.observe(&tv(&[2]));
+        // Term count in the bucket is unchanged; its mass grew.
+        let (cnt_after, avg) = e.uniform_bucket();
+        assert_eq!(cnt_before, cnt_after);
+        close(avg, (1.0 + 1.0 + 1.0) / 2.0 / 3.0);
+        close(e.elements(), 3.0);
+        // Indexed term 1 rescaled exactly: 2 of 3 texts.
+        close(e.term_frequency(Symbol(1)), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn retract_to_empty_clears_summary() {
+        let one = tv(&[5, 6]);
+        let mut e = Ebth::from_vectors([one.clone()].iter());
+        e.retract(&one);
+        assert_eq!(e, Ebth::from_vectors(std::iter::empty()));
     }
 
     #[test]

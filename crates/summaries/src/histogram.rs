@@ -265,6 +265,59 @@ impl Histogram {
         d * d
     }
 
+    /// Index of the bucket that absorbs `v` under incremental
+    /// maintenance: the covering bucket if one exists, otherwise the
+    /// nearest bucket (out-of-range values clamp to the boundary
+    /// buckets, gap values go to the closer neighbour). `None` only for
+    /// an empty histogram.
+    fn absorbing_bucket(&self, v: u64) -> Option<usize> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let i = self.buckets.partition_point(|b| b.hi < v);
+        if i == self.buckets.len() {
+            return Some(i - 1);
+        }
+        if v >= self.buckets[i].lo || i == 0 {
+            return Some(i);
+        }
+        let left = v - self.buckets[i - 1].hi;
+        let right = self.buckets[i].lo - v;
+        Some(if left <= right { i - 1 } else { i })
+    }
+
+    /// Incremental maintenance: folds one more value into the existing
+    /// bucket layout. The absorbing bucket's boundaries are left
+    /// untouched (values outside every bucket clamp to the nearest one),
+    /// so repeated observes never grow the summary; an empty histogram
+    /// gains a single point bucket.
+    pub fn observe(&mut self, v: u64) {
+        match self.absorbing_bucket(v) {
+            Some(i) => self.buckets[i].count += 1.0,
+            None => self.buckets.push(Bucket {
+                lo: v,
+                hi: v,
+                count: 1.0,
+            }),
+        }
+        self.total += 1.0;
+    }
+
+    /// Inverse of [`Histogram::observe`]: removes one value from the
+    /// absorbing bucket, dropping the bucket once its count reaches
+    /// zero. Exact (bitwise) inverse of an `observe` of the same value
+    /// while counts stay integral.
+    pub fn retract(&mut self, v: u64) {
+        let Some(i) = self.absorbing_bucket(v) else {
+            return;
+        };
+        self.buckets[i].count -= 1.0;
+        if self.buckets[i].count <= 0.0 {
+            self.buckets.remove(i);
+        }
+        self.total = (self.total - 1.0).max(0.0);
+    }
+
     /// The best single compression step: returns
     /// `(bucket index, squared error)` for the cheapest adjacent collapse,
     /// or `None` if fewer than two buckets remain.
@@ -499,5 +552,42 @@ mod tests {
     fn inverted_range_is_empty() {
         let h = Histogram::build(&[1, 2, 3], 2, HistogramKind::EquiDepth);
         close(h.estimate_range(10, 5), 0.0);
+    }
+
+    #[test]
+    fn observe_then_retract_is_bitwise_identity() {
+        let base = Histogram::build(&[1, 5, 9, 13, 40, 41], 3, HistogramKind::EquiDepth);
+        // In-bucket, gap, and out-of-range values all round-trip.
+        for v in [5u64, 20, 0, 1000] {
+            let mut h = base.clone();
+            h.observe(v);
+            close(h.total(), base.total() + 1.0);
+            h.retract(v);
+            assert_eq!(h, base, "value {v}");
+        }
+    }
+
+    #[test]
+    fn observe_on_empty_creates_and_retract_removes() {
+        let mut h = Histogram::build(&[], 4, HistogramKind::EquiDepth);
+        h.observe(7);
+        assert_eq!(h.num_buckets(), 1);
+        close(h.estimate_range(7, 7), 1.0);
+        h.retract(7);
+        assert_eq!(h.num_buckets(), 0);
+        close(h.total(), 0.0);
+    }
+
+    #[test]
+    fn observe_clamps_into_nearest_bucket() {
+        let h0 = Histogram::build(&[10, 11, 30, 31], 2, HistogramKind::EquiDepth);
+        let mut h = h0.clone();
+        // 12 is nearer the [10,11] bucket than [30,31].
+        h.observe(12);
+        close(h.estimate_range(10, 11), 3.0);
+        // 29 is nearer [30,31].
+        h.observe(29);
+        close(h.estimate_range(30, 31), 3.0);
+        close(h.total(), 6.0);
     }
 }

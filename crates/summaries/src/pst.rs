@@ -312,6 +312,48 @@ impl Pst {
         Some(cur)
     }
 
+    /// Incremental maintenance: records one more string in the
+    /// summarized collection. Counts update along *retained* trie paths
+    /// only — the pruned shape is fixed once built, so no nodes are
+    /// created. Mirrors the build-time insertion exactly (root
+    /// occurrence mass, per-node occurrences, presence counts deduped
+    /// within the string).
+    pub fn observe(&mut self, s: &str) {
+        self.adjust(s.as_bytes(), 1.0);
+    }
+
+    /// Exact (bitwise) inverse of [`Pst::observe`] for the same string.
+    pub fn retract(&mut self, s: &str) {
+        self.adjust(s.as_bytes(), -1.0);
+    }
+
+    fn adjust(&mut self, s: &[u8], sign: f64) {
+        self.num_strings += sign;
+        // The root mirrors num_strings (presence) and total character
+        // positions (occurrence) by construction.
+        self.nodes[ROOT as usize].count += sign;
+        self.nodes[ROOT as usize].occ += sign * s.len() as f64;
+        // Presence dedup must be call-local: the build-time `last_seen`
+        // stamps assume globally unique string ids, which incremental
+        // calls don't have.
+        let mut present: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for start in 0..s.len() {
+            let mut cur = ROOT;
+            for &ch in &s[start..(start + self.max_depth).min(s.len())] {
+                // Substring closure: once a path node is pruned, the
+                // whole remaining path is gone too.
+                let Some(c) = self.child(cur, ch) else {
+                    break;
+                };
+                cur = c;
+                self.nodes[cur as usize].occ += sign;
+                if present.insert(cur) {
+                    self.nodes[cur as usize].count += sign;
+                }
+            }
+        }
+    }
+
     /// Whether pruning `node` is allowed: alive leaf, depth ≥ 2 (the
     /// paper's modification pins all depth-1 symbol nodes), and no longer
     /// retained string ends with this node's string (inverse suffix-link
@@ -871,6 +913,48 @@ mod tests {
         let pst = Pst::build::<&str>(&[], 8);
         close(pst.selectivity("a"), 0.0);
         assert_eq!(pst.node_count(), 0);
+    }
+
+    #[test]
+    fn observe_matches_rebuild_on_unpruned_trie() {
+        // Observing a string whose substrings are all retained must give
+        // exactly the counts a from-scratch build over the extended
+        // collection produces.
+        let mut pst = Pst::build(&["abc", "abd"], 8);
+        pst.observe("abc");
+        let rebuilt = Pst::build(&["abc", "abd", "abc"], 8);
+        close(pst.num_strings(), rebuilt.num_strings());
+        for (s, c) in rebuilt.retained_substrings() {
+            close(pst.count_of(&s).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn observe_then_retract_is_bitwise_identity() {
+        let mut pst = Pst::build(&["summary", "synopsis", "histogram"], 6);
+        pst.prune_to_size(pst.node_count() / 2);
+        let before: Vec<(String, f64)> = pst.retained_substrings();
+        let n = pst.num_strings();
+        let occ = pst.nodes[ROOT as usize].occ;
+        for s in ["synopsis", "wavelet", "zzz"] {
+            pst.observe(s);
+            pst.retract(s);
+        }
+        assert_eq!(pst.retained_substrings(), before);
+        assert_eq!(pst.num_strings(), n);
+        assert_eq!(pst.nodes[ROOT as usize].occ, occ);
+    }
+
+    #[test]
+    fn observe_skips_pruned_paths() {
+        let mut pst = Pst::build(&["abc"], 8);
+        while pst.prune_one().is_some() {}
+        // Only depth-1 symbol nodes remain; observing must not resurrect
+        // deeper paths.
+        pst.observe("abc");
+        assert_eq!(pst.node_count(), 3);
+        close(pst.count_of("a").unwrap(), 2.0);
+        assert!(pst.count_of("ab").is_none());
     }
 
     #[test]

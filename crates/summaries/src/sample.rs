@@ -129,6 +129,21 @@ impl SampleSummary {
         Some(1.0 / (n * n))
     }
 
+    /// Incremental maintenance: accounts for one more summarized value.
+    /// Only the exact total is adjusted — the reservoir is left as-is (a
+    /// deliberately coarse update: re-running the reservoir decision
+    /// would make retraction impossible). Selectivities are sample
+    /// fractions, so they are unaffected; absolute range estimates scale
+    /// with the new total.
+    pub fn observe(&mut self, _v: u64) {
+        self.total += 1.0;
+    }
+
+    /// Inverse of [`SampleSummary::observe`] (total-only).
+    pub fn retract(&mut self, _v: u64) {
+        self.total = (self.total - 1.0).max(0.0);
+    }
+
     /// Fuses two summaries: a weighted re-sample of the union, sized at
     /// the larger of the two reservoirs.
     pub fn fuse(&self, other: &SampleSummary) -> SampleSummary {

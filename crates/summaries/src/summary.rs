@@ -274,6 +274,38 @@ impl ValueSummary {
         }
     }
 
+    /// Incremental maintenance: folds one more value into the summary.
+    /// Values of a mismatched type are ignored (type-respecting
+    /// partitions guarantee homogeneity upstream). Histogram, PST, and
+    /// EBTH backends update their distributions (exactly invertible for
+    /// uncompressed summaries); wavelet and sample backends adjust only
+    /// their totals — the documented coarse path, exercised solely by
+    /// the `ablation-numeric` backends.
+    pub fn observe(&mut self, value: &Value) {
+        match (self, value) {
+            (ValueSummary::Numeric(h), Value::Numeric(n)) => h.observe(*n),
+            (ValueSummary::NumericWavelet(w), Value::Numeric(n)) => w.observe(*n),
+            (ValueSummary::NumericSample(s), Value::Numeric(n)) => s.observe(*n),
+            (ValueSummary::String(p), Value::String(s)) => p.observe(s),
+            (ValueSummary::Text(e), Value::Text(tv)) => e.observe(tv),
+            _ => {}
+        }
+    }
+
+    /// Inverse of [`ValueSummary::observe`]: removes one value from the
+    /// summarized distribution. Bitwise-exact inverse of an `observe` of
+    /// the same value on uncompressed summaries.
+    pub fn retract(&mut self, value: &Value) {
+        match (self, value) {
+            (ValueSummary::Numeric(h), Value::Numeric(n)) => h.retract(*n),
+            (ValueSummary::NumericWavelet(w), Value::Numeric(n)) => w.retract(*n),
+            (ValueSummary::NumericSample(s), Value::Numeric(n)) => s.retract(*n),
+            (ValueSummary::String(p), Value::String(s)) => p.retract(s),
+            (ValueSummary::Text(e), Value::Text(tv)) => e.retract(tv),
+            _ => {}
+        }
+    }
+
     /// Evaluates the best single compression step *without applying it*:
     /// the cheapest adjacent-bucket collapse (`hist_cmprs`), lowest-error
     /// leaf prune (`st_cmprs`), or lowest-frequency term demotion

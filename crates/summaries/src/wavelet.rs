@@ -199,6 +199,19 @@ impl WaveletSummary {
         Some(err * err)
     }
 
+    /// Incremental maintenance: accounts for one more summarized value.
+    /// Only the total is adjusted — the retained coefficients keep the
+    /// old shape (a deliberately coarse update; re-gridding would not be
+    /// retractable). Selectivities renormalize against the new total.
+    pub fn observe(&mut self, _v: u64) {
+        self.total += 1.0;
+    }
+
+    /// Inverse of [`WaveletSummary::observe`] (total-only).
+    pub fn retract(&mut self, _v: u64) {
+        self.total = (self.total - 1.0).max(0.0);
+    }
+
     /// Fuses two summaries (Haar is linear, so aligned grids add
     /// coefficient-wise; misaligned grids rebuild over reconstructed
     /// cells).

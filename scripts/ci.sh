@@ -14,6 +14,13 @@
 # 1,4 thread matrix: the plan engine must be bitwise-identical to the
 # reference interpreter on every dataset family, cold and warm cache.
 #
+# Pass --incremental-diff (or set XCLUSTER_CI_INCREMENTAL=1) to
+# additionally run the incremental-maintenance differential suite under
+# the release profile at a 1,4 thread matrix: delta streams applied in
+# place must track a from-scratch rebuild of the mutated document
+# within the committed error gates, stay bitwise across thread counts,
+# and undo exactly under inverse deltas.
+#
 # Pass --serve-smoke (or set XCLUSTER_CI_SERVE=1) to additionally boot
 # `xcluster serve` on an ephemeral port, scrape /metrics, and drive it
 # with `xcluster loadgen` in verify mode: 1000 queries must succeed
@@ -34,6 +41,7 @@ cd "$(dirname "$0")/.."
 
 ACCURACY="${XCLUSTER_CI_ACCURACY:-0}"
 PLAN_DIFF="${XCLUSTER_CI_PLAN_DIFF:-0}"
+INCREMENTAL="${XCLUSTER_CI_INCREMENTAL:-0}"
 SERVE="${XCLUSTER_CI_SERVE:-0}"
 JOURNAL="${XCLUSTER_CI_JOURNAL:-0}"
 MAIN=1
@@ -41,6 +49,8 @@ for arg in "$@"; do
   case "$arg" in
     --accuracy) ACCURACY=1 ;;
     --plan-diff) PLAN_DIFF=1 ;;
+    --incremental-diff) INCREMENTAL=1 ;;
+    --incremental-diff-only) INCREMENTAL=1; MAIN=0 ;;
     --serve-smoke) SERVE=1 ;;
     --serve-smoke-only) SERVE=1; MAIN=0 ;;
     --journal-replay) JOURNAL=1 ;;
@@ -87,6 +97,17 @@ if [[ "$PLAN_DIFF" == "1" ]]; then
     echo "==> cargo test --release --test plan_diff (XCLUSTER_TEST_THREADS=$threads)"
     XCLUSTER_TEST_THREADS="$threads" \
       cargo test -q --release -p xcluster-core --test plan_diff
+  done
+fi
+
+if [[ "$INCREMENTAL" == "1" ]]; then
+  # Incremental-maintenance differential leg: apply_delta vs rebuild
+  # equivalence, inverse-delta undo, and thread-count byte-identity of
+  # the dirty-region re-merge path, under release.
+  for threads in 1 4; do
+    echo "==> cargo test --release --test incremental_diff (XCLUSTER_TEST_THREADS=$threads)"
+    XCLUSTER_TEST_THREADS="$threads" \
+      cargo test -q --release -p xcluster-core --test incremental_diff
   done
 fi
 

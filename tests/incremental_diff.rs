@@ -1,0 +1,319 @@
+//! Differential harness for incremental synopsis maintenance
+//! (`xcluster_core::delta`).
+//!
+//! Contracts under test, per dataset family (imdb / xmark / treebank):
+//!
+//! 1. **Zero churn is bitwise.** Applying an empty delta leaves the
+//!    encoded synopsis byte-identical and the version untouched.
+//! 2. **Bitwise where the merge sequence is unaffected.** When no
+//!    budget pass runs (budgets lifted for the apply), an insert-only
+//!    delta followed by its inverse restores structural, numeric, and
+//!    string estimates bitwise — the descent mapping is
+//!    self-reinforcing, counts are integral, edge averages reconstruct
+//!    through exact integer pair totals, and histogram/PST summaries
+//!    observe/retract in exact count arithmetic. TEXT estimates are
+//!    held to an ulp-level relative bound instead: a *fused* EBTH
+//!    centroid stores `(ku·fa + kv·fb)/kw`, which can sit 1 ulp off the
+//!    canonical `count/k` form that `observe`/`retract` reconstruct
+//!    through, so the round trip normalizes those frequencies.
+//! 3. **Bounded divergence otherwise.** A churn stream applied
+//!    incrementally under the original byte budgets (dirty-region
+//!    re-merges included) must track a from-scratch rebuild of the
+//!    mutated document within documented error gates over a 150-query
+//!    workload.
+//! 4. **Thread counts are unobservable.** The incremental path is
+//!    byte-identical at every `BuildConfig::threads`, same as the
+//!    from-scratch build — `XCLUSTER_TEST_THREADS` overrides the
+//!    matrix (CI runs a `1,4` release matrix; the default covers
+//!    `{1, 2, 4}` in release and `{1, 2}` under debug).
+
+use xcluster_core::build::{build_synopsis, BuildConfig};
+use xcluster_core::codec::encode_synopsis;
+use xcluster_core::delta::{apply_delta, apply_to_tree, inverse_delta, DocDelta};
+use xcluster_core::metrics::relative_error;
+use xcluster_core::reference::{reference_synopsis, ReferenceConfig};
+use xcluster_core::{estimate, Synopsis};
+use xcluster_datagen::deltas::{delta_stream, generate_delta, DeltaConfig};
+use xcluster_datagen::Dataset;
+use xcluster_query::{workload, EvalIndex, QueryClass, Workload, WorkloadConfig};
+use xcluster_xml::XmlTree;
+
+/// Thread counts for the determinism matrix.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("XCLUSTER_TEST_THREADS") {
+        Ok(v) => {
+            let counts: Vec<usize> = v
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t| t > 0)
+                .collect();
+            assert!(
+                !counts.is_empty(),
+                "XCLUSTER_TEST_THREADS={v:?} has no usable counts"
+            );
+            counts
+        }
+        Err(_) if cfg!(debug_assertions) => vec![1, 2],
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
+/// One small instance per dataset family. Kept deliberately compact:
+/// every case rebuilds the mutated document from scratch once, and
+/// treebank's near-incompressible structure makes builds expensive.
+fn datasets() -> Vec<Dataset> {
+    vec![
+        xcluster_datagen::imdb::generate(&xcluster_datagen::imdb::ImdbConfig {
+            num_movies: 30,
+            seed: 51,
+        }),
+        xcluster_datagen::xmark::generate(&xcluster_datagen::xmark::XmarkConfig {
+            items: 40,
+            persons: 20,
+            open_auctions: 15,
+            closed_auctions: 10,
+            categories: 5,
+            seed: 52,
+        }),
+        xcluster_datagen::treebank::generate(&xcluster_datagen::treebank::TreebankConfig {
+            files: 10,
+            max_sentences: 4,
+            max_depth: 5,
+            seed: 53,
+        }),
+    ]
+}
+
+fn reference_of(d: &Dataset) -> Synopsis {
+    reference_synopsis(
+        &d.tree,
+        &ReferenceConfig {
+            value_paths: Some(d.value_paths.clone()),
+            ..ReferenceConfig::default()
+        },
+    )
+}
+
+/// Builds the dataset's synopsis under budgets that force real merge
+/// and compression work (same discipline as `tests/parallel.rs`), and
+/// returns the build configuration so the incremental path maintains
+/// under the *original* budgets.
+fn built(d: &Dataset) -> (Synopsis, BuildConfig) {
+    let r = reference_of(d);
+    let cfg = BuildConfig {
+        b_str: r.structural_bytes() / 3,
+        b_val: r.value_bytes() / 2,
+        ..BuildConfig::default()
+    };
+    (build_synopsis(r, &cfg), cfg)
+}
+
+/// A 150-query seeded positive workload over `tree`.
+fn workload_on(tree: &XmlTree, seed: u64) -> Workload {
+    let idx = EvalIndex::build(tree);
+    let w = workload::generate_positive(
+        tree,
+        &idx,
+        &WorkloadConfig {
+            num_queries: 150,
+            seed,
+            ..WorkloadConfig::default()
+        },
+    );
+    assert!(!w.queries.is_empty());
+    w
+}
+
+/// Runs `deltas` through the incremental path (apply to synopsis, then
+/// replay on the document) and returns the maintained synopsis plus the
+/// final mutated document.
+fn apply_stream(
+    s0: &Synopsis,
+    tree0: &XmlTree,
+    deltas: &[DocDelta],
+    cfg: &BuildConfig,
+) -> (Synopsis, XmlTree) {
+    let mut s = s0.clone();
+    let mut tree = tree0.clone();
+    for delta in deltas {
+        apply_delta(&mut s, &tree, delta, cfg);
+        tree = apply_to_tree(&tree, delta).tree;
+    }
+    (s, tree)
+}
+
+/// Gate on the mean sanity-bounded relative error of the incremental
+/// synopsis against ground truth, relative to the rebuilt synopsis's
+/// own error on the same workload: `err(inc) ≤ err(rebuild) + GATE`.
+/// Both synopses hold the same byte budgets over the same document, but
+/// their merge histories legitimately differ (the incremental path
+/// re-merges only dirtied regions), so their errors differ by a bounded
+/// amount rather than matching. 0.15 is ~3× the worst divergence
+/// observed across the three families and churn seeds; a regression
+/// past it means delta application is corrupting counts or summaries,
+/// not just clustering differently.
+const ACCURACY_REGRESSION_GATE: f64 = 0.15;
+
+/// Gate on the mean pairwise divergence between the two synopses'
+/// estimates, normalized like the paper's sanity-bounded relative
+/// error. Catches the complementary failure (both estimates far from
+/// each other while accidentally close to truth on average).
+const MEAN_DIVERGENCE_GATE: f64 = 0.25;
+
+#[test]
+fn zero_churn_is_bitwise_identity() {
+    for d in datasets() {
+        let (s, cfg) = built(&d);
+        let before = encode_synopsis(&s);
+        let mut maintained = s.clone();
+        let stats = apply_delta(&mut maintained, &d.tree, &DocDelta::default(), &cfg);
+        assert_eq!(stats, Default::default(), "{}", d.name);
+        assert_eq!(maintained.version(), 0, "{}", d.name);
+        assert_eq!(encode_synopsis(&maintained), before, "{}", d.name);
+    }
+}
+
+#[test]
+fn insert_then_inverse_restores_estimates_bitwise() {
+    // Budgets lifted for the applies: no budget pass runs, so the merge
+    // sequence is unaffected and the inverse must be an exact undo.
+    let lifted = BuildConfig {
+        b_str: usize::MAX / 2,
+        b_val: usize::MAX / 2,
+        ..BuildConfig::default()
+    };
+    for (i, d) in datasets().into_iter().enumerate() {
+        let (s0, _) = built(&d);
+        let delta = generate_delta(
+            &d.tree,
+            &DeltaConfig {
+                churn: 0.03,
+                insert_fraction: 1.0,
+                seed: 0xA11CE + i as u64,
+                ..DeltaConfig::default()
+            },
+        );
+        assert!(!delta.is_empty(), "{}", d.name);
+        let patch = apply_to_tree(&d.tree, &delta);
+        let mut s = s0.clone();
+        apply_delta(&mut s, &d.tree, &delta, &lifted);
+        let inverse = inverse_delta(&d.tree, &delta, &patch);
+        apply_delta(&mut s, &patch.tree, &inverse, &lifted);
+        assert_eq!(
+            s.live_nodes().count(),
+            s0.live_nodes().count(),
+            "{}: inverse must retire every cluster the delta created",
+            d.name
+        );
+        let w = workload_on(&d.tree, 0xB0B + i as u64);
+        for q in &w.queries {
+            let (got, want) = (estimate(&s, &q.query), estimate(&s0, &q.query));
+            if q.class == QueryClass::Text {
+                // Canonicalized fused EBTH frequencies: ulp noise only.
+                assert!(
+                    (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                    "{}: {} drifted beyond ulp noise after insert⟲inverse: {got} vs {want}",
+                    d.name,
+                    q.query
+                );
+                continue;
+            }
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{}: {} diverged after insert⟲inverse: {got} vs {want}",
+                d.name,
+                q.query
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_stream_tracks_full_rebuild_within_gates() {
+    for (i, d) in datasets().into_iter().enumerate() {
+        let (s0, cfg) = built(&d);
+        let deltas = delta_stream(
+            &d.tree,
+            &DeltaConfig {
+                churn: 0.05,
+                seed: 0x5EED + i as u64,
+                ..DeltaConfig::default()
+            },
+            3,
+        );
+        let (inc, mutated) = apply_stream(&s0, &d.tree, &deltas, &cfg);
+        assert_eq!(inc.version(), 3, "{}", d.name);
+        assert_eq!(inc.check_consistency(), Ok(()), "{}", d.name);
+        assert!(
+            inc.structural_bytes() <= cfg.b_str || s0.structural_bytes() > cfg.b_str,
+            "{}: incremental path exceeded the structural budget",
+            d.name
+        );
+        // From-scratch rebuild of the mutated document, same budgets.
+        let rebuilt = build_synopsis(
+            reference_synopsis(
+                &mutated,
+                &ReferenceConfig {
+                    value_paths: Some(d.value_paths.clone()),
+                    ..ReferenceConfig::default()
+                },
+            ),
+            &cfg,
+        );
+        let w = workload_on(&mutated, 0xFEED + i as u64);
+        let mut inc_err = 0.0;
+        let mut reb_err = 0.0;
+        let mut divergence = 0.0;
+        for q in &w.queries {
+            let e_inc = estimate(&inc, &q.query);
+            let e_reb = estimate(&rebuilt, &q.query);
+            inc_err += relative_error(q.true_count, e_inc, w.sanity_bound);
+            reb_err += relative_error(q.true_count, e_reb, w.sanity_bound);
+            divergence += (e_inc - e_reb).abs() / e_reb.abs().max(w.sanity_bound);
+        }
+        let n = w.queries.len() as f64;
+        let (inc_err, reb_err, divergence) = (inc_err / n, reb_err / n, divergence / n);
+        assert!(
+            inc_err <= reb_err + ACCURACY_REGRESSION_GATE,
+            "{}: incremental error {inc_err:.4} vs rebuild {reb_err:.4} (gate {ACCURACY_REGRESSION_GATE})",
+            d.name
+        );
+        assert!(
+            divergence <= MEAN_DIVERGENCE_GATE,
+            "{}: mean estimate divergence {divergence:.4} (gate {MEAN_DIVERGENCE_GATE})",
+            d.name
+        );
+    }
+}
+
+#[test]
+fn incremental_path_is_byte_identical_across_thread_counts() {
+    for (i, d) in datasets().into_iter().enumerate() {
+        let (s0, cfg) = built(&d);
+        let deltas = delta_stream(
+            &d.tree,
+            &DeltaConfig {
+                churn: 0.05,
+                seed: 0x7EAD + i as u64,
+                ..DeltaConfig::default()
+            },
+            2,
+        );
+        let (base, _) = apply_stream(&s0, &d.tree, &deltas, &cfg);
+        let base_bytes = encode_synopsis(&base);
+        for t in thread_counts() {
+            let cfg_t = BuildConfig {
+                threads: t,
+                ..cfg.clone()
+            };
+            let (s, _) = apply_stream(&s0, &d.tree, &deltas, &cfg_t);
+            assert_eq!(
+                encode_synopsis(&s),
+                base_bytes,
+                "{}: incremental path diverged at {t} thread(s)",
+                d.name
+            );
+        }
+    }
+}

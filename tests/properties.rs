@@ -483,6 +483,58 @@ fn explain_total_is_bitwise_equal_to_estimate() {
     }
 }
 
+/// Incremental maintenance is exactly invertible while no budget pass
+/// runs: on the (unmerged) reference synopsis, applying a random
+/// insert-only delta and then its inverse restores every structural and
+/// predicate estimate *bitwise*. Counts stay integral, edge averages
+/// reconstruct through exact integer pair totals, and value summaries
+/// observe/retract losslessly, so any drift here is a real defect in
+/// `apply_delta` rather than float noise.
+#[test]
+fn delta_then_inverse_restores_reference_estimates_bitwise() {
+    use xcluster_core::{apply_delta, apply_to_tree, inverse_delta};
+    let lifted = BuildConfig {
+        b_str: usize::MAX / 2,
+        b_val: usize::MAX / 2,
+        ..BuildConfig::default()
+    };
+    for_cases(CASES / 2, |rng| {
+        let tree = arb_document(rng);
+        let s0 = reference_synopsis(&tree, &ReferenceConfig::default());
+        let delta = xcluster_datagen::deltas::generate_delta(
+            &tree,
+            &xcluster_datagen::deltas::DeltaConfig {
+                churn: 0.1,
+                insert_fraction: 1.0,
+                seed: rng.gen(),
+                ..xcluster_datagen::deltas::DeltaConfig::default()
+            },
+        );
+        if delta.is_empty() {
+            return;
+        }
+        let patch = apply_to_tree(&tree, &delta);
+        let mut s = s0.clone();
+        apply_delta(&mut s, &tree, &delta, &lifted);
+        let inverse = inverse_delta(&tree, &delta, &patch);
+        apply_delta(&mut s, &patch.tree, &inverse, &lifted);
+        assert_eq!(s.live_nodes().count(), s0.live_nodes().count());
+        assert_eq!(s.version(), 2);
+        for tag in ["a", "b", "c", "y", "m", "n"] {
+            let mut q = TwigQuery::new();
+            q.step(q.root(), xcluster_query::Axis::Descendant, tag);
+            let (got, want) = (estimate(&s, &q), estimate(&s0, &q));
+            assert_eq!(got.to_bits(), want.to_bits(), "{tag}: {got} vs {want}");
+        }
+        let mut q = TwigQuery::new();
+        let a = q.step(q.root(), xcluster_query::Axis::Descendant, "a");
+        let y = q.step(a, xcluster_query::Axis::Child, "y");
+        q.set_predicate(y, ValuePredicate::Range { lo: 10, hi: 60 });
+        let (got, want) = (estimate(&s, &q), estimate(&s0, &q));
+        assert_eq!(got.to_bits(), want.to_bits(), "predicate: {got} vs {want}");
+    });
+}
+
 // -------------------------------------------------------------------
 // ValueSummary dispatch properties.
 // -------------------------------------------------------------------
